@@ -1,0 +1,72 @@
+// Ablation (DESIGN.md §6): phase-2 tree construction — the paper's Prim MST
+// versus a Dijkstra shortest-path tree rooted at the source. The MST
+// minimizes total link usage (traffic); the SPT minimizes source-to-member
+// delay (response time). The paper picks MST; this bench quantifies what
+// that choice trades.
+#include "bench_common.h"
+
+namespace {
+
+using namespace ace;
+using namespace ace::bench;
+
+struct Outcome {
+  double traffic;
+  double response;
+  double scope;
+};
+
+Outcome run(const BenchScale& scale, double degree, TreeKind kind,
+            std::size_t rounds, std::size_t queries) {
+  Scenario scenario{make_scenario(scale, degree)};
+  AceConfig config;
+  config.tree_kind = kind;
+  AceEngine engine{scenario.overlay(), config};
+  for (std::size_t r = 0; r < rounds; ++r) engine.step_round(scenario.rng());
+  const QueryStats stats = scenario.measure(
+      ForwardingMode::kTreeRouting, &engine.forwarding(), queries);
+  return {stats.mean_traffic(), stats.mean_response_time(),
+          stats.mean_scope()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options{argc, argv};
+  if (options.help_requested()) {
+    std::printf(
+        "bench_ablation_tree [--phys-nodes=N] [--peers=N] [--queries=N] "
+        "[--rounds=N] [--seed=N] [--out-dir=DIR]\n");
+    return 0;
+  }
+  const BenchScale scale = parse_scale(options, 2048, 384, 80, 10);
+  print_header("Ablation: phase-2 tree kind (Prim MST vs shortest-path tree)",
+               scale);
+
+  TableWriter table{"MST vs SPT local trees",
+                    {"C", "tree", "traffic/query", "response time", "scope"}};
+  table.set_precision(1);
+  for (const double degree : {4.0, 6.0, 8.0, 10.0}) {
+    Scenario baseline_scenario{make_scenario(scale, degree)};
+    const QueryStats blind = baseline_scenario.measure_blind(scale.queries);
+    table.add_row({degree, std::string{"blind flooding"},
+                   blind.mean_traffic(), blind.mean_response_time(),
+                   blind.mean_scope()});
+    const Outcome mst = run(scale, degree, TreeKind::kMinimumSpanning,
+                            scale.rounds, scale.queries);
+    table.add_row({degree, std::string{"MST (paper)"}, mst.traffic,
+                   mst.response, mst.scope});
+    const Outcome spt = run(scale, degree, TreeKind::kShortestPath,
+                            scale.rounds, scale.queries);
+    table.add_row({degree, std::string{"SPT"}, spt.traffic, spt.response,
+                   spt.scope});
+  }
+  table.print(std::cout, csv_path(scale, "ablation_tree"));
+  std::printf(
+      "\nFinding: the paper's MST choice is essential. A shortest-path tree "
+      "over the probed\nlocal cost graph degenerates to a star (probed "
+      "delays obey the triangle inequality,\nso the direct edge is always "
+      "the shortest path): every neighbor stays a flooding\nneighbor, phase "
+      "3 never engages, and 'SPT ACE' collapses to blind flooding.\n");
+  return 0;
+}

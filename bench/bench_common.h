@@ -1,0 +1,72 @@
+// Shared plumbing for the figure/table benches: CLI/env configuration with
+// paper-scale knobs, plus the CSV output directory. Every bench prints the
+// paper-shaped ASCII table to stdout and drops a CSV next to the binary
+// (or into --out-dir).
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "ace/p2p_lab.h"
+
+namespace ace::bench {
+
+struct BenchScale {
+  std::size_t physical_nodes;
+  std::size_t peers;
+  std::size_t queries;
+  std::size_t rounds;
+  std::uint64_t seed;
+  std::string out_dir;
+};
+
+// Common knobs: --phys-nodes / ACE_PHYS_NODES, --peers / ACE_PEERS,
+// --queries / ACE_QUERIES, --rounds / ACE_ROUNDS, --seed / ACE_SEED,
+// --out-dir / ACE_OUT_DIR. Paper-scale runs: ACE_PHYS_NODES=20000
+// ACE_PEERS=8000 (slower; defaults keep the whole suite in minutes).
+inline BenchScale parse_scale(const Options& options,
+                              std::size_t default_phys = 2048,
+                              std::size_t default_peers = 512,
+                              std::size_t default_queries = 120,
+                              std::size_t default_rounds = 12) {
+  BenchScale scale;
+  scale.physical_nodes = static_cast<std::size_t>(
+      options.get_int("phys-nodes", static_cast<std::int64_t>(default_phys)));
+  scale.peers = static_cast<std::size_t>(
+      options.get_int("peers", static_cast<std::int64_t>(default_peers)));
+  scale.queries = static_cast<std::size_t>(
+      options.get_int("queries", static_cast<std::int64_t>(default_queries)));
+  scale.rounds = static_cast<std::size_t>(
+      options.get_int("rounds", static_cast<std::int64_t>(default_rounds)));
+  scale.seed = static_cast<std::uint64_t>(options.get_int("seed", 20040326));
+  scale.out_dir = options.get_string("out-dir", ".");
+  return scale;
+}
+
+inline ScenarioConfig make_scenario(const BenchScale& scale,
+                                    double mean_degree) {
+  ScenarioConfig config;
+  config.physical_nodes = scale.physical_nodes;
+  config.peers = scale.peers;
+  config.mean_degree = mean_degree;
+  config.seed = scale.seed;
+  config.catalog.object_count = 500;
+  config.catalog.base_replication = 0.1;
+  config.catalog.min_replication = 0.01;
+  return config;
+}
+
+inline std::string csv_path(const BenchScale& scale, const std::string& name) {
+  return scale.out_dir + "/" + name + ".csv";
+}
+
+inline void print_header(const std::string& what, const BenchScale& scale) {
+  std::printf(
+      "# %s\n# physical=%zu hosts, peers=%zu, queries/cell=%zu, "
+      "rounds=%zu, seed=%llu\n\n",
+      what.c_str(), scale.physical_nodes, scale.peers, scale.queries,
+      scale.rounds, static_cast<unsigned long long>(scale.seed));
+}
+
+}  // namespace ace::bench

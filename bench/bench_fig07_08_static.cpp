@@ -1,0 +1,68 @@
+// Figures 7 & 8: static environment. Traffic cost per query (Fig 7) and
+// average response time (Fig 8) versus the number of ACE optimization
+// steps, one curve per average-connection count C in {4, 6, 8, 10}.
+// Paper result to reproduce in shape: ~50% traffic reduction and ~35%
+// response-time reduction, converging within ~10 steps, better for larger C.
+#include "bench_common.h"
+
+namespace {
+
+using namespace ace;
+using namespace ace::bench;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options{argc, argv};
+  if (options.help_requested()) {
+    std::printf(
+        "bench_fig07_08_static [--phys-nodes=N] [--peers=N] [--queries=N] "
+        "[--rounds=N] [--seed=N] [--out-dir=DIR]\n");
+    return 0;
+  }
+  const BenchScale scale = parse_scale(options);
+  print_header("Figures 7-8: traffic cost and response time vs. "
+               "optimization steps (static)",
+               scale);
+
+  const std::vector<double> degrees{4, 6, 8, 10};
+  TableWriter fig7{"Figure 7: avg traffic cost per query vs. step",
+                   {"step", "C=4", "C=6", "C=8", "C=10"}};
+  TableWriter fig8{"Figure 8: avg response time per query vs. step",
+                   {"step", "C=4", "C=6", "C=8", "C=10"}};
+  fig7.set_precision(0);
+  fig8.set_precision(1);
+
+  std::vector<StaticRunResult> runs;
+  for (const double degree : degrees) {
+    Scenario scenario{make_scenario(scale, degree)};
+    runs.push_back(run_static_optimization(scenario, AceConfig{},
+                                           scale.rounds, scale.queries));
+  }
+
+  for (std::size_t step = 0; step <= scale.rounds; ++step) {
+    std::vector<Cell> traffic_row{static_cast<std::int64_t>(step)};
+    std::vector<Cell> response_row{static_cast<std::int64_t>(step)};
+    for (const auto& run : runs) {
+      traffic_row.emplace_back(run.samples[step].traffic);
+      response_row.emplace_back(run.samples[step].response_time);
+    }
+    fig7.add_row(std::move(traffic_row));
+    fig8.add_row(std::move(response_row));
+  }
+
+  fig7.print(std::cout, csv_path(scale, "fig07_traffic_vs_steps"));
+  std::printf("\n");
+  fig8.print(std::cout, csv_path(scale, "fig08_response_vs_steps"));
+
+  std::printf("\nReductions at convergence (paper: ~50%% traffic, ~35%% "
+              "response):\n");
+  for (std::size_t i = 0; i < degrees.size(); ++i) {
+    std::printf("  C=%-2.0f traffic -%.0f%%  response -%.0f%%  "
+                "(scope %.1f -> %.1f)\n",
+                degrees[i], 100 * runs[i].traffic_reduction(),
+                100 * runs[i].response_reduction(),
+                runs[i].samples.front().scope, runs[i].samples.back().scope);
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figures 11 & 12: the impact of the closure depth h. Query-traffic
+// reduction rate over blind flooding (Fig 11) and optimization overhead
+// traffic (Fig 12) versus the depth of the neighbor closure used to build
+// the overlay trees, one curve per C in {4, 6, 8, 10}.
+// Shapes to reproduce: reduction grows with h and with C then saturates;
+// overhead grows with h and with C.
+#include "bench_common.h"
+
+namespace {
+
+using namespace ace;
+using namespace ace::bench;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options{argc, argv};
+  if (options.help_requested()) {
+    std::printf(
+        "bench_fig11_12_depth [--phys-nodes=N] [--peers=N] [--queries=N] "
+        "[--rounds=N] [--max-depth=N] [--seed=N] [--out-dir=DIR]\n");
+    return 0;
+  }
+  BenchScale scale = parse_scale(options, 2048, 384, 80, 8);
+  const auto max_depth =
+      static_cast<std::uint32_t>(options.get_int("max-depth", 8));
+  print_header("Figures 11-12: traffic reduction rate and overhead traffic "
+               "vs. closure depth h",
+               scale);
+
+  std::vector<std::uint32_t> depths;
+  for (std::uint32_t h = 1; h <= max_depth; ++h) depths.push_back(h);
+  const std::vector<double> degrees{4, 6, 8, 10};
+
+  std::vector<std::vector<DepthSample>> sweeps;
+  for (const double degree : degrees) {
+    sweeps.push_back(run_depth_sweep(make_scenario(scale, degree), AceConfig{},
+                                     depths, scale.rounds, scale.queries));
+  }
+
+  TableWriter fig11{"Figure 11: query traffic reduction rate (%) vs. h",
+                    {"h", "C=4", "C=6", "C=8", "C=10"}};
+  fig11.set_precision(1);
+  TableWriter fig12{"Figure 12: overhead traffic per optimization round vs. h",
+                    {"h", "C=4", "C=6", "C=8", "C=10"}};
+  fig12.set_precision(0);
+  for (std::size_t i = 0; i < depths.size(); ++i) {
+    std::vector<Cell> row11{static_cast<std::int64_t>(depths[i])};
+    std::vector<Cell> row12{static_cast<std::int64_t>(depths[i])};
+    for (const auto& sweep : sweeps) {
+      row11.emplace_back(100 * sweep[i].reduction_rate);
+      row12.emplace_back(sweep[i].overhead_per_round);
+    }
+    fig11.add_row(std::move(row11));
+    fig12.add_row(std::move(row12));
+  }
+  fig11.print(std::cout, csv_path(scale, "fig11_reduction_vs_depth"));
+  std::printf("\n");
+  fig12.print(std::cout, csv_path(scale, "fig12_overhead_vs_depth"));
+
+  // Machine-readable dump reused by the optimization-rate bench narrative.
+  TableWriter raw{"Raw depth sweep (gain per query / overhead per round)",
+                  {"C", "h", "traffic_blind", "traffic_ace", "gain",
+                   "overhead_per_round"}};
+  raw.set_precision(1);
+  for (std::size_t c = 0; c < degrees.size(); ++c) {
+    for (const DepthSample& s : sweeps[c]) {
+      raw.add_row({degrees[c], static_cast<std::int64_t>(s.h),
+                   s.traffic_blind, s.traffic_ace, s.gain_per_query,
+                   s.overhead_per_round});
+    }
+  }
+  raw.print(std::cout, csv_path(scale, "fig11_12_raw"));
+  return 0;
+}

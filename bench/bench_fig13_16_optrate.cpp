@@ -1,0 +1,102 @@
+// Figures 13-16: the gain/penalty ("optimization rate") trade-off.
+//   Fig 13: optimization rate vs. closure depth h, C = 10, curves R=1.0..2.0
+//   Fig 14: optimization rate vs. closure depth h, C = 4,  curves R=1.0..2.0
+//   Fig 15: optimization rate vs. frequency ratio R, C = 10, curves h=1..8
+//   Fig 16: optimization rate vs. frequency ratio R, C = 4,  curves h=1..8
+// Shapes to reproduce: rate is linear in R; rate grows with h then
+// saturates; rate > 1 (ACE worth using) requires R above a threshold; the
+// minimal h for rate >= 1 shrinks as R or C grows; for R = 1 the rate stays
+// below 1.
+#include "bench_common.h"
+
+namespace {
+
+using namespace ace;
+using namespace ace::bench;
+
+void fig_rate_vs_h(const std::string& title,
+                   const std::vector<DepthSample>& sweep,
+                   std::span<const double> ratios, const std::string& csv) {
+  std::vector<std::string> columns{"h"};
+  for (const double r : ratios) columns.push_back("R=" + fixed(r, 1));
+  TableWriter table{title, columns};
+  table.set_precision(2);
+  for (const DepthSample& s : sweep) {
+    std::vector<Cell> row{static_cast<std::int64_t>(s.h)};
+    for (const double r : ratios) row.emplace_back(optimization_rate(s, r));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout, csv);
+  std::printf("\n");
+}
+
+void fig_rate_vs_r(const std::string& title,
+                   const std::vector<DepthSample>& sweep,
+                   std::span<const double> ratios, const std::string& csv) {
+  std::vector<std::string> columns{"R"};
+  for (const DepthSample& s : sweep)
+    columns.push_back("h=" + std::to_string(s.h));
+  TableWriter table{title, columns};
+  table.set_precision(2);
+  for (const double r : ratios) {
+    std::vector<Cell> row{r};
+    for (const DepthSample& s : sweep)
+      row.emplace_back(optimization_rate(s, r));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout, csv);
+  std::printf("\n");
+}
+
+// Smallest h achieving rate >= 1 at ratio R; 0 when none does.
+std::uint32_t minimal_h(const std::vector<DepthSample>& sweep, double ratio) {
+  for (const DepthSample& s : sweep)
+    if (optimization_rate(s, ratio) >= 1.0) return s.h;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options{argc, argv};
+  if (options.help_requested()) {
+    std::printf(
+        "bench_fig13_16_optrate [--phys-nodes=N] [--peers=N] [--queries=N] "
+        "[--rounds=N] [--max-depth=N] [--seed=N] [--out-dir=DIR]\n");
+    return 0;
+  }
+  BenchScale scale = parse_scale(options, 2048, 384, 80, 8);
+  const auto max_depth =
+      static_cast<std::uint32_t>(options.get_int("max-depth", 8));
+  print_header("Figures 13-16: optimization rate (gain/penalty) vs. h and R",
+               scale);
+
+  std::vector<std::uint32_t> depths;
+  for (std::uint32_t h = 1; h <= max_depth; ++h) depths.push_back(h);
+
+  const auto sweep_c10 = run_depth_sweep(make_scenario(scale, 10.0),
+                                         AceConfig{}, depths, scale.rounds,
+                                         scale.queries);
+  const auto sweep_c4 = run_depth_sweep(make_scenario(scale, 4.0),
+                                        AceConfig{}, depths, scale.rounds,
+                                        scale.queries);
+
+  const std::vector<double> h_ratios{1.0, 1.2, 1.4, 1.6, 1.8, 2.0};
+  fig_rate_vs_h("Figure 13: optimization rate vs. h (C=10)", sweep_c10,
+                h_ratios, csv_path(scale, "fig13_rate_vs_h_c10"));
+  fig_rate_vs_h("Figure 14: optimization rate vs. h (C=4)", sweep_c4,
+                h_ratios, csv_path(scale, "fig14_rate_vs_h_c4"));
+
+  const std::vector<double> r_ratios{0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0};
+  fig_rate_vs_r("Figure 15: optimization rate vs. R (C=10)", sweep_c10,
+                r_ratios, csv_path(scale, "fig15_rate_vs_r_c10"));
+  fig_rate_vs_r("Figure 16: optimization rate vs. R (C=4)", sweep_c4,
+                r_ratios, csv_path(scale, "fig16_rate_vs_r_c4"));
+
+  std::printf("Minimal h for optimization rate >= 1 (0 = never):\n");
+  for (const double r : h_ratios) {
+    std::printf("  R=%.1f: C=10 -> h=%u, C=4 -> h=%u\n", r,
+                minimal_h(sweep_c10, r), minimal_h(sweep_c4, r));
+  }
+  return 0;
+}

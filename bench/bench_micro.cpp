@@ -1,0 +1,128 @@
+// Micro-benchmarks (google-benchmark) for the algorithmic substrates:
+// Dijkstra rows, Prim MSTs, closure construction, event-queue throughput,
+// and single-query execution. These bound the simulation's own costs and
+// document the scalability headroom for paper-scale runs.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "ace/p2p_lab.h"
+
+namespace {
+
+using namespace ace;
+
+Graph make_ba(std::size_t nodes, std::uint64_t seed = 1) {
+  Rng rng{seed};
+  BaOptions options;
+  options.nodes = nodes;
+  options.edges_per_node = 2;
+  return barabasi_albert(options, rng);
+}
+
+void BM_DijkstraBA(benchmark::State& state) {
+  const Graph g = make_ba(static_cast<std::size_t>(state.range(0)));
+  NodeId source = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dijkstra(g, source));
+    source = (source + 7) % static_cast<NodeId>(g.node_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.node_count()));
+}
+BENCHMARK(BM_DijkstraBA)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_PrimMst(benchmark::State& state) {
+  const Graph g = make_ba(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(prim_mst(g, 0));
+}
+BENCHMARK(BM_PrimMst)->Arg(256)->Arg(1024)->Arg(4096);
+
+struct OverlayFixture {
+  explicit OverlayFixture(std::size_t peers, double degree) {
+    Rng rng{3};
+    physical = std::make_unique<PhysicalNetwork>(make_ba(4 * peers, 2));
+    OverlayOptions oo;
+    oo.peers = peers;
+    oo.mean_degree = degree;
+    const Graph logical = small_world_overlay(oo, rng);
+    const auto hosts = assign_hosts_uniform(*physical, peers, rng);
+    overlay = std::make_unique<OverlayNetwork>(*physical, logical, hosts);
+  }
+  std::unique_ptr<PhysicalNetwork> physical;
+  std::unique_ptr<OverlayNetwork> overlay;
+};
+
+void BM_ClosureBuild(benchmark::State& state) {
+  OverlayFixture f{512, 8.0};
+  const auto depth = static_cast<std::uint32_t>(state.range(0));
+  PeerId p = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_closure(*f.overlay, p, depth));
+    p = (p + 13) % 512;
+  }
+}
+BENCHMARK(BM_ClosureBuild)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_LocalTree(benchmark::State& state) {
+  OverlayFixture f{512, 8.0};
+  const auto depth = static_cast<std::uint32_t>(state.range(0));
+  const LocalClosure closure = build_closure(*f.overlay, 0, depth);
+  for (auto _ : state) benchmark::DoNotOptimize(build_local_tree(closure));
+}
+BENCHMARK(BM_LocalTree)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_AceStepRound(benchmark::State& state) {
+  OverlayFixture f{static_cast<std::size_t>(state.range(0)), 6.0};
+  AceEngine engine{*f.overlay, AceConfig{}};
+  Rng rng{9};
+  for (auto _ : state) benchmark::DoNotOptimize(engine.step_round(rng));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AceStepRound)->Arg(128)->Arg(512);
+
+void BM_BlindFloodQuery(benchmark::State& state) {
+  OverlayFixture f{static_cast<std::size_t>(state.range(0)), 6.0};
+  CatalogConfig cc;
+  ObjectCatalog catalog{cc};
+  CatalogOracle oracle{catalog};
+  Rng rng{11};
+  for (auto _ : state) {
+    const PeerId source = f.overlay->random_online_peer(rng);
+    benchmark::DoNotOptimize(run_query(*f.overlay, source, 0, oracle,
+                                       ForwardingMode::kBlindFlooding,
+                                       nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BlindFloodQuery)->Arg(256)->Arg(1024);
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue queue;
+    int sink = 0;
+    for (int i = 0; i < state.range(0); ++i)
+      queue.schedule(static_cast<SimTime>((i * 7919) % 1000),
+                     [&sink] { ++sink; });
+    while (!queue.empty()) queue.run_next();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(1000)->Arg(10000);
+
+void BM_PhysicalDelayCached(benchmark::State& state) {
+  PhysicalNetwork net{make_ba(4096)};
+  // Warm one row.
+  net.delay(0, 1);
+  HostId target = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.delay(0, target));
+    target = (target + 17) % 4096;
+  }
+}
+BENCHMARK(BM_PhysicalDelayCached);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// ACE composed with response-index caching (paper §5.2): each peer keeps a
+// small LRU cache of object -> known-holder pointers learned from responses
+// passing through it; a cache hit answers the query on the spot and stops
+// that branch of the flood. The paper reports that ACE plus a 20-item cache
+// removes ~75% of traffic and ~70% of response time together.
+//
+//   $ ./cache_combo [--cache-size=N] [--peers=N] [--duration=SECONDS]
+#include <cstdio>
+
+#include "ace/p2p_lab.h"
+
+int main(int argc, char** argv) {
+  using namespace ace;
+  const Options options{argc, argv};
+  if (options.help_requested()) {
+    std::printf("cache_combo [--cache-size=N] [--peers=N] [--phys-nodes=N] "
+                "[--duration=SECONDS] [--seed=N]\n");
+    return 0;
+  }
+
+  DynamicConfig config;
+  config.scenario.physical_nodes =
+      static_cast<std::size_t>(options.get_int("phys-nodes", 1024));
+  config.scenario.peers =
+      static_cast<std::size_t>(options.get_int("peers", 256));
+  config.scenario.mean_degree = 6.0;
+  config.scenario.seed = static_cast<std::uint64_t>(options.get_int("seed", 5));
+  // A compact, popularity-skewed catalog: caches only help when queries
+  // repeat, as they do in measured Gnutella workloads.
+  config.scenario.catalog.object_count = 200;
+  config.scenario.catalog.zipf_exponent = 1.0;
+  config.churn.mean_lifetime_s = 600.0;
+  config.churn.lifetime_variance = 300.0 * 300.0;  // sigma = mean/2
+  config.churn.join_degree = 6;
+  config.workload.queries_per_peer_per_s = 0.005;
+  config.duration_s = options.get_double("duration", 1200.0);
+  config.report_buckets = 4;
+
+  const auto cache_size =
+      static_cast<std::size_t>(options.get_int("cache-size", 20));
+
+  std::printf("Comparing four systems over %.0f s of churn "
+              "(%zu peers, %zu-item caches)...\n\n",
+              config.duration_s, config.scenario.peers, cache_size);
+
+  struct Variant {
+    const char* name;
+    bool ace;
+    bool cache;
+  };
+  const Variant variants[] = {
+      {"gnutella-like", false, false},
+      {"index cache only", false, true},
+      {"ACE only", true, false},
+      {"ACE + index cache", true, true},
+  };
+
+  double base_traffic = 0, base_response = 0;
+  for (const Variant& v : variants) {
+    DynamicConfig run_config = config;
+    run_config.enable_ace = v.ace;
+    run_config.enable_cache = v.cache;
+    run_config.cache_capacity = cache_size;
+    const DynamicResult result = run_dynamic(run_config);
+    const double traffic = result.overall.mean_traffic();
+    const double response = result.overall.mean_response_time();
+    if (base_traffic == 0) {
+      base_traffic = traffic;
+      base_response = response;
+    }
+    std::printf("%-18s traffic %8.0f (-%3.0f%%)  response %6.1f (-%3.0f%%)  "
+                "cache hits %zu\n",
+                v.name, traffic, 100 * (1 - traffic / base_traffic), response,
+                100 * (1 - response / base_response), result.cache_hits);
+  }
+
+  std::printf("\nPaper (§5.2): ACE with a 20-item cache cuts ~75%% of the "
+              "traffic cost and ~70%% of the response time.\n");
+  return 0;
+}

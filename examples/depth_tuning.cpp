@@ -1,0 +1,64 @@
+// Choosing the closure depth h for a deployment — the engineering question
+// the paper's §5.3 answers. Given a measured frequency ratio R (how many
+// queries the system serves per cost-information change), this example
+// sweeps h, computes the gain/penalty "optimization rate" for your R, and
+// recommends the smallest h whose rate exceeds 1 (the break-even the paper
+// defines), or tells you ACE is not worth running at that R.
+//
+//   $ ./depth_tuning --ratio=1.5 [--mean-degree=6] [--peers=N]
+#include <cstdio>
+#include <iostream>
+
+#include "ace/p2p_lab.h"
+
+int main(int argc, char** argv) {
+  using namespace ace;
+  const Options options{argc, argv};
+  if (options.help_requested()) {
+    std::printf("depth_tuning [--ratio=R] [--mean-degree=C] [--peers=N] "
+                "[--max-depth=N] [--seed=N]\n");
+    return 0;
+  }
+
+  const double ratio = options.get_double("ratio", 1.5);
+  ScenarioConfig scenario;
+  scenario.physical_nodes =
+      static_cast<std::size_t>(options.get_int("phys-nodes", 1024));
+  scenario.peers = static_cast<std::size_t>(options.get_int("peers", 256));
+  scenario.mean_degree = options.get_double("mean-degree", 6.0);
+  scenario.seed = static_cast<std::uint64_t>(options.get_int("seed", 11));
+  const auto max_depth =
+      static_cast<std::uint32_t>(options.get_int("max-depth", 6));
+
+  std::printf("Tuning h for R=%.2f on a C=%.0f overlay of %zu peers...\n\n",
+              ratio, scenario.mean_degree, scenario.peers);
+
+  std::vector<std::uint32_t> depths;
+  for (std::uint32_t h = 1; h <= max_depth; ++h) depths.push_back(h);
+  const auto sweep = run_depth_sweep(scenario, AceConfig{}, depths, 8, 60);
+
+  TableWriter table{"Depth sweep",
+                    {"h", "traffic reduction %", "overhead/round",
+                     "optimization rate"}};
+  table.set_precision(2);
+  std::uint32_t best = 0;
+  for (const DepthSample& s : sweep) {
+    const double rate = optimization_rate(s, ratio);
+    table.add_row({static_cast<std::int64_t>(s.h), 100 * s.reduction_rate,
+                   s.overhead_per_round, rate});
+    if (best == 0 && rate >= 1.0) best = s.h;
+  }
+  table.print(std::cout);
+
+  if (best == 0) {
+    std::printf("\nNo depth reaches optimization rate >= 1 at R=%.2f: the "
+                "overlay changes too often relative to the query load for "
+                "ACE to pay off. Re-run with a larger --ratio.\n",
+                ratio);
+  } else {
+    std::printf("\nRecommendation: h = %u (smallest depth with gain/penalty "
+                ">= 1 at R=%.2f).\n",
+                best, ratio);
+  }
+  return 0;
+}

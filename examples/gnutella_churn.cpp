@@ -1,0 +1,68 @@
+// Gnutella under churn: the paper's dynamic environment as a runnable
+// scenario. Peers live ~10 minutes (log-normal), leave, and are replaced by
+// fresh joiners who connect to random bootstrap peers; every peer issues
+// 0.3 queries/minute; ACE peers optimize twice a minute. The example
+// prints a live time series comparing the Gnutella-like baseline and the
+// ACE-enabled system — the shape of the paper's Figures 9 and 10.
+//
+//   $ ./gnutella_churn [--peers=N] [--duration=SECONDS] [--seed=N]
+#include <cstdio>
+
+#include "ace/p2p_lab.h"
+
+int main(int argc, char** argv) {
+  using namespace ace;
+  const Options options{argc, argv};
+  if (options.help_requested()) {
+    std::printf("gnutella_churn [--peers=N] [--phys-nodes=N] "
+                "[--duration=SECONDS] [--seed=N]\n");
+    return 0;
+  }
+
+  DynamicConfig config;
+  config.scenario.physical_nodes =
+      static_cast<std::size_t>(options.get_int("phys-nodes", 1024));
+  config.scenario.peers =
+      static_cast<std::size_t>(options.get_int("peers", 256));
+  config.scenario.mean_degree = 6.0;
+  config.scenario.seed = static_cast<std::uint64_t>(options.get_int("seed", 7));
+  config.churn.mean_lifetime_s = 600.0;              // 10 minutes (paper)
+  config.churn.lifetime_variance = 300.0 * 300.0;    // sigma = mean/2
+  config.churn.join_degree = 6;
+  config.workload.queries_per_peer_per_s = 0.005;  // 0.3 / minute
+  config.ace_period_s = 30.0;                      // optimize twice a minute
+  config.duration_s = options.get_double("duration", 1200.0);
+  config.report_buckets = 8;
+
+  std::printf("Simulating %zu peers for %.0f s: mean lifetime 10 min, "
+              "0.3 queries/min/peer...\n\n",
+              config.scenario.peers, config.duration_s);
+
+  DynamicConfig baseline = config;
+  baseline.enable_ace = false;
+  const DynamicResult gnutella = run_dynamic(baseline);
+  const DynamicResult ace = run_dynamic(config);
+
+  std::printf("%10s | %22s | %22s\n", "", "gnutella-like", "ACE-enabled");
+  std::printf("%10s | %10s %11s | %10s %11s\n", "t (s)", "traffic", "response",
+              "traffic", "response");
+  std::printf("-----------+------------------------+---------------------\n");
+  for (std::size_t b = 0; b < gnutella.buckets.size(); ++b) {
+    std::printf("%10.0f | %10.0f %11.1f | %10.0f %11.1f\n",
+                gnutella.buckets[b].t_end,
+                gnutella.buckets[b].mean_traffic,
+                gnutella.buckets[b].mean_response_time,
+                ace.buckets[b].mean_traffic,
+                ace.buckets[b].mean_response_time);
+  }
+
+  std::printf("\nchurn: %zu departures (population constant at %zu)\n",
+              ace.leaves, config.scenario.peers);
+  std::printf("overall: traffic -%.0f%%, response -%.0f%% "
+              "(ACE overhead amortized into its traffic column)\n",
+              100 * (1 - ace.overall.mean_traffic() /
+                             gnutella.overall.mean_traffic()),
+              100 * (1 - ace.overall.mean_response_time() /
+                             gnutella.overall.mean_response_time()));
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: build the substrate stack, run ACE, and see the topology
+// mismatch disappear.
+//
+//   $ ./quickstart [--peers=N] [--phys-nodes=N] [--rounds=N] [--seed=N]
+//
+// Walks through the library's main objects:
+//   1. Scenario      — physical Internet topology (BA model) + mismatched
+//                      small-world overlay + content catalog, one config.
+//   2. AceEngine     — the paper's three phases, one round at a time.
+//   3. run_query /   — flooding vs tree-routed search, with the paper's
+//      QueryStats      metrics (traffic cost, search scope, response time).
+#include <cstdio>
+
+#include "ace/p2p_lab.h"
+
+int main(int argc, char** argv) {
+  using namespace ace;
+  const Options options{argc, argv};
+  if (options.help_requested()) {
+    std::printf(
+        "quickstart [--peers=N] [--phys-nodes=N] [--rounds=N] [--seed=N]\n");
+    return 0;
+  }
+
+  // 1. The substrate: a 1024-host physical Internet (Barabasi-Albert, the
+  //    BRITE model the paper uses), 256 peers attached to random hosts,
+  //    logically wired as a small-world overlay that ignores physical
+  //    distance entirely — the mismatch problem in its purest form.
+  ScenarioConfig config;
+  config.physical_nodes =
+      static_cast<std::size_t>(options.get_int("phys-nodes", 1024));
+  config.peers = static_cast<std::size_t>(options.get_int("peers", 256));
+  config.mean_degree = 6.0;
+  config.seed = static_cast<std::uint64_t>(options.get_int("seed", 42));
+  Scenario scenario{config};
+
+  std::printf("physical hosts : %zu\n", scenario.physical().host_count());
+  std::printf("peers          : %zu (mean degree %.1f)\n",
+              scenario.overlay().peer_count(),
+              scenario.overlay().mean_online_degree());
+
+  // 2. Measure the unoptimized baseline: blind flooding, Gnutella-style.
+  const QueryStats before = scenario.measure_blind(50);
+  std::printf("\nblind flooding : traffic %.0f | response %.1f | scope %.1f\n",
+              before.mean_traffic(), before.mean_response_time(),
+              before.mean_scope());
+
+  // 3. Run ACE. Each round every peer executes the three phases: probe +
+  //    exchange neighbor cost tables, build its local multicast tree, and
+  //    adaptively replace far-away non-flooding neighbors with closer ones.
+  AceEngine engine{scenario.overlay(), AceConfig{}};
+  const auto rounds =
+      static_cast<std::size_t>(options.get_int("rounds", 10));
+  for (std::size_t r = 1; r <= rounds; ++r) {
+    const RoundReport report = engine.step_round(scenario.rng());
+    std::printf("round %2zu: %3zu cuts, %3zu adds, %3zu links established, "
+                "overhead %.0f\n",
+                r, report.phase3.cuts, report.phase3.adds,
+                report.establishments, report.total_overhead());
+  }
+
+  // 4. Measure again with tree routing over the optimized overlay.
+  const QueryStats after = scenario.measure(
+      ForwardingMode::kTreeRouting, &engine.forwarding(), 50);
+  std::printf("\nwith ACE       : traffic %.0f | response %.1f | scope %.1f\n",
+              after.mean_traffic(), after.mean_response_time(),
+              after.mean_scope());
+  std::printf("improvement    : traffic -%.0f%% | response -%.0f%% | "
+              "scope retained %.1f%%\n",
+              100 * (1 - after.mean_traffic() / before.mean_traffic()),
+              100 * (1 - after.mean_response_time() /
+                             before.mean_response_time()),
+              100 * after.mean_scope() / before.mean_scope());
+  return 0;
+}

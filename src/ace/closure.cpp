@@ -1,0 +1,93 @@
+#include "ace/closure.h"
+
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+namespace ace {
+
+NodeId LocalClosure::to_local(PeerId peer) const {
+  const auto it = local_index.find(peer);
+  return it == local_index.end() ? kInvalidNode : it->second;
+}
+
+bool LocalClosure::is_probed_pair(NodeId a, NodeId b) const {
+  if (a > b) std::swap(a, b);
+  for (const auto& [x, y] : probed_pairs)
+    if (x == a && y == b) return true;
+  return false;
+}
+
+std::size_t LocalClosure::table_entries() const {
+  std::size_t total = 0;
+  for (NodeId i = 0; i < local.node_count(); ++i) total += local.degree(i);
+  // Each member's table also lists neighbors outside the closure; the
+  // induced degree is a lower bound but tracks the same growth. We charge
+  // the induced count: it is what the source actually uses.
+  return total;
+}
+
+LocalClosure build_closure(const OverlayNetwork& overlay, PeerId source,
+                           std::uint32_t h, ClosureEdges edges) {
+  if (!overlay.is_online(source))
+    throw std::invalid_argument{"build_closure: source offline"};
+  LocalClosure closure;
+
+  // BFS out to depth h over the overlay.
+  std::queue<PeerId> queue;
+  closure.nodes.push_back(source);
+  closure.depth.push_back(0);
+  closure.path_cost.push_back(0);
+  closure.local_index.emplace(source, 0);
+  queue.push(source);
+  while (!queue.empty()) {
+    const PeerId u = queue.front();
+    queue.pop();
+    const NodeId lu = closure.local_index.at(u);
+    const std::uint32_t du = closure.depth[lu];
+    if (du == h) continue;
+    for (const auto& n : overlay.neighbors(u)) {
+      if (closure.local_index.contains(n.node)) continue;
+      closure.local_index.emplace(n.node,
+                                  static_cast<NodeId>(closure.nodes.size()));
+      closure.nodes.push_back(n.node);
+      closure.depth.push_back(du + 1);
+      closure.path_cost.push_back(closure.path_cost[lu] + n.weight);
+      queue.push(n.node);
+    }
+  }
+
+  // Induced subgraph.
+  closure.local = Graph{closure.nodes.size()};
+  for (NodeId li = 0; li < closure.nodes.size(); ++li) {
+    const PeerId u = closure.nodes[li];
+    for (const auto& n : overlay.neighbors(u)) {
+      const NodeId lj = closure.to_local(n.node);
+      if (lj == kInvalidNode || lj <= li) continue;
+      closure.local.add_edge(li, lj, n.weight);
+    }
+  }
+
+  if (edges == ClosureEdges::kOverlayPlusNeighborProbes) {
+    // Phase 1 gives the source the cost between ANY pair of its direct
+    // neighbors: fill in the missing pairs with probed delays. Depth-1
+    // members occupy a contiguous local-id prefix starting at 1.
+    std::vector<NodeId> direct;
+    for (NodeId li = 1;
+         li < closure.size() && closure.depth[li] == 1; ++li)
+      direct.push_back(li);
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+      for (std::size_t j = i + 1; j < direct.size(); ++j) {
+        const NodeId a = direct[i], b = direct[j];
+        if (closure.local.has_edge(a, b)) continue;
+        const Weight d =
+            overlay.peer_delay(closure.nodes[a], closure.nodes[b]);
+        closure.local.add_edge(a, b, d > 0 ? d : 1e-6);
+        closure.probed_pairs.emplace_back(a, b);
+      }
+    }
+  }
+  return closure;
+}
+
+}  // namespace ace

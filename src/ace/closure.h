@@ -1,0 +1,68 @@
+// h-neighbor closures (paper §3.4): the set of peers within h overlay hops
+// of a source, together with the mini-topology the source learns about them
+// from propagated cost tables. With depth h the source holds the cost table
+// of every closure member, so it knows every overlay edge whose both
+// endpoints lie inside the closure — the induced subgraph.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "overlay/overlay_network.h"
+
+namespace ace {
+
+// What the closure's local graph contains.
+enum class ClosureEdges : std::uint8_t {
+  // Only existing overlay links among closure members (what propagated
+  // cost tables describe).
+  kOverlayOnly,
+  // Overlay links plus probed costs between every pair of the source's
+  // *direct* neighbors (phase 1: "a peer can obtain the cost between any
+  // pair of its logical neighbors"). The probed pairs are recorded so the
+  // engine can charge probe overhead and establish chosen tree edges.
+  kOverlayPlusNeighborProbes,
+};
+
+struct LocalClosure {
+  // Closure members in BFS discovery order; nodes[0] is the source.
+  std::vector<PeerId> nodes;
+  // Overlay hop depth of each member (aligned with `nodes`).
+  std::vector<std::uint32_t> depth;
+  // Cumulative link cost along the BFS discovery path source -> member
+  // (aligned with `nodes`). This is the distance a member's cost table
+  // travels to reach the source, so it prices the h-hop table propagation.
+  std::vector<Weight> path_cost;
+  // Local graph over the members; local node i corresponds to nodes[i].
+  // Edge weights are overlay link costs (and probed pair costs when
+  // requested).
+  Graph local;
+  // Reverse map: global peer id -> local index.
+  std::unordered_map<PeerId, NodeId> local_index;
+  // Local-id pairs that exist only as probed costs, not as overlay links
+  // (empty under ClosureEdges::kOverlayOnly). Sorted pairs (a < b).
+  std::vector<std::pair<NodeId, NodeId>> probed_pairs;
+
+  bool is_probed_pair(NodeId a, NodeId b) const;
+
+  std::size_t size() const noexcept { return nodes.size(); }
+  PeerId to_global(NodeId local_id) const { return nodes.at(local_id); }
+  // kInvalidNode when the peer is outside the closure.
+  NodeId to_local(PeerId peer) const;
+
+  // Total table entries a source must receive to know this closure: the
+  // sum of member degrees (each member's full neighbor cost table). Used
+  // for the information-exchange overhead model.
+  std::size_t table_entries() const;
+};
+
+// Builds the h-neighbor closure of `source` over the current overlay.
+// h == 0 yields just the source; h == 1 is the paper's default ACE scope
+// (source + direct neighbors).
+LocalClosure build_closure(const OverlayNetwork& overlay, PeerId source,
+                           std::uint32_t h,
+                           ClosureEdges edges = ClosureEdges::kOverlayOnly);
+
+}  // namespace ace

@@ -1,0 +1,89 @@
+#include "ace/cost_table.h"
+
+#include <stdexcept>
+
+#include "graph/shortest_path.h"
+
+namespace ace {
+
+void NeighborCostTable::record(PeerId neighbor, Weight cost) {
+  for (auto& e : entries_) {
+    if (e.neighbor == neighbor) {
+      e.cost = cost;
+      return;
+    }
+  }
+  entries_.push_back({neighbor, cost});
+}
+
+bool NeighborCostTable::contains(PeerId neighbor) const {
+  for (const auto& e : entries_)
+    if (e.neighbor == neighbor) return true;
+  return false;
+}
+
+Weight NeighborCostTable::cost_to(PeerId neighbor) const {
+  for (const auto& e : entries_)
+    if (e.neighbor == neighbor) return e.cost;
+  throw std::out_of_range{"NeighborCostTable: neighbor not recorded"};
+}
+
+void ProbeOverhead::merge(const ProbeOverhead& other) noexcept {
+  probes += other.probes;
+  probe_traffic += other.probe_traffic;
+  exchanges += other.exchanges;
+  exchange_traffic += other.exchange_traffic;
+}
+
+CostTableStore::CostTableStore(const MessageSizing& sizing)
+    : sizing_{sizing} {}
+
+void CostTableStore::ensure_size(std::size_t peers) {
+  if (tables_.size() < peers) tables_.resize(peers);
+}
+
+void CostTableStore::refresh_peer(const OverlayNetwork& overlay, PeerId peer,
+                                  ProbeOverhead& overhead) {
+  ensure_size(overlay.peer_count());
+  NeighborCostTable& table = tables_[peer];
+  table.clear();
+  const double probe_size = size_factor(sizing_, MessageType::kProbe) +
+                            size_factor(sizing_, MessageType::kProbeReply);
+  for (const auto& n : overlay.neighbors(peer)) {
+    table.record(n.node, n.weight);
+    ++overhead.probes;
+    overhead.probe_traffic += probe_size * n.weight;
+  }
+}
+
+void CostTableStore::charge_exchange(const OverlayNetwork& overlay,
+                                     PeerId peer,
+                                     ProbeOverhead& overhead) const {
+  if (peer >= tables_.size()) return;
+  const std::size_t entries = tables_[peer].size();
+  const double msg = size_factor(sizing_, MessageType::kCostTable, entries);
+  for (const auto& n : overlay.neighbors(peer)) {
+    ++overhead.exchanges;
+    overhead.exchange_traffic += msg * n.weight;
+  }
+}
+
+const NeighborCostTable& CostTableStore::table(PeerId peer) const {
+  if (peer >= tables_.size())
+    throw std::out_of_range{"CostTableStore: peer out of range"};
+  return tables_[peer];
+}
+
+NeighborCostTable& CostTableStore::table(PeerId peer) {
+  if (peer >= tables_.size())
+    throw std::out_of_range{"CostTableStore: peer out of range"};
+  return tables_[peer];
+}
+
+Weight CostTableStore::known_cost(PeerId a, PeerId b) const {
+  if (a < tables_.size() && tables_[a].contains(b)) return tables_[a].cost_to(b);
+  if (b < tables_.size() && tables_[b].contains(a)) return tables_[b].cost_to(a);
+  return kUnreachable;
+}
+
+}  // namespace ace

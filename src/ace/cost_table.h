@@ -1,0 +1,82 @@
+// ACE phase 1: neighbor cost tables. Each peer probes the network delay to
+// its immediate logical neighbors and records the results; neighboring
+// peers exchange their tables so a peer learns the cost between any pair of
+// its own neighbors. In simulation the probed value is the physical
+// shortest-path delay, and every probe/exchange is charged to the overhead
+// account (that overhead is exactly what Figures 12-16 trade off against
+// query-traffic savings).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "overlay/overlay_network.h"
+#include "proto/message.h"
+
+namespace ace {
+
+struct CostEntry {
+  PeerId neighbor = kInvalidPeer;
+  Weight cost = 0;
+};
+
+// One peer's neighbor cost table.
+class NeighborCostTable {
+ public:
+  void clear() { entries_.clear(); }
+  void record(PeerId neighbor, Weight cost);
+  bool contains(PeerId neighbor) const;
+  // Throws std::out_of_range when absent.
+  Weight cost_to(PeerId neighbor) const;
+  std::size_t size() const noexcept { return entries_.size(); }
+  const std::vector<CostEntry>& entries() const noexcept { return entries_; }
+
+ private:
+  std::vector<CostEntry> entries_;
+};
+
+// Overhead charged while refreshing cost information; aggregated per round.
+struct ProbeOverhead {
+  std::size_t probes = 0;       // PROBE/PROBE_REPLY exchanges
+  double probe_traffic = 0;     // size x delay units
+  std::size_t exchanges = 0;    // COST_TABLE messages
+  double exchange_traffic = 0;  // size x delay units
+
+  double total() const noexcept { return probe_traffic + exchange_traffic; }
+  void merge(const ProbeOverhead& other) noexcept;
+};
+
+// Store of every peer's table, refreshed from the overlay. Probing a
+// neighbor costs one PROBE + PROBE_REPLY over the link; a table exchange
+// costs one COST_TABLE message (size proportional to entries) per neighbor.
+class CostTableStore {
+ public:
+  explicit CostTableStore(const MessageSizing& sizing = {});
+
+  void ensure_size(std::size_t peers);
+
+  // Re-probes all of `peer`'s current neighbors, replacing its table, and
+  // charges probe overhead.
+  void refresh_peer(const OverlayNetwork& overlay, PeerId peer,
+                    ProbeOverhead& overhead);
+
+  // Charges the phase-1 table-exchange overhead for `peer`: its table is
+  // sent to each of its neighbors (the paper's periodic exchange).
+  void charge_exchange(const OverlayNetwork& overlay, PeerId peer,
+                       ProbeOverhead& overhead) const;
+
+  const NeighborCostTable& table(PeerId peer) const;
+  NeighborCostTable& table(PeerId peer);
+
+  // Cost between two peers as known from the stored tables: a's table is
+  // consulted first, then b's (tables are symmetric in steady state but can
+  // drift under churn). Returns kUnreachable when neither knows.
+  Weight known_cost(PeerId a, PeerId b) const;
+
+ private:
+  MessageSizing sizing_;
+  std::vector<NeighborCostTable> tables_;
+};
+
+}  // namespace ace

@@ -1,0 +1,251 @@
+#include "ace/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ace {
+
+void RoundReport::merge(const RoundReport& other) noexcept {
+  phase1.merge(other.phase1);
+  closure_traffic += other.closure_traffic;
+  closure_entries += other.closure_entries;
+  pair_probes += other.pair_probes;
+  pair_probe_traffic += other.pair_probe_traffic;
+  establishments += other.establishments;
+  establish_traffic += other.establish_traffic;
+  refills += other.refills;
+  phase3.merge(other.phase3);
+  peers_stepped += other.peers_stepped;
+}
+
+AceEngine::AceEngine(OverlayNetwork& overlay, AceConfig config)
+    : overlay_{&overlay},
+      config_{config},
+      optimizer_{[&] {
+        OptimizerConfig opt = config.optimizer;
+        opt.sizing = config.sizing;
+        const auto mean_degree = static_cast<std::size_t>(
+            std::ceil(overlay.mean_online_degree()));
+        if (config.max_degree > 0) {
+          opt.max_degree = config.max_degree;
+        } else if (opt.max_degree == 0) {
+          opt.max_degree = mean_degree + config.degree_slack;
+        }
+        // Degree floor: repeated replacements by *other* peers must not
+        // strip a peer bare — keep everyone at half the connectivity
+        // density (at least 2), preserving the search scope.
+        if (opt.min_degree <= 1)
+          opt.min_degree = std::max<std::size_t>(2, mean_degree / 2);
+        return opt;
+      }()},
+      tables_{config.sizing} {
+  tables_.ensure_size(overlay.peer_count());
+  forwarding_.ensure_size(overlay.peer_count());
+  target_degree_ = static_cast<std::size_t>(
+      std::lround(overlay.mean_online_degree()));
+}
+
+void AceEngine::charge_closure(PeerId peer, const LocalClosure& closure,
+                               RoundReport& report) const {
+  // Account the table entries the source works with either way.
+  std::uint32_t max_depth = 0;
+  for (NodeId li = 1; li < closure.size(); ++li) {
+    report.closure_entries += overlay_->degree(closure.nodes[li]);
+    max_depth = std::max(max_depth, closure.depth[li]);
+  }
+  if (max_depth <= 1) return;  // h == 1 is covered by the phase-1 exchange
+
+  if (config_.overhead_model == OverheadModel::kFullPropagation) {
+    // Worst case: every member's full table travels its BFS path to the
+    // source each round. Depth-1 members are already paid for in phase 1.
+    for (NodeId li = 1; li < closure.size(); ++li) {
+      if (closure.depth[li] <= 1) continue;
+      const std::size_t entries = overlay_->degree(closure.nodes[li]);
+      const double msg =
+          size_factor(config_.sizing, MessageType::kCostTable, entries);
+      report.closure_traffic += msg * closure.path_cost[li];
+    }
+    return;
+  }
+
+  // Bounded digest: each additional closure level costs one more digest
+  // exchange with the direct neighbors. In steady state the digest carries
+  // only *changed* entries, so it is priced at the base table message
+  // (aggregation + change suppression bound its size). Levels past where
+  // the closure stopped growing (max_depth) carry nothing.
+  double one_exchange = 0;
+  const double msg = size_factor(config_.sizing, MessageType::kCostTable, 0);
+  for (const auto& n : overlay_->neighbors(peer)) one_exchange += msg * n.weight;
+  report.closure_traffic += static_cast<double>(max_depth - 1) * one_exchange;
+}
+
+LocalTree AceEngine::refresh_peer_tree(PeerId peer, RoundReport& report) {
+  // Phase 1: probe direct neighbors, exchange tables.
+  tables_.ensure_size(overlay_->peer_count());
+  forwarding_.ensure_size(overlay_->peer_count());
+  tables_.refresh_peer(*overlay_, peer, report.phase1);
+  tables_.charge_exchange(*overlay_, peer, report.phase1);
+
+  // Closure assembly (+ pairwise neighbor probes) and the phase-2 tree.
+  const ClosureEdges edges = config_.pairwise_neighbor_probes
+                                 ? ClosureEdges::kOverlayPlusNeighborProbes
+                                 : ClosureEdges::kOverlayOnly;
+  LocalClosure closure =
+      build_closure(*overlay_, peer, config_.closure_depth, edges);
+  charge_closure(peer, closure, report);
+  const double pair_probe_size =
+      size_factor(config_.sizing, MessageType::kProbe) +
+      size_factor(config_.sizing, MessageType::kProbeReply);
+  for (const auto& [a, b] : closure.probed_pairs) {
+    ++report.pair_probes;
+    report.pair_probe_traffic +=
+        pair_probe_size * *closure.local.edge_weight(a, b);
+  }
+
+  LocalTree tree = build_local_tree(closure, config_.tree_kind);
+
+  // Connection establishment: realize tree edges that were only probed
+  // costs. The new links make the expected neighbor-to-neighbor forwarding
+  // possible (and are physically short by construction).
+  if (config_.establish_tree_links && !tree.virtual_edges.empty()) {
+    const double connect_size =
+        size_factor(config_.sizing, MessageType::kConnect);
+    bool changed = false;
+    std::size_t established = 0;
+    for (const Edge& e : tree.virtual_edges) {
+      if (config_.max_establish_per_step != 0 &&
+          established >= config_.max_establish_per_step)
+        break;
+      const auto u = static_cast<PeerId>(e.u);
+      const auto v = static_cast<PeerId>(e.v);
+      // Peers refuse connections beyond their hard capacity (2x the trim
+      // ceiling — see Phase3Optimizer::consider_candidate on why central
+      // hubs get headroom).
+      const std::size_t ceiling = 2 * optimizer_.config().max_degree;
+      if (ceiling != 0 && (overlay_->degree(u) >= ceiling ||
+                           overlay_->degree(v) >= ceiling))
+        continue;
+      if (overlay_->connect(u, v)) {
+        ++established;
+        ++report.establishments;
+        report.establish_traffic += connect_size * e.weight;
+        forwarding_.invalidate(u);
+        forwarding_.invalidate(v);
+        changed = true;
+      }
+    }
+    if (changed) {
+      // The new links change the local topology; rebuild so the flooding
+      // classification reflects what is now real.
+      closure = build_closure(*overlay_, peer, config_.closure_depth, edges);
+      tree = build_local_tree(closure, config_.tree_kind);
+    }
+  }
+
+  forwarding_.set_tree(peer, make_tree_routing(tree, peer));
+  return tree;
+}
+
+void AceEngine::step_peer(PeerId peer, Rng& rng, RoundReport& report) {
+  if (!overlay_->is_online(peer)) return;
+  ++report.peers_stepped;
+
+  const LocalTree tree = refresh_peer_tree(peer, report);
+
+  // Phase 3: adaptive connection replacement.
+  ++steps_;
+  if (config_.phase3_every <= 1 || steps_ % config_.phase3_every == 0) {
+    std::vector<PeerId> touched;
+    const OptimizeOutcome outcome = optimizer_.optimize_peer(
+        *overlay_, peer, tree.non_flooding, rng, touched);
+    report.phase3.merge(outcome);
+    // Any peer whose neighbor set changed has a stale tree; peers rebuild
+    // on their own next step, but mark entries invalid so tree routing
+    // falls back to flooding instead of using a wrong tree.
+    for (const PeerId q : touched) forwarding_.invalidate(q);
+
+    // Connectivity-density maintenance: a Gnutella client below its target
+    // connection count opens fresh connections from its host cache
+    // (modeled as random online peers). Keeps the paper's C constant.
+    bool refilled = false;
+    if (config_.maintain_degree && overlay_->online_count() > 1) {
+      const double connect_size =
+          size_factor(config_.sizing, MessageType::kConnect);
+      std::size_t guard = 0;
+      while (overlay_->degree(peer) < target_degree_ && guard++ < 20) {
+        const PeerId q = overlay_->random_online_peer(rng, peer);
+        if (overlay_->connect(peer, q)) {
+          ++report.refills;
+          report.establish_traffic +=
+              connect_size * overlay_->link_cost(peer, q);
+          forwarding_.invalidate(q);
+          refilled = true;
+        }
+      }
+    }
+
+    if (!touched.empty() || refilled) {
+      // The stepping peer can rebuild immediately (it has fresh tables);
+      // this pass charges no additional probe overhead.
+      const ClosureEdges edges =
+          config_.pairwise_neighbor_probes
+              ? ClosureEdges::kOverlayPlusNeighborProbes
+              : ClosureEdges::kOverlayOnly;
+      const LocalClosure updated =
+          build_closure(*overlay_, peer, config_.closure_depth, edges);
+      const LocalTree fresh = build_local_tree(updated, config_.tree_kind);
+      forwarding_.set_tree(peer, make_tree_routing(fresh, peer));
+    }
+  }
+}
+
+RoundReport AceEngine::step_round(Rng& rng) {
+  RoundReport report;
+  std::vector<PeerId> order = overlay_->online_peers();
+  rng.shuffle(std::span<PeerId>{order});
+  for (const PeerId p : order) step_peer(p, rng, report);
+  lifetime_.merge(report);
+  return report;
+}
+
+RoundReport AceEngine::rebuild_all_trees(Rng& rng) {
+  (void)rng;
+  RoundReport report;
+  for (const PeerId p : overlay_->online_peers()) {
+    ++report.peers_stepped;
+    refresh_peer_tree(p, report);
+  }
+  // Establishment invalidates entries of peers refreshed earlier in the
+  // pass; fix them up so every online peer leaves with a valid tree (no
+  // extra overhead charged: the tables are already paid for this round).
+  const ClosureEdges edges = config_.pairwise_neighbor_probes
+                                 ? ClosureEdges::kOverlayPlusNeighborProbes
+                                 : ClosureEdges::kOverlayOnly;
+  for (const PeerId p : overlay_->online_peers()) {
+    if (forwarding_.has_entry(p)) continue;
+    const LocalClosure closure =
+        build_closure(*overlay_, p, config_.closure_depth, edges);
+    forwarding_.set_tree(
+        p, make_tree_routing(build_local_tree(closure, config_.tree_kind), p));
+  }
+  lifetime_.merge(report);
+  return report;
+}
+
+void AceEngine::on_peer_join(PeerId peer) {
+  forwarding_.ensure_size(overlay_->peer_count());
+  tables_.ensure_size(overlay_->peer_count());
+  forwarding_.invalidate(peer);
+  // Its new neighbors' trees are stale too.
+  for (const auto& n : overlay_->neighbors(peer))
+    forwarding_.invalidate(n.node);
+}
+
+void AceEngine::on_peer_leave(PeerId peer,
+                              std::span<const PeerId> former_neighbors) {
+  forwarding_.ensure_size(overlay_->peer_count());
+  forwarding_.invalidate(peer);
+  for (const PeerId q : former_neighbors) forwarding_.invalidate(q);
+}
+
+}  // namespace ace

@@ -1,0 +1,144 @@
+// AceEngine: orchestrates the three ACE phases for every peer and accounts
+// all optimization overhead. This is the library's primary public entry
+// point together with ace/p2p_lab.h.
+//
+// Per peer step (the unit a live peer runs twice a minute in the paper's
+// dynamic experiments):
+//   phase 1 - probe direct neighbors, exchange cost tables (overhead);
+//   ...       propagate tables h hops to assemble the h-neighbor closure
+//             (overhead grows with h and the connectivity density C);
+//   phase 2 - Prim MST over the closure; classify flooding/non-flooding
+//             neighbors and install the flooding set in the forwarding
+//             table used by tree-routed search;
+//   phase 3 - adaptive connection replacement (Phase3Optimizer).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ace/closure.h"
+#include "ace/cost_table.h"
+#include "ace/optimizer.h"
+#include "ace/tree_builder.h"
+#include "search/flooding.h"
+
+namespace ace {
+
+// How the h-hop table-propagation overhead is priced (DESIGN.md §3).
+enum class OverheadModel : std::uint8_t {
+  // Each extra closure level costs one more digest exchange with direct
+  // neighbors (aggregation + change-suppression bound the digest to one
+  // table): overhead grows ~linearly in h and saturates when the closure
+  // stops growing. This matches the paper's Figure 12-16 shapes and is the
+  // default.
+  kBoundedDigest,
+  // Every closure member's full table is shipped along its BFS path to the
+  // source each round: a worst-case accounting that grows with the closure
+  // size (ablation: bench_ablation_overhead).
+  kFullPropagation,
+};
+
+struct AceConfig {
+  // Closure depth h (paper default 1; Figures 11-16 sweep 1..8).
+  std::uint32_t closure_depth = 1;
+  OverheadModel overhead_model = OverheadModel::kBoundedDigest;
+  TreeKind tree_kind = TreeKind::kMinimumSpanning;
+  // Phase 1 per the paper: the source knows the cost between ANY pair of
+  // its direct neighbors (pairwise probes), so the local MST ranges over
+  // the complete neighbor cost graph, not just existing overlay links.
+  bool pairwise_neighbor_probes = true;
+  // Realize MST edges between unconnected neighbor pairs as actual overlay
+  // connections (the "Connection Establishment" in ACE): the source expects
+  // neighbor B to forward its query to neighbor C, which needs a B-C link.
+  bool establish_tree_links = true;
+  // At most this many new links per peer step (smooths the initial
+  // transient; 0 = unlimited).
+  std::size_t max_establish_per_step = 2;
+  // Optional: after each step a peer below the overlay's initial mean
+  // degree reconnects to random online peers (Gnutella's keep-N-connections
+  // behaviour). Off by default: the constant stream of fresh random
+  // long-haul links fights the optimizer and models a *different* client
+  // policy; the dynamic experiments already get this effect from churn
+  // joins. Ablated in bench_ablation_policy.
+  bool maintain_degree = false;
+  OptimizerConfig optimizer{};
+  MessageSizing sizing{};
+  // When > 0 overrides optimizer.max_degree; when 0 the engine derives the
+  // trim ceiling from the overlay's mean degree at construction (+slack).
+  std::size_t max_degree = 0;
+  std::size_t degree_slack = 2;
+  // Phase 3 runs only every `phase3_every` steps (1 = every step).
+  std::size_t phase3_every = 1;
+};
+
+// Everything one optimization round cost and changed.
+struct RoundReport {
+  ProbeOverhead phase1;           // neighbor probes + 1-hop table exchange
+  double closure_traffic = 0;     // h-hop table propagation (size x delay)
+  std::size_t closure_entries = 0;
+  std::size_t pair_probes = 0;    // neighbor-pair cost probes
+  double pair_probe_traffic = 0;
+  std::size_t establishments = 0; // new links created to realize trees
+  double establish_traffic = 0;   // CONNECT handshakes
+  std::size_t refills = 0;        // random links re-opened to hold degree
+  OptimizeOutcome phase3;
+  std::size_t peers_stepped = 0;
+
+  // Total overhead traffic in the same units as query traffic cost.
+  double total_overhead() const noexcept {
+    return phase1.total() + closure_traffic + pair_probe_traffic +
+           establish_traffic + phase3.probe_traffic;
+  }
+  void merge(const RoundReport& other) noexcept;
+};
+
+class AceEngine {
+ public:
+  // `overlay` must outlive the engine.
+  AceEngine(OverlayNetwork& overlay, AceConfig config);
+
+  const AceConfig& config() const noexcept { return config_; }
+  const ForwardingTable& forwarding() const noexcept { return forwarding_; }
+
+  // Runs one full ACE step (phases 1-3) for a single peer.
+  void step_peer(PeerId peer, Rng& rng, RoundReport& report);
+
+  // One synchronized round: every online peer steps once, in random order
+  // (the algorithm is fully distributed; random order avoids an artificial
+  // global schedule). Returns the aggregated report.
+  RoundReport step_round(Rng& rng);
+
+  // Phase 1+2 only, for every online peer: refresh trees without mutating
+  // the topology (used to initialize tree routing before measurement).
+  RoundReport rebuild_all_trees(Rng& rng);
+
+  // Churn hooks: drop stale forwarding state.
+  void on_peer_join(PeerId peer);
+  void on_peer_leave(PeerId peer, std::span<const PeerId> former_neighbors);
+
+  // Cumulative overhead across all steps so far.
+  const RoundReport& lifetime_report() const noexcept { return lifetime_; }
+
+ private:
+  // Charges the h-hop table-propagation overhead for `peer`'s closure
+  // under the configured OverheadModel.
+  void charge_closure(PeerId peer, const LocalClosure& closure,
+                      RoundReport& report) const;
+
+  // Phases 1-2 for one peer: probe, build closure + tree, establish
+  // recommended links, install the flooding set. Returns the tree so
+  // step_peer can feed phase 3.
+  LocalTree refresh_peer_tree(PeerId peer, RoundReport& report);
+
+  OverlayNetwork* overlay_;
+  AceConfig config_;
+  Phase3Optimizer optimizer_;
+  CostTableStore tables_;
+  ForwardingTable forwarding_;
+  RoundReport lifetime_;
+  std::size_t steps_ = 0;
+  // Connectivity-density target (initial online mean degree, rounded).
+  std::size_t target_degree_ = 0;
+};
+
+}  // namespace ace

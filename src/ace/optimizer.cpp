@@ -1,0 +1,220 @@
+#include "ace/optimizer.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace ace {
+
+const char* replacement_policy_name(ReplacementPolicy policy) noexcept {
+  switch (policy) {
+    case ReplacementPolicy::kRandom:
+      return "random";
+    case ReplacementPolicy::kNaive:
+      return "naive";
+    case ReplacementPolicy::kClosest:
+      return "closest";
+  }
+  return "?";
+}
+
+void OptimizeOutcome::merge(const OptimizeOutcome& other) noexcept {
+  probes += other.probes;
+  probe_traffic += other.probe_traffic;
+  cuts += other.cuts;
+  adds += other.adds;
+  trims += other.trims;
+}
+
+Phase3Optimizer::Phase3Optimizer(OptimizerConfig config) : config_{config} {
+  if (config_.replacements_per_round == 0)
+    throw std::invalid_argument{
+        "Phase3Optimizer: replacements_per_round must be > 0"};
+}
+
+Weight Phase3Optimizer::probe(const OverlayNetwork& overlay, PeerId a,
+                              PeerId b, OptimizeOutcome& outcome) const {
+  const Weight delay = overlay.peer_delay(a, b);
+  ++outcome.probes;
+  outcome.probe_traffic +=
+      (size_factor(config_.sizing, MessageType::kProbe) +
+       size_factor(config_.sizing, MessageType::kProbeReply)) *
+      delay;
+  return delay;
+}
+
+namespace {
+
+// Candidates for replacing non-flooding neighbor b of `peer`: b's current
+// neighbors, excluding peer itself and peers already adjacent to `peer`.
+std::vector<PeerId> candidate_list(const OverlayNetwork& overlay, PeerId peer,
+                                   PeerId b) {
+  std::vector<PeerId> out;
+  for (const auto& n : overlay.neighbors(b)) {
+    if (n.node == peer) continue;
+    if (overlay.are_connected(peer, n.node)) continue;
+    out.push_back(n.node);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool Phase3Optimizer::consider_candidate(OverlayNetwork& overlay, PeerId peer,
+                                         PeerId b, PeerId candidate,
+                                         Weight candidate_cost,
+                                         OptimizeOutcome& outcome,
+                                         std::vector<PeerId>& touched) const {
+  if (!overlay.are_connected(peer, b)) return false;  // raced with a cut
+  // A candidate refuses links at its hard capacity. This is deliberately
+  // twice the trim ceiling: physically central peers naturally attract
+  // links and serve as the overlay's long-range relays (their links are
+  // tree links, so the trim rule leaves them alone); refusing them early
+  // would destroy the shortcuts that keep response times low.
+  if (config_.max_degree != 0 &&
+      overlay.degree(candidate) >= 2 * config_.max_degree)
+    return false;
+  const Weight cost_pb = overlay.link_cost(peer, b);
+  if (candidate_cost < cost_pb) {
+    // Fig 4(b): H is closer than B -> replace, unless the cut would strand B.
+    const bool can_cut = overlay.degree(b) > config_.min_degree;
+    // When the cut is blocked the add has no paired removal; refuse it at
+    // the hard capacity.
+    if (!can_cut && config_.max_degree != 0 &&
+        overlay.degree(peer) >= 2 * config_.max_degree)
+      return false;
+    if (overlay.connect(peer, candidate)) {
+      ++outcome.adds;
+      touched.push_back(candidate);
+      if (can_cut && overlay.disconnect(peer, b)) {
+        ++outcome.cuts;
+        touched.push_back(b);
+      }
+      touched.push_back(peer);
+      return true;
+    }
+    return false;
+  }
+  // Fig 4(c): B is closer than H, but P-H is still shorter than B-H, so the
+  // P-H link is globally useful; keep both (B's own phase 3 cleans up B-H).
+  // Skipped at the hard capacity — the add has no paired cut.
+  if (config_.keep_rule &&
+      (config_.max_degree == 0 ||
+       overlay.degree(peer) < 2 * config_.max_degree)) {
+    const auto cost_bh = overlay.link_cost(b, candidate);
+    if (candidate_cost < cost_bh) {
+      if (overlay.connect(peer, candidate)) {
+        ++outcome.adds;
+        touched.push_back(candidate);
+        touched.push_back(peer);
+        return true;
+      }
+    }
+  }
+  // Fig 4(d): nothing gained; caller probes the next candidate.
+  return false;
+}
+
+void Phase3Optimizer::trim_excess(OverlayNetwork& overlay, PeerId peer,
+                                  std::span<const PeerId> non_flooding,
+                                  OptimizeOutcome& outcome,
+                                  std::vector<PeerId>& touched) const {
+  if (config_.max_degree == 0) return;
+  while (overlay.degree(peer) > config_.max_degree) {
+    // Cut the most expensive *non-flooding* link (redundant for the local
+    // tree, so the search scope survives); stop when none remains.
+    PeerId victim = kInvalidPeer;
+    Weight worst = -1;
+    for (const PeerId q : non_flooding) {
+      if (!overlay.are_connected(peer, q)) continue;
+      if (overlay.degree(q) <= config_.min_degree) continue;
+      const Weight c = overlay.link_cost(peer, q);
+      if (c > worst) {
+        worst = c;
+        victim = q;
+      }
+    }
+    if (victim == kInvalidPeer) return;
+    overlay.disconnect(peer, victim);
+    ++outcome.trims;
+    touched.push_back(victim);
+    touched.push_back(peer);
+  }
+}
+
+OptimizeOutcome Phase3Optimizer::optimize_peer(
+    OverlayNetwork& overlay, PeerId peer,
+    std::span<const PeerId> non_flooding, Rng& rng,
+    std::vector<PeerId>& touched) {
+  OptimizeOutcome outcome;
+  if (!overlay.is_online(peer)) return outcome;
+
+  if (config_.policy == ReplacementPolicy::kNaive) {
+    // Naive policy (paper's conclusion): disconnect the most expensive
+    // neighbor outright if any neighbor-of-neighbor probes cheaper.
+    for (std::size_t round = 0; round < config_.replacements_per_round;
+         ++round) {
+      PeerId worst = kInvalidPeer;
+      Weight worst_cost = -1;
+      for (const auto& n : overlay.neighbors(peer)) {
+        if (n.weight > worst_cost && overlay.degree(n.node) > config_.min_degree) {
+          worst_cost = n.weight;
+          worst = n.node;
+        }
+      }
+      if (worst == kInvalidPeer) break;
+      const auto candidates = candidate_list(overlay, peer, worst);
+      if (candidates.empty()) break;
+      const PeerId pick =
+          candidates[rng.next_below(candidates.size())];
+      const Weight c = probe(overlay, peer, pick, outcome);
+      if (c < worst_cost) {
+        if (overlay.connect(peer, pick)) {
+          ++outcome.adds;
+          overlay.disconnect(peer, worst);
+          ++outcome.cuts;
+          touched.push_back(pick);
+          touched.push_back(worst);
+          touched.push_back(peer);
+        }
+      }
+    }
+    trim_excess(overlay, peer, non_flooding, outcome, touched);
+    return outcome;
+  }
+
+  // Random / closest policies walk the non-flooding neighbors.
+  std::vector<PeerId> order(non_flooding.begin(), non_flooding.end());
+  rng.shuffle(std::span<PeerId>{order});
+  std::size_t examined = 0;
+  for (const PeerId b : order) {
+    if (examined >= config_.replacements_per_round) break;
+    if (!overlay.are_connected(peer, b)) continue;  // stale classification
+    const auto candidates = candidate_list(overlay, peer, b);
+    if (candidates.empty()) continue;
+    ++examined;
+
+    if (config_.policy == ReplacementPolicy::kRandom) {
+      const PeerId pick = candidates[rng.next_below(candidates.size())];
+      const Weight c = probe(overlay, peer, pick, outcome);
+      consider_candidate(overlay, peer, b, pick, c, outcome, touched);
+    } else {  // kClosest: probe everything, act on the minimum
+      PeerId best = kInvalidPeer;
+      Weight best_cost = std::numeric_limits<Weight>::infinity();
+      for (const PeerId candidate : candidates) {
+        const Weight c = probe(overlay, peer, candidate, outcome);
+        if (c < best_cost) {
+          best_cost = c;
+          best = candidate;
+        }
+      }
+      if (best != kInvalidPeer)
+        consider_candidate(overlay, peer, b, best, best_cost, outcome,
+                           touched);
+    }
+  }
+  trim_excess(overlay, peer, non_flooding, outcome, touched);
+  return outcome;
+}
+
+}  // namespace ace

@@ -1,0 +1,95 @@
+// ACE phase 3: adaptive connection replacement. A peer P examines a
+// non-flooding neighbor B and probes one of B's neighbors H (the candidate
+// selection policy is pluggable — the paper uses random and sketches naive
+// and closest in its conclusion):
+//
+//   cost(P,H) < cost(P,B)                     -> cut P-B, add P-H   (Fig 4b)
+//   cost(P,H) >= cost(P,B), cost(P,H) < cost(B,H) -> add P-H, keep P-B (Fig 4c)
+//   otherwise                                 -> probe another candidate (4d)
+//
+// A later round cleans up the temporarily-kept expensive link: when a
+// peer's degree exceeds its target, the most expensive non-flooding link is
+// trimmed (the paper's deferred "A will cut A-B" step, realized without
+// per-pair bookkeeping; DESIGN.md §6 ablates this rule).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "overlay/overlay_network.h"
+#include "proto/message.h"
+#include "util/rng.h"
+
+namespace ace {
+
+enum class ReplacementPolicy : std::uint8_t {
+  kRandom,   // probe one random candidate per non-flooding neighbor (paper)
+  kNaive,    // cut own most expensive link, probe for anything cheaper
+  kClosest,  // probe every candidate, take the minimum
+};
+
+const char* replacement_policy_name(ReplacementPolicy policy) noexcept;
+
+struct OptimizerConfig {
+  ReplacementPolicy policy = ReplacementPolicy::kRandom;
+  // Non-flooding neighbors examined per peer per round.
+  std::size_t replacements_per_round = 2;
+  MessageSizing sizing{};
+  // Never cut a link that would leave either endpoint below this degree
+  // (keeps degenerate topologies connected; churn repair enforces the rest).
+  std::size_t min_degree = 1;
+  // Degree ceiling for the trim rule; 0 disables trimming.
+  std::size_t max_degree = 0;
+  // Apply the Fig 4c "add H but keep B" rule. Disabled = aggressive mode
+  // that only ever replaces (ablation knob).
+  bool keep_rule = true;
+};
+
+struct OptimizeOutcome {
+  std::size_t probes = 0;
+  double probe_traffic = 0;  // size x delay units
+  std::size_t cuts = 0;
+  std::size_t adds = 0;
+  std::size_t trims = 0;
+
+  void merge(const OptimizeOutcome& other) noexcept;
+};
+
+class Phase3Optimizer {
+ public:
+  explicit Phase3Optimizer(OptimizerConfig config);
+
+  const OptimizerConfig& config() const noexcept { return config_; }
+  void set_max_degree(std::size_t max_degree) noexcept {
+    config_.max_degree = max_degree;
+  }
+
+  // Runs phase 3 for `peer`, whose current non-flooding classification is
+  // supplied by the engine. Mutates the overlay. Returns what happened so
+  // the engine can invalidate forwarding entries and account overhead.
+  // `touched` receives the ids of peers whose neighbor lists changed.
+  OptimizeOutcome optimize_peer(OverlayNetwork& overlay, PeerId peer,
+                                std::span<const PeerId> non_flooding, Rng& rng,
+                                std::vector<PeerId>& touched);
+
+ private:
+  // Probes the candidate, charging overhead; returns the measured cost.
+  Weight probe(const OverlayNetwork& overlay, PeerId a, PeerId b,
+               OptimizeOutcome& outcome) const;
+
+  // Applies the replacement rules for candidate h against non-flooding
+  // neighbor b. Returns true when the overlay changed.
+  bool consider_candidate(OverlayNetwork& overlay, PeerId peer, PeerId b,
+                          PeerId candidate, Weight candidate_cost,
+                          OptimizeOutcome& outcome,
+                          std::vector<PeerId>& touched) const;
+
+  void trim_excess(OverlayNetwork& overlay, PeerId peer,
+                   std::span<const PeerId> non_flooding,
+                   OptimizeOutcome& outcome,
+                   std::vector<PeerId>& touched) const;
+
+  OptimizerConfig config_;
+};
+
+}  // namespace ace

@@ -1,0 +1,39 @@
+// Umbrella header: the library's public API in one include.
+//
+//   #include "ace/p2p_lab.h"
+//
+//   ace::ScenarioConfig cfg;            // physical + overlay + content
+//   ace::Scenario scenario{cfg};        // build the substrate stack
+//   ace::AceEngine engine{scenario.overlay(), ace::AceConfig{}};
+//   engine.step_round(scenario.rng());  // one ACE optimization round
+//   auto stats = scenario.measure(ace::ForwardingMode::kTreeRouting,
+//                                 &engine.forwarding(), 100);
+//
+// See examples/quickstart.cpp for a complete walk-through and DESIGN.md for
+// the module inventory.
+#pragma once
+
+#include "ace/closure.h"
+#include "ace/cost_table.h"
+#include "ace/engine.h"
+#include "ace/optimizer.h"
+#include "ace/tree_builder.h"
+#include "baselines/aoto.h"
+#include "baselines/index_cache.h"
+#include "core/experiment.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/metrics.h"
+#include "graph/shortest_path.h"
+#include "net/physical_network.h"
+#include "overlay/churn.h"
+#include "overlay/overlay_network.h"
+#include "overlay/workload.h"
+#include "proto/message.h"
+#include "search/flooding.h"
+#include "search/metrics.h"
+#include "sim/simulator.h"
+#include "util/options.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"

@@ -1,0 +1,157 @@
+#include "ace/tree_builder.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace ace {
+
+LocalTree build_local_tree(const LocalClosure& closure, TreeKind kind) {
+  if (closure.size() == 0)
+    throw std::invalid_argument{"build_local_tree: empty closure"};
+  LocalTree tree;
+  const PeerId source = closure.nodes[0];
+
+  std::vector<Edge> local_edges;
+  if (kind == TreeKind::kMinimumSpanning) {
+    const MstResult mst = prim_mst(closure.local, 0);
+    local_edges = mst.edges;
+    tree.total_weight = mst.total_weight;
+  } else {
+    const ShortestPathResult spt = dijkstra(closure.local, 0);
+    for (NodeId v = 1; v < closure.local.node_count(); ++v) {
+      if (spt.parent[v] == kInvalidNode) continue;
+      const auto w = closure.local.edge_weight(spt.parent[v], v);
+      local_edges.push_back({spt.parent[v], v, *w});
+      tree.total_weight += *w;
+    }
+  }
+
+  // Map to global ids and find the source's tree-adjacent peers.
+  std::vector<bool> adjacent_to_source(closure.size(), false);
+  tree.edges.reserve(local_edges.size());
+  for (const Edge& e : local_edges) {
+    const Edge global{closure.to_global(e.u), closure.to_global(e.v),
+                      e.weight};
+    tree.edges.push_back(global);
+    if (closure.is_probed_pair(e.u, e.v)) tree.virtual_edges.push_back(global);
+    if (e.u == 0) adjacent_to_source[e.v] = true;
+    if (e.v == 0) adjacent_to_source[e.u] = true;
+  }
+
+  // Classify direct neighbors: the closure's depth-1 members are exactly
+  // the source's logical neighbors.
+  for (NodeId li = 1; li < closure.size(); ++li) {
+    if (closure.depth[li] != 1) continue;
+    const PeerId peer = closure.nodes[li];
+    if (adjacent_to_source[li])
+      tree.flooding.push_back(peer);
+    else if (closure.local.degree(li) == 0 ||
+             closure.to_local(peer) == kInvalidNode)
+      tree.flooding.push_back(peer);  // defensive: isolated in closure
+    else
+      tree.non_flooding.push_back(peer);
+  }
+
+  // Neighbors whose component was disconnected from the source inside the
+  // induced subgraph never appear in the tree; keep them as flooding
+  // targets so the search scope is retained (paper's guarantee).
+  // (prim_mst spans the source's component only.)
+  std::vector<bool> in_tree_component(closure.size(), false);
+  in_tree_component[0] = true;
+  for (const Edge& e : local_edges) {
+    in_tree_component[e.u] = true;
+    in_tree_component[e.v] = true;
+  }
+  for (auto it = tree.non_flooding.begin(); it != tree.non_flooding.end();) {
+    const NodeId li = closure.to_local(*it);
+    if (!in_tree_component[li]) {
+      tree.flooding.push_back(*it);
+      it = tree.non_flooding.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  (void)source;
+  return tree;
+}
+
+TreeRouting make_tree_routing(const LocalTree& tree, PeerId source) {
+  TreeRouting routing;
+  routing.flooding = tree.flooding;
+  if (tree.edges.empty()) return routing;
+
+  // Adjacency over the tree edges, then BFS from the source to orient.
+  std::unordered_map<PeerId, std::vector<PeerId>> adjacency;
+  for (const Edge& e : tree.edges) {
+    adjacency[static_cast<PeerId>(e.u)].push_back(static_cast<PeerId>(e.v));
+    adjacency[static_cast<PeerId>(e.v)].push_back(static_cast<PeerId>(e.u));
+  }
+  std::unordered_map<PeerId, PeerId> parent;
+  parent.emplace(source, kInvalidPeer);
+  std::queue<PeerId> queue;
+  queue.push(source);
+  while (!queue.empty()) {
+    const PeerId u = queue.front();
+    queue.pop();
+    const auto it = adjacency.find(u);
+    if (it == adjacency.end()) continue;
+    for (const PeerId v : it->second) {
+      if (parent.contains(v)) continue;
+      parent.emplace(v, u);
+      routing.children[u].push_back(v);
+      queue.push(v);
+    }
+  }
+  return routing;
+}
+
+namespace {
+struct Tx {
+  double at;
+  PeerId to, from;
+  std::uint64_t seq;
+  friend bool operator>(const Tx& a, const Tx& b) {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+};
+}  // namespace
+
+std::vector<TreeWalkStep> walk_query_over_trees(
+    const OverlayNetwork& overlay,
+    const std::vector<std::vector<PeerId>>& flooding_sets, PeerId source) {
+  if (source >= flooding_sets.size())
+    throw std::out_of_range{"walk_query_over_trees: source out of range"};
+
+  std::priority_queue<Tx, std::vector<Tx>, std::greater<>> heap;
+  std::vector<TreeWalkStep> steps;
+  std::vector<bool> visited(overlay.peer_count(), false);
+  visited[source] = true;
+  std::uint64_t seq = 0;
+
+  auto expand = [&](PeerId peer, PeerId from, double at) {
+    for (const PeerId q : flooding_sets[peer]) {
+      if (q == from) continue;
+      if (!overlay.are_connected(peer, q)) continue;
+      heap.push({at + overlay.link_cost(peer, q), q, peer, seq++});
+    }
+  };
+  expand(source, kInvalidPeer, 0.0);
+  while (!heap.empty()) {
+    const Tx tx = heap.top();
+    heap.pop();
+    TreeWalkStep step;
+    step.from = tx.from;
+    step.to = tx.to;
+    step.cost = overlay.link_cost(tx.from, tx.to);
+    step.duplicate = visited[tx.to];
+    steps.push_back(step);
+    if (step.duplicate) continue;
+    visited[tx.to] = true;
+    expand(tx.to, tx.from, tx.at);
+  }
+  return steps;
+}
+
+}  // namespace ace

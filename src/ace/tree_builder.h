@@ -1,0 +1,66 @@
+// ACE phase 2: each peer builds a minimum spanning tree (Prim, as in the
+// paper) over its h-neighbor closure and classifies its direct logical
+// neighbors as flooding (adjacent on the tree) or non-flooding (kept, cost
+// tables still exchanged, but no queries sent). The multicast tree itself
+// is also exposed so the Table 1/2 example benches can enumerate query
+// paths and costs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ace/closure.h"
+#include "graph/shortest_path.h"
+#include "search/flooding.h"
+
+namespace ace {
+
+enum class TreeKind : std::uint8_t {
+  kMinimumSpanning,   // paper's choice (Prim)
+  kShortestPath,      // ablation: Dijkstra SPT rooted at the source
+};
+
+struct LocalTree {
+  // Tree edges in *global* peer ids.
+  std::vector<Edge> edges;
+  Weight total_weight = 0;
+  // The source's direct neighbors that lie adjacent to it on the tree.
+  std::vector<PeerId> flooding;
+  // The source's remaining direct neighbors.
+  std::vector<PeerId> non_flooding;
+  // Tree edges that are probed neighbor-pair costs rather than existing
+  // overlay links (global ids). These are the connections ACE recommends
+  // ESTABLISHING so the multicast tree is realizable: the source expects
+  // e.g. neighbor B to forward its query to neighbor C, which requires a
+  // B-C link. Empty when the closure was built kOverlayOnly.
+  std::vector<Edge> virtual_edges;
+};
+
+// Builds the local multicast tree for closure.nodes[0]. Direct neighbors
+// unreachable inside the closure's induced subgraph (possible only in
+// degenerate topologies) are kept as flooding neighbors so the search scope
+// never shrinks.
+LocalTree build_local_tree(const LocalClosure& closure,
+                           TreeKind kind = TreeKind::kMinimumSpanning);
+
+// Converts a LocalTree into routing form: the tree rooted at `source`,
+// children lists per node. Installed into the ForwardingTable so queries
+// can carry the source's relay instructions down the tree.
+TreeRouting make_tree_routing(const LocalTree& tree, PeerId source);
+
+// Query routing over a set of per-peer trees (used by the example-table
+// bench): starting from `source`, a query is forwarded by each peer to its
+// own tree-adjacent peers (minus the sender), with duplicate suppression.
+// Returns the sequence of (from, to, cost) transmissions in time order.
+struct TreeWalkStep {
+  PeerId from = kInvalidPeer;
+  PeerId to = kInvalidPeer;
+  Weight cost = 0;
+  bool duplicate = false;  // arrived at an already-visited peer
+};
+
+std::vector<TreeWalkStep> walk_query_over_trees(
+    const OverlayNetwork& overlay,
+    const std::vector<std::vector<PeerId>>& flooding_sets, PeerId source);
+
+}  // namespace ace

@@ -1,0 +1,86 @@
+#include "baselines/aoto.h"
+
+#include <algorithm>
+
+namespace ace {
+
+void AotoRoundReport::merge(const AotoRoundReport& other) noexcept {
+  phase1.merge(other.phase1);
+  cuts += other.cuts;
+  adds += other.adds;
+  peers_stepped += other.peers_stepped;
+}
+
+AotoEngine::AotoEngine(OverlayNetwork& overlay, AotoConfig config)
+    : overlay_{&overlay}, config_{config}, tables_{config.sizing} {
+  tables_.ensure_size(overlay.peer_count());
+  forwarding_.ensure_size(overlay.peer_count());
+}
+
+void AotoEngine::step_peer(PeerId peer, Rng& rng, AotoRoundReport& report) {
+  (void)rng;
+  if (!overlay_->is_online(peer)) return;
+  ++report.peers_stepped;
+
+  tables_.ensure_size(overlay_->peer_count());
+  forwarding_.ensure_size(overlay_->peer_count());
+  tables_.refresh_peer(*overlay_, peer, report.phase1);
+  tables_.charge_exchange(*overlay_, peer, report.phase1);
+
+  const LocalClosure closure = build_closure(*overlay_, peer, 1);
+  const LocalTree tree = build_local_tree(closure);
+  forwarding_.set_tree(peer, make_tree_routing(tree, peer));
+
+  // Reorganization: hand the most expensive non-flooding neighbor over to
+  // the cheapest flooding neighbor.
+  for (std::size_t move = 0; move < config_.moves_per_round; ++move) {
+    if (tree.flooding.empty()) break;
+    PeerId victim = kInvalidPeer;
+    Weight victim_cost = -1;
+    for (const PeerId b : tree.non_flooding) {
+      if (!overlay_->are_connected(peer, b)) continue;
+      if (overlay_->degree(b) <= config_.min_degree) continue;
+      const Weight c = overlay_->link_cost(peer, b);
+      if (c > victim_cost) {
+        victim_cost = c;
+        victim = b;
+      }
+    }
+    if (victim == kInvalidPeer) break;
+    PeerId adopter = kInvalidPeer;
+    Weight adopter_cost = kUnreachable;
+    for (const PeerId f : tree.flooding) {
+      if (!overlay_->are_connected(peer, f)) continue;
+      const Weight c = overlay_->link_cost(peer, f);
+      if (c < adopter_cost && f != victim) {
+        adopter_cost = c;
+        adopter = f;
+      }
+    }
+    if (adopter == kInvalidPeer) break;
+    // Adopt first so the victim is never stranded, then cut.
+    const bool added = overlay_->connect(adopter, victim);
+    if (added) ++report.adds;
+    if (added || overlay_->are_connected(adopter, victim)) {
+      if (overlay_->disconnect(peer, victim)) {
+        ++report.cuts;
+        forwarding_.invalidate(victim);
+        forwarding_.invalidate(adopter);
+      }
+    }
+  }
+  // Rebuild this peer's tree after mutations.
+  const LocalClosure updated = build_closure(*overlay_, peer, 1);
+  const LocalTree fresh = build_local_tree(updated);
+  forwarding_.set_tree(peer, make_tree_routing(fresh, peer));
+}
+
+AotoRoundReport AotoEngine::step_round(Rng& rng) {
+  AotoRoundReport report;
+  std::vector<PeerId> order = overlay_->online_peers();
+  rng.shuffle(std::span<PeerId>{order});
+  for (const PeerId p : order) step_peer(p, rng, report);
+  return report;
+}
+
+}  // namespace ace

@@ -1,0 +1,50 @@
+// AOTO — Adaptive Overlay Topology Optimization (Liu et al., GLOBECOM'03),
+// the paper's own preliminary design ([8]) and the natural baseline between
+// blind flooding and full ACE. AOTO runs the same phase 1/2 (cost tables +
+// 1-closure spanning tree) but its reorganization step is simpler: a peer
+// picks its most *expensive* non-flooding neighbor and hands it over to the
+// closest flooding neighbor ("will be closer to it than to me"), i.e. cut
+// P-B and have F adopt B — without probing candidate costs first.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ace/engine.h"
+
+namespace ace {
+
+struct AotoConfig {
+  MessageSizing sizing{};
+  std::size_t min_degree = 1;
+  // Reorganizations attempted per peer per round.
+  std::size_t moves_per_round = 1;
+};
+
+struct AotoRoundReport {
+  ProbeOverhead phase1;
+  std::size_t cuts = 0;
+  std::size_t adds = 0;
+  std::size_t peers_stepped = 0;
+
+  double total_overhead() const noexcept { return phase1.total(); }
+  void merge(const AotoRoundReport& other) noexcept;
+};
+
+class AotoEngine {
+ public:
+  AotoEngine(OverlayNetwork& overlay, AotoConfig config);
+
+  const ForwardingTable& forwarding() const noexcept { return forwarding_; }
+
+  void step_peer(PeerId peer, Rng& rng, AotoRoundReport& report);
+  AotoRoundReport step_round(Rng& rng);
+
+ private:
+  OverlayNetwork* overlay_;
+  AotoConfig config_;
+  CostTableStore tables_;
+  ForwardingTable forwarding_;
+};
+
+}  // namespace ace

@@ -1,0 +1,121 @@
+#include "baselines/index_cache.h"
+
+#include <stdexcept>
+
+namespace ace {
+
+LruIndexCache::LruIndexCache(std::size_t capacity) : capacity_{capacity} {
+  if (capacity == 0)
+    throw std::invalid_argument{"LruIndexCache: capacity must be > 0"};
+}
+
+PeerId LruIndexCache::lookup(ObjectId object) {
+  const auto it = map_.find(object);
+  if (it == map_.end()) {
+    ++misses_;
+    return kInvalidPeer;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+  return it->second->holder;
+}
+
+PeerId LruIndexCache::peek(ObjectId object) const {
+  const auto it = map_.find(object);
+  return it == map_.end() ? kInvalidPeer : it->second->holder;
+}
+
+void LruIndexCache::insert(ObjectId object, PeerId holder) {
+  if (const auto it = map_.find(object); it != map_.end()) {
+    it->second->holder = holder;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    map_.erase(lru_.back().object);
+    lru_.pop_back();
+  }
+  lru_.push_front({object, holder});
+  map_.emplace(object, lru_.begin());
+}
+
+void LruIndexCache::erase(ObjectId object) {
+  const auto it = map_.find(object);
+  if (it == map_.end()) return;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+void LruIndexCache::clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+IndexCacheLayer::IndexCacheLayer(const ObjectCatalog& catalog,
+                                 std::size_t peers,
+                                 std::size_t capacity_per_peer)
+    : catalog_{&catalog} {
+  caches_.reserve(peers);
+  for (std::size_t i = 0; i < peers; ++i)
+    caches_.emplace_back(capacity_per_peer);
+}
+
+AnswerKind IndexCacheLayer::answers(PeerId peer, ObjectId object) const {
+  if (catalog_->holds(peer, object)) return AnswerKind::kHolds;
+  if (peer >= caches_.size()) return AnswerKind::kNo;
+  LruIndexCache& cache = caches_[peer];
+  const PeerId cached = cache.lookup(object);
+  if (cached == kInvalidPeer) return AnswerKind::kNo;
+  // Staleness: the pointed-to holder must still be online and still hold
+  // the object (placement is static, so only liveness can go stale).
+  const bool valid =
+      catalog_->holds(cached, object) &&
+      (overlay_ == nullptr || overlay_->is_online(cached));
+  if (!valid) {
+    cache.erase(object);
+    return AnswerKind::kNo;
+  }
+  return AnswerKind::kCached;
+}
+
+void IndexCacheLayer::learn_from(const QueryResult& result, ObjectId object) {
+  if (!result.found || result.visit_parents.empty()) return;
+  // The actual holder behind the response: for a cached answer the cache
+  // entry's target, otherwise the responder itself.
+  PeerId holder = result.first_responder;
+  if (result.answered_from_cache && result.first_responder < caches_.size()) {
+    const PeerId target = caches_[result.first_responder].peek(object);
+    if (target != kInvalidPeer) holder = target;
+  }
+  // Walk the inverse path responder -> source via the recorded parents.
+  std::unordered_map<PeerId, PeerId> parent;
+  parent.reserve(result.visit_parents.size());
+  for (const auto& [peer, from] : result.visit_parents)
+    parent.emplace(peer, from);
+  PeerId v = result.first_responder;
+  std::size_t guard = 0;
+  while (v != kInvalidPeer && guard++ <= parent.size()) {
+    if (v < caches_.size() && v != holder) caches_[v].insert(object, holder);
+    const auto it = parent.find(v);
+    if (it == parent.end()) break;
+    v = it->second;
+  }
+}
+
+void IndexCacheLayer::on_peer_leave(PeerId peer) {
+  if (peer < caches_.size()) caches_[peer].clear();
+}
+
+const LruIndexCache& IndexCacheLayer::cache_of(PeerId peer) const {
+  if (peer >= caches_.size())
+    throw std::out_of_range{"IndexCacheLayer: peer out of range"};
+  return caches_[peer];
+}
+
+std::size_t IndexCacheLayer::total_entries() const {
+  std::size_t total = 0;
+  for (const auto& c : caches_) total += c.size();
+  return total;
+}
+
+}  // namespace ace

@@ -1,0 +1,85 @@
+// Response index caching (paper §5.2): each peer keeps a small LRU cache of
+// (object -> known holder) learned from responses that pass through it. A
+// query arriving at a peer with a cached entry is answered immediately and
+// not forwarded further on that branch — the "transparent query caching"
+// effect the paper combines with ACE (20-item caches cut traffic by ~75%
+// and response time by ~70% together with ACE).
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "overlay/workload.h"
+#include "search/flooding.h"
+
+namespace ace {
+
+// One peer's LRU object->holder index.
+class LruIndexCache {
+ public:
+  explicit LruIndexCache(std::size_t capacity = 20);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept { return map_.size(); }
+
+  // Returns the cached holder for `object`, refreshing recency; or
+  // kInvalidPeer on a miss.
+  PeerId lookup(ObjectId object);
+  // Peek without touching recency (const diagnostics).
+  PeerId peek(ObjectId object) const;
+
+  void insert(ObjectId object, PeerId holder);
+  void erase(ObjectId object);
+  void clear();
+
+  std::size_t hits() const noexcept { return hits_; }
+  std::size_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Entry {
+    ObjectId object;
+    PeerId holder;
+  };
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<ObjectId, std::list<Entry>::iterator> map_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+// All peers' caches + the ContentOracle that lets run_query consult them.
+class IndexCacheLayer final : public ContentOracle {
+ public:
+  IndexCacheLayer(const ObjectCatalog& catalog, std::size_t peers,
+                  std::size_t capacity_per_peer = 20);
+
+  // ContentOracle: a real holder answers kHolds; a peer with a *valid*
+  // cached pointer (the cached holder is still online and still holds the
+  // object) answers kCached; stale entries are evicted on the spot.
+  AnswerKind answers(PeerId peer, ObjectId object) const override;
+
+  // Call with the result of a run_query executed with record_paths=true:
+  // peers on the inverse path from the first responder to the source learn
+  // (object -> responder).
+  void learn_from(const QueryResult& result, ObjectId object);
+
+  // Drop a departing peer's cache (its state is lost when it leaves).
+  void on_peer_leave(PeerId peer);
+
+  // The overlay used for staleness checks (holder must be online).
+  void bind_overlay(const OverlayNetwork& overlay) { overlay_ = &overlay; }
+
+  const LruIndexCache& cache_of(PeerId peer) const;
+  std::size_t total_entries() const;
+
+ private:
+  const ObjectCatalog* catalog_;
+  const OverlayNetwork* overlay_ = nullptr;
+  // Mutable: lookup refreshes LRU recency and evicts stale entries; both
+  // are logically-const cache maintenance.
+  mutable std::vector<LruIndexCache> caches_;
+};
+
+}  // namespace ace

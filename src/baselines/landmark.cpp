@@ -1,0 +1,83 @@
+#include "baselines/landmark.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace ace {
+
+std::vector<std::vector<Weight>> landmark_coordinates(
+    const PhysicalNetwork& physical, std::span<const HostId> peer_hosts,
+    std::span<const HostId> landmark_hosts) {
+  std::vector<std::vector<Weight>> coords(peer_hosts.size());
+  for (std::size_t i = 0; i < peer_hosts.size(); ++i) {
+    coords[i].reserve(landmark_hosts.size());
+    for (const HostId lm : landmark_hosts)
+      coords[i].push_back(physical.delay(peer_hosts[i], lm));
+  }
+  return coords;
+}
+
+double coordinate_distance(std::span<const Weight> a,
+                           std::span<const Weight> b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument{"coordinate_distance: dimension mismatch"};
+  double sum = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+OverlayNetwork build_landmark_overlay(const PhysicalNetwork& physical,
+                                      std::span<const HostId> peer_hosts,
+                                      const LandmarkConfig& config, Rng& rng) {
+  if (config.landmarks == 0)
+    throw std::invalid_argument{"build_landmark_overlay: need landmarks"};
+  if (peer_hosts.size() < 2)
+    throw std::invalid_argument{"build_landmark_overlay: need >= 2 peers"};
+
+  // Landmarks are stable well-known hosts: pick them uniformly from the
+  // physical topology (the real scheme uses dedicated servers).
+  std::vector<HostId> landmarks;
+  for (const std::size_t i :
+       rng.sample_indices(physical.host_count(), config.landmarks))
+    landmarks.push_back(static_cast<HostId>(i));
+
+  const auto coords = landmark_coordinates(physical, peer_hosts, landmarks);
+
+  OverlayNetwork overlay{physical};
+  for (const HostId h : peer_hosts) overlay.add_peer(h);
+
+  const std::size_t n = peer_hosts.size();
+  std::vector<std::size_t> order(n);
+  for (PeerId p = 0; p < n; ++p) {
+    // Coordinate-nearest peers.
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(
+        order.begin(),
+        order.begin() +
+            static_cast<std::ptrdiff_t>(
+                std::min(config.proximity_links + 1, n)),
+        order.end(), [&](std::size_t a, std::size_t b) {
+          return coordinate_distance(coords[p], coords[a]) <
+                 coordinate_distance(coords[p], coords[b]);
+        });
+    std::size_t made = 0;
+    for (const std::size_t q : order) {
+      if (q == p) continue;
+      if (made >= config.proximity_links) break;
+      overlay.connect(p, static_cast<PeerId>(q));
+      ++made;  // counts attempts so already-connected pairs still consume
+    }
+    for (std::size_t r = 0; r < config.random_links; ++r) {
+      const auto q = static_cast<PeerId>(rng.next_below(n));
+      if (q != p) overlay.connect(p, q);
+    }
+  }
+  return overlay;
+}
+
+}  // namespace ace

@@ -1,0 +1,48 @@
+// Landmark-based overlay construction — the related-work approach the paper
+// argues against (its reference [16], "building topology-aware overlays
+// using global soft-state"): every peer measures its latency to a handful
+// of stable, globally-known landmark servers; the delay vector is the
+// peer's coordinate, and peers connect to coordinate-nearby peers. The
+// paper's critique: it needs extra landmark infrastructure, its global
+// measurement is expensive, and clustering by coordinates can shrink the
+// search scope (nearby peers interconnect densely while inter-cluster
+// links thin out). This module exists so the critique is measurable
+// (bench_baseline_comparison).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "overlay/overlay_network.h"
+#include "util/rng.h"
+
+namespace ace {
+
+struct LandmarkConfig {
+  std::size_t landmarks = 8;
+  // Links per peer toward its coordinate-nearest peers.
+  std::size_t proximity_links = 4;
+  // Extra uniformly random links per peer (0 reproduces the pure scheme;
+  // a couple of random links is the standard fix for its partitioning).
+  std::size_t random_links = 0;
+};
+
+// Coordinates of every peer: delay to each landmark host.
+std::vector<std::vector<Weight>> landmark_coordinates(
+    const PhysicalNetwork& physical, std::span<const HostId> peer_hosts,
+    std::span<const HostId> landmark_hosts);
+
+// Euclidean distance between two landmark coordinate vectors.
+double coordinate_distance(std::span<const Weight> a,
+                           std::span<const Weight> b);
+
+// Builds a landmark-clustered overlay over the given peer hosts: each peer
+// links to its `proximity_links` coordinate-nearest peers plus
+// `random_links` random ones. NOTE: deliberately *no* connectivity repair —
+// whether the scheme partitions the overlay is one of the measured
+// outcomes.
+OverlayNetwork build_landmark_overlay(const PhysicalNetwork& physical,
+                                      std::span<const HostId> peer_hosts,
+                                      const LandmarkConfig& config, Rng& rng);
+
+}  // namespace ace

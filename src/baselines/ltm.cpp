@@ -1,0 +1,121 @@
+#include "baselines/ltm.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace ace {
+
+void LtmRoundReport::merge(const LtmRoundReport& other) noexcept {
+  detectors += other.detectors;
+  detector_traffic += other.detector_traffic;
+  cuts += other.cuts;
+  adds += other.adds;
+  peers_stepped += other.peers_stepped;
+}
+
+LtmEngine::LtmEngine(OverlayNetwork& overlay, LtmConfig config)
+    : overlay_{&overlay}, config_{config} {
+  if (config_.max_degree == 0) {
+    // Default ceiling: the overlay's connectivity density — otherwise
+    // "add closer nodes" densifies the overlay without bound and floods
+    // cost more, not less.
+    config_.max_degree = std::max<std::size_t>(
+        config_.min_degree + 1,
+        static_cast<std::size_t>(overlay.mean_online_degree()));
+  }
+}
+
+void LtmEngine::step_peer(PeerId peer, Rng& rng, LtmRoundReport& report) {
+  if (!overlay_->is_online(peer)) return;
+  ++report.peers_stepped;
+
+  // TTL-2 detector flood: one transmission per direct link, then one per
+  // neighbor's link (the detector is tiny — PING-sized).
+  const double detector_size = size_factor(config_.sizing, MessageType::kPing);
+  std::vector<PeerId> neighbors;
+  for (const auto& n : overlay_->neighbors(peer)) {
+    neighbors.push_back(n.node);
+    ++report.detectors;
+    report.detector_traffic += detector_size * n.weight;
+  }
+  for (const PeerId v : neighbors) {
+    for (const auto& n2 : overlay_->neighbors(v)) {
+      if (n2.node == peer) continue;
+      ++report.detectors;
+      report.detector_traffic += detector_size * n2.weight;
+    }
+  }
+
+  // Cut slow connections: for each direct neighbor v, if some relay r
+  // (also a direct neighbor) provides a two-hop path no slower than the
+  // direct link, the link peer-v is redundant for v's reachability.
+  for (const PeerId v : neighbors) {
+    if (!overlay_->are_connected(peer, v)) continue;  // cut earlier this step
+    if (overlay_->degree(peer) <= config_.min_degree) break;
+    if (overlay_->degree(v) <= config_.min_degree) continue;
+    const Weight direct = overlay_->link_cost(peer, v);
+    for (const PeerId r : neighbors) {
+      if (r == v || !overlay_->are_connected(peer, r)) continue;
+      if (!overlay_->are_connected(r, v)) continue;
+      const Weight via =
+          overlay_->link_cost(peer, r) + overlay_->link_cost(r, v);
+      if (via <= config_.slack * direct) {
+        overlay_->disconnect(peer, v);
+        ++report.cuts;
+        break;
+      }
+    }
+  }
+
+  // Add closer nodes: probe random two-hop peers; adopt one that is closer
+  // than the current most expensive neighbor.
+  for (std::size_t add = 0; add < config_.adds_per_round; ++add) {
+    if (config_.max_degree != 0 &&
+        overlay_->degree(peer) >= config_.max_degree)
+      break;
+    // Current worst link.
+    Weight worst = 0;
+    for (const auto& n : overlay_->neighbors(peer))
+      worst = std::max(worst, n.weight);
+    if (worst == 0) break;
+    // Candidate pool: neighbors of neighbors, not already adjacent.
+    std::vector<PeerId> pool;
+    for (const auto& n : overlay_->neighbors(peer))
+      for (const auto& n2 : overlay_->neighbors(n.node))
+        if (n2.node != peer && !overlay_->are_connected(peer, n2.node))
+          pool.push_back(n2.node);
+    if (pool.empty()) break;
+    const PeerId candidate = pool[rng.next_below(pool.size())];
+    if (overlay_->peer_delay(peer, candidate) < worst)
+      if (overlay_->connect(peer, candidate)) ++report.adds;
+  }
+
+  // Keep the connectivity density: while above the ceiling, drop the most
+  // expensive link (the "cut inefficient connections" half of LTM).
+  while (config_.max_degree != 0 &&
+         overlay_->degree(peer) > config_.max_degree) {
+    PeerId victim = kInvalidPeer;
+    Weight worst = -1;
+    for (const auto& n : overlay_->neighbors(peer)) {
+      if (overlay_->degree(n.node) <= config_.min_degree) continue;
+      if (n.weight > worst) {
+        worst = n.weight;
+        victim = n.node;
+      }
+    }
+    if (victim == kInvalidPeer) break;
+    overlay_->disconnect(peer, victim);
+    ++report.cuts;
+  }
+}
+
+LtmRoundReport LtmEngine::step_round(Rng& rng) {
+  LtmRoundReport report;
+  std::vector<PeerId> order = overlay_->online_peers();
+  rng.shuffle(std::span<PeerId>{order});
+  for (const PeerId p : order) step_peer(p, rng, report);
+  return report;
+}
+
+}  // namespace ace

@@ -1,0 +1,63 @@
+// LTM — Location-aware Topology Matching (Liu et al., INFOCOM 2004), the
+// paper's reference [9] and its own closest comparator: "each peer issues a
+// detector in a small region so that the peers receiving the detector can
+// record relative delay information. Based on the delay information, a
+// receiver can detect and cut most of the inefficient and redundant
+// logical links, and add closer nodes as its direct neighbors."
+//
+// Modeled here at the same granularity as ACE: a peer floods a TTL-2
+// detector (overhead charged per transmission); every neighbor pair
+// (v, via relay r) whose two-hop path is no slower than the direct link
+// marks the direct link redundant and cuts it; two-hop peers that probe
+// closer than the current farthest neighbor are added. Unlike ACE, LTM
+// does no tree routing — its entire benefit is the reshaped topology, so
+// searches remain blind flooding.
+#pragma once
+
+#include <cstddef>
+
+#include "overlay/overlay_network.h"
+#include "proto/message.h"
+#include "util/rng.h"
+
+namespace ace {
+
+struct LtmConfig {
+  MessageSizing sizing{};
+  // Slack factor: cut the direct link s-v when
+  //   d(s,r) + d(r,v) <= slack * d(s,v).
+  // The INFOCOM paper cuts when the two-hop path is not slower; slack
+  // slightly above 1 compensates probe jitter.
+  double slack = 1.0;
+  std::size_t min_degree = 2;
+  // Two-hop peers adopted per peer per round (0 disables adding).
+  std::size_t adds_per_round = 1;
+  // Never grow a peer past this degree via adds (0 = derive from the
+  // overlay's mean degree + 2 at engine construction).
+  std::size_t max_degree = 0;
+};
+
+struct LtmRoundReport {
+  std::size_t detectors = 0;        // detector transmissions
+  double detector_traffic = 0;      // size x delay units
+  std::size_t cuts = 0;
+  std::size_t adds = 0;
+  std::size_t peers_stepped = 0;
+
+  double total_overhead() const noexcept { return detector_traffic; }
+  void merge(const LtmRoundReport& other) noexcept;
+};
+
+class LtmEngine {
+ public:
+  LtmEngine(OverlayNetwork& overlay, LtmConfig config);
+
+  void step_peer(PeerId peer, Rng& rng, LtmRoundReport& report);
+  LtmRoundReport step_round(Rng& rng);
+
+ private:
+  OverlayNetwork* overlay_;
+  LtmConfig config_;
+};
+
+}  // namespace ace

@@ -1,0 +1,292 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace ace {
+
+Graph build_physical_graph(const ScenarioConfig& config, Rng& rng) {
+  switch (config.physical_model) {
+    case PhysicalModel::kBarabasiAlbert: {
+      BaOptions options;
+      options.nodes = config.physical_nodes;
+      options.edges_per_node = config.ba_edges_per_node;
+      return barabasi_albert(options, rng);
+    }
+    case PhysicalModel::kWaxman: {
+      WaxmanOptions options;
+      options.nodes = config.physical_nodes;
+      return waxman(options, rng);
+    }
+    case PhysicalModel::kTransitStub: {
+      TransitStubOptions options;
+      // Scale the two-level layout to roughly the requested node count.
+      const std::size_t hosts_per_transit =
+          options.stubs_per_transit * options.nodes_per_stub + 1;
+      options.transit_nodes = std::max<std::size_t>(
+          4, config.physical_nodes / hosts_per_transit);
+      return transit_stub(options, rng);
+    }
+  }
+  throw std::invalid_argument{"build_physical_graph: unknown model"};
+}
+
+Graph build_overlay_graph(const ScenarioConfig& config, Rng& rng) {
+  OverlayOptions options;
+  options.peers = config.peers;
+  options.mean_degree = config.mean_degree;
+  options.min_degree = config.overlay_min_degree;
+  switch (config.overlay_model) {
+    case OverlayModel::kSmallWorld:
+      return small_world_overlay(options, rng);
+    case OverlayModel::kRandom:
+      return random_overlay(options, rng);
+    case OverlayModel::kPowerLaw:
+      return power_law_overlay(options, rng);
+  }
+  throw std::invalid_argument{"build_overlay_graph: unknown model"};
+}
+
+Scenario::Scenario(const ScenarioConfig& config)
+    : config_{config}, rng_{config.seed} {
+  if (config.peers > config.physical_nodes)
+    throw std::invalid_argument{"Scenario: more peers than physical hosts"};
+  Rng topo_rng = rng_.fork();
+  physical_ = std::make_unique<PhysicalNetwork>(
+      build_physical_graph(config, topo_rng), config.distance_cache_rows);
+  const Graph logical = build_overlay_graph(config, topo_rng);
+  const auto hosts = assign_hosts_uniform(*physical_, config.peers, topo_rng);
+  overlay_ = std::make_unique<OverlayNetwork>(*physical_, logical, hosts);
+  catalog_ = std::make_unique<ObjectCatalog>(config.catalog);
+  oracle_ = std::make_unique<CatalogOracle>(*catalog_);
+  ACE_LOG(kInfo) << "scenario: physical=" << physical_->host_count()
+                 << " hosts, peers=" << overlay_->peer_count()
+                 << ", mean logical degree="
+                 << overlay_->mean_online_degree();
+}
+
+QueryStats Scenario::measure(ForwardingMode mode, const ForwardingTable* table,
+                             std::size_t queries,
+                             const QueryOptions& options) {
+  return sample_queries(*overlay_, *catalog_, *oracle_, mode, table, queries,
+                        rng_, options);
+}
+
+// ---------------------------------------------------------------------
+// Static optimization
+// ---------------------------------------------------------------------
+
+double StaticRunResult::traffic_reduction() const {
+  if (samples.size() < 2 || samples.front().traffic <= 0) return 0;
+  return 1.0 - samples.back().traffic / samples.front().traffic;
+}
+
+double StaticRunResult::response_reduction() const {
+  if (samples.size() < 2 || samples.front().response_time <= 0) return 0;
+  return 1.0 - samples.back().response_time / samples.front().response_time;
+}
+
+StaticRunResult run_static_optimization(Scenario& scenario,
+                                        const AceConfig& ace,
+                                        std::size_t steps,
+                                        std::size_t queries_per_step) {
+  StaticRunResult result;
+  AceEngine engine{scenario.overlay(), ace};
+
+  // Step 0: unoptimized blind flooding baseline.
+  {
+    const QueryStats stats = scenario.measure_blind(queries_per_step);
+    StepSample sample;
+    sample.step = 0;
+    sample.traffic = stats.mean_traffic();
+    sample.response_time = stats.mean_response_time();
+    sample.scope = stats.mean_scope();
+    sample.mean_degree = scenario.overlay().mean_online_degree();
+    result.samples.push_back(sample);
+  }
+
+  for (std::size_t step = 1; step <= steps; ++step) {
+    const RoundReport report = engine.step_round(scenario.rng());
+    const QueryStats stats =
+        scenario.measure(ForwardingMode::kTreeRouting, &engine.forwarding(),
+                         queries_per_step);
+    StepSample sample;
+    sample.step = step;
+    sample.traffic = stats.mean_traffic();
+    sample.response_time = stats.mean_response_time();
+    sample.scope = stats.mean_scope();
+    sample.overhead = report.total_overhead();
+    sample.cuts = report.phase3.cuts;
+    sample.adds = report.phase3.adds;
+    sample.mean_degree = scenario.overlay().mean_online_degree();
+    result.samples.push_back(sample);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// Depth sweep
+// ---------------------------------------------------------------------
+
+std::vector<DepthSample> run_depth_sweep(const ScenarioConfig& base,
+                                         const AceConfig& ace,
+                                         std::span<const std::uint32_t> depths,
+                                         std::size_t rounds,
+                                         std::size_t queries) {
+  std::vector<DepthSample> out;
+  out.reserve(depths.size());
+  for (const std::uint32_t h : depths) {
+    Scenario scenario{base};  // identical starting topology per depth
+    AceConfig config = ace;
+    config.closure_depth = h;
+    // The depth experiments study what propagated cost tables alone buy
+    // (the paper's §3.4 h-closure trees are built from overlay links, as
+    // in its Figure 5/6 examples) — pairwise probing + establishment
+    // would give depth-independent knowledge and flatten the h axis.
+    config.pairwise_neighbor_probes = false;
+    config.establish_tree_links = false;
+    AceEngine engine{scenario.overlay(), config};
+
+    DepthSample sample;
+    sample.h = h;
+    sample.traffic_blind = scenario.measure_blind(queries).mean_traffic();
+
+    double overhead_total = 0;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      const RoundReport report = engine.step_round(scenario.rng());
+      overhead_total += report.total_overhead();
+    }
+    sample.overhead_per_round =
+        rounds ? overhead_total / static_cast<double>(rounds) : 0;
+
+    sample.traffic_ace =
+        scenario
+            .measure(ForwardingMode::kTreeRouting, &engine.forwarding(),
+                     queries)
+            .mean_traffic();
+    sample.gain_per_query = sample.traffic_blind - sample.traffic_ace;
+    sample.reduction_rate =
+        sample.traffic_blind > 0
+            ? sample.gain_per_query / sample.traffic_blind
+            : 0;
+    out.push_back(sample);
+  }
+  return out;
+}
+
+double optimization_rate(const DepthSample& sample, double frequency_ratio) {
+  if (sample.overhead_per_round <= 0) return 0;
+  // One exchange period sees R queries, each saving gain_per_query,
+  // against one round of overhead. Both sides are whole-network totals
+  // (a round steps every peer; a query floods the network), so the ratio
+  // is directly the paper's gain/penalty.
+  return frequency_ratio * sample.gain_per_query / sample.overhead_per_round;
+}
+
+// ---------------------------------------------------------------------
+// Dynamic environment
+// ---------------------------------------------------------------------
+
+DynamicResult run_dynamic(const DynamicConfig& config) {
+  Scenario scenario{config.scenario};
+  Simulator sim;
+  Rng churn_rng = scenario.rng().fork();
+  Rng query_rng = scenario.rng().fork();
+  Rng ace_rng = scenario.rng().fork();
+
+  AceEngine engine{scenario.overlay(), config.ace};
+  std::unique_ptr<IndexCacheLayer> cache;
+  if (config.enable_cache) {
+    cache = std::make_unique<IndexCacheLayer>(scenario.catalog(),
+                                              config.scenario.peers,
+                                              config.cache_capacity);
+    cache->bind_overlay(scenario.overlay());
+  }
+
+  DynamicResult result;
+  result.buckets.resize(std::max<std::size_t>(1, config.report_buckets));
+  const double bucket_span =
+      config.duration_s / static_cast<double>(result.buckets.size());
+  for (std::size_t b = 0; b < result.buckets.size(); ++b)
+    result.buckets[b].t_end = bucket_span * static_cast<double>(b + 1);
+
+  std::vector<QueryStats> bucket_stats(result.buckets.size());
+  std::vector<double> bucket_overhead(result.buckets.size(), 0);
+
+  auto bucket_for = [&](SimTime t) {
+    auto idx = static_cast<std::size_t>(t / bucket_span);
+    return std::min(idx, result.buckets.size() - 1);
+  };
+
+  // Churn.
+  ChurnDriver churn{scenario.overlay(), sim, churn_rng, config.churn};
+  churn.on_join = [&](PeerId p) {
+    if (config.enable_ace) engine.on_peer_join(p);
+  };
+  churn.on_leave = [&](PeerId p) {
+    if (config.enable_ace) engine.on_peer_leave(p, {});
+    if (cache) cache->on_peer_leave(p);
+  };
+  churn.start();
+
+  // ACE optimization rounds (all peers step once per period — equivalent
+  // in aggregate to each peer optimizing independently at that rate).
+  if (config.enable_ace) {
+    sim.every(config.ace_period_s, [&](SimTime t) {
+      const RoundReport report = engine.step_round(ace_rng);
+      const double overhead = report.total_overhead();
+      result.total_overhead += overhead;
+      bucket_overhead[bucket_for(t)] += overhead;
+    });
+  }
+
+  // Queries.
+  QueryOptions qopts = config.query_options;
+  qopts.record_paths = config.enable_cache;
+  const ContentOracle* oracle =
+      cache ? static_cast<const ContentOracle*>(cache.get())
+            : static_cast<const ContentOracle*>(&scenario.oracle());
+  const ForwardingMode mode = config.enable_ace
+                                  ? ForwardingMode::kTreeRouting
+                                  : ForwardingMode::kBlindFlooding;
+  QueryWorkload workload{
+      scenario.overlay(), scenario.catalog(), sim, query_rng,
+      config.workload,
+      [&](SimTime t, PeerId source, ObjectId object) {
+        const QueryResult qr = run_query(
+            scenario.overlay(), source, object, *oracle, mode,
+            config.enable_ace ? &engine.forwarding() : nullptr, qopts);
+        if (cache) cache->learn_from(qr, object);
+        if (qr.answered_from_cache) ++result.cache_hits;
+        bucket_stats[bucket_for(t)].add(qr);
+        result.overall.add(qr);
+      }};
+  workload.start();
+
+  sim.run_until(config.duration_s);
+
+  result.joins = churn.joins();
+  result.leaves = churn.leaves();
+  for (std::size_t b = 0; b < result.buckets.size(); ++b) {
+    DynamicBucket& bucket = result.buckets[b];
+    const QueryStats& stats = bucket_stats[b];
+    bucket.queries = stats.queries();
+    bucket.mean_query_traffic = stats.mean_traffic();
+    bucket.mean_response_time = stats.mean_response_time();
+    bucket.mean_scope = stats.mean_scope();
+    bucket.overhead = bucket_overhead[b];
+    // The paper's Fig 9 traffic "includes the overhead needed by each
+    // operation in the optimization steps": amortize the bucket's overhead
+    // across its queries.
+    bucket.mean_traffic =
+        bucket.queries
+            ? bucket.mean_query_traffic +
+                  bucket.overhead / static_cast<double>(bucket.queries)
+            : 0;
+  }
+  return result;
+}
+
+}  // namespace ace

@@ -1,0 +1,183 @@
+// Experiment driver: builds the full substrate stack (physical topology ->
+// overlay -> content catalog) from one config and runs the paper's three
+// experiment families — static optimization (Figs 7-8), dynamic churn
+// (Figs 9-10, §5.2 cache combination), and the depth/frequency trade-off
+// sweeps (Figs 11-16). Benches and examples are thin wrappers over this.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ace/engine.h"
+#include "baselines/index_cache.h"
+#include "graph/generators.h"
+#include "overlay/churn.h"
+#include "overlay/workload.h"
+#include "search/flooding.h"
+
+namespace ace {
+
+enum class PhysicalModel : std::uint8_t {
+  kBarabasiAlbert,  // BRITE's BA option — the paper's physical model
+  kWaxman,
+  kTransitStub,
+};
+
+enum class OverlayModel : std::uint8_t {
+  // Small-world overlay (default): the paper's §4.1 methodology — P2P
+  // overlay topologies exhibit small-world clustering, which is what makes
+  // local MSTs prune links and feeds phase 3 with non-flooding neighbors.
+  kSmallWorld,
+  kRandom,    // locally tree-like random overlay (ablation)
+  kPowerLaw,  // trace-like power-law overlay (DSS Clip2 substitute)
+};
+
+struct ScenarioConfig {
+  PhysicalModel physical_model = PhysicalModel::kBarabasiAlbert;
+  std::size_t physical_nodes = 4096;
+  std::size_t ba_edges_per_node = 2;
+  OverlayModel overlay_model = OverlayModel::kSmallWorld;
+  std::size_t peers = 1024;
+  // The paper's C: average number of logical neighbors.
+  double mean_degree = 6.0;
+  std::size_t overlay_min_degree = 2;
+  CatalogConfig catalog{};
+  std::uint64_t seed = 20040326;
+  std::size_t distance_cache_rows = 16384;
+};
+
+// Owns one experiment's substrate stack.
+class Scenario {
+ public:
+  explicit Scenario(const ScenarioConfig& config);
+
+  const ScenarioConfig& config() const noexcept { return config_; }
+  PhysicalNetwork& physical() noexcept { return *physical_; }
+  OverlayNetwork& overlay() noexcept { return *overlay_; }
+  const ObjectCatalog& catalog() const noexcept { return *catalog_; }
+  const CatalogOracle& oracle() const noexcept { return *oracle_; }
+  Rng& rng() noexcept { return rng_; }
+
+  // Mean query metrics over `queries` random (source, object) pairs.
+  QueryStats measure(ForwardingMode mode, const ForwardingTable* table,
+                     std::size_t queries, const QueryOptions& options = {});
+  QueryStats measure_blind(std::size_t queries) {
+    return measure(ForwardingMode::kBlindFlooding, nullptr, queries);
+  }
+
+ private:
+  ScenarioConfig config_;
+  Rng rng_;
+  std::unique_ptr<PhysicalNetwork> physical_;
+  std::unique_ptr<OverlayNetwork> overlay_;
+  std::unique_ptr<ObjectCatalog> catalog_;
+  std::unique_ptr<CatalogOracle> oracle_;
+};
+
+// ---------------------------------------------------------------------
+// Static optimization (Figures 7 and 8)
+// ---------------------------------------------------------------------
+
+struct StepSample {
+  std::size_t step = 0;          // 0 = unoptimized blind flooding
+  double traffic = 0;            // mean query traffic cost
+  double response_time = 0;      // mean response time (found queries)
+  double scope = 0;              // mean distinct peers reached
+  double overhead = 0;           // optimization overhead spent this step
+  std::size_t cuts = 0;
+  std::size_t adds = 0;
+  double mean_degree = 0;        // overlay mean degree after the step
+};
+
+struct StaticRunResult {
+  std::vector<StepSample> samples;  // samples[0] is the baseline
+  // Convergence summary.
+  double traffic_reduction() const;       // fraction vs samples[0]
+  double response_reduction() const;      // fraction vs samples[0]
+};
+
+StaticRunResult run_static_optimization(Scenario& scenario,
+                                        const AceConfig& ace,
+                                        std::size_t steps,
+                                        std::size_t queries_per_step);
+
+// ---------------------------------------------------------------------
+// Depth sweep (Figures 11-16)
+// ---------------------------------------------------------------------
+
+struct DepthSample {
+  std::uint32_t h = 0;
+  double traffic_blind = 0;
+  double traffic_ace = 0;        // after convergence
+  double reduction_rate = 0;     // (blind - ace) / blind
+  double overhead_per_round = 0; // mean per optimization round
+  double gain_per_query = 0;     // blind - ace
+};
+
+// For each depth: a fresh scenario from `base` (same seed -> identical
+// starting topology) optimized for `rounds` rounds; query traffic measured
+// with `queries` samples before/after.
+std::vector<DepthSample> run_depth_sweep(const ScenarioConfig& base,
+                                         const AceConfig& ace,
+                                         std::span<const std::uint32_t> depths,
+                                         std::size_t rounds,
+                                         std::size_t queries);
+
+// Optimization rate (paper §4.2): gain/penalty with frequency ratio R =
+// query frequency / cost-info exchange frequency. Over one exchange period
+// R queries run, each saving `gain_per_query`, against one round of
+// overhead.
+double optimization_rate(const DepthSample& sample, double frequency_ratio);
+
+// ---------------------------------------------------------------------
+// Dynamic environment (Figures 9-10, §5.2 cache combination)
+// ---------------------------------------------------------------------
+
+struct DynamicConfig {
+  ScenarioConfig scenario{};
+  ChurnConfig churn{};
+  WorkloadConfig workload{};
+  AceConfig ace{};
+  // Paper: every peer optimizes twice per minute.
+  double ace_period_s = 30.0;
+  double duration_s = 3600.0;
+  std::size_t report_buckets = 12;
+  bool enable_ace = true;
+  bool enable_cache = false;
+  std::size_t cache_capacity = 20;
+  QueryOptions query_options{};
+};
+
+struct DynamicBucket {
+  double t_end = 0;
+  std::size_t queries = 0;
+  double mean_traffic = 0;       // includes amortized ACE overhead
+  double mean_query_traffic = 0; // excludes overhead
+  double mean_response_time = 0;
+  double mean_scope = 0;
+  double overhead = 0;           // total optimization overhead in bucket
+};
+
+struct DynamicResult {
+  std::vector<DynamicBucket> buckets;
+  QueryStats overall;
+  std::size_t joins = 0;
+  std::size_t leaves = 0;
+  double total_overhead = 0;
+  std::size_t cache_hits = 0;  // queries answered from an index cache
+};
+
+DynamicResult run_dynamic(const DynamicConfig& config);
+
+// ---------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------
+
+// Builds the physical graph for a model (exposed for tests).
+Graph build_physical_graph(const ScenarioConfig& config, Rng& rng);
+// Builds the logical overlay graph (weights are placeholders).
+Graph build_overlay_graph(const ScenarioConfig& config, Rng& rng);
+
+}  // namespace ace

@@ -1,0 +1,329 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace ace {
+
+namespace {
+
+// Draws a uniform weight in [lo, hi]; degenerate ranges return lo.
+Weight draw_weight(Rng& rng, Weight lo, Weight hi) {
+  if (!(lo > 0)) throw std::invalid_argument{"generator: delays must be > 0"};
+  if (hi < lo) throw std::invalid_argument{"generator: max delay < min delay"};
+  if (hi == lo) return lo;
+  return rng.uniform_real(lo, hi);
+}
+
+}  // namespace
+
+Graph barabasi_albert(const BaOptions& options, Rng& rng) {
+  const std::size_t m = options.edges_per_node;
+  if (m == 0) throw std::invalid_argument{"barabasi_albert: edges_per_node == 0"};
+  if (options.nodes < m + 1)
+    throw std::invalid_argument{"barabasi_albert: need at least m+1 nodes"};
+
+  Graph graph{options.nodes};
+  // `attachment` holds one entry per edge endpoint, so sampling uniformly
+  // from it is sampling proportional to degree.
+  std::vector<NodeId> attachment;
+  attachment.reserve(2 * m * options.nodes);
+
+  // Seed: clique over the first m+1 nodes.
+  for (NodeId u = 0; u <= m; ++u) {
+    for (NodeId v = u + 1; v <= m; ++v) {
+      graph.add_edge(u, v, draw_weight(rng, options.min_delay, options.max_delay));
+      attachment.push_back(u);
+      attachment.push_back(v);
+    }
+  }
+
+  std::vector<NodeId> chosen;
+  chosen.reserve(m);
+  for (NodeId t = static_cast<NodeId>(m + 1); t < options.nodes; ++t) {
+    chosen.clear();
+    // Rejection-sample m distinct targets proportional to degree.
+    while (chosen.size() < m) {
+      const NodeId pick =
+          attachment[rng.next_below(attachment.size())];
+      if (std::find(chosen.begin(), chosen.end(), pick) == chosen.end())
+        chosen.push_back(pick);
+    }
+    for (const NodeId target : chosen) {
+      graph.add_edge(t, target,
+                     draw_weight(rng, options.min_delay, options.max_delay));
+      attachment.push_back(t);
+      attachment.push_back(target);
+    }
+  }
+  return graph;
+}
+
+Graph waxman(const WaxmanOptions& options, Rng& rng) {
+  if (options.nodes == 0) throw std::invalid_argument{"waxman: zero nodes"};
+  Graph graph{options.nodes};
+  std::vector<double> xs(options.nodes), ys(options.nodes);
+  for (std::size_t i = 0; i < options.nodes; ++i) {
+    xs[i] = rng.next_double();
+    ys[i] = rng.next_double();
+  }
+  const double max_dist = std::sqrt(2.0);
+  auto dist = [&](std::size_t a, std::size_t b) {
+    const double dx = xs[a] - xs[b];
+    const double dy = ys[a] - ys[b];
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  for (std::size_t u = 0; u < options.nodes; ++u) {
+    for (std::size_t v = u + 1; v < options.nodes; ++v) {
+      const double d = dist(u, v);
+      const double p = options.alpha * std::exp(-d / (options.beta * max_dist));
+      if (rng.chance(p)) {
+        const Weight w = std::max(1e-3, d * options.delay_scale);
+        graph.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v), w);
+      }
+    }
+  }
+  if (options.force_connected) {
+    // Union-find over current edges; attach each non-main component to its
+    // geometrically nearest node of the main component.
+    std::vector<NodeId> parent(options.nodes);
+    std::iota(parent.begin(), parent.end(), 0);
+    std::vector<NodeId> rank(options.nodes, 0);
+    auto find = [&](NodeId x) {
+      while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+      }
+      return x;
+    };
+    auto unite = [&](NodeId a, NodeId b) {
+      a = find(a);
+      b = find(b);
+      if (a == b) return;
+      if (rank[a] < rank[b]) std::swap(a, b);
+      parent[b] = a;
+      if (rank[a] == rank[b]) ++rank[a];
+    };
+    for (const Edge& e : graph.edges()) unite(e.u, e.v);
+    // Largest component root.
+    std::vector<std::size_t> size(options.nodes, 0);
+    for (NodeId u = 0; u < options.nodes; ++u) ++size[find(u)];
+    NodeId main_root = 0;
+    for (NodeId u = 0; u < options.nodes; ++u)
+      if (size[u] > size[main_root]) main_root = u;
+    for (NodeId u = 0; u < options.nodes; ++u) {
+      if (find(u) == main_root) continue;
+      // Nearest node currently in the main component.
+      NodeId best = kInvalidNode;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (NodeId v = 0; v < options.nodes; ++v) {
+        if (find(v) != main_root) continue;
+        const double d = dist(u, v);
+        if (d < best_d) {
+          best_d = d;
+          best = v;
+        }
+      }
+      const Weight w = std::max(1e-3, best_d * options.delay_scale);
+      graph.add_edge(u, best, w);
+      unite(u, best);
+    }
+  }
+  return graph;
+}
+
+Graph transit_stub(const TransitStubOptions& options, Rng& rng) {
+  if (options.transit_nodes == 0)
+    throw std::invalid_argument{"transit_stub: zero transit nodes"};
+  const std::size_t total =
+      options.transit_nodes +
+      options.transit_nodes * options.stubs_per_transit * options.nodes_per_stub;
+  Graph graph{total};
+
+  // Backbone: ring + random chords for redundancy.
+  for (std::size_t i = 0; i < options.transit_nodes; ++i) {
+    const auto u = static_cast<NodeId>(i);
+    const auto v = static_cast<NodeId>((i + 1) % options.transit_nodes);
+    if (u != v) graph.add_edge(u, v, options.transit_delay);
+  }
+  const std::size_t chords = options.transit_nodes / 2;
+  for (std::size_t c = 0; c < chords; ++c) {
+    const auto u = static_cast<NodeId>(rng.next_below(options.transit_nodes));
+    const auto v = static_cast<NodeId>(rng.next_below(options.transit_nodes));
+    if (u != v) graph.add_edge(u, v, options.transit_delay);
+  }
+
+  NodeId next = static_cast<NodeId>(options.transit_nodes);
+  for (std::size_t t = 0; t < options.transit_nodes; ++t) {
+    for (std::size_t s = 0; s < options.stubs_per_transit; ++s) {
+      const NodeId stub_first = next;
+      for (std::size_t i = 0; i < options.nodes_per_stub; ++i) {
+        const NodeId u = next++;
+        if (i == 0) {
+          // Gateway connects the stub to its transit router.
+          graph.add_edge(u, static_cast<NodeId>(t), options.transit_stub_delay);
+        } else {
+          // Chain to keep the stub connected, plus random intra-stub chords.
+          graph.add_edge(u, static_cast<NodeId>(u - 1), options.stub_delay);
+        }
+      }
+      // Extra random intra-stub edges (dense local cluster).
+      for (NodeId u = stub_first; u < next; ++u) {
+        for (NodeId v = u + 1; v < next; ++v) {
+          if (graph.has_edge(u, v)) continue;
+          if (rng.chance(options.stub_extra_edge_prob))
+            graph.add_edge(u, v, options.stub_delay);
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+namespace {
+
+// Random spanning tree by random attachment order: node i (in shuffled
+// order) connects to a uniformly random earlier node. Equivalent to a
+// random recursive tree; mirrors bootstrap joining.
+void add_random_spanning_tree(Graph& graph, Rng& rng, Weight weight) {
+  const std::size_t n = graph.node_count();
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(std::span<NodeId>{order});
+  for (std::size_t i = 1; i < n; ++i) {
+    const NodeId u = order[i];
+    const NodeId v = order[rng.next_below(i)];
+    graph.add_edge(u, v, weight);
+  }
+}
+
+void add_random_edges_to_target(Graph& graph, Rng& rng, std::size_t target_edges,
+                                Weight weight) {
+  const std::size_t n = graph.node_count();
+  if (n < 2) return;
+  const std::size_t max_edges = n * (n - 1) / 2;
+  target_edges = std::min(target_edges, max_edges);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 50 * (target_edges + 1);
+  while (graph.edge_count() < target_edges && attempts < max_attempts) {
+    ++attempts;
+    const auto u = static_cast<NodeId>(rng.next_below(n));
+    const auto v = static_cast<NodeId>(rng.next_below(n));
+    if (u == v) continue;
+    graph.add_edge(u, v, weight);
+  }
+}
+
+void backfill_min_degree(Graph& graph, Rng& rng, std::size_t min_degree,
+                         Weight weight) {
+  const std::size_t n = graph.node_count();
+  if (n < 2) return;
+  min_degree = std::min(min_degree, n - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    std::size_t guard = 0;
+    while (graph.degree(u) < min_degree && guard++ < 100 * n) {
+      const auto v = static_cast<NodeId>(rng.next_below(n));
+      if (v == u) continue;
+      graph.add_edge(u, v, weight);
+    }
+  }
+}
+
+}  // namespace
+
+Graph random_overlay(const OverlayOptions& options, Rng& rng) {
+  if (options.peers < 2)
+    throw std::invalid_argument{"random_overlay: need >= 2 peers"};
+  if (!(options.mean_degree >= 1.0))
+    throw std::invalid_argument{"random_overlay: mean_degree must be >= 1"};
+  Graph graph{options.peers};
+  add_random_spanning_tree(graph, rng, 1.0);
+  const auto target_edges = static_cast<std::size_t>(
+      options.mean_degree * static_cast<double>(options.peers) / 2.0);
+  add_random_edges_to_target(graph, rng, target_edges, 1.0);
+  backfill_min_degree(graph, rng, options.min_degree, 1.0);
+  return graph;
+}
+
+Graph power_law_overlay(const OverlayOptions& options, Rng& rng) {
+  if (options.peers < 4)
+    throw std::invalid_argument{"power_law_overlay: need >= 4 peers"};
+  BaOptions ba;
+  ba.nodes = options.peers;
+  // Use roughly half the target degree for attachment; the rest is filled
+  // with uniform random edges, giving a power-law core with random chords
+  // (matches measured Gnutella snapshots better than pure BA).
+  ba.edges_per_node =
+      std::max<std::size_t>(1, static_cast<std::size_t>(options.mean_degree / 4.0));
+  ba.min_delay = 1.0;
+  ba.max_delay = 1.0;
+  Graph graph = barabasi_albert(ba, rng);
+  const auto target_edges = static_cast<std::size_t>(
+      options.mean_degree * static_cast<double>(options.peers) / 2.0);
+  add_random_edges_to_target(graph, rng, target_edges, 1.0);
+  backfill_min_degree(graph, rng, options.min_degree, 1.0);
+  return graph;
+}
+
+Graph small_world_overlay(const OverlayOptions& options, Rng& rng,
+                          double rewire_prob) {
+  if (options.peers < 4)
+    throw std::invalid_argument{"small_world_overlay: need >= 4 peers"};
+  WattsStrogatzOptions ws;
+  ws.nodes = options.peers;
+  // k must be even and >= 2; round mean_degree down to the nearest even.
+  auto k = static_cast<std::size_t>(options.mean_degree);
+  if (k % 2 == 1) --k;
+  ws.k = std::max<std::size_t>(2, std::min(k, options.peers - 2));
+  ws.rewire_prob = rewire_prob;
+  Graph graph = watts_strogatz(ws, rng);
+  backfill_min_degree(graph, rng, options.min_degree, 1.0);
+  return graph;
+}
+
+Graph watts_strogatz(const WattsStrogatzOptions& options, Rng& rng) {
+  if (options.nodes < 3) throw std::invalid_argument{"watts_strogatz: too few nodes"};
+  if (options.k % 2 != 0 || options.k == 0 || options.k >= options.nodes)
+    throw std::invalid_argument{"watts_strogatz: k must be even, 0 < k < n"};
+  const std::size_t n = options.nodes;
+  Graph graph{n};
+  // Ring lattice.
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t j = 1; j <= options.k / 2; ++j) {
+      const auto v = static_cast<NodeId>((u + j) % n);
+      graph.add_edge(static_cast<NodeId>(u), v, options.weight);
+    }
+  }
+  // Rewire each original lattice edge with probability rewire_prob.
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t j = 1; j <= options.k / 2; ++j) {
+      const auto v = static_cast<NodeId>((u + j) % n);
+      if (!rng.chance(options.rewire_prob)) continue;
+      if (!graph.has_edge(static_cast<NodeId>(u), v)) continue;  // already rewired away
+      // Pick a new endpoint w != u, not already adjacent.
+      std::size_t guard = 0;
+      while (guard++ < 100) {
+        const auto w = static_cast<NodeId>(rng.next_below(n));
+        if (w == u || graph.has_edge(static_cast<NodeId>(u), w)) continue;
+        graph.remove_edge(static_cast<NodeId>(u), v);
+        graph.add_edge(static_cast<NodeId>(u), w, options.weight);
+        break;
+      }
+    }
+  }
+  return graph;
+}
+
+Graph erdos_renyi(const ErdosRenyiOptions& options, Rng& rng) {
+  Graph graph{options.nodes};
+  for (std::size_t u = 0; u < options.nodes; ++u)
+    for (std::size_t v = u + 1; v < options.nodes; ++v)
+      if (rng.chance(options.edge_prob))
+        graph.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v),
+                       options.weight);
+  return graph;
+}
+
+}  // namespace ace

@@ -1,0 +1,132 @@
+// Topology generators. The paper generates physical topologies with BRITE's
+// BA (Barabási-Albert) option — BA graphs exhibit the small-world and
+// power-law properties measured for the real Internet — and logical overlays
+// as random graphs with a target mean degree. BRITE is not available, so
+// this module is the substitute substrate: the same generative processes,
+// implemented from scratch (see DESIGN.md §2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ace {
+
+// ---------------------------------------------------------------------------
+// Physical-layer generators
+// ---------------------------------------------------------------------------
+
+struct BaOptions {
+  std::size_t nodes = 1000;
+  // Edges added per new node (BRITE's m parameter). The seed clique has
+  // edges_per_node + 1 nodes.
+  std::size_t edges_per_node = 2;
+  // Edge delays are drawn uniformly from [min_delay, max_delay]. BRITE
+  // assigns delays from router placement; a uniform draw preserves the
+  // property that matters here (heterogeneous per-hop delay).
+  Weight min_delay = 1.0;
+  Weight max_delay = 10.0;
+};
+
+// Barabási-Albert preferential attachment. Node t connects to
+// edges_per_node distinct existing nodes chosen with probability
+// proportional to their current degree. Produces the power-law degree
+// distribution (alpha ~ 3) and low diameter the paper's methodology cites.
+Graph barabasi_albert(const BaOptions& options, Rng& rng);
+
+struct WaxmanOptions {
+  std::size_t nodes = 1000;
+  // P(edge between u,v) = alpha * exp(-d(u,v) / (beta * L)), d Euclidean on
+  // the unit square, L = sqrt(2) the max distance.
+  double alpha = 0.15;
+  double beta = 0.2;
+  // Delay per edge = distance * delay_scale (propagation-delay model).
+  Weight delay_scale = 20.0;
+  // When true, extra edges are added to connect stray components to the
+  // largest one (each stray node links to its geometrically nearest
+  // connected node).
+  bool force_connected = true;
+};
+
+// Waxman random geometric graph — the classic flat router-level model;
+// provided as an alternative physical substrate and for generator ablation.
+Graph waxman(const WaxmanOptions& options, Rng& rng);
+
+struct TransitStubOptions {
+  std::size_t transit_nodes = 16;       // backbone routers
+  std::size_t stubs_per_transit = 4;    // stub domains hanging off each
+  std::size_t nodes_per_stub = 15;      // hosts per stub domain
+  Weight transit_delay = 20.0;          // backbone link delay (long haul)
+  Weight transit_stub_delay = 5.0;      // access link delay
+  Weight stub_delay = 1.0;              // intra-domain link delay
+  double stub_extra_edge_prob = 0.3;    // extra random intra-stub edges
+};
+
+// Two-level transit-stub topology (GT-ITM style): a connected backbone of
+// transit routers, each with several densely-connected stub domains. This
+// captures the property at the heart of the mismatch problem — intra-domain
+// hops are cheap, inter-domain hops are expensive (MSU vs Tsinghua in the
+// paper's Fig. 2).
+Graph transit_stub(const TransitStubOptions& options, Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Overlay-layer generators
+// ---------------------------------------------------------------------------
+
+struct OverlayOptions {
+  std::size_t peers = 512;
+  // Target mean number of logical neighbors per peer (the paper's C,
+  // "average edge connections", swept over {4, 6, 8, 10}).
+  double mean_degree = 6.0;
+  // Minimum degree each peer should end with (Gnutella clients keep a
+  // handful of connections open); clamped to peers-1.
+  std::size_t min_degree = 2;
+};
+
+// Random overlay: a connected random graph with the target mean degree.
+// Construction: random spanning tree (guarantees connectivity, mirrors
+// bootstrap joining), then uniformly random extra edges up to the target
+// edge count, then degree back-fill to min_degree. Edge weights are
+// placeholders (1.0) — the overlay manager re-weights logical links with
+// physical path delays.
+Graph random_overlay(const OverlayOptions& options, Rng& rng);
+
+struct WattsStrogatzOptions {
+  std::size_t nodes = 512;
+  std::size_t k = 6;         // each node connected to k nearest ring neighbors (even)
+  double rewire_prob = 0.1;  // per-edge rewiring probability
+  Weight weight = 1.0;
+};
+
+// Watts-Strogatz small-world ring; used in tests to validate the
+// clustering/path-length metrics and as an alternative overlay shape.
+Graph watts_strogatz(const WattsStrogatzOptions& options, Rng& rng);
+
+struct ErdosRenyiOptions {
+  std::size_t nodes = 512;
+  double edge_prob = 0.02;
+  Weight weight = 1.0;
+};
+
+// G(n, p) random graph (reference model for metric tests).
+Graph erdos_renyi(const ErdosRenyiOptions& options, Rng& rng);
+
+// Power-law overlay: BA attachment over peers, then random extra edges to
+// reach the requested mean degree. Mirrors measured Gnutella snapshots
+// (power-law-ish overlay degree); used as the "trace-like" overlay
+// substitute for the paper's DSS Clip2 trace experiment.
+Graph power_law_overlay(const OverlayOptions& options, Rng& rng);
+
+// Small-world overlay (the paper's §4.1 default: P2P overlays follow small
+// world *and* power law properties): a Watts-Strogatz ring over the peers
+// with k = mean_degree and mild rewiring. The resulting high clustering is
+// what gives ACE material to work with — 1-neighbor closures contain
+// neighbor-neighbor links, so local MSTs genuinely prune redundant edges.
+// Ring positions are arbitrary peer indices, entirely uncorrelated with the
+// physical host placement, so the overlay is maximally mismatched.
+Graph small_world_overlay(const OverlayOptions& options, Rng& rng,
+                          double rewire_prob = 0.15);
+
+}  // namespace ace

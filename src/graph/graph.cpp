@@ -1,0 +1,141 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ace {
+
+Graph::Graph(std::size_t node_count) : adjacency_(node_count) {}
+
+NodeId Graph::add_node() {
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+void Graph::check_node(NodeId u) const {
+  if (u >= adjacency_.size())
+    throw std::out_of_range{"Graph: node id " + std::to_string(u) +
+                            " out of range (n=" +
+                            std::to_string(adjacency_.size()) + ")"};
+}
+
+bool Graph::add_edge(NodeId u, NodeId v, Weight weight) {
+  check_node(u);
+  check_node(v);
+  if (u == v) return false;
+  if (!(weight > 0))
+    throw std::invalid_argument{"Graph::add_edge: weight must be positive"};
+  if (has_edge(u, v)) return false;
+  adjacency_[u].push_back({v, weight});
+  adjacency_[v].push_back({u, weight});
+  ++edge_count_;
+  return true;
+}
+
+namespace {
+bool erase_neighbor(std::vector<Neighbor>& list, NodeId target) {
+  const auto it = std::find_if(list.begin(), list.end(), [target](const Neighbor& n) {
+    return n.node == target;
+  });
+  if (it == list.end()) return false;
+  *it = list.back();
+  list.pop_back();
+  return true;
+}
+}  // namespace
+
+bool Graph::remove_edge(NodeId u, NodeId v) {
+  check_node(u);
+  check_node(v);
+  if (!erase_neighbor(adjacency_[u], v)) return false;
+  erase_neighbor(adjacency_[v], u);
+  --edge_count_;
+  return true;
+}
+
+bool Graph::set_weight(NodeId u, NodeId v, Weight weight) {
+  check_node(u);
+  check_node(v);
+  if (!(weight > 0))
+    throw std::invalid_argument{"Graph::set_weight: weight must be positive"};
+  auto update = [weight](std::vector<Neighbor>& list, NodeId target) {
+    for (auto& n : list) {
+      if (n.node == target) {
+        n.weight = weight;
+        return true;
+      }
+    }
+    return false;
+  };
+  if (!update(adjacency_[u], v)) return false;
+  update(adjacency_[v], u);
+  return true;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  // Scan the smaller adjacency list.
+  const auto& list =
+      adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u] : adjacency_[v];
+  const NodeId target = adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  return std::any_of(list.begin(), list.end(), [target](const Neighbor& n) {
+    return n.node == target;
+  });
+}
+
+std::optional<Weight> Graph::edge_weight(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  for (const auto& n : adjacency_[u])
+    if (n.node == v) return n.weight;
+  return std::nullopt;
+}
+
+std::span<const Neighbor> Graph::neighbors(NodeId u) const {
+  check_node(u);
+  return adjacency_[u];
+}
+
+std::size_t Graph::degree(NodeId u) const {
+  check_node(u);
+  return adjacency_[u].size();
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(edge_count_);
+  for (NodeId u = 0; u < adjacency_.size(); ++u)
+    for (const auto& n : adjacency_[u])
+      if (u < n.node) out.push_back({u, n.node, n.weight});
+  return out;
+}
+
+Weight Graph::total_weight() const {
+  Weight total = 0;
+  for (NodeId u = 0; u < adjacency_.size(); ++u)
+    for (const auto& n : adjacency_[u])
+      if (u < n.node) total += n.weight;
+  return total;
+}
+
+std::vector<NodeId> Graph::isolate(NodeId u) {
+  check_node(u);
+  std::vector<NodeId> removed;
+  removed.reserve(adjacency_[u].size());
+  for (const auto& n : adjacency_[u]) removed.push_back(n.node);
+  for (const NodeId v : removed) {
+    erase_neighbor(adjacency_[v], u);
+    --edge_count_;
+  }
+  adjacency_[u].clear();
+  return removed;
+}
+
+double Graph::mean_degree() const noexcept {
+  if (adjacency_.empty()) return 0.0;
+  return 2.0 * static_cast<double>(edge_count_) /
+         static_cast<double>(adjacency_.size());
+}
+
+}  // namespace ace

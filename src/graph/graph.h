@@ -1,0 +1,86 @@
+// Undirected weighted graph with dynamic edge insertion/removal. This is the
+// shared representation for both the physical topology (static after
+// generation) and logical overlays (mutated continuously by churn and by the
+// ACE optimizer).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace ace {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+// Edge weights are delays/costs in abstract "delay units" (the paper's
+// figures use the same abstraction; we treat 1 unit ~ 1 ms when a physical
+// interpretation helps).
+using Weight = double;
+
+struct Edge {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  Weight weight = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+struct Neighbor {
+  NodeId node = kInvalidNode;
+  Weight weight = 0;
+
+  friend bool operator==(const Neighbor&, const Neighbor&) = default;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t node_count);
+
+  std::size_t node_count() const noexcept { return adjacency_.size(); }
+  std::size_t edge_count() const noexcept { return edge_count_; }
+
+  // Appends an isolated node, returning its id.
+  NodeId add_node();
+
+  // Adds edge u-v with the given positive weight. Returns false (and leaves
+  // the graph unchanged) when the edge already exists or u == v.
+  bool add_edge(NodeId u, NodeId v, Weight weight);
+
+  // Removes edge u-v. Returns false when it does not exist.
+  bool remove_edge(NodeId u, NodeId v);
+
+  // Replaces the weight of an existing edge; returns false when missing.
+  bool set_weight(NodeId u, NodeId v, Weight weight);
+
+  bool has_edge(NodeId u, NodeId v) const;
+  std::optional<Weight> edge_weight(NodeId u, NodeId v) const;
+
+  std::span<const Neighbor> neighbors(NodeId u) const;
+  std::size_t degree(NodeId u) const;
+
+  // Snapshot of all edges with u < v (each undirected edge once).
+  std::vector<Edge> edges() const;
+
+  // Sum of all edge weights (each undirected edge counted once).
+  Weight total_weight() const;
+
+  // Drops all edges incident to u (used when a peer leaves the overlay).
+  // Returns the neighbors that were disconnected.
+  std::vector<NodeId> isolate(NodeId u);
+
+  // Average degree over all nodes (0 for an empty graph).
+  double mean_degree() const noexcept;
+
+  void reserve_nodes(std::size_t n) { adjacency_.reserve(n); }
+
+ private:
+  void check_node(NodeId u) const;
+
+  std::vector<std::vector<Neighbor>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace ace

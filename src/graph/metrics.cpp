@@ -1,0 +1,85 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/shortest_path.h"
+#include "util/stats.h"
+
+namespace ace {
+
+std::vector<std::size_t> degree_sequence(const Graph& graph) {
+  std::vector<std::size_t> degrees(graph.node_count());
+  for (NodeId u = 0; u < graph.node_count(); ++u) degrees[u] = graph.degree(u);
+  return degrees;
+}
+
+double degree_power_law_alpha(const Graph& graph, std::size_t x_min) {
+  const auto degrees = degree_sequence(graph);
+  return power_law_alpha_mle(degrees, x_min);
+}
+
+double local_clustering(const Graph& graph, NodeId u) {
+  const auto neighbors = graph.neighbors(u);
+  const std::size_t k = neighbors.size();
+  if (k < 2) return 0.0;
+  std::size_t links = 0;
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = i + 1; j < k; ++j)
+      if (graph.has_edge(neighbors[i].node, neighbors[j].node)) ++links;
+  return 2.0 * static_cast<double>(links) /
+         (static_cast<double>(k) * static_cast<double>(k - 1));
+}
+
+double mean_clustering(const Graph& graph) {
+  if (graph.node_count() == 0) return 0.0;
+  double sum = 0.0;
+  for (NodeId u = 0; u < graph.node_count(); ++u)
+    sum += local_clustering(graph, u);
+  return sum / static_cast<double>(graph.node_count());
+}
+
+double mean_path_length(const Graph& graph, Rng& rng, std::size_t samples) {
+  const std::size_t n = graph.node_count();
+  if (n < 2) return 0.0;
+  std::vector<NodeId> sources;
+  if (samples >= n) {
+    sources.resize(n);
+    for (NodeId u = 0; u < n; ++u) sources[u] = u;
+  } else {
+    for (const std::size_t i : rng.sample_indices(n, samples))
+      sources.push_back(static_cast<NodeId>(i));
+  }
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (const NodeId s : sources) {
+    const auto hops = bfs_hops(graph, s);
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == s || hops[v] == kUnreachableHops) continue;
+      total += static_cast<double>(hops[v]);
+      ++pairs;
+    }
+  }
+  return pairs ? total / static_cast<double>(pairs) : 0.0;
+}
+
+SmallWorldReport small_world_report(const Graph& graph, Rng& rng,
+                                    std::size_t samples) {
+  SmallWorldReport report;
+  const std::size_t n = graph.node_count();
+  if (n < 2) return report;
+  report.clustering = mean_clustering(graph);
+  report.path_length = mean_path_length(graph, rng, samples);
+  const double k = graph.mean_degree();
+  report.random_clustering = k / static_cast<double>(n);
+  report.random_path_length =
+      k > 1.0 ? std::log(static_cast<double>(n)) / std::log(k) : 0.0;
+  if (report.random_clustering > 0 && report.random_path_length > 0 &&
+      report.path_length > 0) {
+    report.sigma = (report.clustering / report.random_clustering) /
+                   (report.path_length / report.random_path_length);
+  }
+  return report;
+}
+
+}  // namespace ace

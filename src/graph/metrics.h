@@ -1,0 +1,47 @@
+// Graph-property metrics used to validate that generated topologies exhibit
+// the small-world and power-law characteristics the paper's methodology
+// requires (§4.1 cites both for physical Internet and P2P overlay graphs).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ace {
+
+// Degree of every node.
+std::vector<std::size_t> degree_sequence(const Graph& graph);
+
+// MLE power-law exponent of the degree distribution for degrees >= x_min
+// (see util/stats.h). 0 when the fit is impossible.
+double degree_power_law_alpha(const Graph& graph, std::size_t x_min = 2);
+
+// Local clustering coefficient of node u: fraction of neighbor pairs that
+// are themselves adjacent. 0 for degree < 2.
+double local_clustering(const Graph& graph, NodeId u);
+
+// Average of local clustering over all nodes (Watts-Strogatz definition).
+double mean_clustering(const Graph& graph);
+
+// Average shortest-path hop length, estimated by BFS from `samples` random
+// sources (exact when samples >= node count). Unreachable pairs are
+// skipped. Returns 0 for graphs with < 2 nodes.
+double mean_path_length(const Graph& graph, Rng& rng, std::size_t samples = 64);
+
+struct SmallWorldReport {
+  double clustering = 0;            // mean clustering coefficient
+  double path_length = 0;           // mean shortest-path hops (sampled)
+  double random_clustering = 0;     // C_rand ~ mean_degree / n
+  double random_path_length = 0;    // L_rand ~ ln(n) / ln(mean_degree)
+  // Humphries-Gurney small-world index: (C/C_rand) / (L/L_rand); > 1 is
+  // small-world-ish, >> 1 strongly so.
+  double sigma = 0;
+};
+
+// Computes the small-world report against the Erdős–Rényi null model.
+SmallWorldReport small_world_report(const Graph& graph, Rng& rng,
+                                    std::size_t samples = 64);
+
+}  // namespace ace

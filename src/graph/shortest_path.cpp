@@ -1,0 +1,201 @@
+#include "graph/shortest_path.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace ace {
+
+namespace {
+
+struct HeapItem {
+  Weight dist;
+  NodeId node;
+  friend bool operator>(const HeapItem& a, const HeapItem& b) {
+    return a.dist > b.dist;
+  }
+};
+
+using MinHeap =
+    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>;
+
+ShortestPathResult dijkstra_impl(const Graph& graph, NodeId source,
+                                 std::span<const NodeId> targets) {
+  const std::size_t n = graph.node_count();
+  if (source >= n) throw std::out_of_range{"dijkstra: source out of range"};
+  ShortestPathResult result;
+  result.dist.assign(n, kUnreachable);
+  result.parent.assign(n, kInvalidNode);
+  std::vector<bool> done(n, false);
+
+  std::size_t targets_left = targets.size();
+  std::vector<bool> is_target;
+  if (!targets.empty()) {
+    is_target.assign(n, false);
+    for (const NodeId t : targets) {
+      if (t >= n) throw std::out_of_range{"dijkstra: target out of range"};
+      if (!is_target[t]) {
+        is_target[t] = true;
+      } else {
+        --targets_left;  // duplicate target
+      }
+    }
+  }
+
+  MinHeap heap;
+  result.dist[source] = 0;
+  heap.push({0, source});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (done[u]) continue;
+    done[u] = true;
+    if (!targets.empty() && is_target[u] && --targets_left == 0) break;
+    for (const auto& [v, w] : graph.neighbors(u)) {
+      const Weight nd = d + w;
+      if (nd < result.dist[v]) {
+        result.dist[v] = nd;
+        result.parent[v] = u;
+        heap.push({nd, v});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+ShortestPathResult dijkstra(const Graph& graph, NodeId source) {
+  return dijkstra_impl(graph, source, {});
+}
+
+ShortestPathResult dijkstra_to_targets(const Graph& graph, NodeId source,
+                                       std::span<const NodeId> targets) {
+  return dijkstra_impl(graph, source, targets);
+}
+
+std::vector<NodeId> extract_path(const ShortestPathResult& result,
+                                 NodeId target) {
+  if (target >= result.dist.size())
+    throw std::out_of_range{"extract_path: target out of range"};
+  if (result.dist[target] == kUnreachable) return {};
+  std::vector<NodeId> path;
+  for (NodeId v = target; v != kInvalidNode; v = result.parent[v])
+    path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<std::uint32_t> bfs_hops(const Graph& graph, NodeId source) {
+  const std::size_t n = graph.node_count();
+  if (source >= n) throw std::out_of_range{"bfs_hops: source out of range"};
+  std::vector<std::uint32_t> hops(n, kUnreachableHops);
+  std::queue<NodeId> queue;
+  hops[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    for (const auto& [v, w] : graph.neighbors(u)) {
+      (void)w;
+      if (hops[v] == kUnreachableHops) {
+        hops[v] = hops[u] + 1;
+        queue.push(v);
+      }
+    }
+  }
+  return hops;
+}
+
+std::vector<NodeId> nodes_within_hops(const Graph& graph, NodeId source,
+                                      std::uint32_t max_hops) {
+  const std::size_t n = graph.node_count();
+  if (source >= n)
+    throw std::out_of_range{"nodes_within_hops: source out of range"};
+  std::vector<std::uint32_t> hops(n, kUnreachableHops);
+  std::vector<NodeId> order;
+  std::queue<NodeId> queue;
+  hops[source] = 0;
+  queue.push(source);
+  order.push_back(source);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    if (hops[u] == max_hops) continue;
+    for (const auto& [v, w] : graph.neighbors(u)) {
+      (void)w;
+      if (hops[v] == kUnreachableHops) {
+        hops[v] = hops[u] + 1;
+        queue.push(v);
+        order.push_back(v);
+      }
+    }
+  }
+  return order;
+}
+
+MstResult prim_mst(const Graph& graph, NodeId root) {
+  const std::size_t n = graph.node_count();
+  if (root >= n) throw std::out_of_range{"prim_mst: root out of range"};
+  MstResult result;
+  std::vector<bool> in_tree(n, false);
+  std::vector<Weight> best(n, kUnreachable);
+  std::vector<NodeId> best_from(n, kInvalidNode);
+
+  MinHeap heap;
+  best[root] = 0;
+  heap.push({0, root});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (in_tree[u]) continue;
+    in_tree[u] = true;
+    if (best_from[u] != kInvalidNode) {
+      result.edges.push_back({best_from[u], u, best[u]});
+      result.total_weight += best[u];
+    }
+    for (const auto& [v, w] : graph.neighbors(u)) {
+      if (!in_tree[v] && w < best[v]) {
+        best[v] = w;
+        best_from[v] = u;
+        heap.push({w, v});
+      }
+    }
+  }
+  return result;
+}
+
+bool is_connected(const Graph& graph) {
+  if (graph.node_count() == 0) return true;
+  const auto hops = bfs_hops(graph, 0);
+  return std::none_of(hops.begin(), hops.end(), [](std::uint32_t h) {
+    return h == kUnreachableHops;
+  });
+}
+
+std::vector<std::uint32_t> connected_components(const Graph& graph) {
+  const std::size_t n = graph.node_count();
+  std::vector<std::uint32_t> label(n, kUnreachableHops);
+  std::uint32_t next_label = 0;
+  std::queue<NodeId> queue;
+  for (NodeId start = 0; start < n; ++start) {
+    if (label[start] != kUnreachableHops) continue;
+    label[start] = next_label;
+    queue.push(start);
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop();
+      for (const auto& [v, w] : graph.neighbors(u)) {
+        (void)w;
+        if (label[v] == kUnreachableHops) {
+          label[v] = next_label;
+          queue.push(v);
+        }
+      }
+    }
+    ++next_label;
+  }
+  return label;
+}
+
+}  // namespace ace

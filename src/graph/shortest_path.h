@@ -1,0 +1,64 @@
+// Shortest paths and spanning trees: Dijkstra (the physical delay oracle),
+// BFS (hop-count closures), and Prim's MST (ACE phase 2 builds its local
+// multicast tree with Prim, as the paper specifies).
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ace {
+
+inline constexpr Weight kUnreachable = std::numeric_limits<Weight>::infinity();
+
+struct ShortestPathResult {
+  // dist[v] = cost of the shortest path source->v (kUnreachable when none).
+  std::vector<Weight> dist;
+  // parent[v] = predecessor of v on that path (kInvalidNode for the source
+  // and unreachable nodes).
+  std::vector<NodeId> parent;
+};
+
+// Single-source Dijkstra over non-negative weights (binary heap,
+// O((V+E) log V)).
+ShortestPathResult dijkstra(const Graph& graph, NodeId source);
+
+// Dijkstra that stops once every node in `targets` is finalized — used by
+// the physical network's on-demand host-distance cache.
+ShortestPathResult dijkstra_to_targets(const Graph& graph, NodeId source,
+                                       std::span<const NodeId> targets);
+
+// Reconstructs the node sequence source..target from a parent array.
+// Returns empty when target is unreachable.
+std::vector<NodeId> extract_path(const ShortestPathResult& result,
+                                 NodeId target);
+
+// Unweighted BFS hop counts from source; kUnreachableHops when unreachable.
+inline constexpr std::uint32_t kUnreachableHops =
+    std::numeric_limits<std::uint32_t>::max();
+std::vector<std::uint32_t> bfs_hops(const Graph& graph, NodeId source);
+
+// All nodes within `max_hops` hops of source, in BFS order (source first).
+std::vector<NodeId> nodes_within_hops(const Graph& graph, NodeId source,
+                                      std::uint32_t max_hops);
+
+struct MstResult {
+  // Edges of the spanning forest (one tree per connected component that
+  // contains the root's component; isolated parts of the input are absent).
+  std::vector<Edge> edges;
+  Weight total_weight = 0;
+};
+
+// Prim's algorithm rooted at `root`, spanning root's connected component.
+MstResult prim_mst(const Graph& graph, NodeId root);
+
+// True when every node is reachable from node 0 (empty graph is connected).
+bool is_connected(const Graph& graph);
+
+// Connected component label per node (labels are 0..k-1, assigned in
+// discovery order).
+std::vector<std::uint32_t> connected_components(const Graph& graph);
+
+}  // namespace ace

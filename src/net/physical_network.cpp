@@ -1,0 +1,62 @@
+#include "net/physical_network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/shortest_path.h"
+
+namespace ace {
+
+PhysicalNetwork::PhysicalNetwork(Graph topology, std::size_t max_cached_rows)
+    : topology_{std::move(topology)}, max_cached_rows_{max_cached_rows} {}
+
+const PhysicalNetwork::Row& PhysicalNetwork::row_for(HostId source) const {
+  if (source >= topology_.node_count())
+    throw std::out_of_range{"PhysicalNetwork: host out of range"};
+  if (const auto it = cache_.find(source); it != cache_.end()) return it->second;
+
+  auto result = dijkstra(topology_, source);
+  Row row;
+  row.dist.reserve(result.dist.size());
+  for (const Weight d : result.dist) row.dist.push_back(static_cast<float>(d));
+  row.parent = std::move(result.parent);
+  ++rows_computed_;
+
+  if (max_cached_rows_ != 0 && cache_.size() >= max_cached_rows_) {
+    // FIFO eviction: oldest row leaves.
+    const HostId victim = eviction_order_.front();
+    eviction_order_.pop_front();
+    cache_.erase(victim);
+  }
+  eviction_order_.push_back(source);
+  return cache_.emplace(source, std::move(row)).first->second;
+}
+
+Weight PhysicalNetwork::delay(HostId a, HostId b) const {
+  if (b >= topology_.node_count())
+    throw std::out_of_range{"PhysicalNetwork: host out of range"};
+  if (a == b) return 0;
+  // Use whichever endpoint already has a cached row to avoid duplicates.
+  if (!cache_.contains(a) && cache_.contains(b)) std::swap(a, b);
+  return static_cast<Weight>(row_for(a).dist[b]);
+}
+
+std::size_t PhysicalNetwork::path_hops(HostId a, HostId b) const {
+  return path(a, b).empty() ? 0 : path(a, b).size() - 1;
+}
+
+std::vector<HostId> PhysicalNetwork::path(HostId a, HostId b) const {
+  if (b >= topology_.node_count())
+    throw std::out_of_range{"PhysicalNetwork: host out of range"};
+  if (a == b) return {a};
+  const Row& row = row_for(a);
+  if (row.dist[b] == static_cast<float>(kUnreachable) ||
+      (row.parent[b] == kInvalidNode && b != a))
+    return {};
+  std::vector<HostId> nodes;
+  for (NodeId v = b; v != kInvalidNode; v = row.parent[v]) nodes.push_back(v);
+  std::reverse(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+}  // namespace ace

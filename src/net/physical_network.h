@@ -1,0 +1,70 @@
+// Physical-layer substrate: wraps the generated Internet topology and
+// answers "what does it cost to send one message between hosts A and B?" —
+// the delay of the physical shortest path. This is the measurement that ACE
+// peers probe in phase 1 and the unit in which all traffic costs are
+// accounted (a logical-hop transmission consumes the physical path under
+// it; see DESIGN.md §3).
+//
+// Rows of the all-pairs distance matrix are computed lazily with Dijkstra
+// and cached with FIFO eviction, because only hosts that carry peers are
+// ever queried (a few thousand rows out of a 20k-node topology).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ace {
+
+using HostId = NodeId;
+
+class PhysicalNetwork {
+ public:
+  // `max_cached_rows` bounds memory: each cached row is one float per
+  // physical node. 0 means unlimited.
+  explicit PhysicalNetwork(Graph topology, std::size_t max_cached_rows = 8192);
+
+  const Graph& topology() const noexcept { return topology_; }
+  std::size_t host_count() const noexcept { return topology_.node_count(); }
+
+  // Shortest-path delay between two hosts. Throws std::out_of_range for bad
+  // ids; returns kUnreachable for disconnected pairs (generators produce
+  // connected graphs, so this indicates a test-constructed topology).
+  Weight delay(HostId a, HostId b) const;
+
+  // Hop count of the shortest-delay path (number of physical links the
+  // message crosses); 0 for a == b.
+  std::size_t path_hops(HostId a, HostId b) const;
+
+  // Node sequence of the shortest-delay path a..b (empty if unreachable).
+  std::vector<HostId> path(HostId a, HostId b) const;
+
+  // Round-trip probe cost as a peer would measure it (2x one-way delay) —
+  // what ACE phase 1 records in neighbor cost tables.
+  Weight probe_rtt(HostId a, HostId b) const { return 2 * delay(a, b); }
+
+  // Diagnostics: how many Dijkstra row computations have run / are cached.
+  std::size_t rows_computed() const noexcept { return rows_computed_; }
+  std::size_t rows_cached() const noexcept { return cache_.size(); }
+
+ private:
+  struct Row {
+    std::vector<float> dist;
+    std::vector<NodeId> parent;
+  };
+
+  const Row& row_for(HostId source) const;
+
+  Graph topology_;
+  std::size_t max_cached_rows_;
+  // Mutable: the cache is an implementation detail of a logically-const
+  // distance query.
+  mutable std::unordered_map<HostId, Row> cache_;
+  mutable std::deque<HostId> eviction_order_;
+  mutable std::size_t rows_computed_ = 0;
+};
+
+}  // namespace ace

@@ -1,0 +1,50 @@
+#include "overlay/churn.h"
+
+#include <stdexcept>
+
+namespace ace {
+
+ChurnDriver::ChurnDriver(OverlayNetwork& overlay, Simulator& sim, Rng& rng,
+                         ChurnConfig config)
+    : overlay_{&overlay}, sim_{&sim}, rng_{&rng}, config_{config} {
+  if (!(config_.mean_lifetime_s > 0))
+    throw std::invalid_argument{"ChurnDriver: mean lifetime must be > 0"};
+  for (PeerId p = 0; p < overlay_->peer_count(); ++p)
+    if (!overlay_->is_online(p)) offline_pool_.push_back(p);
+}
+
+double ChurnDriver::draw_lifetime() {
+  if (config_.lifetime_variance > 0)
+    return lognormal_mean_var(*rng_, config_.mean_lifetime_s,
+                              config_.lifetime_variance);
+  return exponential(*rng_, config_.mean_lifetime_s);
+}
+
+void ChurnDriver::start() {
+  for (PeerId p = 0; p < overlay_->peer_count(); ++p)
+    if (overlay_->is_online(p)) schedule_departure(p);
+}
+
+void ChurnDriver::schedule_departure(PeerId p) {
+  sim_->after(draw_lifetime(), [this, p] { depart(p); });
+}
+
+void ChurnDriver::depart(PeerId p) {
+  if (!overlay_->is_online(p)) return;  // already gone (defensive)
+  overlay_->leave(p, config_.repair_min_degree, *rng_);
+  ++leaves_;
+  if (on_leave) on_leave(p);
+  offline_pool_.push_back(p);
+
+  // Constant population: one replacement joins immediately.
+  const std::size_t slot = rng_->next_below(offline_pool_.size());
+  const PeerId fresh = offline_pool_[slot];
+  offline_pool_[slot] = offline_pool_.back();
+  offline_pool_.pop_back();
+  overlay_->join(fresh, config_.join_degree, *rng_);
+  ++joins_;
+  if (on_join) on_join(fresh);
+  schedule_departure(fresh);
+}
+
+}  // namespace ace

@@ -1,0 +1,70 @@
+// Churn driver reproducing the paper's dynamic environment (§4.3): peer
+// lifetimes follow a distribution with mean 10 minutes and variance equal
+// to half the mean; when a peer's lifetime expires it leaves, and a
+// replacement offline peer joins immediately, keeping the online population
+// constant (the paper "randomly picks up (turns on) the same number of
+// peers ... to join the overlay").
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "overlay/overlay_network.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace ace {
+
+struct ChurnConfig {
+  // Mean lifetime in seconds (paper: 10 minutes).
+  double mean_lifetime_s = 600.0;
+  // Variance of the lifetime distribution; the paper picks variance =
+  // mean/2. <= 0 selects an exponential lifetime with the same mean.
+  double lifetime_variance = 300.0;
+  // Connections a joining peer opens (bootstrap degree).
+  std::size_t join_degree = 4;
+  // Orphaned neighbors reconnect until they have this many links.
+  std::size_t repair_min_degree = 2;
+};
+
+class ChurnDriver {
+ public:
+  // Every peer in `overlay` participates: online peers get a residual
+  // lifetime now; offline peers form the replacement pool. `overlay`,
+  // `sim`, and `rng` must outlive the driver.
+  ChurnDriver(OverlayNetwork& overlay, Simulator& sim, Rng& rng,
+              ChurnConfig config);
+
+  // Arms a departure event for every currently-online peer. Call once
+  // before running the simulation.
+  void start();
+
+  // Total joins/leaves executed so far.
+  std::size_t joins() const noexcept { return joins_; }
+  std::size_t leaves() const noexcept { return leaves_; }
+
+  // Invoked after each join with the peer id (lets the ACE engine seed
+  // state for fresh peers).
+  std::function<void(PeerId)> on_join;
+  // Invoked after each leave with the peer id.
+  std::function<void(PeerId)> on_leave;
+
+  // Draws one lifetime from the configured distribution (exposed for
+  // tests/benches to verify the distribution shape).
+  double draw_lifetime();
+
+ private:
+  void schedule_departure(PeerId p);
+  void depart(PeerId p);
+
+  OverlayNetwork* overlay_;
+  Simulator* sim_;
+  Rng* rng_;
+  ChurnConfig config_;
+  std::vector<PeerId> offline_pool_;
+  std::size_t joins_ = 0;
+  std::size_t leaves_ = 0;
+};
+
+}  // namespace ace

@@ -1,0 +1,178 @@
+#include "overlay/overlay_network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ace {
+
+OverlayNetwork::OverlayNetwork(const PhysicalNetwork& physical)
+    : physical_{&physical} {}
+
+OverlayNetwork::OverlayNetwork(const PhysicalNetwork& physical,
+                               const Graph& logical,
+                               std::span<const HostId> hosts)
+    : physical_{&physical} {
+  if (hosts.size() != logical.node_count())
+    throw std::invalid_argument{
+        "OverlayNetwork: hosts.size() != overlay node count"};
+  for (const HostId h : hosts) add_peer(h, /*online=*/true);
+  for (const Edge& e : logical.edges())
+    connect(static_cast<PeerId>(e.u), static_cast<PeerId>(e.v));
+}
+
+void OverlayNetwork::check_peer(PeerId p) const {
+  if (p >= peers_.size())
+    throw std::out_of_range{"OverlayNetwork: peer id out of range"};
+}
+
+PeerId OverlayNetwork::add_peer(HostId host, bool online) {
+  if (host >= physical_->host_count())
+    throw std::out_of_range{"OverlayNetwork: host out of range"};
+  peers_.push_back({host, online});
+  const NodeId node = logical_.add_node();
+  (void)node;
+  if (online) ++online_count_;
+  return static_cast<PeerId>(peers_.size() - 1);
+}
+
+HostId OverlayNetwork::host_of(PeerId p) const {
+  check_peer(p);
+  return peers_[p].host;
+}
+
+bool OverlayNetwork::is_online(PeerId p) const {
+  check_peer(p);
+  return peers_[p].online;
+}
+
+Weight OverlayNetwork::peer_delay(PeerId a, PeerId b) const {
+  check_peer(a);
+  check_peer(b);
+  return physical_->delay(peers_[a].host, peers_[b].host);
+}
+
+bool OverlayNetwork::connect(PeerId a, PeerId b) {
+  check_peer(a);
+  check_peer(b);
+  if (a == b || !peers_[a].online || !peers_[b].online) return false;
+  const Weight cost = peer_delay(a, b);
+  // Co-located hosts would yield a zero-weight edge; clamp to a small
+  // positive value so graph invariants (positive weights) hold.
+  return logical_.add_edge(a, b, cost > 0 ? cost : 1e-6);
+}
+
+bool OverlayNetwork::disconnect(PeerId a, PeerId b) {
+  check_peer(a);
+  check_peer(b);
+  return logical_.remove_edge(a, b);
+}
+
+bool OverlayNetwork::are_connected(PeerId a, PeerId b) const {
+  check_peer(a);
+  check_peer(b);
+  return logical_.has_edge(a, b);
+}
+
+Weight OverlayNetwork::link_cost(PeerId a, PeerId b) const {
+  const auto w = logical_.edge_weight(a, b);
+  if (!w) throw std::invalid_argument{"OverlayNetwork: peers not connected"};
+  return *w;
+}
+
+std::span<const Neighbor> OverlayNetwork::neighbors(PeerId p) const {
+  check_peer(p);
+  return logical_.neighbors(p);
+}
+
+std::size_t OverlayNetwork::degree(PeerId p) const {
+  check_peer(p);
+  return logical_.degree(p);
+}
+
+std::vector<PeerId> OverlayNetwork::online_peers() const {
+  std::vector<PeerId> out;
+  out.reserve(online_count_);
+  for (PeerId p = 0; p < peers_.size(); ++p)
+    if (peers_[p].online) out.push_back(p);
+  return out;
+}
+
+PeerId OverlayNetwork::random_online_peer(Rng& rng, PeerId exclude) const {
+  const std::size_t eligible =
+      online_count_ -
+      ((exclude != kInvalidPeer && exclude < peers_.size() &&
+        peers_[exclude].online)
+           ? 1
+           : 0);
+  if (eligible == 0)
+    throw std::logic_error{"OverlayNetwork: no eligible online peer"};
+  // Rejection sampling over the peer table: online fraction is high in all
+  // our workloads, so this terminates quickly in expectation.
+  for (;;) {
+    const auto p = static_cast<PeerId>(rng.next_below(peers_.size()));
+    if (p != exclude && peers_[p].online) return p;
+  }
+}
+
+std::size_t OverlayNetwork::join(PeerId p, std::size_t target_degree,
+                                 Rng& rng) {
+  check_peer(p);
+  if (!peers_[p].online) {
+    peers_[p].online = true;
+    ++online_count_;
+  }
+  if (online_count_ <= 1) return 0;
+  std::size_t created = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 20 * (target_degree + 1);
+  while (created < target_degree && attempts++ < max_attempts) {
+    const PeerId q = random_online_peer(rng, p);
+    if (connect(p, q)) ++created;
+  }
+  return created;
+}
+
+std::vector<PeerId> OverlayNetwork::leave(PeerId p,
+                                          std::size_t repair_min_degree,
+                                          Rng& rng) {
+  check_peer(p);
+  std::vector<PeerId> dropped;
+  for (const auto& n : logical_.neighbors(p)) dropped.push_back(n.node);
+  logical_.isolate(p);
+  if (peers_[p].online) {
+    peers_[p].online = false;
+    --online_count_;
+  }
+  // Repair: orphaned neighbors reconnect from their host cache (modeled as
+  // a random online peer) until they regain the minimum degree.
+  for (const PeerId q : dropped) {
+    std::size_t attempts = 0;
+    while (peers_[q].online && logical_.degree(q) < repair_min_degree &&
+           online_count_ > 1 && attempts++ < 50) {
+      const PeerId r = random_online_peer(rng, q);
+      connect(q, r);
+    }
+  }
+  return dropped;
+}
+
+double OverlayNetwork::mean_online_degree() const {
+  if (online_count_ == 0) return 0.0;
+  std::size_t total = 0;
+  for (PeerId p = 0; p < peers_.size(); ++p)
+    if (peers_[p].online) total += logical_.degree(p);
+  return static_cast<double>(total) / static_cast<double>(online_count_);
+}
+
+std::vector<HostId> assign_hosts_uniform(const PhysicalNetwork& physical,
+                                         std::size_t peers, Rng& rng) {
+  if (peers > physical.host_count())
+    throw std::invalid_argument{"assign_hosts_uniform: more peers than hosts"};
+  std::vector<HostId> hosts;
+  hosts.reserve(peers);
+  for (const std::size_t i : rng.sample_indices(physical.host_count(), peers))
+    hosts.push_back(static_cast<HostId>(i));
+  return hosts;
+}
+
+}  // namespace ace

@@ -1,0 +1,98 @@
+// Logical overlay substrate. Peers attach to physical hosts; logical links
+// are weighted with the physical shortest-path delay between the endpoints'
+// hosts — the quantity ACE probes and optimizes. Join/leave follows the
+// Gnutella bootstrap mechanism the paper describes: a joining peer obtains
+// addresses of existing peers (bootstrap/host cache) and connects to a
+// handful of them, which is exactly what creates the mismatch problem.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "net/physical_network.h"
+#include "util/rng.h"
+
+namespace ace {
+
+using PeerId = std::uint32_t;
+inline constexpr PeerId kInvalidPeer = static_cast<PeerId>(-1);
+
+struct PeerRecord {
+  HostId host = kInvalidNode;
+  bool online = false;
+};
+
+class OverlayNetwork {
+ public:
+  // `physical` must outlive the overlay (non-owning).
+  explicit OverlayNetwork(const PhysicalNetwork& physical);
+
+  // Builds an overlay from a pre-generated logical graph: peer i attaches
+  // to hosts[i] and every logical edge is installed with its physical
+  // delay weight. hosts.size() must equal overlay.node_count().
+  OverlayNetwork(const PhysicalNetwork& physical, const Graph& logical,
+                 std::span<const HostId> hosts);
+
+  const PhysicalNetwork& physical() const noexcept { return *physical_; }
+  const Graph& logical() const noexcept { return logical_; }
+
+  std::size_t peer_count() const noexcept { return peers_.size(); }
+  std::size_t online_count() const noexcept { return online_count_; }
+
+  // Registers a peer (initially offline unless `online`).
+  PeerId add_peer(HostId host, bool online = true);
+
+  HostId host_of(PeerId p) const;
+  bool is_online(PeerId p) const;
+
+  // Logical-link delay between two peers' hosts (regardless of a link).
+  Weight peer_delay(PeerId a, PeerId b) const;
+
+  // Connects two online peers; the link weight is the physical delay.
+  // Returns false when already connected, identical, or either offline.
+  bool connect(PeerId a, PeerId b);
+  bool disconnect(PeerId a, PeerId b);
+  bool are_connected(PeerId a, PeerId b) const;
+  Weight link_cost(PeerId a, PeerId b) const;  // throws if not connected
+
+  std::span<const Neighbor> neighbors(PeerId p) const;
+  std::size_t degree(PeerId p) const;
+
+  // Peers currently online, ascending id.
+  std::vector<PeerId> online_peers() const;
+
+  // Uniformly random online peer (excluding `exclude` when valid); requires
+  // at least one eligible peer.
+  PeerId random_online_peer(Rng& rng, PeerId exclude = kInvalidPeer) const;
+
+  // --- churn primitives -----------------------------------------------
+
+  // Brings p online and connects it to `target_degree` random online peers
+  // (bootstrap join). Returns the number of links created.
+  std::size_t join(PeerId p, std::size_t target_degree, Rng& rng);
+
+  // Takes p offline, dropping all its links. Neighbors left beneath
+  // `repair_min_degree` reconnect to random online peers (the "reconnect
+  // from the host cache" behaviour). Returns the disconnected neighbors.
+  std::vector<PeerId> leave(PeerId p, std::size_t repair_min_degree, Rng& rng);
+
+  // Mean logical degree over online peers.
+  double mean_online_degree() const;
+
+ private:
+  void check_peer(PeerId p) const;
+
+  const PhysicalNetwork* physical_;
+  std::vector<PeerRecord> peers_;
+  Graph logical_;
+  std::size_t online_count_ = 0;
+};
+
+// Host assignment: picks `peers` distinct hosts uniformly at random from the
+// physical topology (peers <= host_count).
+std::vector<HostId> assign_hosts_uniform(const PhysicalNetwork& physical,
+                                         std::size_t peers, Rng& rng);
+
+}  // namespace ace

@@ -1,0 +1,91 @@
+#include "overlay/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ace {
+
+ObjectCatalog::ObjectCatalog(CatalogConfig config)
+    : config_{config},
+      popularity_{config.object_count, config.zipf_exponent} {
+  if (config.object_count == 0)
+    throw std::invalid_argument{"ObjectCatalog: object_count must be > 0"};
+  replication_.resize(config.object_count);
+  for (std::size_t k = 0; k < config.object_count; ++k) {
+    const double r = config.base_replication /
+                     std::pow(static_cast<double>(k + 1),
+                              config.replication_skew);
+    replication_[k] = std::clamp(r, config.min_replication, 1.0);
+  }
+}
+
+ObjectId ObjectCatalog::sample_object(Rng& rng) const {
+  return static_cast<ObjectId>(popularity_(rng));
+}
+
+double ObjectCatalog::replication(ObjectId o) const {
+  if (o >= replication_.size())
+    throw std::out_of_range{"ObjectCatalog: object out of range"};
+  return replication_[o];
+}
+
+bool ObjectCatalog::holds(PeerId peer, ObjectId o) const {
+  const double r = replication(o);
+  std::uint64_t state = config_.placement_seed;
+  state ^= (static_cast<std::uint64_t>(peer) << 32) ^ o;
+  const std::uint64_t h = splitmix64(state);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < r;
+}
+
+std::vector<PeerId> ObjectCatalog::holders_among(std::span<const PeerId> peers,
+                                                 ObjectId o) const {
+  std::vector<PeerId> out;
+  for (const PeerId p : peers)
+    if (holds(p, o)) out.push_back(p);
+  return out;
+}
+
+QueryWorkload::QueryWorkload(OverlayNetwork& overlay,
+                             const ObjectCatalog& catalog, Simulator& sim,
+                             Rng& rng, WorkloadConfig config,
+                             QueryCallback callback)
+    : overlay_{&overlay},
+      catalog_{&catalog},
+      sim_{&sim},
+      rng_{&rng},
+      config_{config},
+      callback_{std::move(callback)} {
+  if (!(config_.queries_per_peer_per_s > 0))
+    throw std::invalid_argument{"QueryWorkload: query rate must be > 0"};
+  if (!callback_)
+    throw std::invalid_argument{"QueryWorkload: callback required"};
+}
+
+void QueryWorkload::start() { schedule_next(); }
+
+void QueryWorkload::schedule_next() {
+  const std::size_t online = overlay_->online_count();
+  if (online == 0) {
+    // No peers: retry after an idle second.
+    sim_->after(1.0, [this] {
+      if (!stopped_) schedule_next();
+    });
+    return;
+  }
+  const double rate =
+      config_.queries_per_peer_per_s * static_cast<double>(online);
+  const double gap = exponential(*rng_, 1.0 / rate);
+  sim_->after(gap, [this] {
+    if (stopped_) return;
+    if (overlay_->online_count() > 0) {
+      const PeerId source = overlay_->random_online_peer(*rng_);
+      const ObjectId object = catalog_->sample_object(*rng_);
+      ++issued_;
+      callback_(sim_->now(), source, object);
+    }
+    schedule_next();
+  });
+}
+
+}  // namespace ace

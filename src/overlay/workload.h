@@ -1,0 +1,99 @@
+// Query workload and content model. The paper drives every peer at 0.3
+// queries/minute (derived from the Sripanidkulchai Gnutella trace); queried
+// objects follow a Zipf popularity distribution and are replicated across
+// peers. Object placement is stateless — membership is a deterministic hash
+// of (peer, object) against the object's replication ratio — so churn never
+// needs placement bookkeeping and runs stay reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "overlay/overlay_network.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace ace {
+
+using ObjectId = std::uint32_t;
+
+struct CatalogConfig {
+  std::size_t object_count = 1000;
+  // Zipf exponent for query popularity.
+  double zipf_exponent = 0.8;
+  // Replication ratio of the most popular object (fraction of peers that
+  // hold it); rank k holds base_replication / (k+1)^replication_skew.
+  double base_replication = 0.05;
+  double replication_skew = 0.5;
+  // Floor so every object exists somewhere with non-trivial probability.
+  double min_replication = 0.002;
+  std::uint64_t placement_seed = 0x5eedu;
+};
+
+// Content catalog: answers "does peer p hold object o?" and samples query
+// targets by popularity.
+class ObjectCatalog {
+ public:
+  explicit ObjectCatalog(CatalogConfig config);
+
+  std::size_t object_count() const noexcept { return replication_.size(); }
+
+  // Popularity-weighted object draw (Zipf over ranks).
+  ObjectId sample_object(Rng& rng) const;
+
+  // Replication ratio of object o.
+  double replication(ObjectId o) const;
+
+  // Deterministic membership: hash(peer, object, seed) < replication(o).
+  bool holds(PeerId peer, ObjectId o) const;
+
+  // All holders among `peers` (helper for tests/examples).
+  std::vector<PeerId> holders_among(std::span<const PeerId> peers,
+                                    ObjectId o) const;
+
+ private:
+  CatalogConfig config_;
+  ZipfDistribution popularity_;
+  std::vector<double> replication_;
+};
+
+struct WorkloadConfig {
+  // Per-peer query rate (paper: 0.3 queries/minute = 0.005/s).
+  double queries_per_peer_per_s = 0.3 / 60.0;
+};
+
+// Poisson query generator over the online population: global inter-arrival
+// is exponential with rate N_online * per-peer rate, and each query source
+// is a uniformly random online peer — equivalent to independent per-peer
+// Poisson processes, with O(1) pending events.
+class QueryWorkload {
+ public:
+  // The callback runs for each query: (time, source peer, object).
+  using QueryCallback = std::function<void(SimTime, PeerId, ObjectId)>;
+
+  QueryWorkload(OverlayNetwork& overlay, const ObjectCatalog& catalog,
+                Simulator& sim, Rng& rng, WorkloadConfig config,
+                QueryCallback callback);
+
+  // Begins issuing queries.
+  void start();
+  void stop() noexcept { stopped_ = true; }
+
+  std::size_t queries_issued() const noexcept { return issued_; }
+
+ private:
+  void schedule_next();
+
+  OverlayNetwork* overlay_;
+  const ObjectCatalog* catalog_;
+  Simulator* sim_;
+  Rng* rng_;
+  WorkloadConfig config_;
+  QueryCallback callback_;
+  std::size_t issued_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace ace

@@ -1,0 +1,73 @@
+#include "proto/message.h"
+
+#include <atomic>
+#include <sstream>
+#include <stdexcept>
+
+namespace ace {
+
+const char* message_type_name(MessageType type) noexcept {
+  switch (type) {
+    case MessageType::kPing:
+      return "PING";
+    case MessageType::kPong:
+      return "PONG";
+    case MessageType::kQuery:
+      return "QUERY";
+    case MessageType::kQueryHit:
+      return "QUERY_HIT";
+    case MessageType::kProbe:
+      return "PROBE";
+    case MessageType::kProbeReply:
+      return "PROBE_REPLY";
+    case MessageType::kCostTable:
+      return "COST_TABLE";
+    case MessageType::kConnect:
+      return "CONNECT";
+    case MessageType::kDisconnect:
+      return "DISCONNECT";
+  }
+  return "?";
+}
+
+double size_factor(const MessageSizing& sizing, MessageType type,
+                   std::size_t payload_entries) {
+  switch (type) {
+    case MessageType::kPing:
+      return sizing.ping;
+    case MessageType::kPong:
+      return sizing.pong;
+    case MessageType::kQuery:
+      return sizing.query;
+    case MessageType::kQueryHit:
+      return sizing.query_hit;
+    case MessageType::kProbe:
+      return sizing.probe;
+    case MessageType::kProbeReply:
+      return sizing.probe_reply;
+    case MessageType::kCostTable:
+      return sizing.cost_table_base +
+             sizing.cost_table_per_entry *
+                 static_cast<double>(payload_entries);
+    case MessageType::kConnect:
+      return sizing.connect;
+    case MessageType::kDisconnect:
+      return sizing.disconnect;
+  }
+  throw std::invalid_argument{"size_factor: unknown message type"};
+}
+
+Guid next_guid() noexcept {
+  static std::atomic<Guid> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string to_string(const MessageHeader& header) {
+  std::ostringstream out;
+  out << message_type_name(header.type) << "#" << header.guid
+      << " ttl=" << static_cast<int>(header.ttl)
+      << " hops=" << static_cast<int>(header.hops);
+  return out.str();
+}
+
+}  // namespace ace

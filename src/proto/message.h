@@ -1,0 +1,63 @@
+// Gnutella-flavoured message vocabulary. The paper implements ACE by
+// "modifying the LimeWire implementation of the Gnutella protocol by adding
+// one routing message type"; we model the same message set at the
+// granularity that matters for traffic accounting: every transmission of a
+// message over a logical link costs (size-factor x physical path delay).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ace {
+
+enum class MessageType : std::uint8_t {
+  kPing,           // keep-alive / host discovery
+  kPong,           // ping response carrying host info
+  kQuery,          // flooded content search
+  kQueryHit,       // response routed back along the inverse query path
+  kProbe,          // ACE cost probe (the added routing message type)
+  kProbeReply,     // probe echo
+  kCostTable,      // ACE neighbor-cost-table exchange
+  kConnect,        // open logical link
+  kDisconnect,     // close logical link
+};
+
+const char* message_type_name(MessageType type) noexcept;
+
+// Relative wire sizes (multiples of a nominal MTU-sized unit). Traffic cost
+// of one transmission = size_factor(type, payload) * link delay, making a
+// cost-table exchange proportionally more expensive than a tiny ping. The
+// constants mirror rough Gnutella message sizes (QUERY ~ bytes of keywords,
+// PING tiny, cost tables scale with the number of entries).
+struct MessageSizing {
+  double ping = 0.1;
+  double pong = 0.1;
+  double query = 1.0;       // keyword payload (~hundreds of bytes)
+  double query_hit = 1.0;
+  double probe = 0.1;       // tiny timestamped control messages
+  double probe_reply = 0.1;
+  double cost_table_base = 0.1;
+  double cost_table_per_entry = 0.02;
+  double connect = 0.1;
+  double disconnect = 0.1;
+};
+
+double size_factor(const MessageSizing& sizing, MessageType type,
+                   std::size_t payload_entries = 0);
+
+// Globally unique message id (per-process monotonic); Gnutella uses 16-byte
+// GUIDs for duplicate suppression, a counter is equivalent in simulation.
+using Guid = std::uint64_t;
+Guid next_guid() noexcept;
+
+// Descriptor header as carried through the overlay.
+struct MessageHeader {
+  Guid guid = 0;
+  MessageType type = MessageType::kPing;
+  std::uint8_t ttl = 7;
+  std::uint8_t hops = 0;
+};
+
+std::string to_string(const MessageHeader& header);
+
+}  // namespace ace

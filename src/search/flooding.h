@@ -1,0 +1,140 @@
+// Query propagation engine. Executes one query over the current overlay as
+// a time-ordered expansion (a message crossing a logical link takes that
+// link's physical-path delay), under a pluggable forwarding policy:
+//
+//   * BlindFlooding  — Gnutella baseline: forward to every neighbor except
+//     the one the query came from; duplicates are dropped on arrival.
+//   * TreeForwarding — ACE phase 2: forward only to the peer's *flooding
+//     neighbors* (its adjacent edges on its own local multicast tree),
+//     falling back to blind flooding for peers with no tree yet.
+//
+// Responses route back along the inverse query path (symmetric delays), so
+// the first response reaches the source at twice the arrival time of the
+// earliest answering peer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "overlay/overlay_network.h"
+#include "overlay/workload.h"
+#include "proto/message.h"
+#include "search/metrics.h"
+
+namespace ace {
+
+// One peer's local multicast tree in routing form: for every tree node,
+// its children (the peers it is expected to relay the query to). The
+// root's children are the peer's flooding neighbors. Queries carry these
+// relay instructions down the tree (paper §3.3: the source "expects that
+// node B will forward the message to node C"); peers past the tree's
+// frontier continue with their own trees.
+struct TreeRouting {
+  // children[x] = peers x relays to, within the owner's tree. Nodes
+  // without children are absent.
+  std::unordered_map<PeerId, std::vector<PeerId>> children;
+  // The owner's direct tree children (flooding neighbors), sorted.
+  std::vector<PeerId> flooding;
+};
+
+// Per-peer routing trees maintained by the ACE engine. A peer without a
+// valid entry floods blindly (a fresh joiner that has not run phase 2 yet).
+class ForwardingTable {
+ public:
+  void ensure_size(std::size_t peers);
+
+  // Installs the flooding set for `peer` with no deeper relay hints
+  // (1-closure trees need none beyond phase-2 classification).
+  void set_flooding(PeerId peer, std::vector<PeerId> flooding);
+  // Installs the full routing tree for `peer` (overwrites).
+  void set_tree(PeerId peer, TreeRouting tree);
+  // Drops the entry (peer reverts to blind flooding).
+  void invalidate(PeerId peer);
+  void invalidate_all();
+
+  bool has_entry(PeerId peer) const;
+  // Valid only when has_entry(peer).
+  std::span<const PeerId> flooding(PeerId peer) const;
+  const TreeRouting& tree(PeerId peer) const;
+
+  // Non-flooding neighbors = current overlay neighbors minus flooding set.
+  std::vector<PeerId> non_flooding(const OverlayNetwork& overlay,
+                                   PeerId peer) const;
+
+  std::size_t entries() const noexcept { return valid_count_; }
+
+ private:
+  std::vector<TreeRouting> sets_;
+  std::vector<bool> valid_;
+  std::size_t valid_count_ = 0;
+};
+
+// How a peer answers a query.
+enum class AnswerKind : std::uint8_t {
+  kNo,      // cannot answer
+  kHolds,   // owns the object (keeps forwarding — Gnutella semantics)
+  kCached,  // answers from a response-index cache (stops forwarding)
+};
+
+// Content resolution interface; adapters exist for the plain catalog and
+// for catalog+cache (see baselines/index_cache.h).
+class ContentOracle {
+ public:
+  virtual ~ContentOracle() = default;
+  virtual AnswerKind answers(PeerId peer, ObjectId object) const = 0;
+};
+
+class CatalogOracle final : public ContentOracle {
+ public:
+  explicit CatalogOracle(const ObjectCatalog& catalog) : catalog_{&catalog} {}
+  AnswerKind answers(PeerId peer, ObjectId object) const override {
+    return catalog_->holds(peer, object) ? AnswerKind::kHolds : AnswerKind::kNo;
+  }
+
+ private:
+  const ObjectCatalog* catalog_;
+};
+
+struct QueryOptions {
+  // Gnutella default TTL is 7; 0 means unlimited (paper's static study
+  // covers "all peers" as the search scope).
+  std::uint8_t ttl = 0;
+  MessageSizing sizing{};
+  // Record (peer, parent) visit pairs in the result (needed by the index
+  // cache to populate entries along the response path).
+  bool record_paths = false;
+  // Hybrid Periodical Flooding parameters (kHybridPeriodical mode, the
+  // authors' ICPP'03 scheme, reference [3] of the paper): forward to the
+  // hpf_partial cheapest neighbors per hop, but flood to every neighbor on
+  // hops that are multiples of hpf_period (hop 0 — the source — always
+  // floods, so the first ring is fully covered).
+  std::size_t hpf_partial = 3;
+  std::size_t hpf_period = 3;
+};
+
+enum class ForwardingMode : std::uint8_t {
+  kBlindFlooding,
+  kTreeRouting,
+  // Partial flooding with periodic full floods — reference [3]'s
+  // infrastructure-free traffic reduction; no topology optimization.
+  kHybridPeriodical,
+};
+
+// Executes one query synchronously against the overlay snapshot.
+// `source` must be online. `table` may be null for blind flooding.
+QueryResult run_query(const OverlayNetwork& overlay, PeerId source,
+                      ObjectId object, const ContentOracle& oracle,
+                      ForwardingMode mode, const ForwardingTable* table,
+                      const QueryOptions& options = {});
+
+// Convenience: average query metrics over `count` random (source, object)
+// pairs drawn from the catalog's popularity distribution.
+QueryStats sample_queries(const OverlayNetwork& overlay,
+                          const ObjectCatalog& catalog,
+                          const ContentOracle& oracle, ForwardingMode mode,
+                          const ForwardingTable* table, std::size_t count,
+                          Rng& rng, const QueryOptions& options = {});
+
+}  // namespace ace

@@ -1,0 +1,38 @@
+#include "search/metrics.h"
+
+namespace ace {
+
+void QueryStats::add(const QueryResult& result) {
+  ++queries_;
+  traffic_.add(result.traffic_cost);
+  scope_.add(static_cast<double>(result.scope));
+  messages_.add(static_cast<double>(result.messages));
+  duplicates_.add(static_cast<double>(result.duplicates));
+  if (result.found) {
+    ++found_;
+    response_.add(result.response_time);
+  }
+}
+
+void QueryStats::merge(const QueryStats& other) {
+  queries_ += other.queries_;
+  found_ += other.found_;
+  traffic_.merge(other.traffic_);
+  response_.merge(other.response_);
+  scope_.merge(other.scope_);
+  messages_.merge(other.messages_);
+  duplicates_.merge(other.duplicates_);
+}
+
+double QueryStats::success_rate() const noexcept {
+  return queries_ ? static_cast<double>(found_) /
+                        static_cast<double>(queries_)
+                  : 0.0;
+}
+
+double QueryStats::traffic_per_scope() const noexcept {
+  const double s = scope_.mean();
+  return s > 0 ? traffic_.mean() / s : 0.0;
+}
+
+}  // namespace ace

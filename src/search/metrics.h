@@ -1,0 +1,73 @@
+// Per-query measurement records and aggregation, matching the paper's §4.2
+// metric definitions: traffic cost (network resource consumed by all query
+// transmissions), search scope (distinct peers reached), and response time
+// (query issue until the first response arrives back at the source).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "overlay/overlay_network.h"
+#include "util/stats.h"
+
+namespace ace {
+
+struct QueryResult {
+  // Sum over every query transmission of size_factor * logical-link delay.
+  double traffic_cost = 0;
+  // Traffic of the first response routed back along the inverse path
+  // (reported separately; the paper's traffic-cost curves are query
+  // traffic).
+  double response_traffic = 0;
+  // Number of query transmissions (one per logical-link crossing).
+  std::size_t messages = 0;
+  // Transmissions that arrived at a peer that had already seen the query
+  // (dropped on arrival — pure waste).
+  std::size_t duplicates = 0;
+  // Distinct peers reached, source excluded.
+  std::size_t scope = 0;
+  // Simulated seconds from issue to first response at the source;
+  // meaningful only when found.
+  double response_time = 0;
+  bool found = false;
+  PeerId first_responder = kInvalidPeer;
+  // True when the first response came from a cached index rather than an
+  // actual holder.
+  bool answered_from_cache = false;
+  // (peer, parent) pairs in visit order when QueryOptions::record_paths is
+  // set; parent == kInvalidPeer for the source.
+  std::vector<std::pair<PeerId, PeerId>> visit_parents;
+};
+
+// Aggregates query results for one experimental cell.
+class QueryStats {
+ public:
+  void add(const QueryResult& result);
+  void merge(const QueryStats& other);
+
+  std::size_t queries() const noexcept { return queries_; }
+  double mean_traffic() const noexcept { return traffic_.mean(); }
+  double mean_scope() const noexcept { return scope_.mean(); }
+  double mean_messages() const noexcept { return messages_.mean(); }
+  double mean_duplicates() const noexcept { return duplicates_.mean(); }
+  // Mean response time over *found* queries only.
+  double mean_response_time() const noexcept { return response_.mean(); }
+  double success_rate() const noexcept;
+  // Traffic per peer reached — the paper's cost-at-equal-scope comparison.
+  double traffic_per_scope() const noexcept;
+
+  const RunningStats& traffic() const noexcept { return traffic_; }
+  const RunningStats& response() const noexcept { return response_; }
+  const RunningStats& scope() const noexcept { return scope_; }
+
+ private:
+  std::size_t queries_ = 0;
+  std::size_t found_ = 0;
+  RunningStats traffic_;
+  RunningStats response_;
+  RunningStats scope_;
+  RunningStats messages_;
+  RunningStats duplicates_;
+};
+
+}  // namespace ace

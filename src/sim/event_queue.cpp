@@ -1,0 +1,45 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ace {
+
+EventId EventQueue::schedule(SimTime at, Callback callback) {
+  if (at < now_)
+    throw std::invalid_argument{"EventQueue::schedule: time in the past"};
+  if (!callback)
+    throw std::invalid_argument{"EventQueue::schedule: empty callback"};
+  const EventId id = next_id_++;
+  heap_.push({at, next_seq_++, id});
+  pending_.emplace(id, std::move(callback));
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) { return pending_.erase(id) > 0; }
+
+void EventQueue::skim() {
+  while (!heap_.empty() && !pending_.contains(heap_.top().id)) heap_.pop();
+}
+
+SimTime EventQueue::next_time() {
+  skim();
+  if (heap_.empty()) throw std::logic_error{"EventQueue::next_time: empty"};
+  return heap_.top().at;
+}
+
+SimTime EventQueue::run_next() {
+  skim();
+  if (heap_.empty()) throw std::logic_error{"EventQueue::run_next: empty"};
+  const Entry entry = heap_.top();
+  heap_.pop();
+  const auto it = pending_.find(entry.id);
+  // skim() guaranteed presence.
+  Callback callback = std::move(it->second);
+  pending_.erase(it);
+  now_ = entry.at;
+  callback();
+  return entry.at;
+}
+
+}  // namespace ace

@@ -1,0 +1,68 @@
+// Discrete-event queue: a binary min-heap of (time, sequence) ordered events
+// with O(log n) push/pop and lazy cancellation. The sequence number makes
+// simultaneous events fire in scheduling order, which keeps runs
+// deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace ace {
+
+// Simulation time in seconds.
+using SimTime = double;
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules `callback` at absolute time `at`. Returns a handle usable
+  // with cancel(). `at` must be >= the time of the last popped event.
+  EventId schedule(SimTime at, Callback callback);
+
+  // Cancels a pending event. Returns false when the event already fired,
+  // was cancelled, or never existed. O(1) (lazy removal).
+  bool cancel(EventId id);
+
+  bool empty() const noexcept { return pending_.empty(); }
+  std::size_t size() const noexcept { return pending_.size(); }
+
+  // Time of the earliest pending event; requires !empty().
+  SimTime next_time();
+
+  // Pops and runs the earliest event; returns its time. Requires !empty().
+  SimTime run_next();
+
+  // Time of the most recently popped event (0 before any pop).
+  SimTime now() const noexcept { return now_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    EventId id;
+    // Invert comparisons for earliest-first, breaking ties by sequence so
+    // FIFO order holds for equal times.
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Removes cancelled entries sitting at the heap top.
+  void skim();
+
+  std::priority_queue<Entry> heap_;
+  std::unordered_map<EventId, Callback> pending_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  SimTime now_ = 0;
+};
+
+}  // namespace ace

@@ -1,0 +1,73 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+
+namespace ace {
+
+EventId Simulator::after(SimTime delay, EventQueue::Callback callback) {
+  if (delay < 0) throw std::invalid_argument{"Simulator::after: negative delay"};
+  return queue_.schedule(queue_.now() + delay, std::move(callback));
+}
+
+EventId Simulator::at(SimTime when, EventQueue::Callback callback) {
+  return queue_.schedule(when, std::move(callback));
+}
+
+void Simulator::arm_periodic(std::size_t index, SimTime when) {
+  Periodic& p = periodics_[index];
+  if (p.stopped) return;
+  p.next_event = queue_.schedule(when, [this, index, when] {
+    Periodic& self = periodics_[index];
+    self.next_event = kInvalidEvent;
+    if (self.stopped) return;
+    self.callback(when);
+    if (!self.stopped) arm_periodic(index, when + self.period);
+  });
+}
+
+std::size_t Simulator::every(SimTime period, PeriodicCallback callback,
+                             SimTime start) {
+  if (!(period > 0))
+    throw std::invalid_argument{"Simulator::every: period must be > 0"};
+  if (start < 0) start = queue_.now() + period;
+  if (start < queue_.now())
+    throw std::invalid_argument{"Simulator::every: start in the past"};
+  periodics_.push_back(
+      Periodic{period, std::move(callback), kInvalidEvent, false});
+  const std::size_t handle = periodics_.size() - 1;
+  arm_periodic(handle, start);
+  return handle;
+}
+
+void Simulator::stop_periodic(std::size_t handle) {
+  if (handle >= periodics_.size())
+    throw std::out_of_range{"Simulator::stop_periodic: bad handle"};
+  Periodic& p = periodics_[handle];
+  p.stopped = true;
+  if (p.next_event != kInvalidEvent) {
+    queue_.cancel(p.next_event);
+    p.next_event = kInvalidEvent;
+  }
+}
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  if (deadline < queue_.now())
+    throw std::invalid_argument{"Simulator::run_until: deadline in the past"};
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    queue_.run_next();
+    ++executed;
+  }
+  return executed;
+}
+
+std::size_t Simulator::run_all(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && executed < max_events) {
+    queue_.run_next();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace ace

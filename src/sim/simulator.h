@@ -1,0 +1,62 @@
+// Simulator: thin driver over EventQueue adding relative scheduling,
+// periodic processes, and run-until control. All protocol components (churn
+// driver, workload generator, ACE engine, message delivery) hang off one
+// Simulator instance per experiment.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace ace {
+
+class Simulator {
+ public:
+  // Time of the most recently executed event (0 before any event runs).
+  SimTime now() const noexcept { return queue_.now(); }
+
+  // Schedule `callback` `delay` seconds from now (delay >= 0).
+  EventId after(SimTime delay, EventQueue::Callback callback);
+
+  // Schedule at an absolute time (>= now()).
+  EventId at(SimTime when, EventQueue::Callback callback);
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  // Registers a periodic process firing every `period` seconds, first at
+  // absolute time `start` (default: one period from now). The callback
+  // receives the firing time. Each periodic keeps exactly one pending
+  // event, so an idle queue holds at most one event per periodic. Returns
+  // a handle for stop_periodic.
+  using PeriodicCallback = std::function<void(SimTime)>;
+  std::size_t every(SimTime period, PeriodicCallback callback,
+                    SimTime start = -1.0);
+  void stop_periodic(std::size_t handle);
+
+  // Runs all events with time <= deadline (events scheduled during the run
+  // included). Events later than the deadline stay pending. Returns the
+  // number of events executed.
+  std::size_t run_until(SimTime deadline);
+
+  // Runs until the queue is empty or `max_events` executed. Periodic
+  // processes must be stopped first or this never terminates.
+  std::size_t run_all(std::size_t max_events = static_cast<std::size_t>(-1));
+
+  std::size_t pending_events() const noexcept { return queue_.size(); }
+
+ private:
+  struct Periodic {
+    SimTime period = 0;
+    PeriodicCallback callback;
+    EventId next_event = kInvalidEvent;
+    bool stopped = false;
+  };
+
+  void arm_periodic(std::size_t index, SimTime when);
+
+  EventQueue queue_;
+  std::vector<Periodic> periodics_;
+};
+
+}  // namespace ace

@@ -1,0 +1,69 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace ace {
+
+namespace {
+
+LogLevel initial_threshold() {
+  if (const char* env = std::getenv("ACE_LOG")) {
+    try {
+      return parse_log_level(env);
+    } catch (const std::exception&) {
+      // Fall through to the default on a malformed value.
+    }
+  }
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel>& threshold_storage() noexcept {
+  static std::atomic<LogLevel> threshold{initial_threshold()};
+  return threshold;
+}
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_threshold() noexcept {
+  return threshold_storage().load(std::memory_order_relaxed);
+}
+
+void set_log_threshold(LogLevel level) noexcept {
+  threshold_storage().store(level, std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  throw std::invalid_argument{"unknown log level: " + name};
+}
+
+namespace detail {
+void emit(LogLevel level, const std::string& message) {
+  std::clog << '[' << level_name(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace ace

@@ -1,0 +1,49 @@
+// Minimal leveled logger. Simulation code logs through this so that noisy
+// per-message traces can be enabled during debugging (ACE_LOG=debug) without
+// polluting bench output by default.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ace {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global threshold; initialized from the ACE_LOG environment variable
+// (debug|info|warn|error|off), default warn.
+LogLevel log_threshold() noexcept;
+void set_log_threshold(LogLevel level) noexcept;
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+// Stream-style log statement that only evaluates its operands when enabled:
+//   ACE_LOG(kInfo) << "peers=" << n;
+#define ACE_LOG(level)                                        \
+  for (bool ace_log_once =                                    \
+           (::ace::LogLevel::level >= ::ace::log_threshold()); \
+       ace_log_once; ace_log_once = false)                    \
+  ::ace::LogStatement { ::ace::LogLevel::level }
+
+class LogStatement {
+ public:
+  explicit LogStatement(LogLevel level) : level_{level} {}
+  ~LogStatement() { detail::emit(level_, stream_.str()); }
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace ace

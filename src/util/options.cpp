@@ -1,0 +1,98 @@
+#include "util/options.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ace {
+
+Options::Options(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0)
+      throw std::invalid_argument{"Options: unexpected argument '" + arg +
+                                  "' (use --key=value)"};
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq == std::string::npos) {
+      values_[body] = "true";  // bare flag
+    } else {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    }
+  }
+  // google-benchmark passes --benchmark_* flags through; tolerate them by
+  // simply storing them like any other key.
+}
+
+void Options::set(const std::string& key, std::string value) {
+  values_[key] = std::move(value);
+}
+
+std::string env_name_for(const std::string& key) {
+  std::string name = "ACE_";
+  for (const char ch : key) {
+    if (ch == '-' || ch == '.')
+      name += '_';
+    else
+      name += static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+  }
+  return name;
+}
+
+std::optional<std::string> Options::raw(const std::string& key) const {
+  if (const auto it = values_.find(key); it != values_.end())
+    return it->second;
+  if (const char* env = std::getenv(env_name_for(key).c_str()))
+    return std::string{env};
+  return std::nullopt;
+}
+
+std::string Options::get_string(const std::string& key,
+                                const std::string& fallback) const {
+  return raw(key).value_or(fallback);
+}
+
+std::int64_t Options::get_int(const std::string& key,
+                              std::int64_t fallback) const {
+  const auto value = raw(key);
+  if (!value) return fallback;
+  try {
+    return std::stoll(*value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument{"Options: '" + key + "' is not an integer: " +
+                                *value};
+  }
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  const auto value = raw(key);
+  if (!value) return fallback;
+  try {
+    return std::stod(*value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument{"Options: '" + key + "' is not a number: " +
+                                *value};
+  }
+}
+
+bool Options::get_bool(const std::string& key, bool fallback) const {
+  const auto value = raw(key);
+  if (!value) return fallback;
+  std::string lower = *value;
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (lower == "1" || lower == "true" || lower == "yes" || lower == "on")
+    return true;
+  if (lower == "0" || lower == "false" || lower == "no" || lower == "off")
+    return false;
+  throw std::invalid_argument{"Options: '" + key + "' is not a boolean: " +
+                              *value};
+}
+
+}  // namespace ace

@@ -1,0 +1,44 @@
+// Bench/example configuration. Every knob can be set three ways, in
+// increasing priority: built-in default, ACE_* environment variable,
+// --key=value command-line argument. This keeps `for b in bench/*; do $b;
+// done` runnable with sane defaults while allowing paper-scale runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace ace {
+
+class Options {
+ public:
+  Options() = default;
+  // Parses --key=value / --flag arguments; unknown positional arguments
+  // throw. Environment variables named ACE_<KEY> (upper-cased, dashes to
+  // underscores) are consulted by the getters when no CLI value exists.
+  Options(int argc, const char* const* argv);
+
+  // Explicit override (tests).
+  void set(const std::string& key, std::string value);
+
+  std::optional<std::string> raw(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  // `--help` or `-h` present.
+  bool help_requested() const noexcept { return help_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool help_ = false;
+};
+
+// The env-var name for a key: "phys-nodes" -> "ACE_PHYS_NODES".
+std::string env_name_for(const std::string& key);
+
+}  // namespace ace

@@ -1,0 +1,187 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace ace {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+Rng::result_type Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() noexcept {
+  // 53 high-quality bits -> [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument{"next_below: bound must be > 0"};
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument{"uniform_int: lo > hi"};
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range.
+  const std::uint64_t draw = (span == 0) ? next() : next_below(span);
+  return lo + static_cast<std::int64_t>(draw);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  if (!(lo <= hi)) throw std::invalid_argument{"uniform_real: lo > hi"};
+  return lo + (hi - lo) * next_double();
+}
+
+bool Rng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+void Rng::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaull, 0xd5a61266f0c9392cull, 0xa9582618e03fc9aaull,
+      0x39abdc4529b1661cull};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (const std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (1ull << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      next();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+Rng Rng::fork() { return Rng{next()}; }
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument{"sample_indices: k > n"};
+  // Floyd's algorithm: for j in [n-k, n), pick t in [0, j]; insert t or j.
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  auto contains = [&out](std::size_t v) {
+    for (const std::size_t x : out)
+      if (x == v) return true;
+    return false;
+  };
+  for (std::size_t j = n - k; j < n; ++j) {
+    const auto t = static_cast<std::size_t>(next_below(j + 1));
+    out.push_back(contains(t) ? j : t);
+  }
+  return out;
+}
+
+double exponential(Rng& rng, double mean) {
+  if (!(mean > 0)) throw std::invalid_argument{"exponential: mean must be > 0"};
+  double u;
+  do {
+    u = rng.next_double();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double standard_normal(Rng& rng) {
+  double u1;
+  do {
+    u1 = rng.next_double();
+  } while (u1 <= 0.0);
+  const double u2 = rng.next_double();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double lognormal_mean_var(Rng& rng, double mean, double variance) {
+  if (!(mean > 0) || !(variance > 0))
+    throw std::invalid_argument{"lognormal_mean_var: mean/variance must be > 0"};
+  // If X ~ LogNormal(mu, sigma^2) then
+  //   E[X]  = exp(mu + sigma^2/2)
+  //   Var[X] = (exp(sigma^2) - 1) exp(2 mu + sigma^2)
+  // Solve for mu, sigma given the target mean/variance.
+  const double sigma2 = std::log(1.0 + variance / (mean * mean));
+  const double mu = std::log(mean) - sigma2 / 2.0;
+  return std::exp(mu + std::sqrt(sigma2) * standard_normal(rng));
+}
+
+double pareto(Rng& rng, double x_m, double alpha) {
+  if (!(x_m > 0) || !(alpha > 0))
+    throw std::invalid_argument{"pareto: parameters must be > 0"};
+  double u;
+  do {
+    u = rng.next_double();
+  } while (u <= 0.0);
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double exponent)
+    : exponent_{exponent} {
+  if (n == 0) throw std::invalid_argument{"ZipfDistribution: n must be > 0"};
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf_[k] = sum;
+  }
+  for (auto& v : cdf_) v /= sum;
+  cdf_.back() = 1.0;  // guard against floating point shortfall
+}
+
+std::size_t ZipfDistribution::operator()(Rng& rng) const {
+  const double u = rng.next_double();
+  std::size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+}  // namespace ace

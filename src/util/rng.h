@@ -1,0 +1,104 @@
+// Deterministic random number generation and the distributions used by the
+// ACE reproduction: every simulation component draws from an explicitly
+// seeded Rng so that experiments are exactly repeatable across runs.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace ace {
+
+// splitmix64: used to expand a single 64-bit seed into the xoshiro state.
+// Reference: Sebastiano Vigna, public-domain implementation.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+// xoshiro256** 1.0 — fast, high-quality, 256-bit state generator.
+// Satisfies the UniformRandomBitGenerator concept so it can be used with
+// <random> distributions as well.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+  result_type next() noexcept;
+
+  // Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  // Uniform integer in [0, bound) using Lemire's rejection method
+  // (unbiased). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  // Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  // Jump: advances the generator 2^128 steps; used to derive independent
+  // streams for parallel components sharing one master seed.
+  void jump() noexcept;
+
+  // Derive an independent child generator (seeded from this stream).
+  Rng fork();
+
+  // Fisher-Yates shuffle of a span.
+  template <typename T>
+  void shuffle(std::span<T> values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  // Sample k distinct indices from [0, n) (Floyd's algorithm, O(k)).
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+// Exponential distribution with the given mean (NOT rate). mean > 0.
+double exponential(Rng& rng, double mean);
+
+// Log-normal distribution parameterized by the desired mean and variance of
+// the *resulting* distribution (not of the underlying normal). Used for
+// peer lifetimes: the paper uses mean 10 minutes, variance = mean/2.
+double lognormal_mean_var(Rng& rng, double mean, double variance);
+
+// Standard normal via Box-Muller (single value; simple and sufficient here).
+double standard_normal(Rng& rng);
+
+// Pareto distribution with scale x_m > 0 and shape alpha > 0.
+double pareto(Rng& rng, double x_m, double alpha);
+
+// Zipf sampler over ranks [0, n): P(k) proportional to 1/(k+1)^s.
+// Precomputes the CDF once; sampling is O(log n).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double exponent);
+
+  std::size_t operator()(Rng& rng) const;
+  std::size_t size() const noexcept { return cdf_.size(); }
+  double exponent() const noexcept { return exponent_; }
+
+ private:
+  std::vector<double> cdf_;
+  double exponent_;
+};
+
+}  // namespace ace

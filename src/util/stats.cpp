@@ -1,0 +1,157 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace ace {
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_);
+  const auto m = static_cast<double>(other.n_);
+  const double total = n + m;
+  m2_ += other.m2_ + delta * delta * n * m / total;
+  mean_ = (n * mean_ + m * other.mean_) / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::ci95_halfwidth() const noexcept {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double percentile(std::span<const double> values, double p) {
+  if (values.empty()) throw std::invalid_argument{"percentile: empty sample"};
+  if (p < 0.0 || p > 100.0)
+    throw std::invalid_argument{"percentile: p out of [0, 100]"};
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_{lo}, hi_{hi}, counts_(bins, 0) {
+  if (!(lo < hi)) throw std::invalid_argument{"Histogram: lo must be < hi"};
+  if (bins == 0) throw std::invalid_argument{"Histogram: bins must be > 0"};
+}
+
+void Histogram::add(double x) noexcept {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(
+      frac * static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t bin) const {
+  return counts_.at(bin);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range{"Histogram::bin_lo"};
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  return bin_lo(bin) + (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t peak = 1;
+  for (const std::size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar =
+        static_cast<std::size_t>(static_cast<double>(counts_[b]) /
+                                 static_cast<double>(peak) *
+                                 static_cast<double>(width));
+    out << '[' << bin_lo(b) << ", " << bin_hi(b) << ") "
+        << std::string(bar, '#') << ' ' << counts_[b] << '\n';
+  }
+  return out.str();
+}
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size())
+    throw std::invalid_argument{"linear_fit: size mismatch"};
+  if (xs.size() < 2) throw std::invalid_argument{"linear_fit: need >= 2 points"};
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  if (denom == 0.0) return fit;  // vertical line; report zero fit
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double r = ys[i] - (fit.intercept + fit.slope * xs[i]);
+    ss_res += r * r;
+  }
+  fit.r_squared = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+double power_law_alpha_mle(std::span<const std::size_t> degrees,
+                           std::size_t x_min) {
+  double log_sum = 0.0;
+  std::size_t n = 0;
+  for (const std::size_t d : degrees) {
+    if (d < x_min) continue;
+    log_sum += std::log(static_cast<double>(d) /
+                        (static_cast<double>(x_min) - 0.5));
+    ++n;
+  }
+  if (n < 2 || log_sum <= 0.0) return 0.0;
+  return 1.0 + static_cast<double>(n) / log_sum;
+}
+
+std::map<std::size_t, std::size_t> frequency_table(
+    std::span<const std::size_t> values) {
+  std::map<std::size_t, std::size_t> freq;
+  for (const std::size_t v : values) ++freq[v];
+  return freq;
+}
+
+}  // namespace ace

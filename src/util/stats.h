@@ -1,0 +1,91 @@
+// Lightweight statistics toolkit used to summarize simulation measurements:
+// running moments (Welford), histograms, percentiles, and the linear
+// regression used to fit power-law exponents of degree distributions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ace {
+
+// Online mean/variance accumulator (Welford's algorithm). O(1) space,
+// numerically stable for long runs.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+  // Half-width of the ~95% confidence interval for the mean, using the
+  // normal approximation (1.96 * s / sqrt(n)).
+  double ci95_halfwidth() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Percentile of a sample (linear interpolation between closest ranks).
+// p in [0, 100]. The input span is copied and sorted.
+double percentile(std::span<const double> values, double p);
+
+// Fixed-bin histogram over [lo, hi); values outside are clamped into the
+// first/last bin. Used for lifetime and delay distribution sanity checks.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::size_t bin_count(std::size_t bin) const;
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t total() const noexcept { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  // Render a compact ASCII bar chart (for example programs / debugging).
+  std::string ascii(std::size_t width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+// Ordinary least squares fit y = a + b*x. Returns {a, b, r2}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+// Maximum-likelihood estimate of the power-law exponent alpha for discrete
+// data x >= x_min (Clauset-Shalizi-Newman continuous approximation):
+//   alpha = 1 + n / sum(ln(x_i / (x_min - 0.5)))
+// Returns 0 when fewer than two qualifying samples exist.
+double power_law_alpha_mle(std::span<const std::size_t> degrees,
+                           std::size_t x_min = 2);
+
+// Frequency count helper: value -> occurrences.
+std::map<std::size_t, std::size_t> frequency_table(
+    std::span<const std::size_t> values);
+
+}  // namespace ace

@@ -1,0 +1,114 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ace {
+
+TableWriter::TableWriter(std::string title, std::vector<std::string> columns)
+    : title_{std::move(title)}, columns_{std::move(columns)} {
+  if (columns_.empty())
+    throw std::invalid_argument{"TableWriter: need at least one column"};
+}
+
+void TableWriter::set_precision(int digits) {
+  if (digits < 0 || digits > 12)
+    throw std::invalid_argument{"TableWriter: precision out of range"};
+  precision_ = digits;
+}
+
+void TableWriter::add_row(std::vector<Cell> cells) {
+  if (cells.size() != columns_.size())
+    throw std::invalid_argument{"TableWriter: row width mismatch"};
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableWriter::render_cell(const Cell& cell) const {
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&cell))
+    return std::to_string(*i);
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision_) << std::get<double>(cell);
+  return out.str();
+}
+
+std::string TableWriter::ascii() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    widths[c] = columns_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(render_cell(row[c]));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+
+  std::ostringstream out;
+  out << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "" : "  ") << std::left
+          << std::setw(static_cast<int>(widths[c])) << cells[c];
+    }
+    out << '\n';
+  };
+  emit_row(columns_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    rule += widths[c] + (c == 0 ? 0 : 2);
+  out << std::string(rule, '-') << '\n';
+  for (const auto& row : rendered) emit_row(row);
+  return out.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (const char ch : field) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+}  // namespace
+
+std::string TableWriter::csv() const {
+  std::ostringstream out;
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    out << (c == 0 ? "" : ",") << csv_escape(columns_[c]);
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      out << (c == 0 ? "" : ",") << csv_escape(render_cell(row[c]));
+    out << '\n';
+  }
+  return out.str();
+}
+
+void TableWriter::print(std::ostream& out, const std::string& csv_path) const {
+  out << ascii() << '\n';
+  if (!csv_path.empty()) {
+    std::ofstream file{csv_path};
+    if (!file) throw std::runtime_error{"TableWriter: cannot open " + csv_path};
+    file << csv();
+  }
+}
+
+std::string fixed(double value, int digits) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(digits) << value;
+  return out.str();
+}
+
+}  // namespace ace

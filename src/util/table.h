@@ -1,0 +1,46 @@
+// Paper-shaped output: every bench binary prints its figure/table as both an
+// aligned ASCII table (human-readable, mirrors the paper's rows) and CSV
+// (machine-readable, for replotting). One TableWriter per figure.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ace {
+
+// A cell is a string, an integer, or a double (printed with fixed precision).
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::string title, std::vector<std::string> columns);
+
+  // Number of decimal places for double cells (default 2).
+  void set_precision(int digits);
+
+  void add_row(std::vector<Cell> cells);
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  // Aligned ASCII rendering with the title and a column header rule.
+  std::string ascii() const;
+  // RFC-4180-ish CSV (fields containing commas/quotes are quoted).
+  std::string csv() const;
+
+  // Print ascii() to `out` and, if csv_path is non-empty, write csv() there.
+  void print(std::ostream& out, const std::string& csv_path = {}) const;
+
+ private:
+  std::string render_cell(const Cell& cell) const;
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 2;
+};
+
+// Convenience: format a double with fixed digits (used in log lines).
+std::string fixed(double value, int digits = 2);
+
+}  // namespace ace

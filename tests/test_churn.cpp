@@ -1,0 +1,130 @@
+#include "overlay/churn.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "util/stats.h"
+
+namespace ace {
+namespace {
+
+struct ChurnFixture {
+  ChurnFixture(std::size_t online, std::size_t offline, std::uint64_t seed = 1)
+      : rng{seed} {
+    Graph g{64};
+    for (NodeId u = 0; u + 1 < 64; ++u) g.add_edge(u, u + 1, 1.0);
+    physical = std::make_unique<PhysicalNetwork>(std::move(g));
+    overlay = std::make_unique<OverlayNetwork>(*physical);
+    for (std::size_t i = 0; i < online + offline; ++i)
+      overlay->add_peer(static_cast<HostId>(i % 64), i < online);
+    // Ring links among online peers so nobody starts isolated.
+    for (std::size_t i = 0; i < online; ++i)
+      overlay->connect(static_cast<PeerId>(i),
+                       static_cast<PeerId>((i + 1) % online));
+  }
+  Rng rng;
+  std::unique_ptr<PhysicalNetwork> physical;
+  std::unique_ptr<OverlayNetwork> overlay;
+  Simulator sim;
+};
+
+TEST(Churn, PopulationStaysConstant) {
+  ChurnFixture f{20, 20};
+  ChurnConfig config;
+  config.mean_lifetime_s = 10.0;
+  config.lifetime_variance = 5.0;
+  ChurnDriver churn{*f.overlay, f.sim, f.rng, config};
+  churn.start();
+  for (double t = 10; t <= 100; t += 10) {
+    f.sim.run_until(t);
+    EXPECT_EQ(f.overlay->online_count(), 20u) << "at t=" << t;
+  }
+  EXPECT_GT(churn.leaves(), 20u);  // plenty of turnover at 10 s lifetimes
+  EXPECT_EQ(churn.joins(), churn.leaves());
+}
+
+TEST(Churn, HooksInvoked) {
+  ChurnFixture f{10, 10};
+  ChurnConfig config;
+  config.mean_lifetime_s = 5.0;
+  config.lifetime_variance = 2.0;
+  ChurnDriver churn{*f.overlay, f.sim, f.rng, config};
+  std::size_t join_calls = 0, leave_calls = 0;
+  churn.on_join = [&](PeerId p) {
+    ++join_calls;
+    EXPECT_TRUE(f.overlay->is_online(p));
+  };
+  churn.on_leave = [&](PeerId p) {
+    ++leave_calls;
+    EXPECT_FALSE(f.overlay->is_online(p));
+  };
+  churn.start();
+  f.sim.run_until(50.0);
+  EXPECT_EQ(join_calls, churn.joins());
+  EXPECT_EQ(leave_calls, churn.leaves());
+  EXPECT_GT(join_calls, 0u);
+}
+
+TEST(Churn, JoinersGetBootstrapLinks) {
+  ChurnFixture f{16, 16};
+  ChurnConfig config;
+  config.mean_lifetime_s = 5.0;
+  config.lifetime_variance = 2.0;
+  config.join_degree = 3;
+  ChurnDriver churn{*f.overlay, f.sim, f.rng, config};
+  churn.on_join = [&](PeerId p) { EXPECT_GE(f.overlay->degree(p), 1u); };
+  churn.start();
+  f.sim.run_until(60.0);
+  EXPECT_GT(churn.joins(), 0u);
+}
+
+TEST(Churn, LifetimeDistributionMatchesConfig) {
+  ChurnFixture f{4, 0};
+  ChurnConfig config;
+  config.mean_lifetime_s = 600.0;
+  config.lifetime_variance = 300.0;
+  ChurnDriver churn{*f.overlay, f.sim, f.rng, config};
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(churn.draw_lifetime());
+  EXPECT_NEAR(stats.mean(), 600.0, 6.0);
+  EXPECT_NEAR(stats.variance(), 300.0, 30.0);
+}
+
+TEST(Churn, ExponentialLifetimesWhenVarianceDisabled) {
+  ChurnFixture f{4, 0};
+  ChurnConfig config;
+  config.mean_lifetime_s = 100.0;
+  config.lifetime_variance = 0.0;  // exponential mode
+  ChurnDriver churn{*f.overlay, f.sim, f.rng, config};
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(churn.draw_lifetime());
+  EXPECT_NEAR(stats.mean(), 100.0, 2.0);
+  // Exponential: variance = mean^2.
+  EXPECT_NEAR(stats.variance(), 100.0 * 100.0, 1500.0);
+}
+
+TEST(Churn, InvalidLifetimeThrows) {
+  ChurnFixture f{4, 0};
+  ChurnConfig config;
+  config.mean_lifetime_s = 0.0;
+  EXPECT_THROW(ChurnDriver(*f.overlay, f.sim, f.rng, config),
+               std::invalid_argument);
+}
+
+TEST(Churn, OnlinePeersStayConnectedEnough) {
+  ChurnFixture f{24, 24};
+  ChurnConfig config;
+  config.mean_lifetime_s = 8.0;
+  config.lifetime_variance = 4.0;
+  config.join_degree = 4;
+  config.repair_min_degree = 2;
+  ChurnDriver churn{*f.overlay, f.sim, f.rng, config};
+  churn.start();
+  f.sim.run_until(100.0);
+  // After heavy churn, no online peer should be fully isolated.
+  for (const PeerId p : f.overlay->online_peers())
+    EXPECT_GE(f.overlay->degree(p), 1u) << "peer " << p;
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,137 @@
+#include "ace/cost_table.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/shortest_path.h"
+
+namespace ace {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    Graph g{8};
+    for (NodeId u = 0; u + 1 < 8; ++u) g.add_edge(u, u + 1, 1.0);
+    physical = std::make_unique<PhysicalNetwork>(std::move(g));
+    overlay = std::make_unique<OverlayNetwork>(*physical);
+    for (HostId h = 0; h < 8; ++h) overlay->add_peer(h);
+  }
+  std::unique_ptr<PhysicalNetwork> physical;
+  std::unique_ptr<OverlayNetwork> overlay;
+};
+
+TEST(NeighborCostTableTest, RecordAndLookup) {
+  NeighborCostTable table;
+  table.record(3, 1.5);
+  table.record(7, 2.5);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_TRUE(table.contains(3));
+  EXPECT_FALSE(table.contains(4));
+  EXPECT_DOUBLE_EQ(table.cost_to(7), 2.5);
+  EXPECT_THROW(table.cost_to(4), std::out_of_range);
+}
+
+TEST(NeighborCostTableTest, RecordOverwrites) {
+  NeighborCostTable table;
+  table.record(3, 1.5);
+  table.record(3, 9.0);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_DOUBLE_EQ(table.cost_to(3), 9.0);
+}
+
+TEST(NeighborCostTableTest, Clear) {
+  NeighborCostTable table;
+  table.record(1, 1.0);
+  table.clear();
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_FALSE(table.contains(1));
+}
+
+TEST(CostTableStoreTest, RefreshRecordsLinkCosts) {
+  Fixture f;
+  f.overlay->connect(0, 1);  // cost 1
+  f.overlay->connect(0, 4);  // cost 4
+  CostTableStore store;
+  store.ensure_size(f.overlay->peer_count());
+  ProbeOverhead overhead;
+  store.refresh_peer(*f.overlay, 0, overhead);
+  EXPECT_DOUBLE_EQ(store.table(0).cost_to(1), 1.0);
+  EXPECT_DOUBLE_EQ(store.table(0).cost_to(4), 4.0);
+  EXPECT_EQ(overhead.probes, 2u);
+  // Probe overhead: (probe + reply sizes) x link delays = 0.5 * (1 + 4).
+  MessageSizing sizing;
+  const double per = sizing.probe + sizing.probe_reply;
+  EXPECT_DOUBLE_EQ(overhead.probe_traffic, per * 5.0);
+}
+
+TEST(CostTableStoreTest, ExchangeChargesPerNeighbor) {
+  Fixture f;
+  f.overlay->connect(0, 1);
+  f.overlay->connect(0, 2);
+  CostTableStore store;
+  store.ensure_size(f.overlay->peer_count());
+  ProbeOverhead refresh_overhead;
+  store.refresh_peer(*f.overlay, 0, refresh_overhead);
+  ProbeOverhead exchange;
+  store.charge_exchange(*f.overlay, 0, exchange);
+  EXPECT_EQ(exchange.exchanges, 2u);
+  MessageSizing sizing;
+  const double msg = size_factor(sizing, MessageType::kCostTable, 2);
+  EXPECT_DOUBLE_EQ(exchange.exchange_traffic, msg * (1.0 + 2.0));
+}
+
+TEST(CostTableStoreTest, KnownCostConsultsBothSides) {
+  Fixture f;
+  f.overlay->connect(0, 1);
+  f.overlay->connect(1, 2);
+  CostTableStore store;
+  store.ensure_size(f.overlay->peer_count());
+  ProbeOverhead overhead;
+  store.refresh_peer(*f.overlay, 1, overhead);
+  // Peer 0's table is empty; peer 1's covers the 0-1 link.
+  EXPECT_DOUBLE_EQ(store.known_cost(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(store.known_cost(1, 0), 1.0);
+  EXPECT_EQ(store.known_cost(0, 2), kUnreachable);
+}
+
+TEST(CostTableStoreTest, RefreshReplacesStaleEntries) {
+  Fixture f;
+  f.overlay->connect(0, 1);
+  CostTableStore store;
+  store.ensure_size(f.overlay->peer_count());
+  ProbeOverhead overhead;
+  store.refresh_peer(*f.overlay, 0, overhead);
+  EXPECT_TRUE(store.table(0).contains(1));
+  f.overlay->disconnect(0, 1);
+  f.overlay->connect(0, 3);
+  store.refresh_peer(*f.overlay, 0, overhead);
+  EXPECT_FALSE(store.table(0).contains(1));
+  EXPECT_TRUE(store.table(0).contains(3));
+}
+
+TEST(CostTableStoreTest, OutOfRangeThrows) {
+  CostTableStore store;
+  EXPECT_THROW(store.table(0), std::out_of_range);
+}
+
+TEST(ProbeOverheadTest, MergeSums) {
+  ProbeOverhead a, b;
+  a.probes = 2;
+  a.probe_traffic = 1.5;
+  a.exchanges = 1;
+  a.exchange_traffic = 0.5;
+  b.probes = 3;
+  b.probe_traffic = 2.5;
+  b.exchanges = 2;
+  b.exchange_traffic = 1.0;
+  a.merge(b);
+  EXPECT_EQ(a.probes, 5u);
+  EXPECT_DOUBLE_EQ(a.probe_traffic, 4.0);
+  EXPECT_EQ(a.exchanges, 3u);
+  EXPECT_DOUBLE_EQ(a.exchange_traffic, 1.5);
+  EXPECT_DOUBLE_EQ(a.total(), 5.5);
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,196 @@
+#include "ace/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "graph/generators.h"
+#include "graph/shortest_path.h"
+
+namespace ace {
+namespace {
+
+// A mismatched overlay over a BA physical topology: random logical links
+// across random hosts, exactly the setting ACE optimizes.
+struct Fixture {
+  explicit Fixture(std::size_t hosts = 256, std::size_t peers = 48,
+                   double degree = 5.0, std::uint64_t seed = 3) {
+    Rng topo{seed};
+    BaOptions ba;
+    ba.nodes = hosts;
+    physical = std::make_unique<PhysicalNetwork>(barabasi_albert(ba, topo));
+    OverlayOptions oo;
+    oo.peers = peers;
+    oo.mean_degree = degree;
+    const Graph logical = random_overlay(oo, topo);
+    const auto host_list = assign_hosts_uniform(*physical, peers, topo);
+    overlay = std::make_unique<OverlayNetwork>(*physical, logical, host_list);
+  }
+  std::unique_ptr<PhysicalNetwork> physical;
+  std::unique_ptr<OverlayNetwork> overlay;
+  Rng rng{17};
+};
+
+double mean_link_cost(const OverlayNetwork& overlay) {
+  const std::size_t edges = overlay.logical().edge_count();
+  return edges ? overlay.logical().total_weight() /
+                     static_cast<double>(edges)
+               : 0.0;
+}
+
+TEST(Engine, RebuildInstallsTreesForAllOnlinePeers) {
+  Fixture f;
+  AceEngine engine{*f.overlay, AceConfig{}};
+  const RoundReport report = engine.rebuild_all_trees(f.rng);
+  EXPECT_EQ(report.peers_stepped, f.overlay->online_count());
+  EXPECT_EQ(engine.forwarding().entries(), f.overlay->online_count());
+  EXPECT_GT(report.phase1.total(), 0.0);
+}
+
+TEST(Engine, DepthOneHasNoClosureTraffic) {
+  Fixture f;
+  AceConfig config;
+  config.closure_depth = 1;
+  AceEngine engine{*f.overlay, config};
+  const RoundReport report = engine.rebuild_all_trees(f.rng);
+  EXPECT_DOUBLE_EQ(report.closure_traffic, 0.0);
+}
+
+TEST(Engine, DeeperClosuresCostMore) {
+  double previous = 0;
+  for (const std::uint32_t h : {1u, 2u, 3u}) {
+    Fixture f;  // same seed -> identical topology
+    AceConfig config;
+    config.closure_depth = h;
+    AceEngine engine{*f.overlay, config};
+    const RoundReport report = engine.rebuild_all_trees(f.rng);
+    EXPECT_GE(report.closure_traffic, previous);
+    previous = report.closure_traffic;
+  }
+  EXPECT_GT(previous, 0.0);
+}
+
+TEST(Engine, FullPropagationCostsMoreThanDigest) {
+  Fixture f1, f2;
+  AceConfig digest;
+  digest.closure_depth = 3;
+  digest.overhead_model = OverheadModel::kBoundedDigest;
+  AceConfig full = digest;
+  full.overhead_model = OverheadModel::kFullPropagation;
+  AceEngine e1{*f1.overlay, digest};
+  AceEngine e2{*f2.overlay, full};
+  const double digest_traffic = e1.rebuild_all_trees(f1.rng).closure_traffic;
+  const double full_traffic = e2.rebuild_all_trees(f2.rng).closure_traffic;
+  EXPECT_GT(full_traffic, digest_traffic);
+}
+
+TEST(Engine, StepRoundReducesMeanLinkCost) {
+  Fixture f;
+  const double before = mean_link_cost(*f.overlay);
+  AceEngine engine{*f.overlay, AceConfig{}};
+  for (int round = 0; round < 8; ++round) engine.step_round(f.rng);
+  const double after = mean_link_cost(*f.overlay);
+  // Replacement + establishment swap expensive links for physically short
+  // ones (the link count itself may grow toward the degree ceiling, so the
+  // right invariant is the mean, not the total).
+  EXPECT_LT(after, before * 0.9);
+}
+
+TEST(Engine, OverlayStaysConnectedThroughOptimization) {
+  Fixture f;
+  ASSERT_TRUE(is_connected(f.overlay->logical()));
+  AceEngine engine{*f.overlay, AceConfig{}};
+  for (int round = 0; round < 10; ++round) {
+    engine.step_round(f.rng);
+    EXPECT_TRUE(is_connected(f.overlay->logical())) << "round " << round;
+  }
+}
+
+TEST(Engine, DegreeStaysBounded) {
+  Fixture f;
+  const double initial = f.overlay->mean_online_degree();
+  AceConfig config;
+  config.degree_slack = 2;
+  AceEngine engine{*f.overlay, config};
+  for (int round = 0; round < 12; ++round) engine.step_round(f.rng);
+  // The trim rule keeps mean degree from creeping past the ceiling, while
+  // individual (physically central) hubs may hold up to twice the trim
+  // ceiling — they carry the overlay's long-range tree links.
+  EXPECT_LT(f.overlay->mean_online_degree(), initial + 3.0);
+  std::size_t max_degree = 0;
+  for (const PeerId p : f.overlay->online_peers())
+    max_degree = std::max(max_degree, f.overlay->degree(p));
+  EXPECT_LE(max_degree,
+            2 * (static_cast<std::size_t>(std::ceil(initial)) + 2));
+}
+
+TEST(Engine, LifetimeReportAccumulates) {
+  Fixture f;
+  AceEngine engine{*f.overlay, AceConfig{}};
+  engine.step_round(f.rng);
+  const double after_one = engine.lifetime_report().total_overhead();
+  engine.step_round(f.rng);
+  EXPECT_GT(engine.lifetime_report().total_overhead(), after_one);
+}
+
+TEST(Engine, JoinLeaveHooksInvalidateForwarding) {
+  Fixture f;
+  AceEngine engine{*f.overlay, AceConfig{}};
+  engine.rebuild_all_trees(f.rng);
+  const PeerId victim = f.overlay->online_peers().front();
+  std::vector<PeerId> neighbors;
+  for (const auto& n : f.overlay->neighbors(victim))
+    neighbors.push_back(n.node);
+  ASSERT_TRUE(engine.forwarding().has_entry(victim));
+  f.overlay->leave(victim, 0, f.rng);
+  engine.on_peer_leave(victim, neighbors);
+  EXPECT_FALSE(engine.forwarding().has_entry(victim));
+  for (const PeerId n : neighbors)
+    EXPECT_FALSE(engine.forwarding().has_entry(n));
+}
+
+TEST(Engine, Phase3EveryThrottlesMutations) {
+  Fixture f1, f2;
+  AceConfig every_step;
+  AceConfig throttled;
+  throttled.phase3_every = 1000000;  // effectively never
+  AceEngine e1{*f1.overlay, every_step};
+  AceEngine e2{*f2.overlay, throttled};
+  const RoundReport r1 = e1.step_round(f1.rng);
+  const RoundReport r2 = e2.step_round(f2.rng);
+  EXPECT_GT(r1.phase3.probes + r1.phase3.cuts + r1.phase3.adds, 0u);
+  EXPECT_EQ(r2.phase3.probes + r2.phase3.cuts + r2.phase3.adds +
+                r2.phase3.trims,
+            0u);
+}
+
+TEST(Engine, StepPeerSkipsOffline) {
+  Fixture f;
+  AceEngine engine{*f.overlay, AceConfig{}};
+  const PeerId victim = f.overlay->online_peers().front();
+  f.overlay->leave(victim, 0, f.rng);
+  RoundReport report;
+  engine.step_peer(victim, f.rng, report);
+  EXPECT_EQ(report.peers_stepped, 0u);
+}
+
+TEST(Engine, RoundReportMerge) {
+  RoundReport a, b;
+  a.closure_traffic = 1.0;
+  a.closure_entries = 2;
+  a.peers_stepped = 3;
+  b.closure_traffic = 4.0;
+  b.closure_entries = 5;
+  b.peers_stepped = 6;
+  b.phase3.cuts = 7;
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.closure_traffic, 5.0);
+  EXPECT_EQ(a.closure_entries, 7u);
+  EXPECT_EQ(a.peers_stepped, 9u);
+  EXPECT_EQ(a.phase3.cuts, 7u);
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,123 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ace {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoForEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, NowTracksLastPop) {
+  EventQueue q;
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  q.schedule(2.5, [] {});
+  q.run_next();
+  EXPECT_DOUBLE_EQ(q.now(), 2.5);
+}
+
+TEST(EventQueue, PastSchedulingThrows) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.run_next();
+  EXPECT_THROW(q.schedule(4.0, [] {}), std::invalid_argument);
+  EXPECT_NO_THROW(q.schedule(5.0, [] {}));  // same time allowed
+}
+
+TEST(EventQueue, EmptyCallbackThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(1.0, EventQueue::Callback{}), std::invalid_argument);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule(1.0, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.cancel(id));  // double cancel
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelMiddleEventSkipped) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(1); });
+  const EventId id = q.schedule(2.0, [&] { order.push_back(2); });
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.cancel(id);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, SizeCountsLiveEventsOnly) {
+  EventQueue q;
+  const EventId a = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId a = q.schedule(1.0, [] {});
+  q.schedule(5.0, [] {});
+  q.cancel(a);
+  EXPECT_DOUBLE_EQ(q.next_time(), 5.0);
+}
+
+TEST(EventQueue, EmptyPopThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.run_next(), std::logic_error);
+  EXPECT_THROW(q.next_time(), std::logic_error);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] {
+    ++fired;
+    q.schedule(2.0, [&] { ++fired; });
+  });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, ManyEventsStress) {
+  EventQueue q;
+  std::size_t count = 0;
+  double last = -1;
+  for (int i = 0; i < 10000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 1000);
+    q.schedule(t, [&, t] {
+      EXPECT_GE(t, last);
+      last = t;
+      ++count;
+    });
+  }
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(count, 10000u);
+}
+
+}  // namespace
+}  // namespace ace

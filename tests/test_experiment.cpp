@@ -1,0 +1,179 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/shortest_path.h"
+
+namespace ace {
+namespace {
+
+ScenarioConfig tiny_scenario() {
+  ScenarioConfig config;
+  config.physical_nodes = 256;
+  config.peers = 64;
+  config.mean_degree = 6.0;
+  config.catalog.object_count = 100;
+  config.catalog.base_replication = 0.2;
+  config.catalog.min_replication = 0.05;
+  config.seed = 99;
+  return config;
+}
+
+TEST(ScenarioTest, BuildsConnectedStack) {
+  Scenario scenario{tiny_scenario()};
+  EXPECT_EQ(scenario.overlay().peer_count(), 64u);
+  EXPECT_EQ(scenario.overlay().online_count(), 64u);
+  EXPECT_TRUE(is_connected(scenario.overlay().logical()));
+  EXPECT_EQ(scenario.physical().host_count(), 256u);
+  EXPECT_NEAR(scenario.overlay().mean_online_degree(), 6.0, 1.5);
+}
+
+TEST(ScenarioTest, RejectsMorePeersThanHosts) {
+  ScenarioConfig config = tiny_scenario();
+  config.peers = 10000;
+  EXPECT_THROW(Scenario{config}, std::invalid_argument);
+}
+
+TEST(ScenarioTest, AllPhysicalModelsBuild) {
+  for (const PhysicalModel model :
+       {PhysicalModel::kBarabasiAlbert, PhysicalModel::kWaxman,
+        PhysicalModel::kTransitStub}) {
+    ScenarioConfig config = tiny_scenario();
+    config.physical_model = model;
+    Scenario scenario{config};
+    EXPECT_GT(scenario.physical().host_count(), 0u);
+  }
+}
+
+TEST(ScenarioTest, PowerLawOverlayModelBuilds) {
+  ScenarioConfig config = tiny_scenario();
+  config.overlay_model = OverlayModel::kPowerLaw;
+  Scenario scenario{config};
+  EXPECT_TRUE(is_connected(scenario.overlay().logical()));
+}
+
+TEST(ScenarioTest, MeasureReturnsSaneStats) {
+  Scenario scenario{tiny_scenario()};
+  const QueryStats stats = scenario.measure_blind(20);
+  EXPECT_EQ(stats.queries(), 20u);
+  EXPECT_GT(stats.mean_traffic(), 0.0);
+  // Connected overlay + unlimited TTL: full scope on every query.
+  EXPECT_DOUBLE_EQ(stats.mean_scope(), 63.0);
+}
+
+TEST(ScenarioTest, SameSeedSameMeasurement) {
+  Scenario a{tiny_scenario()};
+  Scenario b{tiny_scenario()};
+  EXPECT_DOUBLE_EQ(a.measure_blind(10).mean_traffic(),
+                   b.measure_blind(10).mean_traffic());
+}
+
+TEST(StaticRun, TrafficAndResponseDrop) {
+  // Mid-sized scenario: at 64 peers the transient tree staleness during
+  // active optimization dents the measured scope too much for a tight
+  // assertion; 128 peers is the smallest comfortable scale.
+  ScenarioConfig config = tiny_scenario();
+  config.physical_nodes = 512;
+  config.peers = 128;
+  Scenario scenario{config};
+  const StaticRunResult result =
+      run_static_optimization(scenario, AceConfig{}, 8, 30);
+  ASSERT_EQ(result.samples.size(), 9u);
+  EXPECT_EQ(result.samples[0].step, 0u);
+  EXPECT_GT(result.samples[0].traffic, 0.0);
+  // The paper reports ~50% traffic cuts at convergence; the full-size bench
+  // (bench_fig07_08_static) reproduces both that and the ~35% response
+  // improvement. At this 64-peer toy scale the traffic cut is strong while
+  // response time is roughly neutral (blind flooding's parallelism matters
+  // more in very small overlays), so only bound the regression.
+  EXPECT_GT(result.traffic_reduction(), 0.4);
+  EXPECT_GT(result.response_reduction(), -0.35);
+  // Scope retained within a small tolerance.
+  EXPECT_NEAR(result.samples.back().scope, result.samples.front().scope,
+              result.samples.front().scope * 0.1);
+}
+
+TEST(StaticRun, OverheadRecordedPerStep) {
+  Scenario scenario{tiny_scenario()};
+  const StaticRunResult result =
+      run_static_optimization(scenario, AceConfig{}, 2, 10);
+  EXPECT_DOUBLE_EQ(result.samples[0].overhead, 0.0);
+  EXPECT_GT(result.samples[1].overhead, 0.0);
+}
+
+TEST(DepthSweep, ReductionGrowsOverheadGrows) {
+  const std::vector<std::uint32_t> depths{1, 2, 3};
+  const auto samples =
+      run_depth_sweep(tiny_scenario(), AceConfig{}, depths, 5, 25);
+  ASSERT_EQ(samples.size(), 3u);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].h, depths[i]);
+    EXPECT_GT(samples[i].reduction_rate, 0.0);
+    EXPECT_LT(samples[i].reduction_rate, 1.0);
+    EXPECT_GT(samples[i].overhead_per_round, 0.0);
+    // Same starting topology for every depth.
+    EXPECT_DOUBLE_EQ(samples[i].traffic_blind, samples[0].traffic_blind);
+  }
+  // Overhead strictly grows with h (bounded digest adds per-level cost).
+  EXPECT_GT(samples[2].overhead_per_round, samples[0].overhead_per_round);
+}
+
+TEST(DepthSweep, OptimizationRateLinearInR) {
+  DepthSample sample;
+  sample.gain_per_query = 10.0;
+  sample.overhead_per_round = 5.0;
+  EXPECT_DOUBLE_EQ(optimization_rate(sample, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(optimization_rate(sample, 2.0), 4.0);
+  sample.overhead_per_round = 0.0;
+  EXPECT_DOUBLE_EQ(optimization_rate(sample, 1.0), 0.0);
+}
+
+DynamicConfig tiny_dynamic() {
+  DynamicConfig config;
+  config.scenario = tiny_scenario();
+  config.churn.mean_lifetime_s = 120.0;
+  config.churn.lifetime_variance = 60.0;
+  config.workload.queries_per_peer_per_s = 0.02;
+  config.ace_period_s = 15.0;
+  config.duration_s = 300.0;
+  config.report_buckets = 4;
+  return config;
+}
+
+TEST(DynamicRun, ProducesBucketsAndChurn) {
+  DynamicConfig config = tiny_dynamic();
+  const DynamicResult result = run_dynamic(config);
+  EXPECT_EQ(result.buckets.size(), 4u);
+  EXPECT_GT(result.overall.queries(), 0u);
+  EXPECT_GT(result.joins, 0u);
+  EXPECT_EQ(result.joins, result.leaves);
+  EXPECT_GT(result.total_overhead, 0.0);
+  std::size_t bucket_queries = 0;
+  for (const auto& b : result.buckets) bucket_queries += b.queries;
+  EXPECT_EQ(bucket_queries, result.overall.queries());
+}
+
+TEST(DynamicRun, AceBeatsGnutellaLikeOnQueryTraffic) {
+  DynamicConfig with_ace = tiny_dynamic();
+  DynamicConfig without = tiny_dynamic();
+  without.enable_ace = false;
+  const DynamicResult ace = run_dynamic(with_ace);
+  const DynamicResult gnutella = run_dynamic(without);
+  EXPECT_LT(ace.overall.mean_traffic(), gnutella.overall.mean_traffic());
+  // No optimization -> no overhead.
+  EXPECT_DOUBLE_EQ(gnutella.total_overhead, 0.0);
+}
+
+TEST(DynamicRun, CacheCutsTrafficFurther) {
+  DynamicConfig plain = tiny_dynamic();
+  DynamicConfig cached = tiny_dynamic();
+  cached.enable_cache = true;
+  cached.cache_capacity = 20;
+  const DynamicResult a = run_dynamic(plain);
+  const DynamicResult b = run_dynamic(cached);
+  EXPECT_GT(b.cache_hits, 0u);
+  EXPECT_LT(b.overall.mean_traffic(), a.overall.mean_traffic());
+}
+
+}  // namespace
+}  // namespace ace

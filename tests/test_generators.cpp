@@ -1,0 +1,228 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/metrics.h"
+#include "graph/shortest_path.h"
+
+namespace ace {
+namespace {
+
+TEST(BarabasiAlbert, NodeAndEdgeCounts) {
+  Rng rng{1};
+  BaOptions options;
+  options.nodes = 500;
+  options.edges_per_node = 2;
+  const Graph g = barabasi_albert(options, rng);
+  EXPECT_EQ(g.node_count(), 500u);
+  // seed clique C(3,2)=3 edges + 2 per additional node.
+  EXPECT_EQ(g.edge_count(), 3u + 2u * (500 - 3));
+}
+
+TEST(BarabasiAlbert, Connected) {
+  Rng rng{2};
+  BaOptions options;
+  options.nodes = 300;
+  const Graph g = barabasi_albert(options, rng);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(BarabasiAlbert, PowerLawDegreeDistribution) {
+  Rng rng{3};
+  BaOptions options;
+  options.nodes = 5000;
+  options.edges_per_node = 2;
+  const Graph g = barabasi_albert(options, rng);
+  // BA theory: exponent ~3. The MLE over a finite graph lands in [2, 4].
+  const double alpha = degree_power_law_alpha(g, 3);
+  EXPECT_GT(alpha, 2.0);
+  EXPECT_LT(alpha, 4.0);
+}
+
+TEST(BarabasiAlbert, WeightsWithinRange) {
+  Rng rng{4};
+  BaOptions options;
+  options.nodes = 100;
+  options.min_delay = 2.0;
+  options.max_delay = 5.0;
+  const Graph g = barabasi_albert(options, rng);
+  for (const Edge& e : g.edges()) {
+    EXPECT_GE(e.weight, 2.0);
+    EXPECT_LE(e.weight, 5.0);
+  }
+}
+
+TEST(BarabasiAlbert, RejectsBadParameters) {
+  Rng rng{5};
+  BaOptions options;
+  options.nodes = 2;
+  options.edges_per_node = 2;
+  EXPECT_THROW(barabasi_albert(options, rng), std::invalid_argument);
+  options.edges_per_node = 0;
+  EXPECT_THROW(barabasi_albert(options, rng), std::invalid_argument);
+}
+
+TEST(BarabasiAlbert, HubsEmerge) {
+  Rng rng{6};
+  BaOptions options;
+  options.nodes = 2000;
+  const Graph g = barabasi_albert(options, rng);
+  std::size_t max_degree = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u)
+    max_degree = std::max(max_degree, g.degree(u));
+  // Preferential attachment produces hubs far above the mean (~4).
+  EXPECT_GT(max_degree, 20u);
+}
+
+TEST(Waxman, ConnectedWhenForced) {
+  Rng rng{7};
+  WaxmanOptions options;
+  options.nodes = 200;
+  options.force_connected = true;
+  const Graph g = waxman(options, rng);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Waxman, PositiveWeights) {
+  Rng rng{8};
+  WaxmanOptions options;
+  options.nodes = 150;
+  const Graph g = waxman(options, rng);
+  for (const Edge& e : g.edges()) EXPECT_GT(e.weight, 0.0);
+}
+
+TEST(Waxman, HigherAlphaMoreEdges) {
+  Rng rng1{9}, rng2{9};
+  WaxmanOptions sparse, dense;
+  sparse.nodes = dense.nodes = 200;
+  sparse.alpha = 0.05;
+  dense.alpha = 0.4;
+  sparse.force_connected = dense.force_connected = false;
+  EXPECT_LT(waxman(sparse, rng1).edge_count(),
+            waxman(dense, rng2).edge_count());
+}
+
+TEST(TransitStub, StructureAndConnectivity) {
+  Rng rng{10};
+  TransitStubOptions options;
+  options.transit_nodes = 8;
+  options.stubs_per_transit = 3;
+  options.nodes_per_stub = 10;
+  const Graph g = transit_stub(options, rng);
+  EXPECT_EQ(g.node_count(), 8u + 8u * 3u * 10u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(TransitStub, IntraStubCheaperThanBackbone) {
+  Rng rng{11};
+  TransitStubOptions options;
+  const Graph g = transit_stub(options, rng);
+  // A stub-internal edge weight equals stub_delay, backbone equals
+  // transit_delay; the generator must keep the hierarchy.
+  bool saw_stub = false, saw_transit = false;
+  for (const Edge& e : g.edges()) {
+    if (e.weight == options.stub_delay) saw_stub = true;
+    if (e.weight == options.transit_delay) saw_transit = true;
+  }
+  EXPECT_TRUE(saw_stub);
+  EXPECT_TRUE(saw_transit);
+  EXPECT_LT(options.stub_delay, options.transit_delay);
+}
+
+TEST(RandomOverlay, ConnectedWithTargetDegree) {
+  Rng rng{12};
+  OverlayOptions options;
+  options.peers = 400;
+  options.mean_degree = 6.0;
+  const Graph g = random_overlay(options, rng);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_NEAR(g.mean_degree(), 6.0, 1.2);
+}
+
+TEST(RandomOverlay, MinDegreeHonored) {
+  Rng rng{13};
+  OverlayOptions options;
+  options.peers = 300;
+  options.mean_degree = 4.0;
+  options.min_degree = 3;
+  const Graph g = random_overlay(options, rng);
+  for (NodeId u = 0; u < g.node_count(); ++u) EXPECT_GE(g.degree(u), 3u);
+}
+
+TEST(RandomOverlay, Rejections) {
+  Rng rng{14};
+  OverlayOptions options;
+  options.peers = 1;
+  EXPECT_THROW(random_overlay(options, rng), std::invalid_argument);
+  options.peers = 10;
+  options.mean_degree = 0.5;
+  EXPECT_THROW(random_overlay(options, rng), std::invalid_argument);
+}
+
+TEST(PowerLawOverlay, ConnectedAndSkewed) {
+  Rng rng{15};
+  OverlayOptions options;
+  options.peers = 1000;
+  options.mean_degree = 6.0;
+  const Graph g = power_law_overlay(options, rng);
+  EXPECT_TRUE(is_connected(g));
+  std::size_t max_degree = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u)
+    max_degree = std::max(max_degree, g.degree(u));
+  EXPECT_GT(max_degree, 3 * static_cast<std::size_t>(g.mean_degree()));
+}
+
+TEST(WattsStrogatz, LatticeWhenNoRewire) {
+  Rng rng{16};
+  WattsStrogatzOptions options;
+  options.nodes = 50;
+  options.k = 4;
+  options.rewire_prob = 0.0;
+  const Graph g = watts_strogatz(options, rng);
+  EXPECT_EQ(g.edge_count(), 50u * 4u / 2u);
+  for (NodeId u = 0; u < g.node_count(); ++u) EXPECT_EQ(g.degree(u), 4u);
+}
+
+TEST(WattsStrogatz, RewiringShortensPaths) {
+  Rng rng1{17}, rng2{17}, mrng{18};
+  WattsStrogatzOptions lattice, rewired;
+  lattice.nodes = rewired.nodes = 300;
+  lattice.k = rewired.k = 6;
+  lattice.rewire_prob = 0.0;
+  rewired.rewire_prob = 0.2;
+  const Graph g0 = watts_strogatz(lattice, rng1);
+  const Graph g1 = watts_strogatz(rewired, rng2);
+  EXPECT_LT(mean_path_length(g1, mrng, 50), mean_path_length(g0, mrng, 50));
+}
+
+TEST(WattsStrogatz, Rejections) {
+  Rng rng{19};
+  WattsStrogatzOptions options;
+  options.nodes = 10;
+  options.k = 3;  // odd
+  EXPECT_THROW(watts_strogatz(options, rng), std::invalid_argument);
+  options.k = 10;  // >= n
+  EXPECT_THROW(watts_strogatz(options, rng), std::invalid_argument);
+}
+
+TEST(ErdosRenyi, EdgeCountNearExpectation) {
+  Rng rng{20};
+  ErdosRenyiOptions options;
+  options.nodes = 200;
+  options.edge_prob = 0.05;
+  const Graph g = erdos_renyi(options, rng);
+  const double expected = 0.05 * 200 * 199 / 2;
+  EXPECT_NEAR(static_cast<double>(g.edge_count()), expected, expected * 0.2);
+}
+
+TEST(Generators, DeterministicForFixedSeed) {
+  Rng a{99}, b{99};
+  BaOptions options;
+  options.nodes = 200;
+  const Graph ga = barabasi_albert(options, a);
+  const Graph gb = barabasi_albert(options, b);
+  EXPECT_EQ(ga.edges(), gb.edges());
+}
+
+}  // namespace
+}  // namespace ace

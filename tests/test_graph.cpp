@@ -1,0 +1,154 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ace {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_DOUBLE_EQ(g.mean_degree(), 0.0);
+}
+
+TEST(Graph, AddNodesSequentialIds) {
+  Graph g;
+  EXPECT_EQ(g.add_node(), 0u);
+  EXPECT_EQ(g.add_node(), 1u);
+  EXPECT_EQ(g.node_count(), 2u);
+}
+
+TEST(Graph, AddEdgeBasics) {
+  Graph g{3};
+  EXPECT_TRUE(g.add_edge(0, 1, 2.5));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));  // undirected
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(*g.edge_weight(0, 1), 2.5);
+  EXPECT_DOUBLE_EQ(*g.edge_weight(1, 0), 2.5);
+}
+
+TEST(Graph, DuplicateEdgeRejected) {
+  Graph g{2};
+  EXPECT_TRUE(g.add_edge(0, 1, 1.0));
+  EXPECT_FALSE(g.add_edge(0, 1, 2.0));
+  EXPECT_FALSE(g.add_edge(1, 0, 2.0));
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(*g.edge_weight(0, 1), 1.0);
+}
+
+TEST(Graph, SelfLoopRejected) {
+  Graph g{2};
+  EXPECT_FALSE(g.add_edge(1, 1, 1.0));
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Graph, NonPositiveWeightThrows) {
+  Graph g{2};
+  EXPECT_THROW(g.add_edge(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 1, -1.0), std::invalid_argument);
+}
+
+TEST(Graph, OutOfRangeThrows) {
+  Graph g{2};
+  EXPECT_THROW(g.add_edge(0, 2, 1.0), std::out_of_range);
+  EXPECT_THROW(g.has_edge(5, 0), std::out_of_range);
+  EXPECT_THROW(g.neighbors(2), std::out_of_range);
+  EXPECT_THROW(g.degree(9), std::out_of_range);
+}
+
+TEST(Graph, RemoveEdge) {
+  Graph g{3};
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  EXPECT_TRUE(g.remove_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_FALSE(g.remove_edge(0, 1));  // already gone
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(Graph, SetWeight) {
+  Graph g{2};
+  g.add_edge(0, 1, 1.0);
+  EXPECT_TRUE(g.set_weight(0, 1, 9.0));
+  EXPECT_DOUBLE_EQ(*g.edge_weight(1, 0), 9.0);
+  EXPECT_FALSE(g.set_weight(0, 1, 9.0) && false);  // still true for existing
+  Graph g2{2};
+  EXPECT_FALSE(g2.set_weight(0, 1, 2.0));  // missing edge
+  EXPECT_THROW(g.set_weight(0, 1, -2.0), std::invalid_argument);
+}
+
+TEST(Graph, EdgeWeightMissingIsNullopt) {
+  Graph g{2};
+  EXPECT_FALSE(g.edge_weight(0, 1).has_value());
+}
+
+TEST(Graph, NeighborsAreSymmetric) {
+  Graph g{4};
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 2, 2.0);
+  ASSERT_EQ(g.degree(0), 2u);
+  ASSERT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.neighbors(1)[0].node, 0u);
+  EXPECT_DOUBLE_EQ(g.neighbors(1)[0].weight, 1.0);
+}
+
+TEST(Graph, EdgesListsEachOnce) {
+  Graph g{4};
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 3.0);
+  const auto edges = g.edges();
+  EXPECT_EQ(edges.size(), 3u);
+  for (const Edge& e : edges) EXPECT_LT(e.u, e.v);
+}
+
+TEST(Graph, TotalWeight) {
+  Graph g{3};
+  g.add_edge(0, 1, 1.5);
+  g.add_edge(1, 2, 2.5);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 4.0);
+}
+
+TEST(Graph, IsolateDropsAllIncidentEdges) {
+  Graph g{4};
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(0, 3, 1.0);
+  g.add_edge(1, 2, 1.0);
+  auto removed = g.isolate(0);
+  std::sort(removed.begin(), removed.end());
+  EXPECT_EQ(removed, (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+TEST(Graph, MeanDegree) {
+  Graph g{4};
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  EXPECT_DOUBLE_EQ(g.mean_degree(), 1.0);
+  g.add_edge(0, 2, 1.0);
+  EXPECT_DOUBLE_EQ(g.mean_degree(), 1.5);
+}
+
+TEST(Graph, ManyEdgesStressConsistency) {
+  const std::size_t n = 100;
+  Graph g{n};
+  std::size_t added = 0;
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; v += 7) ++added, g.add_edge(u, v, 1.0 + u);
+  EXPECT_EQ(g.edge_count(), added);
+  std::size_t degree_sum = 0;
+  for (NodeId u = 0; u < n; ++u) degree_sum += g.degree(u);
+  EXPECT_EQ(degree_sum, 2 * added);  // handshake lemma
+}
+
+}  // namespace
+}  // namespace ace

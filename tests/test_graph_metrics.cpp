@@ -1,0 +1,125 @@
+#include "graph/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace ace {
+namespace {
+
+Graph triangle_plus_tail() {
+  // 0-1-2 triangle, 3 hanging off 2.
+  Graph g{4};
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  return g;
+}
+
+TEST(Metrics, DegreeSequence) {
+  const Graph g = triangle_plus_tail();
+  EXPECT_EQ(degree_sequence(g), (std::vector<std::size_t>{2, 2, 3, 1}));
+}
+
+TEST(Metrics, LocalClusteringOfTriangleMembers) {
+  const Graph g = triangle_plus_tail();
+  EXPECT_DOUBLE_EQ(local_clustering(g, 0), 1.0);  // both neighbors adjacent
+  EXPECT_DOUBLE_EQ(local_clustering(g, 1), 1.0);
+  // Node 2 has neighbors {0,1,3}; only pair (0,1) adjacent: 1/3.
+  EXPECT_NEAR(local_clustering(g, 2), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(local_clustering(g, 3), 0.0);  // degree 1
+}
+
+TEST(Metrics, MeanClustering) {
+  const Graph g = triangle_plus_tail();
+  EXPECT_NEAR(mean_clustering(g), (1.0 + 1.0 + 1.0 / 3.0 + 0.0) / 4.0, 1e-12);
+}
+
+TEST(Metrics, CompleteGraphClusteringIsOne) {
+  Graph g{5};
+  for (NodeId u = 0; u < 5; ++u)
+    for (NodeId v = u + 1; v < 5; ++v) g.add_edge(u, v, 1.0);
+  EXPECT_DOUBLE_EQ(mean_clustering(g), 1.0);
+}
+
+TEST(Metrics, TreeClusteringIsZero) {
+  Graph g{7};
+  for (NodeId v = 1; v < 7; ++v) g.add_edge(v, (v - 1) / 2, 1.0);
+  EXPECT_DOUBLE_EQ(mean_clustering(g), 0.0);
+}
+
+TEST(Metrics, PathLengthOfPathGraph) {
+  // Path of 5 nodes: exact mean distance = 2.0 (sum 40 over 20 ordered pairs).
+  Graph g{5};
+  for (NodeId u = 0; u + 1 < 5; ++u) g.add_edge(u, u + 1, 1.0);
+  Rng rng{1};
+  EXPECT_NEAR(mean_path_length(g, rng, 5), 2.0, 1e-12);
+}
+
+TEST(Metrics, PathLengthSampledCloseToExact) {
+  Rng topo{2}, m1{3}, m2{3};
+  BaOptions options;
+  options.nodes = 400;
+  const Graph g = barabasi_albert(options, topo);
+  const double exact = mean_path_length(g, m1, 400);
+  const double sampled = mean_path_length(g, m2, 64);
+  EXPECT_NEAR(sampled, exact, exact * 0.1);
+}
+
+TEST(Metrics, PathLengthTrivialGraphs) {
+  Rng rng{4};
+  EXPECT_DOUBLE_EQ(mean_path_length(Graph{}, rng), 0.0);
+  EXPECT_DOUBLE_EQ(mean_path_length(Graph{1}, rng), 0.0);
+}
+
+TEST(Metrics, BaGraphIsSmallWorldish) {
+  Rng topo{5}, m{6};
+  BaOptions options;
+  options.nodes = 2000;
+  options.edges_per_node = 3;
+  const Graph g = barabasi_albert(options, topo);
+  const SmallWorldReport report = small_world_report(g, m, 48);
+  // Low diameter: average path length well under log2(n).
+  EXPECT_LT(report.path_length, 11.0);
+  EXPECT_GT(report.path_length, 1.0);
+  // Clustering far above the ER null model.
+  EXPECT_GT(report.clustering, report.random_clustering);
+  EXPECT_GT(report.sigma, 1.0);
+}
+
+TEST(Metrics, WattsStrogatzStronglySmallWorld) {
+  Rng topo{7}, m{8};
+  WattsStrogatzOptions options;
+  options.nodes = 500;
+  options.k = 8;
+  options.rewire_prob = 0.1;
+  const Graph g = watts_strogatz(options, topo);
+  const SmallWorldReport report = small_world_report(g, m, 64);
+  EXPECT_GT(report.sigma, 2.0);
+}
+
+TEST(Metrics, ErdosRenyiSigmaNearOne) {
+  Rng topo{9}, m{10};
+  ErdosRenyiOptions options;
+  options.nodes = 500;
+  options.edge_prob = 0.02;
+  const Graph g = erdos_renyi(options, topo);
+  const SmallWorldReport report = small_world_report(g, m, 64);
+  // The null model describes itself: sigma should hover near 1.
+  EXPECT_GT(report.sigma, 0.3);
+  EXPECT_LT(report.sigma, 3.0);
+}
+
+TEST(Metrics, PowerLawAlphaForBa) {
+  Rng topo{11};
+  BaOptions options;
+  options.nodes = 3000;
+  const Graph g = barabasi_albert(options, topo);
+  const double alpha = degree_power_law_alpha(g, 3);
+  EXPECT_GT(alpha, 1.5);
+  EXPECT_LT(alpha, 4.5);
+}
+
+}  // namespace
+}  // namespace ace

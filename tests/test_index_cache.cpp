@@ -1,0 +1,238 @@
+#include "baselines/index_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace ace {
+namespace {
+
+TEST(LruCache, InsertLookupEvict) {
+  LruIndexCache cache{2};
+  cache.insert(1, 100);
+  cache.insert(2, 200);
+  EXPECT_EQ(cache.lookup(1), 100u);
+  // Inserting a third evicts the least recently used (object 2, since 1 was
+  // just refreshed).
+  cache.insert(3, 300);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.lookup(2), kInvalidPeer);
+  EXPECT_EQ(cache.lookup(1), 100u);
+  EXPECT_EQ(cache.lookup(3), 300u);
+}
+
+TEST(LruCache, InsertUpdatesExisting) {
+  LruIndexCache cache{2};
+  cache.insert(1, 100);
+  cache.insert(1, 101);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.lookup(1), 101u);
+}
+
+TEST(LruCache, PeekDoesNotRefresh) {
+  LruIndexCache cache{2};
+  cache.insert(1, 100);
+  cache.insert(2, 200);
+  EXPECT_EQ(cache.peek(1), 100u);  // no recency bump
+  cache.insert(3, 300);
+  // Without the bump, object 1 was LRU and is evicted.
+  EXPECT_EQ(cache.peek(1), kInvalidPeer);
+  EXPECT_EQ(cache.peek(2), 200u);
+}
+
+TEST(LruCache, EraseAndClear) {
+  LruIndexCache cache{4};
+  cache.insert(1, 100);
+  cache.insert(2, 200);
+  cache.erase(1);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.erase(42);  // no-op
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCache, HitMissCounters) {
+  LruIndexCache cache{2};
+  cache.insert(1, 100);
+  cache.lookup(1);
+  cache.lookup(9);
+  cache.lookup(9);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(LruCache, ZeroCapacityThrows) {
+  EXPECT_THROW(LruIndexCache{0}, std::invalid_argument);
+}
+
+struct LayerFixture {
+  LayerFixture() {
+    CatalogConfig cc;
+    cc.object_count = 50;
+    cc.base_replication = 0.3;
+    cc.min_replication = 0.05;
+    catalog = std::make_unique<ObjectCatalog>(cc);
+    Graph g{16};
+    for (NodeId u = 0; u + 1 < 16; ++u) g.add_edge(u, u + 1, 1.0);
+    physical = std::make_unique<PhysicalNetwork>(std::move(g));
+    overlay = std::make_unique<OverlayNetwork>(*physical);
+    for (HostId h = 0; h < 10; ++h) overlay->add_peer(h);
+    layer = std::make_unique<IndexCacheLayer>(*catalog, 10, 4);
+    layer->bind_overlay(*overlay);
+  }
+  // Any peer that actually holds `o` per the catalog.
+  PeerId some_holder(ObjectId o) const {
+    for (PeerId p = 0; p < 10; ++p)
+      if (catalog->holds(p, o)) return p;
+    return kInvalidPeer;
+  }
+  // A peer that does NOT hold `o`.
+  PeerId some_non_holder(ObjectId o) const {
+    for (PeerId p = 0; p < 10; ++p)
+      if (!catalog->holds(p, o)) return p;
+    return kInvalidPeer;
+  }
+  std::unique_ptr<ObjectCatalog> catalog;
+  std::unique_ptr<PhysicalNetwork> physical;
+  std::unique_ptr<OverlayNetwork> overlay;
+  std::unique_ptr<IndexCacheLayer> layer;
+};
+
+TEST(CacheLayer, RealHoldersAnswerHolds) {
+  LayerFixture f;
+  for (ObjectId o = 0; o < 50; ++o) {
+    const PeerId holder = f.some_holder(o);
+    if (holder == kInvalidPeer) continue;
+    EXPECT_EQ(f.layer->answers(holder, o), AnswerKind::kHolds);
+  }
+}
+
+TEST(CacheLayer, MissWithoutCacheEntry) {
+  LayerFixture f;
+  for (ObjectId o = 0; o < 50; ++o) {
+    const PeerId non_holder = f.some_non_holder(o);
+    if (non_holder == kInvalidPeer) continue;
+    EXPECT_EQ(f.layer->answers(non_holder, o), AnswerKind::kNo);
+  }
+}
+
+TEST(CacheLayer, LearnFromPopulatesPathPeers) {
+  LayerFixture f;
+  ObjectId object = 0;
+  PeerId holder = kInvalidPeer, src = kInvalidPeer, mid = kInvalidPeer;
+  // Find an object with a holder and two distinct non-holders.
+  for (ObjectId o = 0; o < 50 && holder == kInvalidPeer; ++o) {
+    const PeerId h = f.some_holder(o);
+    if (h == kInvalidPeer) continue;
+    PeerId a = kInvalidPeer, b = kInvalidPeer;
+    for (PeerId p = 0; p < 10; ++p) {
+      if (f.catalog->holds(p, o) || p == h) continue;
+      if (a == kInvalidPeer)
+        a = p;
+      else if (b == kInvalidPeer)
+        b = p;
+    }
+    if (a != kInvalidPeer && b != kInvalidPeer) {
+      object = o;
+      holder = h;
+      src = a;
+      mid = b;
+    }
+  }
+  ASSERT_NE(holder, kInvalidPeer);
+
+  QueryResult qr;
+  qr.found = true;
+  qr.first_responder = holder;
+  qr.visit_parents = {{src, kInvalidPeer}, {mid, src}, {holder, mid}};
+  f.layer->learn_from(qr, object);
+  // The peers on the inverse path now answer from cache.
+  EXPECT_EQ(f.layer->answers(mid, object), AnswerKind::kCached);
+  EXPECT_EQ(f.layer->answers(src, object), AnswerKind::kCached);
+  EXPECT_GE(f.layer->total_entries(), 2u);
+}
+
+TEST(CacheLayer, StaleEntryEvictedWhenHolderOffline) {
+  LayerFixture f;
+  ObjectId object = 0;
+  PeerId holder = f.some_holder(object);
+  while (holder == kInvalidPeer) holder = f.some_holder(++object);
+  const PeerId learner = f.some_non_holder(object);
+  ASSERT_NE(learner, kInvalidPeer);
+
+  QueryResult qr;
+  qr.found = true;
+  qr.first_responder = holder;
+  qr.visit_parents = {{learner, kInvalidPeer}, {holder, learner}};
+  f.layer->learn_from(qr, object);
+  ASSERT_EQ(f.layer->answers(learner, object), AnswerKind::kCached);
+
+  Rng rng{1};
+  f.overlay->leave(holder, 0, rng);
+  // Holder offline -> the cached pointer is stale and gets evicted.
+  EXPECT_EQ(f.layer->answers(learner, object), AnswerKind::kNo);
+  EXPECT_EQ(f.layer->answers(learner, object), AnswerKind::kNo);
+}
+
+TEST(CacheLayer, LeaveClearsOwnCache) {
+  LayerFixture f;
+  ObjectId object = 0;
+  PeerId holder = f.some_holder(object);
+  while (holder == kInvalidPeer) holder = f.some_holder(++object);
+  const PeerId learner = f.some_non_holder(object);
+  QueryResult qr;
+  qr.found = true;
+  qr.first_responder = holder;
+  qr.visit_parents = {{learner, kInvalidPeer}, {holder, learner}};
+  f.layer->learn_from(qr, object);
+  ASSERT_GT(f.layer->cache_of(learner).size(), 0u);
+  f.layer->on_peer_leave(learner);
+  EXPECT_EQ(f.layer->cache_of(learner).size(), 0u);
+}
+
+TEST(CacheLayer, CachedAnswerResolvesThroughToRealHolder) {
+  LayerFixture f;
+  ObjectId object = 0;
+  PeerId holder = f.some_holder(object);
+  while (holder == kInvalidPeer) holder = f.some_holder(++object);
+  const PeerId learner = f.some_non_holder(object);
+  const PeerId second = [&] {
+    for (PeerId p = 0; p < 10; ++p)
+      if (!f.catalog->holds(p, object) && p != learner) return p;
+    return kInvalidPeer;
+  }();
+  ASSERT_NE(second, kInvalidPeer);
+
+  // learner caches object -> holder.
+  QueryResult first_query;
+  first_query.found = true;
+  first_query.first_responder = holder;
+  first_query.visit_parents = {{learner, kInvalidPeer}, {holder, learner}};
+  f.layer->learn_from(first_query, object);
+
+  // A later query is answered from learner's cache; learning from that
+  // response must record the *holder*, not the cache peer.
+  QueryResult second_query;
+  second_query.found = true;
+  second_query.first_responder = learner;
+  second_query.answered_from_cache = true;
+  second_query.visit_parents = {{second, kInvalidPeer}, {learner, second}};
+  f.layer->learn_from(second_query, object);
+  EXPECT_EQ(f.layer->cache_of(second).peek(object), holder);
+}
+
+TEST(CacheLayer, IgnoresUnfoundQueries) {
+  LayerFixture f;
+  QueryResult qr;
+  qr.found = false;
+  f.layer->learn_from(qr, 0);
+  EXPECT_EQ(f.layer->total_entries(), 0u);
+}
+
+TEST(CacheLayer, CacheOfOutOfRangeThrows) {
+  LayerFixture f;
+  EXPECT_THROW(f.layer->cache_of(99), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,161 @@
+#include "baselines/ltm.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/generators.h"
+#include "graph/shortest_path.h"
+
+namespace ace {
+namespace {
+
+// Physical line with unit delays.
+struct Fixture {
+  explicit Fixture(std::size_t hosts = 64) {
+    Graph g{hosts};
+    for (NodeId u = 0; u + 1 < hosts; ++u) g.add_edge(u, u + 1, 1.0);
+    physical = std::make_unique<PhysicalNetwork>(std::move(g));
+    overlay = std::make_unique<OverlayNetwork>(*physical);
+  }
+  std::unique_ptr<PhysicalNetwork> physical;
+  std::unique_ptr<OverlayNetwork> overlay;
+  Rng rng{31};
+};
+
+TEST(Ltm, CutsRedundantSlowLink) {
+  Fixture f;
+  // Triangle: s@0, r@1, v@10. Direct s-v costs 10; via r costs 1 + 9 = 10
+  // (not slower) -> redundant, cut.
+  const PeerId s = f.overlay->add_peer(0);
+  const PeerId r = f.overlay->add_peer(1);
+  const PeerId v = f.overlay->add_peer(10);
+  f.overlay->connect(s, r);
+  f.overlay->connect(r, v);
+  f.overlay->connect(s, v);
+  LtmConfig config;
+  config.min_degree = 1;
+  config.adds_per_round = 0;
+  LtmEngine engine{*f.overlay, config};
+  LtmRoundReport report;
+  engine.step_peer(s, f.rng, report);
+  EXPECT_EQ(report.cuts, 1u);
+  EXPECT_FALSE(f.overlay->are_connected(s, v));
+  EXPECT_TRUE(f.overlay->are_connected(s, r));
+  EXPECT_TRUE(f.overlay->are_connected(r, v));
+}
+
+TEST(Ltm, KeepsLinksWhenTwoHopStrictlySlower) {
+  Fixture f;
+  // On a line topology every "between" relay ties the direct link exactly
+  // (additive metric), so a sub-unit slack demands a strictly faster
+  // detour — none exists, nothing is cut.
+  const PeerId s = f.overlay->add_peer(0);
+  const PeerId r = f.overlay->add_peer(5);
+  const PeerId v = f.overlay->add_peer(3);
+  f.overlay->connect(s, r);
+  f.overlay->connect(r, v);
+  f.overlay->connect(s, v);
+  LtmConfig config;
+  config.min_degree = 1;
+  config.adds_per_round = 0;
+  config.slack = 0.95;
+  LtmEngine engine{*f.overlay, config};
+  LtmRoundReport report;
+  engine.step_peer(s, f.rng, report);
+  EXPECT_EQ(report.cuts, 0u);
+  EXPECT_TRUE(f.overlay->are_connected(s, v));
+  EXPECT_TRUE(f.overlay->are_connected(s, r));
+}
+
+TEST(Ltm, MinDegreeGuardsBothEndpoints) {
+  Fixture f;
+  const PeerId s = f.overlay->add_peer(0);
+  const PeerId r = f.overlay->add_peer(1);
+  const PeerId v = f.overlay->add_peer(10);
+  f.overlay->connect(s, r);
+  f.overlay->connect(r, v);
+  f.overlay->connect(s, v);
+  LtmConfig config;
+  config.min_degree = 2;  // v has degree 2: a cut would strand it
+  config.adds_per_round = 0;
+  LtmEngine engine{*f.overlay, config};
+  LtmRoundReport report;
+  engine.step_peer(s, f.rng, report);
+  EXPECT_EQ(report.cuts, 0u);
+}
+
+TEST(Ltm, AddsCloserTwoHopPeer) {
+  Fixture f;
+  // s@0 -- far@20 -- near@2: near probes at 2 < worst link (20) -> adopt.
+  const PeerId s = f.overlay->add_peer(0);
+  const PeerId far = f.overlay->add_peer(20);
+  const PeerId near_peer = f.overlay->add_peer(2);
+  f.overlay->connect(s, far);
+  f.overlay->connect(far, near_peer);
+  LtmConfig config;
+  config.adds_per_round = 1;
+  LtmEngine engine{*f.overlay, config};
+  LtmRoundReport report;
+  engine.step_peer(s, f.rng, report);
+  EXPECT_EQ(report.adds, 1u);
+  EXPECT_TRUE(f.overlay->are_connected(s, near_peer));
+}
+
+TEST(Ltm, DetectorOverheadCharged) {
+  Fixture f;
+  const PeerId s = f.overlay->add_peer(0);
+  const PeerId a = f.overlay->add_peer(1);
+  const PeerId b = f.overlay->add_peer(2);
+  f.overlay->connect(s, a);
+  f.overlay->connect(a, b);
+  LtmEngine engine{*f.overlay, LtmConfig{}};
+  LtmRoundReport report;
+  engine.step_peer(s, f.rng, report);
+  // TTL-2 flood from s: s->a, then a->b.
+  EXPECT_EQ(report.detectors, 2u);
+  EXPECT_GT(report.detector_traffic, 0.0);
+}
+
+TEST(Ltm, RoundImprovesMismatchedOverlay) {
+  Rng topo{7};
+  BaOptions ba;
+  ba.nodes = 256;
+  PhysicalNetwork physical{barabasi_albert(ba, topo)};
+  OverlayOptions oo;
+  oo.peers = 64;
+  oo.mean_degree = 6.0;
+  const Graph logical = small_world_overlay(oo, topo);
+  const auto hosts = assign_hosts_uniform(physical, 64, topo);
+  OverlayNetwork overlay{physical, logical, hosts};
+
+  const double before = overlay.logical().total_weight() /
+                        static_cast<double>(overlay.logical().edge_count());
+  LtmEngine engine{overlay, LtmConfig{}};
+  Rng rng{9};
+  for (int round = 0; round < 6; ++round) engine.step_round(rng);
+  const double after = overlay.logical().total_weight() /
+                       static_cast<double>(overlay.logical().edge_count());
+  EXPECT_LT(after, before);
+  EXPECT_TRUE(is_connected(overlay.logical()));
+}
+
+TEST(Ltm, ReportMerge) {
+  LtmRoundReport a, b;
+  a.detectors = 1;
+  a.detector_traffic = 2.0;
+  a.cuts = 3;
+  b.detectors = 4;
+  b.detector_traffic = 5.0;
+  b.adds = 6;
+  b.peers_stepped = 7;
+  a.merge(b);
+  EXPECT_EQ(a.detectors, 5u);
+  EXPECT_DOUBLE_EQ(a.detector_traffic, 7.0);
+  EXPECT_EQ(a.cuts, 3u);
+  EXPECT_EQ(a.adds, 6u);
+  EXPECT_EQ(a.peers_stepped, 7u);
+}
+
+}  // namespace
+}  // namespace ace

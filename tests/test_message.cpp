@@ -1,0 +1,73 @@
+#include "proto/message.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace ace {
+namespace {
+
+TEST(Message, TypeNamesDistinct) {
+  std::set<std::string> names;
+  for (const MessageType t :
+       {MessageType::kPing, MessageType::kPong, MessageType::kQuery,
+        MessageType::kQueryHit, MessageType::kProbe, MessageType::kProbeReply,
+        MessageType::kCostTable, MessageType::kConnect,
+        MessageType::kDisconnect}) {
+    names.insert(message_type_name(t));
+  }
+  EXPECT_EQ(names.size(), 9u);
+}
+
+TEST(Message, SizeFactorsMatchSizing) {
+  MessageSizing sizing;
+  EXPECT_DOUBLE_EQ(size_factor(sizing, MessageType::kQuery), sizing.query);
+  EXPECT_DOUBLE_EQ(size_factor(sizing, MessageType::kPing), sizing.ping);
+  EXPECT_DOUBLE_EQ(size_factor(sizing, MessageType::kQueryHit),
+                   sizing.query_hit);
+}
+
+TEST(Message, CostTableScalesWithEntries) {
+  MessageSizing sizing;
+  const double empty = size_factor(sizing, MessageType::kCostTable, 0);
+  const double ten = size_factor(sizing, MessageType::kCostTable, 10);
+  EXPECT_DOUBLE_EQ(empty, sizing.cost_table_base);
+  EXPECT_DOUBLE_EQ(ten, sizing.cost_table_base +
+                            10 * sizing.cost_table_per_entry);
+  EXPECT_GT(ten, empty);
+}
+
+TEST(Message, ControlMessagesSmallerThanQueries) {
+  // The accounting assumption behind the overhead model: probes and pings
+  // are cheap relative to query payloads.
+  MessageSizing sizing;
+  EXPECT_LT(size_factor(sizing, MessageType::kProbe),
+            size_factor(sizing, MessageType::kQuery));
+  EXPECT_LT(size_factor(sizing, MessageType::kPing),
+            size_factor(sizing, MessageType::kQuery));
+}
+
+TEST(Message, GuidsMonotonicallyUnique) {
+  const Guid a = next_guid();
+  const Guid b = next_guid();
+  const Guid c = next_guid();
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+TEST(Message, HeaderToString) {
+  MessageHeader header;
+  header.guid = 42;
+  header.type = MessageType::kQuery;
+  header.ttl = 7;
+  header.hops = 2;
+  const std::string s = to_string(header);
+  EXPECT_NE(s.find("QUERY"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("ttl=7"), std::string::npos);
+  EXPECT_NE(s.find("hops=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,242 @@
+#include "ace/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace ace {
+namespace {
+
+struct Fixture {
+  explicit Fixture(std::size_t hosts = 64) {
+    Graph g{hosts};
+    for (NodeId u = 0; u + 1 < hosts; ++u) g.add_edge(u, u + 1, 1.0);
+    physical = std::make_unique<PhysicalNetwork>(std::move(g));
+    overlay = std::make_unique<OverlayNetwork>(*physical);
+  }
+  std::unique_ptr<PhysicalNetwork> physical;
+  std::unique_ptr<OverlayNetwork> overlay;
+  Rng rng{11};
+  std::vector<PeerId> touched;
+};
+
+TEST(OptimizerPolicyNames, AllNamed) {
+  EXPECT_STREQ(replacement_policy_name(ReplacementPolicy::kRandom), "random");
+  EXPECT_STREQ(replacement_policy_name(ReplacementPolicy::kNaive), "naive");
+  EXPECT_STREQ(replacement_policy_name(ReplacementPolicy::kClosest),
+               "closest");
+}
+
+TEST(Optimizer, InvalidConfigThrows) {
+  OptimizerConfig config;
+  config.replacements_per_round = 0;
+  EXPECT_THROW(Phase3Optimizer{config}, std::invalid_argument);
+}
+
+// Paper Fig 4(b): P at host 0, non-flooding neighbor B at host 10,
+// candidate H (B's neighbor) at host 2. cost(P,H)=2 < cost(P,B)=10:
+// replace B with H.
+TEST(Optimizer, ReplacesFarNeighborWithCloseCandidate) {
+  Fixture f;
+  const PeerId p = f.overlay->add_peer(0);
+  const PeerId b = f.overlay->add_peer(10);
+  const PeerId h = f.overlay->add_peer(2);
+  f.overlay->connect(p, b);
+  f.overlay->connect(b, h);  // b keeps h after the cut (degree 1 allowed)
+  Phase3Optimizer optimizer{OptimizerConfig{}};
+  const std::vector<PeerId> non_flooding{b};
+  const OptimizeOutcome outcome =
+      optimizer.optimize_peer(*f.overlay, p, non_flooding, f.rng, f.touched);
+  EXPECT_EQ(outcome.cuts, 1u);
+  EXPECT_EQ(outcome.adds, 1u);
+  EXPECT_GE(outcome.probes, 1u);
+  EXPECT_GT(outcome.probe_traffic, 0.0);
+  EXPECT_FALSE(f.overlay->are_connected(p, b));
+  EXPECT_TRUE(f.overlay->are_connected(p, h));
+}
+
+// Paper Fig 4(c): candidate farther than B from P, but closer to P than to
+// B -> P adds H while keeping B.
+TEST(Optimizer, KeepsBothWhenCandidateUsefulButFarther) {
+  Fixture f;
+  const PeerId p = f.overlay->add_peer(10);
+  const PeerId b = f.overlay->add_peer(11);  // cost(P,B) = 1
+  const PeerId h = f.overlay->add_peer(14);  // cost(P,H) = 4... need BH > PH
+  // B at 11, H at 14: BH = 3 < PH = 4. Bad. Put H at 6: PH=4, BH=5. Good.
+  const PeerId h2 = f.overlay->add_peer(6);
+  (void)h;
+  f.overlay->connect(p, b);
+  f.overlay->connect(b, h2);
+  Phase3Optimizer optimizer{OptimizerConfig{}};
+  const std::vector<PeerId> non_flooding{b};
+  const OptimizeOutcome outcome =
+      optimizer.optimize_peer(*f.overlay, p, non_flooding, f.rng, f.touched);
+  EXPECT_EQ(outcome.cuts, 0u);
+  EXPECT_EQ(outcome.adds, 1u);
+  EXPECT_TRUE(f.overlay->are_connected(p, b));
+  EXPECT_TRUE(f.overlay->are_connected(p, h2));
+}
+
+// Paper Fig 4(d): candidate worse on both counts -> nothing changes.
+TEST(Optimizer, LeavesTopologyWhenCandidateUseless) {
+  Fixture f;
+  const PeerId p = f.overlay->add_peer(10);
+  const PeerId b = f.overlay->add_peer(11);   // PB = 1
+  const PeerId h = f.overlay->add_peer(13);   // PH = 3, BH = 2 < PH
+  f.overlay->connect(p, b);
+  f.overlay->connect(b, h);
+  Phase3Optimizer optimizer{OptimizerConfig{}};
+  const std::vector<PeerId> non_flooding{b};
+  const OptimizeOutcome outcome =
+      optimizer.optimize_peer(*f.overlay, p, non_flooding, f.rng, f.touched);
+  EXPECT_EQ(outcome.cuts, 0u);
+  EXPECT_EQ(outcome.adds, 0u);
+  EXPECT_TRUE(f.overlay->are_connected(p, b));
+  EXPECT_FALSE(f.overlay->are_connected(p, h));
+}
+
+TEST(Optimizer, KeepRuleCanBeDisabled) {
+  Fixture f;
+  const PeerId p = f.overlay->add_peer(10);
+  const PeerId b = f.overlay->add_peer(11);
+  const PeerId h = f.overlay->add_peer(6);  // PH=4 > PB=1, BH=5 > PH
+  f.overlay->connect(p, b);
+  f.overlay->connect(b, h);
+  OptimizerConfig config;
+  config.keep_rule = false;
+  Phase3Optimizer optimizer{config};
+  const std::vector<PeerId> non_flooding{b};
+  const OptimizeOutcome outcome =
+      optimizer.optimize_peer(*f.overlay, p, non_flooding, f.rng, f.touched);
+  EXPECT_EQ(outcome.adds, 0u);
+  EXPECT_FALSE(f.overlay->are_connected(p, h));
+}
+
+TEST(Optimizer, MinDegreeGuardPreventsStranding) {
+  Fixture f;
+  const PeerId p = f.overlay->add_peer(0);
+  const PeerId b = f.overlay->add_peer(10);
+  const PeerId h = f.overlay->add_peer(2);
+  // b's only links are p and h: cutting p-b would leave b with degree 1
+  // (allowed at min_degree=1) — raise min_degree to 2 to forbid the cut.
+  f.overlay->connect(p, b);
+  f.overlay->connect(b, h);
+  OptimizerConfig config;
+  config.min_degree = 2;
+  Phase3Optimizer optimizer{config};
+  const std::vector<PeerId> non_flooding{b};
+  const OptimizeOutcome outcome =
+      optimizer.optimize_peer(*f.overlay, p, non_flooding, f.rng, f.touched);
+  // The add still happens; the cut is suppressed.
+  EXPECT_EQ(outcome.cuts, 0u);
+  EXPECT_EQ(outcome.adds, 1u);
+  EXPECT_TRUE(f.overlay->are_connected(p, b));
+  EXPECT_TRUE(f.overlay->are_connected(p, h));
+}
+
+TEST(Optimizer, ClosestPolicyProbesAllCandidates) {
+  Fixture f;
+  const PeerId p = f.overlay->add_peer(0);
+  const PeerId b = f.overlay->add_peer(20);
+  const PeerId far_candidate = f.overlay->add_peer(30);
+  const PeerId near_candidate = f.overlay->add_peer(1);
+  const PeerId anchor = f.overlay->add_peer(21);
+  f.overlay->connect(p, b);
+  f.overlay->connect(b, far_candidate);
+  f.overlay->connect(b, near_candidate);
+  f.overlay->connect(b, anchor);
+  OptimizerConfig config;
+  config.policy = ReplacementPolicy::kClosest;
+  Phase3Optimizer optimizer{config};
+  const std::vector<PeerId> non_flooding{b};
+  const OptimizeOutcome outcome =
+      optimizer.optimize_peer(*f.overlay, p, non_flooding, f.rng, f.touched);
+  EXPECT_EQ(outcome.probes, 3u);  // every candidate probed
+  EXPECT_TRUE(f.overlay->are_connected(p, near_candidate));
+  EXPECT_FALSE(f.overlay->are_connected(p, b));
+}
+
+TEST(Optimizer, NaivePolicyReplacesMostExpensiveLink) {
+  Fixture f;
+  const PeerId p = f.overlay->add_peer(0);
+  const PeerId cheap = f.overlay->add_peer(1);
+  const PeerId expensive = f.overlay->add_peer(40);
+  const PeerId candidate = f.overlay->add_peer(3);
+  f.overlay->connect(p, cheap);
+  f.overlay->connect(p, expensive);
+  f.overlay->connect(expensive, candidate);
+  OptimizerConfig config;
+  config.policy = ReplacementPolicy::kNaive;
+  Phase3Optimizer optimizer{config};
+  // Naive ignores the non-flooding classification.
+  const OptimizeOutcome outcome =
+      optimizer.optimize_peer(*f.overlay, p, {}, f.rng, f.touched);
+  EXPECT_EQ(outcome.cuts, 1u);
+  EXPECT_FALSE(f.overlay->are_connected(p, expensive));
+  EXPECT_TRUE(f.overlay->are_connected(p, candidate));
+  EXPECT_TRUE(f.overlay->are_connected(p, cheap));
+}
+
+TEST(Optimizer, TrimCutsMostExpensiveNonFloodingLink) {
+  Fixture f;
+  const PeerId p = f.overlay->add_peer(0);
+  std::vector<PeerId> neighbors;
+  for (HostId h = 1; h <= 4; ++h) neighbors.push_back(f.overlay->add_peer(h * 10));
+  for (const PeerId n : neighbors) f.overlay->connect(p, n);
+  // Anchor each neighbor so min-degree never blocks the trim.
+  const PeerId anchor = f.overlay->add_peer(50);
+  for (const PeerId n : neighbors) f.overlay->connect(n, anchor);
+  OptimizerConfig config;
+  config.max_degree = 2;
+  Phase3Optimizer optimizer{config};
+  // All neighbors classified non-flooding for the test.
+  const OptimizeOutcome outcome =
+      optimizer.optimize_peer(*f.overlay, p, neighbors, f.rng, f.touched);
+  EXPECT_GE(outcome.trims, 2u);
+  EXPECT_LE(f.overlay->degree(p), 2u + outcome.adds);
+  // The most expensive link (host 40) must be gone.
+  EXPECT_FALSE(f.overlay->are_connected(p, neighbors.back()));
+}
+
+TEST(Optimizer, OfflinePeerIsNoop) {
+  Fixture f;
+  const PeerId p = f.overlay->add_peer(0, /*online=*/false);
+  Phase3Optimizer optimizer{OptimizerConfig{}};
+  const OptimizeOutcome outcome =
+      optimizer.optimize_peer(*f.overlay, p, {}, f.rng, f.touched);
+  EXPECT_EQ(outcome.probes, 0u);
+  EXPECT_EQ(outcome.cuts + outcome.adds + outcome.trims, 0u);
+}
+
+TEST(Optimizer, NoCandidatesNoChanges) {
+  Fixture f;
+  const PeerId p = f.overlay->add_peer(0);
+  const PeerId b = f.overlay->add_peer(10);
+  f.overlay->connect(p, b);  // b has no other neighbors
+  Phase3Optimizer optimizer{OptimizerConfig{}};
+  const std::vector<PeerId> non_flooding{b};
+  const OptimizeOutcome outcome =
+      optimizer.optimize_peer(*f.overlay, p, non_flooding, f.rng, f.touched);
+  EXPECT_EQ(outcome.probes, 0u);
+  EXPECT_TRUE(f.overlay->are_connected(p, b));
+}
+
+TEST(Optimizer, OutcomeMergeSums) {
+  OptimizeOutcome a, b;
+  a.probes = 1;
+  a.probe_traffic = 2.0;
+  a.cuts = 1;
+  b.probes = 2;
+  b.probe_traffic = 3.0;
+  b.adds = 4;
+  b.trims = 5;
+  a.merge(b);
+  EXPECT_EQ(a.probes, 3u);
+  EXPECT_DOUBLE_EQ(a.probe_traffic, 5.0);
+  EXPECT_EQ(a.cuts, 1u);
+  EXPECT_EQ(a.adds, 4u);
+  EXPECT_EQ(a.trims, 5u);
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,83 @@
+#include "util/options.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace ace {
+namespace {
+
+Options parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Options{static_cast<int>(argv.size()), argv.data()};
+}
+
+TEST(Options, ParsesKeyValue) {
+  const Options o = parse({"--peers=512", "--mean-degree=7.5"});
+  EXPECT_EQ(o.get_int("peers", 0), 512);
+  EXPECT_DOUBLE_EQ(o.get_double("mean-degree", 0), 7.5);
+}
+
+TEST(Options, DefaultsUsedWhenMissing) {
+  const Options o = parse({});
+  EXPECT_EQ(o.get_int("peers", 1024), 1024);
+  EXPECT_EQ(o.get_string("mode", "ace"), "ace");
+  EXPECT_TRUE(o.get_bool("thing", true));
+}
+
+TEST(Options, BareFlagIsTrue) {
+  const Options o = parse({"--verbose"});
+  EXPECT_TRUE(o.get_bool("verbose", false));
+}
+
+TEST(Options, BooleanSpellings) {
+  Options o;
+  for (const char* v : {"1", "true", "yes", "on", "TRUE", "Yes"}) {
+    o.set("k", v);
+    EXPECT_TRUE(o.get_bool("k", false)) << v;
+  }
+  for (const char* v : {"0", "false", "no", "off", "FALSE"}) {
+    o.set("k", v);
+    EXPECT_FALSE(o.get_bool("k", true)) << v;
+  }
+  o.set("k", "maybe");
+  EXPECT_THROW(o.get_bool("k", false), std::invalid_argument);
+}
+
+TEST(Options, MalformedNumbersThrow) {
+  Options o;
+  o.set("n", "twelve");
+  EXPECT_THROW(o.get_int("n", 0), std::invalid_argument);
+  o.set("x", "fast");
+  EXPECT_THROW(o.get_double("x", 0), std::invalid_argument);
+}
+
+TEST(Options, HelpDetected) {
+  EXPECT_TRUE(parse({"--help"}).help_requested());
+  EXPECT_TRUE(parse({"-h"}).help_requested());
+  EXPECT_FALSE(parse({}).help_requested());
+}
+
+TEST(Options, PositionalArgumentRejected) {
+  EXPECT_THROW(parse({"peers=3"}), std::invalid_argument);
+}
+
+TEST(Options, EnvironmentFallback) {
+  ASSERT_EQ(setenv("ACE_TEST_OPTION_FOO", "99", 1), 0);
+  const Options o = parse({});
+  EXPECT_EQ(o.get_int("test-option-foo", 0), 99);
+  // CLI beats environment.
+  const Options o2 = parse({"--test-option-foo=7"});
+  EXPECT_EQ(o2.get_int("test-option-foo", 0), 7);
+  unsetenv("ACE_TEST_OPTION_FOO");
+}
+
+TEST(Options, EnvNameMapping) {
+  EXPECT_EQ(env_name_for("phys-nodes"), "ACE_PHYS_NODES");
+  EXPECT_EQ(env_name_for("a.b"), "ACE_A_B");
+  EXPECT_EQ(env_name_for("simple"), "ACE_SIMPLE");
+}
+
+}  // namespace
+}  // namespace ace

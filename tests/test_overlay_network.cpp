@@ -1,0 +1,182 @@
+#include "overlay/overlay_network.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "graph/shortest_path.h"
+
+namespace ace {
+namespace {
+
+// Physical line 0-1-2-3-4 with unit delays.
+PhysicalNetwork line_network() {
+  Graph g{5};
+  for (NodeId u = 0; u + 1 < 5; ++u) g.add_edge(u, u + 1, 1.0);
+  return PhysicalNetwork{std::move(g)};
+}
+
+class OverlayTest : public ::testing::Test {
+ protected:
+  PhysicalNetwork physical_ = line_network();
+};
+
+TEST_F(OverlayTest, AddPeerAndAttributes) {
+  OverlayNetwork overlay{physical_};
+  const PeerId p = overlay.add_peer(0);
+  const PeerId q = overlay.add_peer(4, /*online=*/false);
+  EXPECT_EQ(overlay.peer_count(), 2u);
+  EXPECT_EQ(overlay.online_count(), 1u);
+  EXPECT_TRUE(overlay.is_online(p));
+  EXPECT_FALSE(overlay.is_online(q));
+  EXPECT_EQ(overlay.host_of(p), 0u);
+  EXPECT_EQ(overlay.host_of(q), 4u);
+}
+
+TEST_F(OverlayTest, BadHostThrows) {
+  OverlayNetwork overlay{physical_};
+  EXPECT_THROW(overlay.add_peer(99), std::out_of_range);
+}
+
+TEST_F(OverlayTest, ConnectUsesPhysicalDelayAsWeight) {
+  OverlayNetwork overlay{physical_};
+  const PeerId a = overlay.add_peer(0);
+  const PeerId b = overlay.add_peer(3);
+  ASSERT_TRUE(overlay.connect(a, b));
+  EXPECT_DOUBLE_EQ(overlay.link_cost(a, b), 3.0);
+  EXPECT_DOUBLE_EQ(overlay.peer_delay(a, b), 3.0);
+}
+
+TEST_F(OverlayTest, ConnectRules) {
+  OverlayNetwork overlay{physical_};
+  const PeerId a = overlay.add_peer(0);
+  const PeerId b = overlay.add_peer(1);
+  const PeerId off = overlay.add_peer(2, /*online=*/false);
+  EXPECT_FALSE(overlay.connect(a, a));
+  EXPECT_FALSE(overlay.connect(a, off));
+  EXPECT_TRUE(overlay.connect(a, b));
+  EXPECT_FALSE(overlay.connect(a, b));  // duplicate
+  EXPECT_TRUE(overlay.are_connected(b, a));
+}
+
+TEST_F(OverlayTest, CoLocatedPeersGetPositiveEpsilonWeight) {
+  OverlayNetwork overlay{physical_};
+  const PeerId a = overlay.add_peer(2);
+  const PeerId b = overlay.add_peer(2);  // same host
+  ASSERT_TRUE(overlay.connect(a, b));
+  EXPECT_GT(overlay.link_cost(a, b), 0.0);
+  EXPECT_LT(overlay.link_cost(a, b), 1e-3);
+}
+
+TEST_F(OverlayTest, DisconnectAndLinkCostThrow) {
+  OverlayNetwork overlay{physical_};
+  const PeerId a = overlay.add_peer(0);
+  const PeerId b = overlay.add_peer(1);
+  overlay.connect(a, b);
+  EXPECT_TRUE(overlay.disconnect(a, b));
+  EXPECT_FALSE(overlay.disconnect(a, b));
+  EXPECT_THROW(overlay.link_cost(a, b), std::invalid_argument);
+}
+
+TEST_F(OverlayTest, FromGraphInstallsEverything) {
+  Graph logical{3};
+  logical.add_edge(0, 1, 99.0);  // placeholder weight, must be replaced
+  logical.add_edge(1, 2, 99.0);
+  const std::vector<HostId> hosts{0, 2, 4};
+  OverlayNetwork overlay{physical_, logical, hosts};
+  EXPECT_EQ(overlay.peer_count(), 3u);
+  EXPECT_EQ(overlay.online_count(), 3u);
+  EXPECT_DOUBLE_EQ(overlay.link_cost(0, 1), 2.0);  // host 0 -> host 2
+  EXPECT_DOUBLE_EQ(overlay.link_cost(1, 2), 2.0);  // host 2 -> host 4
+  EXPECT_FALSE(overlay.are_connected(0, 2));
+}
+
+TEST_F(OverlayTest, FromGraphSizeMismatchThrows) {
+  Graph logical{3};
+  const std::vector<HostId> hosts{0, 1};
+  EXPECT_THROW(OverlayNetwork(physical_, logical, hosts),
+               std::invalid_argument);
+}
+
+TEST_F(OverlayTest, OnlinePeersListedAscending) {
+  OverlayNetwork overlay{physical_};
+  overlay.add_peer(0);
+  overlay.add_peer(1, false);
+  overlay.add_peer(2);
+  const auto online = overlay.online_peers();
+  EXPECT_EQ(online, (std::vector<PeerId>{0, 2}));
+}
+
+TEST_F(OverlayTest, RandomOnlinePeerRespectsExclusion) {
+  OverlayNetwork overlay{physical_};
+  overlay.add_peer(0);
+  overlay.add_peer(1);
+  Rng rng{1};
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(overlay.random_online_peer(rng, 0), 1u);
+  OverlayNetwork lonely{physical_};
+  lonely.add_peer(0);
+  EXPECT_THROW(lonely.random_online_peer(rng, 0), std::logic_error);
+}
+
+TEST_F(OverlayTest, JoinConnectsToTargetDegree) {
+  OverlayNetwork overlay{physical_};
+  for (HostId h = 0; h < 5; ++h) overlay.add_peer(h);
+  const PeerId fresh = overlay.add_peer(0, /*online=*/false);
+  Rng rng{2};
+  const std::size_t links = overlay.join(fresh, 3, rng);
+  EXPECT_EQ(links, 3u);
+  EXPECT_TRUE(overlay.is_online(fresh));
+  EXPECT_EQ(overlay.degree(fresh), 3u);
+}
+
+TEST_F(OverlayTest, JoinAloneCreatesNoLinks) {
+  OverlayNetwork overlay{physical_};
+  const PeerId only = overlay.add_peer(0, false);
+  Rng rng{3};
+  EXPECT_EQ(overlay.join(only, 4, rng), 0u);
+  EXPECT_TRUE(overlay.is_online(only));
+}
+
+TEST_F(OverlayTest, LeaveIsolatesAndRepairs) {
+  OverlayNetwork overlay{physical_};
+  // Star around peer 0 with 4 leaves.
+  const PeerId hub = overlay.add_peer(0);
+  std::vector<PeerId> leaves;
+  for (HostId h = 1; h < 5; ++h) leaves.push_back(overlay.add_peer(h));
+  for (const PeerId leaf : leaves) overlay.connect(hub, leaf);
+  Rng rng{4};
+  const auto dropped = overlay.leave(hub, /*repair_min_degree=*/1, rng);
+  EXPECT_EQ(dropped.size(), 4u);
+  EXPECT_FALSE(overlay.is_online(hub));
+  EXPECT_EQ(overlay.degree(hub), 0u);
+  // Every leaf reconnected to at least one other online peer.
+  for (const PeerId leaf : leaves) EXPECT_GE(overlay.degree(leaf), 1u);
+  EXPECT_EQ(overlay.online_count(), 4u);
+}
+
+TEST_F(OverlayTest, MeanOnlineDegreeIgnoresOffline) {
+  OverlayNetwork overlay{physical_};
+  const PeerId a = overlay.add_peer(0);
+  const PeerId b = overlay.add_peer(1);
+  overlay.add_peer(2, false);
+  overlay.connect(a, b);
+  EXPECT_DOUBLE_EQ(overlay.mean_online_degree(), 1.0);
+}
+
+TEST(AssignHosts, DistinctAndBounded) {
+  Rng topo{5}, rng{6};
+  BaOptions options;
+  options.nodes = 100;
+  PhysicalNetwork net{barabasi_albert(options, topo)};
+  const auto hosts = assign_hosts_uniform(net, 40, rng);
+  EXPECT_EQ(hosts.size(), 40u);
+  auto sorted = hosts;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+  EXPECT_LT(sorted.back(), 100u);
+  EXPECT_THROW(assign_hosts_uniform(net, 101, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,99 @@
+#include "net/physical_network.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/shortest_path.h"
+
+namespace ace {
+namespace {
+
+Graph diamond() {
+  Graph g{4};
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 2, 10.0);
+  g.add_edge(2, 3, 2.0);
+  return g;
+}
+
+TEST(PhysicalNetwork, DelayUsesShortestPath) {
+  PhysicalNetwork net{diamond()};
+  EXPECT_DOUBLE_EQ(net.delay(0, 2), 2.0);  // via 1, not direct 10
+  EXPECT_DOUBLE_EQ(net.delay(0, 3), 4.0);
+  EXPECT_DOUBLE_EQ(net.delay(0, 0), 0.0);
+}
+
+TEST(PhysicalNetwork, DelayIsSymmetric) {
+  PhysicalNetwork net{diamond()};
+  EXPECT_DOUBLE_EQ(net.delay(0, 3), net.delay(3, 0));
+  EXPECT_DOUBLE_EQ(net.delay(1, 2), net.delay(2, 1));
+}
+
+TEST(PhysicalNetwork, ProbeRttIsTwiceOneWay) {
+  PhysicalNetwork net{diamond()};
+  EXPECT_DOUBLE_EQ(net.probe_rtt(0, 3), 8.0);
+}
+
+TEST(PhysicalNetwork, PathExtraction) {
+  PhysicalNetwork net{diamond()};
+  EXPECT_EQ(net.path(0, 2), (std::vector<HostId>{0, 1, 2}));
+  EXPECT_EQ(net.path(0, 0), (std::vector<HostId>{0}));
+  EXPECT_EQ(net.path_hops(0, 3), 3u);
+  EXPECT_EQ(net.path_hops(0, 0), 0u);
+}
+
+TEST(PhysicalNetwork, UnreachableHosts) {
+  Graph g{3};
+  g.add_edge(0, 1, 1.0);  // node 2 isolated
+  PhysicalNetwork net{std::move(g)};
+  EXPECT_EQ(net.delay(0, 2), kUnreachable);
+  EXPECT_TRUE(net.path(0, 2).empty());
+}
+
+TEST(PhysicalNetwork, OutOfRangeThrows) {
+  PhysicalNetwork net{diamond()};
+  EXPECT_THROW(net.delay(0, 9), std::out_of_range);
+  EXPECT_THROW(net.delay(9, 0), std::out_of_range);
+  EXPECT_THROW(net.path(0, 9), std::out_of_range);
+}
+
+TEST(PhysicalNetwork, CachesRows) {
+  PhysicalNetwork net{diamond()};
+  net.delay(0, 1);
+  net.delay(0, 2);
+  net.delay(0, 3);
+  EXPECT_EQ(net.rows_computed(), 1u);  // one Dijkstra served all three
+}
+
+TEST(PhysicalNetwork, ReusesReverseRow) {
+  PhysicalNetwork net{diamond()};
+  net.delay(0, 3);  // computes row 0
+  net.delay(3, 0);  // should reuse row 0 by symmetry
+  EXPECT_EQ(net.rows_computed(), 1u);
+}
+
+TEST(PhysicalNetwork, EvictionBoundRespected) {
+  Rng rng{1};
+  BaOptions options;
+  options.nodes = 64;
+  PhysicalNetwork net{barabasi_albert(options, rng), /*max_cached_rows=*/4};
+  for (HostId a = 0; a < 32; ++a) net.delay(a, (a + 1) % 64);
+  EXPECT_LE(net.rows_cached(), 4u);
+  // Still correct after evictions.
+  EXPECT_DOUBLE_EQ(net.delay(0, 5), net.delay(5, 0));
+}
+
+TEST(PhysicalNetwork, AgreesWithDirectDijkstra) {
+  Rng rng{2};
+  BaOptions options;
+  options.nodes = 200;
+  Graph g = barabasi_albert(options, rng);
+  const auto ref = dijkstra(g, 17);
+  PhysicalNetwork net{std::move(g)};
+  for (HostId v = 0; v < 200; v += 13)
+    EXPECT_NEAR(net.delay(17, v), ref.dist[v], 1e-4);
+}
+
+}  // namespace
+}  // namespace ace

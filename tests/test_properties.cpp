@@ -1,0 +1,331 @@
+// Property-based suites: invariants checked across parameter sweeps
+// (seeds, overlay densities, closure depths) with parameterized gtest.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ace/p2p_lab.h"
+
+namespace ace {
+namespace {
+
+class NobodyOracle final : public ContentOracle {
+ public:
+  AnswerKind answers(PeerId, ObjectId) const override {
+    return AnswerKind::kNo;
+  }
+};
+
+// ---------------------------------------------------------------------
+// Query execution invariants over random overlays.
+// ---------------------------------------------------------------------
+
+struct QueryCase {
+  std::uint64_t seed;
+  double mean_degree;
+};
+
+class QueryProperty : public ::testing::TestWithParam<QueryCase> {
+ protected:
+  void SetUp() override {
+    const QueryCase param = GetParam();
+    Rng topo{param.seed};
+    BaOptions ba;
+    ba.nodes = 256;
+    physical_ = std::make_unique<PhysicalNetwork>(barabasi_albert(ba, topo));
+    OverlayOptions oo;
+    oo.peers = 60;
+    oo.mean_degree = param.mean_degree;
+    const Graph logical = random_overlay(oo, topo);
+    const auto hosts = assign_hosts_uniform(*physical_, oo.peers, topo);
+    overlay_ = std::make_unique<OverlayNetwork>(*physical_, logical, hosts);
+  }
+  std::unique_ptr<PhysicalNetwork> physical_;
+  std::unique_ptr<OverlayNetwork> overlay_;
+  NobodyOracle oracle_;
+};
+
+TEST_P(QueryProperty, MessagesSplitIntoScopePlusDuplicates) {
+  const QueryResult r = run_query(*overlay_, 0, 0, oracle_,
+                                  ForwardingMode::kBlindFlooding, nullptr);
+  // Every transmission either discovers a new peer or is a duplicate.
+  EXPECT_EQ(r.messages, r.scope + r.duplicates);
+}
+
+TEST_P(QueryProperty, FloodingReachesWholeConnectedOverlay) {
+  const QueryResult r = run_query(*overlay_, 0, 0, oracle_,
+                                  ForwardingMode::kBlindFlooding, nullptr);
+  EXPECT_EQ(r.scope, overlay_->online_count() - 1);
+}
+
+TEST_P(QueryProperty, ScopeMonotoneInTtl) {
+  std::size_t previous = 0;
+  for (const std::uint8_t ttl : {1, 2, 3, 5, 8}) {
+    QueryOptions options;
+    options.ttl = ttl;
+    const QueryResult r =
+        run_query(*overlay_, 0, 0, oracle_, ForwardingMode::kBlindFlooding,
+                  nullptr, options);
+    EXPECT_GE(r.scope, previous) << "ttl " << int(ttl);
+    previous = r.scope;
+  }
+}
+
+TEST_P(QueryProperty, TreeRoutingNeverCostsMoreThanFlooding) {
+  // Build per-peer trees, then compare full-coverage costs.
+  ForwardingTable table;
+  for (const PeerId p : overlay_->online_peers()) {
+    const LocalTree tree = build_local_tree(build_closure(*overlay_, p, 1));
+    table.set_flooding(p, tree.flooding);
+  }
+  const QueryResult blind = run_query(
+      *overlay_, 0, 0, oracle_, ForwardingMode::kBlindFlooding, nullptr);
+  const QueryResult tree = run_query(*overlay_, 0, 0, oracle_,
+                                     ForwardingMode::kTreeRouting, &table);
+  EXPECT_LE(tree.traffic_cost, blind.traffic_cost);
+  EXPECT_GE(tree.scope, blind.scope * 95 / 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QueryProperty,
+    ::testing::Values(QueryCase{1, 4.0}, QueryCase{2, 4.0}, QueryCase{3, 6.0},
+                      QueryCase{4, 6.0}, QueryCase{5, 8.0}, QueryCase{6, 8.0},
+                      QueryCase{7, 10.0}, QueryCase{8, 10.0}));
+
+// ---------------------------------------------------------------------
+// Tree-builder invariants across depths and seeds.
+// ---------------------------------------------------------------------
+
+struct TreeCase {
+  std::uint64_t seed;
+  std::uint32_t depth;
+};
+
+class TreeProperty : public ::testing::TestWithParam<TreeCase> {
+ protected:
+  void SetUp() override {
+    Rng topo{GetParam().seed};
+    BaOptions ba;
+    ba.nodes = 200;
+    physical_ = std::make_unique<PhysicalNetwork>(barabasi_albert(ba, topo));
+    OverlayOptions oo;
+    oo.peers = 50;
+    oo.mean_degree = 6.0;
+    const Graph logical = random_overlay(oo, topo);
+    const auto hosts = assign_hosts_uniform(*physical_, oo.peers, topo);
+    overlay_ = std::make_unique<OverlayNetwork>(*physical_, logical, hosts);
+  }
+  std::unique_ptr<PhysicalNetwork> physical_;
+  std::unique_ptr<OverlayNetwork> overlay_;
+};
+
+TEST_P(TreeProperty, FloodingSetsPartitionNeighbors) {
+  for (const PeerId p : overlay_->online_peers()) {
+    const LocalTree tree =
+        build_local_tree(build_closure(*overlay_, p, GetParam().depth));
+    std::set<PeerId> neighbors;
+    for (const auto& n : overlay_->neighbors(p)) neighbors.insert(n.node);
+    std::set<PeerId> classified;
+    for (const PeerId q : tree.flooding) {
+      EXPECT_TRUE(neighbors.contains(q));
+      EXPECT_TRUE(classified.insert(q).second) << "duplicate classification";
+    }
+    for (const PeerId q : tree.non_flooding) {
+      EXPECT_TRUE(neighbors.contains(q));
+      EXPECT_TRUE(classified.insert(q).second) << "peer in both sets";
+    }
+    EXPECT_EQ(classified.size(), neighbors.size());
+  }
+}
+
+TEST_P(TreeProperty, TreeEdgesExistInOverlay) {
+  for (const PeerId p : overlay_->online_peers()) {
+    const LocalTree tree =
+        build_local_tree(build_closure(*overlay_, p, GetParam().depth));
+    for (const Edge& e : tree.edges) {
+      EXPECT_TRUE(overlay_->are_connected(static_cast<PeerId>(e.u),
+                                          static_cast<PeerId>(e.v)));
+      EXPECT_DOUBLE_EQ(
+          e.weight,
+          overlay_->link_cost(static_cast<PeerId>(e.u),
+                              static_cast<PeerId>(e.v)));
+    }
+  }
+}
+
+TEST_P(TreeProperty, TreeSpansClosure) {
+  for (const PeerId p : overlay_->online_peers()) {
+    const LocalClosure closure =
+        build_closure(*overlay_, p, GetParam().depth);
+    const LocalTree tree = build_local_tree(closure);
+    if (is_connected(closure.local)) {
+      EXPECT_EQ(tree.edges.size(), closure.size() - 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TreeProperty,
+    ::testing::Values(TreeCase{1, 1}, TreeCase{2, 1}, TreeCase{1, 2},
+                      TreeCase{2, 2}, TreeCase{1, 3}, TreeCase{3, 3}));
+
+TEST_P(TreeProperty, ClosuresAreMonotoneInDepth) {
+  for (const PeerId p : overlay_->online_peers()) {
+    const LocalClosure shallow =
+        build_closure(*overlay_, p, GetParam().depth);
+    const LocalClosure deep =
+        build_closure(*overlay_, p, GetParam().depth + 1);
+    EXPECT_GE(deep.size(), shallow.size());
+    for (const PeerId member : shallow.nodes)
+      EXPECT_NE(deep.to_local(member), kInvalidNode)
+          << "member " << member << " lost at deeper closure";
+  }
+}
+
+TEST_P(TreeProperty, TreeRoutingChildrenFormAProperTree) {
+  for (const PeerId p : overlay_->online_peers()) {
+    const LocalClosure closure =
+        build_closure(*overlay_, p, GetParam().depth);
+    const LocalTree tree = build_local_tree(closure);
+    const TreeRouting routing = make_tree_routing(tree, p);
+    // Every node appears as a child at most once, the source never does,
+    // and the child count equals the edge count (it is a tree).
+    std::set<PeerId> seen_children;
+    std::size_t child_count = 0;
+    for (const auto& [parent, children] : routing.children) {
+      (void)parent;
+      for (const PeerId c : children) {
+        EXPECT_NE(c, p);
+        EXPECT_TRUE(seen_children.insert(c).second)
+            << "peer " << c << " has two parents";
+        ++child_count;
+      }
+    }
+    EXPECT_EQ(child_count, tree.edges.size());
+    // The routing root's children are exactly the flooding set.
+    std::set<PeerId> flooding(tree.flooding.begin(), tree.flooding.end());
+    const auto it = routing.children.find(p);
+    std::set<PeerId> root_children;
+    if (it != routing.children.end())
+      root_children.insert(it->second.begin(), it->second.end());
+    EXPECT_EQ(root_children, flooding);
+  }
+}
+
+// ---------------------------------------------------------------------
+// HPF invariants: partial degree and period monotonicity.
+// ---------------------------------------------------------------------
+
+class HpfProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HpfProperty, TrafficMonotoneInPartialDegree) {
+  Rng topo{GetParam()};
+  BaOptions ba;
+  ba.nodes = 256;
+  PhysicalNetwork physical{barabasi_albert(ba, topo)};
+  OverlayOptions oo;
+  oo.peers = 56;
+  oo.mean_degree = 6.0;
+  const Graph logical = small_world_overlay(oo, topo);
+  const auto hosts = assign_hosts_uniform(physical, oo.peers, topo);
+  OverlayNetwork overlay{physical, logical, hosts};
+  NobodyOracle oracle;
+
+  double previous_traffic = 0;
+  std::size_t previous_scope = 0;
+  for (const std::size_t partial : {1u, 2u, 3u, 5u, 100u}) {
+    QueryOptions options;
+    options.hpf_partial = partial;
+    options.hpf_period = 4;
+    const QueryResult r =
+        run_query(overlay, 0, 0, oracle, ForwardingMode::kHybridPeriodical,
+                  nullptr, options);
+    EXPECT_GE(r.traffic_cost, previous_traffic) << "partial " << partial;
+    EXPECT_GE(r.scope + 2, previous_scope) << "partial " << partial;
+    previous_traffic = r.traffic_cost;
+    previous_scope = r.scope;
+  }
+  // With partial >= max degree, HPF degenerates to blind flooding.
+  const QueryResult blind = run_query(
+      overlay, 0, 0, oracle, ForwardingMode::kBlindFlooding, nullptr);
+  EXPECT_DOUBLE_EQ(previous_traffic, blind.traffic_cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HpfProperty, ::testing::Values(3, 5, 8));
+
+// ---------------------------------------------------------------------
+// Optimizer invariants across seeds and policies.
+// ---------------------------------------------------------------------
+
+struct OptCase {
+  std::uint64_t seed;
+  ReplacementPolicy policy;
+};
+
+class OptimizerProperty : public ::testing::TestWithParam<OptCase> {};
+
+TEST_P(OptimizerProperty, OptimizationNeverDisconnectsAndNeverWorsens) {
+  Rng topo{GetParam().seed};
+  BaOptions ba;
+  ba.nodes = 256;
+  PhysicalNetwork physical{barabasi_albert(ba, topo)};
+  OverlayOptions oo;
+  oo.peers = 48;
+  oo.mean_degree = 6.0;
+  const Graph logical = random_overlay(oo, topo);
+  const auto hosts = assign_hosts_uniform(physical, oo.peers, topo);
+  OverlayNetwork overlay{physical, logical, hosts};
+
+  AceConfig config;
+  config.optimizer.policy = GetParam().policy;
+  AceEngine engine{overlay, config};
+  Rng rng{GetParam().seed ^ 0xabcdef};
+  auto mean_link = [&overlay] {
+    return overlay.logical().total_weight() /
+           static_cast<double>(overlay.logical().edge_count());
+  };
+  const double before = mean_link();
+  for (int round = 0; round < 6; ++round) {
+    engine.step_round(rng);
+    EXPECT_TRUE(is_connected(overlay.logical()));
+  }
+  // Establishment may grow the link count, but the mean link must shorten.
+  EXPECT_LE(mean_link(), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OptimizerProperty,
+    ::testing::Values(OptCase{1, ReplacementPolicy::kRandom},
+                      OptCase{2, ReplacementPolicy::kRandom},
+                      OptCase{3, ReplacementPolicy::kNaive},
+                      OptCase{4, ReplacementPolicy::kNaive},
+                      OptCase{5, ReplacementPolicy::kClosest},
+                      OptCase{6, ReplacementPolicy::kClosest}));
+
+// ---------------------------------------------------------------------
+// Physical network consistency across generator models.
+// ---------------------------------------------------------------------
+
+class PhysicalProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PhysicalProperty, DelaysAreAMetric) {
+  Rng topo{GetParam()};
+  BaOptions ba;
+  ba.nodes = 128;
+  PhysicalNetwork net{barabasi_albert(ba, topo)};
+  Rng pick{GetParam() ^ 0x5555};
+  for (int i = 0; i < 30; ++i) {
+    const auto a = static_cast<HostId>(pick.next_below(128));
+    const auto b = static_cast<HostId>(pick.next_below(128));
+    const auto c = static_cast<HostId>(pick.next_below(128));
+    EXPECT_DOUBLE_EQ(net.delay(a, a), 0.0);
+    EXPECT_NEAR(net.delay(a, b), net.delay(b, a), 1e-4);
+    EXPECT_LE(net.delay(a, c), net.delay(a, b) + net.delay(b, c) + 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PhysicalProperty,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,243 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace ace {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanNearHalf) {
+  Rng rng{11};
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowStaysInBound) {
+  Rng rng{3};
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng rng{3};
+  EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng{5};
+  std::array<int, 10> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_below(10)];
+  for (const int c : counts) EXPECT_NEAR(c, n / 10, n / 10 * 0.15);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng{9};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntBadRangeThrows) {
+  Rng rng{9};
+  EXPECT_THROW(rng.uniform_int(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, UniformRealRange) {
+  Rng rng{13};
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_real(5.0, 6.5);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 6.5);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng{17};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceProbabilityApproximatelyRespected) {
+  Rng rng{19};
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.chance(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent{23};
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (parent.next() == child.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng{29};
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto original = v;
+  rng.shuffle(std::span<int>{v});
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), original.begin()));
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng{31};
+  const auto sample = rng.sample_indices(100, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (const auto i : sample) EXPECT_LT(i, 100u);
+}
+
+TEST(Rng, SampleIndicesFullPopulation) {
+  Rng rng{37};
+  const auto sample = rng.sample_indices(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleIndicesTooManyThrows) {
+  Rng rng{37};
+  EXPECT_THROW(rng.sample_indices(5, 6), std::invalid_argument);
+}
+
+TEST(Distributions, ExponentialMeanMatches) {
+  Rng rng{41};
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += exponential(rng, 5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Distributions, ExponentialRejectsBadMean) {
+  Rng rng{41};
+  EXPECT_THROW(exponential(rng, 0.0), std::invalid_argument);
+  EXPECT_THROW(exponential(rng, -1.0), std::invalid_argument);
+}
+
+TEST(Distributions, LognormalMeanAndVarianceMatch) {
+  Rng rng{43};
+  // The paper's lifetime distribution: mean 600 s, variance 300.
+  const double mean = 600.0, variance = 300.0;
+  double sum = 0, sumsq = 0;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) {
+    const double x = lognormal_mean_var(rng, mean, variance);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double m = sum / n;
+  const double v = sumsq / n - m * m;
+  EXPECT_NEAR(m, mean, mean * 0.01);
+  EXPECT_NEAR(v, variance, variance * 0.1);
+}
+
+TEST(Distributions, StandardNormalMoments) {
+  Rng rng{47};
+  double sum = 0, sumsq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = standard_normal(rng);
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.02);
+}
+
+TEST(Distributions, ParetoBoundedBelowByScale) {
+  Rng rng{53};
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(pareto(rng, 2.0, 1.5), 2.0);
+}
+
+TEST(Zipf, FirstRankMostPopular) {
+  Rng rng{59};
+  ZipfDistribution zipf{100, 1.0};
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[99]);
+}
+
+TEST(Zipf, ZeroExponentIsUniform) {
+  Rng rng{61};
+  ZipfDistribution zipf{10, 0.0};
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf(rng)];
+  for (const int c : counts) EXPECT_NEAR(c, n / 10, n / 10 * 0.15);
+}
+
+TEST(Zipf, RatioFollowsPowerLaw) {
+  Rng rng{67};
+  ZipfDistribution zipf{1000, 1.0};
+  std::vector<int> counts(1000, 0);
+  const int n = 500000;
+  for (int i = 0; i < n; ++i) ++counts[zipf(rng)];
+  // P(0)/P(1) should be ~2 for exponent 1.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / counts[1], 2.0, 0.3);
+}
+
+TEST(Zipf, EmptyThrows) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), std::invalid_argument);
+}
+
+TEST(Splitmix, KnownSequenceIsStable) {
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64(state);
+  const std::uint64_t second = splitmix64(state);
+  EXPECT_NE(first, second);
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(splitmix64(state2), first);
+}
+
+}  // namespace
+}  // namespace ace

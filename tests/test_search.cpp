@@ -1,0 +1,384 @@
+#include "search/flooding.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+namespace ace {
+namespace {
+
+// Test oracle: a fixed set of holder peers.
+class FixedOracle final : public ContentOracle {
+ public:
+  explicit FixedOracle(std::set<PeerId> holders)
+      : holders_{std::move(holders)} {}
+  AnswerKind answers(PeerId peer, ObjectId) const override {
+    return holders_.contains(peer) ? AnswerKind::kHolds : AnswerKind::kNo;
+  }
+
+ private:
+  std::set<PeerId> holders_;
+};
+
+// Physical line with unit delays so peer_delay(a, b) = |host_a - host_b|.
+struct SearchFixture {
+  explicit SearchFixture(std::size_t hosts = 16) {
+    Graph g{hosts};
+    for (NodeId u = 0; u + 1 < hosts; ++u) g.add_edge(u, u + 1, 1.0);
+    physical = std::make_unique<PhysicalNetwork>(std::move(g));
+    overlay = std::make_unique<OverlayNetwork>(*physical);
+  }
+  std::unique_ptr<PhysicalNetwork> physical;
+  std::unique_ptr<OverlayNetwork> overlay;
+};
+
+TEST(ForwardingTableTest, SetAndQuery) {
+  ForwardingTable table;
+  EXPECT_FALSE(table.has_entry(3));
+  table.set_flooding(3, {7, 1, 5});
+  ASSERT_TRUE(table.has_entry(3));
+  const auto flood = table.flooding(3);
+  EXPECT_EQ(std::vector<PeerId>(flood.begin(), flood.end()),
+            (std::vector<PeerId>{1, 5, 7}));  // sorted
+  EXPECT_EQ(table.entries(), 1u);
+}
+
+TEST(ForwardingTableTest, InvalidateAndFallback) {
+  ForwardingTable table;
+  table.set_flooding(0, {1});
+  table.invalidate(0);
+  EXPECT_FALSE(table.has_entry(0));
+  EXPECT_THROW(table.flooding(0), std::logic_error);
+  table.set_flooding(0, {1});
+  table.set_flooding(2, {0});
+  table.invalidate_all();
+  EXPECT_EQ(table.entries(), 0u);
+}
+
+TEST(ForwardingTableTest, NonFloodingComplement) {
+  SearchFixture f;
+  const PeerId a = f.overlay->add_peer(0);
+  const PeerId b = f.overlay->add_peer(1);
+  const PeerId c = f.overlay->add_peer(2);
+  const PeerId d = f.overlay->add_peer(3);
+  f.overlay->connect(a, b);
+  f.overlay->connect(a, c);
+  f.overlay->connect(a, d);
+  ForwardingTable table;
+  table.set_flooding(a, {b});
+  const auto non_flooding = table.non_flooding(*f.overlay, a);
+  EXPECT_EQ(std::set<PeerId>(non_flooding.begin(), non_flooding.end()),
+            (std::set<PeerId>{c, d}));
+  // No entry -> everything is a flooding target, complement empty.
+  EXPECT_TRUE(table.non_flooding(*f.overlay, b).empty());
+}
+
+TEST(RunQuery, TriangleFloodingAccounting) {
+  SearchFixture f;
+  const PeerId a = f.overlay->add_peer(0);
+  const PeerId b = f.overlay->add_peer(1);
+  const PeerId c = f.overlay->add_peer(2);
+  f.overlay->connect(a, b);  // cost 1
+  f.overlay->connect(a, c);  // cost 2
+  f.overlay->connect(b, c);  // cost 1
+  const FixedOracle nobody{{}};
+  const QueryResult r = run_query(*f.overlay, a, 0, nobody,
+                                  ForwardingMode::kBlindFlooding, nullptr);
+  // Transmissions: a->b, a->c, b->c, c->b: traffic = 1 + 2 + 1 + 1 = 5.
+  EXPECT_EQ(r.messages, 4u);
+  EXPECT_EQ(r.duplicates, 2u);
+  EXPECT_EQ(r.scope, 2u);
+  EXPECT_DOUBLE_EQ(r.traffic_cost, 5.0);
+  EXPECT_FALSE(r.found);
+}
+
+TEST(RunQuery, ResponseTimeIsTwicePathDelay) {
+  SearchFixture f;
+  // Chain of overlay links with physical costs 1, 2, 3.
+  const PeerId a = f.overlay->add_peer(0);
+  const PeerId b = f.overlay->add_peer(1);
+  const PeerId c = f.overlay->add_peer(3);
+  const PeerId d = f.overlay->add_peer(6);
+  f.overlay->connect(a, b);
+  f.overlay->connect(b, c);
+  f.overlay->connect(c, d);
+  const FixedOracle holder{{d}};
+  const QueryResult r = run_query(*f.overlay, a, 0, holder,
+                                  ForwardingMode::kBlindFlooding, nullptr);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.first_responder, d);
+  EXPECT_DOUBLE_EQ(r.response_time, 2.0 * 6.0);
+  EXPECT_FALSE(r.answered_from_cache);
+  // Response traffic: QUERY_HIT over the 3 inverse links.
+  EXPECT_DOUBLE_EQ(r.response_traffic, 6.0);
+}
+
+TEST(RunQuery, FirstResponderIsEarliestByDelayNotHops) {
+  SearchFixture f;
+  const PeerId a = f.overlay->add_peer(8);
+  const PeerId near_two_hops = f.overlay->add_peer(10);
+  const PeerId relay = f.overlay->add_peer(9);
+  const PeerId far_one_hop = f.overlay->add_peer(0);  // cost 8 direct
+  f.overlay->connect(a, relay);                // 1
+  f.overlay->connect(relay, near_two_hops);    // 1
+  f.overlay->connect(a, far_one_hop);          // 8
+  const FixedOracle holders{{near_two_hops, far_one_hop}};
+  const QueryResult r = run_query(*f.overlay, a, 0, holders,
+                                  ForwardingMode::kBlindFlooding, nullptr);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.first_responder, near_two_hops);
+  EXPECT_DOUBLE_EQ(r.response_time, 4.0);
+}
+
+TEST(RunQuery, TtlLimitsScope) {
+  SearchFixture f{32};
+  std::vector<PeerId> chain;
+  for (HostId h = 0; h < 10; ++h) chain.push_back(f.overlay->add_peer(h));
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i)
+    f.overlay->connect(chain[i], chain[i + 1]);
+  const FixedOracle nobody{{}};
+  QueryOptions options;
+  options.ttl = 3;
+  const QueryResult r = run_query(*f.overlay, chain[0], 0, nobody,
+                                  ForwardingMode::kBlindFlooding, nullptr,
+                                  options);
+  EXPECT_EQ(r.scope, 3u);
+  // Unlimited TTL covers the chain.
+  const QueryResult full = run_query(*f.overlay, chain[0], 0, nobody,
+                                     ForwardingMode::kBlindFlooding, nullptr);
+  EXPECT_EQ(full.scope, 9u);
+}
+
+TEST(RunQuery, TreeRoutingUsesFloodingSets) {
+  SearchFixture f;
+  const PeerId a = f.overlay->add_peer(0);
+  const PeerId b = f.overlay->add_peer(1);
+  const PeerId c = f.overlay->add_peer(2);
+  f.overlay->connect(a, b);
+  f.overlay->connect(a, c);
+  f.overlay->connect(b, c);
+  ForwardingTable table;
+  table.set_flooding(a, {b});     // a only queries b
+  table.set_flooding(b, {a, c});  // b relays to c
+  table.set_flooding(c, {b});
+  const FixedOracle nobody{{}};
+  const QueryResult r = run_query(*f.overlay, a, 0, nobody,
+                                  ForwardingMode::kTreeRouting, &table);
+  // a->b (1), b->c (1): no duplicates, full scope retained.
+  EXPECT_EQ(r.messages, 2u);
+  EXPECT_EQ(r.duplicates, 0u);
+  EXPECT_EQ(r.scope, 2u);
+  EXPECT_DOUBLE_EQ(r.traffic_cost, 2.0);
+}
+
+TEST(RunQuery, TreeRoutingFallsBackToFloodWithoutEntry) {
+  SearchFixture f;
+  const PeerId a = f.overlay->add_peer(0);
+  const PeerId b = f.overlay->add_peer(1);
+  const PeerId c = f.overlay->add_peer(2);
+  f.overlay->connect(a, b);
+  f.overlay->connect(a, c);
+  ForwardingTable table;  // empty: everyone floods
+  const FixedOracle nobody{{}};
+  const QueryResult r = run_query(*f.overlay, a, 0, nobody,
+                                  ForwardingMode::kTreeRouting, &table);
+  EXPECT_EQ(r.scope, 2u);
+}
+
+TEST(RunQuery, StaleTreeEntrySkipsMissingLinks) {
+  SearchFixture f;
+  const PeerId a = f.overlay->add_peer(0);
+  const PeerId b = f.overlay->add_peer(1);
+  const PeerId c = f.overlay->add_peer(2);
+  f.overlay->connect(a, b);
+  f.overlay->connect(a, c);
+  ForwardingTable table;
+  table.set_flooding(a, {b, c});
+  f.overlay->disconnect(a, c);  // c link vanished after the tree was built
+  const FixedOracle nobody{{}};
+  const QueryResult r = run_query(*f.overlay, a, 0, nobody,
+                                  ForwardingMode::kTreeRouting, &table);
+  EXPECT_EQ(r.messages, 1u);
+  EXPECT_EQ(r.scope, 1u);
+}
+
+TEST(RunQuery, OfflineSourceThrows) {
+  SearchFixture f;
+  const PeerId a = f.overlay->add_peer(0, /*online=*/false);
+  const FixedOracle nobody{{}};
+  EXPECT_THROW(run_query(*f.overlay, a, 0, nobody,
+                         ForwardingMode::kBlindFlooding, nullptr),
+               std::invalid_argument);
+}
+
+TEST(RunQuery, RecordPathsProducesValidParents) {
+  SearchFixture f;
+  std::vector<PeerId> peers;
+  for (HostId h = 0; h < 6; ++h) peers.push_back(f.overlay->add_peer(h));
+  for (std::size_t i = 0; i + 1 < peers.size(); ++i)
+    f.overlay->connect(peers[i], peers[i + 1]);
+  f.overlay->connect(peers[0], peers[3]);
+  const FixedOracle nobody{{}};
+  QueryOptions options;
+  options.record_paths = true;
+  const QueryResult r = run_query(*f.overlay, peers[0], 0, nobody,
+                                  ForwardingMode::kBlindFlooding, nullptr,
+                                  options);
+  ASSERT_EQ(r.visit_parents.size(), 6u);
+  EXPECT_EQ(r.visit_parents.front().first, peers[0]);
+  EXPECT_EQ(r.visit_parents.front().second, kInvalidPeer);
+  std::set<PeerId> seen;
+  for (const auto& [peer, parent] : r.visit_parents) {
+    if (parent != kInvalidPeer) {
+      EXPECT_TRUE(seen.contains(parent)) << "parent visited before child";
+    }
+    seen.insert(peer);
+  }
+}
+
+TEST(RunQuery, DisconnectedOverlayPartialScope) {
+  SearchFixture f;
+  const PeerId a = f.overlay->add_peer(0);
+  const PeerId b = f.overlay->add_peer(1);
+  f.overlay->add_peer(2);  // isolated
+  f.overlay->connect(a, b);
+  const FixedOracle nobody{{}};
+  const QueryResult r = run_query(*f.overlay, a, 0, nobody,
+                                  ForwardingMode::kBlindFlooding, nullptr);
+  EXPECT_EQ(r.scope, 1u);
+}
+
+TEST(RunQuery, RelayInstructionsHonoredEvenOnDuplicateArrival) {
+  // The source S's tree delegates "X relays to C". X first learns the query
+  // through the faster D path (so the S->X copy arrives as a duplicate);
+  // X must still forward to C — the relay obligation survives the race.
+  SearchFixture f{32};
+  const PeerId s = f.overlay->add_peer(0);
+  const PeerId d = f.overlay->add_peer(1);   // S-D cost 1
+  const PeerId x = f.overlay->add_peer(2);   // D-X cost 1; S-X cost 2...
+  const PeerId c = f.overlay->add_peer(3);   // X-C cost 1
+  f.overlay->connect(s, d);
+  f.overlay->connect(d, x);
+  f.overlay->connect(s, x);
+  f.overlay->connect(x, c);
+
+  ForwardingTable table;
+  TreeRouting s_tree;
+  s_tree.flooding = {d, x};
+  s_tree.children[x] = {c};
+  table.set_tree(s, std::move(s_tree));
+  table.set_flooding(d, {x});  // D relays toward X (fast path)
+  table.set_flooding(x, {});   // X's own tree forwards nowhere
+  table.set_flooding(c, {});
+
+  const FixedOracle nobody{{}};
+  const QueryResult r = run_query(*f.overlay, s, 0, nobody,
+                                  ForwardingMode::kTreeRouting, &table);
+  // All three peers reached: D (direct), X (via D first, S copy duplicate),
+  // and C (X honoring S's instruction when the duplicate arrives).
+  EXPECT_EQ(r.scope, 3u);
+  EXPECT_GE(r.duplicates, 1u);
+}
+
+TEST(RunQuery, HybridPeriodicalPartialFloodsCheapestLinks) {
+  SearchFixture f{32};
+  // Star source with four neighbors of increasing cost; partial degree 2
+  // must pick the two cheapest.
+  const PeerId s = f.overlay->add_peer(10);
+  const PeerId n1 = f.overlay->add_peer(11);  // 1
+  const PeerId n2 = f.overlay->add_peer(8);   // 2
+  const PeerId n3 = f.overlay->add_peer(15);  // 5
+  const PeerId n4 = f.overlay->add_peer(2);   // 8
+  for (const PeerId q : {n1, n2, n3, n4}) f.overlay->connect(s, q);
+  const FixedOracle nobody{{}};
+  QueryOptions options;
+  options.hpf_partial = 2;
+  options.hpf_period = 2;  // hop 0 floods; hop 1 partial
+  // The SOURCE is hop 0 -> floods all four. Give a deeper structure:
+  const PeerId deep_cheap = f.overlay->add_peer(12);  // cost 1 from n1
+  const PeerId deep_far = f.overlay->add_peer(25);    // cost 14 from n1
+  const PeerId deep_mid = f.overlay->add_peer(14);    // cost 3 from n1
+  for (const PeerId q : {deep_cheap, deep_far, deep_mid})
+    f.overlay->connect(n1, q);
+  const QueryResult r =
+      run_query(*f.overlay, s, 0, nobody, ForwardingMode::kHybridPeriodical,
+                nullptr, options);
+  // Source floods all 4 neighbors; n1 (hop 1, partial=2) forwards to its 2
+  // cheapest children only: deep_cheap and deep_mid, not deep_far.
+  EXPECT_EQ(r.scope, 6u);
+  EXPECT_EQ(r.messages, 4u + 2u);
+}
+
+TEST(RunQuery, HybridPeriodicalFullFloodOnPeriodHops) {
+  SearchFixture f{32};
+  // Chain with a wide hop-2 fan: period 2 means hop 2 floods everyone.
+  const PeerId s = f.overlay->add_peer(0);
+  const PeerId a = f.overlay->add_peer(1);
+  const PeerId b = f.overlay->add_peer(2);
+  std::vector<PeerId> fan;
+  for (HostId h = 10; h < 16; ++h) fan.push_back(f.overlay->add_peer(h));
+  f.overlay->connect(s, a);
+  f.overlay->connect(a, b);
+  for (const PeerId q : fan) f.overlay->connect(b, q);
+  const FixedOracle nobody{{}};
+  QueryOptions options;
+  options.hpf_partial = 1;
+  options.hpf_period = 2;
+  const QueryResult r =
+      run_query(*f.overlay, s, 0, nobody, ForwardingMode::kHybridPeriodical,
+                nullptr, options);
+  // hop0 (s) floods -> a; hop1 (a) partial(1) -> b; hop2 (b) floods -> all
+  // six fan peers.
+  EXPECT_EQ(r.scope, 2u + fan.size());
+}
+
+TEST(RunQuery, HybridPeriodicalBetweenTreeAndBlindOnTraffic) {
+  SearchFixture f{64};
+  std::vector<PeerId> peers;
+  Rng rng{21};
+  for (HostId h = 0; h < 40; ++h) peers.push_back(f.overlay->add_peer(h));
+  for (std::size_t i = 1; i < peers.size(); ++i)
+    f.overlay->connect(peers[i], peers[rng.next_below(i)]);
+  for (int extra = 0; extra < 60; ++extra)
+    f.overlay->connect(peers[rng.next_below(peers.size())],
+                       peers[rng.next_below(peers.size())]);
+  const FixedOracle nobody{{}};
+  const QueryResult blind = run_query(
+      *f.overlay, peers[0], 0, nobody, ForwardingMode::kBlindFlooding,
+      nullptr);
+  QueryOptions options;
+  options.hpf_partial = 2;
+  options.hpf_period = 3;
+  const QueryResult hpf =
+      run_query(*f.overlay, peers[0], 0, nobody,
+                ForwardingMode::kHybridPeriodical, nullptr, options);
+  EXPECT_LT(hpf.traffic_cost, blind.traffic_cost);
+  // Periodic full floods keep the scope high.
+  EXPECT_GE(hpf.scope, blind.scope * 9 / 10);
+}
+
+TEST(SampleQueries, AggregatesOverCatalog) {
+  SearchFixture f;
+  std::vector<PeerId> peers;
+  for (HostId h = 0; h < 8; ++h) peers.push_back(f.overlay->add_peer(h));
+  for (std::size_t i = 0; i + 1 < peers.size(); ++i)
+    f.overlay->connect(peers[i], peers[i + 1]);
+  CatalogConfig cc;
+  cc.object_count = 50;
+  cc.base_replication = 0.5;
+  cc.min_replication = 0.2;
+  ObjectCatalog catalog{cc};
+  CatalogOracle oracle{catalog};
+  Rng rng{3};
+  const QueryStats stats =
+      sample_queries(*f.overlay, catalog, oracle,
+                     ForwardingMode::kBlindFlooding, nullptr, 40, rng);
+  EXPECT_EQ(stats.queries(), 40u);
+  EXPECT_GT(stats.mean_traffic(), 0.0);
+  EXPECT_GT(stats.mean_scope(), 0.0);
+  EXPECT_GT(stats.success_rate(), 0.5);  // heavily replicated catalog
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,74 @@
+#include "search/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ace {
+namespace {
+
+QueryResult make_result(double traffic, std::size_t scope, bool found,
+                        double response) {
+  QueryResult r;
+  r.traffic_cost = traffic;
+  r.scope = scope;
+  r.found = found;
+  r.response_time = response;
+  r.messages = scope + 1;
+  r.duplicates = 1;
+  return r;
+}
+
+TEST(QueryStats, EmptyDefaults) {
+  QueryStats stats;
+  EXPECT_EQ(stats.queries(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_traffic(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.success_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.traffic_per_scope(), 0.0);
+}
+
+TEST(QueryStats, MeansAccumulate) {
+  QueryStats stats;
+  stats.add(make_result(10, 4, true, 2.0));
+  stats.add(make_result(20, 6, true, 4.0));
+  EXPECT_EQ(stats.queries(), 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_traffic(), 15.0);
+  EXPECT_DOUBLE_EQ(stats.mean_scope(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.mean_response_time(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.mean_messages(), 6.0);
+  EXPECT_DOUBLE_EQ(stats.mean_duplicates(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.traffic_per_scope(), 3.0);
+}
+
+TEST(QueryStats, ResponseTimeOnlyCountsFoundQueries) {
+  QueryStats stats;
+  stats.add(make_result(10, 4, true, 2.0));
+  stats.add(make_result(10, 4, false, 999.0));  // not found: ignored
+  EXPECT_DOUBLE_EQ(stats.mean_response_time(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.success_rate(), 0.5);
+}
+
+TEST(QueryStats, MergeMatchesSingleStream) {
+  QueryStats a, b, all;
+  for (int i = 1; i <= 10; ++i) {
+    const auto r = make_result(i, i, i % 2 == 0, i * 0.5);
+    (i <= 5 ? a : b).add(r);
+    all.add(r);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.queries(), all.queries());
+  EXPECT_DOUBLE_EQ(a.mean_traffic(), all.mean_traffic());
+  EXPECT_DOUBLE_EQ(a.mean_response_time(), all.mean_response_time());
+  EXPECT_DOUBLE_EQ(a.success_rate(), all.success_rate());
+}
+
+TEST(QueryStats, UnderlyingRunningStatsExposed) {
+  QueryStats stats;
+  stats.add(make_result(10, 4, true, 2.0));
+  stats.add(make_result(30, 4, true, 2.0));
+  EXPECT_DOUBLE_EQ(stats.traffic().min(), 10.0);
+  EXPECT_DOUBLE_EQ(stats.traffic().max(), 30.0);
+  EXPECT_EQ(stats.response().count(), 2u);
+  EXPECT_EQ(stats.scope().count(), 2u);
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,175 @@
+#include "graph/shortest_path.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+
+namespace ace {
+namespace {
+
+// Small fixture graph:
+//   0 --1-- 1 --1-- 2
+//   |               |
+//   +------10-------+       3 isolated
+Graph diamond() {
+  Graph g{4};
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 2, 10.0);
+  return g;
+}
+
+TEST(Dijkstra, PicksCheaperMultiHopPath) {
+  const Graph g = diamond();
+  const auto r = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(r.dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(r.dist[2], 2.0);  // via 1, not the direct 10
+  EXPECT_EQ(r.parent[2], 1u);
+  EXPECT_EQ(r.dist[3], kUnreachable);
+}
+
+TEST(Dijkstra, SourceOutOfRangeThrows) {
+  const Graph g = diamond();
+  EXPECT_THROW(dijkstra(g, 4), std::out_of_range);
+}
+
+TEST(Dijkstra, PathExtraction) {
+  const Graph g = diamond();
+  const auto r = dijkstra(g, 0);
+  EXPECT_EQ(extract_path(r, 2), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(extract_path(r, 0), (std::vector<NodeId>{0}));
+  EXPECT_TRUE(extract_path(r, 3).empty());
+  EXPECT_THROW(extract_path(r, 9), std::out_of_range);
+}
+
+TEST(Dijkstra, TargetsEarlyStopMatchesFull) {
+  Rng rng{21};
+  BaOptions options;
+  options.nodes = 300;
+  const Graph g = barabasi_albert(options, rng);
+  const auto full = dijkstra(g, 0);
+  const std::vector<NodeId> targets{5, 50, 299};
+  const auto partial = dijkstra_to_targets(g, 0, targets);
+  for (const NodeId t : targets)
+    EXPECT_DOUBLE_EQ(partial.dist[t], full.dist[t]);
+}
+
+TEST(Dijkstra, DuplicateTargetsHandled) {
+  const Graph g = diamond();
+  const std::vector<NodeId> targets{1, 1, 2};
+  const auto r = dijkstra_to_targets(g, 0, targets);
+  EXPECT_DOUBLE_EQ(r.dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(r.dist[2], 2.0);
+}
+
+TEST(Bfs, HopCounts) {
+  const Graph g = diamond();
+  const auto hops = bfs_hops(g, 0);
+  EXPECT_EQ(hops[0], 0u);
+  EXPECT_EQ(hops[1], 1u);
+  EXPECT_EQ(hops[2], 1u);  // direct edge counts one hop regardless of weight
+  EXPECT_EQ(hops[3], kUnreachableHops);
+}
+
+TEST(Bfs, NodesWithinHops) {
+  Graph g{5};  // path 0-1-2-3-4
+  for (NodeId u = 0; u + 1 < 5; ++u) g.add_edge(u, u + 1, 1.0);
+  EXPECT_EQ(nodes_within_hops(g, 0, 0), (std::vector<NodeId>{0}));
+  EXPECT_EQ(nodes_within_hops(g, 0, 2), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(nodes_within_hops(g, 2, 1), (std::vector<NodeId>{2, 1, 3}));
+  EXPECT_EQ(nodes_within_hops(g, 0, 10).size(), 5u);
+}
+
+TEST(Prim, KnownMst) {
+  // Classic 4-node example; MST weight = 1 + 2 + 3.
+  Graph g{4};
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 3.0);
+  g.add_edge(0, 3, 10.0);
+  g.add_edge(0, 2, 9.0);
+  const MstResult mst = prim_mst(g, 0);
+  EXPECT_EQ(mst.edges.size(), 3u);
+  EXPECT_DOUBLE_EQ(mst.total_weight, 6.0);
+}
+
+TEST(Prim, SpansOnlyRootComponent) {
+  Graph g{5};
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(3, 4, 1.0);  // separate component
+  const MstResult mst = prim_mst(g, 0);
+  EXPECT_EQ(mst.edges.size(), 2u);
+}
+
+TEST(Prim, TreeWeightNeverExceedsAnySpanningSubgraph) {
+  Rng rng{22};
+  ErdosRenyiOptions options;
+  options.nodes = 60;
+  options.edge_prob = 0.2;
+  Graph g = erdos_renyi(options, rng);
+  // Randomize weights.
+  for (const Edge& e : g.edges()) g.set_weight(e.u, e.v, rng.uniform_real(1, 100));
+  const MstResult mst = prim_mst(g, 0);
+  // MST weight <= weight of BFS tree (any spanning tree of the component).
+  const auto r = dijkstra(g, 0);
+  Weight bfs_tree_weight = 0;
+  std::size_t reachable = 0;
+  for (NodeId v = 1; v < g.node_count(); ++v) {
+    if (r.parent[v] == kInvalidNode) continue;
+    bfs_tree_weight += *g.edge_weight(r.parent[v], v);
+    ++reachable;
+  }
+  EXPECT_EQ(mst.edges.size(), reachable);
+  EXPECT_LE(mst.total_weight, bfs_tree_weight + 1e-9);
+}
+
+TEST(Prim, RootOutOfRangeThrows) {
+  const Graph g = diamond();
+  EXPECT_THROW(prim_mst(g, 7), std::out_of_range);
+}
+
+TEST(Connectivity, Detection) {
+  Graph g{3};
+  EXPECT_FALSE(is_connected(g));
+  g.add_edge(0, 1, 1.0);
+  EXPECT_FALSE(is_connected(g));
+  g.add_edge(1, 2, 1.0);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(is_connected(Graph{}));
+  EXPECT_TRUE(is_connected(Graph{1}));
+}
+
+TEST(Connectivity, ComponentLabels) {
+  Graph g{6};
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(3, 4, 1.0);
+  const auto labels = connected_components(g);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[2], labels[3]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[2]);
+  EXPECT_NE(labels[5], labels[0]);
+  EXPECT_NE(labels[5], labels[2]);
+  const auto max_label = *std::max_element(labels.begin(), labels.end());
+  EXPECT_EQ(max_label, 2u);  // three components: 0..2
+}
+
+TEST(Dijkstra, RandomGraphTriangleInequality) {
+  Rng rng{23};
+  BaOptions options;
+  options.nodes = 200;
+  const Graph g = barabasi_albert(options, rng);
+  const auto from0 = dijkstra(g, 0);
+  const auto from7 = dijkstra(g, 7);
+  // d(0,v) <= d(0,7) + d(7,v) for all v.
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    EXPECT_LE(from0.dist[v], from0.dist[7] + from7.dist[v] + 1e-9);
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,131 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ace {
+namespace {
+
+TEST(Simulator, AfterSchedulesRelative) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.after(1.0, [&] {
+    times.push_back(sim.now());
+    sim.after(2.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.run_all();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 3.0}));
+}
+
+TEST(Simulator, NegativeDelayThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.after(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1.0, [&] { ++fired; });
+  sim.at(5.0, [&] { ++fired; });
+  sim.at(10.0, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(5.0), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_EQ(sim.run_until(20.0), 1u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilPastDeadlineThrows) {
+  Simulator sim;
+  sim.at(5.0, [] {});
+  sim.run_until(5.0);
+  EXPECT_THROW(sim.run_until(4.0), std::invalid_argument);
+}
+
+TEST(Simulator, PeriodicFiresAtMultiples) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.every(2.0, [&](SimTime t) { times.push_back(t); });
+  sim.run_until(9.0);
+  EXPECT_EQ(times, (std::vector<double>{2.0, 4.0, 6.0, 8.0}));
+}
+
+TEST(Simulator, PeriodicWithExplicitStart) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.every(3.0, [&](SimTime t) { times.push_back(t); }, 1.0);
+  sim.run_until(8.0);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 4.0, 7.0}));
+}
+
+TEST(Simulator, StopPeriodicHalts) {
+  Simulator sim;
+  int fired = 0;
+  const std::size_t handle = sim.every(1.0, [&](SimTime) { ++fired; });
+  sim.run_until(3.5);
+  EXPECT_EQ(fired, 3);
+  sim.stop_periodic(handle);
+  sim.run_until(10.0);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, StopPeriodicFromInsideCallback) {
+  Simulator sim;
+  int fired = 0;
+  std::size_t handle = 0;
+  handle = sim.every(1.0, [&](SimTime) {
+    if (++fired == 2) sim.stop_periodic(handle);
+  });
+  sim.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StopPeriodicBadHandleThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.stop_periodic(3), std::out_of_range);
+}
+
+TEST(Simulator, InvalidPeriodThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.every(0.0, [](SimTime) {}), std::invalid_argument);
+  EXPECT_THROW(sim.every(-1.0, [](SimTime) {}), std::invalid_argument);
+}
+
+TEST(Simulator, PeriodicKeepsSingleEventPending) {
+  Simulator sim;
+  sim.every(1.0, [](SimTime) {});
+  sim.run_until(100.0);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulator, CancelOneShotEvent) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.after(1.0, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run_until(5.0);
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, TwoPeriodicsInterleave) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.every(2.0, [&](SimTime) { order.push_back(2); });
+  sim.every(3.0, [&](SimTime) { order.push_back(3); });
+  sim.run_until(6.0);
+  // Firings at 2,3,4,6,6 — at the tied time 6 the period-3 process fires
+  // first because its event was scheduled earlier (at t=3 vs t=4).
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 2, 3, 2}));
+}
+
+TEST(Simulator, RunAllHonorsMaxEvents) {
+  Simulator sim;
+  // Self-perpetuating event chain.
+  std::function<void()> chain = [&] { sim.after(1.0, chain); };
+  sim.after(1.0, chain);
+  EXPECT_EQ(sim.run_all(50), 50u);
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,192 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ace {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMeanAndVariance) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples) {
+  RunningStats small, large;
+  for (int i = 0; i < 10; ++i) small.add(i % 2);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2);
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(Percentile, MedianOfOddSample) {
+  const std::vector<double> v{3, 1, 2};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 2.0);
+}
+
+TEST(Percentile, Extremes) {
+  const std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 75), 7.5);
+}
+
+TEST(Percentile, Rejections) {
+  const std::vector<double> empty;
+  EXPECT_THROW(percentile(empty, 50), std::invalid_argument);
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(percentile(v, -1), std::invalid_argument);
+  EXPECT_THROW(percentile(v, 101), std::invalid_argument);
+}
+
+TEST(HistogramTest, CountsFallInCorrectBins) {
+  Histogram h{0, 10, 5};
+  h.add(0.5);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, OutOfRangeClamped) {
+  Histogram h{0, 10, 5};
+  h.add(-100);
+  h.add(1e9);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h{0, 10, 5};
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_THROW(h.bin_lo(5), std::out_of_range);
+}
+
+TEST(HistogramTest, InvalidConstruction) {
+  EXPECT_THROW(Histogram(5, 5, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(0, 10, 0), std::invalid_argument);
+}
+
+TEST(HistogramTest, AsciiRendersOneLinePerBin) {
+  Histogram h{0, 4, 4};
+  h.add(1);
+  const std::string art = h.ascii();
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+}
+
+TEST(LinearFitTest, PerfectLine) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{3, 5, 7, 9};  // y = 1 + 2x
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(LinearFitTest, NoisyLineStillCloseFit) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.0 * i + ((i % 2) ? 0.5 : -0.5));
+  }
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 0.01);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(LinearFitTest, Rejections) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(linear_fit(one, one), std::invalid_argument);
+  const std::vector<double> two{1.0, 2.0};
+  const std::vector<double> three{1.0, 2.0, 3.0};
+  EXPECT_THROW(linear_fit(two, three), std::invalid_argument);
+}
+
+TEST(PowerLawMle, RecoversExponentOfSyntheticSample) {
+  // Degrees drawn from P(k) ~ k^-2.5 via inverse transform on a dense grid.
+  std::vector<std::size_t> degrees;
+  for (std::size_t k = 2; k <= 200; ++k) {
+    const double p = std::pow(static_cast<double>(k), -2.5);
+    const auto count = static_cast<std::size_t>(p * 2e6);
+    for (std::size_t i = 0; i < count; ++i) degrees.push_back(k);
+  }
+  const double alpha = power_law_alpha_mle(degrees, 2);
+  EXPECT_NEAR(alpha, 2.5, 0.15);
+}
+
+TEST(PowerLawMle, DegenerateReturnsZero) {
+  const std::vector<std::size_t> tiny{1, 1, 1};
+  EXPECT_DOUBLE_EQ(power_law_alpha_mle(tiny, 2), 0.0);
+}
+
+TEST(FrequencyTable, CountsOccurrences) {
+  const std::vector<std::size_t> v{1, 2, 2, 3, 3, 3};
+  const auto freq = frequency_table(v);
+  EXPECT_EQ(freq.at(1), 1u);
+  EXPECT_EQ(freq.at(2), 2u);
+  EXPECT_EQ(freq.at(3), 3u);
+  EXPECT_EQ(freq.size(), 3u);
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,87 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ace {
+namespace {
+
+TEST(TableWriter, AsciiContainsTitleHeaderAndRows) {
+  TableWriter t{"Fig X", {"h", "traffic"}};
+  t.add_row({std::int64_t{1}, 12.5});
+  t.add_row({std::int64_t{2}, 9.25});
+  const std::string out = t.ascii();
+  EXPECT_NE(out.find("Fig X"), std::string::npos);
+  EXPECT_NE(out.find("traffic"), std::string::npos);
+  EXPECT_NE(out.find("12.50"), std::string::npos);
+  EXPECT_NE(out.find("9.25"), std::string::npos);
+}
+
+TEST(TableWriter, PrecisionApplied) {
+  TableWriter t{"p", {"v"}};
+  t.set_precision(4);
+  t.add_row({1.23456789});
+  EXPECT_NE(t.ascii().find("1.2346"), std::string::npos);
+}
+
+TEST(TableWriter, PrecisionOutOfRangeThrows) {
+  TableWriter t{"p", {"v"}};
+  EXPECT_THROW(t.set_precision(-1), std::invalid_argument);
+  EXPECT_THROW(t.set_precision(13), std::invalid_argument);
+}
+
+TEST(TableWriter, RowWidthMismatchThrows) {
+  TableWriter t{"t", {"a", "b"}};
+  EXPECT_THROW(t.add_row({std::string{"only-one"}}), std::invalid_argument);
+}
+
+TEST(TableWriter, NoColumnsThrows) {
+  EXPECT_THROW(TableWriter("t", {}), std::invalid_argument);
+}
+
+TEST(TableWriter, CsvBasicLayout) {
+  TableWriter t{"t", {"a", "b"}};
+  t.add_row({std::string{"x"}, std::int64_t{7}});
+  EXPECT_EQ(t.csv(), "a,b\nx,7\n");
+}
+
+TEST(TableWriter, CsvEscapesCommasAndQuotes) {
+  TableWriter t{"t", {"a"}};
+  t.add_row({std::string{"hello, \"world\""}});
+  EXPECT_EQ(t.csv(), "a\n\"hello, \"\"world\"\"\"\n");
+}
+
+TEST(TableWriter, PrintWritesCsvFile) {
+  TableWriter t{"t", {"a"}};
+  t.add_row({std::int64_t{5}});
+  const std::string path = testing::TempDir() + "/ace_table_test.csv";
+  std::ostringstream sink;
+  t.print(sink, path);
+  EXPECT_NE(sink.str().find("a"), std::string::npos);
+  std::ifstream file{path};
+  ASSERT_TRUE(file.good());
+  std::string line;
+  std::getline(file, line);
+  EXPECT_EQ(line, "a");
+  std::remove(path.c_str());
+}
+
+TEST(TableWriter, RowsCounted) {
+  TableWriter t{"t", {"a"}};
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({std::int64_t{1}});
+  t.add_row({std::int64_t{2}});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Fixed, FormatsWithDigits) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(3.14159, 0), "3");
+  EXPECT_EQ(fixed(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,161 @@
+#include "ace/tree_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+namespace ace {
+namespace {
+
+struct Fixture {
+  explicit Fixture(std::size_t hosts = 32) {
+    Graph g{hosts};
+    for (NodeId u = 0; u + 1 < hosts; ++u) g.add_edge(u, u + 1, 1.0);
+    physical = std::make_unique<PhysicalNetwork>(std::move(g));
+    overlay = std::make_unique<OverlayNetwork>(*physical);
+  }
+  std::unique_ptr<PhysicalNetwork> physical;
+  std::unique_ptr<OverlayNetwork> overlay;
+};
+
+TEST(TreeBuilder, PrunesExpensiveDirectLink) {
+  Fixture f;
+  // Source A at host 0; B at host 1 (cost 1); C at host 10 (cost 10 from A,
+  // cost 9 from B). The MST keeps A-B and B-C, so C becomes non-flooding.
+  const PeerId a = f.overlay->add_peer(0);
+  const PeerId b = f.overlay->add_peer(1);
+  const PeerId c = f.overlay->add_peer(10);
+  f.overlay->connect(a, b);
+  f.overlay->connect(a, c);
+  f.overlay->connect(b, c);
+  const LocalClosure closure = build_closure(*f.overlay, a, 1);
+  const LocalTree tree = build_local_tree(closure);
+  EXPECT_EQ(std::set<PeerId>(tree.flooding.begin(), tree.flooding.end()),
+            (std::set<PeerId>{b}));
+  EXPECT_EQ(std::set<PeerId>(tree.non_flooding.begin(),
+                             tree.non_flooding.end()),
+            (std::set<PeerId>{c}));
+  EXPECT_DOUBLE_EQ(tree.total_weight, 1.0 + 9.0);
+}
+
+TEST(TreeBuilder, StarKeepsAllNeighborsFlooding) {
+  Fixture f;
+  // No neighbor-neighbor links: the MST must include every direct edge.
+  const PeerId a = f.overlay->add_peer(0);
+  std::vector<PeerId> leaves;
+  for (HostId h = 2; h < 7; ++h) leaves.push_back(f.overlay->add_peer(h));
+  for (const PeerId leaf : leaves) f.overlay->connect(a, leaf);
+  const LocalClosure closure = build_closure(*f.overlay, a, 1);
+  const LocalTree tree = build_local_tree(closure);
+  EXPECT_EQ(tree.flooding.size(), leaves.size());
+  EXPECT_TRUE(tree.non_flooding.empty());
+}
+
+TEST(TreeBuilder, TreeEdgesInGlobalIds) {
+  Fixture f;
+  const PeerId a = f.overlay->add_peer(0);
+  const PeerId b = f.overlay->add_peer(1);
+  f.overlay->connect(a, b);
+  const LocalTree tree = build_local_tree(build_closure(*f.overlay, a, 1));
+  ASSERT_EQ(tree.edges.size(), 1u);
+  const Edge& e = tree.edges[0];
+  EXPECT_TRUE((e.u == a && e.v == b) || (e.u == b && e.v == a));
+}
+
+TEST(TreeBuilder, SpanningTreeCoversClosure) {
+  Fixture f;
+  std::vector<PeerId> peers;
+  for (HostId h = 0; h < 12; ++h) peers.push_back(f.overlay->add_peer(h));
+  Rng rng{5};
+  // Random connected overlay region.
+  for (std::size_t i = 1; i < peers.size(); ++i)
+    f.overlay->connect(peers[i], peers[rng.next_below(i)]);
+  for (int extra = 0; extra < 8; ++extra)
+    f.overlay->connect(peers[rng.next_below(peers.size())],
+                       peers[rng.next_below(peers.size())]);
+  const LocalClosure closure = build_closure(*f.overlay, peers[0], 3);
+  const LocalTree tree = build_local_tree(closure);
+  // Spanning tree over a connected closure: |V| - 1 edges.
+  EXPECT_EQ(tree.edges.size(), closure.size() - 1);
+  // flooding + non_flooding partition the direct neighbors.
+  EXPECT_EQ(tree.flooding.size() + tree.non_flooding.size(),
+            f.overlay->degree(peers[0]));
+}
+
+TEST(TreeBuilder, ShortestPathTreeVariant) {
+  // A host 0, B host 4, C host 9: A-B = 4, B-C = 5, A-C = 9.
+  Fixture g;
+  const PeerId a2 = g.overlay->add_peer(0);
+  const PeerId b2 = g.overlay->add_peer(4);
+  const PeerId c2 = g.overlay->add_peer(9);
+  g.overlay->connect(a2, b2);  // 4
+  g.overlay->connect(b2, c2);  // 5
+  g.overlay->connect(a2, c2);  // 9
+  const LocalClosure closure = build_closure(*g.overlay, a2, 1);
+  const LocalTree mst = build_local_tree(closure, TreeKind::kMinimumSpanning);
+  const LocalTree spt = build_local_tree(closure, TreeKind::kShortestPath);
+  // MST weight 4 + 5 = 9; SPT picks direct A-C (9) if cheaper than via-B
+  // (4 + 5 = 9; tie -> either), here SPT dist to C = 9 both ways.
+  EXPECT_DOUBLE_EQ(mst.total_weight, 9.0);
+  EXPECT_EQ(spt.edges.size(), 2u);
+}
+
+TEST(TreeBuilder, EmptyClosureThrows) {
+  LocalClosure closure;
+  EXPECT_THROW(build_local_tree(closure), std::invalid_argument);
+}
+
+TEST(WalkQuery, FollowsPerPeerTrees) {
+  Fixture f;
+  const PeerId a = f.overlay->add_peer(0);
+  const PeerId b = f.overlay->add_peer(1);
+  const PeerId c = f.overlay->add_peer(2);
+  f.overlay->connect(a, b);
+  f.overlay->connect(b, c);
+  f.overlay->connect(a, c);
+  std::vector<std::vector<PeerId>> flooding(3);
+  flooding[a] = {b};
+  flooding[b] = {a, c};
+  flooding[c] = {b};
+  const auto steps = walk_query_over_trees(*f.overlay, flooding, a);
+  ASSERT_EQ(steps.size(), 2u);
+  EXPECT_EQ(steps[0].from, a);
+  EXPECT_EQ(steps[0].to, b);
+  EXPECT_EQ(steps[1].from, b);
+  EXPECT_EQ(steps[1].to, c);
+  EXPECT_FALSE(steps[0].duplicate);
+  EXPECT_FALSE(steps[1].duplicate);
+}
+
+TEST(WalkQuery, MarksDuplicates) {
+  Fixture f;
+  const PeerId a = f.overlay->add_peer(0);
+  const PeerId b = f.overlay->add_peer(1);
+  const PeerId c = f.overlay->add_peer(2);
+  f.overlay->connect(a, b);
+  f.overlay->connect(b, c);
+  f.overlay->connect(a, c);
+  // Everybody floods everybody (blind-flooding trees).
+  std::vector<std::vector<PeerId>> flooding(3);
+  flooding[a] = {b, c};
+  flooding[b] = {a, c};
+  flooding[c] = {a, b};
+  const auto steps = walk_query_over_trees(*f.overlay, flooding, a);
+  std::size_t duplicates = 0;
+  for (const auto& s : steps)
+    if (s.duplicate) ++duplicates;
+  EXPECT_EQ(steps.size(), 4u);
+  EXPECT_EQ(duplicates, 2u);
+}
+
+TEST(WalkQuery, SourceOutOfRangeThrows) {
+  Fixture f;
+  std::vector<std::vector<PeerId>> flooding(1);
+  EXPECT_THROW(walk_query_over_trees(*f.overlay, flooding, 5),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,166 @@
+#include "overlay/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/stats.h"
+
+namespace ace {
+namespace {
+
+CatalogConfig small_catalog() {
+  CatalogConfig config;
+  config.object_count = 100;
+  config.zipf_exponent = 0.8;
+  config.base_replication = 0.2;
+  config.min_replication = 0.01;
+  return config;
+}
+
+TEST(Catalog, ReplicationMonotoneInRank) {
+  ObjectCatalog catalog{small_catalog()};
+  for (ObjectId o = 1; o < 100; ++o)
+    EXPECT_LE(catalog.replication(o), catalog.replication(o - 1));
+  EXPECT_GE(catalog.replication(99), small_catalog().min_replication);
+}
+
+TEST(Catalog, ReplicationOutOfRangeThrows) {
+  ObjectCatalog catalog{small_catalog()};
+  EXPECT_THROW(catalog.replication(100), std::out_of_range);
+}
+
+TEST(Catalog, ZeroObjectsThrows) {
+  CatalogConfig config;
+  config.object_count = 0;
+  EXPECT_THROW(ObjectCatalog{config}, std::invalid_argument);
+}
+
+TEST(Catalog, HoldsIsDeterministic) {
+  ObjectCatalog a{small_catalog()};
+  ObjectCatalog b{small_catalog()};
+  for (PeerId p = 0; p < 50; ++p)
+    for (ObjectId o = 0; o < 20; ++o)
+      EXPECT_EQ(a.holds(p, o), b.holds(p, o));
+}
+
+TEST(Catalog, HoldsFractionTracksReplication) {
+  ObjectCatalog catalog{small_catalog()};
+  const ObjectId popular = 0;
+  std::size_t holders = 0;
+  const std::size_t peers = 20000;
+  for (PeerId p = 0; p < peers; ++p)
+    if (catalog.holds(p, popular)) ++holders;
+  const double fraction = static_cast<double>(holders) / peers;
+  EXPECT_NEAR(fraction, catalog.replication(popular),
+              catalog.replication(popular) * 0.15);
+}
+
+TEST(Catalog, DifferentSeedsDifferentPlacement) {
+  CatalogConfig c1 = small_catalog();
+  CatalogConfig c2 = small_catalog();
+  c2.placement_seed = 0xdeadbeef;
+  ObjectCatalog a{c1}, b{c2};
+  std::size_t differences = 0;
+  for (PeerId p = 0; p < 500; ++p)
+    for (ObjectId o = 0; o < 10; ++o)
+      if (a.holds(p, o) != b.holds(p, o)) ++differences;
+  EXPECT_GT(differences, 0u);
+}
+
+TEST(Catalog, SampleObjectFavorsPopularRanks) {
+  ObjectCatalog catalog{small_catalog()};
+  Rng rng{1};
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[catalog.sample_object(rng)];
+  EXPECT_GT(counts[0], counts[50]);
+}
+
+TEST(Catalog, HoldersAmongFindsExactSet) {
+  ObjectCatalog catalog{small_catalog()};
+  std::vector<PeerId> peers;
+  for (PeerId p = 0; p < 200; ++p) peers.push_back(p);
+  const auto holders = catalog.holders_among(peers, 3);
+  for (const PeerId h : holders) EXPECT_TRUE(catalog.holds(h, 3));
+  std::size_t expected = 0;
+  for (const PeerId p : peers)
+    if (catalog.holds(p, 3)) ++expected;
+  EXPECT_EQ(holders.size(), expected);
+}
+
+struct WorkloadFixture {
+  WorkloadFixture() : rng{7}, catalog{small_catalog()} {
+    Graph g{16};
+    for (NodeId u = 0; u + 1 < 16; ++u) g.add_edge(u, u + 1, 1.0);
+    physical = std::make_unique<PhysicalNetwork>(std::move(g));
+    overlay = std::make_unique<OverlayNetwork>(*physical);
+    for (HostId h = 0; h < 16; ++h) overlay->add_peer(h);
+  }
+  Rng rng;
+  ObjectCatalog catalog;
+  std::unique_ptr<PhysicalNetwork> physical;
+  std::unique_ptr<OverlayNetwork> overlay;
+  Simulator sim;
+};
+
+TEST(Workload, QueryRateApproximatelyHonored) {
+  WorkloadFixture f;
+  WorkloadConfig config;
+  config.queries_per_peer_per_s = 0.05;  // 16 peers -> 0.8 q/s expected
+  std::size_t seen = 0;
+  QueryWorkload workload{*f.overlay, f.catalog, f.sim, f.rng, config,
+                         [&](SimTime, PeerId, ObjectId) { ++seen; }};
+  workload.start();
+  f.sim.run_until(2000.0);
+  const double rate = static_cast<double>(seen) / 2000.0;
+  EXPECT_NEAR(rate, 0.8, 0.08);
+  EXPECT_EQ(workload.queries_issued(), seen);
+}
+
+TEST(Workload, SourcesAreOnlinePeersOnly) {
+  WorkloadFixture f;
+  // Take half the peers offline.
+  Rng aux{9};
+  for (PeerId p = 0; p < 8; ++p) f.overlay->leave(p, 0, aux);
+  WorkloadConfig config;
+  config.queries_per_peer_per_s = 0.1;
+  QueryWorkload workload{*f.overlay, f.catalog, f.sim, f.rng, config,
+                         [&](SimTime, PeerId source, ObjectId) {
+                           EXPECT_TRUE(f.overlay->is_online(source));
+                           EXPECT_GE(source, 8u);
+                         }};
+  workload.start();
+  f.sim.run_until(300.0);
+}
+
+TEST(Workload, StopHaltsQueries) {
+  WorkloadFixture f;
+  WorkloadConfig config;
+  config.queries_per_peer_per_s = 0.1;
+  std::size_t seen = 0;
+  QueryWorkload workload{*f.overlay, f.catalog, f.sim, f.rng, config,
+                         [&](SimTime, PeerId, ObjectId) { ++seen; }};
+  workload.start();
+  f.sim.run_until(50.0);
+  const std::size_t at_stop = seen;
+  EXPECT_GT(at_stop, 0u);
+  workload.stop();
+  f.sim.run_until(500.0);
+  EXPECT_EQ(seen, at_stop);
+}
+
+TEST(Workload, InvalidConfigThrows) {
+  WorkloadFixture f;
+  WorkloadConfig config;
+  config.queries_per_peer_per_s = 0.0;
+  EXPECT_THROW(QueryWorkload(*f.overlay, f.catalog, f.sim, f.rng, config,
+                             [](SimTime, PeerId, ObjectId) {}),
+               std::invalid_argument);
+  WorkloadConfig ok;
+  EXPECT_THROW(QueryWorkload(*f.overlay, f.catalog, f.sim, f.rng, ok,
+                             QueryWorkload::QueryCallback{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ace
