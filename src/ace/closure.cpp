@@ -18,6 +18,41 @@ bool LocalClosure::is_probed_pair(NodeId a, NodeId b) const {
   return false;
 }
 
+void LocalClosure::debug_validate(std::uint32_t hop_bound) const {
+  ACE_CHECK(!nodes.empty()) << "closure must contain its source";
+  ACE_CHECK_EQ(depth.size(), nodes.size()) << " — depth misaligned";
+  ACE_CHECK_EQ(path_cost.size(), nodes.size()) << " — path_cost misaligned";
+  ACE_CHECK_EQ(local.node_count(), nodes.size())
+      << " — local graph size mismatch";
+  ACE_CHECK_EQ(local_index.size(), nodes.size())
+      << " — local_index size mismatch";
+  ACE_CHECK_EQ(depth[0], 0u) << " — source must sit at depth 0";
+  ACE_CHECK_EQ(path_cost[0], 0.0) << " — source path cost must be 0";
+  for (NodeId li = 1; li < nodes.size(); ++li) {
+    ACE_CHECK_GE(depth[li], 1u) << " — only the source may be at depth 0";
+    ACE_CHECK_LE(depth[li], hop_bound)
+        << " — member " << nodes[li] << " breaches the hop bound";
+    ACE_CHECK_GE(depth[li], depth[li - 1])
+        << " — BFS discovery order violated at local id " << li;
+    ACE_CHECK_GT(path_cost[li], 0)
+        << " — non-positive discovery path cost for member " << nodes[li];
+  }
+  for (NodeId li = 0; li < nodes.size(); ++li) {
+    const auto it = local_index.find(nodes[li]);
+    ACE_CHECK(it != local_index.end())
+        << "member " << nodes[li] << " missing from local_index";
+    ACE_CHECK_EQ(it->second, li)
+        << " — local_index does not invert nodes[] for peer " << nodes[li];
+  }
+  for (const auto& [a, b] : probed_pairs) {
+    ACE_CHECK_LT(a, b) << " — probed pair not stored sorted";
+    ACE_CHECK_LT(b, nodes.size()) << " — probed pair outside the closure";
+    ACE_CHECK(local.has_edge(a, b))
+        << "probed pair " << a << "-" << b << " has no local edge";
+  }
+  local.debug_validate();
+}
+
 std::size_t LocalClosure::table_entries() const {
   std::size_t total = 0;
   for (NodeId i = 0; i < local.node_count(); ++i) total += local.degree(i);
@@ -43,7 +78,10 @@ LocalClosure build_closure(const OverlayNetwork& overlay, PeerId source,
   while (!queue.empty()) {
     const PeerId u = queue.front();
     queue.pop();
-    const NodeId lu = closure.local_index.at(u);
+    const auto lu_it = closure.local_index.find(u);
+    ACE_CHECK(lu_it != closure.local_index.end())
+        << "build_closure: queued peer " << u << " missing from local_index";
+    const NodeId lu = lu_it->second;
     const std::uint32_t du = closure.depth[lu];
     if (du == h) continue;
     for (const auto& n : overlay.neighbors(u)) {

@@ -11,6 +11,7 @@
 
 #include "graph/graph.h"
 #include "overlay/overlay_network.h"
+#include "util/check.h"
 
 namespace ace {
 
@@ -48,7 +49,11 @@ struct LocalClosure {
   bool is_probed_pair(NodeId a, NodeId b) const;
 
   std::size_t size() const noexcept { return nodes.size(); }
-  PeerId to_global(NodeId local_id) const { return nodes.at(local_id); }
+  PeerId to_global(NodeId local_id) const {
+    ACE_CHECK_LT(local_id, nodes.size())
+        << " — local id outside this closure";
+    return nodes[local_id];
+  }
   // kInvalidNode when the peer is outside the closure.
   NodeId to_local(PeerId peer) const;
 
@@ -56,6 +61,12 @@ struct LocalClosure {
   // sum of member degrees (each member's full neighbor cost table). Used
   // for the information-exchange overhead model.
   std::size_t table_entries() const;
+
+  // Invariant auditor (ACE_CHECK-fatal): member/depth/path-cost alignment,
+  // hop bound respected (depth <= hop_bound, BFS-monotone), the
+  // local_index <-> nodes bijection, a well-formed induced graph, and
+  // probed pairs that are sorted, in range, and present as local edges.
+  void debug_validate(std::uint32_t hop_bound) const;
 };
 
 // Builds the h-neighbor closure of `source` over the current overlay.

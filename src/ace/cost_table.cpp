@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "graph/shortest_path.h"
+#include "util/check.h"
 
 namespace ace {
 
@@ -78,6 +79,35 @@ NeighborCostTable& CostTableStore::table(PeerId peer) {
   if (peer >= tables_.size())
     throw std::out_of_range{"CostTableStore: peer out of range"};
   return tables_[peer];
+}
+
+void CostTableStore::debug_validate(const OverlayNetwork& overlay) const {
+  for (PeerId p = 0; p < tables_.size(); ++p) {
+    for (const CostEntry& e : tables_[p].entries()) {
+      ACE_CHECK_NE(e.neighbor, kInvalidPeer)
+          << " — peer " << p << " recorded an invalid neighbor";
+      ACE_CHECK_LT(e.neighbor, overlay.peer_count())
+          << " — peer " << p << " recorded out-of-range neighbor";
+      ACE_CHECK_NE(e.neighbor, p) << " — peer " << p << " recorded itself";
+      ACE_CHECK_GT(e.cost, 0)
+          << " — non-positive probed cost " << p << "->" << e.neighbor;
+      std::size_t occurrences = 0;
+      for (const CostEntry& other : tables_[p].entries())
+        if (other.neighbor == e.neighbor) ++occurrences;
+      ACE_CHECK_EQ(occurrences, 1u)
+          << " — duplicate table entry " << p << "->" << e.neighbor;
+      if (e.neighbor < tables_.size() && tables_[e.neighbor].contains(p)) {
+        ACE_CHECK_EQ(tables_[e.neighbor].cost_to(p), e.cost)
+            << " — cost-table asymmetry between " << p << " and "
+            << e.neighbor;
+      }
+      if (overlay.are_connected(p, e.neighbor)) {
+        ACE_CHECK_EQ(overlay.link_cost(p, e.neighbor), e.cost)
+            << " — table entry " << p << "->" << e.neighbor
+            << " disagrees with the live overlay link";
+      }
+    }
+  }
 }
 
 Weight CostTableStore::known_cost(PeerId a, PeerId b) const {

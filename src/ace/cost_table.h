@@ -74,6 +74,13 @@ class CostTableStore {
   // drift under churn). Returns kUnreachable when neither knows.
   Weight known_cost(PeerId a, PeerId b) const;
 
+  // Invariant auditor (ACE_CHECK-fatal): entries reference valid distinct
+  // peers with positive costs and no duplicates; mutually-recorded costs
+  // are symmetric; and whenever the overlay link still exists the recorded
+  // cost matches it (probes copy the link weight, which is the constant
+  // physical delay, so drift here means corruption — not churn).
+  void debug_validate(const OverlayNetwork& overlay) const;
+
  private:
   MessageSizing sizing_;
   std::vector<NeighborCostTable> tables_;

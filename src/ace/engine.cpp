@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/check.h"
+
 namespace ace {
 
 void RoundReport::merge(const RoundReport& other) noexcept {
@@ -99,7 +101,7 @@ LocalTree AceEngine::refresh_peer_tree(PeerId peer, RoundReport& report) {
   for (const auto& [a, b] : closure.probed_pairs) {
     ++report.pair_probes;
     report.pair_probe_traffic +=
-        pair_probe_size * *closure.local.edge_weight(a, b);
+        pair_probe_size * closure.local.edge_weight(a, b).value();
   }
 
   LocalTree tree = build_local_tree(closure, config_.tree_kind);
@@ -140,6 +142,14 @@ LocalTree AceEngine::refresh_peer_tree(PeerId peer, RoundReport& report) {
       closure = build_closure(*overlay_, peer, config_.closure_depth, edges);
       tree = build_local_tree(closure, config_.tree_kind);
     }
+  }
+
+  // Phase 1/2 boundary audit: the closure honors its hop bound and index
+  // bijection, the tree spans it, and this peer's fresh table agrees with
+  // the live overlay.
+  if (invariant_audits_enabled()) {
+    closure.debug_validate(config_.closure_depth);
+    debug_validate_tree(closure, tree);
   }
 
   forwarding_.set_tree(peer, make_tree_routing(tree, peer));
@@ -194,8 +204,21 @@ void AceEngine::step_peer(PeerId peer, Rng& rng, RoundReport& report) {
       const LocalClosure updated =
           build_closure(*overlay_, peer, config_.closure_depth, edges);
       const LocalTree fresh = build_local_tree(updated, config_.tree_kind);
+      if (invariant_audits_enabled()) {
+        updated.debug_validate(config_.closure_depth);
+        debug_validate_tree(updated, fresh);
+      }
       forwarding_.set_tree(peer, make_tree_routing(fresh, peer));
     }
+  }
+
+  // Phase 3 boundary audit: topology mutations (replacement, establishment,
+  // degree refills) must leave the overlay symmetric, the cost tables
+  // link-consistent, and every surviving forwarding entry live.
+  if (invariant_audits_enabled()) {
+    overlay_->debug_validate();
+    tables_.debug_validate(*overlay_);
+    forwarding_.debug_validate(*overlay_);
   }
 }
 

@@ -1,8 +1,11 @@
 #include "ace/tree_builder.h"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 #include <stdexcept>
+
+#include "util/check.h"
 
 namespace ace {
 
@@ -21,9 +24,9 @@ LocalTree build_local_tree(const LocalClosure& closure, TreeKind kind) {
     const ShortestPathResult spt = dijkstra(closure.local, 0);
     for (NodeId v = 1; v < closure.local.node_count(); ++v) {
       if (spt.parent[v] == kInvalidNode) continue;
-      const auto w = closure.local.edge_weight(spt.parent[v], v);
-      local_edges.push_back({spt.parent[v], v, *w});
-      tree.total_weight += *w;
+      const Weight w = closure.local.edge_weight(spt.parent[v], v).value();
+      local_edges.push_back({spt.parent[v], v, w});
+      tree.total_weight += w;
     }
   }
 
@@ -44,11 +47,11 @@ LocalTree build_local_tree(const LocalClosure& closure, TreeKind kind) {
   for (NodeId li = 1; li < closure.size(); ++li) {
     if (closure.depth[li] != 1) continue;
     const PeerId peer = closure.nodes[li];
-    if (adjacent_to_source[li])
+    // Tree-adjacent neighbors flood; neighbors isolated inside the closure
+    // flood defensively (the search scope must never shrink).
+    if (adjacent_to_source[li] || closure.local.degree(li) == 0 ||
+        closure.to_local(peer) == kInvalidNode)
       tree.flooding.push_back(peer);
-    else if (closure.local.degree(li) == 0 ||
-             closure.to_local(peer) == kInvalidNode)
-      tree.flooding.push_back(peer);  // defensive: isolated in closure
     else
       tree.non_flooding.push_back(peer);
   }
@@ -74,6 +77,88 @@ LocalTree build_local_tree(const LocalClosure& closure, TreeKind kind) {
   }
   (void)source;
   return tree;
+}
+
+void debug_validate_tree(const LocalClosure& closure, const LocalTree& tree) {
+  // Union-find over local ids: every tree edge must join two previously
+  // separate components (acyclicity) and land inside the closure.
+  std::vector<NodeId> parent(closure.size());
+  for (NodeId i = 0; i < parent.size(); ++i) parent[i] = i;
+  const auto find = [&parent](NodeId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  Weight edge_sum = 0;
+  for (const Edge& e : tree.edges) {
+    const NodeId lu = closure.to_local(static_cast<PeerId>(e.u));
+    const NodeId lv = closure.to_local(static_cast<PeerId>(e.v));
+    ACE_CHECK_NE(lu, kInvalidNode)
+        << " — tree edge endpoint " << e.u << " outside the closure";
+    ACE_CHECK_NE(lv, kInvalidNode)
+        << " — tree edge endpoint " << e.v << " outside the closure";
+    ACE_CHECK_GT(e.weight, 0) << " — non-positive tree edge weight";
+    const NodeId ru = find(lu), rv = find(lv);
+    ACE_CHECK_NE(ru, rv) << " — cycle through tree edge " << e.u << "-" << e.v;
+    parent[ru] = rv;
+    edge_sum += e.weight;
+  }
+  ACE_CHECK_LE(std::abs(edge_sum - tree.total_weight),
+               1e-9 * (1.0 + std::abs(edge_sum)))
+      << " — total_weight out of sync with the edge set";
+
+  // Spanning + rootedness: every member reachable from the source inside
+  // the induced subgraph must share the source's tree component.
+  std::vector<bool> reachable(closure.size(), false);
+  std::queue<NodeId> queue;
+  reachable[0] = true;
+  queue.push(0);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    for (const Neighbor& n : closure.local.neighbors(u)) {
+      if (reachable[n.node]) continue;
+      reachable[n.node] = true;
+      queue.push(n.node);
+    }
+  }
+  const NodeId source_root = find(0);
+  for (NodeId li = 0; li < closure.size(); ++li) {
+    if (!reachable[li]) continue;
+    ACE_CHECK_EQ(find(li), source_root)
+        << " — reachable member " << closure.nodes[li]
+        << " not spanned by the tree";
+  }
+
+  // flooding/non_flooding must partition the source's direct neighbors.
+  std::vector<PeerId> classified = tree.flooding;
+  classified.insert(classified.end(), tree.non_flooding.begin(),
+                    tree.non_flooding.end());
+  std::sort(classified.begin(), classified.end());
+  ACE_CHECK(std::adjacent_find(classified.begin(), classified.end()) ==
+            classified.end())
+      << "a neighbor is classified both flooding and non-flooding";
+  std::vector<PeerId> direct;
+  for (NodeId li = 1; li < closure.size(); ++li)
+    if (closure.depth[li] == 1) direct.push_back(closure.nodes[li]);
+  std::sort(direct.begin(), direct.end());
+  ACE_CHECK(classified == direct)
+      << "flooding/non-flooding classification does not cover the source's "
+         "direct neighbors exactly";
+
+  for (const Edge& v : tree.virtual_edges) {
+    ACE_CHECK(std::find(tree.edges.begin(), tree.edges.end(), v) !=
+              tree.edges.end())
+        << "virtual edge " << v.u << "-" << v.v << " is not a tree edge";
+    const NodeId lu = closure.to_local(static_cast<PeerId>(v.u));
+    const NodeId lv = closure.to_local(static_cast<PeerId>(v.v));
+    ACE_CHECK(closure.is_probed_pair(lu, lv))
+        << "virtual edge " << v.u << "-" << v.v
+        << " is not backed by a probed pair";
+  }
 }
 
 TreeRouting make_tree_routing(const LocalTree& tree, PeerId source) {

@@ -43,6 +43,14 @@ struct LocalTree {
 LocalTree build_local_tree(const LocalClosure& closure,
                            TreeKind kind = TreeKind::kMinimumSpanning);
 
+// Invariant auditor (ACE_CHECK-fatal) for a tree built from `closure`:
+// every edge stays inside the closure with positive weight, the edge set is
+// acyclic and spans every member reachable from the source in the induced
+// subgraph (rooted at the source), flooding/non-flooding partition the
+// source's direct neighbors, virtual edges are tree edges backed by probed
+// pairs, and total_weight matches the edge sum.
+void debug_validate_tree(const LocalClosure& closure, const LocalTree& tree);
+
 // Converts a LocalTree into routing form: the tree rooted at `source`,
 // children lists per node. Installed into the ForwardingTable so queries
 // can carry the source's relay instructions down the tree.

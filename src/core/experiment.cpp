@@ -225,8 +225,8 @@ DynamicResult run_dynamic(const DynamicConfig& config) {
   churn.on_join = [&](PeerId p) {
     if (config.enable_ace) engine.on_peer_join(p);
   };
-  churn.on_leave = [&](PeerId p) {
-    if (config.enable_ace) engine.on_peer_leave(p, {});
+  churn.on_leave = [&](PeerId p, std::span<const PeerId> dropped) {
+    if (config.enable_ace) engine.on_peer_leave(p, dropped);
     if (cache) cache->on_peer_leave(p);
   };
   churn.start();

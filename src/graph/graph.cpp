@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace ace {
 
 Graph::Graph(std::size_t node_count) : adjacency_(node_count) {}
@@ -130,6 +132,36 @@ std::vector<NodeId> Graph::isolate(NodeId u) {
   }
   adjacency_[u].clear();
   return removed;
+}
+
+void Graph::debug_validate() const {
+  std::size_t directed_edges = 0;
+  for (NodeId u = 0; u < adjacency_.size(); ++u) {
+    for (const Neighbor& n : adjacency_[u]) {
+      ACE_CHECK_NE(n.node, u) << " — self-loop at node " << u;
+      ACE_CHECK_LT(n.node, adjacency_.size())
+          << " — node " << u << " links to nonexistent node " << n.node;
+      ACE_CHECK_GT(n.weight, 0) << " — non-positive weight on edge " << u
+                                << "-" << n.node;
+      const auto back = edge_weight(n.node, u);
+      ACE_CHECK(back.has_value())
+          << "adjacency asymmetry: " << u << "->" << n.node
+          << " present, reverse missing";
+      ACE_CHECK_EQ(back.value(), n.weight)
+          << " — weight mismatch across directions of edge " << u << "-"
+          << n.node;
+      ++directed_edges;
+    }
+    // Duplicate neighbor entries would double-count traffic silently.
+    std::vector<NodeId> ids;
+    ids.reserve(adjacency_[u].size());
+    for (const Neighbor& n : adjacency_[u]) ids.push_back(n.node);
+    std::sort(ids.begin(), ids.end());
+    ACE_CHECK(std::adjacent_find(ids.begin(), ids.end()) == ids.end())
+        << "duplicate adjacency entry at node " << u;
+  }
+  ACE_CHECK_EQ(directed_edges, 2 * edge_count_)
+      << " — edge_count out of sync with adjacency lists";
 }
 
 double Graph::mean_degree() const noexcept {

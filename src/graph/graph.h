@@ -76,6 +76,11 @@ class Graph {
 
   void reserve_nodes(std::size_t n) { adjacency_.reserve(n); }
 
+  // Invariant auditor (ACE_CHECK-fatal): adjacency symmetry with matching
+  // weights, no self-loops or duplicate entries, positive weights, and
+  // edge_count consistency. O(V + E*d); call at audit points only.
+  void debug_validate() const;
+
  private:
   void check_node(NodeId u) const;
 

@@ -31,9 +31,10 @@ void ChurnDriver::schedule_departure(PeerId p) {
 
 void ChurnDriver::depart(PeerId p) {
   if (!overlay_->is_online(p)) return;  // already gone (defensive)
-  overlay_->leave(p, config_.repair_min_degree, *rng_);
+  const std::vector<PeerId> dropped =
+      overlay_->leave(p, config_.repair_min_degree, *rng_);
   ++leaves_;
-  if (on_leave) on_leave(p);
+  if (on_leave) on_leave(p, dropped);
   offline_pool_.push_back(p);
 
   // Constant population: one replacement joins immediately.

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "overlay/overlay_network.h"
@@ -47,8 +48,11 @@ class ChurnDriver {
   // Invoked after each join with the peer id (lets the ACE engine seed
   // state for fresh peers).
   std::function<void(PeerId)> on_join;
-  // Invoked after each leave with the peer id.
-  std::function<void(PeerId)> on_leave;
+  // Invoked after each leave with the peer id and the neighbors the
+  // departure disconnected. Listeners (the ACE engine) must see the
+  // dropped links or their forwarding state for those peers goes stale —
+  // the invariant auditors treat a surviving stale entry as fatal.
+  std::function<void(PeerId, std::span<const PeerId>)> on_leave;
 
   // Draws one lifetime from the configured distribution (exposed for
   // tests/benches to verify the distribution shape).

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace ace {
 
 OverlayNetwork::OverlayNetwork(const PhysicalNetwork& physical)
@@ -76,7 +78,7 @@ bool OverlayNetwork::are_connected(PeerId a, PeerId b) const {
 Weight OverlayNetwork::link_cost(PeerId a, PeerId b) const {
   const auto w = logical_.edge_weight(a, b);
   if (!w) throw std::invalid_argument{"OverlayNetwork: peers not connected"};
-  return *w;
+  return w.value();
 }
 
 std::span<const Neighbor> OverlayNetwork::neighbors(PeerId p) const {
@@ -154,6 +156,24 @@ std::vector<PeerId> OverlayNetwork::leave(PeerId p,
     }
   }
   return dropped;
+}
+
+void OverlayNetwork::debug_validate() const {
+  ACE_CHECK_EQ(logical_.node_count(), peers_.size())
+      << " — logical graph and peer table disagree";
+  logical_.debug_validate();
+  std::size_t online = 0;
+  for (PeerId p = 0; p < peers_.size(); ++p) {
+    ACE_CHECK_LT(peers_[p].host, physical_->host_count())
+        << " — peer " << p << " attached to nonexistent host";
+    if (peers_[p].online) {
+      ++online;
+    } else {
+      ACE_CHECK_EQ(logical_.degree(p), 0u)
+          << " — offline peer " << p << " still holds overlay links";
+    }
+  }
+  ACE_CHECK_EQ(online, online_count_) << " — online_count out of sync";
 }
 
 double OverlayNetwork::mean_online_degree() const {

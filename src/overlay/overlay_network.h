@@ -81,6 +81,12 @@ class OverlayNetwork {
   // Mean logical degree over online peers.
   double mean_online_degree() const;
 
+  // Invariant auditor (ACE_CHECK-fatal): logical-graph symmetry and no
+  // self-loops (via Graph::debug_validate), peer/node count agreement,
+  // hosts within the physical topology, online_count consistency, and no
+  // links incident to offline peers.
+  void debug_validate() const;
+
  private:
   void check_peer(PeerId p) const;
 

@@ -4,6 +4,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace ace {
 
 void ForwardingTable::ensure_size(std::size_t peers) {
@@ -57,6 +59,39 @@ const TreeRouting& ForwardingTable::tree(PeerId peer) const {
   if (!has_entry(peer))
     throw std::logic_error{"ForwardingTable: no entry for peer"};
   return sets_[peer];
+}
+
+void ForwardingTable::debug_validate(const OverlayNetwork& overlay) const {
+  ACE_CHECK_EQ(sets_.size(), valid_.size()) << " — table storage misaligned";
+  std::size_t valid = 0;
+  for (PeerId p = 0; p < valid_.size(); ++p) {
+    if (!valid_[p]) continue;
+    ++valid;
+    ACE_CHECK_LT(p, overlay.peer_count())
+        << " — forwarding entry for unknown peer";
+    ACE_CHECK(overlay.is_online(p))
+        << "forwarding entry for offline peer " << p;
+    const auto& flood = sets_[p].flooding;
+    ACE_CHECK(std::is_sorted(flood.begin(), flood.end()))
+        << "flooding set of peer " << p << " not sorted";
+    ACE_CHECK(std::adjacent_find(flood.begin(), flood.end()) == flood.end())
+        << "duplicate flooding neighbor for peer " << p;
+    for (const PeerId q : flood) {
+      ACE_CHECK(overlay.are_connected(p, q))
+          << "stale flooding entry: peer " << p
+          << " would forward to non-neighbor " << q;
+    }
+    // Tree property: within one peer's relay instructions, no peer is the
+    // child of two parents.
+    std::vector<PeerId> children;
+    for (const auto& [node, kids] : sets_[p].children)
+      children.insert(children.end(), kids.begin(), kids.end());
+    std::sort(children.begin(), children.end());
+    ACE_CHECK(std::adjacent_find(children.begin(), children.end()) ==
+              children.end())
+        << "peer " << p << "'s relay tree gives a peer two parents";
+  }
+  ACE_CHECK_EQ(valid, valid_count_) << " — valid_count out of sync";
 }
 
 std::vector<PeerId> ForwardingTable::non_flooding(

@@ -65,6 +65,13 @@ class ForwardingTable {
 
   std::size_t entries() const noexcept { return valid_count_; }
 
+  // Invariant auditor (ACE_CHECK-fatal): liveness of every valid entry —
+  // the owner is online, its flooding set is sorted/unique and made of
+  // peers it is currently connected to, and no peer appears twice as a
+  // relay child. (Entries must be invalidated whenever a link incident to
+  // the owner is dropped; this catches stale ones.)
+  void debug_validate(const OverlayNetwork& overlay) const;
+
  private:
   std::vector<TreeRouting> sets_;
   std::vector<bool> valid_;

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/check.h"
+
 namespace ace {
 
 EventId EventQueue::schedule(SimTime at, Callback callback) {
@@ -37,9 +39,32 @@ SimTime EventQueue::run_next() {
   // skim() guaranteed presence.
   Callback callback = std::move(it->second);
   pending_.erase(it);
+  ACE_DCHECK_GE(entry.at, now_)
+      << " — event queue time went backwards (id " << entry.id << ")";
   now_ = entry.at;
   callback();
   return entry.at;
+}
+
+void EventQueue::debug_validate() const {
+  // Drain a copy of the heap: pop order must be time-monotone starting at
+  // now(), and live heap entries must cover pending_ exactly.
+  auto heap = heap_;
+  std::size_t live = 0;
+  SimTime last = now_;
+  while (!heap.empty()) {
+    const Entry entry = heap.top();
+    heap.pop();
+    ACE_CHECK_LT(entry.id, next_id_) << " — event id from the future";
+    ACE_CHECK_LT(entry.seq, next_seq_) << " — sequence from the future";
+    if (!pending_.contains(entry.id)) continue;  // lazily cancelled
+    ++live;
+    ACE_CHECK_GE(entry.at, last)
+        << " — pending event " << entry.id << " scheduled before now()";
+    last = entry.at;
+  }
+  ACE_CHECK_EQ(live, pending_.size())
+      << " — pending callbacks without a heap entry";
 }
 
 }  // namespace ace

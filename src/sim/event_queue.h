@@ -42,6 +42,12 @@ class EventQueue {
   // Time of the most recently popped event (0 before any pop).
   SimTime now() const noexcept { return now_; }
 
+  // Invariant auditor (ACE_CHECK-fatal): time monotonicity — no pending
+  // event sits before now() — plus id/sequence bounds and agreement
+  // between the heap and the pending-callback map. O(n log n) (copies the
+  // heap); call at audit points only.
+  void debug_validate() const;
+
  private:
   struct Entry {
     SimTime at;

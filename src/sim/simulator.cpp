@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace ace {
 
 EventId Simulator::after(SimTime delay, EventQueue::Callback callback) {
@@ -53,6 +55,7 @@ void Simulator::stop_periodic(std::size_t handle) {
 std::size_t Simulator::run_until(SimTime deadline) {
   if (deadline < queue_.now())
     throw std::invalid_argument{"Simulator::run_until: deadline in the past"};
+  if (invariant_audits_enabled()) queue_.debug_validate();
   std::size_t executed = 0;
   while (!queue_.empty() && queue_.next_time() <= deadline) {
     queue_.run_next();

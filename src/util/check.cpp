@@ -1,0 +1,52 @@
+#include "util/check.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+
+namespace ace {
+
+namespace {
+
+bool initial_audit_state() noexcept {
+#if defined(ACE_AUDIT_INVARIANTS)
+  bool enabled = true;
+#else
+  bool enabled = false;
+#endif
+  if (const char* env = std::getenv("ACE_AUDIT")) {
+    const std::string value{env};
+    if (value == "0" || value == "off" || value == "false") enabled = false;
+    if (value == "1" || value == "on" || value == "true") enabled = true;
+  }
+  return enabled;
+}
+
+std::atomic<bool>& audit_storage() noexcept {
+  static std::atomic<bool> enabled{initial_audit_state()};
+  return enabled;
+}
+
+}  // namespace
+
+bool invariant_audits_enabled() noexcept {
+  return audit_storage().load(std::memory_order_relaxed);
+}
+
+void set_invariant_audits(bool enabled) noexcept {
+  audit_storage().store(enabled, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void check_failed(const char* file, int line, const char* func,
+                  const std::string& message) {
+  // One flush-terminated stderr write: the process is about to abort, and
+  // death tests / crash logs must see the full diagnostic.
+  std::cerr << file << ':' << line << ": in " << func << ": " << message
+            << std::endl;
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace ace

@@ -1,0 +1,127 @@
+// Runtime invariant checking. ACE_CHECK is always on and fatal: it prints a
+// diagnostic (source location, failed condition, optional stream-style
+// message) and aborts, so corrupted simulator state dies loudly instead of
+// producing silently wrong figures. ACE_DCHECK compiles away in optimized
+// builds unless the build enables invariant audits (-DACE_AUDIT_INVARIANTS=ON
+// at configure time) or NDEBUG is off.
+//
+//   ACE_CHECK(ok) << "peer " << p << " lost its table";
+//   ACE_CHECK_EQ(closure.nodes.size(), closure.depth.size());
+//
+// The _EQ/_NE/_LT/_LE/_GT/_GE variants print both operand values on failure.
+// Subsystem debug_validate() auditors are built on these macros and are run
+// by AceEngine at phase boundaries when invariant_audits_enabled().
+#pragma once
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+namespace ace {
+
+// Whether AceEngine (and other hot paths) should run their debug_validate()
+// invariant audits. Defaults to true when compiled with ACE_AUDIT_INVARIANTS,
+// false otherwise; the ACE_AUDIT environment variable (0/1) overrides the
+// compiled-in default, and tests may toggle it at runtime.
+bool invariant_audits_enabled() noexcept;
+void set_invariant_audits(bool enabled) noexcept;
+
+namespace detail {
+
+// Prints the failure diagnostic to stderr and aborts.
+[[noreturn]] void check_failed(const char* file, int line, const char* func,
+                               const std::string& message);
+
+// Accumulates the user's stream-style message; the destructor fires the
+// fatal diagnostic, so a CheckStream only ever exists on the failure path.
+class CheckStream {
+ public:
+  CheckStream(const char* file, int line, const char* func,
+              const char* condition) noexcept
+      : file_{file}, line_{line}, func_{func} {
+    stream_ << "ACE_CHECK failed: " << condition;
+  }
+  CheckStream(const CheckStream&) = delete;
+  CheckStream& operator=(const CheckStream&) = delete;
+  [[noreturn]] ~CheckStream() { check_failed(file_, line_, func_, stream_.str()); }
+
+  std::ostream& stream() noexcept { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* func_;
+  std::ostringstream stream_;
+};
+
+// Swallows streamed operands of a disabled ACE_DCHECK.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) noexcept {
+    return *this;
+  }
+};
+
+// Builds the "expr (lhs vs rhs)" failure text for a binary check, or null
+// when the comparison holds. Returning a heap string keeps the success path
+// to a single branch.
+template <typename A, typename B, typename Op>
+std::unique_ptr<std::string> check_op_failure(const A& a, const B& b, Op op,
+                                              const char* expr) {
+  if (op(a, b)) return nullptr;
+  std::ostringstream os;
+  os << expr << " (" << a << " vs " << b << ")";
+  return std::make_unique<std::string>(os.str());
+}
+
+}  // namespace detail
+}  // namespace ace
+
+// `while` (not `if`) avoids the dangling-else pitfall in unbraced callers;
+// the body aborts, so it runs at most once. The CheckStream expression is
+// parenthesized so the commas in its braced init don't split macro
+// arguments when an ACE_CHECK lands inside another macro (EXPECT_DEATH).
+#define ACE_CHECK(condition)   \
+  while (!(condition))         \
+  (::ace::detail::CheckStream{ \
+       __FILE__, __LINE__, __func__, #condition}.stream())
+
+#define ACE_CHECK_OP_(lhs, rhs, op, expr)                                     \
+  while (auto ace_check_failure_ = ::ace::detail::check_op_failure(           \
+             (lhs), (rhs),                                                    \
+             [](const auto& ace_a_, const auto& ace_b_) {                     \
+               return ace_a_ op ace_b_;                                       \
+             },                                                               \
+             expr))                                                           \
+  (::ace::detail::CheckStream{__FILE__, __LINE__, __func__,                   \
+                              ace_check_failure_->c_str()}                    \
+       .stream())
+
+#define ACE_CHECK_EQ(a, b) ACE_CHECK_OP_(a, b, ==, #a " == " #b)
+#define ACE_CHECK_NE(a, b) ACE_CHECK_OP_(a, b, !=, #a " != " #b)
+#define ACE_CHECK_LT(a, b) ACE_CHECK_OP_(a, b, <, #a " < " #b)
+#define ACE_CHECK_LE(a, b) ACE_CHECK_OP_(a, b, <=, #a " <= " #b)
+#define ACE_CHECK_GT(a, b) ACE_CHECK_OP_(a, b, >, #a " > " #b)
+#define ACE_CHECK_GE(a, b) ACE_CHECK_OP_(a, b, >=, #a " >= " #b)
+
+#if defined(ACE_AUDIT_INVARIANTS) || !defined(NDEBUG)
+#define ACE_DCHECK(condition) ACE_CHECK(condition)
+#define ACE_DCHECK_EQ(a, b) ACE_CHECK_EQ(a, b)
+#define ACE_DCHECK_NE(a, b) ACE_CHECK_NE(a, b)
+#define ACE_DCHECK_LT(a, b) ACE_CHECK_LT(a, b)
+#define ACE_DCHECK_LE(a, b) ACE_CHECK_LE(a, b)
+#define ACE_DCHECK_GT(a, b) ACE_CHECK_GT(a, b)
+#define ACE_DCHECK_GE(a, b) ACE_CHECK_GE(a, b)
+#else
+// Operands stay syntactically checked but are never evaluated.
+#define ACE_DCHECK_DISABLED_(condition) \
+  while (false && !(condition)) ::ace::detail::NullStream {}
+#define ACE_DCHECK(condition) ACE_DCHECK_DISABLED_(condition)
+#define ACE_DCHECK_EQ(a, b) ACE_DCHECK_DISABLED_((a) == (b))
+#define ACE_DCHECK_NE(a, b) ACE_DCHECK_DISABLED_((a) != (b))
+#define ACE_DCHECK_LT(a, b) ACE_DCHECK_DISABLED_((a) < (b))
+#define ACE_DCHECK_LE(a, b) ACE_DCHECK_DISABLED_((a) <= (b))
+#define ACE_DCHECK_GT(a, b) ACE_DCHECK_DISABLED_((a) > (b))
+#define ACE_DCHECK_GE(a, b) ACE_DCHECK_DISABLED_((a) >= (b))
+#endif

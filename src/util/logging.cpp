@@ -10,14 +10,17 @@ namespace ace {
 namespace {
 
 LogLevel initial_threshold() {
-  if (const char* env = std::getenv("ACE_LOG")) {
-    try {
-      return parse_log_level(env);
-    } catch (const std::exception&) {
-      // Fall through to the default on a malformed value.
-    }
+  const char* env = std::getenv("ACE_LOG");
+  // The default applies only when ACE_LOG is unset or empty; a present but
+  // malformed value is a user error and must fail loudly, not silently run
+  // the whole experiment at the wrong verbosity.
+  if (env == nullptr || *env == '\0') return LogLevel::kWarn;
+  try {
+    return parse_log_level(env);
+  } catch (const std::exception& e) {
+    std::cerr << "ACE_LOG: " << e.what() << '\n';
+    std::abort();
   }
-  return LogLevel::kWarn;
 }
 
 std::atomic<LogLevel>& threshold_storage() noexcept {
@@ -51,13 +54,30 @@ void set_log_threshold(LogLevel level) noexcept {
   threshold_storage().store(level, std::memory_order_relaxed);
 }
 
+const char* log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "?";
+}
+
 LogLevel parse_log_level(const std::string& name) {
   if (name == "debug") return LogLevel::kDebug;
   if (name == "info") return LogLevel::kInfo;
   if (name == "warn") return LogLevel::kWarn;
   if (name == "error") return LogLevel::kError;
   if (name == "off") return LogLevel::kOff;
-  throw std::invalid_argument{"unknown log level: " + name};
+  throw std::invalid_argument{"unknown log level '" + name +
+                              "' (expected debug|info|warn|error|off)"};
 }
 
 namespace detail {

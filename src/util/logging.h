@@ -14,7 +14,10 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 // (debug|info|warn|error|off), default warn.
 LogLevel log_threshold() noexcept;
 void set_log_threshold(LogLevel level) noexcept;
+// Throws std::invalid_argument for anything but debug|info|warn|error|off.
 LogLevel parse_log_level(const std::string& name);
+// Canonical lowercase name; round-trips through parse_log_level.
+const char* log_level_name(LogLevel level) noexcept;
 
 namespace detail {
 void emit(LogLevel level, const std::string& message);

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace ace {
 
 void RunningStats::add(double x) noexcept {
@@ -77,7 +79,8 @@ void Histogram::add(double x) noexcept {
 }
 
 std::size_t Histogram::bin_count(std::size_t bin) const {
-  return counts_.at(bin);
+  ACE_CHECK_LT(bin, counts_.size()) << " — Histogram::bin_count out of range";
+  return counts_[bin];
 }
 
 double Histogram::bin_lo(std::size_t bin) const {

@@ -54,9 +54,11 @@ TEST(Churn, HooksInvoked) {
     ++join_calls;
     EXPECT_TRUE(f.overlay->is_online(p));
   };
-  churn.on_leave = [&](PeerId p) {
+  churn.on_leave = [&](PeerId p, std::span<const PeerId> dropped) {
     ++leave_calls;
     EXPECT_FALSE(f.overlay->is_online(p));
+    for (const PeerId q : dropped)
+      EXPECT_FALSE(f.overlay->are_connected(p, q));
   };
   churn.start();
   f.sim.run_until(50.0);

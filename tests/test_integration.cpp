@@ -72,7 +72,9 @@ TEST(Integration, ChurnWithAceKeepsServingQueries) {
   churn_config.lifetime_variance = 30.0;
   ChurnDriver churn{scenario.overlay(), sim, churn_rng, churn_config};
   churn.on_join = [&](PeerId p) { engine.on_peer_join(p); };
-  churn.on_leave = [&](PeerId p) { engine.on_peer_leave(p, {}); };
+  churn.on_leave = [&](PeerId p, std::span<const PeerId> dropped) {
+    engine.on_peer_leave(p, dropped);
+  };
   churn.start();
 
   sim.every(10.0, [&](SimTime) { engine.step_round(ace_rng); });

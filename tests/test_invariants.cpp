@@ -1,0 +1,278 @@
+// Death tests for the correctness tooling: the ACE_CHECK macro family and
+// the per-subsystem debug_validate() invariant auditors. Each test corrupts
+// a structure on purpose and asserts the auditor dies with a diagnostic
+// that names the violated invariant.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ace/closure.h"
+#include "ace/cost_table.h"
+#include "ace/tree_builder.h"
+#include "graph/generators.h"
+#include "net/physical_network.h"
+#include "search/flooding.h"
+#include "sim/event_queue.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace ace {
+namespace {
+
+// ---------------------------------------------------------------- macros --
+
+TEST(CheckMacros, PassingChecksAreSilent) {
+  ACE_CHECK(1 + 1 == 2) << "never rendered";
+  ACE_CHECK_EQ(4, 4);
+  ACE_CHECK_NE(4, 5);
+  ACE_CHECK_LT(4, 5);
+  ACE_CHECK_LE(5, 5);
+  ACE_CHECK_GT(5, 4);
+  ACE_CHECK_GE(5, 5);
+}
+
+TEST(CheckMacros, FailureReportsConditionAndMessage) {
+  EXPECT_DEATH(ACE_CHECK(2 > 3) << "peer " << 42 << " broke",
+               "ACE_CHECK failed: 2 > 3.*peer 42 broke");
+}
+
+TEST(CheckMacros, BinaryFailureReportsBothValues) {
+  const int lhs = 7;
+  const int rhs = 9;
+  EXPECT_DEATH(ACE_CHECK_EQ(lhs, rhs), "lhs == rhs \\(7 vs 9\\)");
+  EXPECT_DEATH(ACE_CHECK_GE(lhs, rhs), "lhs >= rhs \\(7 vs 9\\)");
+}
+
+TEST(CheckMacros, FailureNamesTheSourceLocation) {
+  EXPECT_DEATH(ACE_CHECK(false), "test_invariants\\.cpp");
+}
+
+TEST(CheckMacros, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  ACE_CHECK([&] {
+    ++calls;
+    return true;
+  }());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckMacros, DanglingElseSafe) {
+  // Must parse as a single statement under an unbraced if/else.
+  const bool flag = true;
+  if (flag)
+    ACE_CHECK(true);
+  else
+    FAIL() << "ACE_CHECK swallowed the else branch";
+}
+
+TEST(CheckMacros, RuntimeAuditToggleRoundTrips) {
+  const bool before = invariant_audits_enabled();
+  set_invariant_audits(true);
+  EXPECT_TRUE(invariant_audits_enabled());
+  set_invariant_audits(false);
+  EXPECT_FALSE(invariant_audits_enabled());
+  set_invariant_audits(before);
+}
+
+// -------------------------------------------------------------- fixtures --
+
+struct LabFixture {
+  LabFixture() {
+    Rng rng{1234};
+    WaxmanOptions wopts;
+    wopts.nodes = 64;
+    wopts.alpha = 0.6;
+    wopts.beta = 0.4;
+    physical = std::make_unique<PhysicalNetwork>(waxman(wopts, rng));
+    const auto hosts = assign_hosts_uniform(*physical, 32, rng);
+    OverlayOptions oopts;
+    oopts.peers = 32;
+    oopts.mean_degree = 4.0;
+    overlay = std::make_unique<OverlayNetwork>(
+        *physical, random_overlay(oopts, rng), hosts);
+  }
+
+  std::unique_ptr<PhysicalNetwork> physical;
+  std::unique_ptr<OverlayNetwork> overlay;
+};
+
+// -------------------------------------------------------------- auditors --
+
+TEST(InvariantAuditors, HealthyStatePasses) {
+  LabFixture lab;
+  lab.overlay->debug_validate();
+  const LocalClosure closure = build_closure(*lab.overlay, 0, 2);
+  closure.debug_validate(2);
+  const LocalTree tree = build_local_tree(closure);
+  debug_validate_tree(closure, tree);
+
+  CostTableStore store;
+  ProbeOverhead overhead;
+  for (const PeerId p : lab.overlay->online_peers())
+    store.refresh_peer(*lab.overlay, p, overhead);
+  store.debug_validate(*lab.overlay);
+
+  ForwardingTable table;
+  table.ensure_size(lab.overlay->peer_count());
+  table.set_tree(0, make_tree_routing(tree, 0));
+  table.debug_validate(*lab.overlay);
+}
+
+TEST(InvariantAuditorsDeath, ClosureHopBoundBreach) {
+  LabFixture lab;
+  LocalClosure closure = build_closure(*lab.overlay, 0, 2);
+  closure.depth.back() = 9;  // corrupt: member claims depth past the bound
+  EXPECT_DEATH(closure.debug_validate(2), "hop bound");
+}
+
+TEST(InvariantAuditorsDeath, ClosureIndexBijectionBreak) {
+  LabFixture lab;
+  LocalClosure closure = build_closure(*lab.overlay, 0, 1);
+  ASSERT_GE(closure.size(), 2u);
+  // Corrupt: two local ids claim the same global peer.
+  closure.local_index[closure.nodes[1]] = 0;
+  EXPECT_DEATH(closure.debug_validate(1), "local_index");
+}
+
+TEST(InvariantAuditorsDeath, ClosureMisalignedArrays) {
+  LabFixture lab;
+  LocalClosure closure = build_closure(*lab.overlay, 0, 1);
+  closure.depth.pop_back();  // corrupt: depth no longer aligned with nodes
+  EXPECT_DEATH(closure.debug_validate(1), "depth misaligned");
+}
+
+TEST(InvariantAuditorsDeath, CostTableRecordsSelf) {
+  LabFixture lab;
+  CostTableStore store;
+  store.ensure_size(lab.overlay->peer_count());
+  ProbeOverhead overhead;
+  store.refresh_peer(*lab.overlay, 3, overhead);
+  store.table(3).record(3, 1.0);  // corrupt: peer probes itself
+  EXPECT_DEATH(store.debug_validate(*lab.overlay), "recorded itself");
+}
+
+TEST(InvariantAuditorsDeath, CostTableDisagreesWithLiveLink) {
+  LabFixture lab;
+  CostTableStore store;
+  store.ensure_size(lab.overlay->peer_count());
+  ProbeOverhead overhead;
+  store.refresh_peer(*lab.overlay, 3, overhead);
+  const PeerId neighbor = lab.overlay->neighbors(3).front().node;
+  // Corrupt: the recorded probe cost drifts away from the live link cost.
+  store.table(3).record(neighbor, lab.overlay->link_cost(3, neighbor) + 5.0);
+  EXPECT_DEATH(store.debug_validate(*lab.overlay),
+               "disagrees with the live overlay link");
+}
+
+TEST(InvariantAuditorsDeath, CostTableAsymmetry) {
+  LabFixture lab;
+  CostTableStore store;
+  store.ensure_size(lab.overlay->peer_count());
+  // Corrupt: a records b at one cost, b records a at another (and neither
+  // pair is overlay-linked, so only the symmetry rule can object).
+  PeerId a = 0, b = 0;
+  for (PeerId p = 1; p < lab.overlay->peer_count(); ++p) {
+    if (!lab.overlay->are_connected(0, p)) {
+      b = p;
+      break;
+    }
+  }
+  ASSERT_NE(a, b);
+  store.table(a).record(b, 2.0);
+  store.table(b).record(a, 3.0);
+  EXPECT_DEATH(store.debug_validate(*lab.overlay), "asymmetry");
+}
+
+TEST(InvariantAuditorsDeath, TreeWithCycle) {
+  LabFixture lab;
+  const LocalClosure closure = build_closure(*lab.overlay, 0, 2);
+  LocalTree tree = build_local_tree(closure);
+  ASSERT_GE(tree.edges.size(), 2u);
+  tree.edges.push_back(tree.edges.front());  // corrupt: duplicated edge
+  EXPECT_DEATH(debug_validate_tree(closure, tree), "cycle");
+}
+
+TEST(InvariantAuditorsDeath, TreeEdgeEscapesClosure) {
+  LabFixture lab;
+  const LocalClosure closure = build_closure(*lab.overlay, 0, 1);
+  LocalTree tree = build_local_tree(closure);
+  ASSERT_FALSE(tree.edges.empty());
+  tree.edges.front().u = kInvalidPeer;  // corrupt: endpoint outside closure
+  EXPECT_DEATH(debug_validate_tree(closure, tree), "outside the closure");
+}
+
+TEST(InvariantAuditorsDeath, TreeDoubleClassifiesNeighbor) {
+  LabFixture lab;
+  const LocalClosure closure = build_closure(*lab.overlay, 0, 1);
+  LocalTree tree = build_local_tree(closure);
+  ASSERT_FALSE(tree.flooding.empty());
+  // Corrupt: one direct neighbor listed on both sides of the partition.
+  tree.non_flooding.push_back(tree.flooding.front());
+  EXPECT_DEATH(debug_validate_tree(closure, tree),
+               "both flooding and non-flooding");
+}
+
+TEST(InvariantAuditorsDeath, TreeTotalWeightDrift) {
+  LabFixture lab;
+  const LocalClosure closure = build_closure(*lab.overlay, 0, 1);
+  LocalTree tree = build_local_tree(closure);
+  tree.total_weight += 1.0;  // corrupt: cached aggregate out of sync
+  EXPECT_DEATH(debug_validate_tree(closure, tree), "total_weight");
+}
+
+TEST(InvariantAuditorsDeath, ForwardingEntryOutlivesLink) {
+  LabFixture lab;
+  ForwardingTable table;
+  table.ensure_size(lab.overlay->peer_count());
+  // Corrupt: peer 0 would forward to a peer it is not connected to.
+  PeerId stranger = kInvalidPeer;
+  for (PeerId p = 1; p < lab.overlay->peer_count(); ++p) {
+    if (!lab.overlay->are_connected(0, p)) {
+      stranger = p;
+      break;
+    }
+  }
+  ASSERT_NE(stranger, kInvalidPeer);
+  table.set_flooding(0, {stranger});
+  EXPECT_DEATH(table.debug_validate(*lab.overlay), "stale flooding entry");
+}
+
+TEST(InvariantAuditorsDeath, ForwardingEntryForOfflinePeer) {
+  LabFixture lab;
+  ForwardingTable table;
+  table.ensure_size(lab.overlay->peer_count());
+  const PeerId p = 5;
+  const PeerId neighbor = lab.overlay->neighbors(p).front().node;
+  table.set_flooding(p, {neighbor});
+  Rng rng{7};
+  lab.overlay->leave(p, 0, rng);  // departs without invalidating its entry
+  EXPECT_DEATH(table.debug_validate(*lab.overlay),
+               "entry for offline peer");
+}
+
+TEST(InvariantAuditors, EventQueueHealthyStatePasses) {
+  EventQueue queue;
+  queue.schedule(1.0, [] {});
+  const EventId cancelled = queue.schedule(2.0, [] {});
+  queue.schedule(3.0, [] {});
+  queue.cancel(cancelled);
+  queue.debug_validate();
+  queue.run_next();
+  queue.debug_validate();
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(InvariantAuditors, OverlayStaysValidThroughChurnPrimitives) {
+  LabFixture lab;
+  Rng rng{99};
+  for (int round = 0; round < 10; ++round) {
+    const PeerId victim = lab.overlay->random_online_peer(rng);
+    lab.overlay->leave(victim, 2, rng);
+    lab.overlay->debug_validate();
+    lab.overlay->join(victim, 4, rng);
+    lab.overlay->debug_validate();
+  }
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,52 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ace {
+namespace {
+
+TEST(Logging, ParseKnownNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+}
+
+TEST(Logging, NameRoundTripsThroughParse) {
+  for (const LogLevel level : {LogLevel::kDebug, LogLevel::kInfo,
+                               LogLevel::kWarn, LogLevel::kError,
+                               LogLevel::kOff}) {
+    EXPECT_EQ(parse_log_level(log_level_name(level)), level);
+  }
+}
+
+TEST(Logging, RejectsUnknownNames) {
+  EXPECT_THROW(parse_log_level(""), std::invalid_argument);
+  EXPECT_THROW(parse_log_level("verbose"), std::invalid_argument);
+  EXPECT_THROW(parse_log_level("WARN"), std::invalid_argument);
+  EXPECT_THROW(parse_log_level("warn "), std::invalid_argument);
+}
+
+TEST(Logging, UnknownNameErrorIsActionable) {
+  try {
+    parse_log_level("chatty");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("chatty"), std::string::npos);
+    EXPECT_NE(what.find("debug|info|warn|error|off"), std::string::npos);
+  }
+}
+
+TEST(Logging, ThresholdRoundTrip) {
+  const LogLevel before = log_threshold();
+  set_log_threshold(LogLevel::kError);
+  EXPECT_EQ(log_threshold(), LogLevel::kError);
+  set_log_threshold(before);
+}
+
+}  // namespace
+}  // namespace ace

@@ -60,7 +60,9 @@ TEST_P(QueryProperty, FloodingReachesWholeConnectedOverlay) {
 
 TEST_P(QueryProperty, ScopeMonotoneInTtl) {
   std::size_t previous = 0;
-  for (const std::uint8_t ttl : {1, 2, 3, 5, 8}) {
+  for (const std::uint8_t ttl : {std::uint8_t{1}, std::uint8_t{2},
+                                 std::uint8_t{3}, std::uint8_t{5},
+                                 std::uint8_t{8}}) {
     QueryOptions options;
     options.ttl = ttl;
     const QueryResult r =
