@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
                    optimization_rate(digest_sweep[i], 2.0),
                    optimization_rate(full_sweep[i], 2.0)});
   }
+  stamp_provenance(table, scale);
   table.print(std::cout, csv_path(scale, "ablation_overhead"));
   std::printf("\nExpected: both models agree at h=1; full propagation blows "
               "up with the closure size, pushing the rate-=1 crossover to "

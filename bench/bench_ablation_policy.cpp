@@ -81,6 +81,7 @@ int main(int argc, char** argv) {
                    static_cast<std::int64_t>(o.cuts),
                    static_cast<std::int64_t>(o.adds)});
   }
+  stamp_provenance(table, scale);
   table.print(std::cout, csv_path(scale, "ablation_policy"));
   std::printf("\nExpected: closest converges deepest but spends the most "
               "probes; naive is cheap but weaker; the keep-rule preserves "

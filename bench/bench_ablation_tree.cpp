@@ -61,6 +61,7 @@ int main(int argc, char** argv) {
     table.add_row({degree, std::string{"SPT"}, spt.traffic, spt.response,
                    spt.scope});
   }
+  stamp_provenance(table, scale);
   table.print(std::cout, csv_path(scale, "ablation_tree"));
   std::printf(
       "\nFinding: the paper's MST choice is essential. A shortest-path tree "

@@ -168,6 +168,7 @@ int main(int argc, char** argv) {
                    100 * (1 - row.stats.mean_response_time() / base_response),
                    row.stats.mean_scope(), row.overhead_per_round});
   }
+  stamp_provenance(table, scale);
   table.print(std::cout, csv_path(scale, "baseline_comparison"));
   std::printf("\nNote the landmark row's scope column: coordinate clustering "
               "can shrink the reachable set, the paper's main argument "

@@ -84,6 +84,7 @@ int main(int argc, char** argv) {
          100 * (1 - row.result.overall.mean_response_time() / base_response),
          static_cast<std::int64_t>(row.result.cache_hits)});
   }
+  stamp_provenance(table, scale);
   table.print(std::cout, csv_path(scale, "cache_combo"));
   std::printf("\nPaper: ACE + 20-item cache cuts ~75%% of traffic and ~70%% "
               "of response time vs the Gnutella-like baseline.\n");

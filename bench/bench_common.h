@@ -61,6 +61,23 @@ inline std::string csv_path(const BenchScale& scale, const std::string& name) {
   return scale.out_dir + "/" + name + ".csv";
 }
 
+// FNV digest of the knobs that shape the run — stamped into CSV provenance
+// so a figure file can be matched to the exact configuration behind it.
+inline std::uint64_t scale_digest(const BenchScale& scale) {
+  Fnv1a digest;
+  digest.update(static_cast<std::uint64_t>(scale.physical_nodes));
+  digest.update(static_cast<std::uint64_t>(scale.peers));
+  digest.update(static_cast<std::uint64_t>(scale.queries));
+  digest.update(static_cast<std::uint64_t>(scale.rounds));
+  return digest.value();
+}
+
+// Attaches `# git/build-type/seed/config-digest` comment lines to the
+// table's CSV output. Call once per TableWriter before print().
+inline void stamp_provenance(TableWriter& table, const BenchScale& scale) {
+  table.set_provenance(run_provenance(scale.seed, scale_digest(scale)));
+}
+
 inline void print_header(const std::string& what, const BenchScale& scale) {
   std::printf(
       "# %s\n# physical=%zu hosts, peers=%zu, queries/cell=%zu, "

@@ -51,6 +51,8 @@ int main(int argc, char** argv) {
     fig8.add_row(std::move(response_row));
   }
 
+  stamp_provenance(fig7, scale);
+  stamp_provenance(fig8, scale);
   fig7.print(std::cout, csv_path(scale, "fig07_traffic_vs_steps"));
   std::printf("\n");
   fig8.print(std::cout, csv_path(scale, "fig08_response_vs_steps"));

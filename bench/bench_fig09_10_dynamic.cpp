@@ -63,6 +63,7 @@ int main(int argc, char** argv) {
                   a.queries ? a.overhead / static_cast<double>(a.queries)
                             : 0.0});
   }
+  stamp_provenance(fig9, scale);
   fig9.print(std::cout, csv_path(scale, "fig09_dynamic_traffic"));
   std::printf("\n");
 
@@ -74,6 +75,7 @@ int main(int argc, char** argv) {
                    gnutella.buckets[i].mean_response_time,
                    ace.buckets[i].mean_response_time});
   }
+  stamp_provenance(fig10, scale);
   fig10.print(std::cout, csv_path(scale, "fig10_dynamic_response"));
 
   const double traffic_cut =

@@ -54,6 +54,8 @@ int main(int argc, char** argv) {
     fig11.add_row(std::move(row11));
     fig12.add_row(std::move(row12));
   }
+  stamp_provenance(fig11, scale);
+  stamp_provenance(fig12, scale);
   fig11.print(std::cout, csv_path(scale, "fig11_reduction_vs_depth"));
   std::printf("\n");
   fig12.print(std::cout, csv_path(scale, "fig12_overhead_vs_depth"));
@@ -70,6 +72,7 @@ int main(int argc, char** argv) {
                    s.overhead_per_round});
     }
   }
+  stamp_provenance(raw, scale);
   raw.print(std::cout, csv_path(scale, "fig11_12_raw"));
   return 0;
 }

@@ -14,7 +14,7 @@ namespace {
 using namespace ace;
 using namespace ace::bench;
 
-void fig_rate_vs_h(const std::string& title,
+void fig_rate_vs_h(const std::string& title, const BenchScale& scale,
                    const std::vector<DepthSample>& sweep,
                    std::span<const double> ratios, const std::string& csv) {
   std::vector<std::string> columns{"h"};
@@ -26,11 +26,12 @@ void fig_rate_vs_h(const std::string& title,
     for (const double r : ratios) row.emplace_back(optimization_rate(s, r));
     table.add_row(std::move(row));
   }
+  stamp_provenance(table, scale);
   table.print(std::cout, csv);
   std::printf("\n");
 }
 
-void fig_rate_vs_r(const std::string& title,
+void fig_rate_vs_r(const std::string& title, const BenchScale& scale,
                    const std::vector<DepthSample>& sweep,
                    std::span<const double> ratios, const std::string& csv) {
   std::vector<std::string> columns{"R"};
@@ -44,6 +45,7 @@ void fig_rate_vs_r(const std::string& title,
       row.emplace_back(optimization_rate(s, r));
     table.add_row(std::move(row));
   }
+  stamp_provenance(table, scale);
   table.print(std::cout, csv);
   std::printf("\n");
 }
@@ -82,15 +84,15 @@ int main(int argc, char** argv) {
                                         scale.queries);
 
   const std::vector<double> h_ratios{1.0, 1.2, 1.4, 1.6, 1.8, 2.0};
-  fig_rate_vs_h("Figure 13: optimization rate vs. h (C=10)", sweep_c10,
+  fig_rate_vs_h("Figure 13: optimization rate vs. h (C=10)", scale, sweep_c10,
                 h_ratios, csv_path(scale, "fig13_rate_vs_h_c10"));
-  fig_rate_vs_h("Figure 14: optimization rate vs. h (C=4)", sweep_c4,
+  fig_rate_vs_h("Figure 14: optimization rate vs. h (C=4)", scale, sweep_c4,
                 h_ratios, csv_path(scale, "fig14_rate_vs_h_c4"));
 
   const std::vector<double> r_ratios{0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0};
-  fig_rate_vs_r("Figure 15: optimization rate vs. R (C=10)", sweep_c10,
+  fig_rate_vs_r("Figure 15: optimization rate vs. R (C=10)", scale, sweep_c10,
                 r_ratios, csv_path(scale, "fig15_rate_vs_r_c10"));
-  fig_rate_vs_r("Figure 16: optimization rate vs. R (C=4)", sweep_c4,
+  fig_rate_vs_r("Figure 16: optimization rate vs. R (C=4)", scale, sweep_c4,
                 r_ratios, csv_path(scale, "fig16_rate_vs_r_c4"));
 
   std::printf("Minimal h for optimization rate >= 1 (0 = never):\n");

@@ -83,6 +83,7 @@ void emit(const Example& ex, const std::string& title,
     else
       reached.insert(s.to);
   }
+  table.set_provenance(build_provenance());
   table.print(std::cout, csv);
   std::printf("total cost = %.0f   unnecessary (duplicate) messages = %zu   "
               "peers reached = %zu of 4\n\n",

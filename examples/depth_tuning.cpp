@@ -16,9 +16,10 @@ int main(int argc, char** argv) {
   const Options options{argc, argv};
   if (options.help_requested()) {
     std::printf("depth_tuning [--ratio=R] [--mean-degree=C] [--peers=N] "
-                "[--max-depth=N] [--seed=N]\n");
+                "[--max-depth=N] [--seed=N] [--digest-out=FILE]\n");
     return 0;
   }
+  const std::string digest_out = options.get_string("digest-out", "");
 
   const double ratio = options.get_double("ratio", 1.5);
   ScenarioConfig scenario;
@@ -35,7 +36,10 @@ int main(int argc, char** argv) {
 
   std::vector<std::uint32_t> depths;
   for (std::uint32_t h = 1; h <= max_depth; ++h) depths.push_back(h);
-  const auto sweep = run_depth_sweep(scenario, AceConfig{}, depths, 8, 60);
+  DigestTrace trace;
+  const auto sweep =
+      run_depth_sweep(scenario, AceConfig{}, depths, 8, 60,
+                      digest_out.empty() ? nullptr : &trace);
 
   TableWriter table{"Depth sweep",
                     {"h", "traffic reduction %", "overhead/round",
@@ -59,6 +63,16 @@ int main(int argc, char** argv) {
     std::printf("\nRecommendation: h = %u (smallest depth with gain/penalty "
                 ">= 1 at R=%.2f).\n",
                 best, ratio);
+  }
+
+  if (!digest_out.empty()) {
+    if (!trace.write(digest_out)) {
+      std::fprintf(stderr, "cannot write digest trace to %s\n",
+                   digest_out.c_str());
+      return 1;
+    }
+    std::printf("digest trace: %zu rows -> %s\n", trace.rows(),
+                digest_out.c_str());
   }
   return 0;
 }

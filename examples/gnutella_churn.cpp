@@ -7,6 +7,7 @@
 //
 //   $ ./gnutella_churn [--peers=N] [--duration=SECONDS] [--seed=N]
 #include <cstdio>
+#include <fstream>
 
 #include "ace/p2p_lab.h"
 
@@ -15,9 +16,10 @@ int main(int argc, char** argv) {
   const Options options{argc, argv};
   if (options.help_requested()) {
     std::printf("gnutella_churn [--peers=N] [--phys-nodes=N] "
-                "[--duration=SECONDS] [--seed=N]\n");
+                "[--duration=SECONDS] [--seed=N] [--digest-out=FILE]\n");
     return 0;
   }
+  const std::string digest_out = options.get_string("digest-out", "");
 
   DynamicConfig config;
   config.scenario.physical_nodes =
@@ -40,6 +42,14 @@ int main(int argc, char** argv) {
 
   DynamicConfig baseline = config;
   baseline.enable_ace = false;
+  // Phase-boundary digest traces for reproducibility checking
+  // (tools/determinism_check.py diffs the --digest-out files of two runs).
+  DigestTrace baseline_trace;
+  DigestTrace ace_trace;
+  if (!digest_out.empty()) {
+    baseline.digest_trace = &baseline_trace;
+    config.digest_trace = &ace_trace;
+  }
   const DynamicResult gnutella = run_dynamic(baseline);
   const DynamicResult ace = run_dynamic(config);
 
@@ -64,5 +74,18 @@ int main(int argc, char** argv) {
                              gnutella.overall.mean_traffic()),
               100 * (1 - ace.overall.mean_response_time() /
                              gnutella.overall.mean_response_time()));
+
+  if (!digest_out.empty()) {
+    std::ofstream file{digest_out};
+    if (!file) {
+      std::fprintf(stderr, "cannot write digest trace to %s\n",
+                   digest_out.c_str());
+      return 1;
+    }
+    file << "# baseline\n" << baseline_trace.csv()
+         << "# ace\n" << ace_trace.csv();
+    std::printf("digest trace: %zu rows -> %s\n",
+                baseline_trace.rows() + ace_trace.rows(), digest_out.c_str());
+  }
   return 0;
 }

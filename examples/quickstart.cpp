@@ -18,9 +18,14 @@ int main(int argc, char** argv) {
   const Options options{argc, argv};
   if (options.help_requested()) {
     std::printf(
-        "quickstart [--peers=N] [--phys-nodes=N] [--rounds=N] [--seed=N]\n");
+        "quickstart [--peers=N] [--phys-nodes=N] [--rounds=N] [--seed=N] "
+        "[--digest-out=FILE]\n");
     return 0;
   }
+  // --digest-out: write the per-round StateDigest trace for reproducibility
+  // checks (tools/determinism_check.py runs the example twice and diffs).
+  const std::string digest_out = options.get_string("digest-out", "");
+  DigestTrace trace;
 
   // 1. The substrate: a 1024-host physical Internet (Barabasi-Albert, the
   //    BRITE model the paper uses), 256 peers attached to random hosts,
@@ -57,6 +62,8 @@ int main(int argc, char** argv) {
                 "overhead %.0f\n",
                 r, report.phase3.cuts, report.phase3.adds,
                 report.establishments, report.total_overhead());
+    if (!digest_out.empty())
+      trace.record("round-" + std::to_string(r), engine.state_digest());
   }
 
   // 4. Measure again with tree routing over the optimized overlay.
@@ -71,5 +78,16 @@ int main(int argc, char** argv) {
               100 * (1 - after.mean_response_time() /
                              before.mean_response_time()),
               100 * after.mean_scope() / before.mean_scope());
+
+  if (!digest_out.empty()) {
+    trace.record("end", engine.state_digest());
+    if (!trace.write(digest_out)) {
+      std::fprintf(stderr, "cannot write digest trace to %s\n",
+                   digest_out.c_str());
+      return 1;
+    }
+    std::printf("digest trace   : %zu rows -> %s\n", trace.rows(),
+                digest_out.c_str());
+  }
   return 0;
 }

@@ -41,6 +41,8 @@ struct LocalClosure {
   // requested).
   Graph local;
   // Reverse map: global peer id -> local index.
+  // ace-lint: allow(unordered-container): keyed lookup only (to_local);
+  // closure members are enumerated via the `nodes` vector, never this map.
   std::unordered_map<PeerId, NodeId> local_index;
   // Local-id pairs that exist only as probed costs, not as overlay links
   // (empty under ClosureEdges::kOverlayOnly). Sorted pairs (a < b).

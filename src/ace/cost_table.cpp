@@ -116,4 +116,18 @@ Weight CostTableStore::known_cost(PeerId a, PeerId b) const {
   return kUnreachable;
 }
 
+void CostTableStore::digest_into(Fnv1a& digest) const {
+  digest.update(static_cast<std::uint64_t>(tables_.size()));
+  for (const NeighborCostTable& table : tables_) {
+    UnorderedDigest entries;
+    for (const CostEntry& e : table.entries()) {
+      Fnv1a entry;
+      entry.update(e.neighbor);
+      entry.update_double(e.cost);
+      entries.add(entry.value());
+    }
+    digest.update(entries.value());
+  }
+}
+
 }  // namespace ace

@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstddef>
-#include <unordered_map>
 #include <vector>
 
 #include "overlay/overlay_network.h"
@@ -80,6 +79,11 @@ class CostTableStore {
   // cost matches it (probes copy the link weight, which is the constant
   // physical delay, so drift here means corruption — not churn).
   void debug_validate(const OverlayNetwork& overlay) const;
+
+  // Digest of every stored table. Entry order within one table follows the
+  // neighbor list at refresh time (history-dependent), so entries are
+  // hashed order-insensitively; tables are chained in peer order.
+  void digest_into(Fnv1a& digest) const;
 
  private:
   MessageSizing sizing_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/simulator.h"
 #include "util/check.h"
 
 namespace ace {
@@ -269,6 +270,31 @@ void AceEngine::on_peer_leave(PeerId peer,
   forwarding_.ensure_size(overlay_->peer_count());
   forwarding_.invalidate(peer);
   for (const PeerId q : former_neighbors) forwarding_.invalidate(q);
+}
+
+StateDigest AceEngine::state_digest(const Simulator* sim) const {
+  StateDigest snapshot;
+  {
+    Fnv1a d;
+    overlay_->digest_into(d);
+    snapshot.add("overlay-adjacency", d.value());
+  }
+  {
+    Fnv1a d;
+    tables_.digest_into(d);
+    snapshot.add("cost-tables", d.value());
+  }
+  {
+    Fnv1a d;
+    forwarding_.digest_into(d);
+    snapshot.add("forwarding-trees", d.value());
+  }
+  if (sim != nullptr) {
+    Fnv1a d;
+    sim->digest_into(d);
+    snapshot.add("event-queue", d.value());
+  }
+  return snapshot;
 }
 
 }  // namespace ace

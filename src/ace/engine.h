@@ -24,6 +24,8 @@
 
 namespace ace {
 
+class Simulator;
+
 // How the h-hop table-propagation overhead is priced (DESIGN.md §3).
 enum class OverheadModel : std::uint8_t {
   // Each extra closure level costs one more digest exchange with direct
@@ -118,6 +120,13 @@ class AceEngine {
 
   // Cumulative overhead across all steps so far.
   const RoundReport& lifetime_report() const noexcept { return lifetime_; }
+
+  // Snapshot digest of every protocol-visible state component, taken at
+  // phase/round boundaries. Components are named so a mismatch between two
+  // runs identifies the first diverging subsystem (see
+  // first_divergence()). Pass the driving simulator to include the pending
+  // event timeline; null skips that component (static experiments).
+  StateDigest state_digest(const Simulator* sim = nullptr) const;
 
  private:
   // Charges the h-hop table-propagation overhead for `peer`'s closure

@@ -33,7 +33,9 @@
 #include "search/flooding.h"
 #include "search/metrics.h"
 #include "sim/simulator.h"
+#include "util/digest.h"
 #include "util/options.h"
+#include "util/provenance.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"

@@ -166,28 +166,51 @@ TreeRouting make_tree_routing(const LocalTree& tree, PeerId source) {
   routing.flooding = tree.flooding;
   if (tree.edges.empty()) return routing;
 
-  // Adjacency over the tree edges, then BFS from the source to orient.
-  std::unordered_map<PeerId, std::vector<PeerId>> adjacency;
+  // Index the tree's members: sorted unique peer ids, looked up by binary
+  // search. No hash map anywhere on this path, so the routing structure is
+  // a pure function of the edge set — identical across runs and platforms.
+  std::vector<PeerId> members;
+  members.reserve(2 * tree.edges.size() + 1);
+  members.push_back(source);
   for (const Edge& e : tree.edges) {
-    adjacency[static_cast<PeerId>(e.u)].push_back(static_cast<PeerId>(e.v));
-    adjacency[static_cast<PeerId>(e.v)].push_back(static_cast<PeerId>(e.u));
+    members.push_back(static_cast<PeerId>(e.u));
+    members.push_back(static_cast<PeerId>(e.v));
   }
-  std::unordered_map<PeerId, PeerId> parent;
-  parent.emplace(source, kInvalidPeer);
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  const auto index_of = [&members](PeerId p) {
+    return static_cast<std::size_t>(
+        std::lower_bound(members.begin(), members.end(), p) - members.begin());
+  };
+
+  // Adjacency over the tree edges, then BFS from the source to orient.
+  std::vector<std::vector<PeerId>> adjacency(members.size());
+  for (const Edge& e : tree.edges) {
+    adjacency[index_of(static_cast<PeerId>(e.u))].push_back(
+        static_cast<PeerId>(e.v));
+    adjacency[index_of(static_cast<PeerId>(e.v))].push_back(
+        static_cast<PeerId>(e.u));
+  }
+  std::vector<bool> seen(members.size(), false);
+  seen[index_of(source)] = true;
   std::queue<PeerId> queue;
   queue.push(source);
   while (!queue.empty()) {
     const PeerId u = queue.front();
     queue.pop();
-    const auto it = adjacency.find(u);
-    if (it == adjacency.end()) continue;
-    for (const PeerId v : it->second) {
-      if (parent.contains(v)) continue;
-      parent.emplace(v, u);
-      routing.children[u].push_back(v);
+    std::vector<PeerId> kids;
+    for (const PeerId v : adjacency[index_of(u)]) {
+      const std::size_t vi = index_of(v);
+      if (seen[vi]) continue;
+      seen[vi] = true;
+      kids.push_back(v);
       queue.push(v);
     }
+    if (!kids.empty()) routing.children.emplace_back(u, std::move(kids));
   }
+  // BFS emits relays in dequeue order; find_children needs key order.
+  std::sort(routing.children.begin(), routing.children.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   return routing;
 }
 

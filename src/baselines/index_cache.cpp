@@ -88,6 +88,8 @@ void IndexCacheLayer::learn_from(const QueryResult& result, ObjectId object) {
     if (target != kInvalidPeer) holder = target;
   }
   // Walk the inverse path responder -> source via the recorded parents.
+  // ace-lint: allow(unordered-container): keyed lookup only — the walk
+  // follows parent pointers one by one; the map is never iterated.
   std::unordered_map<PeerId, PeerId> parent;
   parent.reserve(result.visit_parents.size());
   for (const auto& [peer, from] : result.visit_parents)

@@ -44,6 +44,8 @@ class LruIndexCache {
   };
   std::size_t capacity_;
   std::list<Entry> lru_;  // front = most recent
+  // ace-lint: allow(unordered-container): keyed lookup only — eviction
+  // order lives in the LRU list; the map is never iterated.
   std::unordered_map<ObjectId, std::list<Entry>::iterator> map_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;

@@ -134,7 +134,8 @@ std::vector<DepthSample> run_depth_sweep(const ScenarioConfig& base,
                                          const AceConfig& ace,
                                          std::span<const std::uint32_t> depths,
                                          std::size_t rounds,
-                                         std::size_t queries) {
+                                         std::size_t queries,
+                                         DigestTrace* trace) {
   std::vector<DepthSample> out;
   out.reserve(depths.size());
   for (const std::uint32_t h : depths) {
@@ -157,6 +158,10 @@ std::vector<DepthSample> run_depth_sweep(const ScenarioConfig& base,
     for (std::size_t r = 0; r < rounds; ++r) {
       const RoundReport report = engine.step_round(scenario.rng());
       overhead_total += report.total_overhead();
+      if (trace != nullptr)
+        trace->record("h" + std::to_string(h) + "-round-" +
+                          std::to_string(r + 1),
+                      engine.state_digest());
     }
     sample.overhead_per_round =
         rounds ? overhead_total / static_cast<double>(rounds) : 0;
@@ -192,9 +197,13 @@ double optimization_rate(const DepthSample& sample, double frequency_ratio) {
 DynamicResult run_dynamic(const DynamicConfig& config) {
   Scenario scenario{config.scenario};
   Simulator sim;
-  Rng churn_rng = scenario.rng().fork();
-  Rng query_rng = scenario.rng().fork();
-  Rng ace_rng = scenario.rng().fork();
+  // Named streams keyed on (master seed, component): each component's
+  // sequence is a pure function of the seed, so toggling churn, the cache,
+  // or ACE leaves the others' draws bit-identical (test_determinism pins
+  // this down).
+  Rng churn_rng = Rng::stream(config.scenario.seed, "churn");
+  Rng query_rng = Rng::stream(config.scenario.seed, "workload");
+  Rng ace_rng = Rng::stream(config.scenario.seed, "ace");
 
   AceEngine engine{scenario.overlay(), config.ace};
   std::unique_ptr<IndexCacheLayer> cache;
@@ -233,12 +242,16 @@ DynamicResult run_dynamic(const DynamicConfig& config) {
 
   // ACE optimization rounds (all peers step once per period — equivalent
   // in aggregate to each peer optimizing independently at that rate).
+  std::size_t round_no = 0;
   if (config.enable_ace) {
     sim.every(config.ace_period_s, [&](SimTime t) {
       const RoundReport report = engine.step_round(ace_rng);
       const double overhead = report.total_overhead();
       result.total_overhead += overhead;
       bucket_overhead[bucket_for(t)] += overhead;
+      if (config.digest_trace != nullptr)
+        config.digest_trace->record("round-" + std::to_string(++round_no),
+                                    engine.state_digest(&sim));
     });
   }
 
@@ -265,7 +278,11 @@ DynamicResult run_dynamic(const DynamicConfig& config) {
       }};
   workload.start();
 
+  if (config.digest_trace != nullptr)
+    config.digest_trace->record("start", engine.state_digest(&sim));
   sim.run_until(config.duration_s);
+  if (config.digest_trace != nullptr)
+    config.digest_trace->record("end", engine.state_digest(&sim));
 
   result.joins = churn.joins();
   result.leaves = churn.leaves();

@@ -118,12 +118,15 @@ struct DepthSample {
 
 // For each depth: a fresh scenario from `base` (same seed -> identical
 // starting topology) optimized for `rounds` rounds; query traffic measured
-// with `queries` samples before/after.
+// with `queries` samples before/after. When `trace` is set the engine's
+// StateDigest is recorded after every round (label "h<depth>-round-<r>")
+// for reproducibility checking.
 std::vector<DepthSample> run_depth_sweep(const ScenarioConfig& base,
                                          const AceConfig& ace,
                                          std::span<const std::uint32_t> depths,
                                          std::size_t rounds,
-                                         std::size_t queries);
+                                         std::size_t queries,
+                                         DigestTrace* trace = nullptr);
 
 // Optimization rate (paper §4.2): gain/penalty with frequency ratio R =
 // query frequency / cost-info exchange frequency. Over one exchange period
@@ -148,6 +151,12 @@ struct DynamicConfig {
   bool enable_cache = false;
   std::size_t cache_capacity = 20;
   QueryOptions query_options{};
+  // Optional determinism probe: when set, the engine's StateDigest is
+  // recorded here at the start of the run, at every ACE round boundary,
+  // and at the end (labels "start", "round-<n>", "end"). Two runs of the
+  // same config must produce identical traces; the first differing row
+  // names the subsystem that diverged.
+  DigestTrace* digest_trace = nullptr;
 };
 
 struct DynamicBucket {

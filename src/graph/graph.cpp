@@ -170,4 +170,19 @@ double Graph::mean_degree() const noexcept {
          static_cast<double>(adjacency_.size());
 }
 
+void Graph::digest_into(Fnv1a& digest) const {
+  digest.update(static_cast<std::uint64_t>(adjacency_.size()));
+  digest.update(static_cast<std::uint64_t>(edge_count_));
+  for (NodeId u = 0; u < adjacency_.size(); ++u) {
+    UnorderedDigest neighbors;
+    for (const Neighbor& n : adjacency_[u]) {
+      Fnv1a entry;
+      entry.update(n.node);
+      entry.update_double(n.weight);
+      neighbors.add(entry.value());
+    }
+    digest.update(neighbors.value());
+  }
+}
+
 }  // namespace ace

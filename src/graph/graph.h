@@ -9,6 +9,8 @@
 #include <span>
 #include <vector>
 
+#include "util/digest.h"
+
 namespace ace {
 
 using NodeId = std::uint32_t;
@@ -80,6 +82,12 @@ class Graph {
   // weights, no self-loops or duplicate entries, positive weights, and
   // edge_count consistency. O(V + E*d); call at audit points only.
   void debug_validate() const;
+
+  // Structural digest: per-node neighbor sets hashed order-insensitively
+  // (adjacency order is history-dependent after removals), chained in node
+  // order. Two graphs digest equally iff they have the same node count and
+  // edge/weight sets.
+  void digest_into(Fnv1a& digest) const;
 
  private:
   void check_node(NodeId u) const;

@@ -62,6 +62,9 @@ class PhysicalNetwork {
   std::size_t max_cached_rows_;
   // Mutable: the cache is an implementation detail of a logically-const
   // distance query.
+  // ace-lint: allow(unordered-container): keyed lookup only — eviction
+  // follows eviction_order_ (FIFO deque); the map is never iterated, and
+  // cached rows are value-identical to recomputation.
   mutable std::unordered_map<HostId, Row> cache_;
   mutable std::deque<HostId> eviction_order_;
   mutable std::size_t rows_computed_ = 0;

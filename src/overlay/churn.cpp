@@ -6,7 +6,11 @@ namespace ace {
 
 ChurnDriver::ChurnDriver(OverlayNetwork& overlay, Simulator& sim, Rng& rng,
                          ChurnConfig config)
-    : overlay_{&overlay}, sim_{&sim}, rng_{&rng}, config_{config} {
+    : overlay_{&overlay},
+      sim_{&sim},
+      lifetime_rng_{rng.fork()},
+      topology_rng_{rng.fork()},
+      config_{config} {
   if (!(config_.mean_lifetime_s > 0))
     throw std::invalid_argument{"ChurnDriver: mean lifetime must be > 0"};
   for (PeerId p = 0; p < overlay_->peer_count(); ++p)
@@ -15,9 +19,9 @@ ChurnDriver::ChurnDriver(OverlayNetwork& overlay, Simulator& sim, Rng& rng,
 
 double ChurnDriver::draw_lifetime() {
   if (config_.lifetime_variance > 0)
-    return lognormal_mean_var(*rng_, config_.mean_lifetime_s,
+    return lognormal_mean_var(lifetime_rng_, config_.mean_lifetime_s,
                               config_.lifetime_variance);
-  return exponential(*rng_, config_.mean_lifetime_s);
+  return exponential(lifetime_rng_, config_.mean_lifetime_s);
 }
 
 void ChurnDriver::start() {
@@ -32,17 +36,17 @@ void ChurnDriver::schedule_departure(PeerId p) {
 void ChurnDriver::depart(PeerId p) {
   if (!overlay_->is_online(p)) return;  // already gone (defensive)
   const std::vector<PeerId> dropped =
-      overlay_->leave(p, config_.repair_min_degree, *rng_);
+      overlay_->leave(p, config_.repair_min_degree, topology_rng_);
   ++leaves_;
   if (on_leave) on_leave(p, dropped);
   offline_pool_.push_back(p);
 
   // Constant population: one replacement joins immediately.
-  const std::size_t slot = rng_->next_below(offline_pool_.size());
+  const std::size_t slot = topology_rng_.next_below(offline_pool_.size());
   const PeerId fresh = offline_pool_[slot];
   offline_pool_[slot] = offline_pool_.back();
   offline_pool_.pop_back();
-  overlay_->join(fresh, config_.join_degree, *rng_);
+  overlay_->join(fresh, config_.join_degree, topology_rng_);
   ++joins_;
   if (on_join) on_join(fresh);
   schedule_departure(fresh);

@@ -32,8 +32,11 @@ struct ChurnConfig {
 class ChurnDriver {
  public:
   // Every peer in `overlay` participates: online peers get a residual
-  // lifetime now; offline peers form the replacement pool. `overlay`,
-  // `sim`, and `rng` must outlive the driver.
+  // lifetime now; offline peers form the replacement pool. `overlay` and
+  // `sim` must outlive the driver. The driver forks its own internal
+  // streams from `rng` at construction and never touches it again, so
+  // churn activity cannot perturb any other component sharing the source
+  // generator.
   ChurnDriver(OverlayNetwork& overlay, Simulator& sim, Rng& rng,
               ChurnConfig config);
 
@@ -64,7 +67,11 @@ class ChurnDriver {
 
   OverlayNetwork* overlay_;
   Simulator* sim_;
-  Rng* rng_;
+  // Independent owned streams: lifetimes on one, topology choices (join
+  // targets, repair links) on the other — repair decisions cannot shift
+  // the departure schedule.
+  Rng lifetime_rng_;
+  Rng topology_rng_;
   ChurnConfig config_;
   std::vector<PeerId> offline_pool_;
   std::size_t joins_ = 0;

@@ -176,6 +176,16 @@ void OverlayNetwork::debug_validate() const {
   ACE_CHECK_EQ(online, online_count_) << " — online_count out of sync";
 }
 
+void OverlayNetwork::digest_into(Fnv1a& digest) const {
+  digest.update(static_cast<std::uint64_t>(peers_.size()));
+  digest.update(static_cast<std::uint64_t>(online_count_));
+  for (const PeerRecord& peer : peers_) {
+    digest.update(peer.host);
+    digest.update(static_cast<std::uint64_t>(peer.online ? 1 : 0));
+  }
+  logical_.digest_into(digest);
+}
+
 double OverlayNetwork::mean_online_degree() const {
   if (online_count_ == 0) return 0.0;
   std::size_t total = 0;

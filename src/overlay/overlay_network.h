@@ -87,6 +87,11 @@ class OverlayNetwork {
   // links incident to offline peers.
   void debug_validate() const;
 
+  // Digest of the peer table (host attachment, online flags) and the
+  // logical adjacency with link costs — the overlay component of the
+  // engine's phase-boundary StateDigest.
+  void digest_into(Fnv1a& digest) const;
+
  private:
   void check_peer(PeerId p) const;
 

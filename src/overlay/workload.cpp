@@ -53,7 +53,7 @@ QueryWorkload::QueryWorkload(OverlayNetwork& overlay,
     : overlay_{&overlay},
       catalog_{&catalog},
       sim_{&sim},
-      rng_{&rng},
+      rng_{rng.fork()},
       config_{config},
       callback_{std::move(callback)} {
   if (!(config_.queries_per_peer_per_s > 0))
@@ -75,12 +75,12 @@ void QueryWorkload::schedule_next() {
   }
   const double rate =
       config_.queries_per_peer_per_s * static_cast<double>(online);
-  const double gap = exponential(*rng_, 1.0 / rate);
+  const double gap = exponential(rng_, 1.0 / rate);
   sim_->after(gap, [this] {
     if (stopped_) return;
     if (overlay_->online_count() > 0) {
-      const PeerId source = overlay_->random_online_peer(*rng_);
-      const ObjectId object = catalog_->sample_object(*rng_);
+      const PeerId source = overlay_->random_online_peer(rng_);
+      const ObjectId object = catalog_->sample_object(rng_);
       ++issued_;
       callback_(sim_->now(), source, object);
     }

@@ -73,6 +73,10 @@ class QueryWorkload {
   // The callback runs for each query: (time, source peer, object).
   using QueryCallback = std::function<void(SimTime, PeerId, ObjectId)>;
 
+  // Forks its own internal stream from `rng` at construction and never
+  // touches it again: the (time, source, object) query sequence depends
+  // only on the fork point and the online population size, not on what
+  // other components draw from the source generator afterwards.
   QueryWorkload(OverlayNetwork& overlay, const ObjectCatalog& catalog,
                 Simulator& sim, Rng& rng, WorkloadConfig config,
                 QueryCallback callback);
@@ -89,7 +93,7 @@ class QueryWorkload {
   OverlayNetwork* overlay_;
   const ObjectCatalog* catalog_;
   Simulator* sim_;
-  Rng* rng_;
+  Rng rng_;
   WorkloadConfig config_;
   QueryCallback callback_;
   std::size_t issued_ = 0;

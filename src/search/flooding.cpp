@@ -8,6 +8,14 @@
 
 namespace ace {
 
+const std::vector<PeerId>* TreeRouting::find_children(PeerId x) const {
+  const auto it = std::lower_bound(
+      children.begin(), children.end(), x,
+      [](const auto& entry, PeerId key) { return entry.first < key; });
+  if (it == children.end() || it->first != x) return nullptr;
+  return &it->second;
+}
+
 void ForwardingTable::ensure_size(std::size_t peers) {
   if (sets_.size() < peers) {
     sets_.resize(peers);
@@ -81,10 +89,17 @@ void ForwardingTable::debug_validate(const OverlayNetwork& overlay) const {
           << "stale flooding entry: peer " << p
           << " would forward to non-neighbor " << q;
     }
+    // Relay keys must be sorted and unique (find_children binary-searches).
+    const auto& relays = sets_[p].children;
+    for (std::size_t i = 1; i < relays.size(); ++i) {
+      ACE_CHECK_LT(relays[i - 1].first, relays[i].first)
+          << " — relay instructions of peer " << p
+          << " not sorted/unique by relay peer";
+    }
     // Tree property: within one peer's relay instructions, no peer is the
     // child of two parents.
     std::vector<PeerId> children;
-    for (const auto& [node, kids] : sets_[p].children)
+    for (const auto& [node, kids] : relays)
       children.insert(children.end(), kids.begin(), kids.end());
     std::sort(children.begin(), children.end());
     ACE_CHECK(std::adjacent_find(children.begin(), children.end()) ==
@@ -92,6 +107,23 @@ void ForwardingTable::debug_validate(const OverlayNetwork& overlay) const {
         << "peer " << p << "'s relay tree gives a peer two parents";
   }
   ACE_CHECK_EQ(valid, valid_count_) << " — valid_count out of sync";
+}
+
+void ForwardingTable::digest_into(Fnv1a& digest) const {
+  digest.update(static_cast<std::uint64_t>(valid_count_));
+  for (PeerId p = 0; p < valid_.size(); ++p) {
+    if (!valid_[p]) continue;
+    digest.update(p);
+    const TreeRouting& routing = sets_[p];
+    digest.update(static_cast<std::uint64_t>(routing.flooding.size()));
+    for (const PeerId q : routing.flooding) digest.update(q);
+    digest.update(static_cast<std::uint64_t>(routing.children.size()));
+    for (const auto& [node, kids] : routing.children) {
+      digest.update(node);
+      digest.update(static_cast<std::uint64_t>(kids.size()));
+      for (const PeerId q : kids) digest.update(q);
+    }
+  }
 }
 
 std::vector<PeerId> ForwardingTable::non_flooding(
@@ -184,9 +216,8 @@ void forwarding_targets(const OverlayNetwork& overlay, PeerId peer,
   if (tree_owner != kInvalidPeer && tree_owner != peer &&
       table->has_entry(tree_owner)) {
     const TreeRouting& routing = table->tree(tree_owner);
-    if (const auto it = routing.children.find(peer);
-        it != routing.children.end()) {
-      for (const PeerId q : it->second) {
+    if (const auto* kids = routing.find_children(peer)) {
+      for (const PeerId q : *kids) {
         // Tree entries can be stale under churn: forward only over links
         // that still exist.
         if (q != from && overlay.are_connected(peer, q))
@@ -258,9 +289,9 @@ QueryResult run_query(const OverlayNetwork& overlay, PeerId source,
     if (options.ttl != 0 && tx.hops >= options.ttl) return;
     if (!table->has_entry(tx.tree_owner)) return;
     const TreeRouting& routing = table->tree(tx.tree_owner);
-    const auto it = routing.children.find(tx.to);
-    if (it == routing.children.end()) return;
-    for (const PeerId q : it->second) {
+    const auto* kids = routing.find_children(tx.to);
+    if (kids == nullptr) return;
+    for (const PeerId q : *kids) {
       if (q == tx.from || visited[q]) continue;
       if (!overlay.are_connected(tx.to, q)) continue;
       const Weight w = overlay.link_cost(tx.to, q);

@@ -15,7 +15,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "overlay/overlay_network.h"
@@ -32,11 +31,17 @@ namespace ace {
 // node B will forward the message to node C"); peers past the tree's
 // frontier continue with their own trees.
 struct TreeRouting {
-  // children[x] = peers x relays to, within the owner's tree. Nodes
-  // without children are absent.
-  std::unordered_map<PeerId, std::vector<PeerId>> children;
+  // Relay instructions: (peer x, peers x relays to within the owner's
+  // tree), sorted by x, nodes without children absent. A sorted flat
+  // vector instead of a hash map: iteration order is deterministic (the
+  // state digest and auditors walk it), and the hot-path lookup is a
+  // binary search over a cache-friendly array.
+  std::vector<std::pair<PeerId, std::vector<PeerId>>> children;
   // The owner's direct tree children (flooding neighbors), sorted.
   std::vector<PeerId> flooding;
+
+  // Relay children of x within this tree, or nullptr when x has none.
+  const std::vector<PeerId>* find_children(PeerId x) const;
 };
 
 // Per-peer routing trees maintained by the ACE engine. A peer without a
@@ -71,6 +76,11 @@ class ForwardingTable {
   // relay child. (Entries must be invalidated whenever a link incident to
   // the owner is dropped; this catches stale ones.)
   void debug_validate(const OverlayNetwork& overlay) const;
+
+  // Digest of every valid entry (flooding sets and relay instructions) in
+  // peer order — the forwarding-tree component of the engine's
+  // phase-boundary StateDigest.
+  void digest_into(Fnv1a& digest) const;
 
  private:
   std::vector<TreeRouting> sets_;

@@ -67,4 +67,29 @@ void EventQueue::debug_validate() const {
       << " — pending callbacks without a heap entry";
 }
 
+void EventQueue::digest_into(Fnv1a& digest) const {
+  digest.update_double(now_);
+  digest.update(next_id_);
+  digest.update(next_seq_);
+  // Walk a copy of the heap, skipping lazily-cancelled entries; the live
+  // set is hashed order-insensitively so the digest does not depend on the
+  // heap's internal array layout.
+  auto heap = heap_;
+  UnorderedDigest live;
+  std::size_t count = 0;
+  while (!heap.empty()) {
+    const Entry entry = heap.top();
+    heap.pop();
+    if (!pending_.contains(entry.id)) continue;
+    ++count;
+    Fnv1a e;
+    e.update_double(entry.at);
+    e.update(entry.seq);
+    e.update(entry.id);
+    live.add(e.value());
+  }
+  digest.update(static_cast<std::uint64_t>(count));
+  digest.update(live.value());
+}
+
 }  // namespace ace

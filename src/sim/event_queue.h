@@ -10,6 +10,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/digest.h"
+
 namespace ace {
 
 // Simulation time in seconds.
@@ -48,6 +50,13 @@ class EventQueue {
   // heap); call at audit points only.
   void debug_validate() const;
 
+  // Digest of the pending-event set: now(), id/seq counters, and every live
+  // entry's (time, seq, id) triple hashed order-insensitively (heap layout
+  // is an implementation detail; the *set* of scheduled events is the
+  // meaningful state). Callback identity is not hashable — two runs agree
+  // here iff they scheduled the same timeline.
+  void digest_into(Fnv1a& digest) const;
+
  private:
   struct Entry {
     SimTime at;
@@ -65,6 +74,8 @@ class EventQueue {
   void skim();
 
   std::priority_queue<Entry> heap_;
+  // ace-lint: allow(unordered-container): keyed lookup/erase only — firing
+  // order comes from the heap, never from hash iteration.
   std::unordered_map<EventId, Callback> pending_;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;

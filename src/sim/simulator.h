@@ -45,6 +45,9 @@ class Simulator {
 
   std::size_t pending_events() const noexcept { return queue_.size(); }
 
+  // Digest of the pending timeline (see EventQueue::digest_into).
+  void digest_into(Fnv1a& digest) const { queue_.digest_into(digest); }
+
  private:
   struct Periodic {
     SimTime period = 0;

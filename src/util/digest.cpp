@@ -1,0 +1,107 @@
+#include "util/digest.h"
+
+#include <bit>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace ace {
+
+void Fnv1a::update_double(double d) noexcept {
+  if (d == 0.0) d = 0.0;  // collapse -0.0
+  update(std::bit_cast<std::uint64_t>(d));
+}
+
+std::uint64_t UnorderedDigest::value() const noexcept {
+  // splitmix64-style finalization of (sum, xor, count) so that structurally
+  // different multisets with equal sums don't trivially collide.
+  auto mix = [](std::uint64_t z) noexcept {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  return mix(sum_ + 0x9e3779b97f4a7c15ull) ^ mix(xor_) ^ mix(count_);
+}
+
+std::uint64_t StateDigest::combined() const noexcept {
+  Fnv1a h;
+  for (const auto& [name, value] : components) {
+    h.update(name);
+    h.update(value);
+  }
+  return h.value();
+}
+
+std::string digest_hex(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+std::string first_divergence(const StateDigest& a, const StateDigest& b) {
+  const std::size_t shared = std::min(a.components.size(), b.components.size());
+  for (std::size_t i = 0; i < shared; ++i) {
+    if (a.components[i] != b.components[i]) {
+      // A renamed component is itself a divergence; report the expected name.
+      return a.components[i].first;
+    }
+  }
+  if (a.components.size() != b.components.size()) return "component-set";
+  return {};
+}
+
+void check_state_digests_equal(const StateDigest& expected,
+                               const StateDigest& actual) {
+  const std::string diverged = first_divergence(expected, actual);
+  if (diverged.empty()) return;
+  if (diverged == "component-set") {
+    ACE_CHECK_EQ(expected.components.size(), actual.components.size())
+        << " — state digests disagree on the component set itself";
+    return;
+  }
+  std::uint64_t want = 0, got = 0;
+  for (const auto& [name, value] : expected.components)
+    if (name == diverged) want = value;
+  for (const auto& [name, value] : actual.components)
+    if (name == diverged) got = value;
+  ACE_CHECK(false) << "state digest mismatch — first diverging component: "
+                   << diverged << " (expected " << digest_hex(want)
+                   << ", got " << digest_hex(got) << ")";
+}
+
+void DigestTrace::record(std::string_view label, const StateDigest& digest) {
+  for (const auto& [component, value] : digest.components)
+    rows_.push_back({std::string{label}, component, value});
+  rows_.push_back({std::string{label}, "combined", digest.combined()});
+}
+
+void DigestTrace::record(std::string_view label, std::string_view component,
+                         std::uint64_t value) {
+  rows_.push_back({std::string{label}, std::string{component}, value});
+}
+
+std::string DigestTrace::csv() const {
+  std::string out = "label,component,digest\n";
+  for (const Row& row : rows_) {
+    out += row.label;
+    out += ',';
+    out += row.component;
+    out += ',';
+    out += digest_hex(row.value);
+    out += '\n';
+  }
+  return out;
+}
+
+bool DigestTrace::write(const std::string& path) const {
+  std::ofstream file{path};
+  if (!file) return false;
+  file << csv();
+  return static_cast<bool>(file);
+}
+
+}  // namespace ace

@@ -1,0 +1,133 @@
+// State digests for bitwise-reproducible simulation. Every protocol
+// subsystem exposes digest_into(Fnv1a&); the engine combines them into a
+// StateDigest whose named components let a divergence between two runs be
+// attributed to the first subsystem that differs (overlay adjacency, cost
+// tables, forwarding trees, event queue), not just "the run differed".
+//
+// Two hashing modes, chosen per collection:
+//   * order-sensitive  — Fnv1a chaining, for data whose order is meaningful
+//     (BFS discovery order, sorted flooding sets, event pop order);
+//   * order-insensitive — UnorderedDigest commutative accumulation, for data
+//     with set semantics whose in-memory order is history-dependent
+//     (adjacency lists after edge removals, re-probed cost tables).
+//
+// All byte feeding is explicit little-endian, so a digest value is stable
+// across platforms, standard libraries, and ASLR/hash-seed perturbations —
+// which is exactly what tools/determinism_check.py asserts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ace {
+
+// FNV-1a, 64-bit. Not cryptographic — a fast, dependency-free fingerprint
+// with stable cross-platform output.
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ull;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ull;
+
+  void update_byte(std::uint8_t b) noexcept {
+    hash_ = (hash_ ^ b) * kPrime;
+  }
+  // Feeds the 8 bytes of `x` little-endian regardless of host endianness.
+  void update(std::uint64_t x) noexcept {
+    for (int i = 0; i < 8; ++i) update_byte(static_cast<std::uint8_t>(x >> (8 * i)));
+  }
+  void update(std::string_view s) noexcept {
+    for (const char c : s) update_byte(static_cast<std::uint8_t>(c));
+    update(static_cast<std::uint64_t>(s.size()));  // length-delimit
+  }
+  // Hashes the IEEE-754 bit pattern; +0.0 and -0.0 collapse to one value so
+  // algebraically-equal states digest equally.
+  void update_double(double d) noexcept;
+
+  std::uint64_t value() const noexcept { return hash_; }
+
+  static std::uint64_t hash(std::string_view s) noexcept {
+    Fnv1a h;
+    h.update(s);
+    return h.value();
+  }
+
+ private:
+  std::uint64_t hash_ = kOffsetBasis;
+};
+
+// Commutative accumulator: add() element hashes in any order, get one
+// canonical value. Combines sum and xor (either alone is too collision-prone
+// for near-identical multisets) plus the element count.
+class UnorderedDigest {
+ public:
+  void add(std::uint64_t element_hash) noexcept {
+    sum_ += element_hash;
+    xor_ ^= element_hash;
+    ++count_;
+  }
+  std::uint64_t value() const noexcept;
+
+ private:
+  std::uint64_t sum_ = 0;
+  std::uint64_t xor_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+// One run's state fingerprint at a phase boundary: named component digests
+// in a fixed order. Components are compared positionally so a divergence
+// names the first subsystem that differs.
+struct StateDigest {
+  std::vector<std::pair<std::string, std::uint64_t>> components;
+
+  void add(std::string name, std::uint64_t value) {
+    components.emplace_back(std::move(name), value);
+  }
+  // Order-sensitive combination of every component (names included).
+  std::uint64_t combined() const noexcept;
+
+  friend bool operator==(const StateDigest&, const StateDigest&) = default;
+};
+
+// Fixed-width lowercase hex (16 digits), the serialization used by digest
+// traces and golden tests.
+std::string digest_hex(std::uint64_t value);
+
+// Name of the first component whose value (or name) differs, or
+// "component-set" when one digest has components the other lacks. Empty
+// string when the digests are identical.
+std::string first_divergence(const StateDigest& a, const StateDigest& b);
+
+// ACE_CHECK-fatal unless the two digests are identical; the failure message
+// names the first diverging component and both values, so a broken
+// determinism invariant is attributable immediately.
+void check_state_digests_equal(const StateDigest& expected,
+                               const StateDigest& actual);
+
+// Labeled sequence of phase-boundary digests collected over a run, written
+// as CSV (label,component,digest). Two runs of the same seed must produce
+// byte-identical traces; tools/determinism_check.py diffs these files.
+class DigestTrace {
+ public:
+  void record(std::string_view label, const StateDigest& digest);
+  void record(std::string_view label, std::string_view component,
+              std::uint64_t value);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::string csv() const;
+  // Returns false (and logs nothing) when the file cannot be opened.
+  bool write(const std::string& path) const;
+
+ private:
+  struct Row {
+    std::string label;
+    std::string component;
+    std::uint64_t value;
+  };
+  std::vector<Row> rows_;
+};
+
+}  // namespace ace

@@ -1,0 +1,24 @@
+#include "util/provenance.h"
+
+#include "util/build_info.h"
+#include "util/digest.h"
+
+namespace ace {
+
+ProvenanceEntries build_provenance() {
+  return {
+      {"git", ACE_GIT_DESCRIBE},
+      {"build-type", ACE_BUILD_TYPE},
+  };
+}
+
+ProvenanceEntries run_provenance(std::uint64_t seed,
+                                 std::uint64_t config_digest) {
+  ProvenanceEntries entries = build_provenance();
+  entries.emplace_back("seed", std::to_string(seed));
+  if (config_digest != 0)
+    entries.emplace_back("config-digest", digest_hex(config_digest));
+  return entries;
+}
+
+}  // namespace ace

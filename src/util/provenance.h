@@ -1,0 +1,25 @@
+// CSV provenance: every figure CSV the benches emit carries `# key: value`
+// comment lines identifying the exact build (git describe, build type) and
+// run (seed, config digest) that produced it, so any plotted number can be
+// traced back to a reproducible command. See DESIGN.md, "Determinism &
+// Reproducibility".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ace {
+
+using ProvenanceEntries = std::vector<std::pair<std::string, std::string>>;
+
+// Build-level entries: git-describe and build-type (configure-time values).
+ProvenanceEntries build_provenance();
+
+// Build-level entries plus the run's master seed and, when nonzero, the
+// FNV digest of the experiment config that produced the table.
+ProvenanceEntries run_provenance(std::uint64_t seed,
+                                 std::uint64_t config_digest = 0);
+
+}  // namespace ace

@@ -100,6 +100,19 @@ void Rng::jump() noexcept {
 
 Rng Rng::fork() { return Rng{next()}; }
 
+Rng Rng::stream(std::uint64_t master, std::string_view name) {
+  // FNV-1a over the stream name, then splitmix64-mixed with the master
+  // seed. Pure function of (master, name): re-ordering or removing other
+  // streams cannot shift this one.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  std::uint64_t state = master ^ h;
+  return Rng{splitmix64(state)};
+}
+
 std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
   if (k > n) throw std::invalid_argument{"sample_indices: k > n"};
   // Floyd's algorithm: for j in [n-k, n), pick t in [0, j]; insert t or j.

@@ -7,6 +7,7 @@
 #include <limits>
 #include <span>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
 
 namespace ace {
@@ -54,6 +55,13 @@ class Rng {
 
   // Derive an independent child generator (seeded from this stream).
   Rng fork();
+
+  // Named stream derived from a master seed: the stream's state depends
+  // only on (master, name), never on how many draws or forks other
+  // components performed. Components that must not perturb each other
+  // (churn vs. query workload) each take their own named stream, so
+  // enabling one leaves the sequences of the others bit-identical.
+  static Rng stream(std::uint64_t master, std::string_view name);
 
   // Fisher-Yates shuffle of a span.
   template <typename T>

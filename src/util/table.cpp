@@ -21,6 +21,11 @@ void TableWriter::set_precision(int digits) {
   precision_ = digits;
 }
 
+void TableWriter::set_provenance(
+    std::vector<std::pair<std::string, std::string>> entries) {
+  provenance_ = std::move(entries);
+}
+
 void TableWriter::add_row(std::vector<Cell> cells) {
   if (cells.size() != columns_.size())
     throw std::invalid_argument{"TableWriter: row width mismatch"};
@@ -85,6 +90,8 @@ std::string csv_escape(const std::string& field) {
 
 std::string TableWriter::csv() const {
   std::ostringstream out;
+  for (const auto& [key, value] : provenance_)
+    out << "# " << key << ": " << value << '\n';
   for (std::size_t c = 0; c < columns_.size(); ++c)
     out << (c == 0 ? "" : ",") << csv_escape(columns_[c]);
   out << '\n';

@@ -5,6 +5,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -19,6 +20,11 @@ class TableWriter {
 
   // Number of decimal places for double cells (default 2).
   void set_precision(int digits);
+
+  // Provenance entries emitted as `# key: value` comment lines ahead of
+  // the CSV header (see util/provenance.h). ASCII output is unaffected.
+  void set_provenance(
+      std::vector<std::pair<std::string, std::string>> entries);
 
   void add_row(std::vector<Cell> cells);
   std::size_t rows() const noexcept { return rows_.size(); }
@@ -36,6 +42,7 @@ class TableWriter {
 
   std::string title_;
   std::vector<std::string> columns_;
+  std::vector<std::pair<std::string, std::string>> provenance_;
   std::vector<std::vector<Cell>> rows_;
   int precision_ = 2;
 };

@@ -206,10 +206,10 @@ TEST_P(TreeProperty, TreeRoutingChildrenFormAProperTree) {
     EXPECT_EQ(child_count, tree.edges.size());
     // The routing root's children are exactly the flooding set.
     std::set<PeerId> flooding(tree.flooding.begin(), tree.flooding.end());
-    const auto it = routing.children.find(p);
+    const std::vector<PeerId>* root_kids = routing.find_children(p);
     std::set<PeerId> root_children;
-    if (it != routing.children.end())
-      root_children.insert(it->second.begin(), it->second.end());
+    if (root_kids != nullptr)
+      root_children.insert(root_kids->begin(), root_kids->end());
     EXPECT_EQ(root_children, flooding);
   }
 }

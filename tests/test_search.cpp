@@ -266,7 +266,7 @@ TEST(RunQuery, RelayInstructionsHonoredEvenOnDuplicateArrival) {
   ForwardingTable table;
   TreeRouting s_tree;
   s_tree.flooding = {d, x};
-  s_tree.children[x] = {c};
+  s_tree.children.emplace_back(x, std::vector<PeerId>{c});
   table.set_tree(s, std::move(s_tree));
   table.set_flooding(d, {x});  // D relays toward X (fast path)
   table.set_flooding(x, {});   // X's own tree forwards nowhere

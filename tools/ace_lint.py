@@ -1,0 +1,537 @@
+#!/usr/bin/env python3
+"""ace-lint: nondeterminism checker for the ACE simulation codebase.
+
+The simulator's reproducibility contract (DESIGN.md, "Determinism &
+Reproducibility") says a run is a pure function of its config and seed —
+bit-identical across processes, ASLR layouts, and library hash seeds.
+This linter statically rejects the constructs that historically break that
+contract:
+
+  unordered-iter        iteration over std::unordered_map/unordered_set —
+                        visit order depends on hashing/layout, never on the
+                        data; any protocol decision or digest fed from such
+                        a loop silently becomes run-dependent.
+  unordered-container   declaring std::unordered_{map,set} in protocol or
+                        simulation code. Keyed lookup is fine, so this is
+                        allowed with a justification comment; the point is
+                        to force each use to state why iteration order can
+                        never leak out of it.
+  banned-random         rand()/srand()/std::random_device/std::mt19937 —
+                        all randomness must flow through util/rng.h (seeded
+                        xoshiro streams).
+  banned-clock          wall-clock reads (time(), clock(), gettimeofday,
+                        std::chrono::*_clock::now()) — simulation time is
+                        EventQueue::now(); wall time differs per run.
+  pointer-key           std::map/std::set ordered on a pointer key (or
+                        std::less<T*>): iteration order is address order,
+                        i.e. allocator/ASLR order.
+  addr-compare          relational comparison of two addresses-of — same
+                        hazard as pointer-key without the container.
+  float-accum-unordered accumulating a floating-point sum inside an
+                        (allowlisted) unordered iteration: even when the
+                        visit *set* is fixed, FP addition is not
+                        associative, so the sum depends on visit order.
+  bad-allow             an allow-comment with no justification text, or
+                        naming an unknown rule.
+
+Suppression: put, on the flagged line or the line above it,
+
+    // ace-lint: allow(<rule>): <justification>
+
+The justification is mandatory — an empty one is itself an error. An
+allowance covers exactly one source line.
+
+Usage:
+    ace_lint.py [--root DIR] [paths...]   # default paths: src examples
+    ace_lint.py --self-test               # run the embedded fixture suite
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+RULES = {
+    "unordered-iter": "iteration over an unordered container",
+    "unordered-container": "unordered container in protocol/simulation code",
+    "banned-random": "randomness source outside util/rng",
+    "banned-clock": "wall-clock read in simulation code",
+    "pointer-key": "ordered container keyed on a pointer",
+    "addr-compare": "relational comparison of addresses",
+    "float-accum-unordered": "float accumulation inside unordered iteration",
+    "bad-allow": "malformed ace-lint allow comment",
+}
+
+# Paths (relative, '/'-separated) exempt from specific rules.
+BANNED_RANDOM_EXEMPT = ("src/util/rng.h", "src/util/rng.cpp")
+BANNED_CLOCK_EXEMPT = ("src/util/logging.h", "src/util/logging.cpp")
+# Unordered/pointer/float rules guard protocol + simulation code only;
+# tests and benches may iterate however they like for assertions/reporting.
+STRUCTURAL_RULE_PREFIXES = ("src/", "examples/")
+
+ALLOW_RE = re.compile(
+    r"//\s*ace-lint:\s*allow\(([a-z-]+)\)\s*(?::\s*(.*\S))?\s*$")
+
+DECL_UNORDERED_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{()]*?>\s*"
+    r"([A-Za-z_]\w*)\s*[;{=]")
+RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\(\s*[^;()]*?:\s*([A-Za-z_][\w.>\-]*)\s*\)")
+ITER_FOR_RE = re.compile(
+    r"\bfor\s*\(\s*[^;]*=\s*([A-Za-z_]\w*)(?:\.|->)c?begin\s*\(")
+BANNED_RANDOM_RE = re.compile(
+    r"\bstd::random_device\b|\bstd::mt19937(?:_64)?\b|"
+    r"(?<![\w:])s?rand\s*\(")
+BANNED_CLOCK_RE = re.compile(
+    r"\bstd::chrono::(?:system|steady|high_resolution)_clock::now\b|"
+    r"\bgettimeofday\s*\(|(?<![\w:])time\s*\(\s*(?:NULL|nullptr|0|&\w+)?\s*\)|"
+    r"(?<![\w:.])clock\s*\(\s*\)")
+POINTER_KEY_RE = re.compile(
+    r"\bstd::(?:map|set|multimap|multiset)\s*<\s*(?:[\w:]|\s)+\*|"
+    r"\bstd::less\s*<\s*(?:[\w:]|\s)+\*\s*>")
+ADDR_COMPARE_RE = re.compile(
+    r"&\s*[A-Za-z_][\w.\[\]>\-]*\s*(?:<|>|<=|>=)\s*&\s*[A-Za-z_]")
+FLOAT_ACCUM_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\+=")
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class SourceFile:
+    path: str  # repo-relative, '/'-separated
+    raw_lines: list[str]
+    # raw_lines with comments and string/char literals blanked (same length).
+    code_lines: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.code_lines = strip_comments_and_strings(self.raw_lines)
+
+
+def strip_comments_and_strings(lines: list[str]) -> list[str]:
+    """Blanks //, /* */ comments and "..."/'...' literals, keeping layout."""
+    out: list[str] = []
+    in_block = False
+    for line in lines:
+        buf: list[str] = []
+        i, n = 0, len(line)
+        while i < n:
+            ch = line[i]
+            nxt = line[i + 1] if i + 1 < n else ""
+            if in_block:
+                if ch == "*" and nxt == "/":
+                    in_block = False
+                    buf.append("  ")
+                    i += 2
+                else:
+                    buf.append(" ")
+                    i += 1
+            elif ch == "/" and nxt == "/":
+                buf.append(" " * (n - i))
+                break
+            elif ch == "/" and nxt == "*":
+                in_block = True
+                buf.append("  ")
+                i += 2
+            elif ch in "\"'":
+                quote = ch
+                buf.append(" ")
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        buf.append("  ")
+                        i += 2
+                    elif line[i] == quote:
+                        buf.append(" ")
+                        i += 1
+                        break
+                    else:
+                        buf.append(" ")
+                        i += 1
+            else:
+                buf.append(ch)
+                i += 1
+        out.append("".join(buf))
+    return out
+
+
+def parse_allowances(src: SourceFile, findings: list[Finding]):
+    """Maps line number -> set of allowed rules (line and line-after scope)."""
+    allowed: dict[int, set[str]] = {}
+    for idx, line in enumerate(src.raw_lines, start=1):
+        m = ALLOW_RE.search(line)
+        if not m:
+            if "ace-lint:" in line and "allow" in line:
+                findings.append(Finding(
+                    src.path, idx, "bad-allow",
+                    "unparseable ace-lint comment (expected "
+                    "'// ace-lint: allow(<rule>): <justification>')"))
+            continue
+        rule, justification = m.group(1), m.group(2)
+        if rule not in RULES or rule == "bad-allow":
+            findings.append(Finding(
+                src.path, idx, "bad-allow", f"unknown rule '{rule}'"))
+            continue
+        if not justification:
+            findings.append(Finding(
+                src.path, idx, "bad-allow",
+                f"allow({rule}) needs a justification after the colon"))
+            continue
+        # Covers this line and the next source line. Consecutive pure-allow
+        # comment lines chain down to the first non-comment line.
+        target = idx
+        code = src.code_lines[idx - 1].strip()
+        if not code:  # comment-only line: find the next non-blank code line
+            j = idx
+            while j < len(src.code_lines) and not src.code_lines[j].strip():
+                j += 1
+            target = j + 1
+        allowed.setdefault(idx, set()).add(rule)
+        allowed.setdefault(target, set()).add(rule)
+    return allowed
+
+
+def is_allowed(allowed, lineno: int, rule: str) -> bool:
+    return rule in allowed.get(lineno, set())
+
+
+def structural_scope(path: str) -> bool:
+    return path.startswith(STRUCTURAL_RULE_PREFIXES)
+
+
+def collect_unordered_names(src: SourceFile) -> set[str]:
+    names: set[str] = set()
+    text = "\n".join(src.code_lines)
+    for m in DECL_UNORDERED_RE.finditer(text):
+        names.add(m.group(1))
+    return names
+
+
+def float_var_names(src: SourceFile) -> set[str]:
+    names: set[str] = set()
+    decl = re.compile(r"\b(?:double|float)\s+([A-Za-z_]\w*)")
+    for line in src.code_lines:
+        for m in decl.finditer(line):
+            names.add(m.group(1))
+    return names
+
+
+def loop_body_range(src: SourceFile, start_idx: int) -> range:
+    """Line indexes (0-based) of the loop body opened at start_idx."""
+    depth = 0
+    opened = False
+    for j in range(start_idx, min(start_idx + 200, len(src.code_lines))):
+        for ch in src.code_lines[j]:
+            if ch == "{":
+                depth += 1
+                opened = True
+            elif ch == "}":
+                depth -= 1
+                if opened and depth == 0:
+                    return range(start_idx, j + 1)
+        if not opened and j > start_idx:
+            # Braceless single-statement body.
+            return range(start_idx, j + 1)
+    return range(start_idx, min(start_idx + 200, len(src.code_lines)))
+
+
+def lint_source(src: SourceFile) -> list[Finding]:
+    findings: list[Finding] = []
+    allowed = parse_allowances(src, findings)
+    unordered_names = collect_unordered_names(src)
+    floats = float_var_names(src)
+    structural = structural_scope(src.path)
+
+    for idx, code in enumerate(src.code_lines, start=1):
+        if structural:
+            m = DECL_UNORDERED_RE.search(code)
+            if m is None and "std::unordered_" in code and \
+                    re.search(r"\bstd::unordered_\w+\s*<", code):
+                m = re.search(r"\bstd::unordered_\w+\s*<", code)
+            if m and not is_allowed(allowed, idx, "unordered-container"):
+                findings.append(Finding(
+                    src.path, idx, "unordered-container",
+                    "unordered container in protocol/simulation code — "
+                    "justify with "
+                    "'// ace-lint: allow(unordered-container): why "
+                    "iteration order cannot leak'"))
+
+            iter_name = None
+            rm = RANGE_FOR_RE.search(code)
+            if rm:
+                base = re.split(r"\.|->", rm.group(1))[0]
+                last = re.split(r"\.|->", rm.group(1))[-1]
+                if base in unordered_names or last in unordered_names:
+                    iter_name = base
+            im = ITER_FOR_RE.search(code)
+            if im and im.group(1) in unordered_names:
+                iter_name = im.group(1)
+            if iter_name is not None:
+                if not is_allowed(allowed, idx, "unordered-iter"):
+                    findings.append(Finding(
+                        src.path, idx, "unordered-iter",
+                        f"iterating unordered container '{iter_name}' — "
+                        "visit order is hash/layout dependent; iterate a "
+                        "sorted snapshot or an index-keyed vector instead"))
+                # Float accumulation stays an error even under
+                # allow(unordered-iter): the allowance argues the *set*
+                # doesn't leak, but FP sums leak the *order*.
+                for j in loop_body_range(src, idx - 1):
+                    fm = FLOAT_ACCUM_RE.search(src.code_lines[j])
+                    if fm and fm.group(1) in floats and \
+                            not is_allowed(allowed, j + 1,
+                                           "float-accum-unordered"):
+                        findings.append(Finding(
+                            src.path, j + 1, "float-accum-unordered",
+                            f"accumulating float '{fm.group(1)}' inside an "
+                            "unordered iteration — FP addition is not "
+                            "associative, the sum depends on visit order"))
+
+            pm = POINTER_KEY_RE.search(code)
+            if pm and not is_allowed(allowed, idx, "pointer-key"):
+                findings.append(Finding(
+                    src.path, idx, "pointer-key",
+                    "ordered container keyed on a pointer — iteration "
+                    "order is address (ASLR/allocator) order; key on a "
+                    "stable id instead"))
+
+            am = ADDR_COMPARE_RE.search(code)
+            if am and not is_allowed(allowed, idx, "addr-compare"):
+                findings.append(Finding(
+                    src.path, idx, "addr-compare",
+                    "relational comparison of addresses — ordering depends "
+                    "on allocation layout; compare stable ids"))
+
+        if src.path not in BANNED_RANDOM_EXEMPT:
+            bm = BANNED_RANDOM_RE.search(code)
+            if bm and not is_allowed(allowed, idx, "banned-random"):
+                findings.append(Finding(
+                    src.path, idx, "banned-random",
+                    f"'{bm.group(0).strip()}' — all randomness must come "
+                    "from a seeded ace::Rng stream (util/rng.h)"))
+
+        if src.path not in BANNED_CLOCK_EXEMPT:
+            cm = BANNED_CLOCK_RE.search(code)
+            if cm and not is_allowed(allowed, idx, "banned-clock"):
+                findings.append(Finding(
+                    src.path, idx, "banned-clock",
+                    f"'{cm.group(0).strip()}' — wall-clock reads differ "
+                    "per run; use simulation time (EventQueue::now())"))
+
+    return findings
+
+
+def load_file(root: str, rel: str) -> SourceFile:
+    with open(os.path.join(root, rel), encoding="utf-8",
+              errors="replace") as fh:
+        raw = fh.read().splitlines()
+    return SourceFile(path=rel.replace(os.sep, "/"), raw_lines=raw)
+
+
+def iter_sources(root: str, paths: list[str]):
+    exts = (".h", ".hpp", ".cpp", ".cc", ".cxx")
+    for path in paths:
+        full = os.path.join(root, path)
+        if os.path.isfile(full):
+            yield os.path.relpath(full, root)
+            continue
+        if not os.path.isdir(full):
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for dirpath, dirnames, filenames in os.walk(full):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(exts):
+                    yield os.path.relpath(os.path.join(dirpath, name), root)
+
+
+def run_lint(root: str, paths: list[str]) -> int:
+    findings: list[Finding] = []
+    count = 0
+    for rel in iter_sources(root, paths):
+        count += 1
+        findings.extend(lint_source(load_file(root, rel)))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    for f in findings:
+        print(f.render())
+    if findings:
+        print(f"ace-lint: {len(findings)} finding(s) in {count} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"ace-lint: clean ({count} files)", file=sys.stderr)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test fixtures: (name, path, source, expected rule codes).
+# ---------------------------------------------------------------------------
+
+FIXTURES = [
+    ("range_for_over_unordered_map", "src/x/a.cpp", """
+#include <unordered_map>
+// ace-lint: allow(unordered-container): self-test fixture
+std::unordered_map<int, int> table;
+void f() {
+  for (const auto& [k, v] : table) {
+    (void)k;
+  }
+}
+""", ["unordered-iter"]),
+    ("iterator_loop_over_unordered_set", "src/x/b.cpp", """
+#include <unordered_set>
+// ace-lint: allow(unordered-container): self-test fixture
+std::unordered_set<int> seen;
+void f() {
+  for (auto it = seen.begin(); it != seen.end(); ++it) {
+  }
+}
+""", ["unordered-iter"]),
+    ("allowed_iteration_is_clean", "src/x/c.cpp", """
+#include <unordered_map>
+// ace-lint: allow(unordered-container): counts drained into a sorted vector
+std::unordered_map<int, int> counts;
+void f() {
+  // ace-lint: allow(unordered-iter): drained into a vector sorted below
+  for (const auto& [k, v] : counts) {
+  }
+}
+""", []),
+    ("declaration_needs_justification", "src/x/d.h", """
+#include <unordered_map>
+struct S {
+  std::unordered_map<int, int> index_;
+};
+""", ["unordered-container"]),
+    ("allow_without_justification", "src/x/e.h", """
+#include <unordered_map>
+// ace-lint: allow(unordered-container)
+std::unordered_map<int, int> index_;
+""", ["bad-allow", "unordered-container"]),
+    ("allow_unknown_rule", "src/x/f.h", """
+// ace-lint: allow(made-up-rule): whatever
+int x;
+""", ["bad-allow"]),
+    ("rand_banned", "src/x/g.cpp", """
+#include <cstdlib>
+int f() { return rand() % 6; }
+""", ["banned-random"]),
+    ("random_device_banned", "src/x/h.cpp", """
+#include <random>
+std::random_device rd;
+""", ["banned-random"]),
+    ("rng_module_exempt", "src/util/rng.cpp", """
+#include <random>
+std::random_device rd;
+""", []),
+    ("clock_now_banned", "src/x/i.cpp", """
+#include <chrono>
+auto f() { return std::chrono::steady_clock::now(); }
+""", ["banned-clock"]),
+    ("time_null_banned", "src/x/j.cpp", """
+#include <ctime>
+auto f() { return time(nullptr); }
+""", ["banned-clock"]),
+    ("sim_time_methods_fine", "src/x/k.cpp", """
+struct Q { double next_time(); double now(); };
+double f(Q& q) { return q.next_time() + q.now(); }
+""", []),
+    ("pointer_keyed_map", "src/x/l.cpp", """
+#include <map>
+struct Peer;
+std::map<Peer*, int> ranks;
+""", ["pointer-key"]),
+    ("address_comparison", "src/x/m.cpp", """
+bool f(int a, int b) { return &a < &b; }
+""", ["addr-compare"]),
+    ("float_accum_in_allowed_loop", "src/x/n.cpp", """
+#include <unordered_map>
+// ace-lint: allow(unordered-container): self-test fixture
+std::unordered_map<int, double> weights;
+double f() {
+  double total = 0;
+  // ace-lint: allow(unordered-iter): claims the sum is order-free (it isn't)
+  for (const auto& [k, w] : weights) {
+    total += w;
+  }
+  return total;
+}
+""", ["float-accum-unordered"]),
+    ("comments_and_strings_ignored", "src/x/o.cpp", """
+// rand() in a comment, time(NULL) too
+const char* s = "std::random_device inside a string";
+/* std::mt19937 in a block comment */
+int x;
+""", []),
+    ("tests_exempt_from_structural_rules", "tests/t.cpp", """
+#include <unordered_map>
+std::unordered_map<int, int> m;
+void f() {
+  for (const auto& [k, v] : m) {
+  }
+}
+""", []),
+    ("tests_still_banned_random", "tests/u.cpp", """
+#include <random>
+std::mt19937 gen;
+""", ["banned-random"]),
+]
+
+
+def self_test() -> int:
+    failures = 0
+    for name, path, source, expected in FIXTURES:
+        src = SourceFile(path=path, raw_lines=source.splitlines())
+        got = sorted({f.rule for f in lint_source(src)})
+        want = sorted(set(expected))
+        if got != want:
+            failures += 1
+            print(f"FAIL {name}: expected {want}, got {got}", file=sys.stderr)
+            for f in lint_source(src):
+                print(f"  {f.render()}", file=sys.stderr)
+        else:
+            print(f"ok   {name}")
+    if failures:
+        print(f"ace-lint self-test: {failures} failure(s)", file=sys.stderr)
+        return 1
+    print(f"ace-lint self-test: all {len(FIXTURES)} fixtures pass")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files/directories to lint (default: "
+                             "src examples)")
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: parent of tools/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded fixture suite and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    paths = args.paths or ["src", "examples"]
+    try:
+        return run_lint(root, paths)
+    except FileNotFoundError as err:
+        print(f"ace-lint: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

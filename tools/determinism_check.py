@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""determinism_check: assert bitwise-reproducible simulation.
+
+Runs every example binary twice with --digest-out under deliberately
+different process environments — perturbed malloc (MALLOC_PERTURB_),
+shifted environment-block size (changes initial stack layout), and, when
+`setarch` is available, ASLR disabled on one run only — then byte-diffs
+the two digest traces. Any dependence on address layout, hash seeding, or
+allocation order shows up as a trace mismatch, and the first differing row
+names the phase and subsystem that diverged (see util/digest.h).
+
+Usage:
+    determinism_check.py --build-dir BUILD [--keep] [example ...]
+
+Exit status: 0 all traces identical, 1 divergence or run failure, 2 usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+# (example binary, quick-but-representative args). Each must support
+# --digest-out and exercise a distinct slice of the stack: static rounds,
+# churn + workload, depth sweep, cache composition.
+EXAMPLES = {
+    "quickstart": ["--peers=64", "--phys-nodes=256", "--rounds=4",
+                   "--seed=42"],
+    "gnutella_churn": ["--peers=64", "--phys-nodes=256", "--duration=180",
+                       "--seed=7"],
+    "depth_tuning": ["--peers=48", "--phys-nodes=192", "--max-depth=2",
+                     "--seed=11"],
+    "cache_combo": ["--peers=48", "--phys-nodes=192", "--duration=120",
+                    "--seed=5"],
+}
+
+
+def perturbed_env(variant: int) -> dict:
+    """A process environment that shifts heap and stack layout."""
+    env = dict(os.environ)
+    if variant == 0:
+        env.pop("MALLOC_PERTURB_", None)
+        for k in list(env):
+            if k.startswith("ACE_DETCHECK_PAD"):
+                del env[k]
+    else:
+        # Poison freed memory with a different byte and grow the
+        # environment block so argv/envp land at different addresses.
+        env["MALLOC_PERTURB_"] = str(42 + variant)
+        for i in range(16 * variant):
+            env[f"ACE_DETCHECK_PAD{i}"] = "x" * 97
+    return env
+
+
+def run_once(binary: str, args: list, out_path: str, variant: int,
+             disable_aslr: bool) -> int:
+    cmd = [binary, *args, f"--digest-out={out_path}"]
+    if disable_aslr and shutil.which("setarch"):
+        cmd = ["setarch", os.uname().machine, "-R", *cmd]
+    proc = subprocess.run(cmd, env=perturbed_env(variant),
+                          stdout=subprocess.DEVNULL,
+                          stderr=subprocess.PIPE)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr.decode(errors="replace"))
+    return proc.returncode
+
+
+def first_diff(path_a: str, path_b: str):
+    with open(path_a, "rb") as fa, open(path_b, "rb") as fb:
+        a_lines, b_lines = fa.readlines(), fb.readlines()
+    for i, (la, lb) in enumerate(zip(a_lines, b_lines), start=1):
+        if la != lb:
+            return i, la, lb
+    if len(a_lines) != len(b_lines):
+        i = min(len(a_lines), len(b_lines)) + 1
+        la = a_lines[i - 1] if i <= len(a_lines) else b"<missing>"
+        lb = b_lines[i - 1] if i <= len(b_lines) else b"<missing>"
+        return i, la, lb
+    return None
+
+
+def check_example(name: str, build_dir: str, work_dir: str) -> bool:
+    binary = os.path.join(build_dir, "examples", name)
+    if not os.path.exists(binary):
+        print(f"FAIL {name}: binary not found at {binary}", file=sys.stderr)
+        return False
+    args = EXAMPLES[name]
+    trace_a = os.path.join(work_dir, f"{name}.a.csv")
+    trace_b = os.path.join(work_dir, f"{name}.b.csv")
+    if run_once(binary, args, trace_a, variant=0, disable_aslr=False) != 0:
+        print(f"FAIL {name}: run A exited nonzero", file=sys.stderr)
+        return False
+    if run_once(binary, args, trace_b, variant=1, disable_aslr=True) != 0:
+        print(f"FAIL {name}: run B exited nonzero", file=sys.stderr)
+        return False
+    diff = first_diff(trace_a, trace_b)
+    if diff is not None:
+        line, la, lb = diff
+        print(f"FAIL {name}: digest traces diverge at line {line}:",
+              file=sys.stderr)
+        print(f"  run A: {la.decode(errors='replace').rstrip()}",
+              file=sys.stderr)
+        print(f"  run B: {lb.decode(errors='replace').rstrip()}",
+              file=sys.stderr)
+        return False
+    with open(trace_a) as fh:
+        rows = sum(1 for _ in fh)
+    print(f"ok   {name}: {rows} trace rows identical across perturbed runs")
+    return True
+
+
+def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("examples", nargs="*",
+                        help=f"examples to check (default: all of "
+                             f"{', '.join(EXAMPLES)})")
+    parser.add_argument("--build-dir", required=True,
+                        help="CMake build directory holding examples/")
+    parser.add_argument("--keep", action="store_true",
+                        help="keep the digest trace files (prints their dir)")
+    args = parser.parse_args(argv)
+
+    names = args.examples or list(EXAMPLES)
+    for name in names:
+        if name not in EXAMPLES:
+            print(f"unknown example '{name}' (have: {', '.join(EXAMPLES)})",
+                  file=sys.stderr)
+            return 2
+
+    work_dir = tempfile.mkdtemp(prefix="ace-determinism-")
+    try:
+        ok = all([check_example(n, args.build_dir, work_dir) for n in names])
+    finally:
+        if args.keep:
+            print(f"traces kept in {work_dir}")
+        else:
+            shutil.rmtree(work_dir, ignore_errors=True)
+    if ok:
+        print(f"determinism_check: all {len(names)} examples reproducible")
+        return 0
+    print("determinism_check: FAILED", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
