@@ -14,12 +14,14 @@ int main(int argc, char** argv) {
   const Options options{argc, argv};
   if (options.help_requested()) {
     std::printf("cache_combo [--cache-size=N] [--peers=N] [--phys-nodes=N] "
-                "[--duration=SECONDS] [--seed=N] [--digest-out=FILE]\n");
+                "[--duration=SECONDS] [--seed=N] [--transport=ideal|lossy] "
+                "[--loss-rate=P] [--jitter=S] [--digest-out=FILE]\n");
     return 0;
   }
   const std::string digest_out = options.get_string("digest-out", "");
 
   DynamicConfig config;
+  config.transport = transport_config_from_options(options);
   config.scenario.physical_nodes =
       static_cast<std::size_t>(options.get_int("phys-nodes", 1024));
   config.scenario.peers =
@@ -83,7 +85,8 @@ int main(int argc, char** argv) {
               "traffic cost and ~70%% of the response time.\n");
 
   if (!digest_out.empty()) {
-    if (!trace.write(digest_out)) {
+    if (!trace.write(digest_out, transport_provenance(config.scenario.seed,
+                                                      config.transport))) {
       std::fprintf(stderr, "cannot write digest trace to %s\n",
                    digest_out.c_str());
       return 1;

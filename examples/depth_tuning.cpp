@@ -16,10 +16,13 @@ int main(int argc, char** argv) {
   const Options options{argc, argv};
   if (options.help_requested()) {
     std::printf("depth_tuning [--ratio=R] [--mean-degree=C] [--peers=N] "
-                "[--max-depth=N] [--seed=N] [--digest-out=FILE]\n");
+                "[--max-depth=N] [--seed=N] [--transport=ideal|lossy] "
+                "[--loss-rate=P] [--jitter=S] [--digest-out=FILE]\n");
     return 0;
   }
   const std::string digest_out = options.get_string("digest-out", "");
+  const TransportConfig transport_config =
+      transport_config_from_options(options);
 
   const double ratio = options.get_double("ratio", 1.5);
   ScenarioConfig scenario;
@@ -39,12 +42,14 @@ int main(int argc, char** argv) {
   DigestTrace trace;
   const auto sweep =
       run_depth_sweep(scenario, AceConfig{}, depths, 8, 60,
-                      digest_out.empty() ? nullptr : &trace);
+                      digest_out.empty() ? nullptr : &trace,
+                      transport_config);
 
   TableWriter table{"Depth sweep",
                     {"h", "traffic reduction %", "overhead/round",
                      "optimization rate"}};
   table.set_precision(2);
+  table.set_provenance(transport_provenance(scenario.seed, transport_config));
   std::uint32_t best = 0;
   for (const DepthSample& s : sweep) {
     const double rate = optimization_rate(s, ratio);
@@ -66,7 +71,8 @@ int main(int argc, char** argv) {
   }
 
   if (!digest_out.empty()) {
-    if (!trace.write(digest_out)) {
+    if (!trace.write(digest_out,
+                     transport_provenance(scenario.seed, transport_config))) {
       std::fprintf(stderr, "cannot write digest trace to %s\n",
                    digest_out.c_str());
       return 1;

@@ -16,12 +16,14 @@ int main(int argc, char** argv) {
   const Options options{argc, argv};
   if (options.help_requested()) {
     std::printf("gnutella_churn [--peers=N] [--phys-nodes=N] "
-                "[--duration=SECONDS] [--seed=N] [--digest-out=FILE]\n");
+                "[--duration=SECONDS] [--seed=N] [--transport=ideal|lossy] "
+                "[--loss-rate=P] [--jitter=S] [--digest-out=FILE]\n");
     return 0;
   }
   const std::string digest_out = options.get_string("digest-out", "");
 
   DynamicConfig config;
+  config.transport = transport_config_from_options(options);
   config.scenario.physical_nodes =
       static_cast<std::size_t>(options.get_int("phys-nodes", 1024));
   config.scenario.peers =
@@ -66,6 +68,14 @@ int main(int argc, char** argv) {
                 ace.buckets[b].mean_response_time);
   }
 
+  if (config.transport.mode == TransportMode::kLossy) {
+    const TransportStats& ts = ace.transport;
+    std::printf("\ntransport: %zu sent, %zu dropped, %zu retries, "
+                "%zu probe failures, %zu stale tables, %zu failed connects\n",
+                ts.sent, ts.dropped, ts.retries, ts.probe_failures,
+                ts.stale_tables, ts.connects_failed);
+  }
+
   std::printf("\nchurn: %zu departures (population constant at %zu)\n",
               ace.leaves, config.scenario.peers);
   std::printf("overall: traffic -%.0f%%, response -%.0f%% "
@@ -82,6 +92,9 @@ int main(int argc, char** argv) {
                    digest_out.c_str());
       return 1;
     }
+    for (const auto& [key, value] :
+         transport_provenance(config.scenario.seed, config.transport))
+      file << "# " << key << ": " << value << '\n';
     file << "# baseline\n" << baseline_trace.csv()
          << "# ace\n" << ace_trace.csv();
     std::printf("digest trace: %zu rows -> %s\n",

@@ -10,6 +10,7 @@
 //   3. run_query /   — flooding vs tree-routed search, with the paper's
 //      QueryStats      metrics (traffic cost, search scope, response time).
 #include <cstdio>
+#include <memory>
 
 #include "ace/p2p_lab.h"
 
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
   if (options.help_requested()) {
     std::printf(
         "quickstart [--peers=N] [--phys-nodes=N] [--rounds=N] [--seed=N] "
+        "[--transport=ideal|lossy] [--loss-rate=P] [--jitter=S] "
         "[--digest-out=FILE]\n");
     return 0;
   }
@@ -26,6 +28,11 @@ int main(int argc, char** argv) {
   // checks (tools/determinism_check.py runs the example twice and diffs).
   const std::string digest_out = options.get_string("digest-out", "");
   DigestTrace trace;
+  // --transport=lossy routes every ACE probe/exchange/establishment through
+  // the event-driven lossy transport (DESIGN.md §8).
+  const TransportConfig transport_config =
+      transport_config_from_options(options);
+  const bool lossy = transport_config.mode == TransportMode::kLossy;
 
   // 1. The substrate: a 1024-host physical Internet (Barabasi-Albert, the
   //    BRITE model the paper uses), 256 peers attached to random hosts,
@@ -53,17 +60,36 @@ int main(int argc, char** argv) {
   // 3. Run ACE. Each round every peer executes the three phases: probe +
   //    exchange neighbor cost tables, build its local multicast tree, and
   //    adaptively replace far-away non-flooding neighbors with closer ones.
-  AceEngine engine{scenario.overlay(), AceConfig{}};
+  AceConfig ace_config;
+  ace_config.transport = transport_config.mode;
+  AceEngine engine{scenario.overlay(), ace_config};
+  Simulator sim;
+  std::unique_ptr<Transport> wire;
+  if (lossy) {
+    wire = std::make_unique<Transport>(
+        sim, scenario.overlay(), scenario.guids(), transport_config,
+        Rng::stream(config.seed, "transport"));
+    engine.attach_transport(wire.get());
+  }
   const auto rounds =
       static_cast<std::size_t>(options.get_int("rounds", 10));
   for (std::size_t r = 1; r <= rounds; ++r) {
     const RoundReport report = engine.step_round(scenario.rng());
+    if (lossy) sim.run_all();  // drain the round's in-flight deliveries
     std::printf("round %2zu: %3zu cuts, %3zu adds, %3zu links established, "
                 "overhead %.0f\n",
                 r, report.phase3.cuts, report.phase3.adds,
                 report.establishments, report.total_overhead());
     if (!digest_out.empty())
-      trace.record("round-" + std::to_string(r), engine.state_digest());
+      trace.record("round-" + std::to_string(r),
+                   engine.state_digest(lossy ? &sim : nullptr));
+  }
+  if (lossy) {
+    const TransportStats& ts = wire->stats();
+    std::printf("transport: %zu sent, %zu delivered, %zu dropped, "
+                "%zu retries, %zu probe failures, %zu stale tables\n",
+                ts.sent, ts.delivered, ts.dropped, ts.retries,
+                ts.probe_failures, ts.stale_tables);
   }
 
   // 4. Measure again with tree routing over the optimized overlay.
@@ -80,8 +106,9 @@ int main(int argc, char** argv) {
               100 * after.mean_scope() / before.mean_scope());
 
   if (!digest_out.empty()) {
-    trace.record("end", engine.state_digest());
-    if (!trace.write(digest_out)) {
+    trace.record("end", engine.state_digest(lossy ? &sim : nullptr));
+    if (!trace.write(digest_out,
+                     transport_provenance(config.seed, transport_config))) {
       std::fprintf(stderr, "cannot write digest trace to %s\n",
                    digest_out.c_str());
       return 1;

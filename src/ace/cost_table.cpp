@@ -1,8 +1,10 @@
 #include "ace/cost_table.h"
 
+#include <optional>
 #include <stdexcept>
 
 #include "graph/shortest_path.h"
+#include "transport/transport.h"
 #include "util/check.h"
 
 namespace ace {
@@ -67,6 +69,38 @@ void CostTableStore::charge_exchange(const OverlayNetwork& overlay,
     ++overhead.exchanges;
     overhead.exchange_traffic += msg * n.weight;
   }
+}
+
+void CostTableStore::refresh_peer_via(const OverlayNetwork& overlay,
+                                      PeerId peer, Transport& transport,
+                                      ProbeOverhead& overhead) {
+  ensure_size(overlay.peer_count());
+  NeighborCostTable& table = tables_[peer];
+  const NeighborCostTable previous = table;
+  table.clear();
+  for (const auto& n : overlay.neighbors(peer)) {
+    const auto neighbor = static_cast<PeerId>(n.node);
+    ++overhead.probes;
+    const std::optional<Weight> measured =
+        transport.probe(peer, neighbor, overhead.probe_traffic);
+    if (measured.has_value()) {
+      table.record(neighbor, *measured);
+    } else if (previous.contains(neighbor)) {
+      // Every attempt lost: keep what the last successful probe measured.
+      table.record(neighbor, previous.cost_to(neighbor));
+    }
+  }
+  table.bump_version();
+}
+
+void CostTableStore::publish_via(const OverlayNetwork& overlay, PeerId peer,
+                                 Transport& transport,
+                                 ProbeOverhead& overhead) const {
+  if (peer >= tables_.size()) return;
+  const NeighborCostTable& table = tables_[peer];
+  overhead.exchanges += overlay.degree(peer);
+  transport.publish_table(peer, table.version(), table.size(),
+                          overhead.exchange_traffic);
 }
 
 const NeighborCostTable& CostTableStore::table(PeerId peer) const {

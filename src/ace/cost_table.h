@@ -15,6 +15,8 @@
 
 namespace ace {
 
+class Transport;
+
 struct CostEntry {
   PeerId neighbor = kInvalidPeer;
   Weight cost = 0;
@@ -31,8 +33,16 @@ class NeighborCostTable {
   std::size_t size() const noexcept { return entries_.size(); }
   const std::vector<CostEntry>& entries() const noexcept { return entries_; }
 
+  // Monotone refresh counter carried by cost-table messages under the
+  // lossy transport so receivers can reject reordered (stale) updates.
+  // Deliberately NOT part of digest_into: kIdeal never bumps it, and the
+  // table *contents* are what protocol decisions read.
+  std::uint64_t version() const noexcept { return version_; }
+  void bump_version() noexcept { ++version_; }
+
  private:
   std::vector<CostEntry> entries_;
+  std::uint64_t version_ = 0;
 };
 
 // Overhead charged while refreshing cost information; aggregated per round.
@@ -64,6 +74,20 @@ class CostTableStore {
   // sent to each of its neighbors (the paper's periodic exchange).
   void charge_exchange(const OverlayNetwork& overlay, PeerId peer,
                        ProbeOverhead& overhead) const;
+
+  // Lossy-transport variant of refresh_peer: each neighbor is probed
+  // through `transport` (timeouts, retries, loss). A failed probe keeps the
+  // previous refresh's entry when one exists — stale-but-correct beats
+  // absent, and link costs are constant physical delays so a stale entry
+  // for a still-connected neighbor is never wrong. Bumps the table version.
+  void refresh_peer_via(const OverlayNetwork& overlay, PeerId peer,
+                        Transport& transport, ProbeOverhead& overhead);
+
+  // Lossy-transport variant of charge_exchange: pushes `peer`'s versioned
+  // table to each neighbor as real kCostTable messages (receivers reject
+  // reordered stale versions at delivery time).
+  void publish_via(const OverlayNetwork& overlay, PeerId peer,
+                   Transport& transport, ProbeOverhead& overhead) const;
 
   const NeighborCostTable& table(PeerId peer) const;
   NeighborCostTable& table(PeerId peer);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <utility>
 
 #include "sim/simulator.h"
 #include "util/check.h"
@@ -48,6 +50,13 @@ AceEngine::AceEngine(OverlayNetwork& overlay, AceConfig config)
       std::lround(overlay.mean_online_degree()));
 }
 
+bool AceEngine::lossy() const {
+  if (config_.transport != TransportMode::kLossy) return false;
+  ACE_CHECK(transport_ != nullptr)
+      << " — AceEngine: TransportMode::kLossy requires attach_transport()";
+  return true;
+}
+
 void AceEngine::charge_closure(PeerId peer, const LocalClosure& closure,
                                RoundReport& report) const {
   // Account the table entries the source works with either way.
@@ -83,11 +92,18 @@ void AceEngine::charge_closure(PeerId peer, const LocalClosure& closure,
 }
 
 LocalTree AceEngine::refresh_peer_tree(PeerId peer, RoundReport& report) {
-  // Phase 1: probe direct neighbors, exchange tables.
+  // Phase 1: probe direct neighbors, exchange tables. Under the lossy
+  // transport probes can time out (stale entries survive) and the exchange
+  // is real versioned kCostTable messages.
   tables_.ensure_size(overlay_->peer_count());
   forwarding_.ensure_size(overlay_->peer_count());
-  tables_.refresh_peer(*overlay_, peer, report.phase1);
-  tables_.charge_exchange(*overlay_, peer, report.phase1);
+  if (lossy()) {
+    tables_.refresh_peer_via(*overlay_, peer, *transport_, report.phase1);
+    tables_.publish_via(*overlay_, peer, *transport_, report.phase1);
+  } else {
+    tables_.refresh_peer(*overlay_, peer, report.phase1);
+    tables_.charge_exchange(*overlay_, peer, report.phase1);
+  }
 
   // Closure assembly (+ pairwise neighbor probes) and the phase-2 tree.
   const ClosureEdges edges = config_.pairwise_neighbor_probes
@@ -96,13 +112,34 @@ LocalTree AceEngine::refresh_peer_tree(PeerId peer, RoundReport& report) {
   LocalClosure closure =
       build_closure(*overlay_, peer, config_.closure_depth, edges);
   charge_closure(peer, closure, report);
-  const double pair_probe_size =
-      size_factor(config_.sizing, MessageType::kProbe) +
-      size_factor(config_.sizing, MessageType::kProbeReply);
-  for (const auto& [a, b] : closure.probed_pairs) {
-    ++report.pair_probes;
-    report.pair_probe_traffic +=
-        pair_probe_size * closure.local.edge_weight(a, b).value();
+  if (lossy()) {
+    // Pair probes travel the transport; a pair whose probe gives up after
+    // every retry is dropped from the local graph, so the phase-2 MST
+    // ranges over what the peer actually measured this round (loss
+    // degrades the tree instead of silently using unknown costs).
+    std::vector<std::pair<NodeId, NodeId>> surviving;
+    surviving.reserve(closure.probed_pairs.size());
+    for (const auto& [a, b] : closure.probed_pairs) {
+      ++report.pair_probes;
+      const std::optional<Weight> cost =
+          transport_->probe(closure.to_global(a), closure.to_global(b),
+                            report.pair_probe_traffic);
+      if (cost.has_value()) {
+        surviving.emplace_back(a, b);
+      } else {
+        closure.local.remove_edge(a, b);
+      }
+    }
+    closure.probed_pairs = std::move(surviving);
+  } else {
+    const double pair_probe_size =
+        size_factor(config_.sizing, MessageType::kProbe) +
+        size_factor(config_.sizing, MessageType::kProbeReply);
+    for (const auto& [a, b] : closure.probed_pairs) {
+      ++report.pair_probes;
+      report.pair_probe_traffic +=
+          pair_probe_size * closure.local.edge_weight(a, b).value();
+    }
   }
 
   LocalTree tree = build_local_tree(closure, config_.tree_kind);
@@ -128,10 +165,15 @@ LocalTree AceEngine::refresh_peer_tree(PeerId peer, RoundReport& report) {
       if (ceiling != 0 && (overlay_->degree(u) >= ceiling ||
                            overlay_->degree(v) >= ceiling))
         continue;
+      // Lossy: establishment is a real CONNECT/ACK handshake (charged by
+      // the transport, both legs); losing it aborts this edge cleanly.
+      if (lossy() &&
+          !transport_->connect_handshake(u, v, report.establish_traffic))
+        continue;
       if (overlay_->connect(u, v)) {
         ++established;
         ++report.establishments;
-        report.establish_traffic += connect_size * e.weight;
+        if (!lossy()) report.establish_traffic += connect_size * e.weight;
         forwarding_.invalidate(u);
         forwarding_.invalidate(v);
         changed = true;
@@ -168,7 +210,8 @@ void AceEngine::step_peer(PeerId peer, Rng& rng, RoundReport& report) {
   if (config_.phase3_every <= 1 || steps_ % config_.phase3_every == 0) {
     std::vector<PeerId> touched;
     const OptimizeOutcome outcome = optimizer_.optimize_peer(
-        *overlay_, peer, tree.non_flooding, rng, touched);
+        *overlay_, peer, tree.non_flooding, rng, touched,
+        lossy() ? transport_ : nullptr);
     report.phase3.merge(outcome);
     // Any peer whose neighbor set changed has a stale tree; peers rebuild
     // on their own next step, but mark entries invalid so tree routing
@@ -185,10 +228,15 @@ void AceEngine::step_peer(PeerId peer, Rng& rng, RoundReport& report) {
       std::size_t guard = 0;
       while (overlay_->degree(peer) < target_degree_ && guard++ < 20) {
         const PeerId q = overlay_->random_online_peer(rng, peer);
+        if (lossy() &&
+            !transport_->connect_handshake(peer, q,
+                                           report.establish_traffic))
+          continue;
         if (overlay_->connect(peer, q)) {
           ++report.refills;
-          report.establish_traffic +=
-              connect_size * overlay_->link_cost(peer, q);
+          if (!lossy())
+            report.establish_traffic +=
+                connect_size * overlay_->link_cost(peer, q);
           forwarding_.invalidate(q);
           refilled = true;
         }
@@ -293,6 +341,14 @@ StateDigest AceEngine::state_digest(const Simulator* sim) const {
     Fnv1a d;
     sim->digest_into(d);
     snapshot.add("event-queue", d.value());
+  }
+  // Only present when a transport is attached, so kIdeal digests (and the
+  // pinned golden digest) are bit-for-bit what they were before the
+  // transport subsystem existed.
+  if (transport_ != nullptr) {
+    Fnv1a d;
+    transport_->digest_into(d);
+    snapshot.add("transport-inflight", d.value());
   }
   return snapshot;
 }

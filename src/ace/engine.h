@@ -21,6 +21,7 @@
 #include "ace/optimizer.h"
 #include "ace/tree_builder.h"
 #include "search/flooding.h"
+#include "transport/transport.h"
 
 namespace ace {
 
@@ -71,6 +72,11 @@ struct AceConfig {
   std::size_t degree_slack = 2;
   // Phase 3 runs only every `phase3_every` steps (1 = every step).
   std::size_t phase3_every = 1;
+  // kIdeal (default): probes/exchanges/establishments are accounted
+  // analytically and always succeed — the paper-faithful mode, golden
+  // digests depend on it. kLossy: they travel an attached Transport
+  // (attach_transport) and can time out, retry, arrive stale, or fail.
+  TransportMode transport = TransportMode::kIdeal;
 };
 
 // Everything one optimization round cost and changed.
@@ -102,6 +108,14 @@ class AceEngine {
   const AceConfig& config() const noexcept { return config_; }
   const ForwardingTable& forwarding() const noexcept { return forwarding_; }
 
+  // Routes protocol messages through `transport` when the config says
+  // kLossy (required before the first step in that mode; must outlive the
+  // engine). Also adds a "transport-inflight" component to state_digest.
+  void attach_transport(Transport* transport) noexcept {
+    transport_ = transport;
+  }
+  const Transport* transport() const noexcept { return transport_; }
+
   // Runs one full ACE step (phases 1-3) for a single peer.
   void step_peer(PeerId peer, Rng& rng, RoundReport& report);
 
@@ -129,6 +143,10 @@ class AceEngine {
   StateDigest state_digest(const Simulator* sim = nullptr) const;
 
  private:
+  // True when protocol messages travel the lossy transport; ACE_CHECKs
+  // that one is attached.
+  bool lossy() const;
+
   // Charges the h-hop table-propagation overhead for `peer`'s closure
   // under the configured OverheadModel.
   void charge_closure(PeerId peer, const LocalClosure& closure,
@@ -141,6 +159,7 @@ class AceEngine {
 
   OverlayNetwork* overlay_;
   AceConfig config_;
+  Transport* transport_ = nullptr;
   Phase3Optimizer optimizer_;
   CostTableStore tables_;
   ForwardingTable forwarding_;

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <stdexcept>
+
+#include "transport/transport.h"
 
 namespace ace {
 
@@ -32,10 +35,15 @@ Phase3Optimizer::Phase3Optimizer(OptimizerConfig config) : config_{config} {
         "Phase3Optimizer: replacements_per_round must be > 0"};
 }
 
-Weight Phase3Optimizer::probe(const OverlayNetwork& overlay, PeerId a,
-                              PeerId b, OptimizeOutcome& outcome) const {
-  const Weight delay = overlay.peer_delay(a, b);
+std::optional<Weight> Phase3Optimizer::probe(const OverlayNetwork& overlay,
+                                             PeerId a, PeerId b,
+                                             Transport* transport,
+                                             OptimizeOutcome& outcome) const {
   ++outcome.probes;
+  if (transport != nullptr) {
+    return transport->probe(a, b, outcome.probe_traffic);
+  }
+  const Weight delay = overlay.peer_delay(a, b);
   outcome.probe_traffic +=
       (size_factor(config_.sizing, MessageType::kProbe) +
        size_factor(config_.sizing, MessageType::kProbeReply)) *
@@ -145,7 +153,7 @@ void Phase3Optimizer::trim_excess(OverlayNetwork& overlay, PeerId peer,
 OptimizeOutcome Phase3Optimizer::optimize_peer(
     OverlayNetwork& overlay, PeerId peer,
     std::span<const PeerId> non_flooding, Rng& rng,
-    std::vector<PeerId>& touched) {
+    std::vector<PeerId>& touched, Transport* transport) {
   OptimizeOutcome outcome;
   if (!overlay.is_online(peer)) return outcome;
 
@@ -167,8 +175,9 @@ OptimizeOutcome Phase3Optimizer::optimize_peer(
       if (candidates.empty()) break;
       const PeerId pick =
           candidates[rng.next_below(candidates.size())];
-      const Weight c = probe(overlay, peer, pick, outcome);
-      if (c < worst_cost) {
+      const std::optional<Weight> c =
+          probe(overlay, peer, pick, transport, outcome);
+      if (c.has_value() && *c < worst_cost) {
         if (overlay.connect(peer, pick)) {
           ++outcome.adds;
           overlay.disconnect(peer, worst);
@@ -196,15 +205,18 @@ OptimizeOutcome Phase3Optimizer::optimize_peer(
 
     if (config_.policy == ReplacementPolicy::kRandom) {
       const PeerId pick = candidates[rng.next_below(candidates.size())];
-      const Weight c = probe(overlay, peer, pick, outcome);
-      consider_candidate(overlay, peer, b, pick, c, outcome, touched);
+      const std::optional<Weight> c =
+          probe(overlay, peer, pick, transport, outcome);
+      if (c.has_value())
+        consider_candidate(overlay, peer, b, pick, *c, outcome, touched);
     } else {  // kClosest: probe everything, act on the minimum
       PeerId best = kInvalidPeer;
       Weight best_cost = std::numeric_limits<Weight>::infinity();
       for (const PeerId candidate : candidates) {
-        const Weight c = probe(overlay, peer, candidate, outcome);
-        if (c < best_cost) {
-          best_cost = c;
+        const std::optional<Weight> c =
+            probe(overlay, peer, candidate, transport, outcome);
+        if (c.has_value() && *c < best_cost) {
+          best_cost = *c;
           best = candidate;
         }
       }

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 
 #include "overlay/overlay_network.h"
@@ -21,6 +22,8 @@
 #include "util/rng.h"
 
 namespace ace {
+
+class Transport;
 
 enum class ReplacementPolicy : std::uint8_t {
   kRandom,   // probe one random candidate per non-flooding neighbor (paper)
@@ -68,14 +71,21 @@ class Phase3Optimizer {
   // supplied by the engine. Mutates the overlay. Returns what happened so
   // the engine can invalidate forwarding entries and account overhead.
   // `touched` receives the ids of peers whose neighbor lists changed.
+  // With a non-null `transport`, candidate probes travel the lossy
+  // transport (timeouts, retries); a probe that fails after every retry
+  // skips the candidate — the Fig 4(d) "nothing learned" outcome. Null
+  // keeps the analytic always-succeeds accounting bit-for-bit.
   OptimizeOutcome optimize_peer(OverlayNetwork& overlay, PeerId peer,
                                 std::span<const PeerId> non_flooding, Rng& rng,
-                                std::vector<PeerId>& touched);
+                                std::vector<PeerId>& touched,
+                                Transport* transport = nullptr);
 
  private:
-  // Probes the candidate, charging overhead; returns the measured cost.
-  Weight probe(const OverlayNetwork& overlay, PeerId a, PeerId b,
-               OptimizeOutcome& outcome) const;
+  // Probes the candidate, charging overhead; returns the measured cost, or
+  // nullopt when a lossy-transport probe gives up.
+  std::optional<Weight> probe(const OverlayNetwork& overlay, PeerId a,
+                              PeerId b, Transport* transport,
+                              OptimizeOutcome& outcome) const;
 
   // Applies the replacement rules for candidate h against non-flooding
   // neighbor b. Returns true when the overlay changed.

@@ -33,6 +33,7 @@
 #include "search/flooding.h"
 #include "search/metrics.h"
 #include "sim/simulator.h"
+#include "transport/transport.h"
 #include "util/digest.h"
 #include "util/options.h"
 #include "util/provenance.h"

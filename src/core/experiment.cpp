@@ -135,13 +135,16 @@ std::vector<DepthSample> run_depth_sweep(const ScenarioConfig& base,
                                          std::span<const std::uint32_t> depths,
                                          std::size_t rounds,
                                          std::size_t queries,
-                                         DigestTrace* trace) {
+                                         DigestTrace* trace,
+                                         const TransportConfig& transport) {
+  const bool lossy = transport.mode == TransportMode::kLossy;
   std::vector<DepthSample> out;
   out.reserve(depths.size());
   for (const std::uint32_t h : depths) {
     Scenario scenario{base};  // identical starting topology per depth
     AceConfig config = ace;
     config.closure_depth = h;
+    config.transport = transport.mode;
     // The depth experiments study what propagated cost tables alone buy
     // (the paper's §3.4 h-closure trees are built from overlay links, as
     // in its Figure 5/6 examples) — pairwise probing + establishment
@@ -149,6 +152,14 @@ std::vector<DepthSample> run_depth_sweep(const ScenarioConfig& base,
     config.pairwise_neighbor_probes = false;
     config.establish_tree_links = false;
     AceEngine engine{scenario.overlay(), config};
+    Simulator sim;
+    std::unique_ptr<Transport> wire;
+    if (lossy) {
+      wire = std::make_unique<Transport>(
+          sim, scenario.overlay(), scenario.guids(), transport,
+          Rng::stream(base.seed, "transport"));
+      engine.attach_transport(wire.get());
+    }
 
     DepthSample sample;
     sample.h = h;
@@ -157,11 +168,14 @@ std::vector<DepthSample> run_depth_sweep(const ScenarioConfig& base,
     double overhead_total = 0;
     for (std::size_t r = 0; r < rounds; ++r) {
       const RoundReport report = engine.step_round(scenario.rng());
+      // Deliver the round's in-flight messages (cost-table pushes) before
+      // the next round's versions go out; no periodics, so this drains.
+      if (lossy) sim.run_all();
       overhead_total += report.total_overhead();
       if (trace != nullptr)
         trace->record("h" + std::to_string(h) + "-round-" +
                           std::to_string(r + 1),
-                      engine.state_digest());
+                      engine.state_digest(lossy ? &sim : nullptr));
     }
     sample.overhead_per_round =
         rounds ? overhead_total / static_cast<double>(rounds) : 0;
@@ -205,7 +219,18 @@ DynamicResult run_dynamic(const DynamicConfig& config) {
   Rng query_rng = Rng::stream(config.scenario.seed, "workload");
   Rng ace_rng = Rng::stream(config.scenario.seed, "ace");
 
-  AceEngine engine{scenario.overlay(), config.ace};
+  AceConfig ace_config = config.ace;
+  ace_config.transport = config.transport.mode;
+  AceEngine engine{scenario.overlay(), ace_config};
+  std::unique_ptr<Transport> wire;
+  if (config.transport.mode == TransportMode::kLossy) {
+    // The fault stream is its own named stream: enabling loss perturbs
+    // neither churn, nor the workload, nor ACE's own draws.
+    wire = std::make_unique<Transport>(
+        sim, scenario.overlay(), scenario.guids(), config.transport,
+        Rng::stream(config.scenario.seed, "transport"));
+    engine.attach_transport(wire.get());
+  }
   std::unique_ptr<IndexCacheLayer> cache;
   if (config.enable_cache) {
     cache = std::make_unique<IndexCacheLayer>(scenario.catalog(),
@@ -286,6 +311,7 @@ DynamicResult run_dynamic(const DynamicConfig& config) {
 
   result.joins = churn.joins();
   result.leaves = churn.leaves();
+  if (wire) result.transport = wire->stats();
   for (std::size_t b = 0; b < result.buckets.size(); ++b) {
     DynamicBucket& bucket = result.buckets[b];
     const QueryStats& stats = bucket_stats[b];

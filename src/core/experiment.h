@@ -59,6 +59,9 @@ class Scenario {
   const ObjectCatalog& catalog() const noexcept { return *catalog_; }
   const CatalogOracle& oracle() const noexcept { return *oracle_; }
   Rng& rng() noexcept { return rng_; }
+  // Per-simulation message-id allocator (each scenario starts at guid 1, so
+  // ids never depend on what else ran earlier in the process).
+  GuidAllocator& guids() noexcept { return guids_; }
 
   // Mean query metrics over `queries` random (source, object) pairs.
   QueryStats measure(ForwardingMode mode, const ForwardingTable* table,
@@ -70,6 +73,7 @@ class Scenario {
  private:
   ScenarioConfig config_;
   Rng rng_;
+  GuidAllocator guids_;
   std::unique_ptr<PhysicalNetwork> physical_;
   std::unique_ptr<OverlayNetwork> overlay_;
   std::unique_ptr<ObjectCatalog> catalog_;
@@ -121,12 +125,16 @@ struct DepthSample {
 // with `queries` samples before/after. When `trace` is set the engine's
 // StateDigest is recorded after every round (label "h<depth>-round-<r>")
 // for reproducibility checking.
+// `transport` defaults to the analytic kIdeal mode; kLossy gives each depth
+// its own Simulator + Transport (fault stream Rng::stream(seed,
+// "transport")) and drains in-flight deliveries after every round.
 std::vector<DepthSample> run_depth_sweep(const ScenarioConfig& base,
                                          const AceConfig& ace,
                                          std::span<const std::uint32_t> depths,
                                          std::size_t rounds,
                                          std::size_t queries,
-                                         DigestTrace* trace = nullptr);
+                                         DigestTrace* trace = nullptr,
+                                         const TransportConfig& transport = {});
 
 // Optimization rate (paper §4.2): gain/penalty with frequency ratio R =
 // query frequency / cost-info exchange frequency. Over one exchange period
@@ -157,6 +165,10 @@ struct DynamicConfig {
   // same config must produce identical traces; the first differing row
   // names the subsystem that diverged.
   DigestTrace* digest_trace = nullptr;
+  // Message transport. kIdeal (default) keeps the analytic accounting;
+  // kLossy routes ACE protocol messages through an event-driven Transport
+  // with the configured fault plan (overrides ace.transport).
+  TransportConfig transport{};
 };
 
 struct DynamicBucket {
@@ -176,6 +188,8 @@ struct DynamicResult {
   std::size_t leaves = 0;
   double total_overhead = 0;
   std::size_t cache_hits = 0;  // queries answered from an index cache
+  // What the lossy transport did (all-zero under kIdeal).
+  TransportStats transport{};
 };
 
 DynamicResult run_dynamic(const DynamicConfig& config);

@@ -1,6 +1,5 @@
 #include "proto/message.h"
 
-#include <atomic>
 #include <sstream>
 #include <stdexcept>
 
@@ -55,11 +54,6 @@ double size_factor(const MessageSizing& sizing, MessageType type,
       return sizing.disconnect;
   }
   throw std::invalid_argument{"size_factor: unknown message type"};
-}
-
-Guid next_guid() noexcept {
-  static std::atomic<Guid> counter{1};
-  return counter.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::string to_string(const MessageHeader& header) {

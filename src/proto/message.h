@@ -45,10 +45,23 @@ struct MessageSizing {
 double size_factor(const MessageSizing& sizing, MessageType type,
                    std::size_t payload_entries = 0);
 
-// Globally unique message id (per-process monotonic); Gnutella uses 16-byte
-// GUIDs for duplicate suppression, a counter is equivalent in simulation.
+// Unique message id; Gnutella uses 16-byte GUIDs for duplicate
+// suppression, a counter is equivalent in simulation.
 using Guid = std::uint64_t;
-Guid next_guid() noexcept;
+
+// Per-simulation Guid counter, owned by the experiment (Scenario) rather
+// than a process-global atomic: message ids — and any digest that includes
+// them — depend only on the run itself, never on how many other
+// tests/benches executed earlier in the same process.
+class GuidAllocator {
+ public:
+  Guid next() noexcept { return next_++; }
+  // Guids handed out so far (next() returns issued() + 1).
+  Guid issued() const noexcept { return next_ - 1; }
+
+ private:
+  Guid next_ = 1;
+};
 
 // Descriptor header as carried through the overlay.
 struct MessageHeader {

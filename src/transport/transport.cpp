@@ -1,0 +1,279 @@
+#include "transport/transport.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "util/check.h"
+
+namespace ace {
+
+const char* transport_mode_name(TransportMode mode) noexcept {
+  switch (mode) {
+    case TransportMode::kIdeal:
+      return "ideal";
+    case TransportMode::kLossy:
+      return "lossy";
+  }
+  return "?";
+}
+
+TransportMode parse_transport_mode(std::string_view name) {
+  if (name == "ideal") return TransportMode::kIdeal;
+  if (name == "lossy") return TransportMode::kLossy;
+  throw std::invalid_argument{"parse_transport_mode: unknown mode \"" +
+                              std::string{name} + "\" (want ideal|lossy)"};
+}
+
+bool FaultPlan::blacked_out(PeerId peer, SimTime t) const noexcept {
+  for (const Blackout& b : blackouts) {
+    if (b.peer == peer && t >= b.start && t < b.end) return true;
+  }
+  return false;
+}
+
+Transport::Transport(Simulator& sim, const OverlayNetwork& overlay,
+                     GuidAllocator& guids, TransportConfig config, Rng rng)
+    : sim_(&sim),
+      overlay_(&overlay),
+      guids_(&guids),
+      config_(config),
+      rng_(rng) {
+  ACE_CHECK(config_.latency_scale > 0.0)
+      << " — Transport: latency_scale must be positive";
+  ACE_CHECK(config_.max_probe_attempts > 0)
+      << " — Transport: need at least one probe attempt";
+  ACE_CHECK(config_.max_connect_attempts > 0)
+      << " — Transport: need at least one connect attempt";
+  ACE_CHECK(config_.faults.drop_probability >= 0.0 &&
+            config_.faults.drop_probability <= 1.0)
+      << " — Transport: drop probability outside [0, 1]";
+}
+
+Weight Transport::one_way_delay(PeerId from, PeerId to) const {
+  return overlay_->peer_delay(from, to);
+}
+
+Transport::TransmitResult Transport::transmit(
+    MessageType type, PeerId from, PeerId to, std::size_t payload_entries,
+    std::uint64_t table_version, SimTime send_offset, double& traffic) {
+  ACE_CHECK(send_offset >= 0.0) << " — Transport: send offset in the past";
+  const SimTime send_at = sim_->now() + send_offset;
+  const Weight delay = one_way_delay(from, to);
+  const double cost =
+      size_factor(config_.sizing, type, payload_entries) * delay;
+  stats_.traffic += cost;
+  traffic += cost;
+  ++stats_.sent;
+
+  TransmitResult result;
+  result.guid = guids_->next();
+
+  // Fixed draw schedule per transmission — the drop draw happens whenever
+  // drop_probability > 0 and the jitter draw whenever jitter is enabled —
+  // so a blackout never shifts the fault stream for later messages.
+  const bool unlucky = rng_.chance(config_.faults.drop_probability);
+  SimTime jitter = 0.0;
+  if (config_.faults.extra_jitter_max_s > 0.0) {
+    jitter = rng_.uniform_real(0.0, config_.faults.extra_jitter_max_s);
+  }
+  const bool lost = unlucky || config_.faults.blacked_out(from, send_at) ||
+                    config_.faults.blacked_out(to, send_at);
+  if (lost) {
+    ++stats_.dropped;
+    return result;
+  }
+
+  Wire wire;
+  wire.header.guid = result.guid;
+  wire.header.type = type;
+  wire.from = from;
+  wire.to = to;
+  wire.sent_at = send_at;
+  wire.deliver_at = send_at + config_.latency_scale * delay + jitter;
+  wire.table_version = table_version;
+  wire_.emplace(result.guid, wire);
+
+  const Guid guid = result.guid;
+  sim_->at(wire.deliver_at, [this, guid] { deliver(guid); });
+  result.delivered = true;
+  return result;
+}
+
+void Transport::deliver(Guid guid) {
+  const auto it = wire_.find(guid);
+  ACE_CHECK(it != wire_.end()) << " — Transport: delivery for unknown guid";
+  const Wire wire = it->second;
+  wire_.erase(it);
+  ++stats_.delivered;
+
+  Delivery delivery;
+  delivery.header = wire.header;
+  delivery.from = wire.from;
+  delivery.to = wire.to;
+  delivery.sent_at = wire.sent_at;
+  delivery.delivered_at = sim_->now();
+  delivery.table_version = wire.table_version;
+
+  if (wire.header.type == MessageType::kCostTable) {
+    // Version acceptance happens here, at arrival time, so jitter-induced
+    // reordering genuinely produces stale rejections.
+    std::uint64_t& accepted =
+        accepted_versions_[std::make_pair(wire.to, wire.from)];
+    if (wire.table_version > accepted) {
+      accepted = wire.table_version;
+    } else {
+      delivery.accepted = false;
+      ++stats_.stale_tables;
+    }
+  }
+
+  if (handler_) handler_(delivery);
+}
+
+Guid Transport::send(MessageType type, PeerId from, PeerId to,
+                     std::size_t payload_entries) {
+  double ignored = 0.0;
+  return transmit(type, from, to, payload_entries, /*table_version=*/0,
+                  /*send_offset=*/0.0, ignored)
+      .guid;
+}
+
+std::optional<Weight> Transport::probe(PeerId from, PeerId to,
+                                       double& traffic) {
+  SimTime offset = 0.0;
+  SimTime timeout = config_.probe_timeout_s;
+  const Weight delay = one_way_delay(from, to);
+  for (std::size_t attempt = 0; attempt < config_.max_probe_attempts;
+       ++attempt) {
+    if (attempt > 0) ++stats_.retries;
+    const bool request_ok =
+        transmit(MessageType::kProbe, from, to, 0, 0, offset, traffic)
+            .delivered;
+    if (request_ok) {
+      // The echo leaves `to` once the request arrives (one scaled one-way
+      // delay after the attempt started; the request's jitter, if any, is
+      // wire-level and does not reset the prober's timeout clock).
+      const SimTime reply_offset = offset + config_.latency_scale * delay;
+      const bool reply_ok = transmit(MessageType::kProbeReply, to, from, 0,
+                                     0, reply_offset, traffic)
+                                .delivered;
+      if (reply_ok) return delay;
+    }
+    offset += timeout;
+    timeout *= config_.backoff_factor;
+  }
+  ++stats_.probe_failures;
+  return std::nullopt;
+}
+
+void Transport::publish_table(PeerId owner, std::uint64_t version,
+                              std::size_t entries, double& traffic) {
+  for (const Neighbor& n : overlay_->neighbors(owner)) {
+    transmit(MessageType::kCostTable, owner, static_cast<PeerId>(n.node),
+             entries, version, /*send_offset=*/0.0, traffic);
+  }
+}
+
+std::uint64_t Transport::accepted_version(PeerId receiver,
+                                          PeerId sender) const {
+  const auto it =
+      accepted_versions_.find(std::make_pair(receiver, sender));
+  return it == accepted_versions_.end() ? 0 : it->second;
+}
+
+bool Transport::connect_handshake(PeerId from, PeerId to, double& traffic) {
+  SimTime offset = 0.0;
+  SimTime timeout = config_.probe_timeout_s;
+  const Weight delay = one_way_delay(from, to);
+  for (std::size_t attempt = 0; attempt < config_.max_connect_attempts;
+       ++attempt) {
+    if (attempt > 0) ++stats_.retries;
+    const bool request_ok =
+        transmit(MessageType::kConnect, from, to, 0, 0, offset, traffic)
+            .delivered;
+    if (request_ok) {
+      // The ack is a CONNECT echo from the acceptor.
+      const SimTime ack_offset = offset + config_.latency_scale * delay;
+      const bool ack_ok = transmit(MessageType::kConnect, to, from, 0, 0,
+                                   ack_offset, traffic)
+                              .delivered;
+      if (ack_ok) return true;
+    }
+    offset += timeout;
+    timeout *= config_.backoff_factor;
+  }
+  ++stats_.connects_failed;
+  return false;
+}
+
+void Transport::digest_into(Fnv1a& digest) const {
+  digest.update(static_cast<std::uint64_t>(config_.mode));
+  digest.update(static_cast<std::uint64_t>(stats_.sent));
+  digest.update(static_cast<std::uint64_t>(stats_.delivered));
+  digest.update(static_cast<std::uint64_t>(stats_.dropped));
+  digest.update(static_cast<std::uint64_t>(stats_.retries));
+  digest.update(static_cast<std::uint64_t>(stats_.probe_failures));
+  digest.update(static_cast<std::uint64_t>(stats_.stale_tables));
+  digest.update(static_cast<std::uint64_t>(stats_.connects_failed));
+  digest.update_double(stats_.traffic);
+
+  digest.update(static_cast<std::uint64_t>(wire_.size()));
+  for (const auto& [guid, wire] : wire_) {
+    digest.update(guid);
+    digest.update(static_cast<std::uint64_t>(wire.header.type));
+    digest.update(static_cast<std::uint64_t>(wire.from));
+    digest.update(static_cast<std::uint64_t>(wire.to));
+    digest.update_double(wire.sent_at);
+    digest.update_double(wire.deliver_at);
+    digest.update(wire.table_version);
+  }
+
+  digest.update(static_cast<std::uint64_t>(accepted_versions_.size()));
+  for (const auto& [key, version] : accepted_versions_) {
+    digest.update(static_cast<std::uint64_t>(key.first));
+    digest.update(static_cast<std::uint64_t>(key.second));
+    digest.update(version);
+  }
+}
+
+TransportConfig transport_config_from_options(const Options& options) {
+  TransportConfig config;
+  config.mode = parse_transport_mode(options.get_string("transport", "ideal"));
+  const double loss = options.get_double("loss-rate", 0.0);
+  if (loss < 0.0 || loss > 1.0) {
+    throw std::invalid_argument{"--loss-rate must be in [0, 1]"};
+  }
+  config.faults.drop_probability = loss;
+  const double jitter = options.get_double("jitter", 0.0);
+  if (jitter < 0.0) {
+    throw std::invalid_argument{"--jitter must be >= 0"};
+  }
+  config.faults.extra_jitter_max_s = jitter;
+  return config;
+}
+
+namespace {
+
+std::string format_double(double value) {
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+ProvenanceEntries transport_provenance(std::uint64_t seed,
+                                       const TransportConfig& config) {
+  ProvenanceEntries entries = run_provenance(seed);
+  entries.emplace_back("transport", transport_mode_name(config.mode));
+  if (config.mode == TransportMode::kLossy) {
+    entries.emplace_back("loss-rate",
+                         format_double(config.faults.drop_probability));
+    entries.emplace_back("jitter",
+                         format_double(config.faults.extra_jitter_max_s));
+  }
+  return entries;
+}
+
+}  // namespace ace

@@ -1,0 +1,230 @@
+// Event-driven lossy message transport. The paper implements ACE "by
+// modifying the LimeWire implementation of the Gnutella protocol": probes,
+// cost-table exchanges, and connection establishment are real messages that
+// cross the physical network and can be delayed, reordered, or lost. This
+// subsystem models exactly that layer. Every transmission is a
+// MessageHeader-tagged message scheduled on the Simulator with a delivery
+// latency derived from the physical path delay between the endpoints'
+// hosts, subject to a FaultPlan (drop probability, extra jitter, per-peer
+// blackout windows) drawn from a dedicated named Rng stream so fault
+// injection never perturbs churn/workload/ACE randomness.
+//
+// Protocol robustness on top of raw delivery (DESIGN.md §8):
+//   * probes     — bounded exponential-backoff retry ladder; a probe whose
+//                  every attempt is lost fails cleanly (the caller keeps
+//                  stale cost information instead of wrong information);
+//   * tables     — cost-table pushes carry the owner's table version;
+//                  deliveries reordered by jitter are rejected as stale, so
+//                  a receiver's view is monotone in the sender's versions;
+//   * connect    — link establishment is a CONNECT/ACK handshake; losing
+//                  either leg (after retries) aborts the establishment
+//                  instead of half-creating a link.
+//
+// Outcome semantics: transaction outcomes (probe success/failure, handshake
+// success/failure) are decided synchronously at call time from the
+// deterministic fault stream, while the constituent wire messages are
+// replayed on the event queue for latency, ordering, and in-flight
+// accounting. This keeps the ACE engine's per-peer step synchronous (as in
+// the analytic kIdeal mode) while making loss, staleness, and partial
+// failure first-class observable behaviour. Cost-table deliveries are the
+// genuinely asynchronous part: acceptance happens at delivery time, so
+// version staleness depends on actual event order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "overlay/overlay_network.h"
+#include "proto/message.h"
+#include "sim/simulator.h"
+#include "util/options.h"
+#include "util/provenance.h"
+#include "util/rng.h"
+
+namespace ace {
+
+// Selects between the analytic accounting the reproduction shipped with
+// (kIdeal — every probe/exchange succeeds instantly, the paper-faithful
+// default) and the event-driven lossy transport (kLossy).
+enum class TransportMode : std::uint8_t {
+  kIdeal,
+  kLossy,
+};
+
+const char* transport_mode_name(TransportMode mode) noexcept;
+// Parses "ideal" / "lossy"; throws std::invalid_argument otherwise.
+TransportMode parse_transport_mode(std::string_view name);
+
+// One per-peer outage window: messages sent to or from `peer` while
+// start <= t < end are dropped (models a crashed-but-not-departed peer or a
+// routing brownout).
+struct Blackout {
+  PeerId peer = kInvalidPeer;
+  SimTime start = 0;
+  SimTime end = 0;
+};
+
+// Injected faults, evaluated per transmission against the transport's own
+// named Rng stream.
+struct FaultPlan {
+  // Probability that any single transmission is lost.
+  double drop_probability = 0.0;
+  // Extra per-message delivery jitter, uniform in [0, extra_jitter_max_s).
+  // Nonzero jitter reorders same-link messages, which is what exercises the
+  // cost-table staleness rejection.
+  double extra_jitter_max_s = 0.0;
+  std::vector<Blackout> blackouts;
+
+  bool blacked_out(PeerId peer, SimTime t) const noexcept;
+};
+
+struct TransportConfig {
+  TransportMode mode = TransportMode::kIdeal;
+  FaultPlan faults{};
+  MessageSizing sizing{};
+  // Probe robustness: attempt i is paced timeout * backoff^i after the
+  // previous one; after max_probe_attempts the probe fails cleanly.
+  double probe_timeout_s = 2.0;
+  double backoff_factor = 2.0;
+  std::size_t max_probe_attempts = 4;
+  // CONNECT/ACK handshake attempts before establishment aborts.
+  std::size_t max_connect_attempts = 2;
+  // One-way delivery latency = latency_scale x physical path delay.
+  double latency_scale = 1.0;
+};
+
+// Everything the transport did, for reporting and tests. Counters are per
+// transmission (a retried probe counts each attempt separately).
+struct TransportStats {
+  std::size_t sent = 0;             // transmissions put on the wire
+  std::size_t delivered = 0;        // delivery events fired
+  std::size_t dropped = 0;          // lost to drop probability or blackout
+  std::size_t retries = 0;          // extra probe/handshake attempts
+  std::size_t probe_failures = 0;   // probes abandoned after every attempt
+  std::size_t stale_tables = 0;     // versioned table updates rejected
+  std::size_t connects_failed = 0;  // handshakes that gave up
+  double traffic = 0;               // size x delay units put on the wire
+};
+
+class Transport {
+ public:
+  // A message arriving at its destination.
+  struct Delivery {
+    MessageHeader header;
+    PeerId from = kInvalidPeer;
+    PeerId to = kInvalidPeer;
+    SimTime sent_at = 0;
+    SimTime delivered_at = 0;
+    std::uint64_t table_version = 0;  // kCostTable payloads only
+    bool accepted = true;             // false: rejected as stale
+  };
+  using DeliveryHandler = std::function<void(const Delivery&)>;
+
+  // `sim`, `overlay`, and `guids` must outlive the transport. `rng` should
+  // be a dedicated named stream (Rng::stream(master, "transport")) so fault
+  // draws cannot perturb any other component.
+  Transport(Simulator& sim, const OverlayNetwork& overlay,
+            GuidAllocator& guids, TransportConfig config, Rng rng);
+
+  TransportMode mode() const noexcept { return config_.mode; }
+  const TransportConfig& config() const noexcept { return config_; }
+  const TransportStats& stats() const noexcept { return stats_; }
+
+  // Observer for every delivery (tests, tracing). One handler at a time.
+  void set_delivery_handler(DeliveryHandler handler) {
+    handler_ = std::move(handler);
+  }
+
+  // Fire-and-forget datagram from -> to. Charges traffic, applies the
+  // fault plan, and (unless dropped) schedules the delivery event. Returns
+  // the message guid (allocated whether or not the message survives, like
+  // a real sender would).
+  Guid send(MessageType type, PeerId from, PeerId to,
+            std::size_t payload_entries = 0);
+
+  // Probe transaction with the bounded retry ladder. On success returns
+  // the measured link cost (the physical path delay — identical to what
+  // kIdeal records) and schedules the winning PROBE/PROBE_REPLY pair;
+  // every attempt's traffic is charged to `traffic` as well as the
+  // transport's own stats.
+  std::optional<Weight> probe(PeerId from, PeerId to, double& traffic);
+
+  // Versioned cost-table push to every current neighbor of `owner`.
+  // Deliveries apply version acceptance at arrival time: a version <= the
+  // receiver's last accepted version from `owner` is rejected as stale.
+  void publish_table(PeerId owner, std::uint64_t version,
+                     std::size_t entries, double& traffic);
+
+  // Last table version `receiver` accepted from `sender` (0 = none yet).
+  std::uint64_t accepted_version(PeerId receiver, PeerId sender) const;
+
+  // CONNECT/ACK handshake for link establishment; retries up to
+  // max_connect_attempts, then fails cleanly (returns false). Traffic for
+  // every attempt is charged to `traffic`.
+  bool connect_handshake(PeerId from, PeerId to, double& traffic);
+
+  std::size_t in_flight() const noexcept { return wire_.size(); }
+
+  // Digest of all protocol-visible transport state: the in-flight message
+  // set (guid, endpoints, type, delivery time), accepted exchange versions,
+  // and the stats counters — the engine's "transport-inflight" component.
+  void digest_into(Fnv1a& digest) const;
+
+ private:
+  struct Wire {
+    MessageHeader header;
+    PeerId from = kInvalidPeer;
+    PeerId to = kInvalidPeer;
+    SimTime sent_at = 0;
+    SimTime deliver_at = 0;
+    std::uint64_t table_version = 0;
+  };
+
+  Weight one_way_delay(PeerId from, PeerId to) const;
+
+  struct TransmitResult {
+    Guid guid = 0;
+    bool delivered = false;
+  };
+
+  // Puts one transmission on the wire `send_offset` seconds from now:
+  // charges traffic, draws drop/blackout faults, and schedules the
+  // delivery event unless the message is lost.
+  TransmitResult transmit(MessageType type, PeerId from, PeerId to,
+                          std::size_t payload_entries,
+                          std::uint64_t table_version, SimTime send_offset,
+                          double& traffic);
+
+  void deliver(Guid guid);
+
+  Simulator* sim_;
+  const OverlayNetwork* overlay_;
+  GuidAllocator* guids_;
+  TransportConfig config_;
+  Rng rng_;
+  TransportStats stats_;
+  DeliveryHandler handler_;
+  // In-flight messages keyed by guid; std::map so iteration (digests) is
+  // deterministic.
+  std::map<Guid, Wire> wire_;
+  // (receiver, sender) -> last accepted table version; ordered for digests.
+  std::map<std::pair<PeerId, PeerId>, std::uint64_t> accepted_versions_;
+};
+
+// Shared CLI plumbing for the examples: --transport=ideal|lossy,
+// --loss-rate=P (in [0,1]), --jitter=SECONDS. Unset keys fall back to the
+// paper-faithful ideal mode.
+TransportConfig transport_config_from_options(const Options& options);
+
+// Run provenance extended with the transport mode and fault knobs, so a
+// digest/figure CSV on disk records whether it came from an ideal or lossy
+// run (and at which loss rate).
+ProvenanceEntries transport_provenance(std::uint64_t seed,
+                                       const TransportConfig& config);
+
+}  // namespace ace

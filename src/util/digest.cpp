@@ -98,8 +98,17 @@ std::string DigestTrace::csv() const {
 }
 
 bool DigestTrace::write(const std::string& path) const {
+  return write(path, {});
+}
+
+bool DigestTrace::write(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::string>>& provenance)
+    const {
   std::ofstream file{path};
   if (!file) return false;
+  for (const auto& [key, value] : provenance)
+    file << "# " << key << ": " << value << '\n';
   file << csv();
   return static_cast<bool>(file);
 }

@@ -120,6 +120,12 @@ class DigestTrace {
   std::string csv() const;
   // Returns false (and logs nothing) when the file cannot be opened.
   bool write(const std::string& path) const;
+  // Same, prefixed with `# key: value` provenance comment lines (the
+  // TableWriter CSV format), so a digest trace on disk records the build,
+  // seed, and transport mode that produced it.
+  bool write(const std::string& path,
+             const std::vector<std::pair<std::string, std::string>>&
+                 provenance) const;
 
  private:
   struct Row {

@@ -49,11 +49,24 @@ TEST(Message, ControlMessagesSmallerThanQueries) {
 }
 
 TEST(Message, GuidsMonotonicallyUnique) {
-  const Guid a = next_guid();
-  const Guid b = next_guid();
-  const Guid c = next_guid();
+  GuidAllocator guids;
+  const Guid a = guids.next();
+  const Guid b = guids.next();
+  const Guid c = guids.next();
   EXPECT_LT(a, b);
   EXPECT_LT(b, c);
+  EXPECT_EQ(guids.issued(), 3u);
+}
+
+TEST(Message, GuidAllocatorsIndependent) {
+  // Per-simulation allocation: a fresh allocator restarts the sequence, so
+  // message ids never depend on what else ran earlier in the process.
+  GuidAllocator first;
+  (void)first.next();
+  (void)first.next();
+  GuidAllocator second;
+  EXPECT_EQ(second.next(), Guid{1});
+  EXPECT_EQ(first.next(), Guid{3});
 }
 
 TEST(Message, HeaderToString) {

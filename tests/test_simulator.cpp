@@ -108,6 +108,44 @@ TEST(Simulator, CancelOneShotEvent) {
   EXPECT_FALSE(ran);
 }
 
+TEST(Simulator, CancelAlreadyFiredEventReturnsFalse) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.after(1.0, [&] { ran = true; });
+  sim.run_until(2.0);
+  EXPECT_TRUE(ran);
+  // The event already executed; cancelling its id is a harmless no-op.
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelTwiceReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.after(1.0, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, EveryWithStartInThePastThrows) {
+  Simulator sim;
+  sim.at(5.0, [] {});
+  sim.run_until(5.0);
+  ASSERT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_THROW(sim.every(1.0, [](SimTime) {}, 2.0), std::invalid_argument);
+}
+
+TEST(Simulator, StopPeriodicInsideCallbackLeavesQueueEmpty) {
+  Simulator sim;
+  std::size_t handle = 0;
+  handle = sim.every(1.0, [&](SimTime) { sim.stop_periodic(handle); });
+  sim.run_until(10.0);
+  // Stopping from inside the firing callback must not leave the periodic's
+  // next event armed.
+  EXPECT_EQ(sim.pending_events(), 0u);
+  // And stopping an already-stopped periodic stays a no-op.
+  sim.stop_periodic(handle);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
 TEST(Simulator, TwoPeriodicsInterleave) {
   Simulator sim;
   std::vector<int> order;

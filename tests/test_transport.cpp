@@ -1,0 +1,417 @@
+#include "transport/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/experiment.h"
+#include "graph/generators.h"
+
+namespace ace {
+namespace {
+
+// Mismatched overlay over a BA physical topology (same construction as the
+// engine tests) — the transport needs real path delays, not a toy graph.
+struct Fixture {
+  explicit Fixture(std::size_t hosts = 256, std::size_t peers = 48,
+                   double degree = 5.0, std::uint64_t seed = 3) {
+    Rng topo{seed};
+    BaOptions ba;
+    ba.nodes = hosts;
+    physical = std::make_unique<PhysicalNetwork>(barabasi_albert(ba, topo));
+    OverlayOptions oo;
+    oo.peers = peers;
+    oo.mean_degree = degree;
+    const Graph logical = random_overlay(oo, topo);
+    const auto host_list = assign_hosts_uniform(*physical, peers, topo);
+    overlay = std::make_unique<OverlayNetwork>(*physical, logical, host_list);
+  }
+
+  Transport make_transport(TransportConfig config,
+                           std::uint64_t seed = 2004) {
+    config.mode = TransportMode::kLossy;
+    return Transport{sim, *overlay, guids, config,
+                     Rng::stream(seed, "transport")};
+  }
+
+  std::unique_ptr<PhysicalNetwork> physical;
+  std::unique_ptr<OverlayNetwork> overlay;
+  Simulator sim;
+  GuidAllocator guids;
+};
+
+TEST(TransportMode, NamesRoundTrip) {
+  EXPECT_EQ(parse_transport_mode("ideal"), TransportMode::kIdeal);
+  EXPECT_EQ(parse_transport_mode("lossy"), TransportMode::kLossy);
+  EXPECT_STREQ(transport_mode_name(TransportMode::kIdeal), "ideal");
+  EXPECT_STREQ(transport_mode_name(TransportMode::kLossy), "lossy");
+  EXPECT_THROW(parse_transport_mode("udp"), std::invalid_argument);
+}
+
+TEST(TransportConfigTest, FromOptions) {
+  const char* argv[] = {"prog", "--transport=lossy", "--loss-rate=0.25",
+                        "--jitter=1.5"};
+  const Options options{4, const_cast<char**>(argv)};
+  const TransportConfig config = transport_config_from_options(options);
+  EXPECT_EQ(config.mode, TransportMode::kLossy);
+  EXPECT_DOUBLE_EQ(config.faults.drop_probability, 0.25);
+  EXPECT_DOUBLE_EQ(config.faults.extra_jitter_max_s, 1.5);
+}
+
+TEST(TransportConfigTest, DefaultsToIdeal) {
+  const char* argv[] = {"prog"};
+  const Options options{1, const_cast<char**>(argv)};
+  const TransportConfig config = transport_config_from_options(options);
+  EXPECT_EQ(config.mode, TransportMode::kIdeal);
+  EXPECT_DOUBLE_EQ(config.faults.drop_probability, 0.0);
+}
+
+TEST(TransportConfigTest, RejectsBadLossRate) {
+  const char* argv[] = {"prog", "--loss-rate=1.5"};
+  const Options options{2, const_cast<char**>(argv)};
+  EXPECT_THROW(transport_config_from_options(options),
+               std::invalid_argument);
+}
+
+TEST(TransportTest, DeliveryLatencyMatchesLinkDelay) {
+  Fixture f;
+  Transport transport = f.make_transport({});
+  std::vector<Transport::Delivery> deliveries;
+  transport.set_delivery_handler(
+      [&](const Transport::Delivery& d) { deliveries.push_back(d); });
+
+  const PeerId from = f.overlay->online_peers().front();
+  std::vector<PeerId> targets;
+  for (const Neighbor& n : f.overlay->neighbors(from))
+    targets.push_back(static_cast<PeerId>(n.node));
+  ASSERT_GE(targets.size(), 2u);
+  for (const PeerId to : targets)
+    transport.send(MessageType::kPing, from, to);
+
+  EXPECT_EQ(transport.in_flight(), targets.size());
+  f.sim.run_all();
+  EXPECT_EQ(transport.in_flight(), 0u);
+  ASSERT_EQ(deliveries.size(), targets.size());
+
+  // Each message arrives exactly one path delay after it was sent, so the
+  // arrival order is the order of the link delays.
+  for (const Transport::Delivery& d : deliveries) {
+    EXPECT_DOUBLE_EQ(d.delivered_at - d.sent_at,
+                     f.overlay->peer_delay(d.from, d.to));
+  }
+  EXPECT_TRUE(std::is_sorted(deliveries.begin(), deliveries.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.delivered_at < b.delivered_at;
+                             }));
+}
+
+TEST(TransportTest, ZeroLossDeliversEverything) {
+  Fixture f;
+  Transport transport = f.make_transport({});
+  const PeerId from = f.overlay->online_peers().front();
+  const PeerId to =
+      static_cast<PeerId>(f.overlay->neighbors(from).front().node);
+  for (int i = 0; i < 50; ++i) transport.send(MessageType::kPing, from, to);
+  f.sim.run_all();
+  EXPECT_EQ(transport.stats().sent, 50u);
+  EXPECT_EQ(transport.stats().delivered, 50u);
+  EXPECT_EQ(transport.stats().dropped, 0u);
+}
+
+TEST(TransportTest, DropProbabilityHonoredStatistically) {
+  Fixture f;
+  TransportConfig config;
+  config.faults.drop_probability = 0.3;
+  Transport transport = f.make_transport(config);
+  const PeerId from = f.overlay->online_peers().front();
+  const PeerId to =
+      static_cast<PeerId>(f.overlay->neighbors(from).front().node);
+  const std::size_t sends = 2000;
+  for (std::size_t i = 0; i < sends; ++i)
+    transport.send(MessageType::kPing, from, to);
+  f.sim.run_all();
+  const double observed =
+      static_cast<double>(transport.stats().dropped) / sends;
+  // Pinned seed, so this is deterministic; the band just documents that the
+  // fault stream actually approximates the configured rate.
+  EXPECT_NEAR(observed, 0.3, 0.04);
+  EXPECT_EQ(transport.stats().delivered + transport.stats().dropped, sends);
+}
+
+TEST(TransportTest, ProbeReturnsLinkCostAndChargesTraffic) {
+  Fixture f;
+  Transport transport = f.make_transport({});
+  const PeerId from = f.overlay->online_peers().front();
+  const PeerId to =
+      static_cast<PeerId>(f.overlay->neighbors(from).front().node);
+  double traffic = 0;
+  const std::optional<Weight> cost = transport.probe(from, to, traffic);
+  ASSERT_TRUE(cost.has_value());
+  EXPECT_DOUBLE_EQ(*cost, f.overlay->peer_delay(from, to));
+  // One PROBE plus one PROBE_REPLY, each size x delay — the same formula
+  // the analytic kIdeal accounting charges.
+  const MessageSizing sizing;
+  EXPECT_DOUBLE_EQ(traffic, (sizing.probe + sizing.probe_reply) *
+                                f.overlay->peer_delay(from, to));
+  EXPECT_EQ(transport.stats().retries, 0u);
+  EXPECT_EQ(transport.stats().probe_failures, 0u);
+}
+
+TEST(TransportTest, ProbeGivesUpAfterConfiguredAttempts) {
+  Fixture f;
+  TransportConfig config;
+  config.faults.drop_probability = 1.0;
+  config.max_probe_attempts = 3;
+  Transport transport = f.make_transport(config);
+  const PeerId from = f.overlay->online_peers().front();
+  const PeerId to =
+      static_cast<PeerId>(f.overlay->neighbors(from).front().node);
+  double traffic = 0;
+  EXPECT_FALSE(transport.probe(from, to, traffic).has_value());
+  // Every attempt's request went on the wire (and was charged) before loss.
+  EXPECT_EQ(transport.stats().sent, 3u);
+  EXPECT_EQ(transport.stats().retries, 2u);
+  EXPECT_EQ(transport.stats().probe_failures, 1u);
+  EXPECT_GT(traffic, 0.0);
+}
+
+TEST(TransportTest, ConnectHandshakeFailsCleanlyUnderTotalLoss) {
+  Fixture f;
+  TransportConfig config;
+  config.faults.drop_probability = 1.0;
+  config.max_connect_attempts = 2;
+  Transport transport = f.make_transport(config);
+  const PeerId from = f.overlay->online_peers().front();
+  const PeerId to =
+      static_cast<PeerId>(f.overlay->neighbors(from).front().node);
+  double traffic = 0;
+  EXPECT_FALSE(transport.connect_handshake(from, to, traffic));
+  EXPECT_EQ(transport.stats().retries, 1u);
+  EXPECT_EQ(transport.stats().connects_failed, 1u);
+}
+
+TEST(TransportTest, ConnectHandshakeSucceedsWithoutFaults) {
+  Fixture f;
+  Transport transport = f.make_transport({});
+  const PeerId from = f.overlay->online_peers().front();
+  const PeerId to =
+      static_cast<PeerId>(f.overlay->neighbors(from).front().node);
+  double traffic = 0;
+  EXPECT_TRUE(transport.connect_handshake(from, to, traffic));
+  EXPECT_EQ(transport.stats().connects_failed, 0u);
+  // CONNECT + ACK both travel the wire.
+  const MessageSizing sizing;
+  EXPECT_DOUBLE_EQ(traffic,
+                   2 * sizing.connect * f.overlay->peer_delay(from, to));
+}
+
+TEST(TransportTest, StaleTableVersionsRejected) {
+  Fixture f;
+  Transport transport = f.make_transport({});
+  const PeerId owner = f.overlay->online_peers().front();
+  const std::size_t degree = f.overlay->degree(owner);
+  ASSERT_GT(degree, 0u);
+  double traffic = 0;
+  transport.publish_table(owner, /*version=*/2, /*entries=*/4, traffic);
+  f.sim.run_all();
+  EXPECT_EQ(transport.stats().stale_tables, 0u);
+
+  // An older version arriving later (a delayed retransmit, say) must be
+  // rejected by every receiver, leaving the accepted version monotone.
+  transport.publish_table(owner, /*version=*/1, /*entries=*/4, traffic);
+  f.sim.run_all();
+  EXPECT_EQ(transport.stats().stale_tables, degree);
+  for (const Neighbor& n : f.overlay->neighbors(owner)) {
+    EXPECT_EQ(transport.accepted_version(static_cast<PeerId>(n.node), owner),
+              2u);
+  }
+}
+
+TEST(TransportTest, JitterReordersAndTriggersStaleRejection) {
+  Fixture f;
+  TransportConfig config;
+  config.faults.extra_jitter_max_s = 500.0;  // >> any path delay
+  Transport transport = f.make_transport(config);
+  const PeerId owner = f.overlay->online_peers().front();
+  double traffic = 0;
+  // Ten consecutive versions put on the wire back-to-back: with jitter far
+  // exceeding the path delay, arrivals interleave and out-of-order
+  // deliveries must be rejected as stale.
+  for (std::uint64_t v = 1; v <= 10; ++v)
+    transport.publish_table(owner, v, 4, traffic);
+  f.sim.run_all();
+  EXPECT_GT(transport.stats().stale_tables, 0u);
+  // Whatever the arrival order, each receiver's accepted version is one it
+  // actually received, and later rejects never lowered it.
+  for (const Neighbor& n : f.overlay->neighbors(owner)) {
+    const std::uint64_t accepted =
+        transport.accepted_version(static_cast<PeerId>(n.node), owner);
+    EXPECT_GE(accepted, 1u);
+    EXPECT_LE(accepted, 10u);
+  }
+}
+
+TEST(TransportTest, BlackoutWindowDropsMessages) {
+  Fixture f;
+  const PeerId from = f.overlay->online_peers().front();
+  const PeerId to =
+      static_cast<PeerId>(f.overlay->neighbors(from).front().node);
+  TransportConfig config;
+  config.faults.blackouts.push_back(Blackout{to, 0.0, 5.0});
+  Transport transport = f.make_transport(config);
+
+  transport.send(MessageType::kPing, from, to);  // t=0: inside the window
+  f.sim.at(10.0, [&] {
+    transport.send(MessageType::kPing, from, to);  // t=10: window over
+  });
+  f.sim.run_all();
+  EXPECT_EQ(transport.stats().dropped, 1u);
+  EXPECT_EQ(transport.stats().delivered, 1u);
+}
+
+TEST(TransportTest, BlackoutDoesNotShiftFaultStream) {
+  // The drop/jitter draws follow a fixed per-transmission schedule, so
+  // adding a blackout for an uninvolved peer must not change which other
+  // messages get dropped.
+  Fixture f1, f2;
+  TransportConfig config;
+  config.faults.drop_probability = 0.5;
+  TransportConfig with_blackout = config;
+  const PeerId bystander = f1.overlay->online_peers().back();
+  with_blackout.faults.blackouts.push_back(Blackout{bystander, 0.0, 1e9});
+
+  Transport plain = f1.make_transport(config);
+  Transport shadowed = f2.make_transport(with_blackout);
+  const PeerId from = f1.overlay->online_peers().front();
+  const PeerId to =
+      static_cast<PeerId>(f1.overlay->neighbors(from).front().node);
+  ASSERT_NE(to, bystander);
+  ASSERT_NE(from, bystander);
+  for (int i = 0; i < 200; ++i) {
+    plain.send(MessageType::kPing, from, to);
+    shadowed.send(MessageType::kPing, from, to);
+  }
+  f1.sim.run_all();
+  f2.sim.run_all();
+  EXPECT_EQ(plain.stats().dropped, shadowed.stats().dropped);
+  EXPECT_EQ(plain.stats().delivered, shadowed.stats().delivered);
+}
+
+TEST(TransportTest, DigestCoversInFlightState) {
+  Fixture f;
+  Transport transport = f.make_transport({});
+  Fnv1a before;
+  transport.digest_into(before);
+
+  const PeerId from = f.overlay->online_peers().front();
+  const PeerId to =
+      static_cast<PeerId>(f.overlay->neighbors(from).front().node);
+  transport.send(MessageType::kPing, from, to);
+  Fnv1a pending;
+  transport.digest_into(pending);
+  EXPECT_NE(before.value(), pending.value());
+
+  f.sim.run_all();
+  Fnv1a drained;
+  transport.digest_into(drained);
+  EXPECT_NE(pending.value(), drained.value());
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: the lossy transport under the experiment drivers.
+// ---------------------------------------------------------------------
+
+ScenarioConfig sweep_scenario() {
+  ScenarioConfig config;
+  config.physical_nodes = 256;
+  config.peers = 64;
+  config.mean_degree = 6.0;
+  config.catalog.object_count = 100;
+  config.catalog.base_replication = 0.2;
+  config.catalog.min_replication = 0.05;
+  config.seed = 99;
+  return config;
+}
+
+TEST(TransportEndToEnd, LossyAtZeroLossMatchesIdealQueryPath) {
+  const std::vector<std::uint32_t> depths{1, 2};
+  const auto ideal =
+      run_depth_sweep(sweep_scenario(), AceConfig{}, depths, 5, 25);
+  TransportConfig lossless;
+  lossless.mode = TransportMode::kLossy;  // event-driven wire, zero faults
+  const auto lossy = run_depth_sweep(sweep_scenario(), AceConfig{}, depths, 5,
+                                     25, nullptr, lossless);
+  ASSERT_EQ(ideal.size(), lossy.size());
+  for (std::size_t i = 0; i < ideal.size(); ++i) {
+    // With no faults every probe measures the same constant path delay the
+    // analytic mode records, so the optimized topology — and therefore the
+    // query path — is identical.
+    EXPECT_DOUBLE_EQ(lossy[i].traffic_blind, ideal[i].traffic_blind);
+    EXPECT_DOUBLE_EQ(lossy[i].traffic_ace, ideal[i].traffic_ace);
+    EXPECT_DOUBLE_EQ(lossy[i].reduction_rate, ideal[i].reduction_rate);
+  }
+}
+
+TEST(TransportEndToEnd, LossyConvergesUnderModerateLoss) {
+  TransportConfig faulty;
+  faulty.mode = TransportMode::kLossy;
+  faulty.faults.drop_probability = 0.1;
+  const std::vector<std::uint32_t> depths{2};
+  const auto samples = run_depth_sweep(sweep_scenario(), AceConfig{}, depths,
+                                       6, 25, nullptr, faulty);
+  ASSERT_EQ(samples.size(), 1u);
+  // ACE still beats blind flooding: lost probes degrade the closure but the
+  // retry ladder and stale-entry fallback keep optimization effective.
+  EXPECT_GT(samples[0].reduction_rate, 0.2);
+  EXPECT_LT(samples[0].traffic_ace, samples[0].traffic_blind);
+}
+
+DynamicConfig lossy_dynamic() {
+  DynamicConfig config;
+  config.scenario = sweep_scenario();
+  config.churn.mean_lifetime_s = 120.0;
+  config.churn.lifetime_variance = 60.0;
+  config.workload.queries_per_peer_per_s = 0.02;
+  config.ace_period_s = 15.0;
+  config.duration_s = 300.0;
+  config.report_buckets = 4;
+  config.transport.mode = TransportMode::kLossy;
+  config.transport.faults.drop_probability = 0.05;
+  config.transport.faults.extra_jitter_max_s = 0.5;
+  return config;
+}
+
+TEST(TransportEndToEnd, LossyDynamicRunsAreByteIdentical) {
+  DynamicConfig config = lossy_dynamic();
+  DigestTrace first, second;
+  config.digest_trace = &first;
+  const DynamicResult a = run_dynamic(config);
+  config.digest_trace = &second;
+  const DynamicResult b = run_dynamic(config);
+  ASSERT_GT(first.rows(), 0u);
+  // Fault injection is deterministic: two runs of the same seed produce
+  // byte-identical digest traces, transport-inflight component included.
+  EXPECT_EQ(first.csv(), second.csv());
+  EXPECT_EQ(a.transport.sent, b.transport.sent);
+  EXPECT_EQ(a.transport.dropped, b.transport.dropped);
+  EXPECT_GT(a.transport.sent, 0u);
+  EXPECT_GT(a.transport.dropped, 0u);
+}
+
+TEST(TransportEndToEnd, DynamicResultReportsTransportStats) {
+  DynamicConfig config = lossy_dynamic();
+  const DynamicResult result = run_dynamic(config);
+  EXPECT_GT(result.transport.sent, 0u);
+  EXPECT_GT(result.transport.delivered, 0u);
+  EXPECT_GT(result.transport.traffic, 0.0);
+  // Ideal mode leaves the stats untouched.
+  DynamicConfig ideal = lossy_dynamic();
+  ideal.transport = TransportConfig{};
+  const DynamicResult baseline = run_dynamic(ideal);
+  EXPECT_EQ(baseline.transport.sent, 0u);
+}
+
+}  // namespace
+}  // namespace ace

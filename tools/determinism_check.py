@@ -24,18 +24,33 @@ import subprocess
 import sys
 import tempfile
 
-# (example binary, quick-but-representative args). Each must support
-# --digest-out and exercise a distinct slice of the stack: static rounds,
-# churn + workload, depth sweep, cache composition.
+# entry name -> (example binary, quick-but-representative args). Each must
+# support --digest-out and exercise a distinct slice of the stack: static
+# rounds, churn + workload, depth sweep, cache composition. The *-lossy
+# entries rerun a binary through the event-driven fault-injecting transport
+# (src/transport/), whose drop/jitter draws must be exactly as reproducible
+# as the ideal analytic mode.
 EXAMPLES = {
-    "quickstart": ["--peers=64", "--phys-nodes=256", "--rounds=4",
-                   "--seed=42"],
-    "gnutella_churn": ["--peers=64", "--phys-nodes=256", "--duration=180",
-                       "--seed=7"],
-    "depth_tuning": ["--peers=48", "--phys-nodes=192", "--max-depth=2",
-                     "--seed=11"],
-    "cache_combo": ["--peers=48", "--phys-nodes=192", "--duration=120",
-                    "--seed=5"],
+    "quickstart": ("quickstart",
+                   ["--peers=64", "--phys-nodes=256", "--rounds=4",
+                    "--seed=42"]),
+    "quickstart-lossy": ("quickstart",
+                         ["--peers=64", "--phys-nodes=256", "--rounds=4",
+                          "--seed=42", "--transport=lossy",
+                          "--loss-rate=0.05", "--jitter=0.5"]),
+    "gnutella_churn": ("gnutella_churn",
+                       ["--peers=64", "--phys-nodes=256", "--duration=180",
+                        "--seed=7"]),
+    "gnutella_churn-lossy": ("gnutella_churn",
+                             ["--peers=64", "--phys-nodes=256",
+                              "--duration=180", "--seed=7",
+                              "--transport=lossy", "--loss-rate=0.05"]),
+    "depth_tuning": ("depth_tuning",
+                     ["--peers=48", "--phys-nodes=192", "--max-depth=2",
+                      "--seed=11"]),
+    "cache_combo": ("cache_combo",
+                    ["--peers=48", "--phys-nodes=192", "--duration=120",
+                     "--seed=5"]),
 }
 
 
@@ -84,11 +99,11 @@ def first_diff(path_a: str, path_b: str):
 
 
 def check_example(name: str, build_dir: str, work_dir: str) -> bool:
-    binary = os.path.join(build_dir, "examples", name)
+    binary_name, args = EXAMPLES[name]
+    binary = os.path.join(build_dir, "examples", binary_name)
     if not os.path.exists(binary):
         print(f"FAIL {name}: binary not found at {binary}", file=sys.stderr)
         return False
-    args = EXAMPLES[name]
     trace_a = os.path.join(work_dir, f"{name}.a.csv")
     trace_b = os.path.join(work_dir, f"{name}.b.csv")
     if run_once(binary, args, trace_a, variant=0, disable_aslr=False) != 0:
