@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   if (options.help_requested()) {
     std::printf(
         "bench_ablation_overhead [--phys-nodes=N] [--peers=N] [--queries=N] "
-        "[--rounds=N] [--max-depth=N] [--seed=N] [--out-dir=DIR]\n");
+        "[--rounds=N] [--max-depth=N] [--seed=N] [--threads=N] [--out-dir=DIR]\n");
     return 0;
   }
   const BenchScale scale = parse_scale(options, 2048, 256, 60, 6);
@@ -37,10 +37,24 @@ int main(int argc, char** argv) {
   AceConfig full;
   full.overhead_model = OverheadModel::kFullPropagation;
 
+  WallTimer timer;
   const auto digest_sweep = run_depth_sweep(
-      make_scenario(scale, 6.0), digest, depths, scale.rounds, scale.queries);
+      make_scenario(scale, 6.0), digest, depths, scale.rounds, scale.queries,
+      nullptr, {}, scale.threads);
   const auto full_sweep = run_depth_sweep(
-      make_scenario(scale, 6.0), full, depths, scale.rounds, scale.queries);
+      make_scenario(scale, 6.0), full, depths, scale.rounds, scale.queries,
+      nullptr, {}, scale.threads);
+
+  BenchReport report;
+  report.name = "ablation_overhead";
+  report.wall_time_s = timer.elapsed_s();
+  report.trials = digest_sweep.size() + full_sweep.size();
+  report.threads = scale.threads;
+  for (const DepthSample& s : digest_sweep)
+    accumulate(report.oracle_cache, s.oracle_cache);
+  for (const DepthSample& s : full_sweep)
+    accumulate(report.oracle_cache, s.oracle_cache);
+  write_bench_json(scale, report);
 
   TableWriter table{"Overhead per round and optimization rate at R=2 (C=6)",
                     {"h", "digest overhead", "full overhead",

@@ -42,23 +42,17 @@ int main(int argc, char** argv) {
   if (options.help_requested()) {
     std::printf(
         "bench_ablation_policy [--phys-nodes=N] [--peers=N] [--queries=N] "
-        "[--rounds=N] [--seed=N] [--out-dir=DIR]\n");
+        "[--rounds=N] [--seed=N] [--threads=N] [--out-dir=DIR]\n");
     return 0;
   }
   const BenchScale scale = parse_scale(options, 2048, 384, 80, 12);
   print_header("Ablation: phase-3 replacement policy and keep-rule", scale);
-
-  Scenario baseline{make_scenario(scale, 6.0)};
-  const QueryStats blind = baseline.measure_blind(scale.queries);
 
   TableWriter table{"Replacement policy comparison (C=6)",
                     {"policy", "traffic/query", "reduction %",
                      "response time", "scope", "probe overhead", "cuts",
                      "adds"}};
   table.set_precision(1);
-  table.add_row({std::string{"blind flooding"}, blind.mean_traffic(), 0.0,
-                 blind.mean_response_time(), blind.mean_scope(), 0.0,
-                 std::int64_t{0}, std::int64_t{0}});
 
   struct Case {
     std::string name;
@@ -72,11 +66,38 @@ int main(int argc, char** argv) {
       {"closest", ReplacementPolicy::kClosest, true},
       {"closest, no keep-rule", ReplacementPolicy::kClosest, false},
   };
-  for (const Case& c : cases) {
-    const Outcome o =
-        run(scale, c.policy, c.keep_rule, scale.rounds, scale.queries);
-    table.add_row({c.name, o.traffic,
-                   100 * (1 - o.traffic / blind.mean_traffic()), o.response,
+
+  // Trial 0 is the blind-flooding baseline, trials 1..N the policy cases —
+  // all independent, sharded over the runner, merged in case order.
+  WallTimer timer;
+  TrialRunner runner{scale.threads};
+  const std::vector<Outcome> outcomes =
+      runner.run(cases.size() + 1, [&](std::size_t i) {
+        if (i == 0) {
+          Scenario baseline{make_scenario(scale, 6.0)};
+          const QueryStats blind = baseline.measure_blind(scale.queries);
+          return Outcome{blind.mean_traffic(), blind.mean_response_time(),
+                         blind.mean_scope(), 0.0, 0, 0};
+        }
+        const Case& c = cases[i - 1];
+        return run(scale, c.policy, c.keep_rule, scale.rounds, scale.queries);
+      });
+
+  BenchReport report;
+  report.name = "ablation_policy";
+  report.threads = scale.threads;
+  report.trials = cases.size() + 1;
+  report.wall_time_s = timer.elapsed_s();
+  write_bench_json(scale, report);
+
+  const Outcome& blind = outcomes[0];
+  table.add_row({std::string{"blind flooding"}, blind.traffic, 0.0,
+                 blind.response, blind.scope, 0.0, std::int64_t{0},
+                 std::int64_t{0}});
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const Outcome& o = outcomes[i + 1];
+    table.add_row({cases[i].name, o.traffic,
+                   100 * (1 - o.traffic / blind.traffic), o.response,
                    o.scope, o.probe_traffic,
                    static_cast<std::int64_t>(o.cuts),
                    static_cast<std::int64_t>(o.adds)});

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   if (options.help_requested()) {
     std::printf(
         "bench_ablation_tree [--phys-nodes=N] [--peers=N] [--queries=N] "
-        "[--rounds=N] [--seed=N] [--out-dir=DIR]\n");
+        "[--rounds=N] [--seed=N] [--threads=N] [--out-dir=DIR]\n");
     return 0;
   }
   const BenchScale scale = parse_scale(options, 2048, 384, 80, 10);
@@ -46,20 +46,46 @@ int main(int argc, char** argv) {
   TableWriter table{"MST vs SPT local trees",
                     {"C", "tree", "traffic/query", "response time", "scope"}};
   table.set_precision(1);
-  for (const double degree : {4.0, 6.0, 8.0, 10.0}) {
-    Scenario baseline_scenario{make_scenario(scale, degree)};
-    const QueryStats blind = baseline_scenario.measure_blind(scale.queries);
-    table.add_row({degree, std::string{"blind flooding"},
-                   blind.mean_traffic(), blind.mean_response_time(),
-                   blind.mean_scope()});
-    const Outcome mst = run(scale, degree, TreeKind::kMinimumSpanning,
-                            scale.rounds, scale.queries);
-    table.add_row({degree, std::string{"MST (paper)"}, mst.traffic,
-                   mst.response, mst.scope});
-    const Outcome spt = run(scale, degree, TreeKind::kShortestPath,
-                            scale.rounds, scale.queries);
-    table.add_row({degree, std::string{"SPT"}, spt.traffic, spt.response,
-                   spt.scope});
+
+  // Every (degree, tree-kind) cell is an independent trial; shard them all
+  // and emit the rows from the in-order results.
+  struct Cell_ {
+    double degree;
+    int kind;  // 0 = blind, 1 = MST, 2 = SPT
+  };
+  std::vector<Cell_> cells;
+  for (const double degree : {4.0, 6.0, 8.0, 10.0})
+    for (int kind = 0; kind < 3; ++kind) cells.push_back({degree, kind});
+
+  WallTimer timer;
+  TrialRunner runner{scale.threads};
+  const std::vector<Outcome> outcomes =
+      runner.run(cells.size(), [&](std::size_t i) {
+        const Cell_& cell = cells[i];
+        if (cell.kind == 0) {
+          Scenario scenario{make_scenario(scale, cell.degree)};
+          const QueryStats blind = scenario.measure_blind(scale.queries);
+          return Outcome{blind.mean_traffic(), blind.mean_response_time(),
+                         blind.mean_scope()};
+        }
+        return run(scale, cell.degree,
+                   cell.kind == 1 ? TreeKind::kMinimumSpanning
+                                  : TreeKind::kShortestPath,
+                   scale.rounds, scale.queries);
+      });
+
+  BenchReport report;
+  report.name = "ablation_tree";
+  report.threads = scale.threads;
+  report.trials = cells.size();
+  report.wall_time_s = timer.elapsed_s();
+  write_bench_json(scale, report);
+
+  static const char* kKindName[] = {"blind flooding", "MST (paper)", "SPT"};
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    table.add_row({cells[i].degree, std::string{kKindName[cells[i].kind]},
+                   outcomes[i].traffic, outcomes[i].response,
+                   outcomes[i].scope});
   }
   stamp_provenance(table, scale);
   table.print(std::cout, csv_path(scale, "ablation_tree"));

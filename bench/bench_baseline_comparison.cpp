@@ -14,6 +14,8 @@
 // optimization overhead each scheme spends per round.
 #include "bench_common.h"
 
+#include <functional>
+
 #include "baselines/landmark.h"
 #include "baselines/ltm.h"
 
@@ -42,7 +44,7 @@ int main(int argc, char** argv) {
   if (options.help_requested()) {
     std::printf(
         "bench_baseline_comparison [--phys-nodes=N] [--peers=N] "
-        "[--queries=N] [--rounds=N] [--seed=N] [--out-dir=DIR]\n");
+        "[--queries=N] [--rounds=N] [--seed=N] [--threads=N] [--out-dir=DIR]\n");
     return 0;
   }
   const BenchScale scale = parse_scale(options, 2048, 384, 80, 10);
@@ -50,24 +52,29 @@ int main(int argc, char** argv) {
                scale);
 
   const double mean_degree = 6.0;
-  std::vector<Row> rows;
 
   // Shared catalog + measurement RNG (fresh stream per system, same seed).
+  // The catalog is read-only during measurement, so sharing it across the
+  // runner's trial threads is safe.
   const ObjectCatalog catalog{CatalogConfig{}};
 
+  // Each system is an independent trial (own scenario, engine, and RNG
+  // streams); the runner shards them and keeps the rows in system order.
+  std::vector<std::function<Row()>> systems;
+
   // --- blind flooding on the mismatched overlay --------------------------
-  {
+  systems.emplace_back([&] {
     Scenario scenario{make_scenario(scale, mean_degree)};
     Rng mrng{scale.seed ^ 0x11};
-    rows.push_back({"blind flooding",
-                    measure(scenario.overlay(), catalog,
-                            ForwardingMode::kBlindFlooding, nullptr,
-                            scale.queries, mrng),
-                    0.0});
-  }
+    return Row{"blind flooding",
+               measure(scenario.overlay(), catalog,
+                       ForwardingMode::kBlindFlooding, nullptr, scale.queries,
+                       mrng),
+               0.0};
+  });
 
   // --- landmark clustering ------------------------------------------------
-  {
+  systems.emplace_back([&] {
     Scenario scenario{make_scenario(scale, mean_degree)};
     Rng build_rng{scale.seed ^ 0x22};
     std::vector<HostId> hosts;
@@ -83,76 +90,89 @@ int main(int argc, char** argv) {
     OverlayNetwork clustered = build_landmark_overlay(
         scenario.physical(), hosts, config, build_rng);
     Rng mrng{scale.seed ^ 0x11};
-    rows.push_back({"landmark clustering",
-                    measure(clustered, catalog,
-                            ForwardingMode::kBlindFlooding, nullptr,
-                            scale.queries, mrng),
-                    0.0});
-  }
+    return Row{"landmark clustering",
+               measure(clustered, catalog, ForwardingMode::kBlindFlooding,
+                       nullptr, scale.queries, mrng),
+               0.0};
+  });
 
   // --- HPF ([3]): partial flooding + periodic full floods, no topology
-  //     optimization at all --------------------------------------------------
-  {
+  //     optimization at all ------------------------------------------------
+  systems.emplace_back([&] {
     Scenario scenario{make_scenario(scale, mean_degree)};
     Rng mrng{scale.seed ^ 0x11};
     CatalogOracle oracle{catalog};
     QueryOptions hpf_options;
     hpf_options.hpf_partial = 3;
     hpf_options.hpf_period = 3;
-    rows.push_back({"HPF (partial flood, [3])",
-                    sample_queries(scenario.overlay(), catalog, oracle,
-                                   ForwardingMode::kHybridPeriodical, nullptr,
-                                   scale.queries, mrng, hpf_options),
-                    0.0});
-  }
+    return Row{"HPF (partial flood, [3])",
+               sample_queries(scenario.overlay(), catalog, oracle,
+                              ForwardingMode::kHybridPeriodical, nullptr,
+                              scale.queries, mrng, hpf_options),
+               0.0};
+  });
 
   // --- LTM ----------------------------------------------------------------
-  {
+  systems.emplace_back([&] {
     Scenario scenario{make_scenario(scale, mean_degree)};
     LtmEngine engine{scenario.overlay(), LtmConfig{}};
     double overhead = 0;
     for (std::size_t r = 0; r < scale.rounds; ++r)
       overhead += engine.step_round(scenario.rng()).total_overhead();
     Rng mrng{scale.seed ^ 0x11};
-    rows.push_back({"LTM (detector, [9])",
-                    measure(scenario.overlay(), catalog,
-                            ForwardingMode::kBlindFlooding, nullptr,
-                            scale.queries, mrng),
-                    overhead / static_cast<double>(scale.rounds)});
-  }
+    return Row{"LTM (detector, [9])",
+               measure(scenario.overlay(), catalog,
+                       ForwardingMode::kBlindFlooding, nullptr, scale.queries,
+                       mrng),
+               overhead / static_cast<double>(scale.rounds)};
+  });
 
   // --- AOTO ---------------------------------------------------------------
-  {
+  systems.emplace_back([&] {
     Scenario scenario{make_scenario(scale, mean_degree)};
     AotoEngine engine{scenario.overlay(), AotoConfig{}};
     double overhead = 0;
     for (std::size_t r = 0; r < scale.rounds; ++r)
       overhead += engine.step_round(scenario.rng()).total_overhead();
     Rng mrng{scale.seed ^ 0x11};
-    rows.push_back({"AOTO ([8])",
-                    measure(scenario.overlay(), catalog,
-                            ForwardingMode::kTreeRouting,
-                            &engine.forwarding(), scale.queries, mrng),
-                    overhead / static_cast<double>(scale.rounds)});
-  }
+    return Row{"AOTO ([8])",
+               measure(scenario.overlay(), catalog,
+                       ForwardingMode::kTreeRouting, &engine.forwarding(),
+                       scale.queries, mrng),
+               overhead / static_cast<double>(scale.rounds)};
+  });
 
   // --- ACE, random and closest policies ------------------------------------
   for (const ReplacementPolicy policy :
        {ReplacementPolicy::kRandom, ReplacementPolicy::kClosest}) {
-    Scenario scenario{make_scenario(scale, mean_degree)};
-    AceConfig config;
-    config.optimizer.policy = policy;
-    AceEngine engine{scenario.overlay(), config};
-    double overhead = 0;
-    for (std::size_t r = 0; r < scale.rounds; ++r)
-      overhead += engine.step_round(scenario.rng()).total_overhead();
-    Rng mrng{scale.seed ^ 0x11};
-    rows.push_back(
-        {std::string{"ACE ("} + replacement_policy_name(policy) + ")",
-         measure(scenario.overlay(), catalog, ForwardingMode::kTreeRouting,
-                 &engine.forwarding(), scale.queries, mrng),
-         overhead / static_cast<double>(scale.rounds)});
+    systems.emplace_back([&, policy] {
+      Scenario scenario{make_scenario(scale, mean_degree)};
+      AceConfig config;
+      config.optimizer.policy = policy;
+      AceEngine engine{scenario.overlay(), config};
+      double overhead = 0;
+      for (std::size_t r = 0; r < scale.rounds; ++r)
+        overhead += engine.step_round(scenario.rng()).total_overhead();
+      Rng mrng{scale.seed ^ 0x11};
+      return Row{
+          std::string{"ACE ("} + replacement_policy_name(policy) + ")",
+          measure(scenario.overlay(), catalog, ForwardingMode::kTreeRouting,
+                  &engine.forwarding(), scale.queries, mrng),
+          overhead / static_cast<double>(scale.rounds)};
+    });
   }
+
+  WallTimer timer;
+  TrialRunner runner{scale.threads};
+  const std::vector<Row> rows =
+      runner.run(systems.size(), [&](std::size_t i) { return systems[i](); });
+
+  BenchReport report;
+  report.name = "baseline_comparison";
+  report.threads = scale.threads;
+  report.trials = systems.size();
+  report.wall_time_s = timer.elapsed_s();
+  write_bench_json(scale, report);
 
   const double base_traffic = rows.front().stats.mean_traffic();
   const double base_response = rows.front().stats.mean_response_time();

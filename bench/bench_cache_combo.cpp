@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   if (options.help_requested()) {
     std::printf(
         "bench_cache_combo [--phys-nodes=N] [--peers=N] "
-        "[--duration=SECONDS] [--cache-size=N] [--seed=N] [--out-dir=DIR]\n");
+        "[--duration=SECONDS] [--cache-size=N] [--seed=N] [--threads=N] [--out-dir=DIR]\n");
     return 0;
   }
   BenchScale scale = parse_scale(options, 2048, 384);
@@ -60,11 +60,28 @@ int main(int argc, char** argv) {
     const char* name;
     DynamicResult result;
   };
+  // Four independent systems; the runner shards them and returns results
+  // in system order, so the table never depends on the thread count.
+  const std::vector<std::pair<const char*, DynamicConfig>> systems{
+      {"gnutella-like", gnutella},
+      {"cache only", cache_only},
+      {"ACE only", ace_only},
+      {"ACE + cache", ace_cache}};
+  WallTimer timer;
+  TrialRunner runner{scale.threads};
+  const std::vector<DynamicResult> results =
+      runner.run(systems.size(),
+                 [&](std::size_t i) { return run_dynamic(systems[i].second); });
   std::vector<Row> rows;
-  rows.push_back({"gnutella-like", run_dynamic(gnutella)});
-  rows.push_back({"cache only", run_dynamic(cache_only)});
-  rows.push_back({"ACE only", run_dynamic(ace_only)});
-  rows.push_back({"ACE + cache", run_dynamic(ace_cache)});
+  for (std::size_t i = 0; i < systems.size(); ++i)
+    rows.push_back({systems[i].first, results[i]});
+
+  BenchReport report;
+  report.name = "cache_combo";
+  report.threads = scale.threads;
+  report.trials = systems.size();
+  report.wall_time_s = timer.elapsed_s();
+  write_bench_json(scale, report);
 
   const double base_traffic = rows[0].result.overall.mean_traffic();
   const double base_response = rows[0].result.overall.mean_response_time();

@@ -4,7 +4,9 @@
 // (or into --out-dir).
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -18,13 +20,16 @@ struct BenchScale {
   std::size_t queries;
   std::size_t rounds;
   std::uint64_t seed;
+  std::size_t threads;
   std::string out_dir;
 };
 
 // Common knobs: --phys-nodes / ACE_PHYS_NODES, --peers / ACE_PEERS,
 // --queries / ACE_QUERIES, --rounds / ACE_ROUNDS, --seed / ACE_SEED,
-// --out-dir / ACE_OUT_DIR. Paper-scale runs: ACE_PHYS_NODES=20000
-// ACE_PEERS=8000 (slower; defaults keep the whole suite in minutes).
+// --threads / ACE_THREADS, --out-dir / ACE_OUT_DIR. Paper-scale runs:
+// ACE_PHYS_NODES=20000 ACE_PEERS=8000 (slower; defaults keep the whole
+// suite in minutes). --threads shards independent trials over a
+// TrialRunner pool; every table and CSV is byte-identical at any value.
 inline BenchScale parse_scale(const Options& options,
                               std::size_t default_phys = 2048,
                               std::size_t default_peers = 512,
@@ -40,6 +45,7 @@ inline BenchScale parse_scale(const Options& options,
   scale.rounds = static_cast<std::size_t>(
       options.get_int("rounds", static_cast<std::int64_t>(default_rounds)));
   scale.seed = static_cast<std::uint64_t>(options.get_int("seed", 20040326));
+  scale.threads = static_cast<std::size_t>(options.get_int("threads", 1));
   scale.out_dir = options.get_string("out-dir", ".");
   return scale;
 }
@@ -81,9 +87,96 @@ inline void stamp_provenance(TableWriter& table, const BenchScale& scale) {
 inline void print_header(const std::string& what, const BenchScale& scale) {
   std::printf(
       "# %s\n# physical=%zu hosts, peers=%zu, queries/cell=%zu, "
-      "rounds=%zu, seed=%llu\n\n",
+      "rounds=%zu, seed=%llu, threads=%zu\n\n",
       what.c_str(), scale.physical_nodes, scale.peers, scale.queries,
-      scale.rounds, static_cast<unsigned long long>(scale.seed));
+      scale.rounds, static_cast<unsigned long long>(scale.seed),
+      scale.threads);
+}
+
+// Wall-clock stopwatch for the perf record. This is the one sanctioned use
+// of real time in the repo: it measures the bench process itself and is
+// reported only in BENCH_*.json, never fed into simulation results.
+class WallTimer {
+ public:
+  WallTimer()
+      // ace-lint: allow(banned-clock): perf measurement only — wall time
+      // goes to BENCH_*.json, never into simulation state.
+      : start_{std::chrono::steady_clock::now()} {}
+
+  double elapsed_s() const {
+    // ace-lint: allow(banned-clock): perf measurement only (see ctor).
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Machine-readable perf record every bench drops next to its CSVs
+// (BENCH_<name>.json). tools/bench_compare.py diffs these against the
+// checked-in baselines to catch wall-clock regressions in CI.
+struct BenchReport {
+  std::string name;           // bench id, e.g. "fig13_16"
+  double wall_time_s = 0;     // whole-bench wall time
+  std::size_t trials = 0;     // independent trials executed
+  std::size_t threads = 1;    // TrialRunner width used
+  RowCacheStats oracle_cache{};  // delay-oracle cache totals over all trials
+};
+
+inline void accumulate(RowCacheStats& into, const RowCacheStats& from) {
+  into.hits += from.hits;
+  into.misses += from.misses;
+  into.evictions += from.evictions;
+  into.rows += from.rows;
+  into.bytes += from.bytes;
+}
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // drop control chars
+    out.push_back(c);
+  }
+  return out;
+}
+
+inline void write_bench_json(const BenchScale& scale,
+                             const BenchReport& report) {
+  const std::string path =
+      scale.out_dir + "/BENCH_" + report.name + ".json";
+  std::ofstream out{path};
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  const double tps = report.wall_time_s > 0
+                         ? static_cast<double>(report.trials) /
+                               report.wall_time_s
+                         : 0.0;
+  out << "{\n";
+  out << "  \"name\": \"" << json_escape(report.name) << "\",\n";
+  out << "  \"wall_time_s\": " << report.wall_time_s << ",\n";
+  out << "  \"trials\": " << report.trials << ",\n";
+  out << "  \"trials_per_sec\": " << tps << ",\n";
+  out << "  \"threads\": " << report.threads << ",\n";
+  out << "  \"oracle_cache\": {\n";
+  out << "    \"hits\": " << report.oracle_cache.hits << ",\n";
+  out << "    \"misses\": " << report.oracle_cache.misses << ",\n";
+  out << "    \"evictions\": " << report.oracle_cache.evictions << "\n";
+  out << "  },\n";
+  out << "  \"provenance\": {";
+  const ProvenanceEntries entries =
+      run_provenance(scale.seed, scale_digest(scale));
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    out << (i ? ",\n    \"" : "\n    \"") << json_escape(entries[i].first)
+        << "\": \"" << json_escape(entries[i].second) << "\"";
+  }
+  out << "\n  }\n";
+  out << "}\n";
+  std::printf("perf record: %s\n", path.c_str());
 }
 
 }  // namespace ace::bench

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   if (options.help_requested()) {
     std::printf(
         "bench_fig09_10_dynamic [--phys-nodes=N] [--peers=N] "
-        "[--duration=SECONDS] [--seed=N] [--out-dir=DIR]\n");
+        "[--duration=SECONDS] [--seed=N] [--threads=N] [--out-dir=DIR]\n");
     return 0;
   }
   BenchScale scale = parse_scale(options, 2048, 384);
@@ -44,10 +44,23 @@ int main(int argc, char** argv) {
   print_header("Figures 9-10: dynamic environment, Gnutella-like vs ACE",
                scale);
 
-  const DynamicResult gnutella =
-      run_dynamic(dynamic_config(scale, /*enable_ace=*/false, duration));
-  const DynamicResult ace =
-      run_dynamic(dynamic_config(scale, /*enable_ace=*/true, duration));
+  // The two systems are independent trials; shard them over the runner.
+  WallTimer timer;
+  TrialRunner runner{scale.threads};
+  const std::vector<DynamicResult> results =
+      runner.run(2, [&](std::size_t i) {
+        return run_dynamic(dynamic_config(scale, /*enable_ace=*/i == 1,
+                                          duration));
+      });
+  const DynamicResult& gnutella = results[0];
+  const DynamicResult& ace = results[1];
+
+  BenchReport report;
+  report.name = "fig09_10";
+  report.threads = scale.threads;
+  report.trials = results.size();
+  report.wall_time_s = timer.elapsed_s();
+  write_bench_json(scale, report);
 
   TableWriter fig9{
       "Figure 9: avg traffic cost per query over time (overhead included)",

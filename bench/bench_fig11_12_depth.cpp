@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   if (options.help_requested()) {
     std::printf(
         "bench_fig11_12_depth [--phys-nodes=N] [--peers=N] [--queries=N] "
-        "[--rounds=N] [--max-depth=N] [--seed=N] [--out-dir=DIR]\n");
+        "[--rounds=N] [--max-depth=N] [--seed=N] [--threads=N] [--out-dir=DIR]\n");
     return 0;
   }
   BenchScale scale = parse_scale(options, 2048, 384, 80, 8);
@@ -32,11 +32,24 @@ int main(int argc, char** argv) {
   for (std::uint32_t h = 1; h <= max_depth; ++h) depths.push_back(h);
   const std::vector<double> degrees{4, 6, 8, 10};
 
+  WallTimer timer;
   std::vector<std::vector<DepthSample>> sweeps;
   for (const double degree : degrees) {
     sweeps.push_back(run_depth_sweep(make_scenario(scale, degree), AceConfig{},
-                                     depths, scale.rounds, scale.queries));
+                                     depths, scale.rounds, scale.queries,
+                                     nullptr, {}, scale.threads));
   }
+
+  BenchReport report;
+  report.name = "fig11_12";
+  report.wall_time_s = timer.elapsed_s();
+  report.threads = scale.threads;
+  for (const auto& sweep : sweeps) {
+    report.trials += sweep.size();
+    for (const DepthSample& s : sweep)
+      accumulate(report.oracle_cache, s.oracle_cache);
+  }
+  write_bench_json(scale, report);
 
   TableWriter fig11{"Figure 11: query traffic reduction rate (%) vs. h",
                     {"h", "C=4", "C=6", "C=8", "C=10"}};

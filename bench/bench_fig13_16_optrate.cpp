@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
   if (options.help_requested()) {
     std::printf(
         "bench_fig13_16_optrate [--phys-nodes=N] [--peers=N] [--queries=N] "
-        "[--rounds=N] [--max-depth=N] [--seed=N] [--out-dir=DIR]\n");
+        "[--rounds=N] [--max-depth=N] [--seed=N] [--threads=N] [--out-dir=DIR]\n");
     return 0;
   }
   BenchScale scale = parse_scale(options, 2048, 384, 80, 8);
@@ -76,12 +76,24 @@ int main(int argc, char** argv) {
   std::vector<std::uint32_t> depths;
   for (std::uint32_t h = 1; h <= max_depth; ++h) depths.push_back(h);
 
+  WallTimer timer;
   const auto sweep_c10 = run_depth_sweep(make_scenario(scale, 10.0),
                                          AceConfig{}, depths, scale.rounds,
-                                         scale.queries);
+                                         scale.queries, nullptr, {},
+                                         scale.threads);
   const auto sweep_c4 = run_depth_sweep(make_scenario(scale, 4.0),
                                         AceConfig{}, depths, scale.rounds,
-                                        scale.queries);
+                                        scale.queries, nullptr, {},
+                                        scale.threads);
+
+  BenchReport report;
+  report.name = "fig13_16";
+  report.wall_time_s = timer.elapsed_s();
+  report.trials = sweep_c10.size() + sweep_c4.size();
+  report.threads = scale.threads;
+  for (const DepthSample& s : sweep_c10) accumulate(report.oracle_cache, s.oracle_cache);
+  for (const DepthSample& s : sweep_c4) accumulate(report.oracle_cache, s.oracle_cache);
+  write_bench_json(scale, report);
 
   const std::vector<double> h_ratios{1.0, 1.2, 1.4, 1.6, 1.8, 2.0};
   fig_rate_vs_h("Figure 13: optimization rate vs. h (C=10)", scale, sweep_c10,

@@ -1,10 +1,17 @@
 // Micro-benchmarks (google-benchmark) for the algorithmic substrates:
-// Dijkstra rows, Prim MSTs, closure construction, event-queue throughput,
-// and single-query execution. These bound the simulation's own costs and
-// document the scalability headroom for paper-scale runs.
+// Dijkstra rows (CSR kernel vs the adjacency-list reference), Prim MSTs,
+// closure construction, event-queue throughput, and single-query execution
+// with and without searcher-owned scratch. These bound the simulation's
+// own costs and document the scalability headroom for paper-scale runs.
+// A custom main captures every case's ns/op into BENCH_micro.json for
+// tools/bench_compare.py.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "ace/p2p_lab.h"
 
@@ -20,6 +27,7 @@ Graph make_ba(std::size_t nodes, std::uint64_t seed = 1) {
   return barabasi_albert(options, rng);
 }
 
+// The production path: CSR snapshot + flat-heap solve per call.
 void BM_DijkstraBA(benchmark::State& state) {
   const Graph g = make_ba(static_cast<std::size_t>(state.range(0)));
   NodeId source = 0;
@@ -31,6 +39,37 @@ void BM_DijkstraBA(benchmark::State& state) {
                           static_cast<std::int64_t>(g.node_count()));
 }
 BENCHMARK(BM_DijkstraBA)->Arg(1024)->Arg(4096)->Arg(16384);
+
+// The pre-CSR implementation kept as dijkstra_reference: binary heap
+// straight over the pointer-chasing adjacency lists.
+void BM_DijkstraAdjacencyList(benchmark::State& state) {
+  const Graph g = make_ba(static_cast<std::size_t>(state.range(0)));
+  NodeId source = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dijkstra_reference(g, source));
+    source = (source + 7) % static_cast<NodeId>(g.node_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.node_count()));
+}
+BENCHMARK(BM_DijkstraAdjacencyList)->Arg(1024)->Arg(4096)->Arg(16384);
+
+// The oracle's steady state: CSR built once, solver buffers reused across
+// sources (epoch-stamped, no per-run clears).
+void BM_DijkstraCsrPersistent(benchmark::State& state) {
+  const Graph g = make_ba(static_cast<std::size_t>(state.range(0)));
+  const CsrGraph csr{g};
+  CsrDijkstra solver{csr};
+  NodeId source = 0;
+  for (auto _ : state) {
+    solver.run(source);
+    benchmark::DoNotOptimize(solver.dist(0));
+    source = (source + 7) % static_cast<NodeId>(csr.node_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(csr.node_count()));
+}
+BENCHMARK(BM_DijkstraCsrPersistent)->Arg(1024)->Arg(4096)->Arg(16384);
 
 void BM_PrimMst(benchmark::State& state) {
   const Graph g = make_ba(static_cast<std::size_t>(state.range(0)));
@@ -81,6 +120,7 @@ void BM_AceStepRound(benchmark::State& state) {
 }
 BENCHMARK(BM_AceStepRound)->Arg(128)->Arg(512);
 
+// Per-query allocations included (no scratch): the cost a cold caller pays.
 void BM_BlindFloodQuery(benchmark::State& state) {
   OverlayFixture f{static_cast<std::size_t>(state.range(0)), 6.0};
   CatalogConfig cc;
@@ -96,6 +136,26 @@ void BM_BlindFloodQuery(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_BlindFloodQuery)->Arg(256)->Arg(1024);
+
+// The measurement-loop path: searcher-owned QueryScratch, zero per-query
+// allocations. Results are bit-identical to the scratchless variant.
+void BM_BlindFloodQueryScratch(benchmark::State& state) {
+  OverlayFixture f{static_cast<std::size_t>(state.range(0)), 6.0};
+  CatalogConfig cc;
+  ObjectCatalog catalog{cc};
+  CatalogOracle oracle{catalog};
+  Rng rng{11};
+  QueryScratch scratch;
+  scratch.reserve(f.overlay->peer_count());
+  for (auto _ : state) {
+    const PeerId source = f.overlay->random_online_peer(rng);
+    benchmark::DoNotOptimize(run_query(*f.overlay, source, 0, oracle,
+                                       ForwardingMode::kBlindFlooding,
+                                       nullptr, {}, &scratch));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BlindFloodQueryScratch)->Arg(256)->Arg(1024);
 
 void BM_EventQueueThroughput(benchmark::State& state) {
   for (auto _ : state) {
@@ -123,6 +183,70 @@ void BM_PhysicalDelayCached(benchmark::State& state) {
 }
 BENCHMARK(BM_PhysicalDelayCached);
 
+// Console reporter that also captures each case's real ns/op so main can
+// drop a BENCH_micro.json perf record next to the other benches' reports.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      cases.emplace_back(run.benchmark_name(),
+                         run.real_accumulated_time / iters * 1e9);
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+
+  std::vector<std::pair<std::string, double>> cases;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: google-benchmark consumes its --benchmark_* flags first,
+// then ace::Options reads --out-dir/ACE_OUT_DIR for the JSON drop site.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  const Options options{argc, argv};
+  const std::string out_dir = options.get_string("out-dir", ".");
+
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  const std::string path = out_dir + "/BENCH_micro.json";
+  std::ofstream out{path};
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return 0;
+  }
+  out << "{\n  \"name\": \"micro\",\n";
+  out << "  \"trials\": " << reporter.cases.size() << ",\n";
+  out << "  \"threads\": 1,\n";
+  out << "  \"cases\": {";
+  for (std::size_t i = 0; i < reporter.cases.size(); ++i) {
+    out << (i ? ",\n    \"" : "\n    \"")
+        << json_escape(reporter.cases[i].first)
+        << "\": " << reporter.cases[i].second;
+  }
+  out << "\n  },\n";
+  const ProvenanceEntries entries = build_provenance();
+  out << "  \"provenance\": {";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    out << (i ? ",\n    \"" : "\n    \"") << json_escape(entries[i].first)
+        << "\": \"" << json_escape(entries[i].second) << "\"";
+  }
+  out << "\n  }\n}\n";
+  std::printf("perf record: %s\n", path.c_str());
+  return 0;
+}

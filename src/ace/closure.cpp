@@ -1,6 +1,5 @@
 #include "ace/closure.h"
 
-#include <queue>
 #include <stdexcept>
 #include <utility>
 
@@ -68,41 +67,43 @@ LocalClosure build_closure(const OverlayNetwork& overlay, PeerId source,
     throw std::invalid_argument{"build_closure: source offline"};
   LocalClosure closure;
 
-  // BFS out to depth h over the overlay.
-  std::queue<PeerId> queue;
+  // BFS out to depth h over the overlay. `nodes` in discovery order IS the
+  // BFS queue (every dequeued peer appends its unseen neighbors), so a head
+  // index over it replaces an explicit queue, and a flat global->local
+  // array replaces the hash lookups on this hot path — the map is filled
+  // once at the end for the public to_local API.
+  std::vector<NodeId> to_local_flat(overlay.peer_count(), kInvalidNode);
   closure.nodes.push_back(source);
   closure.depth.push_back(0);
   closure.path_cost.push_back(0);
-  closure.local_index.emplace(source, 0);
-  queue.push(source);
-  while (!queue.empty()) {
-    const PeerId u = queue.front();
-    queue.pop();
-    const auto lu_it = closure.local_index.find(u);
-    ACE_CHECK(lu_it != closure.local_index.end())
-        << "build_closure: queued peer " << u << " missing from local_index";
-    const NodeId lu = lu_it->second;
+  to_local_flat[source] = 0;
+  for (std::size_t head = 0; head < closure.nodes.size(); ++head) {
+    const NodeId lu = static_cast<NodeId>(head);
+    const PeerId u = closure.nodes[head];
     const std::uint32_t du = closure.depth[lu];
     if (du == h) continue;
     for (const auto& n : overlay.neighbors(u)) {
-      if (closure.local_index.contains(n.node)) continue;
-      closure.local_index.emplace(n.node,
-                                  static_cast<NodeId>(closure.nodes.size()));
+      if (to_local_flat[n.node] != kInvalidNode) continue;
+      to_local_flat[n.node] = static_cast<NodeId>(closure.nodes.size());
       closure.nodes.push_back(n.node);
       closure.depth.push_back(du + 1);
       closure.path_cost.push_back(closure.path_cost[lu] + n.weight);
-      queue.push(n.node);
     }
   }
+  closure.local_index.reserve(closure.nodes.size());
+  for (NodeId li = 0; li < closure.nodes.size(); ++li)
+    closure.local_index.emplace(closure.nodes[li], li);
 
   // Induced subgraph.
   closure.local = Graph{closure.nodes.size()};
   for (NodeId li = 0; li < closure.nodes.size(); ++li) {
     const PeerId u = closure.nodes[li];
     for (const auto& n : overlay.neighbors(u)) {
-      const NodeId lj = closure.to_local(n.node);
+      const NodeId lj = to_local_flat[n.node];
       if (lj == kInvalidNode || lj <= li) continue;
-      closure.local.add_edge(li, lj, n.weight);
+      // Each member pair is visited exactly once (lj > li filter over an
+      // overlay with unique edges), so skip add_edge's duplicate probe.
+      closure.local.add_new_edge(li, lj, n.weight);
     }
   }
 

@@ -183,30 +183,50 @@ TreeRouting make_tree_routing(const LocalTree& tree, PeerId source) {
         std::lower_bound(members.begin(), members.end(), p) - members.begin());
   };
 
-  // Adjacency over the tree edges, then BFS from the source to orient.
-  std::vector<std::vector<PeerId>> adjacency(members.size());
-  for (const Edge& e : tree.edges) {
-    adjacency[index_of(static_cast<PeerId>(e.u))].push_back(
-        static_cast<PeerId>(e.v));
-    adjacency[index_of(static_cast<PeerId>(e.v))].push_back(
-        static_cast<PeerId>(e.u));
+  // Adjacency over the tree edges in compressed-sparse-row form — two
+  // counting passes into one flat array instead of a vector per member.
+  // The fill pass walks edges in the same order the old per-member appends
+  // did, so every member's neighbor order (and thus the BFS orientation
+  // below) is unchanged.
+  const std::size_t m = members.size();
+  std::vector<std::uint32_t> eu(tree.edges.size());
+  std::vector<std::uint32_t> ev(tree.edges.size());
+  std::vector<std::uint32_t> offsets(m + 1, 0);
+  for (std::size_t i = 0; i < tree.edges.size(); ++i) {
+    const Edge& e = tree.edges[i];
+    eu[i] = static_cast<std::uint32_t>(index_of(static_cast<PeerId>(e.u)));
+    ev[i] = static_cast<std::uint32_t>(index_of(static_cast<PeerId>(e.v)));
+    ++offsets[eu[i] + 1];
+    ++offsets[ev[i] + 1];
   }
-  std::vector<bool> seen(members.size(), false);
-  seen[index_of(source)] = true;
-  std::queue<PeerId> queue;
-  queue.push(source);
-  while (!queue.empty()) {
-    const PeerId u = queue.front();
-    queue.pop();
+  for (std::size_t i = 0; i < m; ++i) offsets[i + 1] += offsets[i];
+  std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+  std::vector<std::uint32_t> adjacency(2 * tree.edges.size());
+  for (std::size_t i = 0; i < tree.edges.size(); ++i) {
+    adjacency[cursor[eu[i]]++] = ev[i];
+    adjacency[cursor[ev[i]]++] = eu[i];
+  }
+
+  // BFS from the source over member indices; the discovery vector with a
+  // head index doubles as the FIFO queue.
+  std::vector<std::uint8_t> seen(m, 0);
+  std::vector<std::uint32_t> queue;
+  queue.reserve(m);
+  const std::uint32_t si = static_cast<std::uint32_t>(index_of(source));
+  seen[si] = 1;
+  queue.push_back(si);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::uint32_t ui = queue[head];
     std::vector<PeerId> kids;
-    for (const PeerId v : adjacency[index_of(u)]) {
-      const std::size_t vi = index_of(v);
+    for (std::uint32_t k = offsets[ui]; k < offsets[ui + 1]; ++k) {
+      const std::uint32_t vi = adjacency[k];
       if (seen[vi]) continue;
-      seen[vi] = true;
-      kids.push_back(v);
-      queue.push(v);
+      seen[vi] = 1;
+      kids.push_back(members[vi]);
+      queue.push_back(vi);
     }
-    if (!kids.empty()) routing.children.emplace_back(u, std::move(kids));
+    if (!kids.empty())
+      routing.children.emplace_back(members[ui], std::move(kids));
   }
   // BFS emits relays in dequeue order; find_children needs key order.
   std::sort(routing.children.begin(), routing.children.end(),

@@ -130,67 +130,99 @@ StaticRunResult run_static_optimization(Scenario& scenario,
 // Depth sweep
 // ---------------------------------------------------------------------
 
+namespace {
+
+// One depth's full trial: fresh scenario, `rounds` optimization rounds,
+// before/after query measurement. Pure function of (base, ace, transport,
+// h) — no state shared with other depths — so depths can run concurrently.
+struct DepthTrial {
+  DepthSample sample;
+  DigestTrace trace;
+};
+
+DepthTrial run_depth_trial(const ScenarioConfig& base, const AceConfig& ace,
+                           std::uint32_t h, std::size_t rounds,
+                           std::size_t queries, bool want_trace,
+                           const TransportConfig& transport) {
+  const bool lossy = transport.mode == TransportMode::kLossy;
+  DepthTrial trial;
+  Scenario scenario{base};  // identical starting topology per depth
+  AceConfig config = ace;
+  config.closure_depth = h;
+  config.transport = transport.mode;
+  // The depth experiments study what propagated cost tables alone buy
+  // (the paper's §3.4 h-closure trees are built from overlay links, as
+  // in its Figure 5/6 examples) — pairwise probing + establishment
+  // would give depth-independent knowledge and flatten the h axis.
+  config.pairwise_neighbor_probes = false;
+  config.establish_tree_links = false;
+  AceEngine engine{scenario.overlay(), config};
+  Simulator sim;
+  std::unique_ptr<Transport> wire;
+  if (lossy) {
+    wire = std::make_unique<Transport>(
+        sim, scenario.overlay(), scenario.guids(), transport,
+        Rng::stream(base.seed, "transport"));
+    engine.attach_transport(wire.get());
+  }
+
+  DepthSample& sample = trial.sample;
+  sample.h = h;
+  sample.traffic_blind = scenario.measure_blind(queries).mean_traffic();
+
+  double overhead_total = 0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const RoundReport report = engine.step_round(scenario.rng());
+    // Deliver the round's in-flight messages (cost-table pushes) before
+    // the next round's versions go out; no periodics, so this drains.
+    if (lossy) sim.run_all();
+    overhead_total += report.total_overhead();
+    if (want_trace)
+      trial.trace.record("h" + std::to_string(h) + "-round-" +
+                             std::to_string(r + 1),
+                         engine.state_digest(lossy ? &sim : nullptr));
+  }
+  sample.overhead_per_round =
+      rounds ? overhead_total / static_cast<double>(rounds) : 0;
+
+  sample.traffic_ace =
+      scenario
+          .measure(ForwardingMode::kTreeRouting, &engine.forwarding(),
+                   queries)
+          .mean_traffic();
+  sample.gain_per_query = sample.traffic_blind - sample.traffic_ace;
+  sample.reduction_rate =
+      sample.traffic_blind > 0 ? sample.gain_per_query / sample.traffic_blind
+                               : 0;
+  sample.oracle_cache = scenario.physical().row_cache_stats();
+  return trial;
+}
+
+}  // namespace
+
 std::vector<DepthSample> run_depth_sweep(const ScenarioConfig& base,
                                          const AceConfig& ace,
                                          std::span<const std::uint32_t> depths,
                                          std::size_t rounds,
                                          std::size_t queries,
                                          DigestTrace* trace,
-                                         const TransportConfig& transport) {
-  const bool lossy = transport.mode == TransportMode::kLossy;
+                                         const TransportConfig& transport,
+                                         std::size_t threads) {
+  // Each depth is an independent trial; the runner shards them across
+  // workers and the merge below walks the slots in depth order, so samples
+  // and trace rows come out byte-identical to a sequential sweep.
+  TrialRunner runner{threads};
+  std::vector<DepthTrial> trials =
+      runner.run(depths.size(), [&](std::size_t i) {
+        return run_depth_trial(base, ace, depths[i], rounds, queries,
+                               trace != nullptr, transport);
+      });
+
   std::vector<DepthSample> out;
-  out.reserve(depths.size());
-  for (const std::uint32_t h : depths) {
-    Scenario scenario{base};  // identical starting topology per depth
-    AceConfig config = ace;
-    config.closure_depth = h;
-    config.transport = transport.mode;
-    // The depth experiments study what propagated cost tables alone buy
-    // (the paper's §3.4 h-closure trees are built from overlay links, as
-    // in its Figure 5/6 examples) — pairwise probing + establishment
-    // would give depth-independent knowledge and flatten the h axis.
-    config.pairwise_neighbor_probes = false;
-    config.establish_tree_links = false;
-    AceEngine engine{scenario.overlay(), config};
-    Simulator sim;
-    std::unique_ptr<Transport> wire;
-    if (lossy) {
-      wire = std::make_unique<Transport>(
-          sim, scenario.overlay(), scenario.guids(), transport,
-          Rng::stream(base.seed, "transport"));
-      engine.attach_transport(wire.get());
-    }
-
-    DepthSample sample;
-    sample.h = h;
-    sample.traffic_blind = scenario.measure_blind(queries).mean_traffic();
-
-    double overhead_total = 0;
-    for (std::size_t r = 0; r < rounds; ++r) {
-      const RoundReport report = engine.step_round(scenario.rng());
-      // Deliver the round's in-flight messages (cost-table pushes) before
-      // the next round's versions go out; no periodics, so this drains.
-      if (lossy) sim.run_all();
-      overhead_total += report.total_overhead();
-      if (trace != nullptr)
-        trace->record("h" + std::to_string(h) + "-round-" +
-                          std::to_string(r + 1),
-                      engine.state_digest(lossy ? &sim : nullptr));
-    }
-    sample.overhead_per_round =
-        rounds ? overhead_total / static_cast<double>(rounds) : 0;
-
-    sample.traffic_ace =
-        scenario
-            .measure(ForwardingMode::kTreeRouting, &engine.forwarding(),
-                     queries)
-            .mean_traffic();
-    sample.gain_per_query = sample.traffic_blind - sample.traffic_ace;
-    sample.reduction_rate =
-        sample.traffic_blind > 0
-            ? sample.gain_per_query / sample.traffic_blind
-            : 0;
-    out.push_back(sample);
+  out.reserve(trials.size());
+  for (DepthTrial& trial : trials) {
+    if (trace != nullptr) trace->extend(trial.trace);
+    out.push_back(trial.sample);
   }
   return out;
 }
@@ -289,13 +321,16 @@ DynamicResult run_dynamic(const DynamicConfig& config) {
   const ForwardingMode mode = config.enable_ace
                                   ? ForwardingMode::kTreeRouting
                                   : ForwardingMode::kBlindFlooding;
+  QueryScratch query_scratch;
+  query_scratch.reserve(scenario.overlay().peer_count());
   QueryWorkload workload{
       scenario.overlay(), scenario.catalog(), sim, query_rng,
       config.workload,
       [&](SimTime t, PeerId source, ObjectId object) {
         const QueryResult qr = run_query(
             scenario.overlay(), source, object, *oracle, mode,
-            config.enable_ace ? &engine.forwarding() : nullptr, qopts);
+            config.enable_ace ? &engine.forwarding() : nullptr, qopts,
+            &query_scratch);
         if (cache) cache->learn_from(qr, object);
         if (qr.answered_from_cache) ++result.cache_hits;
         bucket_stats[bucket_for(t)].add(qr);

@@ -12,7 +12,9 @@
 
 #include "ace/engine.h"
 #include "baselines/index_cache.h"
+#include "core/trial_runner.h"
 #include "graph/generators.h"
+#include "net/physical_network.h"
 #include "overlay/churn.h"
 #include "overlay/workload.h"
 #include "search/flooding.h"
@@ -118,6 +120,9 @@ struct DepthSample {
   double reduction_rate = 0;     // (blind - ace) / blind
   double overhead_per_round = 0; // mean per optimization round
   double gain_per_query = 0;     // blind - ace
+  // Delay-oracle row-cache behavior of this depth's trial (benches
+  // aggregate these into BENCH_*.json perf records).
+  RowCacheStats oracle_cache{};
 };
 
 // For each depth: a fresh scenario from `base` (same seed -> identical
@@ -128,13 +133,18 @@ struct DepthSample {
 // `transport` defaults to the analytic kIdeal mode; kLossy gives each depth
 // its own Simulator + Transport (fault stream Rng::stream(seed,
 // "transport")) and drains in-flight deliveries after every round.
+// Depths are independent trials (each owns its scenario, engine, and
+// digest trace) sharded over `threads` workers by a TrialRunner; samples
+// and trace rows are merged in depth order, so the output — including the
+// digest trace — is byte-identical at every thread count.
 std::vector<DepthSample> run_depth_sweep(const ScenarioConfig& base,
                                          const AceConfig& ace,
                                          std::span<const std::uint32_t> depths,
                                          std::size_t rounds,
                                          std::size_t queries,
                                          DigestTrace* trace = nullptr,
-                                         const TransportConfig& transport = {});
+                                         const TransportConfig& transport = {},
+                                         std::size_t threads = 1);
 
 // Optimization rate (paper §4.2): gain/penalty with frequency ratio R =
 // query frequency / cost-info exchange frequency. Over one exchange period

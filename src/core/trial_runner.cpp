@@ -1,0 +1,127 @@
+#include "core/trial_runner.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace ace {
+
+// Persistent worker pool. Workers sleep on a condition variable between
+// jobs; run_indexed installs one job (count + shared claim counter) and
+// wakes everyone. Indices are claimed with fetch_add, so the assignment of
+// trials to workers is racy — which is exactly why results must land in
+// index-ordered slots (the caller's lambda writes slots[i]) and why trials
+// must be independent. Determinism lives in the trial/seed contract, not in
+// the scheduling.
+struct TrialRunner::Pool {
+  explicit Pool(std::size_t threads) {
+    workers.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t)
+      workers.emplace_back([this] { worker_loop(); });
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock{mutex};
+      stopping = true;
+    }
+    wake_workers.notify_all();
+    for (std::thread& w : workers) w.join();
+  }
+
+  void run(std::size_t count, const std::function<void(std::size_t)>& body) {
+    std::unique_lock<std::mutex> lock{mutex};
+    job_body = &body;
+    job_count = count;
+    next_index.store(0, std::memory_order_relaxed);
+    outstanding = count;
+    failed.store(false, std::memory_order_relaxed);
+    first_error = nullptr;
+    ++job_generation;
+    wake_workers.notify_all();
+    job_done.wait(lock, [this] { return outstanding == 0; });
+    job_body = nullptr;
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  void worker_loop() {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      const std::function<void(std::size_t)>* body = nullptr;
+      std::size_t count = 0;
+      {
+        std::unique_lock<std::mutex> lock{mutex};
+        wake_workers.wait(lock, [&] {
+          return stopping || job_generation != seen_generation;
+        });
+        if (stopping) return;
+        seen_generation = job_generation;
+        body = job_body;
+        count = job_count;
+      }
+      std::size_t finished = 0;
+      for (;;) {
+        const std::size_t i =
+            next_index.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) break;
+        if (!failed.load(std::memory_order_acquire)) {
+          try {
+            (*body)(i);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock{mutex};
+            if (!first_error) first_error = std::current_exception();
+            failed.store(true, std::memory_order_release);
+          }
+        }
+        ++finished;
+      }
+      if (finished != 0) {
+        std::lock_guard<std::mutex> lock{mutex};
+        outstanding -= finished;
+        if (outstanding == 0) job_done.notify_all();
+      } else {
+        // Claimed nothing (another worker drained the job): nothing to
+        // report; outstanding was decremented by whoever ran the trials.
+      }
+    }
+  }
+
+  std::vector<std::thread> workers;
+  std::mutex mutex;
+  std::condition_variable wake_workers;
+  std::condition_variable job_done;
+  const std::function<void(std::size_t)>* job_body = nullptr;
+  std::size_t job_count = 0;
+  std::atomic<std::size_t> next_index{0};
+  std::size_t outstanding = 0;
+  std::uint64_t job_generation = 0;
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  bool stopping = false;
+};
+
+TrialRunner::TrialRunner(std::size_t threads) : threads_{threads} {
+  if (threads_ == 0) {
+    threads_ = std::thread::hardware_concurrency();
+    if (threads_ == 0) threads_ = 1;
+  }
+  if (threads_ > 1) pool_ = new Pool{threads_};
+}
+
+TrialRunner::~TrialRunner() { delete pool_; }
+
+std::size_t TrialRunner::thread_count() const noexcept { return threads_; }
+
+void TrialRunner::run_indexed(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (pool_ == nullptr) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  pool_->run(count, body);
+}
+
+}  // namespace ace

@@ -1,0 +1,60 @@
+// Deterministic parallel trial execution. Every figure in the paper is an
+// average over independent trials (one scenario per closure depth, per
+// churn configuration, per baseline system, ...). Each trial is a pure
+// function of its index: it builds its own Scenario from a config, seeds
+// its own generators (Rng::stream / forked streams keyed on the master
+// seed), and shares no mutable state with other trials. The runner shards
+// trial indices across an owned std::thread pool and collects results into
+// trial-index-ordered slots, so the merged output is byte-identical to a
+// sequential run at any worker count — the thread count changes wall-clock
+// time and nothing else (enforced by tests/test_trial_runner.cpp and
+// tools/determinism_check.py).
+//
+// Exception policy: the first trial exception (in claim order) is captured;
+// remaining unclaimed trials are skipped, in-flight trials finish, and the
+// exception is rethrown on the caller thread after the pool drains. The
+// runner stays usable afterwards.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace ace {
+
+class TrialRunner {
+ public:
+  // `threads` == 0 picks std::thread::hardware_concurrency(). 1 (the
+  // default) runs every trial inline on the caller thread — no pool, no
+  // synchronization, trivially identical to a plain loop.
+  explicit TrialRunner(std::size_t threads = 1);
+  ~TrialRunner();
+  TrialRunner(const TrialRunner&) = delete;
+  TrialRunner& operator=(const TrialRunner&) = delete;
+
+  std::size_t thread_count() const noexcept;
+
+  // Runs body(i) for every i in [0, count), sharding across the pool.
+  // Blocks until all claimed trials finish; rethrows the first trial
+  // exception. `body` must treat distinct indices as independent (it is
+  // called concurrently from pool threads when thread_count() > 1).
+  void run_indexed(std::size_t count,
+                   const std::function<void(std::size_t)>& body);
+
+  // Typed convenience: returns fn(i) results in index order. Result must be
+  // default-constructible and movable.
+  template <typename Fn>
+  auto run(std::size_t count, Fn&& fn)
+      -> std::vector<decltype(fn(std::size_t{}))> {
+    std::vector<decltype(fn(std::size_t{}))> slots(count);
+    run_indexed(count, [&](std::size_t i) { slots[i] = fn(i); });
+    return slots;
+  }
+
+ private:
+  struct Pool;  // owned worker pool; absent when thread_count() <= 1
+  Pool* pool_ = nullptr;
+  std::size_t threads_;
+};
+
+}  // namespace ace

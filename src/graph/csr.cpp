@@ -1,0 +1,151 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/shortest_path.h"
+
+namespace ace {
+
+CsrGraph::CsrGraph(const Graph& graph) {
+  const std::size_t n = graph.node_count();
+  offsets_.assign(n + 1, 0);
+  std::size_t arcs = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    arcs += graph.degree(u);
+    offsets_[u + 1] = static_cast<std::uint32_t>(arcs);
+  }
+  targets_.resize(arcs);
+  weights_.resize(arcs);
+  std::size_t at = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    for (const Neighbor& nb : graph.neighbors(u)) {
+      targets_[at] = nb.node;
+      weights_[at] = nb.weight;
+      ++at;
+    }
+  }
+}
+
+Weight CsrDijkstra::unreachable_() noexcept { return kUnreachable; }
+
+CsrDijkstra::CsrDijkstra(const CsrGraph& graph) : graph_{&graph} {
+  const std::size_t n = graph.node_count();
+  dist_.resize(n);
+  parent_.resize(n);
+  stamp_.assign(n, 0);
+  done_stamp_.assign(n, 0);
+  target_stamp_.assign(n, 0);
+  heap_.reserve(n);
+}
+
+void CsrDijkstra::begin_epoch_() {
+  if (++epoch_ == 0) {
+    // Epoch counter wrapped (after ~4 billion runs): hard-reset the stamps
+    // so stale marks from epoch 0 cannot alias as current.
+    std::fill(stamp_.begin(), stamp_.end(), 0u);
+    std::fill(done_stamp_.begin(), done_stamp_.end(), 0u);
+    std::fill(target_stamp_.begin(), target_stamp_.end(), 0u);
+    epoch_ = 1;
+  }
+  heap_.clear();
+}
+
+void CsrDijkstra::heap_push_(Weight key, NodeId node) {
+  // 4-ary sift-up; ties keep the earlier-inserted element above, which is
+  // deterministic (pop order is a pure function of the push sequence).
+  std::size_t i = heap_.size();
+  heap_.push_back({key, node});
+  while (i > 0) {
+    const std::size_t up = (i - 1) / 4;
+    if (heap_[up].key <= key) break;
+    heap_[i] = heap_[up];
+    i = up;
+  }
+  heap_[i] = {key, node};
+}
+
+CsrDijkstra::HeapSlot CsrDijkstra::heap_pop_() {
+  const HeapSlot top = heap_.front();
+  const HeapSlot last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    std::size_t i = 0;
+    const std::size_t size = heap_.size();
+    for (;;) {
+      const std::size_t first_child = 4 * i + 1;
+      if (first_child >= size) break;
+      const std::size_t child_end = std::min(first_child + 4, size);
+      std::size_t best = first_child;
+      for (std::size_t c = first_child + 1; c < child_end; ++c) {
+        if (heap_[c].key < heap_[best].key) best = c;
+      }
+      if (heap_[best].key >= last.key) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return top;
+}
+
+void CsrDijkstra::run_to_targets(NodeId source,
+                                 std::span<const NodeId> targets) {
+  const std::size_t n = graph_->node_count();
+  if (source >= n) throw std::out_of_range{"dijkstra: source out of range"};
+  begin_epoch_();
+
+  std::size_t targets_left = targets.size();
+  for (const NodeId t : targets) {
+    if (t >= n) throw std::out_of_range{"dijkstra: target out of range"};
+    if (target_stamp_[t] == epoch_) {
+      --targets_left;  // duplicate target
+    } else {
+      target_stamp_[t] = epoch_;
+    }
+  }
+
+  const std::span<const std::uint32_t> offsets = graph_->offsets();
+  const std::span<const NodeId> arc_targets = graph_->arc_targets();
+  const std::span<const Weight> arc_weights = graph_->arc_weights();
+
+  dist_[source] = 0;
+  parent_[source] = kInvalidNode;
+  stamp_[source] = epoch_;
+  heap_push_(0, source);
+  while (!heap_.empty()) {
+    const auto [d, u] = heap_pop_();
+    if (done_stamp_[u] == epoch_) continue;
+    done_stamp_[u] = epoch_;
+    if (!targets.empty() && target_stamp_[u] == epoch_ &&
+        --targets_left == 0)
+      break;
+    const std::uint32_t arc_end = offsets[u + 1];
+    for (std::uint32_t a = offsets[u]; a < arc_end; ++a) {
+      const NodeId v = arc_targets[a];
+      const Weight nd = d + arc_weights[a];
+      if (stamp_[v] != epoch_ || nd < dist_[v]) {
+        dist_[v] = nd;
+        parent_[v] = u;
+        stamp_[v] = epoch_;
+        heap_push_(nd, v);
+      }
+    }
+  }
+}
+
+void CsrDijkstra::export_row(std::span<float> dist_out,
+                             std::span<NodeId> parent_out) const {
+  const std::size_t n = graph_->node_count();
+  for (std::size_t v = 0; v < n; ++v) {
+    if (stamp_[v] == epoch_) {
+      dist_out[v] = static_cast<float>(dist_[v]);
+      parent_out[v] = parent_[v];
+    } else {
+      dist_out[v] = static_cast<float>(kUnreachable);
+      parent_out[v] = kInvalidNode;
+    }
+  }
+}
+
+}  // namespace ace

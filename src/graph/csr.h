@@ -1,0 +1,113 @@
+// Immutable compressed-sparse-row (CSR) graph snapshot and the flat-array
+// Dijkstra kernel that runs over it. The mutable adjacency-list Graph is
+// the right structure for overlays under churn; the physical topology,
+// however, is frozen after generation and queried millions of times by the
+// delay oracle. A CSR snapshot packs every arc into two contiguous arrays
+// (targets, weights) indexed by a per-node offset table, so a Dijkstra
+// relaxation touches sequential memory instead of chasing per-node vector
+// headers.
+//
+// Determinism: arcs are laid out in the exact adjacency order of the source
+// Graph, and the kernel's relaxation arithmetic (double sums, strict-<
+// improvement) matches the reference implementation in shortest_path.cpp,
+// so finalized distance values are bit-identical to the adjacency-list
+// version (final distances are a min over path sums and do not depend on
+// heap pop order among ties; see DESIGN.md §9).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ace {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+  // Snapshot of `graph` at construction time; later mutations of `graph`
+  // are not reflected. Arc order per node equals graph.neighbors(u) order.
+  explicit CsrGraph(const Graph& graph);
+
+  std::size_t node_count() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  // Directed arc count (2x the undirected edge count).
+  std::size_t arc_count() const noexcept { return targets_.size(); }
+
+  std::size_t degree(NodeId u) const noexcept {
+    return offsets_[u + 1] - offsets_[u];
+  }
+  std::span<const NodeId> targets(NodeId u) const noexcept {
+    return {targets_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+  }
+  std::span<const Weight> weights(NodeId u) const noexcept {
+    return {weights_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+  }
+
+  // Raw arrays for kernels that index arcs directly.
+  std::span<const std::uint32_t> offsets() const noexcept { return offsets_; }
+  std::span<const NodeId> arc_targets() const noexcept { return targets_; }
+  std::span<const Weight> arc_weights() const noexcept { return weights_; }
+
+ private:
+  // offsets_[u]..offsets_[u+1] delimit u's arcs; size node_count()+1.
+  std::vector<std::uint32_t> offsets_;
+  std::vector<NodeId> targets_;
+  std::vector<Weight> weights_;
+};
+
+// Reusable single-source Dijkstra solver over a CSR snapshot: flat 4-ary
+// heap (better cache behavior than a binary heap: shallower tree, children
+// in one cache line) with lazy deletion, and epoch-stamped visit marks so
+// back-to-back runs skip the O(V) per-run reset. One solver instance serves
+// one thread; the CSR snapshot it points at may be shared read-only.
+class CsrDijkstra {
+ public:
+  // `graph` must outlive the solver.
+  explicit CsrDijkstra(const CsrGraph& graph);
+
+  // Full single-source run. Results valid until the next run.
+  void run(NodeId source) { run_to_targets(source, {}); }
+  // Stops once every node in `targets` is finalized (same early-stop
+  // semantics as dijkstra_to_targets). Empty targets = full run.
+  void run_to_targets(NodeId source, std::span<const NodeId> targets);
+
+  // Distance of the last run (kUnreachable when not reached).
+  Weight dist(NodeId v) const noexcept {
+    return stamp_[v] == epoch_ ? dist_[v] : unreachable_();
+  }
+  // Predecessor on the discovered shortest path (kInvalidNode when none).
+  NodeId parent(NodeId v) const noexcept {
+    return stamp_[v] == epoch_ ? parent_[v] : kInvalidNode;
+  }
+
+  // Bulk export of the last run into compact row arrays (the delay oracle's
+  // cache format). Spans must have length node_count(); unreached nodes get
+  // +inf / kInvalidNode.
+  void export_row(std::span<float> dist_out,
+                  std::span<NodeId> parent_out) const;
+
+ private:
+  static Weight unreachable_() noexcept;
+  void begin_epoch_();
+
+  struct HeapSlot {
+    Weight key;
+    NodeId node;
+  };
+  void heap_push_(Weight key, NodeId node);
+  HeapSlot heap_pop_();
+
+  const CsrGraph* graph_;
+  std::vector<Weight> dist_;
+  std::vector<NodeId> parent_;
+  std::vector<std::uint32_t> stamp_;       // dist_/parent_ valid this epoch
+  std::vector<std::uint32_t> done_stamp_;  // node finalized this epoch
+  std::vector<std::uint32_t> target_stamp_;
+  std::vector<HeapSlot> heap_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace ace

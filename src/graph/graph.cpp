@@ -34,6 +34,16 @@ bool Graph::add_edge(NodeId u, NodeId v, Weight weight) {
   return true;
 }
 
+void Graph::add_new_edge(NodeId u, NodeId v, Weight weight) {
+  check_node(u);
+  check_node(v);
+  if (!(weight > 0))
+    throw std::invalid_argument{"Graph::add_new_edge: weight must be positive"};
+  adjacency_[u].push_back({v, weight});
+  adjacency_[v].push_back({u, weight});
+  ++edge_count_;
+}
+
 namespace {
 bool erase_neighbor(std::vector<Neighbor>& list, NodeId target) {
   const auto it = std::find_if(list.begin(), list.end(), [target](const Neighbor& n) {

@@ -51,6 +51,13 @@ class Graph {
   // the graph unchanged) when the edge already exists or u == v.
   bool add_edge(NodeId u, NodeId v, Weight weight);
 
+  // add_edge without the duplicate-edge scan: the caller guarantees u != v
+  // and that the edge is absent. For bulk construction from a deduplicated
+  // edge source (e.g. an induced subgraph visiting each pair once), where
+  // the O(degree) has_edge probe dominates. Misuse is caught by
+  // debug_validate at the audit points.
+  void add_new_edge(NodeId u, NodeId v, Weight weight);
+
   // Removes edge u-v. Returns false when it does not exist.
   bool remove_edge(NodeId u, NodeId v);
 

@@ -4,6 +4,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "graph/csr.h"
+
 namespace ace {
 
 namespace {
@@ -63,14 +65,39 @@ ShortestPathResult dijkstra_impl(const Graph& graph, NodeId source,
   return result;
 }
 
+// Snapshot-and-solve on the CSR kernel. The snapshot is O(V+E) — the same
+// order as the solve itself — and the flat arrays more than pay for it on
+// the graphs the oracle sees (long-lived topologies use a persistent
+// CsrGraph + CsrDijkstra instead; see net/physical_network.h).
+ShortestPathResult csr_dijkstra(const Graph& graph, NodeId source,
+                                std::span<const NodeId> targets) {
+  const CsrGraph csr{graph};
+  CsrDijkstra solver{csr};
+  solver.run_to_targets(source, targets);
+  const std::size_t n = graph.node_count();
+  ShortestPathResult result;
+  result.dist.resize(n);
+  result.parent.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    result.dist[v] = solver.dist(v);
+    result.parent[v] = solver.parent(v);
+  }
+  return result;
+}
+
 }  // namespace
 
 ShortestPathResult dijkstra(const Graph& graph, NodeId source) {
-  return dijkstra_impl(graph, source, {});
+  return csr_dijkstra(graph, source, {});
 }
 
 ShortestPathResult dijkstra_to_targets(const Graph& graph, NodeId source,
                                        std::span<const NodeId> targets) {
+  return csr_dijkstra(graph, source, targets);
+}
+
+ShortestPathResult dijkstra_reference(const Graph& graph, NodeId source,
+                                      std::span<const NodeId> targets) {
   return dijkstra_impl(graph, source, targets);
 }
 
@@ -138,18 +165,24 @@ MstResult prim_mst(const Graph& graph, NodeId root) {
   const std::size_t n = graph.node_count();
   if (root >= n) throw std::out_of_range{"prim_mst: root out of range"};
   MstResult result;
-  std::vector<bool> in_tree(n, false);
+  std::vector<std::uint8_t> in_tree(n, 0);
   std::vector<Weight> best(n, kUnreachable);
   std::vector<NodeId> best_from(n, kInvalidNode);
 
-  MinHeap heap;
+  // Manual heap over a reserved vector. std::priority_queue is specified
+  // as push_heap/pop_heap over its container, so with the same comparator
+  // and push sequence the pop order — including equal-weight ties — is
+  // identical to the previous implementation.
+  std::vector<HeapItem> heap;
+  heap.reserve(n);
   best[root] = 0;
-  heap.push({0, root});
+  heap.push_back({0, root});
   while (!heap.empty()) {
-    const auto [d, u] = heap.top();
-    heap.pop();
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+    const auto [d, u] = heap.back();
+    heap.pop_back();
     if (in_tree[u]) continue;
-    in_tree[u] = true;
+    in_tree[u] = 1;
     if (best_from[u] != kInvalidNode) {
       result.edges.push_back({best_from[u], u, best[u]});
       result.total_weight += best[u];
@@ -158,7 +191,8 @@ MstResult prim_mst(const Graph& graph, NodeId root) {
       if (!in_tree[v] && w < best[v]) {
         best[v] = w;
         best_from[v] = u;
-        heap.push({w, v});
+        heap.push_back({w, v});
+        std::push_heap(heap.begin(), heap.end(), std::greater<>{});
       }
     }
   }

@@ -21,14 +21,25 @@ struct ShortestPathResult {
   std::vector<NodeId> parent;
 };
 
-// Single-source Dijkstra over non-negative weights (binary heap,
-// O((V+E) log V)).
+// Single-source Dijkstra over non-negative weights. Implemented on the
+// flat-array CSR kernel (graph/csr.h): the graph is snapshotted to CSR and
+// solved with a 4-ary heap. Distance values are bit-identical to
+// dijkstra_reference (they are a min over path sums, independent of heap
+// pop order); parent choices can differ only between exactly-equal-cost
+// paths.
 ShortestPathResult dijkstra(const Graph& graph, NodeId source);
 
 // Dijkstra that stops once every node in `targets` is finalized — used by
 // the physical network's on-demand host-distance cache.
 ShortestPathResult dijkstra_to_targets(const Graph& graph, NodeId source,
                                        std::span<const NodeId> targets);
+
+// The original binary-heap adjacency-list implementation, kept as the
+// differential-testing oracle for the CSR kernel and as the baseline side
+// of the bench_micro CSR-vs-adjacency comparison. Semantics identical to
+// dijkstra/dijkstra_to_targets (empty `targets` = full run).
+ShortestPathResult dijkstra_reference(const Graph& graph, NodeId source,
+                                      std::span<const NodeId> targets = {});
 
 // Reconstructs the node sequence source..target from a parent array.
 // Returns empty when target is unreachable.

@@ -4,45 +4,104 @@
 #include <stdexcept>
 
 #include "graph/shortest_path.h"
+#include "util/logging.h"
 
 namespace ace {
 
-PhysicalNetwork::PhysicalNetwork(Graph topology, std::size_t max_cached_rows)
-    : topology_{std::move(topology)}, max_cached_rows_{max_cached_rows} {}
+namespace {
+
+std::size_t resolve_byte_budget(std::size_t requested, std::size_t hosts) {
+  if (requested != PhysicalNetwork::kAutoCacheBytes) return requested;
+  // Auto policy: small topologies cache everything (the whole matrix is
+  // cheap); large ones get a hard byte cap so the row cache cannot grow
+  // unboundedly with the query working set.
+  return hosts <= PhysicalNetwork::kAutoUncappedHosts
+             ? 0
+             : PhysicalNetwork::kAutoByteBudget;
+}
+
+}  // namespace
+
+PhysicalNetwork::PhysicalNetwork(Graph topology, std::size_t max_cached_rows,
+                                 std::size_t max_cache_bytes)
+    : topology_{std::move(topology)},
+      csr_{topology_},
+      max_cached_rows_{max_cached_rows},
+      max_cache_bytes_{
+          resolve_byte_budget(max_cache_bytes, topology_.node_count())},
+      solver_{csr_} {
+  stats_.max_rows = max_cached_rows_;
+  stats_.max_bytes = max_cache_bytes_;
+}
+
+void PhysicalNetwork::evict_to_budget_() const {
+  const std::size_t bytes_per_row = row_bytes_();
+  while (!lru_.empty() &&
+         ((max_cached_rows_ != 0 && cache_.size() > max_cached_rows_) ||
+          (max_cache_bytes_ != 0 &&
+           cache_.size() * bytes_per_row > max_cache_bytes_))) {
+    if (cache_.size() == 1) break;  // always keep the row just computed
+    const HostId victim = lru_.back();
+    lru_.pop_back();
+    cache_.erase(victim);
+    ++stats_.evictions;
+    if (!warned_eviction_) {
+      warned_eviction_ = true;
+      ACE_LOG(kWarn) << "PhysicalNetwork: distance-row cache budget reached "
+                     << "(rows=" << cache_.size() + 1
+                     << ", max_rows=" << max_cached_rows_
+                     << ", max_bytes=" << max_cache_bytes_
+                     << "); evicting least-recently-used rows — results are "
+                     << "unchanged, evicted rows recompute on demand";
+    }
+  }
+}
 
 const PhysicalNetwork::Row& PhysicalNetwork::row_for(HostId source) const {
   if (source >= topology_.node_count())
     throw std::out_of_range{"PhysicalNetwork: host out of range"};
-  if (const auto it = cache_.find(source); it != cache_.end()) return it->second;
-
-  auto result = dijkstra(topology_, source);
-  Row row;
-  row.dist.reserve(result.dist.size());
-  for (const Weight d : result.dist) row.dist.push_back(static_cast<float>(d));
-  row.parent = std::move(result.parent);
-  ++rows_computed_;
-
-  if (max_cached_rows_ != 0 && cache_.size() >= max_cached_rows_) {
-    // FIFO eviction: oldest row leaves.
-    const HostId victim = eviction_order_.front();
-    eviction_order_.pop_front();
-    cache_.erase(victim);
+  if (const auto it = cache_.find(source); it != cache_.end()) {
+    ++stats_.hits;
+    // LRU touch: move to the front of the recency list.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.row;
   }
-  eviction_order_.push_back(source);
-  return cache_.emplace(source, std::move(row)).first->second;
+
+  ++stats_.misses;
+  solver_.run(source);
+  Row row;
+  row.dist.resize(topology_.node_count());
+  row.parent.resize(topology_.node_count());
+  solver_.export_row(row.dist, row.parent);
+
+  lru_.push_front(source);
+  auto& entry = cache_[source];
+  entry.row = std::move(row);
+  entry.lru_pos = lru_.begin();
+  evict_to_budget_();
+  return cache_.find(source)->second.row;
+}
+
+RowCacheStats PhysicalNetwork::row_cache_stats() const noexcept {
+  RowCacheStats stats = stats_;
+  stats.rows = cache_.size();
+  stats.bytes = cache_.size() * row_bytes_();
+  return stats;
 }
 
 Weight PhysicalNetwork::delay(HostId a, HostId b) const {
   if (b >= topology_.node_count())
     throw std::out_of_range{"PhysicalNetwork: host out of range"};
   if (a == b) return 0;
-  // Use whichever endpoint already has a cached row to avoid duplicates.
+  // Use whichever endpoint already has a cached row to avoid duplicates
+  // (delays are symmetric, so either row answers the query).
   if (!cache_.contains(a) && cache_.contains(b)) std::swap(a, b);
   return static_cast<Weight>(row_for(a).dist[b]);
 }
 
 std::size_t PhysicalNetwork::path_hops(HostId a, HostId b) const {
-  return path(a, b).empty() ? 0 : path(a, b).size() - 1;
+  const std::vector<HostId> nodes = path(a, b);
+  return nodes.empty() ? 0 : nodes.size() - 1;
 }
 
 std::vector<HostId> PhysicalNetwork::path(HostId a, HostId b) const {

@@ -5,29 +5,62 @@
 // accounted (a logical-hop transmission consumes the physical path under
 // it; see DESIGN.md §3).
 //
-// Rows of the all-pairs distance matrix are computed lazily with Dijkstra
-// and cached with FIFO eviction, because only hosts that carry peers are
-// ever queried (a few thousand rows out of a 20k-node topology).
+// The topology is frozen after generation, so the constructor snapshots it
+// into an immutable CSR layout (graph/csr.h) and all Dijkstra rows run on
+// the flat-array kernel. Rows of the all-pairs distance matrix are computed
+// lazily and cached as compact float/NodeId arrays under a least-recently-
+// used policy bounded both by row count and by a byte budget, because only
+// hosts that carry peers are ever queried (a few thousand rows out of a
+// 20k-node topology). Cached rows are value-identical to recomputation, so
+// the cache policy affects wall-clock time only, never results.
+//
+// Not thread-safe: one PhysicalNetwork serves one trial/thread (the trial
+// runner gives every parallel trial its own Scenario, hence its own oracle).
 #pragma once
 
 #include <cstddef>
-#include <deque>
+#include <list>
 #include <unordered_map>
 #include <vector>
 
+#include "graph/csr.h"
 #include "graph/graph.h"
 
 namespace ace {
 
 using HostId = NodeId;
 
+// Snapshot of the delay oracle's row-cache behavior (monotonic counters
+// since construction plus the current occupancy and configured bounds).
+struct RowCacheStats {
+  std::size_t hits = 0;        // queries served from a cached row
+  std::size_t misses = 0;      // rows computed (== rows_computed())
+  std::size_t evictions = 0;   // rows dropped to stay within budget
+  std::size_t rows = 0;        // rows currently cached
+  std::size_t bytes = 0;       // bytes currently cached (row payloads)
+  std::size_t max_rows = 0;    // configured row bound (0 = unlimited)
+  std::size_t max_bytes = 0;   // configured byte budget (0 = unlimited)
+};
+
 class PhysicalNetwork {
  public:
-  // `max_cached_rows` bounds memory: each cached row is one float per
-  // physical node. 0 means unlimited.
-  explicit PhysicalNetwork(Graph topology, std::size_t max_cached_rows = 8192);
+  // Sentinel for `max_cache_bytes`: pick the budget from the graph size —
+  // unlimited for small topologies (every row fits comfortably), capped for
+  // large ones where an unbounded cache would grow without limit.
+  static constexpr std::size_t kAutoCacheBytes = static_cast<std::size_t>(-1);
+  // Auto policy knobs: graphs up to kAutoUncappedHosts hosts get an
+  // unlimited byte budget; larger ones are capped at kAutoByteBudget.
+  static constexpr std::size_t kAutoUncappedHosts = 4096;
+  static constexpr std::size_t kAutoByteBudget = 256ull << 20;  // 256 MiB
+
+  // `max_cached_rows` bounds the row count (0 = unlimited); each cached row
+  // is one float + one NodeId per physical node. `max_cache_bytes` bounds
+  // the total row payload (0 = unlimited, kAutoCacheBytes = auto policy).
+  explicit PhysicalNetwork(Graph topology, std::size_t max_cached_rows = 8192,
+                           std::size_t max_cache_bytes = kAutoCacheBytes);
 
   const Graph& topology() const noexcept { return topology_; }
+  const CsrGraph& csr() const noexcept { return csr_; }
   std::size_t host_count() const noexcept { return topology_.node_count(); }
 
   // Shortest-path delay between two hosts. Throws std::out_of_range for bad
@@ -47,27 +80,40 @@ class PhysicalNetwork {
   Weight probe_rtt(HostId a, HostId b) const { return 2 * delay(a, b); }
 
   // Diagnostics: how many Dijkstra row computations have run / are cached.
-  std::size_t rows_computed() const noexcept { return rows_computed_; }
+  std::size_t rows_computed() const noexcept { return stats_.misses; }
   std::size_t rows_cached() const noexcept { return cache_.size(); }
+  RowCacheStats row_cache_stats() const noexcept;
 
  private:
   struct Row {
     std::vector<float> dist;
     std::vector<NodeId> parent;
   };
+  struct CacheEntry {
+    Row row;
+    std::list<HostId>::iterator lru_pos;
+  };
 
   const Row& row_for(HostId source) const;
+  std::size_t row_bytes_() const noexcept {
+    return host_count() * (sizeof(float) + sizeof(NodeId));
+  }
+  void evict_to_budget_() const;
 
   Graph topology_;
+  CsrGraph csr_;
   std::size_t max_cached_rows_;
-  // Mutable: the cache is an implementation detail of a logically-const
-  // distance query.
+  std::size_t max_cache_bytes_;
+  // Mutable: the cache and solver are implementation details of a
+  // logically-const distance query.
   // ace-lint: allow(unordered-container): keyed lookup only — eviction
-  // follows eviction_order_ (FIFO deque); the map is never iterated, and
+  // follows lru_ (least-recently-used list); the map is never iterated, and
   // cached rows are value-identical to recomputation.
-  mutable std::unordered_map<HostId, Row> cache_;
-  mutable std::deque<HostId> eviction_order_;
-  mutable std::size_t rows_computed_ = 0;
+  mutable std::unordered_map<HostId, CacheEntry> cache_;
+  mutable std::list<HostId> lru_;  // front = most recently used
+  mutable CsrDijkstra solver_;
+  mutable RowCacheStats stats_;
+  mutable bool warned_eviction_ = false;
 };
 
 }  // namespace ace

@@ -1,7 +1,6 @@
 #include "search/flooding.h"
 
 #include <algorithm>
-#include <queue>
 #include <stdexcept>
 
 #include "util/check.h"
@@ -138,212 +137,245 @@ std::vector<PeerId> ForwardingTable::non_flooding(
   return out;
 }
 
-namespace {
-
-struct Transmission {
-  double arrive_time;   // cumulative logical-path delay from the source
-  PeerId to;
-  PeerId from;
-  // Peer whose local tree is instructing this branch (tree routing only);
-  // kInvalidPeer means no instructions (blind flooding).
-  PeerId tree_owner;
-  std::uint32_t hops;   // logical hops taken (for TTL)
-  std::uint64_t seq;    // deterministic tie-break
-  friend bool operator>(const Transmission& a, const Transmission& b) {
-    if (a.arrive_time != b.arrive_time) return a.arrive_time > b.arrive_time;
-    return a.seq > b.seq;
-  }
-};
-
-// A forwarding decision: target peer plus the tree owner whose relay
-// instructions the copy carries onward (kInvalidPeer = none).
-struct ForwardTarget {
-  PeerId to;
-  PeerId owner;
-};
-
-// Computes the forwarding targets of `peer` for a query arriving from
-// `from` (kInvalidPeer at the source) under relay instructions from
-// `tree_owner`'s local tree. A relaying peer serves two trees at once: the
-// branch the owner delegated to it (those copies keep the owner's
-// instructions — the owner's tree may reach deeper) and its own subtree
-// (those copies carry the peer's fresh instructions).
-void forwarding_targets(const OverlayNetwork& overlay, PeerId peer,
-                        PeerId from, PeerId tree_owner, ForwardingMode mode,
-                        const ForwardingTable* table, std::uint32_t hops,
-                        const QueryOptions& options,
-                        std::vector<ForwardTarget>& out) {
-  out.clear();
-  if (mode == ForwardingMode::kHybridPeriodical) {
-    // Periodic hops (including the source's hop 0) flood everyone; other
-    // hops forward only over the hpf_partial cheapest links.
-    const bool flood_all =
-        options.hpf_period == 0 || hops % options.hpf_period == 0;
-    std::vector<Neighbor> candidates;
-    for (const auto& n : overlay.neighbors(peer))
-      if (n.node != from) candidates.push_back(n);
-    if (!flood_all && candidates.size() > options.hpf_partial) {
-      std::partial_sort(candidates.begin(),
-                        candidates.begin() +
-                            static_cast<std::ptrdiff_t>(options.hpf_partial),
-                        candidates.end(),
-                        [](const Neighbor& a, const Neighbor& b) {
-                          return a.weight < b.weight;
-                        });
-      candidates.resize(options.hpf_partial);
-    }
-    for (const auto& n : candidates) out.push_back({n.node, kInvalidPeer});
-    return;
-  }
-  if (mode != ForwardingMode::kTreeRouting || table == nullptr ||
-      !table->has_entry(peer)) {
-    // Blind flooding — also the fallback for a peer with no tree of its
-    // own (a fresh joiner or an invalidated entry): a superset of any
-    // relay instructions.
-    for (const auto& n : overlay.neighbors(peer))
-      if (n.node != from) out.push_back({n.node, kInvalidPeer});
-    return;
-  }
-
-  auto push_unique = [&out](PeerId q, PeerId owner) {
-    for (const ForwardTarget& t : out)
-      if (t.to == q) return;
-    out.push_back({q, owner});
-  };
-
-  // Relay instructions from the current tree owner, when it has any for
-  // us; the copies keep the owner's instructions.
-  if (tree_owner != kInvalidPeer && tree_owner != peer &&
-      table->has_entry(tree_owner)) {
-    const TreeRouting& routing = table->tree(tree_owner);
-    if (const auto* kids = routing.find_children(peer)) {
-      for (const PeerId q : *kids) {
-        // Tree entries can be stale under churn: forward only over links
-        // that still exist.
-        if (q != from && overlay.are_connected(peer, q))
-          push_unique(q, tree_owner);
-      }
-    }
-  }
-
-  // Our own tree children (fresh instructions for those branches).
-  for (const PeerId q : table->flooding(peer))
-    if (q != from && overlay.are_connected(peer, q)) push_unique(q, peer);
+void QueryScratch::reserve(std::size_t peers) {
+  visited_.reserve(peers);
+  parent_.reserve(peers);
+  heap_.reserve(peers);
+  targets_.reserve(64);
+  candidates_.reserve(64);
 }
 
-}  // namespace
+// The query expansion engine. A plain class (not an anonymous-namespace
+// function) so it can be the single friend of QueryScratch. The pending-
+// transmission heap is a std::vector driven by push_heap/pop_heap with the
+// exact comparator the old std::priority_queue used, so pop order —
+// including arrival-time ties broken by sequence number — is bit-identical
+// to the allocating implementation.
+class QueryEngine {
+ public:
+  using Hop = QueryScratch::Hop;
+  using Target = QueryScratch::Target;
+
+  struct HopAfter {
+    bool operator()(const Hop& a, const Hop& b) const {
+      if (a.arrive_time != b.arrive_time) return a.arrive_time > b.arrive_time;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Computes the forwarding targets of `peer` for a query arriving from
+  // `from` (kInvalidPeer at the source) under relay instructions from
+  // `tree_owner`'s local tree. A relaying peer serves two trees at once:
+  // the branch the owner delegated to it (those copies keep the owner's
+  // instructions — the owner's tree may reach deeper) and its own subtree
+  // (those copies carry the peer's fresh instructions).
+  static void forwarding_targets(const OverlayNetwork& overlay, PeerId peer,
+                                 PeerId from, PeerId tree_owner,
+                                 ForwardingMode mode,
+                                 const ForwardingTable* table,
+                                 std::uint32_t hops,
+                                 const QueryOptions& options,
+                                 QueryScratch& s) {
+    std::vector<Target>& out = s.targets_;
+    out.clear();
+    if (mode == ForwardingMode::kHybridPeriodical) {
+      // Periodic hops (including the source's hop 0) flood everyone; other
+      // hops forward only over the hpf_partial cheapest links.
+      const bool flood_all =
+          options.hpf_period == 0 || hops % options.hpf_period == 0;
+      std::vector<Neighbor>& candidates = s.candidates_;
+      candidates.clear();
+      for (const auto& n : overlay.neighbors(peer))
+        if (n.node != from) candidates.push_back(n);
+      if (!flood_all && candidates.size() > options.hpf_partial) {
+        std::partial_sort(candidates.begin(),
+                          candidates.begin() +
+                              static_cast<std::ptrdiff_t>(options.hpf_partial),
+                          candidates.end(),
+                          [](const Neighbor& a, const Neighbor& b) {
+                            return a.weight < b.weight;
+                          });
+        candidates.resize(options.hpf_partial);
+      }
+      for (const auto& n : candidates) out.push_back({n.node, kInvalidPeer});
+      return;
+    }
+    if (mode != ForwardingMode::kTreeRouting || table == nullptr ||
+        !table->has_entry(peer)) {
+      // Blind flooding — also the fallback for a peer with no tree of its
+      // own (a fresh joiner or an invalidated entry): a superset of any
+      // relay instructions.
+      for (const auto& n : overlay.neighbors(peer))
+        if (n.node != from) out.push_back({n.node, kInvalidPeer});
+      return;
+    }
+
+    auto push_unique = [&out](PeerId q, PeerId owner) {
+      for (const Target& t : out)
+        if (t.to == q) return;
+      out.push_back({q, owner});
+    };
+
+    // Relay instructions from the current tree owner, when it has any for
+    // us; the copies keep the owner's instructions.
+    if (tree_owner != kInvalidPeer && tree_owner != peer &&
+        table->has_entry(tree_owner)) {
+      const TreeRouting& routing = table->tree(tree_owner);
+      if (const auto* kids = routing.find_children(peer)) {
+        for (const PeerId q : *kids) {
+          // Tree entries can be stale under churn: forward only over links
+          // that still exist.
+          if (q != from && overlay.are_connected(peer, q))
+            push_unique(q, tree_owner);
+        }
+      }
+    }
+
+    // Our own tree children (fresh instructions for those branches).
+    for (const PeerId q : table->flooding(peer))
+      if (q != from && overlay.are_connected(peer, q)) push_unique(q, peer);
+  }
+
+  static QueryResult run(const OverlayNetwork& overlay, PeerId source,
+                         ObjectId object, const ContentOracle& oracle,
+                         ForwardingMode mode, const ForwardingTable* table,
+                         const QueryOptions& options, QueryScratch& s) {
+    if (!overlay.is_online(source))
+      throw std::invalid_argument{"run_query: source is offline"};
+
+    QueryResult result;
+    const double query_size = size_factor(options.sizing, MessageType::kQuery);
+    const double hit_size =
+        size_factor(options.sizing, MessageType::kQueryHit);
+
+    // Epoch-stamped visit marks: bumping the epoch invalidates every stale
+    // mark at once, so buffer reuse costs no O(peers) clear. On the (very
+    // rare) wrap, reset the marks so epoch-0 stamps cannot alias.
+    const std::size_t n = overlay.peer_count();
+    if (s.visited_.size() < n) s.visited_.resize(n, 0);
+    if (s.parent_.size() < n) s.parent_.resize(n, kInvalidPeer);
+    if (++s.epoch_ == 0) {
+      std::fill(s.visited_.begin(), s.visited_.end(), 0u);
+      s.epoch_ = 1;
+    }
+    const std::uint32_t epoch = s.epoch_;
+    auto visited = [&s, epoch](PeerId p) { return s.visited_[p] == epoch; };
+    auto mark_visited = [&s, epoch](PeerId p) { s.visited_[p] = epoch; };
+
+    std::vector<Hop>& heap = s.heap_;
+    heap.clear();
+    std::uint64_t seq = 0;
+
+    mark_visited(source);
+    // parent_ entries are only ever read for visited peers, which are
+    // always written first this query — except the source, whose sentinel
+    // terminates the response-path walk and must be set explicitly.
+    s.parent_[source] = kInvalidPeer;
+    if (options.record_paths)
+      result.visit_parents.emplace_back(source, kInvalidPeer);
+
+    double best_response = -1.0;
+
+    // The source itself never "responds to itself": if the source holds
+    // the object the user already has it; queries in the paper measure
+    // remote search, so we start expansion unconditionally.
+    auto expand = [&](PeerId peer, PeerId from, PeerId tree_owner, double at,
+                      std::uint32_t hops) {
+      if (options.ttl != 0 && hops >= options.ttl) return;
+      forwarding_targets(overlay, peer, from, tree_owner, mode, table, hops,
+                         options, s);
+      for (const Target& t : s.targets_) {
+        const Weight w = overlay.link_cost(peer, t.to);
+        heap.push_back({at + w, t.to, peer, t.owner, hops + 1, seq++});
+        std::push_heap(heap.begin(), heap.end(), HopAfter{});
+        result.traffic_cost += query_size * w;
+        ++result.messages;
+      }
+    };
+
+    expand(source, kInvalidPeer, kInvalidPeer, 0.0, 0);
+
+    // A peer that accepted a relay obligation in an owner's tree honors it
+    // even when the copy carrying the instructions arrives late (after the
+    // peer already saw the query from elsewhere): otherwise the owner's
+    // subtree silently starves whenever the instruction copy loses a
+    // delivery race. The instruction tree is a tree, so this stays bounded.
+    auto relay_instructions = [&](const Hop& tx) {
+      if (mode != ForwardingMode::kTreeRouting || table == nullptr) return;
+      if (tx.tree_owner == kInvalidPeer || tx.tree_owner == tx.to) return;
+      if (options.ttl != 0 && tx.hops >= options.ttl) return;
+      if (!table->has_entry(tx.tree_owner)) return;
+      const TreeRouting& routing = table->tree(tx.tree_owner);
+      const auto* kids = routing.find_children(tx.to);
+      if (kids == nullptr) return;
+      for (const PeerId q : *kids) {
+        if (q == tx.from || visited(q)) continue;
+        if (!overlay.are_connected(tx.to, q)) continue;
+        const Weight w = overlay.link_cost(tx.to, q);
+        heap.push_back({tx.arrive_time + w, q, tx.to, tx.tree_owner,
+                        tx.hops + 1, seq++});
+        std::push_heap(heap.begin(), heap.end(), HopAfter{});
+        result.traffic_cost += query_size * w;
+        ++result.messages;
+      }
+    };
+
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), HopAfter{});
+      const Hop tx = heap.back();
+      heap.pop_back();
+      if (visited(tx.to)) {
+        ++result.duplicates;
+        relay_instructions(tx);
+        continue;
+      }
+      mark_visited(tx.to);
+      s.parent_[tx.to] = tx.from;
+      ++result.scope;
+      if (options.record_paths)
+        result.visit_parents.emplace_back(tx.to, tx.from);
+
+      const AnswerKind answer = oracle.answers(tx.to, object);
+      if (answer != AnswerKind::kNo) {
+        // Response returns along the inverse path: symmetric delays make
+        // the response arrive at 2x the query arrival time.
+        const double response_at = 2.0 * tx.arrive_time;
+        if (!result.found || response_at < best_response) {
+          best_response = response_at;
+          result.found = true;
+          result.first_responder = tx.to;
+          result.response_time = response_at;
+          result.answered_from_cache = answer == AnswerKind::kCached;
+        }
+        if (answer == AnswerKind::kCached) continue;  // cache hit: stop
+      }
+      expand(tx.to, tx.from, tx.tree_owner, tx.arrive_time, tx.hops);
+    }
+
+    // Response traffic: the first response crosses each logical link of
+    // the inverse path once.
+    if (result.found) {
+      for (PeerId v = result.first_responder;
+           s.parent_[v] != kInvalidPeer; v = s.parent_[v])
+        result.response_traffic +=
+            hit_size * overlay.link_cost(s.parent_[v], v);
+      // first_responder may be a direct neighbor of the source: loop above
+      // already handles it (parent[source] == kInvalidPeer terminates).
+    }
+    return result;
+  }
+};
 
 QueryResult run_query(const OverlayNetwork& overlay, PeerId source,
                       ObjectId object, const ContentOracle& oracle,
                       ForwardingMode mode, const ForwardingTable* table,
-                      const QueryOptions& options) {
-  if (!overlay.is_online(source))
-    throw std::invalid_argument{"run_query: source is offline"};
-
-  QueryResult result;
-  const double query_size = size_factor(options.sizing, MessageType::kQuery);
-  const double hit_size = size_factor(options.sizing, MessageType::kQueryHit);
-
-  const std::size_t n = overlay.peer_count();
-  std::vector<bool> visited(n, false);
-  std::vector<PeerId> parent(n, kInvalidPeer);
-  std::vector<double> arrive(n, 0);
-
-  std::priority_queue<Transmission, std::vector<Transmission>, std::greater<>>
-      heap;
-  std::uint64_t seq = 0;
-
-  visited[source] = true;
-  if (options.record_paths)
-    result.visit_parents.emplace_back(source, kInvalidPeer);
-
-  double best_response = -1.0;
-
-  // The source itself never "responds to itself": if the source holds the
-  // object the user already has it; queries in the paper measure remote
-  // search, so we start expansion unconditionally.
-  std::vector<ForwardTarget> targets;
-  auto expand = [&](PeerId peer, PeerId from, PeerId tree_owner, double at,
-                    std::uint32_t hops) {
-    if (options.ttl != 0 && hops >= options.ttl) return;
-    forwarding_targets(overlay, peer, from, tree_owner, mode, table, hops,
-                       options, targets);
-    for (const ForwardTarget& t : targets) {
-      const Weight w = overlay.link_cost(peer, t.to);
-      heap.push({at + w, t.to, peer, t.owner, hops + 1, seq++});
-      result.traffic_cost += query_size * w;
-      ++result.messages;
-    }
-  };
-
-  expand(source, kInvalidPeer, kInvalidPeer, 0.0, 0);
-
-  // A peer that accepted a relay obligation in an owner's tree honors it
-  // even when the copy carrying the instructions arrives late (after the
-  // peer already saw the query from elsewhere): otherwise the owner's
-  // subtree silently starves whenever the instruction copy loses a
-  // delivery race. The instruction tree is a tree, so this stays bounded.
-  auto relay_instructions = [&](const Transmission& tx) {
-    if (mode != ForwardingMode::kTreeRouting || table == nullptr) return;
-    if (tx.tree_owner == kInvalidPeer || tx.tree_owner == tx.to) return;
-    if (options.ttl != 0 && tx.hops >= options.ttl) return;
-    if (!table->has_entry(tx.tree_owner)) return;
-    const TreeRouting& routing = table->tree(tx.tree_owner);
-    const auto* kids = routing.find_children(tx.to);
-    if (kids == nullptr) return;
-    for (const PeerId q : *kids) {
-      if (q == tx.from || visited[q]) continue;
-      if (!overlay.are_connected(tx.to, q)) continue;
-      const Weight w = overlay.link_cost(tx.to, q);
-      heap.push({tx.arrive_time + w, q, tx.to, tx.tree_owner, tx.hops + 1,
-                 seq++});
-      result.traffic_cost += query_size * w;
-      ++result.messages;
-    }
-  };
-
-  while (!heap.empty()) {
-    const Transmission tx = heap.top();
-    heap.pop();
-    if (visited[tx.to]) {
-      ++result.duplicates;
-      relay_instructions(tx);
-      continue;
-    }
-    visited[tx.to] = true;
-    parent[tx.to] = tx.from;
-    arrive[tx.to] = tx.arrive_time;
-    ++result.scope;
-    if (options.record_paths)
-      result.visit_parents.emplace_back(tx.to, tx.from);
-
-    const AnswerKind answer = oracle.answers(tx.to, object);
-    if (answer != AnswerKind::kNo) {
-      // Response returns along the inverse path: symmetric delays make the
-      // response arrive at 2x the query arrival time.
-      const double response_at = 2.0 * tx.arrive_time;
-      if (!result.found || response_at < best_response) {
-        best_response = response_at;
-        result.found = true;
-        result.first_responder = tx.to;
-        result.response_time = response_at;
-        result.answered_from_cache = answer == AnswerKind::kCached;
-      }
-      if (answer == AnswerKind::kCached) continue;  // cache hit: stop branch
-    }
-    expand(tx.to, tx.from, tx.tree_owner, tx.arrive_time, tx.hops);
-  }
-
-  // Response traffic: the first response crosses each logical link of the
-  // inverse path once.
-  if (result.found) {
-    for (PeerId v = result.first_responder; parent[v] != kInvalidPeer;
-         v = parent[v])
-      result.response_traffic += hit_size * overlay.link_cost(parent[v], v);
-    // first_responder may be a direct neighbor of the source: loop above
-    // already handles it (parent[source] == kInvalidPeer terminates).
-  }
-  return result;
+                      const QueryOptions& options, QueryScratch* scratch) {
+  if (scratch != nullptr)
+    return QueryEngine::run(overlay, source, object, oracle, mode, table,
+                            options, *scratch);
+  QueryScratch local;
+  return QueryEngine::run(overlay, source, object, oracle, mode, table,
+                          options, local);
 }
 
 QueryStats sample_queries(const OverlayNetwork& overlay,
@@ -352,10 +384,13 @@ QueryStats sample_queries(const OverlayNetwork& overlay,
                           const ForwardingTable* table, std::size_t count,
                           Rng& rng, const QueryOptions& options) {
   QueryStats stats;
+  QueryScratch scratch;
+  scratch.reserve(overlay.peer_count());
   for (std::size_t i = 0; i < count; ++i) {
     const PeerId source = overlay.random_online_peer(rng);
     const ObjectId object = catalog.sample_object(rng);
-    stats.add(run_query(overlay, source, object, oracle, mode, table, options));
+    stats.add(run_query(overlay, source, object, oracle, mode, table, options,
+                        &scratch));
   }
   return stats;
 }

@@ -139,12 +139,58 @@ enum class ForwardingMode : std::uint8_t {
   kHybridPeriodical,
 };
 
+// Reusable per-searcher scratch for run_query. A query's working set
+// (visit marks, response-path parents, the pending-transmission heap) is
+// proportional to the overlay size; owning these buffers at the call site
+// removes every per-query allocation from the hot measurement loops.
+// Visit marks are epoch-stamped, so reuse costs no O(peers) clear either.
+// Contents between calls are unspecified; one scratch serves one thread.
+class QueryScratch {
+ public:
+  QueryScratch() = default;
+  // Pre-sizes the buffers for an overlay of `peers` (optional — run_query
+  // grows them on demand).
+  void reserve(std::size_t peers);
+
+ private:
+  friend class QueryEngine;
+
+  // Pending transmission (heap element of the time-ordered expansion).
+  struct Hop {
+    double arrive_time;  // cumulative logical-path delay from the source
+    PeerId to;
+    PeerId from;
+    // Peer whose local tree is instructing this branch (tree routing
+    // only); kInvalidPeer means no instructions (blind flooding).
+    PeerId tree_owner;
+    std::uint32_t hops;  // logical hops taken (for TTL)
+    std::uint64_t seq;   // deterministic tie-break
+  };
+  // A forwarding decision: target peer plus the tree owner whose relay
+  // instructions the copy carries onward (kInvalidPeer = none).
+  struct Target {
+    PeerId to;
+    PeerId owner;
+  };
+
+  std::vector<std::uint32_t> visited_;  // epoch-stamped visit marks
+  std::vector<PeerId> parent_;
+  std::vector<Hop> heap_;
+  std::vector<Target> targets_;
+  std::vector<Neighbor> candidates_;  // HPF partial-sort scratch
+  std::uint32_t epoch_ = 0;
+};
+
 // Executes one query synchronously against the overlay snapshot.
 // `source` must be online. `table` may be null for blind flooding.
+// `scratch` (optional) supplies reusable buffers; results are identical
+// with or without it — expansion order, tie-breaks, and all metrics are
+// bit-for-bit the same.
 QueryResult run_query(const OverlayNetwork& overlay, PeerId source,
                       ObjectId object, const ContentOracle& oracle,
                       ForwardingMode mode, const ForwardingTable* table,
-                      const QueryOptions& options = {});
+                      const QueryOptions& options = {},
+                      QueryScratch* scratch = nullptr);
 
 // Convenience: average query metrics over `count` random (source, object)
 // pairs drawn from the catalog's popularity distribution.

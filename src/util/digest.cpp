@@ -84,6 +84,10 @@ void DigestTrace::record(std::string_view label, std::string_view component,
   rows_.push_back({std::string{label}, std::string{component}, value});
 }
 
+void DigestTrace::extend(const DigestTrace& other) {
+  rows_.insert(rows_.end(), other.rows_.begin(), other.rows_.end());
+}
+
 std::string DigestTrace::csv() const {
   std::string out = "label,component,digest\n";
   for (const Row& row : rows_) {

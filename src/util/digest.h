@@ -115,6 +115,11 @@ class DigestTrace {
   void record(std::string_view label, const StateDigest& digest);
   void record(std::string_view label, std::string_view component,
               std::uint64_t value);
+  // Appends every row of `other` after this trace's rows. Used by the
+  // parallel trial runner: each trial records into a private trace, and the
+  // per-trial traces are merged in trial-index order — byte-identical to
+  // the trace a sequential run records directly.
+  void extend(const DigestTrace& other);
 
   std::size_t rows() const noexcept { return rows_.size(); }
   std::string csv() const;

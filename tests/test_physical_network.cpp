@@ -84,6 +84,51 @@ TEST(PhysicalNetwork, EvictionBoundRespected) {
   EXPECT_DOUBLE_EQ(net.delay(0, 5), net.delay(5, 0));
 }
 
+TEST(PhysicalNetwork, RowCacheStatsCountHitsAndMisses) {
+  PhysicalNetwork net{diamond()};
+  net.delay(0, 1);  // miss: computes row 0
+  net.delay(0, 2);  // hit
+  net.delay(0, 3);  // hit
+  net.delay(3, 0);  // hit: symmetry reuses row 0
+  const RowCacheStats stats = net.row_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.rows, 1u);
+  EXPECT_EQ(stats.bytes, 4 * (sizeof(float) + sizeof(NodeId)));
+  EXPECT_EQ(stats.max_rows, 8192u);
+  EXPECT_EQ(stats.max_bytes, 0u);  // auto policy: small topology, unlimited
+}
+
+TEST(PhysicalNetwork, ByteBudgetTriggersEviction) {
+  // Each diamond row is 4 * (float + NodeId) = 32 bytes; a 64-byte budget
+  // holds exactly two rows.
+  PhysicalNetwork net{diamond(), /*max_cached_rows=*/0,
+                      /*max_cache_bytes=*/64};
+  net.delay(0, 3);  // row 0
+  net.delay(1, 3);  // row 1
+  net.delay(2, 3);  // row 2 -> evicts one row
+  const RowCacheStats stats = net.row_cache_stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.rows, 2u);
+  EXPECT_LE(stats.bytes, stats.max_bytes);
+}
+
+TEST(PhysicalNetwork, LruKeepsTouchedRowEvictsStale) {
+  PhysicalNetwork net{diamond(), /*max_cached_rows=*/2};
+  net.delay(0, 1);  // miss: row 0
+  net.delay(1, 2);  // miss: row 1
+  net.delay(0, 3);  // hit: touches row 0, making row 1 least-recent
+  net.delay(2, 3);  // miss: row 2 -> evicts row 1, not the touched row 0
+  EXPECT_EQ(net.row_cache_stats().misses, 3u);
+  net.delay(0, 2);  // row 0 survived: hit
+  EXPECT_EQ(net.row_cache_stats().misses, 3u);
+  net.delay(1, 3);  // row 1 was evicted: recomputes
+  EXPECT_EQ(net.row_cache_stats().misses, 4u);
+  EXPECT_EQ(net.row_cache_stats().evictions, 2u);
+}
+
 TEST(PhysicalNetwork, AgreesWithDirectDijkstra) {
   Rng rng{2};
   BaOptions options;

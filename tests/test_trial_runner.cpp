@@ -1,0 +1,165 @@
+// The determinism contract of the parallel trial runner: the thread count
+// changes wall-clock time and nothing else. Verified three ways — the
+// depth sweep (samples AND digest-trace bytes) at 1/2/8 workers, exception
+// propagation with pool survival, and the delay-oracle LRU row cache whose
+// evictions must never change query results.
+#include "core/trial_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "core/experiment.h"
+#include "graph/generators.h"
+#include "net/physical_network.h"
+#include "util/digest.h"
+
+namespace ace {
+namespace {
+
+ScenarioConfig sweep_scenario() {
+  ScenarioConfig config;
+  config.physical_nodes = 256;
+  config.peers = 64;
+  config.mean_degree = 6.0;
+  config.catalog.object_count = 100;
+  config.catalog.base_replication = 0.2;
+  config.catalog.min_replication = 0.05;
+  config.seed = 99;
+  return config;
+}
+
+TEST(TrialRunner, ResultsLandInIndexOrder) {
+  TrialRunner runner{4};
+  EXPECT_EQ(runner.thread_count(), 4u);
+  const std::vector<std::size_t> results =
+      runner.run(32, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(results.size(), 32u);
+  for (std::size_t i = 0; i < results.size(); ++i)
+    EXPECT_EQ(results[i], i * i);
+}
+
+TEST(TrialRunner, SingleThreadRunsInline) {
+  TrialRunner runner{1};
+  EXPECT_EQ(runner.thread_count(), 1u);
+  std::size_t calls = 0;
+  runner.run_indexed(5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 5u);
+}
+
+TEST(TrialRunner, ZeroThreadsPicksHardwareConcurrency) {
+  TrialRunner runner{0};
+  EXPECT_GE(runner.thread_count(), 1u);
+}
+
+TEST(TrialRunner, EmptyRunIsANoOp) {
+  TrialRunner runner{2};
+  std::size_t calls = 0;
+  runner.run_indexed(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+}
+
+// The tentpole guarantee: run_depth_sweep merges per-trial samples and
+// digest-trace rows in trial-index order, so both the numbers and the
+// trace CSV are byte-identical at every worker count.
+TEST(TrialRunner, DepthSweepIsThreadCountInvariant) {
+  const std::vector<std::uint32_t> depths{1, 2, 3, 4};
+  DigestTrace sequential_trace;
+  const auto sequential =
+      run_depth_sweep(sweep_scenario(), AceConfig{}, depths, 4, 20,
+                      &sequential_trace, {}, /*threads=*/1);
+  ASSERT_EQ(sequential.size(), depths.size());
+  ASSERT_GT(sequential_trace.rows(), 0u);
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    DigestTrace trace;
+    const auto parallel =
+        run_depth_sweep(sweep_scenario(), AceConfig{}, depths, 4, 20, &trace,
+                        {}, threads);
+    ASSERT_EQ(parallel.size(), sequential.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < sequential.size(); ++i) {
+      EXPECT_EQ(parallel[i].h, sequential[i].h);
+      EXPECT_DOUBLE_EQ(parallel[i].traffic_blind, sequential[i].traffic_blind);
+      EXPECT_DOUBLE_EQ(parallel[i].traffic_ace, sequential[i].traffic_ace);
+      EXPECT_DOUBLE_EQ(parallel[i].reduction_rate,
+                       sequential[i].reduction_rate);
+      EXPECT_DOUBLE_EQ(parallel[i].overhead_per_round,
+                       sequential[i].overhead_per_round);
+      EXPECT_DOUBLE_EQ(parallel[i].gain_per_query,
+                       sequential[i].gain_per_query);
+      // Each trial owns its oracle, so cache behavior is per-depth
+      // deterministic too.
+      EXPECT_EQ(parallel[i].oracle_cache.hits, sequential[i].oracle_cache.hits);
+      EXPECT_EQ(parallel[i].oracle_cache.misses,
+                sequential[i].oracle_cache.misses);
+    }
+    // Byte-identical merged digest trace — the property
+    // tools/determinism_check.py asserts across processes.
+    EXPECT_EQ(trace.csv(), sequential_trace.csv()) << "threads=" << threads;
+  }
+}
+
+TEST(TrialRunner, FirstExceptionRethrownOnCaller) {
+  TrialRunner runner{4};
+  std::atomic<std::size_t> completed{0};
+  try {
+    runner.run_indexed(16, [&](std::size_t i) {
+      if (i == 3) throw std::runtime_error{"trial 3 failed"};
+      completed.fetch_add(1, std::memory_order_relaxed);
+    });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "trial 3 failed");
+  }
+  // In-flight trials finished, unclaimed ones were skipped; either way no
+  // more than the 15 non-throwing bodies ran.
+  EXPECT_LE(completed.load(), 15u);
+}
+
+TEST(TrialRunner, PoolSurvivesExceptionAndStaysUsable) {
+  TrialRunner runner{4};
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(runner.run_indexed(
+                     8, [](std::size_t i) {
+                       if (i % 2 == 1) throw std::invalid_argument{"odd"};
+                     }),
+                 std::invalid_argument);
+    const std::vector<std::size_t> ok =
+        runner.run(8, [](std::size_t i) { return i + 1; });
+    ASSERT_EQ(ok.size(), 8u);
+    for (std::size_t i = 0; i < ok.size(); ++i) EXPECT_EQ(ok[i], i + 1);
+  }
+}
+
+// The cache policy the runner relies on (each trial's private oracle may
+// evict under memory pressure): an evicted row recomputes to values
+// identical to an uncapped oracle's.
+TEST(TrialRunner, EvictedOracleRowsRecomputeIdentically) {
+  Rng rng{5};
+  BaOptions options;
+  options.nodes = 96;
+  const Graph g = barabasi_albert(options, rng);
+  PhysicalNetwork capped{g, /*max_cached_rows=*/2};
+  PhysicalNetwork unlimited{g, /*max_cached_rows=*/0, /*max_cache_bytes=*/0};
+
+  // Walk enough distinct source rows to force evictions in the capped
+  // oracle (row 0 included, so it is certainly evicted along the way).
+  for (HostId a = 0; a < 16; ++a) {
+    ASSERT_DOUBLE_EQ(capped.delay(a, (a + 7) % 96),
+                     unlimited.delay(a, (a + 7) % 96));
+  }
+  const RowCacheStats stats = capped.row_cache_stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.rows, 2u);
+
+  // Re-query every evicted row: recomputation must be value-identical.
+  for (HostId b = 0; b < 96; ++b)
+    EXPECT_DOUBLE_EQ(capped.delay(0, b), unlimited.delay(0, b));
+  EXPECT_GT(capped.row_cache_stats().misses, stats.misses);
+}
+
+}  // namespace
+}  // namespace ace

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json perf records against a baseline directory.
+
+Every bench binary drops a BENCH_<name>.json perf record (wall time,
+trials/sec, oracle cache counters, provenance) into its --out-dir;
+bench_micro additionally records per-case ns/op under "cases". This script
+diffs a fresh set of records against checked-in (or CI-cached) baselines
+and fails when any metric regressed by more than --threshold.
+
+Comparison rules, per record:
+  * both sides carry a "cases" object  ->  per-case ns/op comparison
+    (bench_micro); a case missing from either side is reported but never
+    fails the run (benchmarks come and go);
+  * otherwise                          ->  wall_time_s comparison.
+
+A record with no matching baseline seeds the baseline (the file is copied
+into --baseline-dir) and passes — so the first run of a fresh checkout or
+a cold CI cache establishes the reference instead of failing. Pass
+--no-seed to treat missing baselines as errors instead.
+
+Wall-clock numbers are only comparable on the same machine class; the CI
+bench-smoke job keeps its baselines in a runner-scoped cache for exactly
+that reason.
+
+Exit status: 0 = no regression, 1 = regression or (with --no-seed)
+missing baseline, 2 = usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+
+def load_record(path: Path):
+    try:
+        with path.open() as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        return None
+
+
+def compare_metric(label: str, base: float, cur: float, threshold: float):
+    """Returns (regressed, line) for one metric."""
+    if base <= 0:
+        return False, f"  {label}: baseline {base:g} not comparable, skipped"
+    ratio = cur / base - 1.0
+    mark = "ok"
+    if ratio > threshold:
+        mark = "REGRESSION"
+    elif ratio < -threshold:
+        mark = "improved"
+    line = (f"  {label}: {base:g} -> {cur:g} "
+            f"({ratio:+.1%}, threshold {threshold:.0%}) {mark}")
+    return mark == "REGRESSION", line
+
+
+def compare_record(name: str, baseline: dict, current: dict,
+                   threshold: float) -> bool:
+    """Prints the per-metric report; returns True when a metric regressed."""
+    regressed = False
+    base_cases = baseline.get("cases")
+    cur_cases = current.get("cases")
+    if isinstance(base_cases, dict) and isinstance(cur_cases, dict):
+        for case in sorted(base_cases):
+            if case not in cur_cases:
+                print(f"  {case}: missing from current run (not failing)")
+                continue
+            bad, line = compare_metric(f"{case} ns/op", base_cases[case],
+                                       cur_cases[case], threshold)
+            regressed |= bad
+            print(line)
+        for case in sorted(set(cur_cases) - set(base_cases)):
+            print(f"  {case}: new case, no baseline (not failing)")
+        return regressed
+
+    bad, line = compare_metric("wall_time_s",
+                               float(baseline.get("wall_time_s", 0.0)),
+                               float(current.get("wall_time_s", 0.0)),
+                               threshold)
+    print(line)
+    return bad
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--current-dir", default=".", type=Path,
+                        help="directory holding freshly produced "
+                             "BENCH_*.json records (default: .)")
+    parser.add_argument("--baseline-dir", default=Path("bench/baselines"),
+                        type=Path,
+                        help="directory of baseline records "
+                             "(default: bench/baselines)")
+    parser.add_argument("--threshold", default=0.25, type=float,
+                        help="relative regression that fails the run "
+                             "(default: 0.25 = 25%%)")
+    parser.add_argument("--no-seed", action="store_true",
+                        help="fail on a missing baseline instead of seeding "
+                             "it from the current record")
+    args = parser.parse_args()
+
+    records = sorted(args.current_dir.glob("BENCH_*.json"))
+    if not records:
+        print(f"error: no BENCH_*.json under {args.current_dir}",
+              file=sys.stderr)
+        return 2
+
+    failed = False
+    seeded = 0
+    for record_path in records:
+        current = load_record(record_path)
+        if current is None:
+            return 2
+        baseline_path = args.baseline_dir / record_path.name
+        print(f"{record_path.name}:")
+        if not baseline_path.exists():
+            if args.no_seed:
+                print("  no baseline (--no-seed): FAIL")
+                failed = True
+                continue
+            args.baseline_dir.mkdir(parents=True, exist_ok=True)
+            shutil.copyfile(record_path, baseline_path)
+            print(f"  no baseline; seeded {baseline_path}")
+            seeded += 1
+            continue
+        baseline = load_record(baseline_path)
+        if baseline is None:
+            return 2
+        failed |= compare_record(record_path.name, baseline, current,
+                                 args.threshold)
+
+    if seeded:
+        print(f"{seeded} baseline(s) seeded; subsequent runs will compare.")
+    print("bench-compare:", "FAIL" if failed else "PASS")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
