@@ -4,6 +4,7 @@
 // (or into --out-dir).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -124,12 +125,15 @@ struct BenchReport {
   RowCacheStats oracle_cache{};  // delay-oracle cache totals over all trials
 };
 
+// Sums the monotonic counters across trials; rows/bytes are point-in-time
+// occupancy gauges, so the aggregate keeps the high-water mark instead of a
+// meaningless total.
 inline void accumulate(RowCacheStats& into, const RowCacheStats& from) {
   into.hits += from.hits;
   into.misses += from.misses;
   into.evictions += from.evictions;
-  into.rows += from.rows;
-  into.bytes += from.bytes;
+  into.rows = std::max(into.rows, from.rows);
+  into.bytes = std::max(into.bytes, from.bytes);
 }
 
 inline std::string json_escape(const std::string& s) {

@@ -3,19 +3,36 @@
 #include <atomic>
 #include <condition_variable>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 
 namespace ace {
 
 // Persistent worker pool. Workers sleep on a condition variable between
-// jobs; run_indexed installs one job (count + shared claim counter) and
-// wakes everyone. Indices are claimed with fetch_add, so the assignment of
-// trials to workers is racy — which is exactly why results must land in
-// index-ordered slots (the caller's lambda writes slots[i]) and why trials
-// must be independent. Determinism lives in the trial/seed contract, not in
-// the scheduling.
+// jobs; run_indexed installs one job and wakes everyone. Indices are
+// claimed with fetch_add, so the assignment of trials to workers is racy —
+// which is exactly why results must land in index-ordered slots (the
+// caller's lambda writes slots[i]) and why trials must be independent.
+// Determinism lives in the trial/seed contract, not in the scheduling.
+//
+// Each job owns its state (claim counter, body pointer, completion count)
+// in a shared_ptr that workers copy under the lock at wake-up. This closes
+// a lifetime race: a worker that picked up job N but got descheduled before
+// claiming an index can wake after run() returned and job N+1 started. With
+// per-job state it can only fetch_add job N's exhausted counter (>= count,
+// so it never dereferences the stale body) — it can never claim job N+1's
+// indices or call job N's destroyed std::function.
 struct TrialRunner::Pool {
+  struct Job {
+    std::size_t count = 0;
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::atomic<std::size_t> next_index{0};
+    std::size_t outstanding = 0;  // claimed-and-finished bookkeeping (mutex)
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;  // guarded by the pool mutex
+  };
+
   explicit Pool(std::size_t threads) {
     workers.reserve(threads);
     for (std::size_t t = 0; t < threads; ++t)
@@ -32,25 +49,35 @@ struct TrialRunner::Pool {
   }
 
   void run(std::size_t count, const std::function<void(std::size_t)>& body) {
-    std::unique_lock<std::mutex> lock{mutex};
-    job_body = &body;
-    job_count = count;
-    next_index.store(0, std::memory_order_relaxed);
-    outstanding = count;
-    failed.store(false, std::memory_order_relaxed);
-    first_error = nullptr;
-    ++job_generation;
-    wake_workers.notify_all();
-    job_done.wait(lock, [this] { return outstanding == 0; });
-    job_body = nullptr;
-    if (first_error) std::rethrow_exception(first_error);
+    auto job = std::make_shared<Job>();
+    job->count = count;
+    job->body = &body;
+    job->outstanding = count;
+    std::exception_ptr error;
+    {
+      std::unique_lock<std::mutex> lock{mutex};
+      current_job = job;
+      ++job_generation;
+      wake_workers.notify_all();
+      job_done.wait(lock, [&] { return job->outstanding == 0; });
+      current_job = nullptr;
+      // Take the exception out of the Job while still under the lock: a
+      // stale worker may hold the last reference to the Job and destroy it
+      // off-thread, and the exception object must be released on the
+      // caller thread that rethrows and handles it.
+      error = std::move(job->first_error);
+    }
+    // outstanding == 0 means every index in [0, count) was claimed and
+    // executed; `body` cannot be invoked again (the claim counter is
+    // exhausted), so returning — and destroying the caller's function — is
+    // safe even if a stale worker still holds a reference to this job.
+    if (error) std::rethrow_exception(error);
   }
 
   void worker_loop() {
     std::uint64_t seen_generation = 0;
     for (;;) {
-      const std::function<void(std::size_t)>* body = nullptr;
-      std::size_t count = 0;
+      std::shared_ptr<Job> job;
       {
         std::unique_lock<std::mutex> lock{mutex};
         wake_workers.wait(lock, [&] {
@@ -58,33 +85,34 @@ struct TrialRunner::Pool {
         });
         if (stopping) return;
         seen_generation = job_generation;
-        body = job_body;
-        count = job_count;
+        job = current_job;
       }
+      // The job may already be finished and detached (a late wake-up);
+      // nothing was claimed here, so there is nothing to report.
+      if (!job) continue;
       std::size_t finished = 0;
       for (;;) {
         const std::size_t i =
-            next_index.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) break;
-        if (!failed.load(std::memory_order_acquire)) {
+            job->next_index.fetch_add(1, std::memory_order_relaxed);
+        if (i >= job->count) break;
+        if (!job->failed.load(std::memory_order_acquire)) {
           try {
-            (*body)(i);
+            (*job->body)(i);
           } catch (...) {
             std::lock_guard<std::mutex> lock{mutex};
-            if (!first_error) first_error = std::current_exception();
-            failed.store(true, std::memory_order_release);
+            if (!job->first_error) job->first_error = std::current_exception();
+            job->failed.store(true, std::memory_order_release);
           }
         }
         ++finished;
       }
       if (finished != 0) {
         std::lock_guard<std::mutex> lock{mutex};
-        outstanding -= finished;
-        if (outstanding == 0) job_done.notify_all();
-      } else {
-        // Claimed nothing (another worker drained the job): nothing to
-        // report; outstanding was decremented by whoever ran the trials.
+        job->outstanding -= finished;
+        if (job->outstanding == 0) job_done.notify_all();
       }
+      // `job` (the last keep-alive if run() already returned) drops here,
+      // before the worker goes back to sleep.
     }
   }
 
@@ -92,13 +120,8 @@ struct TrialRunner::Pool {
   std::mutex mutex;
   std::condition_variable wake_workers;
   std::condition_variable job_done;
-  const std::function<void(std::size_t)>* job_body = nullptr;
-  std::size_t job_count = 0;
-  std::atomic<std::size_t> next_index{0};
-  std::size_t outstanding = 0;
+  std::shared_ptr<Job> current_job;
   std::uint64_t job_generation = 0;
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
   bool stopping = false;
 };
 

@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <type_traits>
 #include <vector>
 
 namespace ace {
@@ -42,11 +43,19 @@ class TrialRunner {
                    const std::function<void(std::size_t)>& body);
 
   // Typed convenience: returns fn(i) results in index order. Result must be
-  // default-constructible and movable.
+  // default-constructible and movable, and must not be bool:
+  // std::vector<bool> packs elements into shared bitfield words, so
+  // concurrent slots[i] writes from pool threads would be a data race.
+  // Return a small struct or uint8_t instead.
   template <typename Fn>
   auto run(std::size_t count, Fn&& fn)
       -> std::vector<decltype(fn(std::size_t{}))> {
-    std::vector<decltype(fn(std::size_t{}))> slots(count);
+    using Result = decltype(fn(std::size_t{}));
+    static_assert(!std::is_same_v<Result, bool>,
+                  "TrialRunner::run cannot return std::vector<bool>: "
+                  "concurrent per-index writes to packed bits are a data "
+                  "race; return uint8_t or a struct instead");
+    std::vector<Result> slots(count);
     run_indexed(count, [&](std::size_t i) { slots[i] = fn(i); });
     return slots;
   }

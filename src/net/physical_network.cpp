@@ -41,6 +41,7 @@ void PhysicalNetwork::evict_to_budget_() const {
           (max_cache_bytes_ != 0 &&
            cache_.size() * bytes_per_row > max_cache_bytes_))) {
     if (cache_.size() == 1) break;  // always keep the row just computed
+    const std::size_t rows_before_evict = cache_.size();
     const HostId victim = lru_.back();
     lru_.pop_back();
     cache_.erase(victim);
@@ -48,7 +49,7 @@ void PhysicalNetwork::evict_to_budget_() const {
     if (!warned_eviction_) {
       warned_eviction_ = true;
       ACE_LOG(kWarn) << "PhysicalNetwork: distance-row cache budget reached "
-                     << "(rows=" << cache_.size() + 1
+                     << "(rows=" << rows_before_evict
                      << ", max_rows=" << max_cached_rows_
                      << ", max_bytes=" << max_cache_bytes_
                      << "); evicting least-recently-used rows — results are "
