@@ -50,10 +50,14 @@ int main(int argc, char** argv) {
   report.wall_time_s = timer.elapsed_s();
   report.trials = digest_sweep.size() + full_sweep.size();
   report.threads = scale.threads;
-  for (const DepthSample& s : digest_sweep)
+  for (const DepthSample& s : digest_sweep) {
     accumulate(report.oracle_cache, s.oracle_cache);
-  for (const DepthSample& s : full_sweep)
+    accumulate(report.engine_cache, s.engine_cache);
+  }
+  for (const DepthSample& s : full_sweep) {
     accumulate(report.oracle_cache, s.oracle_cache);
+    accumulate(report.engine_cache, s.engine_cache);
+  }
   write_bench_json(scale, report);
 
   TableWriter table{"Overhead per round and optimization rate at R=2 (C=6)",

@@ -81,6 +81,8 @@ int main(int argc, char** argv) {
   report.threads = scale.threads;
   report.trials = systems.size();
   report.wall_time_s = timer.elapsed_s();
+  for (const Row& row : rows)
+    accumulate(report.engine_cache, row.result.engine_cache);
   write_bench_json(scale, report);
 
   const double base_traffic = rows[0].result.overall.mean_traffic();

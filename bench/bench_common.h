@@ -123,6 +123,9 @@ struct BenchReport {
   std::size_t trials = 0;     // independent trials executed
   std::size_t threads = 1;    // TrialRunner width used
   RowCacheStats oracle_cache{};  // delay-oracle cache totals over all trials
+  // Incremental-engine cache totals over all trials (closure builds/hits,
+  // invalidations, tree builds, query-snapshot rebuilds — DESIGN.md §11).
+  CacheCounters engine_cache{};
 };
 
 // Sums the monotonic counters across trials; rows/bytes are point-in-time
@@ -134,6 +137,11 @@ inline void accumulate(RowCacheStats& into, const RowCacheStats& from) {
   into.evictions += from.evictions;
   into.rows = std::max(into.rows, from.rows);
   into.bytes = std::max(into.bytes, from.bytes);
+}
+
+// All engine-cache counters are monotonic; a plain sum aggregates trials.
+inline void accumulate(CacheCounters& into, const CacheCounters& from) {
+  into.merge(from);
 }
 
 inline std::string json_escape(const std::string& s) {
@@ -170,6 +178,16 @@ inline void write_bench_json(const BenchScale& scale,
   out << "    \"hits\": " << report.oracle_cache.hits << ",\n";
   out << "    \"misses\": " << report.oracle_cache.misses << ",\n";
   out << "    \"evictions\": " << report.oracle_cache.evictions << "\n";
+  out << "  },\n";
+  out << "  \"engine_cache\": {\n";
+  out << "    \"closure_builds\": " << report.engine_cache.closure_builds
+      << ",\n";
+  out << "    \"closure_hits\": " << report.engine_cache.closure_hits << ",\n";
+  out << "    \"invalidations\": " << report.engine_cache.invalidations
+      << ",\n";
+  out << "    \"tree_builds\": " << report.engine_cache.tree_builds << ",\n";
+  out << "    \"snapshot_rebuilds\": "
+      << report.engine_cache.snapshot_rebuilds << "\n";
   out << "  },\n";
   out << "  \"provenance\": {";
   const ProvenanceEntries entries =

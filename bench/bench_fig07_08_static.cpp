@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
   for (const StaticTrial& trial : trials) {
     runs.push_back(trial.run);
     accumulate(report.oracle_cache, trial.cache);
+    accumulate(report.engine_cache, trial.run.engine_cache);
   }
   report.wall_time_s = timer.elapsed_s();
   write_bench_json(scale, report);

@@ -60,6 +60,8 @@ int main(int argc, char** argv) {
   report.threads = scale.threads;
   report.trials = results.size();
   report.wall_time_s = timer.elapsed_s();
+  for (const DynamicResult& r : results)
+    accumulate(report.engine_cache, r.engine_cache);
   write_bench_json(scale, report);
 
   TableWriter fig9{

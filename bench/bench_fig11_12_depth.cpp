@@ -46,8 +46,10 @@ int main(int argc, char** argv) {
   report.threads = scale.threads;
   for (const auto& sweep : sweeps) {
     report.trials += sweep.size();
-    for (const DepthSample& s : sweep)
+    for (const DepthSample& s : sweep) {
       accumulate(report.oracle_cache, s.oracle_cache);
+      accumulate(report.engine_cache, s.engine_cache);
+    }
   }
   write_bench_json(scale, report);
 

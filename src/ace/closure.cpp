@@ -1,20 +1,22 @@
 #include "ace/closure.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace ace {
 
 NodeId LocalClosure::to_local(PeerId peer) const {
-  const auto it = local_index.find(peer);
-  return it == local_index.end() ? kInvalidNode : it->second;
+  return peer < local_index.size() ? local_index[peer] : kInvalidNode;
 }
 
 bool LocalClosure::is_probed_pair(NodeId a, NodeId b) const {
   if (a > b) std::swap(a, b);
-  for (const auto& [x, y] : probed_pairs)
-    if (x == a && y == b) return true;
-  return false;
+  // probed_pairs is lexicographically sorted by construction (ascending
+  // (i, j) sweep over the ascending direct-neighbor list; lossy pruning
+  // filters in order), which debug_validate audits.
+  return std::binary_search(probed_pairs.begin(), probed_pairs.end(),
+                            std::make_pair(a, b));
 }
 
 void LocalClosure::debug_validate(std::uint32_t hop_bound) const {
@@ -23,8 +25,6 @@ void LocalClosure::debug_validate(std::uint32_t hop_bound) const {
   ACE_CHECK_EQ(path_cost.size(), nodes.size()) << " — path_cost misaligned";
   ACE_CHECK_EQ(local.node_count(), nodes.size())
       << " — local graph size mismatch";
-  ACE_CHECK_EQ(local_index.size(), nodes.size())
-      << " — local_index size mismatch";
   ACE_CHECK_EQ(depth[0], 0u) << " — source must sit at depth 0";
   ACE_CHECK_EQ(path_cost[0], 0.0) << " — source path cost must be 0";
   for (NodeId li = 1; li < nodes.size(); ++li) {
@@ -37,12 +37,18 @@ void LocalClosure::debug_validate(std::uint32_t hop_bound) const {
         << " — non-positive discovery path cost for member " << nodes[li];
   }
   for (NodeId li = 0; li < nodes.size(); ++li) {
-    const auto it = local_index.find(nodes[li]);
-    ACE_CHECK(it != local_index.end())
-        << "member " << nodes[li] << " missing from local_index";
-    ACE_CHECK_EQ(it->second, li)
+    ACE_CHECK_LT(nodes[li], local_index.size())
+        << " — member " << nodes[li] << " outside local_index range";
+    ACE_CHECK_EQ(local_index[nodes[li]], li)
         << " — local_index does not invert nodes[] for peer " << nodes[li];
   }
+  std::size_t mapped = 0;
+  for (const NodeId li : local_index)
+    if (li != kInvalidNode) ++mapped;
+  ACE_CHECK_EQ(mapped, nodes.size())
+      << " — local_index maps peers outside the closure";
+  ACE_CHECK(std::is_sorted(probed_pairs.begin(), probed_pairs.end()))
+      << "probed pairs not sorted";
   for (const auto& [a, b] : probed_pairs) {
     ACE_CHECK_LT(a, b) << " — probed pair not stored sorted";
     ACE_CHECK_LT(b, nodes.size()) << " — probed pair outside the closure";
@@ -61,45 +67,56 @@ std::size_t LocalClosure::table_entries() const {
   return total;
 }
 
-LocalClosure build_closure(const OverlayNetwork& overlay, PeerId source,
-                           std::uint32_t h, ClosureEdges edges) {
+void build_closure_into(const OverlayNetwork& overlay, PeerId source,
+                        std::uint32_t h, ClosureEdges edges, LocalClosure& out,
+                        ClosureScratch& scratch) {
   if (!overlay.is_online(source))
     throw std::invalid_argument{"build_closure: source offline"};
-  LocalClosure closure;
+  LocalClosure& closure = out;
+
+  // The flat local_index doubles as the BFS visited set. Wipe the previous
+  // closure's entries member-by-member before clearing `nodes` (this
+  // function always leaves local_index consistent with nodes), so repeat
+  // builds touch only a closure-sized slice of the array.
+  std::vector<NodeId>& local_index = closure.local_index;
+  if (local_index.size() != overlay.peer_count()) {
+    local_index.assign(overlay.peer_count(), kInvalidNode);
+  } else {
+    for (const PeerId member : closure.nodes)
+      local_index[member] = kInvalidNode;
+  }
+  closure.nodes.clear();
+  closure.depth.clear();
+  closure.path_cost.clear();
+  closure.probed_pairs.clear();
 
   // BFS out to depth h over the overlay. `nodes` in discovery order IS the
   // BFS queue (every dequeued peer appends its unseen neighbors), so a head
-  // index over it replaces an explicit queue, and a flat global->local
-  // array replaces the hash lookups on this hot path — the map is filled
-  // once at the end for the public to_local API.
-  std::vector<NodeId> to_local_flat(overlay.peer_count(), kInvalidNode);
+  // index over it replaces an explicit queue.
   closure.nodes.push_back(source);
   closure.depth.push_back(0);
   closure.path_cost.push_back(0);
-  to_local_flat[source] = 0;
+  local_index[source] = 0;
   for (std::size_t head = 0; head < closure.nodes.size(); ++head) {
     const NodeId lu = static_cast<NodeId>(head);
     const PeerId u = closure.nodes[head];
     const std::uint32_t du = closure.depth[lu];
     if (du == h) continue;
     for (const auto& n : overlay.neighbors(u)) {
-      if (to_local_flat[n.node] != kInvalidNode) continue;
-      to_local_flat[n.node] = static_cast<NodeId>(closure.nodes.size());
+      if (local_index[n.node] != kInvalidNode) continue;
+      local_index[n.node] = static_cast<NodeId>(closure.nodes.size());
       closure.nodes.push_back(n.node);
       closure.depth.push_back(du + 1);
       closure.path_cost.push_back(closure.path_cost[lu] + n.weight);
     }
   }
-  closure.local_index.reserve(closure.nodes.size());
-  for (NodeId li = 0; li < closure.nodes.size(); ++li)
-    closure.local_index.emplace(closure.nodes[li], li);
 
-  // Induced subgraph.
-  closure.local = Graph{closure.nodes.size()};
+  // Induced subgraph (node storage reused across rebuilds).
+  closure.local.reset_nodes(closure.nodes.size());
   for (NodeId li = 0; li < closure.nodes.size(); ++li) {
     const PeerId u = closure.nodes[li];
     for (const auto& n : overlay.neighbors(u)) {
-      const NodeId lj = to_local_flat[n.node];
+      const NodeId lj = local_index[n.node];
       if (lj == kInvalidNode || lj <= li) continue;
       // Each member pair is visited exactly once (lj > li filter over an
       // overlay with unique edges), so skip add_edge's duplicate probe.
@@ -111,7 +128,8 @@ LocalClosure build_closure(const OverlayNetwork& overlay, PeerId source,
     // Phase 1 gives the source the cost between ANY pair of its direct
     // neighbors: fill in the missing pairs with probed delays. Depth-1
     // members occupy a contiguous local-id prefix starting at 1.
-    std::vector<NodeId> direct;
+    std::vector<NodeId>& direct = scratch.direct;
+    direct.clear();
     for (NodeId li = 1;
          li < closure.size() && closure.depth[li] == 1; ++li)
       direct.push_back(li);
@@ -126,6 +144,13 @@ LocalClosure build_closure(const OverlayNetwork& overlay, PeerId source,
       }
     }
   }
+}
+
+LocalClosure build_closure(const OverlayNetwork& overlay, PeerId source,
+                           std::uint32_t h, ClosureEdges edges) {
+  LocalClosure closure;
+  ClosureScratch scratch;
+  build_closure_into(overlay, source, h, edges, closure, scratch);
   return closure;
 }
 

@@ -6,7 +6,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.h"
@@ -40,10 +39,11 @@ struct LocalClosure {
   // Edge weights are overlay link costs (and probed pair costs when
   // requested).
   Graph local;
-  // Reverse map: global peer id -> local index.
-  // ace-lint: allow(unordered-container): keyed lookup only (to_local);
-  // closure members are enumerated via the `nodes` vector, never this map.
-  std::unordered_map<PeerId, NodeId> local_index;
+  // Reverse map: global peer id -> local index, as a peer_count-sized flat
+  // array (kInvalidNode for non-members). A sparse vector instead of a hash
+  // map: to_local is a single array read, the fill is one store per member,
+  // and rebuild-heavy paths (the incremental engine) reuse the allocation.
+  std::vector<NodeId> local_index;
   // Local-id pairs that exist only as probed costs, not as overlay links
   // (empty under ClosureEdges::kOverlayOnly). Sorted pairs (a < b).
   std::vector<std::pair<NodeId, NodeId>> probed_pairs;
@@ -74,6 +74,20 @@ struct LocalClosure {
 // Builds the h-neighbor closure of `source` over the current overlay.
 // h == 0 yields just the source; h == 1 is the paper's default ACE scope
 // (source + direct neighbors).
+// Reusable scratch for build_closure_into: the direct-neighbor worklist of
+// the pairwise-probe pass. One instance per engine/driver; the same buffer
+// serves every rebuild, so the steady-state hot path allocates nothing.
+struct ClosureScratch {
+  std::vector<NodeId> direct;
+};
+
+// build_closure writing into `out`, reusing its vectors' capacity (and
+// `scratch`) instead of allocating fresh ones. `out` may hold any previous
+// closure; the result is byte-identical to build_closure's return value.
+void build_closure_into(const OverlayNetwork& overlay, PeerId source,
+                        std::uint32_t h, ClosureEdges edges, LocalClosure& out,
+                        ClosureScratch& scratch);
+
 LocalClosure build_closure(const OverlayNetwork& overlay, PeerId source,
                            std::uint32_t h,
                            ClosureEdges edges = ClosureEdges::kOverlayOnly);

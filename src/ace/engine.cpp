@@ -21,6 +21,7 @@ void RoundReport::merge(const RoundReport& other) noexcept {
   refills += other.refills;
   phase3.merge(other.phase3);
   peers_stepped += other.peers_stepped;
+  cache.merge(other.cache);
 }
 
 AceEngine::AceEngine(OverlayNetwork& overlay, AceConfig config)
@@ -91,12 +92,34 @@ void AceEngine::charge_closure(PeerId peer, const LocalClosure& closure,
   report.closure_traffic += static_cast<double>(max_depth - 1) * one_exchange;
 }
 
-LocalTree AceEngine::refresh_peer_tree(PeerId peer, RoundReport& report) {
+bool AceEngine::cache_valid(const PeerCacheEntry& entry) const {
+  const std::size_t n = entry.closure.nodes.size();
+  ACE_DCHECK_EQ(entry.member_versions.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (overlay_->topology_version(entry.closure.nodes[i]) !=
+        entry.member_versions[i])
+      return false;
+  }
+  return true;
+}
+
+void AceEngine::snapshot_versions(PeerCacheEntry& entry) const {
+  entry.member_versions.clear();
+  entry.member_versions.reserve(entry.closure.nodes.size());
+  for (const PeerId member : entry.closure.nodes)
+    entry.member_versions.push_back(overlay_->topology_version(member));
+}
+
+const LocalTree& AceEngine::refresh_peer_tree(PeerId peer,
+                                              RoundReport& report) {
   // Phase 1: probe direct neighbors, exchange tables. Under the lossy
   // transport probes can time out (stale entries survive) and the exchange
-  // is real versioned kCostTable messages.
+  // is real versioned kCostTable messages. This always runs — phase 1 is
+  // real per-round protocol traffic regardless of what the cache holds.
   tables_.ensure_size(overlay_->peer_count());
   forwarding_.ensure_size(overlay_->peer_count());
+  if (cache_.size() < overlay_->peer_count())
+    cache_.resize(overlay_->peer_count());
   if (lossy()) {
     tables_.refresh_peer_via(*overlay_, peer, *transport_, report.phase1);
     tables_.publish_via(*overlay_, peer, *transport_, report.phase1);
@@ -106,53 +129,93 @@ LocalTree AceEngine::refresh_peer_tree(PeerId peer, RoundReport& report) {
   }
 
   // Closure assembly (+ pairwise neighbor probes) and the phase-2 tree.
-  const ClosureEdges edges = config_.pairwise_neighbor_probes
-                                 ? ClosureEdges::kOverlayPlusNeighborProbes
-                                 : ClosureEdges::kOverlayOnly;
-  LocalClosure closure =
-      build_closure(*overlay_, peer, config_.closure_depth, edges);
-  charge_closure(peer, closure, report);
+  // Cache hit: no closure member's topology version moved, so build_closure
+  // would return byte-for-byte the cached pre-probe closure — skip it.
+  const ClosureEdges edges = closure_edges();
+  PeerCacheEntry& entry = cache_[peer];
+  const bool hit = entry.valid && !force_full() && cache_valid(entry);
+  if (hit) {
+    ++report.cache.closure_hits;
+  } else {
+    if (entry.valid && !force_full()) ++report.cache.invalidations;
+    build_closure_into(*overlay_, peer, config_.closure_depth, edges,
+                       entry.closure, closure_scratch_);
+    snapshot_versions(entry);
+    entry.valid = true;
+    ++report.cache.closure_builds;
+  }
+  // The closure (hence its charges) is identical either way; the paper's
+  // peers propagate tables every round, so the overhead is re-applied.
+  charge_closure(peer, entry.closure, report);
+
+  // Lossy probe failures prune edges for THIS round only; the cache keeps
+  // the pre-probe closure (still version-valid) and the pruned copy lives
+  // here. Copy-on-write: the overwhelmingly common all-probes-succeed round
+  // touches nothing.
+  bool pruned = false;
+  LocalClosure pruned_closure;
   if (lossy()) {
     // Pair probes travel the transport; a pair whose probe gives up after
     // every retry is dropped from the local graph, so the phase-2 MST
     // ranges over what the peer actually measured this round (loss
     // degrades the tree instead of silently using unknown costs).
     std::vector<std::pair<NodeId, NodeId>> surviving;
-    surviving.reserve(closure.probed_pairs.size());
-    for (const auto& [a, b] : closure.probed_pairs) {
+    surviving.reserve(entry.closure.probed_pairs.size());
+    for (const auto& [a, b] : entry.closure.probed_pairs) {
       ++report.pair_probes;
       const std::optional<Weight> cost =
-          transport_->probe(closure.to_global(a), closure.to_global(b),
+          transport_->probe(entry.closure.to_global(a),
+                            entry.closure.to_global(b),
                             report.pair_probe_traffic);
       if (cost.has_value()) {
         surviving.emplace_back(a, b);
       } else {
-        closure.local.remove_edge(a, b);
+        if (!pruned) {
+          pruned_closure = entry.closure;
+          pruned = true;
+        }
+        pruned_closure.local.remove_edge(a, b);
       }
     }
-    closure.probed_pairs = std::move(surviving);
+    if (pruned) pruned_closure.probed_pairs = std::move(surviving);
   } else {
     const double pair_probe_size =
         size_factor(config_.sizing, MessageType::kProbe) +
         size_factor(config_.sizing, MessageType::kProbeReply);
-    for (const auto& [a, b] : closure.probed_pairs) {
+    for (const auto& [a, b] : entry.closure.probed_pairs) {
       ++report.pair_probes;
       report.pair_probe_traffic +=
-          pair_probe_size * closure.local.edge_weight(a, b).value();
+          pair_probe_size * entry.closure.local.edge_weight(a, b).value();
     }
   }
 
-  LocalTree tree = build_local_tree(closure, config_.tree_kind);
+  // The closure the rest of this round works against (audits, phase 3).
+  const LocalClosure* active = pruned ? &pruned_closure : &entry.closure;
+
+  bool tree_built = false;
+  if (pruned) {
+    entry.tree = build_local_tree(pruned_closure, config_.tree_kind);
+    entry.tree_from_pre_probe = false;
+    tree_built = true;
+  } else if (!hit || !entry.tree_from_pre_probe) {
+    entry.tree = build_local_tree(entry.closure, config_.tree_kind);
+    entry.tree_from_pre_probe = true;
+    tree_built = true;
+  }
+  if (tree_built) ++report.cache.tree_builds;
 
   // Connection establishment: realize tree edges that were only probed
   // costs. The new links make the expected neighbor-to-neighbor forwarding
-  // possible (and are physically short by construction).
-  if (config_.establish_tree_links && !tree.virtual_edges.empty()) {
+  // possible (and are physically short by construction). Runs on cache
+  // hits too — on a hit the tree (hence its virtual edges) is exactly what
+  // a fresh build would recommend, and the attempts are real protocol
+  // actions (capacity checks, handshake draws, connects).
+  if (config_.establish_tree_links && !entry.tree.virtual_edges.empty()) {
     const double connect_size =
         size_factor(config_.sizing, MessageType::kConnect);
     bool changed = false;
     std::size_t established = 0;
-    for (const Edge& e : tree.virtual_edges) {
+    for (const Edge& e : entry.tree.virtual_edges) {
       if (config_.max_establish_per_step != 0 &&
           established >= config_.max_establish_per_step)
         break;
@@ -181,29 +244,72 @@ LocalTree AceEngine::refresh_peer_tree(PeerId peer, RoundReport& report) {
     }
     if (changed) {
       // The new links change the local topology; rebuild so the flooding
-      // classification reflects what is now real.
-      closure = build_closure(*overlay_, peer, config_.closure_depth, edges);
-      tree = build_local_tree(closure, config_.tree_kind);
+      // classification reflects what is now real. The rebuild is pre-probe
+      // (ideal pair costs) and version-snapshotted after the connects, so
+      // it seeds the cache for the next round.
+      build_closure_into(*overlay_, peer, config_.closure_depth, edges,
+                         entry.closure, closure_scratch_);
+      snapshot_versions(entry);
+      ++report.cache.closure_builds;
+      entry.tree = build_local_tree(entry.closure, config_.tree_kind);
+      entry.tree_from_pre_probe = true;
+      ++report.cache.tree_builds;
+      tree_built = true;
+      pruned = false;
+      active = &entry.closure;
     }
   }
 
   // Phase 1/2 boundary audit: the closure honors its hop bound and index
   // bijection, the tree spans it, and this peer's fresh table agrees with
-  // the live overlay.
+  // the live overlay. On a cache hit this audits the cached pair — the
+  // same objects a fresh build would have produced.
   if (invariant_audits_enabled()) {
-    closure.debug_validate(config_.closure_depth);
-    debug_validate_tree(closure, tree);
+    active->debug_validate(config_.closure_depth);
+    debug_validate_tree(*active, entry.tree);
   }
 
-  forwarding_.set_tree(peer, make_tree_routing(tree, peer));
-  return tree;
+  if (tree_built || !forwarding_.has_entry(peer)) {
+    // Fresh tree, or a pure hit whose forwarding entry was invalidated
+    // (e.g. a neighbor left and the churn hook dropped it). The routing is
+    // a pure function of the tree, so rebuilding it from the cached tree
+    // installs exactly what a fresh build would; moving it into the table
+    // avoids a per-step deep copy of the relay lists. The local-id overload
+    // is valid even when the tree came from a lossy-pruned closure: pruning
+    // removes edges, never members, so the cached closure's node list still
+    // indexes the tree.
+    forwarding_.set_tree(peer, make_tree_routing(entry.closure, entry.tree, peer));
+  }
+  // Otherwise the installed entry is the routing we set last time from the
+  // identical tree — reinstalling would be a byte-identical no-op.
+  return entry.tree;
+}
+
+void AceEngine::rebuild_into_cache(PeerId peer, RoundReport& report) {
+  if (cache_.size() < overlay_->peer_count())
+    cache_.resize(overlay_->peer_count());
+  PeerCacheEntry& entry = cache_[peer];
+  build_closure_into(*overlay_, peer, config_.closure_depth, closure_edges(),
+                     entry.closure, closure_scratch_);
+  snapshot_versions(entry);
+  entry.valid = true;
+  ++report.cache.closure_builds;
+  entry.tree = build_local_tree(entry.closure, config_.tree_kind);
+  entry.tree_from_pre_probe = true;
+  ++report.cache.tree_builds;
+  if (invariant_audits_enabled()) {
+    entry.closure.debug_validate(config_.closure_depth);
+    debug_validate_tree(entry.closure, entry.tree);
+  }
+  forwarding_.set_tree(peer,
+                       make_tree_routing(entry.closure, entry.tree, peer));
 }
 
 void AceEngine::step_peer(PeerId peer, Rng& rng, RoundReport& report) {
   if (!overlay_->is_online(peer)) return;
   ++report.peers_stepped;
 
-  const LocalTree tree = refresh_peer_tree(peer, report);
+  const LocalTree& tree = refresh_peer_tree(peer, report);
 
   // Phase 3: adaptive connection replacement.
   ++steps_;
@@ -245,19 +351,10 @@ void AceEngine::step_peer(PeerId peer, Rng& rng, RoundReport& report) {
 
     if (!touched.empty() || refilled) {
       // The stepping peer can rebuild immediately (it has fresh tables);
-      // this pass charges no additional probe overhead.
-      const ClosureEdges edges =
-          config_.pairwise_neighbor_probes
-              ? ClosureEdges::kOverlayPlusNeighborProbes
-              : ClosureEdges::kOverlayOnly;
-      const LocalClosure updated =
-          build_closure(*overlay_, peer, config_.closure_depth, edges);
-      const LocalTree fresh = build_local_tree(updated, config_.tree_kind);
-      if (invariant_audits_enabled()) {
-        updated.debug_validate(config_.closure_depth);
-        debug_validate_tree(updated, fresh);
-      }
-      forwarding_.set_tree(peer, make_tree_routing(fresh, peer));
+      // this pass charges no additional probe overhead. Rebuilding into
+      // the cache also re-arms it for the next round (the version
+      // snapshot is taken after the phase-3 mutations).
+      rebuild_into_cache(peer, report);
     }
   }
 
@@ -280,8 +377,7 @@ RoundReport AceEngine::step_round(Rng& rng) {
   return report;
 }
 
-RoundReport AceEngine::rebuild_all_trees(Rng& rng) {
-  (void)rng;
+RoundReport AceEngine::rebuild_all_trees() {
   RoundReport report;
   for (const PeerId p : overlay_->online_peers()) {
     ++report.peers_stepped;
@@ -290,15 +386,10 @@ RoundReport AceEngine::rebuild_all_trees(Rng& rng) {
   // Establishment invalidates entries of peers refreshed earlier in the
   // pass; fix them up so every online peer leaves with a valid tree (no
   // extra overhead charged: the tables are already paid for this round).
-  const ClosureEdges edges = config_.pairwise_neighbor_probes
-                                 ? ClosureEdges::kOverlayPlusNeighborProbes
-                                 : ClosureEdges::kOverlayOnly;
+  // The fix-up rebuild runs the same invariant audits as the primary pass.
   for (const PeerId p : overlay_->online_peers()) {
     if (forwarding_.has_entry(p)) continue;
-    const LocalClosure closure =
-        build_closure(*overlay_, p, config_.closure_depth, edges);
-    forwarding_.set_tree(
-        p, make_tree_routing(build_local_tree(closure, config_.tree_kind), p));
+    rebuild_into_cache(p, report);
   }
   lifetime_.merge(report);
   return report;

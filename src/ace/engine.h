@@ -77,6 +77,33 @@ struct AceConfig {
   // digests depend on it. kLossy: they travel an attached Transport
   // (attach_transport) and can time out, retry, arrive stale, or fail.
   TransportMode transport = TransportMode::kIdeal;
+  // Disables the incremental closure/tree cache for this engine: every
+  // step runs the full BFS + probe assembly + Prim + routing build (the
+  // differential oracle, DESIGN.md §11). The ACE_FORCE_FULL_REBUILD
+  // environment variable (util/check.h) forces the same process-wide.
+  // Results are bit-identical either way.
+  bool force_full_rebuild = false;
+};
+
+// Simulator-side cache effectiveness counters. These have no protocol
+// meaning — the paper's peers probe and exchange every round regardless,
+// and all overhead accounting is unchanged by caching — they count saved
+// simulator CPU: how often a step was served from the incremental cache
+// instead of re-running the closure BFS and tree build.
+struct CacheCounters {
+  std::size_t closure_builds = 0;    // full BFS + induced-subgraph builds
+  std::size_t closure_hits = 0;      // steps served from the peer cache
+  std::size_t invalidations = 0;     // valid entries found version-stale
+  std::size_t tree_builds = 0;       // Prim/SPT runs
+  std::size_t snapshot_rebuilds = 0; // query-path adjacency snapshots
+
+  void merge(const CacheCounters& other) noexcept {
+    closure_builds += other.closure_builds;
+    closure_hits += other.closure_hits;
+    invalidations += other.invalidations;
+    tree_builds += other.tree_builds;
+    snapshot_rebuilds += other.snapshot_rebuilds;
+  }
 };
 
 // Everything one optimization round cost and changed.
@@ -91,6 +118,7 @@ struct RoundReport {
   std::size_t refills = 0;        // random links re-opened to hold degree
   OptimizeOutcome phase3;
   std::size_t peers_stepped = 0;
+  CacheCounters cache;            // simulator CPU saved, not traffic
 
   // Total overhead traffic in the same units as query traffic cost.
   double total_overhead() const noexcept {
@@ -126,7 +154,7 @@ class AceEngine {
 
   // Phase 1+2 only, for every online peer: refresh trees without mutating
   // the topology (used to initialize tree routing before measurement).
-  RoundReport rebuild_all_trees(Rng& rng);
+  RoundReport rebuild_all_trees();
 
   // Churn hooks: drop stale forwarding state.
   void on_peer_join(PeerId peer);
@@ -143,6 +171,23 @@ class AceEngine {
   StateDigest state_digest(const Simulator* sim = nullptr) const;
 
  private:
+  // One peer's incremental state: the last closure/tree it built, plus the
+  // topology version of every closure member at build time. The
+  // cached closure is always the PRE-probe build (ideal pair costs, full
+  // probed_pairs list) — exactly what build_closure would return today
+  // whenever no member's version moved — so a cache hit replays the same
+  // probe schedule, charges, and transport draws as a fresh build.
+  struct PeerCacheEntry {
+    bool valid = false;
+    // True when `tree` was built from `closure` unmodified; false when the
+    // last round's lossy probe failures pruned edges first (the pruned
+    // closure is per-round state and is not cached).
+    bool tree_from_pre_probe = false;
+    LocalClosure closure;
+    LocalTree tree;
+    std::vector<std::uint64_t> member_versions;  // aligned with closure.nodes
+  };
+
   // True when protocol messages travel the lossy transport; ACE_CHECKs
   // that one is attached.
   bool lossy() const;
@@ -152,10 +197,30 @@ class AceEngine {
   void charge_closure(PeerId peer, const LocalClosure& closure,
                       RoundReport& report) const;
 
-  // Phases 1-2 for one peer: probe, build closure + tree, establish
-  // recommended links, install the flooding set. Returns the tree so
+  ClosureEdges closure_edges() const noexcept {
+    return config_.pairwise_neighbor_probes
+               ? ClosureEdges::kOverlayPlusNeighborProbes
+               : ClosureEdges::kOverlayOnly;
+  }
+
+  // O(|closure|) staleness scan: the cached closure is reusable iff no
+  // member's topology version moved since the snapshot (every mutation
+  // that can change the closure bumps at least one member — see
+  // OverlayNetwork versioning).
+  bool cache_valid(const PeerCacheEntry& entry) const;
+  void snapshot_versions(PeerCacheEntry& entry) const;
+
+  // Full closure + tree + routing rebuild for `peer` straight into its
+  // cache entry (audited, counted, installed). Charges no probe overhead:
+  // used by the phase-3 immediate rebuild and the rebuild_all_trees fix-up
+  // pass, where the round's tables are already paid for.
+  void rebuild_into_cache(PeerId peer, RoundReport& report);
+
+  // Phases 1-2 for one peer: probe, build closure + tree (or validate the
+  // cached ones), establish recommended links, install the flooding set.
+  // Returns the step's final tree (owned by the peer's cache entry) so
   // step_peer can feed phase 3.
-  LocalTree refresh_peer_tree(PeerId peer, RoundReport& report);
+  const LocalTree& refresh_peer_tree(PeerId peer, RoundReport& report);
 
   OverlayNetwork* overlay_;
   AceConfig config_;
@@ -167,6 +232,17 @@ class AceEngine {
   std::size_t steps_ = 0;
   // Connectivity-density target (initial online mean degree, rounded).
   std::size_t target_degree_ = 0;
+  // Combined force-full-rebuild switch: config flag OR the process-wide
+  // ACE_FORCE_FULL_REBUILD toggle (read live, so tests can flip it).
+  bool force_full() const noexcept {
+    return config_.force_full_rebuild || force_full_rebuild_enabled();
+  }
+
+  // Incremental per-peer cache, indexed by PeerId.
+  std::vector<PeerCacheEntry> cache_;
+  // Rebuild scratch shared by every closure build this engine runs: after
+  // the first round the BFS/induced-subgraph path allocates nothing.
+  ClosureScratch closure_scratch_;
 };
 
 }  // namespace ace

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 #include <stdexcept>
+#include <utility>
 
 #include "util/check.h"
 
@@ -15,10 +16,10 @@ LocalTree build_local_tree(const LocalClosure& closure, TreeKind kind) {
   LocalTree tree;
   const PeerId source = closure.nodes[0];
 
-  std::vector<Edge> local_edges;
+  std::vector<Edge>& local_edges = tree.local_edges;
   if (kind == TreeKind::kMinimumSpanning) {
-    const MstResult mst = prim_mst(closure.local, 0);
-    local_edges = mst.edges;
+    MstResult mst = prim_mst(closure.local, 0);
+    local_edges = std::move(mst.edges);
     tree.total_weight = mst.total_weight;
   } else {
     const ShortestPathResult spt = dijkstra(closure.local, 0);
@@ -149,6 +150,23 @@ void debug_validate_tree(const LocalClosure& closure, const LocalTree& tree) {
       << "flooding/non-flooding classification does not cover the source's "
          "direct neighbors exactly";
 
+  // local_edges must mirror edges index-for-index under the closure's
+  // global id table (make_tree_routing's local-id overload relies on it).
+  ACE_CHECK_EQ(tree.local_edges.size(), tree.edges.size())
+      << " — local_edges out of sync with edges";
+  for (std::size_t i = 0; i < tree.local_edges.size(); ++i) {
+    const Edge& le = tree.local_edges[i];
+    const Edge& ge = tree.edges[i];
+    ACE_CHECK_LT(le.u, closure.size()) << " — local edge outside the closure";
+    ACE_CHECK_LT(le.v, closure.size()) << " — local edge outside the closure";
+    ACE_CHECK_EQ(closure.to_global(le.u), ge.u)
+        << " — local_edges[" << i << "] does not map to edges[" << i << "]";
+    ACE_CHECK_EQ(closure.to_global(le.v), ge.v)
+        << " — local_edges[" << i << "] does not map to edges[" << i << "]";
+    ACE_CHECK_EQ(le.weight, ge.weight)
+        << " — local/global edge weight mismatch at index " << i;
+  }
+
   for (const Edge& v : tree.virtual_edges) {
     ACE_CHECK(std::find(tree.edges.begin(), tree.edges.end(), v) !=
               tree.edges.end())
@@ -227,6 +245,62 @@ TreeRouting make_tree_routing(const LocalTree& tree, PeerId source) {
     }
     if (!kids.empty())
       routing.children.emplace_back(members[ui], std::move(kids));
+  }
+  // BFS emits relays in dequeue order; find_children needs key order.
+  std::sort(routing.children.begin(), routing.children.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return routing;
+}
+
+TreeRouting make_tree_routing(const LocalClosure& closure,
+                              const LocalTree& tree, PeerId source) {
+  ACE_CHECK_EQ(closure.nodes[0], source)
+      << " — routing source is not the closure's source";
+  ACE_CHECK_EQ(tree.local_edges.size(), tree.edges.size())
+      << " — tree has no local edge list";
+  TreeRouting routing;
+  routing.flooding = tree.flooding;
+  if (tree.local_edges.empty()) return routing;
+
+  // Closure-local ids already index the tree's members (a superset: members
+  // off the tree get empty adjacency rows and are never reached by the
+  // BFS), so the sorted-unique indexing pass of the global-id overload is
+  // unnecessary. The CSR fill walks the edges in the same order, so every
+  // member's neighbor order — and thus the BFS orientation and the emitted
+  // children lists — is byte-identical to the global-id overload's.
+  const std::size_t m = closure.size();
+  std::vector<std::uint32_t> offsets(m + 1, 0);
+  for (const Edge& e : tree.local_edges) {
+    ++offsets[e.u + 1];
+    ++offsets[e.v + 1];
+  }
+  for (std::size_t i = 0; i < m; ++i) offsets[i + 1] += offsets[i];
+  std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+  std::vector<std::uint32_t> adjacency(2 * tree.local_edges.size());
+  for (const Edge& e : tree.local_edges) {
+    adjacency[cursor[e.u]++] = static_cast<std::uint32_t>(e.v);
+    adjacency[cursor[e.v]++] = static_cast<std::uint32_t>(e.u);
+  }
+
+  // BFS from the source (local id 0); the discovery vector with a head
+  // index doubles as the FIFO queue.
+  std::vector<std::uint8_t> seen(m, 0);
+  std::vector<std::uint32_t> queue;
+  queue.reserve(m);
+  seen[0] = 1;
+  queue.push_back(0);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::uint32_t ui = queue[head];
+    std::vector<PeerId> kids;
+    for (std::uint32_t k = offsets[ui]; k < offsets[ui + 1]; ++k) {
+      const std::uint32_t vi = adjacency[k];
+      if (seen[vi]) continue;
+      seen[vi] = 1;
+      kids.push_back(closure.nodes[vi]);
+      queue.push_back(vi);
+    }
+    if (!kids.empty())
+      routing.children.emplace_back(closure.nodes[ui], std::move(kids));
   }
   // BFS emits relays in dequeue order; find_children needs key order.
   std::sort(routing.children.begin(), routing.children.end(),

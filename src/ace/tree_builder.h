@@ -23,6 +23,12 @@ enum class TreeKind : std::uint8_t {
 struct LocalTree {
   // Tree edges in *global* peer ids.
   std::vector<Edge> edges;
+  // The same edges in closure-local ids, in the same order (so
+  // local_edges[i] maps to edges[i] under the closure's nodes[] table).
+  // Kept so routing can be rebuilt over local ids without re-indexing the
+  // global id set; valid against any closure sharing the source closure's
+  // node list (lossy pruning removes edges, never members).
+  std::vector<Edge> local_edges;
   Weight total_weight = 0;
   // The source's direct neighbors that lie adjacent to it on the tree.
   std::vector<PeerId> flooding;
@@ -55,6 +61,15 @@ void debug_validate_tree(const LocalClosure& closure, const LocalTree& tree);
 // children lists per node. Installed into the ForwardingTable so queries
 // can carry the source's relay instructions down the tree.
 TreeRouting make_tree_routing(const LocalTree& tree, PeerId source);
+
+// Same result, computed over closure-local ids (tree.local_edges) instead
+// of re-indexing the global id set — the engine's hot install path.
+// `closure` must share the node list the tree was built from and `source`
+// must be its source (nodes[0]). Byte-identical to the overload above: the
+// CSR fill walks the same edge order, so the BFS orientation and children
+// lists match.
+TreeRouting make_tree_routing(const LocalClosure& closure,
+                              const LocalTree& tree, PeerId source);
 
 // Query routing over a set of per-peer trees (used by the example-table
 // bench): starting from `source`, a query is forwarded by each peer to its

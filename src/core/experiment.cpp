@@ -71,7 +71,7 @@ QueryStats Scenario::measure(ForwardingMode mode, const ForwardingTable* table,
                              std::size_t queries,
                              const QueryOptions& options) {
   return sample_queries(*overlay_, *catalog_, *oracle_, mode, table, queries,
-                        rng_, options);
+                        rng_, options, &scratch_);
 }
 
 // ---------------------------------------------------------------------
@@ -94,6 +94,9 @@ StaticRunResult run_static_optimization(Scenario& scenario,
                                         std::size_t queries_per_step) {
   StaticRunResult result;
   AceEngine engine{scenario.overlay(), ace};
+  // The caller may have measured on this scenario already; count only the
+  // snapshot rebuilds this run causes.
+  const std::size_t snapshot_rebuilds_before = scenario.snapshot_rebuilds();
 
   // Step 0: unoptimized blind flooding baseline.
   {
@@ -109,6 +112,7 @@ StaticRunResult run_static_optimization(Scenario& scenario,
 
   for (std::size_t step = 1; step <= steps; ++step) {
     const RoundReport report = engine.step_round(scenario.rng());
+    result.engine_cache.merge(report.cache);
     const QueryStats stats =
         scenario.measure(ForwardingMode::kTreeRouting, &engine.forwarding(),
                          queries_per_step);
@@ -123,6 +127,8 @@ StaticRunResult run_static_optimization(Scenario& scenario,
     sample.mean_degree = scenario.overlay().mean_online_degree();
     result.samples.push_back(sample);
   }
+  result.engine_cache.snapshot_rebuilds +=
+      scenario.snapshot_rebuilds() - snapshot_rebuilds_before;
   return result;
 }
 
@@ -143,7 +149,8 @@ struct DepthTrial {
 DepthTrial run_depth_trial(const ScenarioConfig& base, const AceConfig& ace,
                            std::uint32_t h, std::size_t rounds,
                            std::size_t queries, bool want_trace,
-                           const TransportConfig& transport) {
+                           const TransportConfig& transport,
+                           std::size_t maintenance_rounds) {
   const bool lossy = transport.mode == TransportMode::kLossy;
   DepthTrial trial;
   Scenario scenario{base};  // identical starting topology per depth
@@ -177,6 +184,7 @@ DepthTrial run_depth_trial(const ScenarioConfig& base, const AceConfig& ace,
     // the next round's versions go out; no periodics, so this drains.
     if (lossy) sim.run_all();
     overhead_total += report.total_overhead();
+    sample.engine_cache.merge(report.cache);
     if (want_trace)
       trial.trace.record("h" + std::to_string(h) + "-round-" +
                              std::to_string(r + 1),
@@ -194,7 +202,26 @@ DepthTrial run_depth_trial(const ScenarioConfig& base, const AceConfig& ace,
   sample.reduction_rate =
       sample.traffic_blind > 0 ? sample.gain_per_query / sample.traffic_blind
                                : 0;
+
+  // Steady-state maintenance phase: phases 1-2 only for every online peer.
+  // No phase 3, no establishment, no topology mutation — the overlay's
+  // versions stop moving, so after the first maintenance round (which
+  // converges entries the last optimization round's mutations left stale)
+  // the incremental cache serves every peer from its entry. It runs AFTER
+  // the query measurement, so every figure metric and the digest trace are
+  // byte-identical to a maintenance_rounds=0 run in both transport modes;
+  // its phase-1 overhead is likewise excluded from overhead_per_round.
+  // Only the perf counters below (engine cache, oracle row cache) observe
+  // this phase — it is the steady-state segment those counters are meant
+  // to characterize.
+  for (std::size_t r = 0; r < maintenance_rounds; ++r) {
+    const RoundReport report = engine.rebuild_all_trees();
+    if (lossy) sim.run_all();
+    sample.engine_cache.merge(report.cache);
+  }
+
   sample.oracle_cache = scenario.physical().row_cache_stats();
+  sample.engine_cache.snapshot_rebuilds += scenario.snapshot_rebuilds();
   return trial;
 }
 
@@ -207,7 +234,8 @@ std::vector<DepthSample> run_depth_sweep(const ScenarioConfig& base,
                                          std::size_t queries,
                                          DigestTrace* trace,
                                          const TransportConfig& transport,
-                                         std::size_t threads) {
+                                         std::size_t threads,
+                                         std::size_t maintenance_rounds) {
   // Each depth is an independent trial; the runner shards them across
   // workers and the merge below walks the slots in depth order, so samples
   // and trace rows come out byte-identical to a sequential sweep.
@@ -215,7 +243,8 @@ std::vector<DepthSample> run_depth_sweep(const ScenarioConfig& base,
   std::vector<DepthTrial> trials =
       runner.run(depths.size(), [&](std::size_t i) {
         return run_depth_trial(base, ace, depths[i], rounds, queries,
-                               trace != nullptr, transport);
+                               trace != nullptr, transport,
+                               maintenance_rounds);
       });
 
   std::vector<DepthSample> out;
@@ -303,6 +332,7 @@ DynamicResult run_dynamic(const DynamicConfig& config) {
   if (config.enable_ace) {
     sim.every(config.ace_period_s, [&](SimTime t) {
       const RoundReport report = engine.step_round(ace_rng);
+      result.engine_cache.merge(report.cache);
       const double overhead = report.total_overhead();
       result.total_overhead += overhead;
       bucket_overhead[bucket_for(t)] += overhead;
@@ -346,6 +376,7 @@ DynamicResult run_dynamic(const DynamicConfig& config) {
 
   result.joins = churn.joins();
   result.leaves = churn.leaves();
+  result.engine_cache.snapshot_rebuilds += query_scratch.snapshot_rebuilds();
   if (wire) result.transport = wire->stats();
   for (std::size_t b = 0; b < result.buckets.size(); ++b) {
     DynamicBucket& bucket = result.buckets[b];

@@ -65,11 +65,19 @@ class Scenario {
   // ids never depend on what else ran earlier in the process).
   GuidAllocator& guids() noexcept { return guids_; }
 
-  // Mean query metrics over `queries` random (source, object) pairs.
+  // Mean query metrics over `queries` random (source, object) pairs. The
+  // scenario-owned QueryScratch (and its lazily rebuilt adjacency
+  // snapshot) backs every measurement; one scenario serves one thread.
   QueryStats measure(ForwardingMode mode, const ForwardingTable* table,
                      std::size_t queries, const QueryOptions& options = {});
   QueryStats measure_blind(std::size_t queries) {
     return measure(ForwardingMode::kBlindFlooding, nullptr, queries);
+  }
+
+  // Adjacency snapshot rebuilds performed by measure() so far (the
+  // snapshot_rebuilds cache counter).
+  std::size_t snapshot_rebuilds() const noexcept {
+    return scratch_.snapshot_rebuilds();
   }
 
  private:
@@ -80,6 +88,7 @@ class Scenario {
   std::unique_ptr<OverlayNetwork> overlay_;
   std::unique_ptr<ObjectCatalog> catalog_;
   std::unique_ptr<CatalogOracle> oracle_;
+  QueryScratch scratch_;
 };
 
 // ---------------------------------------------------------------------
@@ -99,6 +108,9 @@ struct StepSample {
 
 struct StaticRunResult {
   std::vector<StepSample> samples;  // samples[0] is the baseline
+  // Incremental-cache behaviour over the whole run (engine counters plus
+  // the measurement scratch's snapshot rebuilds).
+  CacheCounters engine_cache{};
   // Convergence summary.
   double traffic_reduction() const;       // fraction vs samples[0]
   double response_reduction() const;      // fraction vs samples[0]
@@ -123,6 +135,8 @@ struct DepthSample {
   // Delay-oracle row-cache behavior of this depth's trial (benches
   // aggregate these into BENCH_*.json perf records).
   RowCacheStats oracle_cache{};
+  // Incremental-cache behaviour of this depth's trial (same destination).
+  CacheCounters engine_cache{};
 };
 
 // For each depth: a fresh scenario from `base` (same seed -> identical
@@ -137,6 +151,17 @@ struct DepthSample {
 // digest trace) sharded over `threads` workers by a TrialRunner; samples
 // and trace rows are merged in depth order, so the output — including the
 // digest trace — is byte-identical at every thread count.
+// `maintenance_rounds` appends a steady-state phase after the optimization
+// rounds AND the query measurement: each maintenance round re-runs phases
+// 1-2 for every online peer (rebuild_all_trees) without touching phase 3,
+// so the topology stops moving and the incremental cache can serve hits.
+// Because it runs after everything the figures observe, every figure
+// metric (traffic, overhead, reduction rate, digest trace rows) is
+// byte-identical to a maintenance_rounds=0 run in both transport modes —
+// only the perf counters (engine_cache, oracle_cache) change. The phase
+// exists to measure steady-state cache effectiveness (and its wall-time
+// payoff) in the depth benches; its phase-1 overhead is NOT added to
+// overhead_per_round.
 std::vector<DepthSample> run_depth_sweep(const ScenarioConfig& base,
                                          const AceConfig& ace,
                                          std::span<const std::uint32_t> depths,
@@ -144,7 +169,8 @@ std::vector<DepthSample> run_depth_sweep(const ScenarioConfig& base,
                                          std::size_t queries,
                                          DigestTrace* trace = nullptr,
                                          const TransportConfig& transport = {},
-                                         std::size_t threads = 1);
+                                         std::size_t threads = 1,
+                                         std::size_t maintenance_rounds = 0);
 
 // Optimization rate (paper §4.2): gain/penalty with frequency ratio R =
 // query frequency / cost-info exchange frequency. Over one exchange period
@@ -200,6 +226,9 @@ struct DynamicResult {
   std::size_t cache_hits = 0;  // queries answered from an index cache
   // What the lossy transport did (all-zero under kIdeal).
   TransportStats transport{};
+  // Incremental-cache behaviour over the run (engine counters plus the
+  // query workload's snapshot rebuilds).
+  CacheCounters engine_cache{};
 };
 
 DynamicResult run_dynamic(const DynamicConfig& config);

@@ -9,6 +9,13 @@ namespace ace {
 
 Graph::Graph(std::size_t node_count) : adjacency_(node_count) {}
 
+void Graph::reset_nodes(std::size_t n) {
+  if (adjacency_.size() > n) adjacency_.resize(n);
+  for (auto& list : adjacency_) list.clear();
+  adjacency_.resize(n);
+  edge_count_ = 0;
+}
+
 NodeId Graph::add_node() {
   adjacency_.emplace_back();
   return static_cast<NodeId>(adjacency_.size() - 1);

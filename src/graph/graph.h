@@ -85,6 +85,11 @@ class Graph {
 
   void reserve_nodes(std::size_t n) { adjacency_.reserve(n); }
 
+  // Reverts to `n` isolated nodes, keeping the surviving nodes' adjacency
+  // capacity. For rebuild-heavy hot paths (closure induced subgraphs) where
+  // constructing a fresh Graph per rebuild would churn the allocator.
+  void reset_nodes(std::size_t n);
+
   // Invariant auditor (ACE_CHECK-fatal): adjacency symmetry with matching
   // weights, no self-loops or duplicate entries, positive weights, and
   // edge_count consistency. O(V + E*d); call at audit points only.

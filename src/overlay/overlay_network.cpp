@@ -1,11 +1,17 @@
 #include "overlay/overlay_network.h"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 
 #include "util/check.h"
 
 namespace ace {
+
+std::uint64_t SnapshotIdentity::next() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 OverlayNetwork::OverlayNetwork(const PhysicalNetwork& physical)
     : physical_{&physical} {}
@@ -34,6 +40,8 @@ PeerId OverlayNetwork::add_peer(HostId host, bool online) {
   const NodeId node = logical_.add_node();
   (void)node;
   if (online) ++online_count_;
+  versions_.push_back(0);
+  ++global_version_;  // node set changed: whole-overlay snapshots are stale
   return static_cast<PeerId>(peers_.size() - 1);
 }
 
@@ -60,13 +68,21 @@ bool OverlayNetwork::connect(PeerId a, PeerId b) {
   const Weight cost = peer_delay(a, b);
   // Co-located hosts would yield a zero-weight edge; clamp to a small
   // positive value so graph invariants (positive weights) hold.
-  return logical_.add_edge(a, b, cost > 0 ? cost : 1e-6);
+  // ace-lint: allow(overlay-adjacency-write): the version-bumping mutator.
+  if (!logical_.add_edge(a, b, cost > 0 ? cost : 1e-6)) return false;
+  bump(a);
+  bump(b);
+  return true;
 }
 
 bool OverlayNetwork::disconnect(PeerId a, PeerId b) {
   check_peer(a);
   check_peer(b);
-  return logical_.remove_edge(a, b);
+  // ace-lint: allow(overlay-adjacency-write): the version-bumping mutator.
+  if (!logical_.remove_edge(a, b)) return false;
+  bump(a);
+  bump(b);
+  return true;
 }
 
 bool OverlayNetwork::are_connected(PeerId a, PeerId b) const {
@@ -122,6 +138,7 @@ std::size_t OverlayNetwork::join(PeerId p, std::size_t target_degree,
   if (!peers_[p].online) {
     peers_[p].online = true;
     ++online_count_;
+    bump(p);
   }
   if (online_count_ <= 1) return 0;
   std::size_t created = 0;
@@ -140,7 +157,10 @@ std::vector<PeerId> OverlayNetwork::leave(PeerId p,
   check_peer(p);
   std::vector<PeerId> dropped;
   for (const auto& n : logical_.neighbors(p)) dropped.push_back(n.node);
+  // ace-lint: allow(overlay-adjacency-write): the version-bumping mutator.
   logical_.isolate(p);
+  if (!dropped.empty() || peers_[p].online) bump(p);
+  for (const PeerId q : dropped) bump(q);
   if (peers_[p].online) {
     peers_[p].online = false;
     --online_count_;

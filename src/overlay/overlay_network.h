@@ -24,6 +24,27 @@ struct PeerRecord {
   bool online = false;
 };
 
+// Process-unique identity token for snapshot caches. Every construction —
+// including copy and move — draws a fresh id, so an (identity, version)
+// pair names one exact topology state: a recycled address or a copied
+// overlay can never alias a cached snapshot. The id is simulator-internal
+// cache bookkeeping; it never reaches results or digests, so the
+// process-wide counter is not a determinism hazard.
+class SnapshotIdentity {
+ public:
+  SnapshotIdentity() noexcept : id_{next()} {}
+  SnapshotIdentity(const SnapshotIdentity&) noexcept : id_{next()} {}
+  SnapshotIdentity& operator=(const SnapshotIdentity&) noexcept {
+    id_ = next();  // assigned-over object holds wholesale new content
+    return *this;
+  }
+  std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  static std::uint64_t next() noexcept;
+  std::uint64_t id_;
+};
+
 class OverlayNetwork {
  public:
   // `physical` must outlive the overlay (non-owning).
@@ -40,6 +61,33 @@ class OverlayNetwork {
 
   std::size_t peer_count() const noexcept { return peers_.size(); }
   std::size_t online_count() const noexcept { return online_count_; }
+
+  // --- topology versioning --------------------------------------------
+  //
+  // Monotone dirty-tracking counters consumed by the incremental engine
+  // (closure/tree caches) and the query-path adjacency snapshot. Every
+  // mutation that can change what a closure or a query would observe —
+  // connect/disconnect (link set and link costs), join/leave (online
+  // flags + repair links), add_peer (node set) — bumps the per-peer
+  // counter of each affected endpoint and the global counter. Versions
+  // are simulator bookkeeping only: they are NOT part of digest_into(),
+  // so the golden state digest is independent of cache behaviour.
+
+  // Version of p's local view: bumped whenever p's link set, a link cost
+  // incident to p, or p's online flag changes.
+  std::uint64_t topology_version(PeerId p) const {
+    check_peer(p);
+    return versions_[p];
+  }
+
+  // Bumped on every mutation anywhere in the overlay (including
+  // add_peer). Cheap staleness check for whole-overlay snapshots.
+  std::uint64_t global_version() const noexcept { return global_version_; }
+
+  // Pair (snapshot_identity(), global_version()) uniquely names this
+  // overlay's current topology state across the whole process — the cache
+  // key of the query-path adjacency snapshot (search/flooding.h).
+  std::uint64_t snapshot_identity() const noexcept { return identity_.id(); }
 
   // Registers a peer (initially offline unless `online`).
   PeerId add_peer(HostId host, bool online = true);
@@ -94,10 +142,17 @@ class OverlayNetwork {
 
  private:
   void check_peer(PeerId p) const;
+  void bump(PeerId p) {
+    ++versions_[p];
+    ++global_version_;
+  }
 
   const PhysicalNetwork* physical_;
   std::vector<PeerRecord> peers_;
   Graph logical_;
+  std::vector<std::uint64_t> versions_;
+  std::uint64_t global_version_ = 0;
+  SnapshotIdentity identity_;
   std::size_t online_count_ = 0;
 };
 

@@ -137,6 +137,30 @@ std::vector<PeerId> ForwardingTable::non_flooding(
   return out;
 }
 
+bool OverlaySnapshot::refresh(const OverlayNetwork& overlay) {
+  const std::uint64_t identity = overlay.snapshot_identity();
+  const std::uint64_t version = overlay.global_version();
+  if (identity_ == identity && version_ == version) return false;
+  const std::size_t n = overlay.peer_count();
+  offsets_.resize(n + 1);
+  arcs_.clear();
+  for (std::size_t p = 0; p < n; ++p) {
+    offsets_[p] = static_cast<std::uint32_t>(arcs_.size());
+    const auto row = overlay.neighbors(static_cast<PeerId>(p));
+    arcs_.insert(arcs_.end(), row.begin(), row.end());
+  }
+  offsets_[n] = static_cast<std::uint32_t>(arcs_.size());
+  identity_ = identity;
+  version_ = version;
+  return true;
+}
+
+Weight OverlaySnapshot::link_cost(PeerId a, PeerId b) const {
+  for (const Neighbor& n : neighbors(a))
+    if (n.node == b) return n.weight;
+  throw std::invalid_argument{"OverlaySnapshot: peers not connected"};
+}
+
 void QueryScratch::reserve(std::size_t peers) {
   visited_.reserve(peers);
   parent_.reserve(peers);
@@ -144,6 +168,40 @@ void QueryScratch::reserve(std::size_t peers) {
   targets_.reserve(64);
   candidates_.reserve(64);
 }
+
+namespace {
+
+// Adjacency views the query engine is instantiated over: the snapshot view
+// reads the scratch-owned CSR copy, the direct view walks the live overlay.
+// Both present the same neighbor order, so expansion order, tie-breaks, and
+// every metric are bit-identical between them.
+struct DirectAdjacency {
+  const OverlayNetwork* overlay;
+  std::span<const Neighbor> neighbors(PeerId p) const {
+    return overlay->neighbors(p);
+  }
+  bool are_connected(PeerId a, PeerId b) const {
+    return overlay->are_connected(a, b);
+  }
+  Weight link_cost(PeerId a, PeerId b) const {
+    return overlay->link_cost(a, b);
+  }
+};
+
+struct SnapshotAdjacency {
+  const OverlaySnapshot* snapshot;
+  std::span<const Neighbor> neighbors(PeerId p) const {
+    return snapshot->neighbors(p);
+  }
+  bool are_connected(PeerId a, PeerId b) const {
+    return snapshot->are_connected(a, b);
+  }
+  Weight link_cost(PeerId a, PeerId b) const {
+    return snapshot->link_cost(a, b);
+  }
+};
+
+}  // namespace
 
 // The query expansion engine. A plain class (not an anonymous-namespace
 // function) so it can be the single friend of QueryScratch. The pending-
@@ -168,8 +226,10 @@ class QueryEngine {
   // `tree_owner`'s local tree. A relaying peer serves two trees at once:
   // the branch the owner delegated to it (those copies keep the owner's
   // instructions — the owner's tree may reach deeper) and its own subtree
-  // (those copies carry the peer's fresh instructions).
-  static void forwarding_targets(const OverlayNetwork& overlay, PeerId peer,
+  // (those copies carry the peer's fresh instructions). `overlay` is any
+  // adjacency view (live overlay or CSR snapshot).
+  template <typename Adjacency>
+  static void forwarding_targets(const Adjacency& overlay, PeerId peer,
                                  PeerId from, PeerId tree_owner,
                                  ForwardingMode mode,
                                  const ForwardingTable* table,
@@ -236,11 +296,13 @@ class QueryEngine {
       if (q != from && overlay.are_connected(peer, q)) push_unique(q, peer);
   }
 
-  static QueryResult run(const OverlayNetwork& overlay, PeerId source,
-                         ObjectId object, const ContentOracle& oracle,
-                         ForwardingMode mode, const ForwardingTable* table,
+  template <typename Adjacency>
+  static QueryResult run(const OverlayNetwork& live, const Adjacency& overlay,
+                         PeerId source, ObjectId object,
+                         const ContentOracle& oracle, ForwardingMode mode,
+                         const ForwardingTable* table,
                          const QueryOptions& options, QueryScratch& s) {
-    if (!overlay.is_online(source))
+    if (!live.is_online(source))
       throw std::invalid_argument{"run_query: source is offline"};
 
     QueryResult result;
@@ -251,7 +313,7 @@ class QueryEngine {
     // Epoch-stamped visit marks: bumping the epoch invalidates every stale
     // mark at once, so buffer reuse costs no O(peers) clear. On the (very
     // rare) wrap, reset the marks so epoch-0 stamps cannot alias.
-    const std::size_t n = overlay.peer_count();
+    const std::size_t n = live.peer_count();
     if (s.visited_.size() < n) s.visited_.resize(n, 0);
     if (s.parent_.size() < n) s.parent_.resize(n, kInvalidPeer);
     if (++s.epoch_ == 0) {
@@ -370,27 +432,39 @@ QueryResult run_query(const OverlayNetwork& overlay, PeerId source,
                       ObjectId object, const ContentOracle& oracle,
                       ForwardingMode mode, const ForwardingTable* table,
                       const QueryOptions& options, QueryScratch* scratch) {
-  if (scratch != nullptr)
-    return QueryEngine::run(overlay, source, object, oracle, mode, table,
-                            options, *scratch);
+  if (scratch != nullptr) {
+    // The snapshot path needs a scratch to own the snapshot; without one a
+    // per-query rebuild would cost more than it saves, so one-shot callers
+    // stay on the direct path.
+    if (options.allow_snapshot && !force_full_rebuild_enabled()) {
+      if (scratch->snapshot_.refresh(overlay)) ++scratch->snapshot_rebuilds_;
+      return QueryEngine::run(overlay,
+                              SnapshotAdjacency{&scratch->snapshot_}, source,
+                              object, oracle, mode, table, options, *scratch);
+    }
+    return QueryEngine::run(overlay, DirectAdjacency{&overlay}, source,
+                            object, oracle, mode, table, options, *scratch);
+  }
   QueryScratch local;
-  return QueryEngine::run(overlay, source, object, oracle, mode, table,
-                          options, local);
+  return QueryEngine::run(overlay, DirectAdjacency{&overlay}, source, object,
+                          oracle, mode, table, options, local);
 }
 
 QueryStats sample_queries(const OverlayNetwork& overlay,
                           const ObjectCatalog& catalog,
                           const ContentOracle& oracle, ForwardingMode mode,
                           const ForwardingTable* table, std::size_t count,
-                          Rng& rng, const QueryOptions& options) {
+                          Rng& rng, const QueryOptions& options,
+                          QueryScratch* scratch) {
   QueryStats stats;
-  QueryScratch scratch;
-  scratch.reserve(overlay.peer_count());
+  QueryScratch local;
+  QueryScratch& buffers = scratch ? *scratch : local;
+  buffers.reserve(overlay.peer_count());
   for (std::size_t i = 0; i < count; ++i) {
     const PeerId source = overlay.random_online_peer(rng);
     const ObjectId object = catalog.sample_object(rng);
     stats.add(run_query(overlay, source, object, oracle, mode, table, options,
-                        &scratch));
+                        &buffers));
   }
   return stats;
 }

@@ -114,6 +114,39 @@ class CatalogOracle final : public ContentOracle {
   const ObjectCatalog* catalog_;
 };
 
+// CSR-style immutable snapshot of the overlay's logical adjacency: per-peer
+// offsets into one contiguous arc array, arc order identical to the live
+// adjacency order, so every traversal over the snapshot visits neighbors in
+// exactly the order the mutation-friendly Graph would — results are
+// bit-identical. Rebuilt lazily: refresh() compares the overlay's
+// (snapshot_identity, global_version) pair and rebuilds only when a
+// mutation happened since the last build, so query bursts between ACE
+// rounds (the common shape of every measurement loop) pay the O(V+E) copy
+// once and then run on flat cache-friendly arrays.
+class OverlaySnapshot {
+ public:
+  // Rebuilds iff stale; returns true when a rebuild happened.
+  bool refresh(const OverlayNetwork& overlay);
+
+  std::span<const Neighbor> neighbors(PeerId p) const {
+    return {arcs_.data() + offsets_[p], offsets_[p + 1] - offsets_[p]};
+  }
+  bool are_connected(PeerId a, PeerId b) const {
+    for (const Neighbor& n : neighbors(a))
+      if (n.node == b) return true;
+    return false;
+  }
+  // Requires the link to exist (mirrors OverlayNetwork::link_cost on the
+  // hot path, where callers only ask about known-connected pairs).
+  Weight link_cost(PeerId a, PeerId b) const;
+
+ private:
+  std::uint64_t identity_ = 0;  // 0 = never built (ids start at 1)
+  std::uint64_t version_ = 0;
+  std::vector<std::uint32_t> offsets_;
+  std::vector<Neighbor> arcs_;
+};
+
 struct QueryOptions {
   // Gnutella default TTL is 7; 0 means unlimited (paper's static study
   // covers "all peers" as the search scope).
@@ -129,6 +162,11 @@ struct QueryOptions {
   // floods, so the first ring is fully covered).
   std::size_t hpf_partial = 3;
   std::size_t hpf_period = 3;
+  // Permit the scratch-owned CSR adjacency snapshot to back this query
+  // (requires a QueryScratch; results are bit-identical either way). The
+  // process-wide ACE_FORCE_FULL_REBUILD toggle overrides this to the
+  // direct-adjacency path (the differential oracle, DESIGN.md §11).
+  bool allow_snapshot = true;
 };
 
 enum class ForwardingMode : std::uint8_t {
@@ -152,8 +190,18 @@ class QueryScratch {
   // grows them on demand).
   void reserve(std::size_t peers);
 
+  // How many times the owned adjacency snapshot was (re)built — the
+  // snapshot_rebuilds cache counter surfaced in BENCH_*.json.
+  std::size_t snapshot_rebuilds() const noexcept { return snapshot_rebuilds_; }
+
  private:
   friend class QueryEngine;
+  friend QueryResult run_query(const OverlayNetwork& overlay, PeerId source,
+                               ObjectId object, const ContentOracle& oracle,
+                               ForwardingMode mode,
+                               const ForwardingTable* table,
+                               const QueryOptions& options,
+                               QueryScratch* scratch);
 
   // Pending transmission (heap element of the time-ordered expansion).
   struct Hop {
@@ -179,6 +227,8 @@ class QueryScratch {
   std::vector<Target> targets_;
   std::vector<Neighbor> candidates_;  // HPF partial-sort scratch
   std::uint32_t epoch_ = 0;
+  OverlaySnapshot snapshot_;  // lazily rebuilt adjacency snapshot
+  std::size_t snapshot_rebuilds_ = 0;
 };
 
 // Executes one query synchronously against the overlay snapshot.
@@ -193,11 +243,14 @@ QueryResult run_query(const OverlayNetwork& overlay, PeerId source,
                       QueryScratch* scratch = nullptr);
 
 // Convenience: average query metrics over `count` random (source, object)
-// pairs drawn from the catalog's popularity distribution.
+// pairs drawn from the catalog's popularity distribution. `scratch`
+// (optional) carries buffers and the adjacency snapshot across calls; when
+// null a call-local scratch is used (results identical either way).
 QueryStats sample_queries(const OverlayNetwork& overlay,
                           const ObjectCatalog& catalog,
                           const ContentOracle& oracle, ForwardingMode mode,
                           const ForwardingTable* table, std::size_t count,
-                          Rng& rng, const QueryOptions& options = {});
+                          Rng& rng, const QueryOptions& options = {},
+                          QueryScratch* scratch = nullptr);
 
 }  // namespace ace

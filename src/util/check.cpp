@@ -27,6 +27,21 @@ std::atomic<bool>& audit_storage() noexcept {
   return enabled;
 }
 
+bool initial_force_full_rebuild() noexcept {
+  bool enabled = false;
+  if (const char* env = std::getenv("ACE_FORCE_FULL_REBUILD")) {
+    const std::string value{env};
+    if (value == "0" || value == "off" || value == "false") enabled = false;
+    if (value == "1" || value == "on" || value == "true") enabled = true;
+  }
+  return enabled;
+}
+
+std::atomic<bool>& force_full_rebuild_storage() noexcept {
+  static std::atomic<bool> enabled{initial_force_full_rebuild()};
+  return enabled;
+}
+
 }  // namespace
 
 bool invariant_audits_enabled() noexcept {
@@ -35,6 +50,14 @@ bool invariant_audits_enabled() noexcept {
 
 void set_invariant_audits(bool enabled) noexcept {
   audit_storage().store(enabled, std::memory_order_relaxed);
+}
+
+bool force_full_rebuild_enabled() noexcept {
+  return force_full_rebuild_storage().load(std::memory_order_relaxed);
+}
+
+void set_force_full_rebuild(bool enabled) noexcept {
+  force_full_rebuild_storage().store(enabled, std::memory_order_relaxed);
 }
 
 namespace detail {

@@ -26,6 +26,17 @@ namespace ace {
 bool invariant_audits_enabled() noexcept;
 void set_invariant_audits(bool enabled) noexcept;
 
+// Whether the incremental fast paths (the engine's closure/tree cache and
+// the query-path adjacency snapshot) are disabled process-wide, forcing the
+// always-rebuild path every step — the differential oracle for the
+// incremental engine (DESIGN.md §11). Defaults to false; the
+// ACE_FORCE_FULL_REBUILD environment variable (0/1) overrides the default,
+// and tests may toggle it at runtime. AceConfig::force_full_rebuild does
+// the same for a single engine instance. Results are bit-identical either
+// way — this flag only chooses which implementation produces them.
+bool force_full_rebuild_enabled() noexcept;
+void set_force_full_rebuild(bool enabled) noexcept;
+
 namespace detail {
 
 // Prints the failure diagnostic to stderr and aborts.

@@ -43,7 +43,7 @@ double mean_link_cost(const OverlayNetwork& overlay) {
 TEST(Engine, RebuildInstallsTreesForAllOnlinePeers) {
   Fixture f;
   AceEngine engine{*f.overlay, AceConfig{}};
-  const RoundReport report = engine.rebuild_all_trees(f.rng);
+  const RoundReport report = engine.rebuild_all_trees();
   EXPECT_EQ(report.peers_stepped, f.overlay->online_count());
   EXPECT_EQ(engine.forwarding().entries(), f.overlay->online_count());
   EXPECT_GT(report.phase1.total(), 0.0);
@@ -54,7 +54,7 @@ TEST(Engine, DepthOneHasNoClosureTraffic) {
   AceConfig config;
   config.closure_depth = 1;
   AceEngine engine{*f.overlay, config};
-  const RoundReport report = engine.rebuild_all_trees(f.rng);
+  const RoundReport report = engine.rebuild_all_trees();
   EXPECT_DOUBLE_EQ(report.closure_traffic, 0.0);
 }
 
@@ -65,7 +65,7 @@ TEST(Engine, DeeperClosuresCostMore) {
     AceConfig config;
     config.closure_depth = h;
     AceEngine engine{*f.overlay, config};
-    const RoundReport report = engine.rebuild_all_trees(f.rng);
+    const RoundReport report = engine.rebuild_all_trees();
     EXPECT_GE(report.closure_traffic, previous);
     previous = report.closure_traffic;
   }
@@ -81,8 +81,8 @@ TEST(Engine, FullPropagationCostsMoreThanDigest) {
   full.overhead_model = OverheadModel::kFullPropagation;
   AceEngine e1{*f1.overlay, digest};
   AceEngine e2{*f2.overlay, full};
-  const double digest_traffic = e1.rebuild_all_trees(f1.rng).closure_traffic;
-  const double full_traffic = e2.rebuild_all_trees(f2.rng).closure_traffic;
+  const double digest_traffic = e1.rebuild_all_trees().closure_traffic;
+  const double full_traffic = e2.rebuild_all_trees().closure_traffic;
   EXPECT_GT(full_traffic, digest_traffic);
 }
 
@@ -138,7 +138,7 @@ TEST(Engine, LifetimeReportAccumulates) {
 TEST(Engine, JoinLeaveHooksInvalidateForwarding) {
   Fixture f;
   AceEngine engine{*f.overlay, AceConfig{}};
-  engine.rebuild_all_trees(f.rng);
+  engine.rebuild_all_trees();
   const PeerId victim = f.overlay->online_peers().front();
   std::vector<PeerId> neighbors;
   for (const auto& n : f.overlay->neighbors(victim))

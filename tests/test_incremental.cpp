@@ -1,0 +1,494 @@
+// Incremental-engine regression tests (DESIGN.md §11): topology-version
+// bump coverage of every overlay mutation path, the per-peer closure/tree
+// cache and its counters, the ACE_FORCE_FULL_REBUILD differential oracle,
+// and the query-path adjacency snapshot. The load-bearing contract: cached
+// and freshly built rounds are bit-identical — the cache saves simulator
+// CPU, never changes results.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "ace/engine.h"
+#include "core/experiment.h"
+#include "graph/generators.h"
+#include "search/flooding.h"
+#include "util/check.h"
+#include "util/digest.h"
+
+namespace ace {
+namespace {
+
+// Unit-delay line of hosts; peers and links are added per test.
+struct Fixture {
+  explicit Fixture(std::size_t online, std::size_t offline = 0) {
+    Graph g{64};
+    for (NodeId u = 0; u + 1 < 64; ++u) g.add_edge(u, u + 1, 1.0);
+    physical = std::make_unique<PhysicalNetwork>(std::move(g));
+    overlay = std::make_unique<OverlayNetwork>(*physical);
+    for (std::size_t i = 0; i < online + offline; ++i)
+      overlay->add_peer(static_cast<HostId>(i % 64), i < online);
+    for (std::size_t i = 0; i + 1 < online; ++i)
+      overlay->connect(static_cast<PeerId>(i), static_cast<PeerId>(i + 1));
+  }
+  std::unique_ptr<PhysicalNetwork> physical;
+  std::unique_ptr<OverlayNetwork> overlay;
+  Rng rng{17};
+};
+
+// Restores the process-wide force-full toggle on scope exit so a failing
+// assertion cannot leak the oracle mode into later tests.
+struct ForceFullGuard {
+  explicit ForceFullGuard(bool enabled) { set_force_full_rebuild(enabled); }
+  ~ForceFullGuard() { set_force_full_rebuild(false); }
+};
+
+// Tests that assert cache hits happen cannot run under the process-wide
+// ACE_FORCE_FULL_REBUILD oracle (whose whole point is preventing hits).
+#define ACE_SKIP_IF_FORCED_FULL()                                       \
+  if (force_full_rebuild_enabled())                                     \
+  GTEST_SKIP() << "ACE_FORCE_FULL_REBUILD disables the cache this test " \
+                  "exercises"
+
+// --- topology-version bump coverage ----------------------------------
+
+TEST(TopologyVersion, AddPeerStartsAtZeroAndBumpsGlobalOnly) {
+  Fixture f{2};
+  const std::uint64_t global = f.overlay->global_version();
+  const PeerId p = f.overlay->add_peer(5, /*online=*/true);
+  EXPECT_EQ(f.overlay->topology_version(p), 0u);
+  EXPECT_GT(f.overlay->global_version(), global);
+}
+
+TEST(TopologyVersion, ConnectBumpsBothEndpoints) {
+  Fixture f{4};
+  const std::uint64_t va = f.overlay->topology_version(0);
+  const std::uint64_t vc = f.overlay->topology_version(2);
+  const std::uint64_t vb = f.overlay->topology_version(1);
+  ASSERT_TRUE(f.overlay->connect(0, 2));
+  EXPECT_EQ(f.overlay->topology_version(0), va + 1);
+  EXPECT_EQ(f.overlay->topology_version(2), vc + 1);
+  EXPECT_EQ(f.overlay->topology_version(1), vb);  // bystander untouched
+}
+
+TEST(TopologyVersion, FailedConnectDoesNotBump) {
+  Fixture f{3, 1};
+  const std::uint64_t global = f.overlay->global_version();
+  EXPECT_FALSE(f.overlay->connect(0, 1));  // already connected
+  EXPECT_FALSE(f.overlay->connect(0, 0));  // self-loop
+  EXPECT_FALSE(f.overlay->connect(0, 3));  // peer 3 offline
+  EXPECT_EQ(f.overlay->global_version(), global);
+}
+
+TEST(TopologyVersion, DisconnectBumpsBothEndpointsOnlyOnSuccess) {
+  Fixture f{4};
+  const std::uint64_t va = f.overlay->topology_version(0);
+  const std::uint64_t vb = f.overlay->topology_version(1);
+  ASSERT_TRUE(f.overlay->disconnect(0, 1));
+  EXPECT_EQ(f.overlay->topology_version(0), va + 1);
+  EXPECT_EQ(f.overlay->topology_version(1), vb + 1);
+  const std::uint64_t global = f.overlay->global_version();
+  EXPECT_FALSE(f.overlay->disconnect(0, 1));  // no such link anymore
+  EXPECT_EQ(f.overlay->global_version(), global);
+}
+
+TEST(TopologyVersion, JoinBumpsTheJoinerAndItsNewNeighbors) {
+  Fixture f{6, 1};
+  const PeerId joiner = 6;
+  std::vector<std::uint64_t> before;
+  for (PeerId p = 0; p < f.overlay->peer_count(); ++p)
+    before.push_back(f.overlay->topology_version(p));
+  const std::size_t created = f.overlay->join(joiner, 2, f.rng);
+  ASSERT_GT(created, 0u);
+  // The online flip alone bumps the joiner; each created link bumps both
+  // endpoints again.
+  EXPECT_GE(f.overlay->topology_version(joiner), before[joiner] + 1 + created);
+  std::size_t bumped_neighbors = 0;
+  for (PeerId p = 0; p < joiner; ++p)
+    if (f.overlay->topology_version(p) > before[p]) {
+      ++bumped_neighbors;
+      EXPECT_TRUE(f.overlay->are_connected(joiner, p));
+    }
+  EXPECT_EQ(bumped_neighbors, created);
+}
+
+TEST(TopologyVersion, LeaveBumpsPeerDroppedNeighborsAndRepairPartners) {
+  Fixture f{8};
+  const PeerId leaver = 3;
+  std::vector<std::uint64_t> before;
+  for (PeerId p = 0; p < f.overlay->peer_count(); ++p)
+    before.push_back(f.overlay->topology_version(p));
+  const std::vector<PeerId> dropped =
+      f.overlay->leave(leaver, /*repair_min_degree=*/2, f.rng);
+  ASSERT_FALSE(dropped.empty());
+  EXPECT_GT(f.overlay->topology_version(leaver), before[leaver]);
+  for (const PeerId q : dropped)
+    EXPECT_GT(f.overlay->topology_version(q), before[q]);
+  // Repair links bump peers beyond the dropped set too; every changed
+  // version must belong to a peer whose adjacency actually changed (the
+  // leaver, a dropped neighbor, or a repair partner with a new link).
+  for (PeerId p = 0; p < f.overlay->peer_count(); ++p) {
+    if (f.overlay->topology_version(p) == before[p]) continue;
+    const bool is_leaver = p == leaver;
+    const bool was_dropped =
+        std::find(dropped.begin(), dropped.end(), p) != dropped.end();
+    const bool repair_partner = f.overlay->degree(p) > 0;
+    EXPECT_TRUE(is_leaver || was_dropped || repair_partner);
+  }
+}
+
+TEST(TopologyVersion, LeaveOfIsolatedOfflinePeerIsANoOp) {
+  Fixture f{4, 1};
+  const PeerId ghost = 4;  // offline, never connected
+  const std::uint64_t global = f.overlay->global_version();
+  const std::vector<PeerId> dropped = f.overlay->leave(ghost, 2, f.rng);
+  EXPECT_TRUE(dropped.empty());
+  EXPECT_EQ(f.overlay->global_version(), global);
+}
+
+TEST(SnapshotIdentity, UniquePerInstanceIncludingCopies) {
+  Fixture f{4};
+  const OverlayNetwork copy = *f.overlay;
+  EXPECT_NE(copy.snapshot_identity(), f.overlay->snapshot_identity());
+  const Fixture g{4};
+  EXPECT_NE(g.overlay->snapshot_identity(), f.overlay->snapshot_identity());
+}
+
+// --- engine cache behaviour ------------------------------------------
+
+// Mismatched overlay over a BA physical topology (mirrors test_engine).
+struct EngineFixture {
+  explicit EngineFixture(std::size_t hosts = 256, std::size_t peers = 48,
+                         double degree = 5.0, std::uint64_t seed = 3) {
+    Rng topo{seed};
+    BaOptions ba;
+    ba.nodes = hosts;
+    physical = std::make_unique<PhysicalNetwork>(barabasi_albert(ba, topo));
+    OverlayOptions oo;
+    oo.peers = peers;
+    oo.mean_degree = degree;
+    const Graph logical = random_overlay(oo, topo);
+    const auto host_list = assign_hosts_uniform(*physical, peers, topo);
+    overlay = std::make_unique<OverlayNetwork>(*physical, logical, host_list);
+  }
+  std::unique_ptr<PhysicalNetwork> physical;
+  std::unique_ptr<OverlayNetwork> overlay;
+  Rng rng{17};
+};
+
+// Phase-2 establishment and phase-3 cuts mutate the overlay, so a truly
+// static topology needs establishment off (rebuild_all_trees already skips
+// phase 3); the depth-sweep benches run exactly this configuration.
+AceConfig static_topology_config() {
+  AceConfig config;
+  config.establish_tree_links = false;
+  return config;
+}
+
+TEST(IncrementalCache, RepeatRoundOnStaticTopologyHitsEveryPeer) {
+  ACE_SKIP_IF_FORCED_FULL();
+  EngineFixture f;
+  AceEngine engine{*f.overlay, static_topology_config()};
+  const RoundReport first = engine.rebuild_all_trees();
+  EXPECT_EQ(first.cache.closure_builds, f.overlay->online_count());
+  EXPECT_EQ(first.cache.closure_hits, 0u);
+  EXPECT_GT(first.cache.tree_builds, 0u);
+
+  const RoundReport second = engine.rebuild_all_trees();
+  EXPECT_EQ(second.cache.closure_hits, f.overlay->online_count());
+  EXPECT_EQ(second.cache.closure_builds, 0u);
+  EXPECT_EQ(second.cache.invalidations, 0u);
+  EXPECT_EQ(second.cache.tree_builds, 0u);
+  // Protocol accounting is cache-independent: the peers still probe and
+  // exchange every round.
+  EXPECT_DOUBLE_EQ(second.phase1.total(), first.phase1.total());
+  EXPECT_DOUBLE_EQ(second.closure_traffic, first.closure_traffic);
+}
+
+TEST(IncrementalCache, MutationInvalidatesOnlyAffectedClosures) {
+  ACE_SKIP_IF_FORCED_FULL();
+  EngineFixture f;
+  AceEngine engine{*f.overlay, static_topology_config()};
+  engine.rebuild_all_trees();
+
+  // Cut one existing link; only closures containing an endpoint go stale.
+  PeerId a = kInvalidPeer, b = kInvalidPeer;
+  for (PeerId p = 0; p < f.overlay->peer_count() && a == kInvalidPeer; ++p)
+    if (f.overlay->degree(p) > 0) {
+      a = p;
+      b = f.overlay->neighbors(p).front().node;
+    }
+  ASSERT_NE(a, kInvalidPeer);
+  ASSERT_TRUE(f.overlay->disconnect(a, b));
+
+  const RoundReport report = engine.rebuild_all_trees();
+  EXPECT_GE(report.cache.invalidations, 2u);  // at least both endpoints
+  EXPECT_EQ(report.cache.closure_builds, report.cache.invalidations);
+  EXPECT_EQ(report.cache.closure_builds + report.cache.closure_hits,
+            report.peers_stepped);
+  EXPECT_LT(report.cache.closure_builds, report.peers_stepped);
+}
+
+TEST(IncrementalCache, ConfigFlagForcesFullRebuildEveryRound) {
+  EngineFixture f;
+  AceConfig config = static_topology_config();
+  config.force_full_rebuild = true;
+  AceEngine engine{*f.overlay, config};
+  engine.rebuild_all_trees();
+  const RoundReport second = engine.rebuild_all_trees();
+  EXPECT_EQ(second.cache.closure_hits, 0u);
+  EXPECT_EQ(second.cache.closure_builds, f.overlay->online_count());
+}
+
+TEST(IncrementalCache, EnvToggleForcesFullRebuildProcessWide) {
+  EngineFixture f;
+  AceEngine engine{*f.overlay, static_topology_config()};
+  engine.rebuild_all_trees();
+  {
+    ForceFullGuard guard{true};
+    const RoundReport forced = engine.rebuild_all_trees();
+    EXPECT_EQ(forced.cache.closure_hits, 0u);
+    EXPECT_EQ(forced.cache.closure_builds, f.overlay->online_count());
+  }
+  // Toggle restored: the rebuilt entries serve hits again.
+  const RoundReport after = engine.rebuild_all_trees();
+  EXPECT_EQ(after.cache.closure_hits, f.overlay->online_count());
+}
+
+TEST(IncrementalCache, CachedRoundsKeepTheStateDigestIdentical) {
+  EngineFixture incremental, forced;
+  AceConfig full;
+  full.force_full_rebuild = true;
+  AceEngine fast{*incremental.overlay, AceConfig{}};
+  AceEngine slow{*forced.overlay, full};
+  for (int round = 0; round < 3; ++round) {
+    fast.step_round(incremental.rng);
+    slow.step_round(forced.rng);
+    EXPECT_EQ(fast.state_digest().combined(), slow.state_digest().combined())
+        << "diverged at round " << round;
+  }
+}
+
+// --- differential oracle: full dynamic run ----------------------------
+
+DynamicConfig small_dynamic_config(DigestTrace* trace, bool force_full,
+                                   bool lossy) {
+  DynamicConfig config;
+  config.scenario.physical_nodes = 128;
+  config.scenario.peers = 32;
+  config.scenario.mean_degree = 4.0;
+  config.scenario.seed = 99;
+  config.scenario.catalog.object_count = 100;
+  config.churn.mean_lifetime_s = 60.0;
+  config.churn.lifetime_variance = 30.0 * 30.0;
+  config.churn.join_degree = 4;
+  config.workload.queries_per_peer_per_s = 0.01;
+  config.ace_period_s = 15.0;
+  config.duration_s = 60.0;
+  config.report_buckets = 2;
+  config.ace.force_full_rebuild = force_full;
+  if (lossy) {
+    config.transport.mode = TransportMode::kLossy;
+    config.transport.faults.drop_probability = 0.05;
+    config.transport.faults.extra_jitter_max_s = 0.01;
+  }
+  config.digest_trace = trace;
+  return config;
+}
+
+// The tentpole's acceptance contract in miniature: a dynamic run with
+// churn, queries, and phase-3 topology mutations produces byte-identical
+// digest traces with the incremental cache on and off.
+TEST(ForceFullDifferential, IdealDynamicRunTracesAreByteIdentical) {
+  DigestTrace incremental, forced;
+  const DynamicResult fast = run_dynamic(
+      small_dynamic_config(&incremental, /*force_full=*/false, false));
+  const DynamicResult slow =
+      run_dynamic(small_dynamic_config(&forced, /*force_full=*/true, false));
+  ASSERT_GT(incremental.rows(), 0u);
+  EXPECT_EQ(incremental.csv(), forced.csv());
+  EXPECT_DOUBLE_EQ(fast.total_overhead, slow.total_overhead);
+  EXPECT_EQ(fast.overall.queries(), slow.overall.queries());
+  EXPECT_DOUBLE_EQ(fast.overall.mean_traffic(), slow.overall.mean_traffic());
+  // With force-full on, the oracle side never serves a hit.
+  EXPECT_EQ(slow.engine_cache.closure_hits, 0u);
+}
+
+// With churn quiesced and establishment off (the depth-sweep shape), the
+// dynamic run converges and later rounds are served from the cache.
+TEST(ForceFullDifferential, SteadyStateDynamicRunServesCacheHits) {
+  ACE_SKIP_IF_FORCED_FULL();
+  DigestTrace trace;
+  DynamicConfig config =
+      small_dynamic_config(&trace, /*force_full=*/false, false);
+  config.churn.mean_lifetime_s = 1e6;  // no churn event inside duration_s
+  config.churn.lifetime_variance = 1.0;
+  config.ace.establish_tree_links = false;
+  config.ace.pairwise_neighbor_probes = false;
+  const DynamicResult result = run_dynamic(config);
+  EXPECT_GT(result.engine_cache.closure_hits, 0u);
+  EXPECT_GT(result.engine_cache.closure_builds, 0u);
+}
+
+TEST(ForceFullDifferential, LossyDynamicRunTracesAreByteIdentical) {
+  DigestTrace incremental, forced;
+  const DynamicResult fast = run_dynamic(
+      small_dynamic_config(&incremental, /*force_full=*/false, true));
+  const DynamicResult slow =
+      run_dynamic(small_dynamic_config(&forced, /*force_full=*/true, true));
+  ASSERT_GT(incremental.rows(), 0u);
+  EXPECT_EQ(incremental.csv(), forced.csv());
+  EXPECT_EQ(fast.transport.sent, slow.transport.sent);
+  EXPECT_EQ(fast.transport.dropped, slow.transport.dropped);
+  EXPECT_DOUBLE_EQ(fast.total_overhead, slow.total_overhead);
+}
+
+// --- local-id routing overload ----------------------------------------
+
+// The engine's hot install path builds TreeRouting over closure-local ids
+// (tree.local_edges); it must emit byte-identical relay lists to the
+// global-id overload for every peer, depth, and closure flavor.
+TEST(TreeRoutingOverload, LocalIdPathMatchesGlobalIdPath) {
+  EngineFixture f;
+  for (const std::uint32_t h : {1u, 2u, 3u}) {
+    for (const ClosureEdges edges :
+         {ClosureEdges::kOverlayOnly,
+          ClosureEdges::kOverlayPlusNeighborProbes}) {
+      for (PeerId p = 0; p < f.overlay->peer_count(); ++p) {
+        if (!f.overlay->is_online(p)) continue;
+        const LocalClosure closure = build_closure(*f.overlay, p, h, edges);
+        const LocalTree tree = build_local_tree(closure);
+        const TreeRouting by_global = make_tree_routing(tree, p);
+        const TreeRouting by_local = make_tree_routing(closure, tree, p);
+        EXPECT_EQ(by_local.children, by_global.children)
+            << "peer " << p << " h=" << h;
+        EXPECT_EQ(by_local.flooding, by_global.flooding)
+            << "peer " << p << " h=" << h;
+      }
+    }
+  }
+}
+
+// --- steady-state maintenance phase -----------------------------------
+
+// The depth-sweep maintenance phase must change cache counters and nothing
+// else: every figure metric and the digest trace stay byte-identical to a
+// maintenance-free sweep (ideal transport), with or without the
+// force-full-rebuild oracle.
+TEST(MaintenancePhase, FiguresAndTracesInvariantWhileCacheServesHits) {
+  ACE_SKIP_IF_FORCED_FULL();
+  ScenarioConfig base;
+  base.physical_nodes = 128;
+  base.peers = 32;
+  base.mean_degree = 4.0;
+  base.seed = 99;
+  base.catalog.object_count = 100;
+  const std::vector<std::uint32_t> depths{1, 2};
+  const std::size_t rounds = 3, queries = 25, maintenance = 6;
+  const std::size_t online = Scenario{base}.overlay().online_count();
+  ASSERT_GT(online, 0u);
+
+  DigestTrace plain_trace, maint_trace, forced_trace;
+  const auto plain = run_depth_sweep(base, AceConfig{}, depths, rounds,
+                                     queries, &plain_trace);
+  const auto maintained =
+      run_depth_sweep(base, AceConfig{}, depths, rounds, queries,
+                      &maint_trace, {}, 1, maintenance);
+  ForceFullGuard guard{true};
+  const auto forced =
+      run_depth_sweep(base, AceConfig{}, depths, rounds, queries,
+                      &forced_trace, {}, 1, maintenance);
+
+  EXPECT_EQ(maint_trace.csv(), plain_trace.csv());
+  EXPECT_EQ(forced_trace.csv(), plain_trace.csv());
+  ASSERT_EQ(maintained.size(), plain.size());
+  ASSERT_EQ(forced.size(), plain.size());
+  std::size_t plain_hits = 0, maint_hits = 0;
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    for (const auto* s : {&maintained[i], &forced[i]}) {
+      EXPECT_DOUBLE_EQ(s->traffic_blind, plain[i].traffic_blind);
+      EXPECT_DOUBLE_EQ(s->traffic_ace, plain[i].traffic_ace);
+      EXPECT_DOUBLE_EQ(s->reduction_rate, plain[i].reduction_rate);
+      EXPECT_DOUBLE_EQ(s->overhead_per_round, plain[i].overhead_per_round);
+      EXPECT_DOUBLE_EQ(s->gain_per_query, plain[i].gain_per_query);
+    }
+    plain_hits += plain[i].engine_cache.closure_hits;
+    maint_hits += maintained[i].engine_cache.closure_hits;
+    // The oracle side never hits, even through the maintenance phase.
+    EXPECT_EQ(forced[i].engine_cache.closure_hits, 0u);
+  }
+  // From the second maintenance round on, every online peer is served from
+  // its cache entry (the topology stopped moving after the last
+  // optimization round).
+  EXPECT_GE(maint_hits,
+            plain_hits + depths.size() * (maintenance - 1) * online);
+}
+
+// --- query-path adjacency snapshot ------------------------------------
+
+TEST(OverlaySnapshot, RebuildsOnlyWhenTheOverlayMutates) {
+  Fixture f{8};
+  OverlaySnapshot snapshot;
+  EXPECT_TRUE(snapshot.refresh(*f.overlay));   // first build
+  EXPECT_FALSE(snapshot.refresh(*f.overlay));  // unchanged
+  ASSERT_TRUE(f.overlay->connect(0, 5));
+  EXPECT_TRUE(snapshot.refresh(*f.overlay));
+  EXPECT_FALSE(snapshot.refresh(*f.overlay));
+}
+
+TEST(OverlaySnapshot, MirrorsLiveAdjacencyOrderAndCosts) {
+  EngineFixture f;
+  OverlaySnapshot snapshot;
+  snapshot.refresh(*f.overlay);
+  for (PeerId p = 0; p < f.overlay->peer_count(); ++p) {
+    const auto live = f.overlay->neighbors(p);
+    const auto snap = snapshot.neighbors(p);
+    ASSERT_EQ(live.size(), snap.size());
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      EXPECT_EQ(live[i].node, snap[i].node);
+      EXPECT_DOUBLE_EQ(live[i].weight, snap[i].weight);
+      EXPECT_TRUE(snapshot.are_connected(p, live[i].node));
+      EXPECT_DOUBLE_EQ(snapshot.link_cost(p, live[i].node), live[i].weight);
+    }
+  }
+}
+
+TEST(OverlaySnapshot, QueryResultsIdenticalWithAndWithoutSnapshot) {
+  ACE_SKIP_IF_FORCED_FULL();
+  EngineFixture f;
+  const ObjectCatalog catalog{CatalogConfig{}};
+  const CatalogOracle oracle{catalog};
+  QueryScratch scratch;
+  QueryOptions direct;
+  direct.allow_snapshot = false;
+  QueryOptions snapshotted;  // allow_snapshot defaults true
+  for (PeerId source = 0; source < 8; ++source) {
+    const ObjectId object = static_cast<ObjectId>(source * 7 + 1);
+    const QueryResult a =
+        run_query(*f.overlay, source, object, oracle,
+                  ForwardingMode::kBlindFlooding, nullptr, direct, &scratch);
+    const QueryResult b = run_query(*f.overlay, source, object, oracle,
+                                    ForwardingMode::kBlindFlooding, nullptr,
+                                    snapshotted, &scratch);
+    EXPECT_DOUBLE_EQ(a.traffic_cost, b.traffic_cost);
+    EXPECT_DOUBLE_EQ(a.response_time, b.response_time);
+    EXPECT_EQ(a.scope, b.scope);
+    EXPECT_EQ(a.found, b.found);
+  }
+  EXPECT_EQ(scratch.snapshot_rebuilds(), 1u);  // one topology, one build
+}
+
+TEST(OverlaySnapshot, ForceFullTogglePinsQueriesToTheDirectPath) {
+  EngineFixture f;
+  const ObjectCatalog catalog{CatalogConfig{}};
+  const CatalogOracle oracle{catalog};
+  QueryScratch scratch;
+  ForceFullGuard guard{true};
+  (void)run_query(*f.overlay, 0, 1, oracle, ForwardingMode::kBlindFlooding,
+                  nullptr, QueryOptions{}, &scratch);
+  EXPECT_EQ(scratch.snapshot_rebuilds(), 0u);
+}
+
+}  // namespace
+}  // namespace ace

@@ -164,7 +164,7 @@ StateDigest golden_engine_digest() {
   GoldenFixture f;
   AceEngine engine{*f.overlay, AceConfig{}};
   Rng rng{5};
-  engine.rebuild_all_trees(rng);
+  engine.rebuild_all_trees();
   return engine.state_digest();
 }
 
@@ -189,7 +189,7 @@ TEST(StateDigest, EngineDigestSeesOverlayMutations) {
   GoldenFixture f;
   AceEngine engine{*f.overlay, AceConfig{}};
   Rng rng{5};
-  engine.rebuild_all_trees(rng);
+  engine.rebuild_all_trees();
   const StateDigest before = engine.state_digest();
   ASSERT_TRUE(f.overlay->disconnect(2, 6));
   EXPECT_EQ(first_divergence(before, engine.state_digest()),

@@ -31,6 +31,15 @@ contract:
                         (allowlisted) unordered iteration: even when the
                         visit *set* is fixed, FP addition is not
                         associative, so the sum depends on visit order.
+  overlay-adjacency-write
+                        direct mutation of the overlay's logical adjacency
+                        (logical_.add_edge / remove_edge / set_weight /
+                        isolate) outside the version-bumping OverlayNetwork
+                        mutators. The incremental engine and the query-path
+                        snapshot trust topology_version()/global_version()
+                        to observe every adjacency change; a bypassing
+                        write silently serves stale cached closures and
+                        snapshots.
   bad-allow             an allow-comment with no justification text, or
                         naming an unknown rule.
 
@@ -64,6 +73,8 @@ RULES = {
     "pointer-key": "ordered container keyed on a pointer",
     "addr-compare": "relational comparison of addresses",
     "float-accum-unordered": "float accumulation inside unordered iteration",
+    "overlay-adjacency-write":
+        "overlay adjacency mutated without a version bump",
     "bad-allow": "malformed ace-lint allow comment",
 }
 
@@ -97,6 +108,12 @@ POINTER_KEY_RE = re.compile(
 ADDR_COMPARE_RE = re.compile(
     r"&\s*[A-Za-z_][\w.\[\]>\-]*\s*(?:<|>|<=|>=)\s*&\s*[A-Za-z_]")
 FLOAT_ACCUM_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\+=")
+# Direct writes to the overlay's logical adjacency. `logical_` is the
+# OverlayNetwork member; any mutating call on it must go through (or be)
+# a version-bumping mutator, else topology_version() lies to the caches.
+OVERLAY_ADJACENCY_WRITE_RE = re.compile(
+    r"\blogical_\s*(?:\.|->)\s*"
+    r"(?:add_edge|add_new_edge|remove_edge|set_weight|isolate)\s*\(")
 
 
 @dataclass
@@ -315,6 +332,15 @@ def lint_source(src: SourceFile) -> list[Finding]:
                     "relational comparison of addresses — ordering depends "
                     "on allocation layout; compare stable ids"))
 
+            wm = OVERLAY_ADJACENCY_WRITE_RE.search(code)
+            if wm and not is_allowed(allowed, idx, "overlay-adjacency-write"):
+                findings.append(Finding(
+                    src.path, idx, "overlay-adjacency-write",
+                    "direct write to the overlay's logical adjacency — "
+                    "bypasses the topology_version() bump the incremental "
+                    "caches rely on; go through the OverlayNetwork mutators "
+                    "(connect/disconnect/join/leave)"))
+
         if src.path not in BANNED_RANDOM_EXEMPT:
             bm = BANNED_RANDOM_RE.search(code)
             if bm and not is_allowed(allowed, idx, "banned-random"):
@@ -486,6 +512,34 @@ void f() {
 #include <random>
 std::mt19937 gen;
 """, ["banned-random"]),
+    ("overlay_adjacency_bypass", "src/x/p.cpp", """
+struct G { bool add_edge(int, int, double); bool remove_edge(int, int); };
+struct O {
+  G logical_;
+  void hack() {
+    logical_.add_edge(1, 2, 0.5);
+    logical_.remove_edge(1, 2);
+  }
+};
+""", ["overlay-adjacency-write"]),
+    ("overlay_adjacency_allowed_mutator", "src/x/q.cpp", """
+struct G { void isolate(int); };
+struct O {
+  G logical_;
+  void leave(int p) {
+    // ace-lint: allow(overlay-adjacency-write): the version-bumping mutator
+    logical_.isolate(p);
+  }
+};
+""", []),
+    ("overlay_adjacency_reads_fine", "src/x/r.cpp", """
+struct G { int degree(int) const; bool has_edge(int, int) const; };
+struct O {
+  G logical_;
+  int deg(int p) const { return logical_.degree(p); }
+  bool linked(int a, int b) const { return logical_.has_edge(a, b); }
+};
+""", []),
 ]
 
 

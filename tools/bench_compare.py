@@ -45,9 +45,10 @@ def load_record(path: Path):
 
 
 def compare_metric(label: str, base: float, cur: float, threshold: float):
-    """Returns (regressed, line) for one metric."""
+    """Returns (regressed, delta-or-None, line) for one metric."""
     if base <= 0:
-        return False, f"  {label}: baseline {base:g} not comparable, skipped"
+        return (False, None,
+                f"  {label}: baseline {base:g} not comparable, skipped")
     ratio = cur / base - 1.0
     mark = "ok"
     if ratio > threshold:
@@ -56,13 +57,16 @@ def compare_metric(label: str, base: float, cur: float, threshold: float):
         mark = "improved"
     line = (f"  {label}: {base:g} -> {cur:g} "
             f"({ratio:+.1%}, threshold {threshold:.0%}) {mark}")
-    return mark == "REGRESSION", line
+    return mark == "REGRESSION", ratio, line
 
 
 def compare_record(name: str, baseline: dict, current: dict,
-                   threshold: float) -> bool:
-    """Prints the per-metric report; returns True when a metric regressed."""
+                   threshold: float):
+    """Prints the per-metric report. Returns (regressed, worst) where
+    `worst` is the record's largest relative slowdown as a "+x.x% label"
+    string (None when nothing was comparable)."""
     regressed = False
+    worst = None  # (ratio, label)
     base_cases = baseline.get("cases")
     cur_cases = current.get("cases")
     if isinstance(base_cases, dict) and isinstance(cur_cases, dict):
@@ -70,20 +74,27 @@ def compare_record(name: str, baseline: dict, current: dict,
             if case not in cur_cases:
                 print(f"  {case}: missing from current run (not failing)")
                 continue
-            bad, line = compare_metric(f"{case} ns/op", base_cases[case],
-                                       cur_cases[case], threshold)
+            bad, ratio, line = compare_metric(f"{case} ns/op",
+                                              base_cases[case],
+                                              cur_cases[case], threshold)
             regressed |= bad
+            if ratio is not None and (worst is None or ratio > worst[0]):
+                worst = (ratio, case)
             print(line)
         for case in sorted(set(cur_cases) - set(base_cases)):
             print(f"  {case}: new case, no baseline (not failing)")
-        return regressed
-
-    bad, line = compare_metric("wall_time_s",
-                               float(baseline.get("wall_time_s", 0.0)),
-                               float(current.get("wall_time_s", 0.0)),
-                               threshold)
-    print(line)
-    return bad
+    else:
+        bad, ratio, line = compare_metric(
+            "wall_time_s", float(baseline.get("wall_time_s", 0.0)),
+            float(current.get("wall_time_s", 0.0)), threshold)
+        print(line)
+        regressed = bad
+        if ratio is not None:
+            worst = (ratio, "wall_time_s")
+    summary = None
+    if worst is not None:
+        summary = f"{worst[0]:+.1%} {worst[1]}"
+    return regressed, summary
 
 
 def main() -> int:
@@ -113,6 +124,7 @@ def main() -> int:
 
     failed = False
     seeded = 0
+    outcomes = []  # (record name, status, worst-delta summary or None)
     for record_path in records:
         current = load_record(record_path)
         if current is None:
@@ -123,18 +135,31 @@ def main() -> int:
             if args.no_seed:
                 print("  no baseline (--no-seed): FAIL")
                 failed = True
+                outcomes.append((record_path.name, "MISSING BASELINE", None))
                 continue
             args.baseline_dir.mkdir(parents=True, exist_ok=True)
             shutil.copyfile(record_path, baseline_path)
             print(f"  no baseline; seeded {baseline_path}")
             seeded += 1
+            outcomes.append((record_path.name, "seeded", None))
             continue
         baseline = load_record(baseline_path)
         if baseline is None:
             return 2
-        failed |= compare_record(record_path.name, baseline, current,
-                                 args.threshold)
+        regressed, summary = compare_record(record_path.name, baseline,
+                                            current, args.threshold)
+        failed |= regressed
+        outcomes.append((record_path.name,
+                         "REGRESSION" if regressed else "ok", summary))
 
+    # Per-case regression summary: one line per record, worst delta first,
+    # so a long CI log ends with the actionable overview.
+    print(f"\nsummary (threshold {args.threshold:.0%}):")
+    for name, status, summary in sorted(
+            outcomes, key=lambda o: (o[1] not in ("REGRESSION",
+                                                  "MISSING BASELINE"), o[0])):
+        detail = f" (worst: {summary})" if summary else ""
+        print(f"  {name}: {status}{detail}")
     if seeded:
         print(f"{seeded} baseline(s) seeded; subsequent runs will compare.")
     print("bench-compare:", "FAIL" if failed else "PASS")
