@@ -67,6 +67,7 @@ std::size_t LocalClosure::table_entries() const {
   return total;
 }
 
+// ace-hot
 void build_closure_into(const OverlayNetwork& overlay, PeerId source,
                         std::uint32_t h, ClosureEdges edges, LocalClosure& out,
                         ClosureScratch& scratch) {

@@ -110,6 +110,8 @@ class CostTableStore {
   void digest_into(Fnv1a& digest) const;
 
  private:
+  // ace-digest: exempt(sizing_): pricing constants fixed at construction;
+  // their effect is digested through the traffic totals they produce.
   MessageSizing sizing_;
   std::vector<NeighborCostTable> tables_;
 };

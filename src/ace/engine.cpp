@@ -306,6 +306,7 @@ void AceEngine::rebuild_into_cache(PeerId peer, RoundReport& report) {
 }
 
 void AceEngine::step_peer(PeerId peer, Rng& rng, RoundReport& report) {
+  owner_.assert_held();
   if (!overlay_->is_online(peer)) return;
   ++report.peers_stepped;
 
@@ -369,6 +370,7 @@ void AceEngine::step_peer(PeerId peer, Rng& rng, RoundReport& report) {
 }
 
 RoundReport AceEngine::step_round(Rng& rng) {
+  owner_.assert_held();
   RoundReport report;
   std::vector<PeerId> order = overlay_->online_peers();
   rng.shuffle(std::span<PeerId>{order});
@@ -378,6 +380,7 @@ RoundReport AceEngine::step_round(Rng& rng) {
 }
 
 RoundReport AceEngine::rebuild_all_trees() {
+  owner_.assert_held();
   RoundReport report;
   for (const PeerId p : overlay_->online_peers()) {
     ++report.peers_stepped;

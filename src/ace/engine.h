@@ -22,6 +22,8 @@
 #include "ace/tree_builder.h"
 #include "search/flooding.h"
 #include "transport/transport.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace ace {
 
@@ -207,20 +209,22 @@ class AceEngine {
   // member's topology version moved since the snapshot (every mutation
   // that can change the closure bumps at least one member — see
   // OverlayNetwork versioning).
-  bool cache_valid(const PeerCacheEntry& entry) const;
-  void snapshot_versions(PeerCacheEntry& entry) const;
+  bool cache_valid(const PeerCacheEntry& entry) const ACE_REQUIRES(owner_);
+  void snapshot_versions(PeerCacheEntry& entry) const ACE_REQUIRES(owner_);
 
   // Full closure + tree + routing rebuild for `peer` straight into its
   // cache entry (audited, counted, installed). Charges no probe overhead:
   // used by the phase-3 immediate rebuild and the rebuild_all_trees fix-up
   // pass, where the round's tables are already paid for.
-  void rebuild_into_cache(PeerId peer, RoundReport& report);
+  void rebuild_into_cache(PeerId peer, RoundReport& report)
+      ACE_REQUIRES(owner_);
 
   // Phases 1-2 for one peer: probe, build closure + tree (or validate the
   // cached ones), establish recommended links, install the flooding set.
   // Returns the step's final tree (owned by the peer's cache entry) so
   // step_peer can feed phase 3.
-  const LocalTree& refresh_peer_tree(PeerId peer, RoundReport& report);
+  const LocalTree& refresh_peer_tree(PeerId peer, RoundReport& report)
+      ACE_REQUIRES(owner_);
 
   OverlayNetwork* overlay_;
   AceConfig config_;
@@ -238,11 +242,15 @@ class AceEngine {
     return config_.force_full_rebuild || force_full_rebuild_enabled();
   }
 
+  // An engine serves one trial/thread (the trial runner gives each trial
+  // its own Scenario + engine); the capability makes that statically
+  // checkable for the cache machinery below.
+  ThreadOwnership owner_;
   // Incremental per-peer cache, indexed by PeerId.
-  std::vector<PeerCacheEntry> cache_;
+  std::vector<PeerCacheEntry> cache_ ACE_GUARDED_BY(owner_);
   // Rebuild scratch shared by every closure build this engine runs: after
   // the first round the BFS/induced-subgraph path allocates nothing.
-  ClosureScratch closure_scratch_;
+  ClosureScratch closure_scratch_ ACE_GUARDED_BY(owner_);
 };
 
 }  // namespace ace

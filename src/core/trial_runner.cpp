@@ -1,11 +1,13 @@
 #include "core/trial_runner.h"
 
 #include <atomic>
-#include <condition_variable>
+#include <cstdint>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace ace {
 
@@ -17,20 +19,31 @@ namespace ace {
 // Determinism lives in the trial/seed contract, not in the scheduling.
 //
 // Each job owns its state (claim counter, body pointer, completion count)
-// in a shared_ptr that workers copy under the lock at wake-up. This closes
-// a lifetime race: a worker that picked up job N but got descheduled before
-// claiming an index can wake after run() returned and job N+1 started. With
-// per-job state it can only fetch_add job N's exhausted counter (>= count,
-// so it never dereferences the stale body) — it can never claim job N+1's
-// indices or call job N's destroyed std::function.
+// in a shared_ptr that workers copy under the pool lock at wake-up. This
+// closes a lifetime race: a worker that picked up job N but got descheduled
+// before claiming an index can wake after run() returned and job N+1
+// started. With per-job state it can only fetch_add job N's exhausted
+// counter (>= count, so it never dereferences the stale body) — it can
+// never claim job N+1's indices or call job N's destroyed std::function.
+//
+// Lock discipline (checked by clang -Wthread-safety via the annotations):
+// the pool mutex guards job installation (current_job, job_generation,
+// stopping); each Job carries its own mutex guarding its completion state
+// (outstanding, first_error), so the guarded-by expressions resolve on the
+// same base object the accessor holds. The two locks are never nested.
 struct TrialRunner::Pool {
   struct Job {
+    // count/body are immutable after publication: run() fills them in
+    // before installing the job under the pool mutex, and workers only see
+    // the job via that mutex (the release/acquire pair orders the writes).
     std::size_t count = 0;
     const std::function<void(std::size_t)>* body = nullptr;
     std::atomic<std::size_t> next_index{0};
-    std::size_t outstanding = 0;  // claimed-and-finished bookkeeping (mutex)
     std::atomic<bool> failed{false};
-    std::exception_ptr first_error;  // guarded by the pool mutex
+    Mutex mutex;
+    CondVar done;  // signaled when outstanding hits zero
+    std::size_t outstanding ACE_GUARDED_BY(mutex) = 0;
+    std::exception_ptr first_error ACE_GUARDED_BY(mutex);
   };
 
   explicit Pool(std::size_t threads) {
@@ -41,31 +54,41 @@ struct TrialRunner::Pool {
 
   ~Pool() {
     {
-      std::lock_guard<std::mutex> lock{mutex};
+      MutexLock lock{mutex};
       stopping = true;
     }
     wake_workers.notify_all();
     for (std::thread& w : workers) w.join();
   }
 
-  void run(std::size_t count, const std::function<void(std::size_t)>& body) {
+  void run(std::size_t count, const std::function<void(std::size_t)>& body)
+      ACE_EXCLUDES(mutex) {
     auto job = std::make_shared<Job>();
     job->count = count;
     job->body = &body;
-    job->outstanding = count;
-    std::exception_ptr error;
     {
-      std::unique_lock<std::mutex> lock{mutex};
+      MutexLock lock{job->mutex};
+      job->outstanding = count;
+    }
+    {
+      MutexLock lock{mutex};
       current_job = job;
       ++job_generation;
-      wake_workers.notify_all();
-      job_done.wait(lock, [&] { return job->outstanding == 0; });
-      current_job = nullptr;
-      // Take the exception out of the Job while still under the lock: a
+    }
+    wake_workers.notify_all();
+    std::exception_ptr error;
+    {
+      MutexLock lock{job->mutex};
+      while (job->outstanding != 0) job->done.wait(lock);
+      // Take the exception out of the Job while still under its lock: a
       // stale worker may hold the last reference to the Job and destroy it
       // off-thread, and the exception object must be released on the
       // caller thread that rethrows and handles it.
       error = std::move(job->first_error);
+    }
+    {
+      MutexLock lock{mutex};
+      current_job = nullptr;
     }
     // outstanding == 0 means every index in [0, count) was claimed and
     // executed; `body` cannot be invoked again (the claim counter is
@@ -74,15 +97,14 @@ struct TrialRunner::Pool {
     if (error) std::rethrow_exception(error);
   }
 
-  void worker_loop() {
+  void worker_loop() ACE_EXCLUDES(mutex) {
     std::uint64_t seen_generation = 0;
     for (;;) {
       std::shared_ptr<Job> job;
       {
-        std::unique_lock<std::mutex> lock{mutex};
-        wake_workers.wait(lock, [&] {
-          return stopping || job_generation != seen_generation;
-        });
+        MutexLock lock{mutex};
+        while (!stopping && job_generation == seen_generation)
+          wake_workers.wait(lock);
         if (stopping) return;
         seen_generation = job_generation;
         job = current_job;
@@ -99,7 +121,7 @@ struct TrialRunner::Pool {
           try {
             (*job->body)(i);
           } catch (...) {
-            std::lock_guard<std::mutex> lock{mutex};
+            MutexLock lock{job->mutex};
             if (!job->first_error) job->first_error = std::current_exception();
             job->failed.store(true, std::memory_order_release);
           }
@@ -107,9 +129,9 @@ struct TrialRunner::Pool {
         ++finished;
       }
       if (finished != 0) {
-        std::lock_guard<std::mutex> lock{mutex};
+        MutexLock lock{job->mutex};
         job->outstanding -= finished;
-        if (job->outstanding == 0) job_done.notify_all();
+        if (job->outstanding == 0) job->done.notify_all();
       }
       // `job` (the last keep-alive if run() already returned) drops here,
       // before the worker goes back to sleep.
@@ -117,12 +139,11 @@ struct TrialRunner::Pool {
   }
 
   std::vector<std::thread> workers;
-  std::mutex mutex;
-  std::condition_variable wake_workers;
-  std::condition_variable job_done;
-  std::shared_ptr<Job> current_job;
-  std::uint64_t job_generation = 0;
-  bool stopping = false;
+  Mutex mutex;
+  CondVar wake_workers;
+  std::shared_ptr<Job> current_job ACE_GUARDED_BY(mutex);
+  std::uint64_t job_generation ACE_GUARDED_BY(mutex) = 0;
+  bool stopping ACE_GUARDED_BY(mutex) = false;
 };
 
 TrialRunner::TrialRunner(std::size_t threads) : threads_{threads} {

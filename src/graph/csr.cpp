@@ -51,6 +51,7 @@ void CsrDijkstra::begin_epoch_() {
   heap_.clear();
 }
 
+// ace-hot
 void CsrDijkstra::heap_push_(Weight key, NodeId node) {
   // 4-ary sift-up; ties keep the earlier-inserted element above, which is
   // deterministic (pop order is a pure function of the push sequence).
@@ -65,6 +66,7 @@ void CsrDijkstra::heap_push_(Weight key, NodeId node) {
   heap_[i] = {key, node};
 }
 
+// ace-hot
 CsrDijkstra::HeapSlot CsrDijkstra::heap_pop_() {
   const HeapSlot top = heap_.front();
   const HeapSlot last = heap_.back();
@@ -89,6 +91,7 @@ CsrDijkstra::HeapSlot CsrDijkstra::heap_pop_() {
   return top;
 }
 
+// ace-hot
 void CsrDijkstra::run_to_targets(NodeId source,
                                  std::span<const NodeId> targets) {
   const std::size_t n = graph_->node_count();

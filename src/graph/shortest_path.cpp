@@ -161,10 +161,12 @@ std::vector<NodeId> nodes_within_hops(const Graph& graph, NodeId source,
   return order;
 }
 
+// ace-hot
 MstResult prim_mst(const Graph& graph, NodeId root) {
   const std::size_t n = graph.node_count();
   if (root >= n) throw std::out_of_range{"prim_mst: root out of range"};
   MstResult result;
+  result.edges.reserve(n - 1);  // a spanning tree of the component
   std::vector<std::uint8_t> in_tree(n, 0);
   std::vector<Weight> best(n, kUnreachable);
   std::vector<NodeId> best_from(n, kInvalidNode);

@@ -84,6 +84,7 @@ const PhysicalNetwork::Row& PhysicalNetwork::row_for(HostId source) const {
 }
 
 RowCacheStats PhysicalNetwork::row_cache_stats() const noexcept {
+  owner_.assert_held();
   RowCacheStats stats = stats_;
   stats.rows = cache_.size();
   stats.bytes = cache_.size() * row_bytes_();
@@ -91,6 +92,7 @@ RowCacheStats PhysicalNetwork::row_cache_stats() const noexcept {
 }
 
 Weight PhysicalNetwork::delay(HostId a, HostId b) const {
+  owner_.assert_held();
   if (b >= topology_.node_count())
     throw std::out_of_range{"PhysicalNetwork: host out of range"};
   if (a == b) return 0;
@@ -106,6 +108,7 @@ std::size_t PhysicalNetwork::path_hops(HostId a, HostId b) const {
 }
 
 std::vector<HostId> PhysicalNetwork::path(HostId a, HostId b) const {
+  owner_.assert_held();
   if (b >= topology_.node_count())
     throw std::out_of_range{"PhysicalNetwork: host out of range"};
   if (a == b) return {a};

@@ -16,6 +16,11 @@
 //
 // Not thread-safe: one PhysicalNetwork serves one trial/thread (the trial
 // runner gives every parallel trial its own Scenario, hence its own oracle).
+// That contract is enforced statically: the mutable row-cache state is
+// ACE_GUARDED_BY the ThreadOwnership capability (util/sync.h), so the clang
+// thread-safety build rejects any new code path that touches the cache
+// without asserting single-thread ownership, and audit builds verify the
+// owning thread at runtime.
 #pragma once
 
 #include <cstddef>
@@ -25,6 +30,8 @@
 
 #include "graph/csr.h"
 #include "graph/graph.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace ace {
 
@@ -80,9 +87,19 @@ class PhysicalNetwork {
   Weight probe_rtt(HostId a, HostId b) const { return 2 * delay(a, b); }
 
   // Diagnostics: how many Dijkstra row computations have run / are cached.
-  std::size_t rows_computed() const noexcept { return stats_.misses; }
-  std::size_t rows_cached() const noexcept { return cache_.size(); }
+  std::size_t rows_computed() const noexcept {
+    owner_.assert_held();
+    return stats_.misses;
+  }
+  std::size_t rows_cached() const noexcept {
+    owner_.assert_held();
+    return cache_.size();
+  }
   RowCacheStats row_cache_stats() const noexcept;
+
+  // Sequential cross-thread handoff (build here, query over there):
+  // releases the audit-build thread binding; the next query rebinds.
+  void detach_owner() const noexcept { owner_.detach(); }
 
  private:
   struct Row {
@@ -94,26 +111,30 @@ class PhysicalNetwork {
     std::list<HostId>::iterator lru_pos;
   };
 
-  const Row& row_for(HostId source) const;
+  const Row& row_for(HostId source) const ACE_REQUIRES(owner_);
   std::size_t row_bytes_() const noexcept {
     return host_count() * (sizeof(float) + sizeof(NodeId));
   }
-  void evict_to_budget_() const;
+  void evict_to_budget_() const ACE_REQUIRES(owner_);
 
   Graph topology_;
   CsrGraph csr_;
   std::size_t max_cached_rows_;
   std::size_t max_cache_bytes_;
+  // One-thread-at-a-time capability guarding the whole mutable cache block
+  // below; public queries assert it, private helpers require it.
+  ThreadOwnership owner_;
   // Mutable: the cache and solver are implementation details of a
   // logically-const distance query.
   // ace-lint: allow(unordered-container): keyed lookup only — eviction
   // follows lru_ (least-recently-used list); the map is never iterated, and
   // cached rows are value-identical to recomputation.
-  mutable std::unordered_map<HostId, CacheEntry> cache_;
-  mutable std::list<HostId> lru_;  // front = most recently used
-  mutable CsrDijkstra solver_;
-  mutable RowCacheStats stats_;
-  mutable bool warned_eviction_ = false;
+  mutable std::unordered_map<HostId, CacheEntry> cache_ ACE_GUARDED_BY(owner_);
+  // front = most recently used
+  mutable std::list<HostId> lru_ ACE_GUARDED_BY(owner_);
+  mutable CsrDijkstra solver_ ACE_GUARDED_BY(owner_);
+  mutable RowCacheStats stats_ ACE_GUARDED_BY(owner_);
+  mutable bool warned_eviction_ ACE_GUARDED_BY(owner_) = false;
 };
 
 }  // namespace ace

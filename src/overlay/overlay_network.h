@@ -147,11 +147,20 @@ class OverlayNetwork {
     ++global_version_;
   }
 
+  // ace-digest: exempt(physical_): borrowed immutable substrate; mapping is
+  // digested through each peer's host id in the peers_ records.
   const PhysicalNetwork* physical_;
   std::vector<PeerRecord> peers_;
   Graph logical_;
+  // ace-digest: exempt(versions_): cache-invalidation counters, not
+  // protocol state — two runs with different cache schedules may differ
+  // here while the adjacency (which IS digested) is identical.
   std::vector<std::uint64_t> versions_;
+  // ace-digest: exempt(global_version_): same cache-invalidation role as
+  // versions_; monotone counter with no protocol meaning.
   std::uint64_t global_version_ = 0;
+  // ace-digest: exempt(identity_): snapshot-identity token for stale-handle
+  // detection (debug aid); carries no simulation state.
   SnapshotIdentity identity_;
   std::size_t online_count_ = 0;
 };

@@ -228,6 +228,7 @@ class QueryEngine {
   // instructions — the owner's tree may reach deeper) and its own subtree
   // (those copies carry the peer's fresh instructions). `overlay` is any
   // adjacency view (live overlay or CSR snapshot).
+  // ace-hot
   template <typename Adjacency>
   static void forwarding_targets(const Adjacency& overlay, PeerId peer,
                                  PeerId from, PeerId tree_owner,
@@ -296,6 +297,7 @@ class QueryEngine {
       if (q != from && overlay.are_connected(peer, q)) push_unique(q, peer);
   }
 
+  // ace-hot
   template <typename Adjacency>
   static QueryResult run(const OverlayNetwork& live, const Adjacency& overlay,
                          PeerId source, ObjectId object,
@@ -333,8 +335,12 @@ class QueryEngine {
     // always written first this query — except the source, whose sentinel
     // terminates the response-path walk and must be set explicitly.
     s.parent_[source] = kInvalidPeer;
-    if (options.record_paths)
+    if (options.record_paths) {
+      // Path recording is the one per-query growth: size it once up front
+      // (one entry per visited peer, bounded by the online population).
+      result.visit_parents.reserve(n);
       result.visit_parents.emplace_back(source, kInvalidPeer);
+    }
 
     double best_response = -1.0;
 

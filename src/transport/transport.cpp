@@ -101,6 +101,8 @@ Transport::TransmitResult Transport::transmit(
 }
 
 void Transport::deliver(Guid guid) {
+  // Runs from a Simulator event callback — same thread as the schedulers.
+  owner_.assert_held();
   const auto it = wire_.find(guid);
   ACE_CHECK(it != wire_.end()) << " — Transport: delivery for unknown guid";
   const Wire wire = it->second;
@@ -133,6 +135,7 @@ void Transport::deliver(Guid guid) {
 
 Guid Transport::send(MessageType type, PeerId from, PeerId to,
                      std::size_t payload_entries) {
+  owner_.assert_held();
   double ignored = 0.0;
   return transmit(type, from, to, payload_entries, /*table_version=*/0,
                   /*send_offset=*/0.0, ignored)
@@ -141,6 +144,7 @@ Guid Transport::send(MessageType type, PeerId from, PeerId to,
 
 std::optional<Weight> Transport::probe(PeerId from, PeerId to,
                                        double& traffic) {
+  owner_.assert_held();
   SimTime offset = 0.0;
   SimTime timeout = config_.probe_timeout_s;
   const Weight delay = one_way_delay(from, to);
@@ -169,6 +173,7 @@ std::optional<Weight> Transport::probe(PeerId from, PeerId to,
 
 void Transport::publish_table(PeerId owner, std::uint64_t version,
                               std::size_t entries, double& traffic) {
+  owner_.assert_held();
   for (const Neighbor& n : overlay_->neighbors(owner)) {
     transmit(MessageType::kCostTable, owner, static_cast<PeerId>(n.node),
              entries, version, /*send_offset=*/0.0, traffic);
@@ -177,12 +182,14 @@ void Transport::publish_table(PeerId owner, std::uint64_t version,
 
 std::uint64_t Transport::accepted_version(PeerId receiver,
                                           PeerId sender) const {
+  owner_.assert_held();
   const auto it =
       accepted_versions_.find(std::make_pair(receiver, sender));
   return it == accepted_versions_.end() ? 0 : it->second;
 }
 
 bool Transport::connect_handshake(PeerId from, PeerId to, double& traffic) {
+  owner_.assert_held();
   SimTime offset = 0.0;
   SimTime timeout = config_.probe_timeout_s;
   const Weight delay = one_way_delay(from, to);
@@ -208,6 +215,7 @@ bool Transport::connect_handshake(PeerId from, PeerId to, double& traffic) {
 }
 
 void Transport::digest_into(Fnv1a& digest) const {
+  owner_.assert_held();
   digest.update(static_cast<std::uint64_t>(config_.mode));
   digest.update(static_cast<std::uint64_t>(stats_.sent));
   digest.update(static_cast<std::uint64_t>(stats_.delivered));

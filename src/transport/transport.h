@@ -45,6 +45,8 @@
 #include "util/options.h"
 #include "util/provenance.h"
 #include "util/rng.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace ace {
 
@@ -133,10 +135,14 @@ class Transport {
 
   TransportMode mode() const noexcept { return config_.mode; }
   const TransportConfig& config() const noexcept { return config_; }
-  const TransportStats& stats() const noexcept { return stats_; }
+  const TransportStats& stats() const noexcept {
+    owner_.assert_held();
+    return stats_;
+  }
 
   // Observer for every delivery (tests, tracing). One handler at a time.
   void set_delivery_handler(DeliveryHandler handler) {
+    owner_.assert_held();
     handler_ = std::move(handler);
   }
 
@@ -168,7 +174,10 @@ class Transport {
   // every attempt is charged to `traffic`.
   bool connect_handshake(PeerId from, PeerId to, double& traffic);
 
-  std::size_t in_flight() const noexcept { return wire_.size(); }
+  std::size_t in_flight() const noexcept {
+    owner_.assert_held();
+    return wire_.size();
+  }
 
   // Digest of all protocol-visible transport state: the in-flight message
   // set (guid, endpoints, type, delivery time), accepted exchange versions,
@@ -198,22 +207,36 @@ class Transport {
   TransmitResult transmit(MessageType type, PeerId from, PeerId to,
                           std::size_t payload_entries,
                           std::uint64_t table_version, SimTime send_offset,
-                          double& traffic);
+                          double& traffic) ACE_REQUIRES(owner_);
 
   void deliver(Guid guid);
 
+  // ace-digest: exempt(sim_): borrowed event queue — digested separately as
+  // the engine's "event-queue" component, not transport state.
   Simulator* sim_;
+  // ace-digest: exempt(overlay_): borrowed topology — digested separately
+  // as the engine's "overlay-adjacency" component.
   const OverlayNetwork* overlay_;
+  // ace-digest: exempt(guids_): shared allocator counter; every allocated
+  // guid that matters lands in wire_, which is digested.
   GuidAllocator* guids_;
   TransportConfig config_;
-  Rng rng_;
-  TransportStats stats_;
-  DeliveryHandler handler_;
+  // One transport serves one trial/thread; the capability guards the
+  // mutable wire/fault-stream state below (see util/sync.h).
+  ThreadOwnership owner_;
+  // ace-digest: exempt(rng_): fault-stream position is reproducible driver
+  // state (named stream seeded per trial), not protocol-visible state.
+  Rng rng_ ACE_GUARDED_BY(owner_);
+  TransportStats stats_ ACE_GUARDED_BY(owner_);
+  // ace-digest: exempt(handler_): test/tracing observer callback; has no
+  // bearing on protocol state.
+  DeliveryHandler handler_ ACE_GUARDED_BY(owner_);
   // In-flight messages keyed by guid; std::map so iteration (digests) is
   // deterministic.
-  std::map<Guid, Wire> wire_;
+  std::map<Guid, Wire> wire_ ACE_GUARDED_BY(owner_);
   // (receiver, sender) -> last accepted table version; ordered for digests.
-  std::map<std::pair<PeerId, PeerId>, std::uint64_t> accepted_versions_;
+  std::map<std::pair<PeerId, PeerId>, std::uint64_t> accepted_versions_
+      ACE_GUARDED_BY(owner_);
 };
 
 // Shared CLI plumbing for the examples: --transport=ideal|lossy,

@@ -1,0 +1,131 @@
+// Annotated synchronization primitives (util/thread_annotations.h). Two
+// concurrency regimes exist in this codebase, and each gets a capability
+// type the Clang thread-safety analysis can check:
+//
+//   * Mutex / MutexLock / CondVar — a thin annotated wrapper over
+//     std::mutex / std::unique_lock / std::condition_variable for the few
+//     genuinely multi-threaded structures (TrialRunner's worker pool).
+//     CondVar::wait deliberately has no predicate overload: a predicate
+//     lambda is analyzed as a separate function that does not hold the
+//     caller's capability, so guarded reads inside it would defeat the
+//     analysis. Callers write the `while (!cond) cv.wait(lock);` loop
+//     themselves, where the scoped capability is visible.
+//
+//   * ThreadOwnership — a zero-cost capability expressing "this structure
+//     is used by one thread at a time" (PhysicalNetwork's row cache,
+//     AceEngine's peer cache, Transport's wire state: per-trial state that
+//     the TrialRunner contract says is never shared). Members declared
+//     ACE_GUARDED_BY(owner_) are only touchable from functions that called
+//     owner_.assert_held() or are ACE_REQUIRES(owner_), so a future
+//     intra-trial parallelism change that leaks such a structure across
+//     worker threads fails the thread-safety build instead of racing. In
+//     audit builds (ACE_AUDIT_INVARIANTS or !NDEBUG) assert_held also
+//     checks the runtime thread identity: the first guarded access binds
+//     the owning thread, later accesses must match until detach().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "util/check.h"
+#include "util/thread_annotations.h"
+
+namespace ace {
+
+// Exclusive mutex. Prefer MutexLock for scoped acquisition; the raw
+// lock()/unlock() pair exists for the annotation's sake and for CondVar.
+class ACE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACE_ACQUIRE() { impl_.lock(); }
+  void unlock() ACE_RELEASE() { impl_.unlock(); }
+  bool try_lock() ACE_TRY_ACQUIRE(true) { return impl_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex impl_;
+};
+
+// RAII scoped acquisition of a Mutex for its full lifetime (the analysis
+// treats the capability as held from construction to destruction).
+class ACE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ACE_ACQUIRE(mutex) : lock_{mutex.impl_} {}
+  ~MutexLock() ACE_RELEASE() = default;
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+// Condition variable usable only with MutexLock. wait() atomically releases
+// the lock, sleeps, and reacquires before returning — from the analysis's
+// point of view the capability is held throughout, which is sound because
+// every return re-establishes it (guarded state may have changed, which is
+// why callers must loop on their predicate).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { impl_.wait(lock.lock_); }
+  void notify_one() noexcept { impl_.notify_one(); }
+  void notify_all() noexcept { impl_.notify_all(); }
+
+ private:
+  std::condition_variable impl_;
+};
+
+// Capability for single-thread-at-a-time structures (see file comment).
+// Copying or moving a ThreadOwnership (as part of its enclosing structure)
+// resets the runtime binding: the copy/destination is a fresh handoff
+// point, bound by its own first guarded access.
+class ACE_CAPABILITY("thread ownership") ThreadOwnership {
+ public:
+  ThreadOwnership() noexcept = default;
+  ThreadOwnership(const ThreadOwnership&) noexcept {}
+  ThreadOwnership& operator=(const ThreadOwnership&) noexcept {
+    owner_.store(std::thread::id{}, std::memory_order_relaxed);
+    return *this;
+  }
+
+  // Declares (to the analysis) that the calling context owns the enclosing
+  // structure. Free in release builds; audit builds verify the claim
+  // against the actual thread identity and abort on a violation.
+  void assert_held() const noexcept ACE_ASSERT_CAPABILITY(this) {
+#if defined(ACE_AUDIT_INVARIANTS) || !defined(NDEBUG)
+    check_owner_();
+#endif
+  }
+
+  // Releases the runtime binding for an intentional sequential handoff
+  // (build on one thread, hand to another). The next assert_held() rebinds.
+  void detach() const noexcept {
+    owner_.store(std::thread::id{}, std::memory_order_relaxed);
+  }
+
+ private:
+  void check_owner_() const noexcept {
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected{};
+    if (owner_.compare_exchange_strong(expected, self,
+                                       std::memory_order_relaxed))
+      return;  // first guarded access binds the owner
+    ACE_CHECK(expected == self)
+        << "ThreadOwnership violation: structure touched from a second "
+           "thread without detach() (bound owner vs this thread)";
+  }
+
+  mutable std::atomic<std::thread::id> owner_{};
+};
+
+}  // namespace ace

@@ -1,0 +1,75 @@
+// Thread-safety annotation macros mapping to Clang's -Wthread-safety
+// attributes (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) and
+// expanding to nothing everywhere else. The analysis proves lock discipline
+// at compile time: a member declared ACE_GUARDED_BY(mutex) can only be
+// touched while `mutex` is held, a function declared ACE_REQUIRES(mutex)
+// can only be called with it held, and violations are hard errors in the CI
+// thread-safety job (clang, -Werror=thread-safety). GCC builds see plain
+// declarations, so the macros cost nothing in the default toolchain.
+//
+// The annotated primitives built on these macros live in util/sync.h
+// (Mutex, MutexLock, CondVar for real locks; ThreadOwnership for
+// single-thread-at-a-time structures). Annotation targets and the lint
+// rules that complement the compiler analysis are described in
+// DESIGN.md §12.
+#pragma once
+
+#if defined(__clang__)
+#define ACE_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define ACE_THREAD_ANNOTATION_ATTRIBUTE_(x)
+#endif
+
+// Declares a class to be a capability ("mutex", "thread role", ...). The
+// name appears in diagnostics: "acquiring mutex 'mu' requires ...".
+#define ACE_CAPABILITY(x) ACE_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+// Declares an RAII class whose lifetime acquires/releases a capability
+// (constructor ACE_ACQUIRE, destructor ACE_RELEASE).
+#define ACE_SCOPED_CAPABILITY ACE_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+// Data members: readable/writable only while the capability is held ...
+#define ACE_GUARDED_BY(x) ACE_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+// ... or, for a pointer member, the pointed-to data is guarded (the pointer
+// itself may be read freely).
+#define ACE_PT_GUARDED_BY(x) ACE_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+// Functions: the caller must hold the capability (exclusively / shared).
+#define ACE_REQUIRES(...) \
+  ACE_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+#define ACE_REQUIRES_SHARED(...) \
+  ACE_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+// Functions that acquire / release the capability themselves.
+#define ACE_ACQUIRE(...) \
+  ACE_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+#define ACE_ACQUIRE_SHARED(...) \
+  ACE_THREAD_ANNOTATION_ATTRIBUTE_(acquire_shared_capability(__VA_ARGS__))
+#define ACE_RELEASE(...) \
+  ACE_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+#define ACE_RELEASE_SHARED(...) \
+  ACE_THREAD_ANNOTATION_ATTRIBUTE_(release_shared_capability(__VA_ARGS__))
+
+// Function that acquires the capability only when returning `result`
+// (e.g. ACE_TRY_ACQUIRE(true) on a try_lock that returns true on success).
+#define ACE_TRY_ACQUIRE(...) \
+  ACE_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+// The caller must NOT hold the capability (catches self-deadlock on
+// non-reentrant mutexes).
+#define ACE_EXCLUDES(...) \
+  ACE_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion that the capability is held; tells the analysis to
+// treat it as held from here on (ThreadOwnership::assert_held).
+#define ACE_ASSERT_CAPABILITY(x) \
+  ACE_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+
+// Function returning a reference to the named capability.
+#define ACE_RETURN_CAPABILITY(x) \
+  ACE_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+// Escape hatch: disables the analysis for one function. Every use needs a
+// comment explaining why the discipline holds anyway.
+#define ACE_NO_THREAD_SAFETY_ANALYSIS \
+  ACE_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)

@@ -1,0 +1,163 @@
+// Behavioural coverage for util/sync.h and compile coverage for
+// util/thread_annotations.h. The annotation macros are no-ops outside
+// Clang, so this file must build warning-free under both GCC and Clang;
+// the CI thread-safety job additionally compiles it with
+// -Werror=thread-safety, where the AnnotatedCounter pattern below is
+// exactly what the analysis checks.
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace ace {
+namespace {
+
+// The canonical annotated structure: a counter guarded by a Mutex. Under
+// Clang -Wthread-safety, touching count_ without the capability is a
+// compile error; under GCC the macros vanish and this is a plain class.
+class AnnotatedCounter {
+ public:
+  void increment() ACE_EXCLUDES(mutex_) {
+    MutexLock lock{mutex_};
+    ++count_;
+  }
+
+  std::size_t value() ACE_EXCLUDES(mutex_) {
+    MutexLock lock{mutex_};
+    return count_;
+  }
+
+ private:
+  Mutex mutex_;
+  std::size_t count_ ACE_GUARDED_BY(mutex_) = 0;
+};
+
+TEST(Annotations, MutexLockExcludesContention) {
+  AnnotatedCounter counter;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::size_t i = 0; i < kPerThread; ++i) counter.increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(Annotations, CondVarHandshake) {
+  Mutex mutex;
+  CondVar cv;
+  bool ready = false;     // guarded by mutex (by convention in this test)
+  bool consumed = false;  // guarded by mutex
+
+  std::thread consumer([&] {
+    MutexLock lock{mutex};
+    while (!ready) cv.wait(lock);
+    consumed = true;
+    cv.notify_all();
+  });
+
+  {
+    MutexLock lock{mutex};
+    ready = true;
+    cv.notify_all();
+    while (!consumed) cv.wait(lock);
+  }
+  consumer.join();
+  {
+    MutexLock lock{mutex};
+    EXPECT_TRUE(consumed);
+  }
+}
+
+TEST(Annotations, TryLockReportsContention) {
+  Mutex mutex;
+  mutex.lock();
+  std::thread other([&] {
+    // The capability is per-program-point for the analysis; at runtime the
+    // mutex is genuinely held by the main thread, so try_lock must fail.
+    if (mutex.try_lock()) {
+      mutex.unlock();
+      FAIL() << "try_lock acquired a held mutex";
+    }
+  });
+  other.join();
+  mutex.unlock();
+  ASSERT_TRUE(mutex.try_lock());
+  mutex.unlock();
+}
+
+TEST(Annotations, ThreadOwnershipBindsAndReasserts) {
+  ThreadOwnership owner;
+  owner.assert_held();  // first access binds this thread
+  owner.assert_held();  // re-assertion from the bound thread is fine
+}
+
+TEST(Annotations, ThreadOwnershipDetachAllowsHandoff) {
+  ThreadOwnership owner;
+  owner.assert_held();  // bind to the main thread
+  owner.detach();       // intentional sequential handoff
+  std::thread worker([&owner] {
+    owner.assert_held();  // rebinding from the new thread must succeed
+    owner.assert_held();
+  });
+  worker.join();
+  // Hand back: without a detach this would abort in audit builds.
+  owner.detach();
+  owner.assert_held();
+}
+
+TEST(Annotations, ThreadOwnershipCopyResetsBinding) {
+  // Structures containing a ThreadOwnership stay copyable/movable
+  // (Scenario is returned by value); the copy is a fresh handoff point.
+  ThreadOwnership original;
+  original.assert_held();
+  ThreadOwnership copy{original};
+  std::thread worker([&copy] { copy.assert_held(); });
+  worker.join();
+  original.assert_held();  // the original's binding is undisturbed
+}
+
+// The macros must also expand cleanly in isolation (a GCC build compiles
+// them away; the Clang job checks their semantics). A few representative
+// expansions beyond what the classes above already use:
+class ACE_CAPABILITY("mutex") MacroSmokeCapability {
+ public:
+  void acquire() ACE_ACQUIRE() {}
+  void release() ACE_RELEASE() {}
+  bool try_acquire() ACE_TRY_ACQUIRE(true) { return true; }
+  MacroSmokeCapability* self() ACE_RETURN_CAPABILITY(this) { return this; }
+};
+
+class MacroSmoke {
+ public:
+  void needs_both() ACE_REQUIRES(first_, second_) {}
+  void reads_shared() ACE_REQUIRES_SHARED(first_) {}
+  void unchecked() ACE_NO_THREAD_SAFETY_ANALYSIS {}
+
+ private:
+  MacroSmokeCapability first_;
+  MacroSmokeCapability second_;
+  int value_ ACE_GUARDED_BY(first_) = 0;
+  int* pointee_ ACE_PT_GUARDED_BY(second_) = nullptr;
+};
+
+TEST(Annotations, MacrosExpandCleanly) {
+  MacroSmokeCapability cap;
+  ASSERT_TRUE(cap.try_acquire());
+  EXPECT_EQ(cap.self(), &cap);
+  MacroSmoke smoke;
+  smoke.unchecked();
+  (void)smoke;
+}
+
+}  // namespace
+}  // namespace ace

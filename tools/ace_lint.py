@@ -1,11 +1,25 @@
 #!/usr/bin/env python3
-"""ace-lint: nondeterminism checker for the ACE simulation codebase.
+"""ace-lint v2: determinism + parallel-safety checker for the ACE codebase.
 
-The simulator's reproducibility contract (DESIGN.md, "Determinism &
-Reproducibility") says a run is a pure function of its config and seed —
-bit-identical across processes, ASLR layouts, and library hash seeds.
-This linter statically rejects the constructs that historically break that
-contract:
+A multi-pass, cross-file analyzer. The pipeline (DESIGN.md §12):
+
+  pass 1  lex        — per file: blank comments/strings (layout-preserving),
+                       record which columns held string literals, join into
+                       a position-addressable text stream.
+  pass 2  index      — per file: allowance/exempt directives, unordered
+                       container names, float vars, atomic vars, reserve()
+                       receivers, TrialRunner variables, // ace-hot tags,
+                       class definitions (members + digest_into bodies).
+                       File indexes merge into a project-wide symbol index
+                       so rules can see across header/impl boundaries.
+  pass 3  rules      — per-file line rules (the v1 determinism family),
+                       then the flow rules (worker-shared-write,
+                       hot-path-alloc), then the project rules
+                       (digest-coverage).
+  pass 4  report     — stale-allow (an allowance that suppressed nothing),
+                       text or JSONL output, optional baseline diffing.
+
+Determinism rules (v1 family — a run is a pure function of config + seed):
 
   unordered-iter        iteration over std::unordered_map/unordered_set —
                         visit order depends on hashing/layout, never on the
@@ -43,23 +57,59 @@ contract:
   bad-allow             an allow-comment with no justification text, or
                         naming an unknown rule.
 
+Parallel-safety + hot-path rules (v2 family):
+
+  worker-shared-write   a write through a by-reference capture inside a
+                        lambda handed to TrialRunner::run/run_indexed that
+                        is neither slot-indexed by the trial index, nor an
+                        atomic, nor under a lock. The runner's contract is
+                        that trials share no mutable state; this is the
+                        static check behind it.
+  hot-path-alloc        a function tagged `// ace-hot` may not allocate in
+                        steady state: no new/make_unique/make_shared, no
+                        std::function construction, no std::string
+                        construction/concat, and push_back/emplace_back
+                        only into containers that are reserve()d somewhere
+                        in the file or clear()ed in the same function
+                        (capacity reuse).
+  digest-coverage       every data member (trailing-underscore convention)
+                        of a class defining digest_into must appear in the
+                        digest body or carry an exempt directive
+                        `// ace-digest: exempt(member): why` inside the
+                        class. A stale exempt (member digested after all,
+                        or no such member) is itself a finding, as is an
+                        exempt without a reason.
+  stale-allow           an `ace-lint: allow(...)` whose rule no longer
+                        fires on the covered line. Suppressions must decay
+                        with the code they excuse.
+
 Suppression: put, on the flagged line or the line above it,
 
     // ace-lint: allow(<rule>): <justification>
 
 The justification is mandatory — an empty one is itself an error. An
-allowance covers exactly one source line.
+allowance covers exactly one source line. bad-allow and stale-allow cannot
+be suppressed (use the baseline for transitional states).
 
 Usage:
     ace_lint.py [--root DIR] [paths...]   # default paths: src examples
     ace_lint.py --self-test               # run the embedded fixture suite
+    ace_lint.py --format=jsonl ...        # machine-readable findings
+    ace_lint.py --baseline F --diff ...   # gate only NEW findings
+    ace_lint.py --baseline F --validate-baseline ...
+                                          # parse baseline, fail on expired
+    ace_lint.py --baseline F --update-baseline ...
+                                          # rewrite baseline from findings
 
-Exit status: 0 clean, 1 findings, 2 usage/internal error.
+Exit status: 0 clean (or all findings baselined under --diff), 1 findings,
+2 usage/internal error.
 """
 
 from __future__ import annotations
 
 import argparse
+import bisect
+import json
 import os
 import re
 import sys
@@ -76,17 +126,30 @@ RULES = {
     "overlay-adjacency-write":
         "overlay adjacency mutated without a version bump",
     "bad-allow": "malformed ace-lint allow comment",
+    "worker-shared-write":
+        "unguarded shared write inside a TrialRunner worker lambda",
+    "hot-path-alloc": "allocation inside an // ace-hot function",
+    "digest-coverage": "digest_into member coverage violation",
+    "stale-allow": "allow-comment whose rule no longer fires",
 }
+
+# Rules that cannot themselves be allow()ed away.
+UNSUPPRESSABLE = {"bad-allow", "stale-allow"}
 
 # Paths (relative, '/'-separated) exempt from specific rules.
 BANNED_RANDOM_EXEMPT = ("src/util/rng.h", "src/util/rng.cpp")
 BANNED_CLOCK_EXEMPT = ("src/util/logging.h", "src/util/logging.cpp")
-# Unordered/pointer/float rules guard protocol + simulation code only;
-# tests and benches may iterate however they like for assertions/reporting.
+# Unordered/pointer/float/digest rules guard protocol + simulation code
+# only; tests and benches may iterate however they like for assertions and
+# reporting. worker-shared-write, hot-path-alloc, and the clock/random bans
+# apply everywhere (a racy test or a wall-clock read is wrong anywhere).
 STRUCTURAL_RULE_PREFIXES = ("src/", "examples/")
 
 ALLOW_RE = re.compile(
     r"//\s*ace-lint:\s*allow\(([a-z-]+)\)\s*(?::\s*(.*\S))?\s*$")
+EXEMPT_RE = re.compile(
+    r"//\s*ace-digest:\s*exempt\(([A-Za-z_]\w*)\)\s*(?::\s*(.*\S))?\s*$")
+HOT_TAG_RE = re.compile(r"//\s*ace-hot\b")
 
 DECL_UNORDERED_RE = re.compile(
     r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{()]*?>\s*"
@@ -115,6 +178,9 @@ OVERLAY_ADJACENCY_WRITE_RE = re.compile(
     r"\blogical_\s*(?:\.|->)\s*"
     r"(?:add_edge|add_new_edge|remove_edge|set_weight|isolate)\s*\(")
 
+# An lvalue chain: base identifier followed by member/subscript selectors.
+CHAIN = r"[A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*|\[[^\][]*\])*"
+
 
 @dataclass
 class Finding:
@@ -122,28 +188,43 @@ class Finding:
     line: int
     rule: str
     message: str
+    code: str = ""  # stripped raw source line, for baseline matching
 
     def render(self) -> str:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
+    def to_json(self) -> str:
+        return json.dumps(
+            {"path": self.path, "line": self.line, "rule": self.rule,
+             "message": self.message, "code": self.code},
+            sort_keys=True)
 
-@dataclass
-class SourceFile:
-    path: str  # repo-relative, '/'-separated
-    raw_lines: list[str]
-    # raw_lines with comments and string/char literals blanked (same length).
-    code_lines: list[str] = field(default_factory=list)
-
-    def __post_init__(self) -> None:
-        self.code_lines = strip_comments_and_strings(self.raw_lines)
+    def key(self) -> tuple[str, str, str]:
+        # Baseline identity: line numbers drift, code content mostly
+        # doesn't; a moved-but-unchanged finding stays baselined.
+        return (self.path, self.rule, self.code)
 
 
-def strip_comments_and_strings(lines: list[str]) -> list[str]:
-    """Blanks //, /* */ comments and "..."/'...' literals, keeping layout."""
+# ---------------------------------------------------------------------------
+# Pass 1: lexing. Comments and string/char literals are blanked in place so
+# every downstream regex sees only code, at unchanged line/column positions.
+# ---------------------------------------------------------------------------
+
+
+def strip_comments_and_strings(
+        lines: list[str]) -> tuple[list[str], list[list[bool]]]:
+    """Blanks //, /* */ comments and "..."/'...' literals, keeping layout.
+
+    Returns (code_lines, string_masks); string_masks[i][j] is True when
+    column j of line i sat inside a string/char literal (used by the
+    hot-path string-concat check).
+    """
     out: list[str] = []
+    masks: list[list[bool]] = []
     in_block = False
     for line in lines:
         buf: list[str] = []
+        mask: list[bool] = []
         i, n = 0, len(line)
         while i < n:
             ch = line[i]
@@ -152,98 +233,335 @@ def strip_comments_and_strings(lines: list[str]) -> list[str]:
                 if ch == "*" and nxt == "/":
                     in_block = False
                     buf.append("  ")
+                    mask.extend((False, False))
                     i += 2
                 else:
                     buf.append(" ")
+                    mask.append(False)
                     i += 1
             elif ch == "/" and nxt == "/":
                 buf.append(" " * (n - i))
+                mask.extend([False] * (n - i))
                 break
             elif ch == "/" and nxt == "*":
                 in_block = True
                 buf.append("  ")
+                mask.extend((False, False))
                 i += 2
             elif ch in "\"'":
                 quote = ch
                 buf.append(" ")
+                mask.append(True)
                 i += 1
                 while i < n:
                     if line[i] == "\\":
                         buf.append("  ")
+                        mask.extend((True, True))
                         i += 2
                     elif line[i] == quote:
                         buf.append(" ")
+                        mask.append(True)
                         i += 1
                         break
                     else:
                         buf.append(" ")
+                        mask.append(True)
                         i += 1
             else:
                 buf.append(ch)
+                mask.append(False)
                 i += 1
         out.append("".join(buf))
-    return out
+        mask.extend([False] * (len(out[-1]) - len(mask)))
+        masks.append(mask)
+    return out, masks
 
 
-def parse_allowances(src: SourceFile, findings: list[Finding]):
-    """Maps line number -> set of allowed rules (line and line-after scope)."""
-    allowed: dict[int, set[str]] = {}
-    for idx, line in enumerate(src.raw_lines, start=1):
-        m = ALLOW_RE.search(line)
-        if not m:
-            if "ace-lint:" in line and "allow" in line:
+@dataclass
+class SourceFile:
+    path: str  # repo-relative, '/'-separated
+    raw_lines: list[str]
+    # raw_lines with comments and string/char literals blanked (same length).
+    code_lines: list[str] = field(default_factory=list)
+    string_masks: list[list[bool]] = field(default_factory=list)
+    # Joined code text + per-line start offsets (position <-> line mapping).
+    text: str = ""
+    line_offsets: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.code_lines, self.string_masks = strip_comments_and_strings(
+            self.raw_lines)
+        offsets, pos = [], 0
+        for line in self.code_lines:
+            offsets.append(pos)
+            pos += len(line) + 1
+        self.text = "\n".join(self.code_lines)
+        self.line_offsets = offsets
+
+    def line_of(self, pos: int) -> int:
+        """1-based line number of a position in self.text."""
+        return bisect.bisect_right(self.line_offsets, pos)
+
+    def pos_of_line(self, lineno: int) -> int:
+        return self.line_offsets[lineno - 1]
+
+    def raw(self, lineno: int) -> str:
+        return self.raw_lines[lineno - 1] if lineno <= len(
+            self.raw_lines) else ""
+
+
+def match_brace(text: str, open_pos: int) -> int:
+    """Position of the '}' matching the '{' at open_pos (-1 if unbalanced)."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        ch = text[i]
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def strip_angles(s: str) -> str:
+    """Removes balanced <...> template argument groups (best-effort)."""
+    out: list[str] = []
+    depth = 0
+    for ch in s:
+        if ch == "<":
+            depth += 1
+        elif ch == ">":
+            if depth > 0:
+                depth -= 1
+                continue
+        if depth == 0:
+            out.append(ch)
+    return "".join(out)
+
+
+def normalize_chain(chain: str) -> str:
+    return re.sub(r"\s+", "", chain).replace("->", ".")
+
+
+def chain_base(chain: str) -> str:
+    return re.split(r"\.|->|\[", normalize_chain(chain))[0]
+
+
+# ---------------------------------------------------------------------------
+# Pass 2: indexing. FileIndex collects per-file symbols and directives;
+# ProjectIndex merges the class/digest view so rules can cross file
+# boundaries (members in the header, digest_into body in the .cpp).
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    path: str
+    line: int
+    # (member_name, line) for trailing-underscore data members at class depth.
+    members: list[tuple[str, int]] = field(default_factory=list)
+    # member -> (line, reason or None) from // ace-digest: exempt(...) lines.
+    exempts: dict[str, tuple[int, str | None]] = field(default_factory=dict)
+    declares_digest: bool = False
+    inline_digest_body: str | None = None
+
+
+MEMBER_STMT_RE = re.compile(r"(?:^|\s)([A-Za-z_]\w*_)\s*$")
+ACE_MACRO_RE = re.compile(r"\bACE_[A-Z_]+\s*\([^()]*\)|\bACE_[A-Z_]+\b")
+CLASS_RE = re.compile(
+    r"\b(class|struct)\s+([A-Za-z_]\w*)\s*(?:final\s*)?(?::[^;{}]*)?\{")
+OUTLINE_DIGEST_RE = re.compile(
+    r"\bvoid\s+([A-Za-z_]\w*)::digest_into\s*\([^)]*\)\s*(?:const\s*)?\{")
+DIGEST_DECL_RE = re.compile(r"(?<![\w.>])digest_into\s*\(")
+TRIAL_VAR_RE = re.compile(r"\bTrialRunner\s*[&*]?\s+([A-Za-z_]\w*)\b")
+ATOMIC_VAR_RE = re.compile(
+    r"\bstd::atomic(?:<[^;<>]*>|_\w+)\s*[&*]?\s+([A-Za-z_]\w*)\b")
+RESERVE_RE = re.compile(rf"({CHAIN})\s*(?:\.|->)\s*reserve\s*\(")
+STMT_SKIP_RE = re.compile(
+    r"^\s*(?:using\b|typedef\b|friend\b|static\b|public\s*:|private\s*:|"
+    r"protected\s*:|enum\b)")
+
+
+def parse_class_members(src: SourceFile, body_start: int, body_end: int,
+                        info: ClassInfo) -> None:
+    """Walks a class body, collecting depth-0 member statements, exempt
+    directives, and the inline digest_into body (if defined here)."""
+    text = src.text
+    # Exempt directives anywhere inside the class body's line range.
+    for lineno in range(src.line_of(body_start), src.line_of(body_end) + 1):
+        m = EXEMPT_RE.search(src.raw(lineno))
+        if m:
+            info.exempts[m.group(1)] = (lineno, m.group(2))
+    pos = body_start + 1
+    stmt: list[str] = []
+    stmt_line = src.line_of(pos)
+    while pos < body_end:
+        ch = text[pos]
+        if ch == "{":
+            close = match_brace(text, pos)
+            if close == -1 or close > body_end:
+                return  # malformed; bail quietly
+            snippet = "".join(stmt)
+            if DIGEST_DECL_RE.search(snippet):
+                info.declares_digest = True
+                info.inline_digest_body = text[pos + 1:close]
+            # Peek past the brace group: an initializer or nested type ends
+            # with ';' (keep accumulating); a function body does not (drop).
+            nxt = close + 1
+            while nxt < body_end and text[nxt] in " \t\n":
+                nxt += 1
+            if nxt < body_end and text[nxt] == ";":
+                pos = close + 1  # ';' handled on a later iteration
+            else:
+                stmt = []
+                stmt_line = src.line_of(nxt if nxt < body_end else body_end)
+                pos = close + 1
+            continue
+        if ch == ";":
+            flush_member_stmt("".join(stmt), stmt_line, info)
+            stmt = []
+            stmt_line = src.line_of(pos + 1)
+            pos += 1
+            continue
+        if not stmt and ch in " \t\n":
+            stmt_line = src.line_of(pos + 1)
+        stmt.append(ch)
+        pos += 1
+
+
+ACCESS_LABEL_RE = re.compile(r"^(?:(?:public|private|protected)\s*:\s*)+")
+
+
+def flush_member_stmt(stmt: str, line: int, info: ClassInfo) -> None:
+    flat = ACCESS_LABEL_RE.sub("", " ".join(stmt.split()))
+    if not flat:
+        return
+    if DIGEST_DECL_RE.search(flat):
+        info.declares_digest = True
+    if STMT_SKIP_RE.match(flat):
+        return
+    cleaned = strip_angles(ACE_MACRO_RE.sub(" ", flat))
+    if "(" in cleaned or ")" in cleaned:
+        return  # function declaration / constructor / using-alias
+    cleaned = cleaned.split("=")[0].rstrip()
+    m = MEMBER_STMT_RE.search(cleaned)
+    if m:
+        info.members.append((m.group(1), line))
+
+
+class FileIndex:
+    def __init__(self, src: SourceFile, findings: list[Finding]):
+        self.src = src
+        # lineno -> {rule -> allow-site lineno}
+        self.allowed: dict[int, dict[str, int]] = {}
+        self.allow_sites: list[tuple[int, str]] = []
+        self.used_allow_sites: set[tuple[int, str]] = set()
+        self._parse_allowances(findings)
+        self.unordered_names = {
+            m.group(1) for m in DECL_UNORDERED_RE.finditer(src.text)}
+        self.float_vars = {
+            m.group(1) for line in src.code_lines
+            for m in re.finditer(r"\b(?:double|float)\s+([A-Za-z_]\w*)", line)}
+        self.atomic_vars = {
+            m.group(1) for m in ATOMIC_VAR_RE.finditer(src.text)}
+        self.trial_vars = {
+            m.group(1) for m in TRIAL_VAR_RE.finditer(src.text)}
+        self.reserve_receivers = {
+            normalize_chain(m.group(1))
+            for m in RESERVE_RE.finditer(src.text)}
+        self.hot_tags = [
+            idx + 1 for idx, line in enumerate(src.raw_lines)
+            if HOT_TAG_RE.search(line)]
+        self.classes: list[ClassInfo] = []
+        self._parse_classes()
+        # class name -> out-of-line digest_into body text defined here.
+        self.digest_defs: dict[str, str] = {}
+        for m in OUTLINE_DIGEST_RE.finditer(src.text):
+            open_pos = m.end() - 1
+            close = match_brace(src.text, open_pos)
+            if close != -1:
+                self.digest_defs[m.group(1)] = src.text[open_pos + 1:close]
+
+    def _parse_allowances(self, findings: list[Finding]) -> None:
+        src = self.src
+        for idx, line in enumerate(src.raw_lines, start=1):
+            m = ALLOW_RE.search(line)
+            if not m:
+                if "ace-lint:" in line and "allow" in line:
+                    findings.append(Finding(
+                        src.path, idx, "bad-allow",
+                        "unparseable ace-lint comment (expected "
+                        "'// ace-lint: allow(<rule>): <justification>')",
+                        src.raw(idx).strip()))
+                continue
+            rule, justification = m.group(1), m.group(2)
+            if rule not in RULES or rule in UNSUPPRESSABLE:
                 findings.append(Finding(
                     src.path, idx, "bad-allow",
-                    "unparseable ace-lint comment (expected "
-                    "'// ace-lint: allow(<rule>): <justification>')"))
-            continue
-        rule, justification = m.group(1), m.group(2)
-        if rule not in RULES or rule == "bad-allow":
-            findings.append(Finding(
-                src.path, idx, "bad-allow", f"unknown rule '{rule}'"))
-            continue
-        if not justification:
-            findings.append(Finding(
-                src.path, idx, "bad-allow",
-                f"allow({rule}) needs a justification after the colon"))
-            continue
-        # Covers this line and the next source line. Consecutive pure-allow
-        # comment lines chain down to the first non-comment line.
-        target = idx
-        code = src.code_lines[idx - 1].strip()
-        if not code:  # comment-only line: find the next non-blank code line
-            j = idx
-            while j < len(src.code_lines) and not src.code_lines[j].strip():
-                j += 1
-            target = j + 1
-        allowed.setdefault(idx, set()).add(rule)
-        allowed.setdefault(target, set()).add(rule)
-    return allowed
+                    f"unknown or unsuppressable rule '{rule}'",
+                    src.raw(idx).strip()))
+                continue
+            if not justification:
+                findings.append(Finding(
+                    src.path, idx, "bad-allow",
+                    f"allow({rule}) needs a justification after the colon",
+                    src.raw(idx).strip()))
+                continue
+            # Covers this line and the next source line. Consecutive
+            # pure-allow comment lines chain down to the first code line.
+            target = idx
+            code = src.code_lines[idx - 1].strip()
+            if not code:  # comment-only line: next non-blank code line
+                j = idx
+                while j < len(src.code_lines) and \
+                        not src.code_lines[j].strip():
+                    j += 1
+                target = j + 1
+            self.allow_sites.append((idx, rule))
+            self.allowed.setdefault(idx, {}).setdefault(rule, idx)
+            self.allowed.setdefault(target, {}).setdefault(rule, idx)
+
+    def is_allowed(self, lineno: int, rule: str) -> bool:
+        site = self.allowed.get(lineno, {}).get(rule)
+        if site is None:
+            return False
+        self.used_allow_sites.add((site, rule))
+        return True
+
+    def _parse_classes(self) -> None:
+        text = self.src.text
+        for m in CLASS_RE.finditer(text):
+            if text[max(0, m.start() - 8):m.start()].rstrip().endswith("enum"):
+                continue  # enum class
+            open_pos = m.end() - 1
+            close = match_brace(text, open_pos)
+            if close == -1:
+                continue
+            info = ClassInfo(name=m.group(2), path=self.src.path,
+                             line=self.src.line_of(m.start()))
+            parse_class_members(self.src, open_pos, close, info)
+            self.classes.append(info)
 
 
-def is_allowed(allowed, lineno: int, rule: str) -> bool:
-    return rule in allowed.get(lineno, set())
+class ProjectIndex:
+    """Cross-file view: classes by name + digest_into bodies by class."""
+
+    def __init__(self, file_indexes: list["FileIndex"]):
+        self.files = file_indexes
+        self.digest_bodies: dict[str, str] = {}
+        for fi in file_indexes:
+            self.digest_bodies.update(fi.digest_defs)
+
+
+# ---------------------------------------------------------------------------
+# Pass 3a: per-line determinism rules (the v1 family).
+# ---------------------------------------------------------------------------
 
 
 def structural_scope(path: str) -> bool:
     return path.startswith(STRUCTURAL_RULE_PREFIXES)
-
-
-def collect_unordered_names(src: SourceFile) -> set[str]:
-    names: set[str] = set()
-    text = "\n".join(src.code_lines)
-    for m in DECL_UNORDERED_RE.finditer(text):
-        names.add(m.group(1))
-    return names
-
-
-def float_var_names(src: SourceFile) -> set[str]:
-    names: set[str] = set()
-    decl = re.compile(r"\b(?:double|float)\s+([A-Za-z_]\w*)")
-    for line in src.code_lines:
-        for m in decl.finditer(line):
-            names.add(m.group(1))
-    return names
 
 
 def loop_body_range(src: SourceFile, start_idx: int) -> range:
@@ -265,99 +583,461 @@ def loop_body_range(src: SourceFile, start_idx: int) -> range:
     return range(start_idx, min(start_idx + 200, len(src.code_lines)))
 
 
-def lint_source(src: SourceFile) -> list[Finding]:
-    findings: list[Finding] = []
-    allowed = parse_allowances(src, findings)
-    unordered_names = collect_unordered_names(src)
-    floats = float_var_names(src)
+def run_line_rules(fi: FileIndex, findings: list[Finding]) -> None:
+    src = fi.src
     structural = structural_scope(src.path)
-
     for idx, code in enumerate(src.code_lines, start=1):
+        raw = src.raw(idx).strip()
         if structural:
             m = DECL_UNORDERED_RE.search(code)
             if m is None and "std::unordered_" in code and \
                     re.search(r"\bstd::unordered_\w+\s*<", code):
                 m = re.search(r"\bstd::unordered_\w+\s*<", code)
-            if m and not is_allowed(allowed, idx, "unordered-container"):
+            if m and not fi.is_allowed(idx, "unordered-container"):
                 findings.append(Finding(
                     src.path, idx, "unordered-container",
                     "unordered container in protocol/simulation code — "
                     "justify with "
                     "'// ace-lint: allow(unordered-container): why "
-                    "iteration order cannot leak'"))
+                    "iteration order cannot leak'", raw))
 
             iter_name = None
             rm = RANGE_FOR_RE.search(code)
             if rm:
                 base = re.split(r"\.|->", rm.group(1))[0]
                 last = re.split(r"\.|->", rm.group(1))[-1]
-                if base in unordered_names or last in unordered_names:
+                if base in fi.unordered_names or last in fi.unordered_names:
                     iter_name = base
             im = ITER_FOR_RE.search(code)
-            if im and im.group(1) in unordered_names:
+            if im and im.group(1) in fi.unordered_names:
                 iter_name = im.group(1)
             if iter_name is not None:
-                if not is_allowed(allowed, idx, "unordered-iter"):
+                if not fi.is_allowed(idx, "unordered-iter"):
                     findings.append(Finding(
                         src.path, idx, "unordered-iter",
                         f"iterating unordered container '{iter_name}' — "
                         "visit order is hash/layout dependent; iterate a "
-                        "sorted snapshot or an index-keyed vector instead"))
+                        "sorted snapshot or an index-keyed vector instead",
+                        raw))
                 # Float accumulation stays an error even under
                 # allow(unordered-iter): the allowance argues the *set*
                 # doesn't leak, but FP sums leak the *order*.
                 for j in loop_body_range(src, idx - 1):
                     fm = FLOAT_ACCUM_RE.search(src.code_lines[j])
-                    if fm and fm.group(1) in floats and \
-                            not is_allowed(allowed, j + 1,
-                                           "float-accum-unordered"):
+                    if fm and fm.group(1) in fi.float_vars and \
+                            not fi.is_allowed(j + 1, "float-accum-unordered"):
                         findings.append(Finding(
                             src.path, j + 1, "float-accum-unordered",
                             f"accumulating float '{fm.group(1)}' inside an "
                             "unordered iteration — FP addition is not "
-                            "associative, the sum depends on visit order"))
+                            "associative, the sum depends on visit order",
+                            src.raw(j + 1).strip()))
 
             pm = POINTER_KEY_RE.search(code)
-            if pm and not is_allowed(allowed, idx, "pointer-key"):
+            if pm and not fi.is_allowed(idx, "pointer-key"):
                 findings.append(Finding(
                     src.path, idx, "pointer-key",
                     "ordered container keyed on a pointer — iteration "
                     "order is address (ASLR/allocator) order; key on a "
-                    "stable id instead"))
+                    "stable id instead", raw))
 
             am = ADDR_COMPARE_RE.search(code)
-            if am and not is_allowed(allowed, idx, "addr-compare"):
+            if am and not fi.is_allowed(idx, "addr-compare"):
                 findings.append(Finding(
                     src.path, idx, "addr-compare",
                     "relational comparison of addresses — ordering depends "
-                    "on allocation layout; compare stable ids"))
+                    "on allocation layout; compare stable ids", raw))
 
             wm = OVERLAY_ADJACENCY_WRITE_RE.search(code)
-            if wm and not is_allowed(allowed, idx, "overlay-adjacency-write"):
+            if wm and not fi.is_allowed(idx, "overlay-adjacency-write"):
                 findings.append(Finding(
                     src.path, idx, "overlay-adjacency-write",
                     "direct write to the overlay's logical adjacency — "
                     "bypasses the topology_version() bump the incremental "
                     "caches rely on; go through the OverlayNetwork mutators "
-                    "(connect/disconnect/join/leave)"))
+                    "(connect/disconnect/join/leave)", raw))
 
         if src.path not in BANNED_RANDOM_EXEMPT:
             bm = BANNED_RANDOM_RE.search(code)
-            if bm and not is_allowed(allowed, idx, "banned-random"):
+            if bm and not fi.is_allowed(idx, "banned-random"):
                 findings.append(Finding(
                     src.path, idx, "banned-random",
                     f"'{bm.group(0).strip()}' — all randomness must come "
-                    "from a seeded ace::Rng stream (util/rng.h)"))
+                    "from a seeded ace::Rng stream (util/rng.h)", raw))
 
         if src.path not in BANNED_CLOCK_EXEMPT:
             cm = BANNED_CLOCK_RE.search(code)
-            if cm and not is_allowed(allowed, idx, "banned-clock"):
+            if cm and not fi.is_allowed(idx, "banned-clock"):
                 findings.append(Finding(
                     src.path, idx, "banned-clock",
                     f"'{cm.group(0).strip()}' — wall-clock reads differ "
-                    "per run; use simulation time (EventQueue::now())"))
+                    "per run; use simulation time (EventQueue::now())", raw))
 
+
+# ---------------------------------------------------------------------------
+# Pass 3b: worker-shared-write. Finds lambdas handed to TrialRunner::run /
+# run_indexed, then flags writes through by-reference captures that are not
+# slot-indexed by the trial index, atomic, lambda-local, or lock-guarded.
+# ---------------------------------------------------------------------------
+
+WRITE_ASSIGN_RE = re.compile(
+    rf"(?<![\w.\]>])({CHAIN})\s*"
+    r"(=(?![=])|\+=|-=|\*=|/=|%=|\|=|&=|\^=|<<=|>>=)")
+WRITE_PREINC_RE = re.compile(rf"(?:\+\+|--)\s*({CHAIN})")
+WRITE_POSTINC_RE = re.compile(rf"(?<![\w.\]>])({CHAIN})\s*(?:\+\+|--)")
+MUTATING_CALLS = (
+    "push_back|emplace_back|push_front|emplace_front|insert|erase|clear|"
+    "resize|assign|pop_back|pop_front|push|pop|emplace|merge")
+WRITE_MUTCALL_RE = re.compile(
+    rf"(?<![\w.\]>])({CHAIN})\s*(?:\.|->)\s*(?:{MUTATING_CALLS})\s*\(")
+ATOMIC_CALLS_RE = re.compile(
+    r"\.\s*(?:store|fetch_add|fetch_sub|fetch_or|fetch_and|fetch_xor|"
+    r"exchange|compare_exchange_\w+)\s*\(")
+LOCK_DECL_RE = re.compile(
+    r"\b(?:MutexLock|std::lock_guard|std::unique_lock|std::scoped_lock)\b")
+LOCAL_DECL_RE = re.compile(
+    r"(?:^|[;{}()])\s*(?:const\s+|constexpr\s+)*"
+    r"(?:auto|bool|int|unsigned|long|short|float|double|char|size_t|"
+    r"std::\w+|[A-Z]\w*)(?:::\w+)*\s*[&*]?\s+([A-Za-z_]\w*)\s*(?:=|\{|;|\()")
+BINDING_RE = re.compile(r"auto\s*&?\s*\[([^\]]*)\]")
+FORVAR_RE = re.compile(
+    r"for\s*\(\s*(?:const\s+)?(?:auto|[A-Za-z_][\w:<>]*)\s*[&*]?\s*"
+    r"([A-Za-z_]\w*)\s*[:=]")
+
+
+def collect_locals(body: str, params: list[str]) -> set[str]:
+    flat = strip_angles(body)
+    names = set(params)
+    for m in LOCAL_DECL_RE.finditer(flat):
+        names.add(m.group(1))
+    for m in FORVAR_RE.finditer(flat):
+        names.add(m.group(1))
+    for m in BINDING_RE.finditer(flat):
+        for part in m.group(1).split(","):
+            part = part.strip()
+            if part:
+                names.add(part)
+    return names
+
+
+def lambda_after(text: str, pos: int) -> tuple[str, list[str], int, int] | \
+        None:
+    """Parses the first lambda at/after pos: returns (capture_list_text,
+    param_names, body_start, body_end) or None if no lambda argument."""
+    lb = text.find("[", pos)
+    if lb == -1 or lb - pos > 400:
+        return None
+    rb = text.find("]", lb)
+    if rb == -1:
+        return None
+    captures = text[lb + 1:rb]
+    i = rb + 1
+    while i < len(text) and text[i] in " \t\n":
+        i += 1
+    params: list[str] = []
+    if i < len(text) and text[i] == "(":
+        depth = 0
+        j = i
+        while j < len(text):
+            if text[j] == "(":
+                depth += 1
+            elif text[j] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        param_text = strip_angles(text[i + 1:j])
+        for seg in param_text.split(","):
+            pm = re.search(r"([A-Za-z_]\w*)\s*$", seg.strip())
+            if pm:
+                params.append(pm.group(1))
+        i = j + 1
+    open_pos = text.find("{", i)
+    if open_pos == -1:
+        return None
+    close = match_brace(text, open_pos)
+    if close == -1:
+        return None
+    return captures, params, open_pos + 1, close
+
+
+def first_subscript(chain: str) -> str | None:
+    m = re.search(r"\[([^\][]*)\]", chain)
+    return m.group(1) if m else None
+
+
+def run_worker_shared_write(fi: FileIndex, findings: list[Finding]) -> None:
+    src = fi.src
+    text = src.text
+    call_res = [re.compile(rf"\b{re.escape(v)}\s*\.\s*"
+                           r"(?:run|run_indexed)\s*\(")
+                for v in sorted(fi.trial_vars)]
+    call_res.append(re.compile(r"(?<![\w.>:])run_indexed\s*\("))
+    seen_lambdas: set[int] = set()
+    for call_re in call_res:
+        for cm in call_re.finditer(text):
+            lam = lambda_after(text, cm.end())
+            if lam is None:
+                continue
+            captures, params, body_start, body_end = lam
+            if body_start in seen_lambdas:
+                continue
+            seen_lambdas.add(body_start)
+            if "&" not in captures:
+                continue  # by-value / captureless: no shared writes
+            index_param = params[0] if params else None
+            body = text[body_start:body_end]
+            locals_ = collect_locals(body, params)
+            guarded_from = None
+            lk = LOCK_DECL_RE.search(body)
+            if lk:
+                guarded_from = body_start + lk.start()
+            hits: list[tuple[int, str]] = []
+            for wre in (WRITE_ASSIGN_RE, WRITE_PREINC_RE, WRITE_POSTINC_RE,
+                        WRITE_MUTCALL_RE):
+                for wm in wre.finditer(body):
+                    hits.append((body_start + wm.start(1), wm.group(1)))
+            for abs_pos, chain in sorted(hits):
+                base = chain_base(chain)
+                if base in locals_ or base in fi.atomic_vars:
+                    continue
+                sub = first_subscript(chain)
+                if index_param and sub and \
+                        re.search(rf"\b{re.escape(index_param)}\b", sub):
+                    continue  # slot-indexed by the trial index
+                if guarded_from is not None and abs_pos > guarded_from:
+                    continue  # after a scoped lock acquisition
+                lineno = src.line_of(abs_pos)
+                # Atomic member calls parse as mutating-call hits when the
+                # receiver chain ends at the atomic op; drop them.
+                line_txt = src.code_lines[lineno - 1]
+                if ATOMIC_CALLS_RE.search(line_txt):
+                    continue
+                if fi.is_allowed(lineno, "worker-shared-write"):
+                    continue
+                findings.append(Finding(
+                    src.path, lineno, "worker-shared-write",
+                    f"write to '{normalize_chain(chain)}' (captured by "
+                    "reference) inside a TrialRunner worker lambda — not "
+                    "slot-indexed by the trial index and not guarded; use "
+                    "per-index slots, an atomic, or a MutexLock",
+                    src.raw(lineno).strip()))
+
+
+# ---------------------------------------------------------------------------
+# Pass 3c: hot-path-alloc. Functions tagged // ace-hot may not allocate in
+# steady state. push_back/emplace_back is fine when the receiver is
+# reserve()d anywhere in the file (sized once at construction) or
+# clear()ed/assign()ed in the same function (capacity reuse).
+# ---------------------------------------------------------------------------
+
+HOT_NEW_RE = re.compile(r"(?<![\w:])new\b")
+HOT_MAKE_RE = re.compile(r"\bstd::make_(?:unique|shared)\s*<")
+HOT_FUNCTION_RE = re.compile(r"\bstd::function\s*<")
+HOT_TOSTRING_RE = re.compile(r"\bstd::to_string\s*\(")
+HOT_STRING_RE = re.compile(r"\bstd::string\b(?!\s*[&*])")
+HOT_PUSH_RE = re.compile(
+    rf"(?<![\w.\]>])({CHAIN})\s*(?:\.|->)\s*(?:push_back|emplace_back)\s*\(")
+CLEARED_RE = re.compile(
+    rf"({CHAIN})\s*(?:\.|->)\s*(?:clear|assign)\s*\(")
+FUNC_NAME_RE = re.compile(r"([A-Za-z_][\w:~]*)\s*\(")
+
+
+def hot_function_bodies(fi: FileIndex):
+    """Yields (name, sig_line, body_start, body_end) per // ace-hot tag."""
+    src = fi.src
+    for tag_line in fi.hot_tags:
+        # Signature starts on the tag line (trailing comment) or the next
+        # non-blank code line.
+        sig_idx = tag_line
+        while sig_idx <= len(src.code_lines) and \
+                not src.code_lines[sig_idx - 1].strip():
+            sig_idx += 1
+        if sig_idx > len(src.code_lines):
+            continue
+        sig_pos = src.pos_of_line(sig_idx)
+        open_pos = src.text.find("{", sig_pos)
+        if open_pos == -1:
+            continue
+        close = match_brace(src.text, open_pos)
+        if close == -1:
+            continue
+        sig_text = src.text[sig_pos:open_pos]
+        nm = FUNC_NAME_RE.search(sig_text)
+        name = nm.group(1) if nm else "<function>"
+        yield name, sig_idx, open_pos + 1, close
+
+
+def run_hot_path_alloc(fi: FileIndex, findings: list[Finding]) -> None:
+    src = fi.src
+
+    def flag(abs_pos: int, what: str, name: str) -> None:
+        lineno = src.line_of(abs_pos)
+        if fi.is_allowed(lineno, "hot-path-alloc"):
+            return
+        findings.append(Finding(
+            src.path, lineno, "hot-path-alloc",
+            f"{what} in hot function '{name}' (// ace-hot) — hot paths "
+            "must be allocation-free in steady state; preallocate in the "
+            "constructor or reuse cleared capacity", src.raw(lineno).strip()))
+
+    for name, _sig, body_start, body_end in hot_function_bodies(fi):
+        body = src.text[body_start:body_end]
+        cleared = {normalize_chain(m.group(1))
+                   for m in CLEARED_RE.finditer(body)}
+        for m in HOT_NEW_RE.finditer(body):
+            flag(body_start + m.start(), "operator new", name)
+        for m in HOT_MAKE_RE.finditer(body):
+            flag(body_start + m.start(), "make_unique/make_shared", name)
+        for m in HOT_FUNCTION_RE.finditer(body):
+            flag(body_start + m.start(), "std::function construction", name)
+        for m in HOT_TOSTRING_RE.finditer(body):
+            flag(body_start + m.start(), "std::to_string", name)
+        for m in HOT_STRING_RE.finditer(body):
+            flag(body_start + m.start(), "std::string construction", name)
+        for m in HOT_PUSH_RE.finditer(body):
+            recv = normalize_chain(m.group(1))
+            if recv in fi.reserve_receivers or recv in cleared:
+                continue
+            flag(body_start + m.start(),
+                 f"unreserved push_back into '{recv}'", name)
+        # String-literal concatenation: a '+' whose neighbor (skipping
+        # whitespace) sat inside a string literal.
+        for lineno in range(src.line_of(body_start),
+                            src.line_of(body_end) + 1):
+            code = src.code_lines[lineno - 1]
+            mask = src.string_masks[lineno - 1]
+            for i, ch in enumerate(code):
+                if ch != "+" or (i + 1 < len(code) and code[i + 1] == "+") \
+                        or (i > 0 and code[i - 1] == "+"):
+                    continue
+                left = i - 1
+                while left >= 0 and code[left] == " ":
+                    left -= 1
+                right = i + 1
+                while right < len(code) and code[right] == " ":
+                    right += 1
+                if (left >= 0 and left < len(mask) and mask[left]) or \
+                        (right < len(mask) and mask[right]):
+                    if not fi.is_allowed(lineno, "hot-path-alloc"):
+                        findings.append(Finding(
+                            src.path, lineno, "hot-path-alloc",
+                            f"string concatenation in hot function "
+                            f"'{name}' (// ace-hot) — allocates; format "
+                            "outside the hot path", src.raw(lineno).strip()))
+                    break
+
+
+# ---------------------------------------------------------------------------
+# Pass 3d: digest-coverage (project-wide). Every data member of a class that
+# declares digest_into must either appear in the digest body or carry an
+# explicit justified '// ace-digest: exempt(member_): why' directive.
+# ---------------------------------------------------------------------------
+
+
+def run_digest_coverage(project: ProjectIndex,
+                        findings: list[Finding]) -> None:
+    for fi in project.files:
+        if not structural_scope(fi.src.path):
+            continue
+        for info in fi.classes:
+            if not info.declares_digest:
+                continue
+            body = info.inline_digest_body
+            if body is None:
+                body = project.digest_bodies.get(info.name)
+            if body is None:
+                continue  # declared here, defined in a file not linted
+            used_exempts: set[str] = set()
+            for name, lineno in info.members:
+                covered = re.search(rf"\b{re.escape(name)}\b", body)
+                exempt = info.exempts.get(name)
+                if covered:
+                    if exempt is not None:
+                        ex_line, _reason = exempt
+                        if not fi.is_allowed(ex_line, "digest-coverage"):
+                            findings.append(Finding(
+                                fi.src.path, ex_line, "digest-coverage",
+                                f"stale exempt: '{name}' of {info.name} IS "
+                                "read by digest_into — delete the "
+                                "'ace-digest: exempt' directive",
+                                fi.src.raw(ex_line).strip()))
+                        used_exempts.add(name)
+                    continue
+                if exempt is not None:
+                    ex_line, reason = exempt
+                    used_exempts.add(name)
+                    if not reason:
+                        if not fi.is_allowed(ex_line, "digest-coverage"):
+                            findings.append(Finding(
+                                fi.src.path, ex_line, "digest-coverage",
+                                f"exempt for '{name}' of {info.name} has no "
+                                "justification — write "
+                                f"'// ace-digest: exempt({name}): why this "
+                                "is not protocol-visible state'",
+                                fi.src.raw(ex_line).strip()))
+                    continue
+                if not fi.is_allowed(lineno, "digest-coverage"):
+                    findings.append(Finding(
+                        fi.src.path, lineno, "digest-coverage",
+                        f"member '{name}' of {info.name} is not read by its "
+                        "digest_into — digest it or justify with "
+                        f"'// ace-digest: exempt({name}): reason'",
+                        fi.src.raw(lineno).strip()))
+            for name, (ex_line, _reason) in info.exempts.items():
+                if name in used_exempts:
+                    continue
+                if not fi.is_allowed(ex_line, "digest-coverage"):
+                    findings.append(Finding(
+                        fi.src.path, ex_line, "digest-coverage",
+                        f"exempt names '{name}' which is not a data member "
+                        f"of {info.name} — stale or misspelled directive",
+                        fi.src.raw(ex_line).strip()))
+
+
+# ---------------------------------------------------------------------------
+# Pass 3e: stale-allow. Any allow() site whose rule never fired at its
+# target line is dead weight — the code was fixed, the rule changed, or the
+# justification never matched anything. Unsuppressable here too: allowing
+# 'stale-allow' would be a self-licensing loophole.
+# ---------------------------------------------------------------------------
+
+
+def run_stale_allow(fi: FileIndex, findings: list[Finding]) -> None:
+    for lineno, rule in fi.allow_sites:
+        if (lineno, rule) in fi.used_allow_sites:
+            continue
+        findings.append(Finding(
+            fi.src.path, lineno, "stale-allow",
+            f"allow({rule}) never matched a finding — the code it excused "
+            "is gone or the suppression is on the wrong line; delete it",
+            fi.src.raw(lineno).strip()))
+
+
+# ---------------------------------------------------------------------------
+# Driver: all passes over all files, stale-allow last (it needs the
+# used_allow_sites bookkeeping the other passes produce).
+# ---------------------------------------------------------------------------
+
+
+def analyze(sources: list[SourceFile]) -> list[Finding]:
+    findings: list[Finding] = []
+    fis = [FileIndex(src, findings) for src in sources]
+    project = ProjectIndex(fis)
+    for fi in fis:
+        run_line_rules(fi, findings)
+        run_worker_shared_write(fi, findings)
+        run_hot_path_alloc(fi, findings)
+    run_digest_coverage(project, findings)
+    for fi in fis:
+        run_stale_allow(fi, findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
+
+
+# ---------------------------------------------------------------------------
+# I/O and baseline machinery.
+# ---------------------------------------------------------------------------
 
 
 def load_file(root: str, rel: str) -> SourceFile:
@@ -383,15 +1063,100 @@ def iter_sources(root: str, paths: list[str]):
                     yield os.path.relpath(os.path.join(dirpath, name), root)
 
 
-def run_lint(root: str, paths: list[str]) -> int:
-    findings: list[Finding] = []
-    count = 0
-    for rel in iter_sources(root, paths):
-        count += 1
-        findings.extend(lint_source(load_file(root, rel)))
-    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+def load_baseline(path: str) -> list[dict]:
+    """Baseline = JSONL, one finding per line; '#' comments and blank lines
+    allowed. Identity is (path, rule, code) so line drift never expires an
+    entry — only fixing (or changing) the flagged line does."""
+    entries: list[dict] = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise ValueError(
+                    f"{path}:{lineno}: not valid JSON ({err})") from err
+            for key in ("path", "rule", "code"):
+                if key not in obj or not isinstance(obj[key], str):
+                    raise ValueError(
+                        f"{path}:{lineno}: baseline entry missing string "
+                        f"field '{key}'")
+            if obj["rule"] not in RULES:
+                raise ValueError(
+                    f"{path}:{lineno}: unknown rule '{obj['rule']}'")
+            entries.append(obj)
+    return entries
+
+
+def split_against_baseline(findings: list[Finding],
+                           entries: list[dict]):
+    """Consumes baseline entries (multiset on (path, rule, code)); returns
+    (new_findings, baselined_findings, expired_entries)."""
+    pool: dict[tuple[str, str, str], int] = {}
+    for e in entries:
+        k = (e["path"], e["rule"], e["code"].strip())
+        pool[k] = pool.get(k, 0) + 1
+    new: list[Finding] = []
+    old: list[Finding] = []
     for f in findings:
-        print(f.render())
+        k = f.key()
+        if pool.get(k, 0) > 0:
+            pool[k] -= 1
+            old.append(f)
+        else:
+            new.append(f)
+    expired = [k for k, n in pool.items() for _ in range(n)]
+    return new, old, expired
+
+
+def emit(findings: list[Finding], fmt: str) -> None:
+    for f in findings:
+        print(f.to_json() if fmt == "jsonl" else f.render())
+
+
+def run_lint(root: str, paths: list[str], fmt: str = "text",
+             baseline_path: str | None = None, diff: bool = False,
+             update_baseline: bool = False) -> int:
+    sources = [load_file(root, rel) for rel in iter_sources(root, paths)]
+    findings = analyze(sources)
+    count = len(sources)
+
+    if update_baseline:
+        if baseline_path is None:
+            print("ace-lint: --update-baseline requires --baseline",
+                  file=sys.stderr)
+            return 2
+        with open(baseline_path, "w", encoding="utf-8") as fh:
+            fh.write("# ace-lint baseline — accepted pre-existing findings."
+                     "\n# Regenerate: tools/ace_lint.py <paths> "
+                     "--baseline <this file> --update-baseline\n")
+            for f in findings:
+                fh.write(f.to_json() + "\n")
+        print(f"ace-lint: wrote {len(findings)} finding(s) to "
+              f"{baseline_path}", file=sys.stderr)
+        return 0
+
+    if baseline_path is not None and diff:
+        entries = load_baseline(baseline_path)
+        new, old, expired = split_against_baseline(findings, entries)
+        emit(new, fmt)
+        for k in expired:
+            print(f"ace-lint: warning: expired baseline entry "
+                  f"{k[0]} [{k[1]}] '{k[2]}' — rerun with "
+                  "--update-baseline", file=sys.stderr)
+        if new:
+            print(f"ace-lint: {len(new)} new finding(s) "
+                  f"({len(old)} baselined) in {count} file(s)",
+                  file=sys.stderr)
+            return 1
+        print(f"ace-lint: clean ({count} files, {len(old)} baselined, "
+              f"{len(expired)} expired baseline entr"
+              f"{'y' if len(expired) == 1 else 'ies'})", file=sys.stderr)
+        return 0
+
+    emit(findings, fmt)
     if findings:
         print(f"ace-lint: {len(findings)} finding(s) in {count} file(s)",
               file=sys.stderr)
@@ -400,8 +1165,38 @@ def run_lint(root: str, paths: list[str]) -> int:
     return 0
 
 
+def validate_baseline(baseline_path: str, root: str,
+                      paths: list[str]) -> int:
+    """CI hygiene gate: the baseline must parse and contain no expired
+    entries (an expired entry means the debt was paid — delete the line)."""
+    try:
+        entries = load_baseline(baseline_path)
+    except (ValueError, OSError) as err:
+        print(f"ace-lint: baseline invalid: {err}", file=sys.stderr)
+        return 1
+    sources = [load_file(root, rel) for rel in iter_sources(root, paths)]
+    findings = analyze(sources)
+    _new, _old, expired = split_against_baseline(findings, entries)
+    if expired:
+        for k in expired:
+            print(f"ace-lint: expired baseline entry {k[0]} [{k[1]}] "
+                  f"'{k[2]}'", file=sys.stderr)
+        print(f"ace-lint: {len(expired)} expired baseline entr"
+              f"{'y' if len(expired) == 1 else 'ies'} — the finding no "
+              "longer fires; delete the stale line(s) or rerun "
+              "--update-baseline", file=sys.stderr)
+        return 1
+    print(f"ace-lint: baseline ok ({len(entries)} entr"
+          f"{'y' if len(entries) == 1 else 'ies'}, none expired)",
+          file=sys.stderr)
+    return 0
+
+
 # ---------------------------------------------------------------------------
-# Self-test fixtures: (name, path, source, expected rule codes).
+# Self-test fixtures. Two shapes:
+#   (name, path, source, expected-rules)            — single file
+#   (name, [(path, source), ...], expected-rules)   — cross-file analysis
+# `expected` is the SET of rule codes that must fire (and no others).
 # ---------------------------------------------------------------------------
 
 FIXTURES = [
@@ -540,19 +1335,339 @@ struct O {
   bool linked(int a, int b) const { return logical_.has_edge(a, b); }
 };
 """, []),
+
+    # --- worker-shared-write ------------------------------------------------
+    ("worker_captured_write_flagged", "src/x/ws1.cpp", """
+struct TrialRunner { template <class F> void run_indexed(int, F); };
+void f(TrialRunner& runner) {
+  double total = 0.0;
+  runner.run_indexed(8, [&](std::size_t i) {
+    total += static_cast<double>(i);
+  });
+}
+""", ["worker-shared-write"]),
+    ("worker_slot_indexed_clean", "src/x/ws2.cpp", """
+#include <vector>
+struct TrialRunner { template <class F> void run_indexed(int, F); };
+void f(TrialRunner& runner) {
+  std::vector<double> slots(8);
+  runner.run_indexed(8, [&](std::size_t i) {
+    slots[i] = static_cast<double>(i) * 2.0;
+  });
+}
+""", []),
+    ("worker_atomic_clean", "src/x/ws3.cpp", """
+#include <atomic>
+struct TrialRunner { template <class F> void run_indexed(int, F); };
+void f(TrialRunner& runner) {
+  std::atomic<std::size_t> done{0};
+  runner.run_indexed(8, [&](std::size_t i) {
+    done.fetch_add(1, std::memory_order_relaxed);
+  });
+}
+""", []),
+    ("worker_local_write_clean", "src/x/ws4.cpp", """
+struct TrialRunner { template <class F> void run_indexed(int, F); };
+void f(TrialRunner& runner) {
+  runner.run_indexed(8, [&](std::size_t i) {
+    double local = 0.0;
+    local += static_cast<double>(i);
+    (void)local;
+  });
+}
+""", []),
+    ("worker_container_push_flagged", "src/x/ws5.cpp", """
+#include <vector>
+struct TrialRunner { template <class F> void run_indexed(int, F); };
+void f(TrialRunner& runner) {
+  std::vector<int> results;
+  runner.run_indexed(8, [&](std::size_t i) {
+    results.push_back(static_cast<int>(i));
+  });
+}
+""", ["worker-shared-write"]),
+    ("worker_lock_guarded_clean", "src/x/ws6.cpp", """
+#include <mutex>
+struct TrialRunner { template <class F> void run_indexed(int, F); };
+void f(TrialRunner& runner, std::mutex& m) {
+  int total = 0;
+  runner.run_indexed(8, [&](std::size_t i) {
+    std::lock_guard<std::mutex> lock(m);
+    total += static_cast<int>(i);
+  });
+}
+""", []),
+    ("worker_allowed_write", "src/x/ws7.cpp", """
+struct TrialRunner { template <class F> void run_indexed(int, F); };
+void f(TrialRunner& runner) {
+  int flag = 0;
+  runner.run_indexed(1, [&](std::size_t i) {
+    // ace-lint: allow(worker-shared-write): single-trial run, no workers
+    flag = 1;
+  });
+}
+""", []),
+    ("worker_rule_applies_in_tests", "tests/ws8.cpp", """
+struct TrialRunner { template <class F> void run_indexed(int, F); };
+void f(TrialRunner& runner) {
+  std::size_t calls = 0;
+  runner.run_indexed(4, [&](std::size_t i) {
+    ++calls;
+  });
+}
+""", ["worker-shared-write"]),
+
+    # --- hot-path-alloc -----------------------------------------------------
+    ("hot_new_flagged", "src/x/h1.cpp", """
+// ace-hot
+void kernel() {
+  int* p = new int[16];
+  delete[] p;
+}
+""", ["hot-path-alloc"]),
+    ("hot_make_unique_flagged", "src/x/h2.cpp", """
+#include <memory>
+struct Big {};
+// ace-hot
+void kernel() {
+  auto p = std::make_unique<Big>();
+  (void)p;
+}
+""", ["hot-path-alloc"]),
+    ("hot_unreserved_push_flagged", "src/x/h3.cpp", """
+#include <vector>
+struct K {
+  std::vector<int> out_;
+  // ace-hot
+  void run() {
+    out_.push_back(1);
+  }
+};
+""", ["hot-path-alloc"]),
+    ("hot_file_reserved_push_clean", "src/x/h4.cpp", """
+#include <vector>
+struct K {
+  std::vector<int> out_;
+  K() { out_.reserve(64); }
+  // ace-hot
+  void run() {
+    out_.push_back(1);
+  }
+};
+""", []),
+    ("hot_cleared_push_clean", "src/x/h5.cpp", """
+#include <vector>
+// ace-hot
+void run(std::vector<int>& scratch) {
+  scratch.clear();
+  scratch.push_back(1);
+}
+""", []),
+    ("hot_std_function_flagged", "src/x/h6.cpp", """
+#include <functional>
+// ace-hot
+void run() {
+  std::function<int(int)> f = [](int x) { return x; };
+  (void)f;
+}
+""", ["hot-path-alloc"]),
+    ("hot_string_concat_flagged", "src/x/h7.cpp", """
+#include <string>
+// ace-hot
+void run(std::string& out, int id) {
+  out = "peer-" + std::to_string(id);
+}
+""", ["hot-path-alloc"]),
+    ("untagged_function_not_checked", "src/x/h8.cpp", """
+#include <memory>
+struct Big {};
+void cold_setup() {
+  auto p = std::make_unique<Big>();
+  (void)p;
+}
+""", []),
+    ("hot_allowed_alloc", "src/x/h9.cpp", """
+// ace-hot
+void run() {
+  // ace-lint: allow(hot-path-alloc): one-time lazy init, branch-guarded
+  int* p = new int;
+  delete p;
+}
+""", []),
+
+    # --- digest-coverage ----------------------------------------------------
+    ("digest_missing_member_flagged", "src/x/d1.h", """
+#include <cstdint>
+struct Fnv1a;
+class Counter {
+ public:
+  void digest_into(Fnv1a& digest) const {
+    digest.update(hits_);
+  }
+ private:
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+""", ["digest-coverage"]),
+    ("digest_all_covered_clean", "src/x/d2.h", """
+#include <cstdint>
+struct Fnv1a;
+class Counter {
+ public:
+  void digest_into(Fnv1a& digest) const {
+    digest.update(hits_);
+    digest.update(misses_);
+  }
+ private:
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+""", []),
+    ("digest_exempt_with_reason_clean", "src/x/d3.h", """
+#include <cstdint>
+struct Fnv1a;
+class Counter {
+ public:
+  void digest_into(Fnv1a& digest) const {
+    digest.update(hits_);
+  }
+ private:
+  std::uint64_t hits_ = 0;
+  // ace-digest: exempt(scratch_): rebuilt from hits_ on demand, not state
+  std::uint64_t scratch_ = 0;
+};
+""", []),
+    ("digest_stale_exempt_flagged", "src/x/d4.h", """
+#include <cstdint>
+struct Fnv1a;
+class Counter {
+ public:
+  void digest_into(Fnv1a& digest) const {
+    digest.update(hits_);
+  }
+ private:
+  // ace-digest: exempt(hits_): not protocol state (it is — and digested)
+  std::uint64_t hits_ = 0;
+};
+""", ["digest-coverage"]),
+    ("digest_exempt_without_reason_flagged", "src/x/d5.h", """
+#include <cstdint>
+struct Fnv1a;
+class Counter {
+ public:
+  void digest_into(Fnv1a& digest) const {
+    digest.update(hits_);
+  }
+ private:
+  std::uint64_t hits_ = 0;
+  // ace-digest: exempt(scratch_)
+  std::uint64_t scratch_ = 0;
+};
+""", ["digest-coverage"]),
+    ("digest_unknown_exempt_flagged", "src/x/d6.h", """
+#include <cstdint>
+struct Fnv1a;
+class Counter {
+ public:
+  void digest_into(Fnv1a& digest) const {
+    digest.update(hits_);
+  }
+ private:
+  // ace-digest: exempt(retired_member_): member was deleted last release
+  std::uint64_t hits_ = 0;
+};
+""", ["digest-coverage"]),
+    ("digest_cross_file_coverage", [
+        ("src/x/d7.h", """
+#include <cstdint>
+struct Fnv1a;
+class Meter {
+ public:
+  void digest_into(Fnv1a& digest) const;
+ private:
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+"""),
+        ("src/x/d7.cpp", """
+#include "d7.h"
+void Meter::digest_into(Fnv1a& digest) const {
+  digest.update(reads_);
+}
+"""),
+    ], ["digest-coverage"]),
+    ("digest_cross_file_clean", [
+        ("src/x/d8.h", """
+#include <cstdint>
+struct Fnv1a;
+class Meter {
+ public:
+  void digest_into(Fnv1a& digest) const;
+ private:
+  std::uint64_t reads_ = 0;
+};
+"""),
+        ("src/x/d8.cpp", """
+#include "d8.h"
+void Meter::digest_into(Fnv1a& digest) const {
+  digest.update(reads_);
+}
+"""),
+    ], []),
+    ("digest_tests_scope_skipped", "tests/d9.h", """
+#include <cstdint>
+struct Fnv1a;
+class Counter {
+ public:
+  void digest_into(Fnv1a& digest) const {
+    digest.update(hits_);
+  }
+ private:
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+""", []),
+
+    # --- stale-allow --------------------------------------------------------
+    ("stale_allow_flagged", "src/x/s1.cpp", """
+// ace-lint: allow(banned-random): there used to be a rand() call here
+int f() { return 4; }
+""", ["stale-allow"]),
+    ("stale_allow_structural_in_tests", "tests/s2.cpp", """
+#include <unordered_map>
+// ace-lint: allow(unordered-container): structural rules don't run here
+std::unordered_map<int, int> m;
+""", ["stale-allow"]),
+    ("used_allow_not_stale", "src/x/s3.cpp", """
+#include <cstdlib>
+// ace-lint: allow(banned-random): seeding fixture, justified
+int f() { return rand(); }
+""", []),
+    ("stale_allow_not_suppressable", "src/x/s4.cpp", """
+// ace-lint: allow(stale-allow): trying to suppress the suppressor
+int x;
+""", ["bad-allow"]),
 ]
 
 
 def self_test() -> int:
     failures = 0
-    for name, path, source, expected in FIXTURES:
-        src = SourceFile(path=path, raw_lines=source.splitlines())
-        got = sorted({f.rule for f in lint_source(src)})
+    for fixture in FIXTURES:
+        name, spec, expected = fixture[0], fixture[1], fixture[-1]
+        if isinstance(spec, str):
+            files = [(spec, fixture[2])]
+        else:
+            files = spec
+        sources = [SourceFile(path=p, raw_lines=s.splitlines())
+                   for p, s in files]
+        findings = analyze(sources)
+        got = sorted({f.rule for f in findings})
         want = sorted(set(expected))
         if got != want:
             failures += 1
-            print(f"FAIL {name}: expected {want}, got {got}", file=sys.stderr)
-            for f in lint_source(src):
+            print(f"FAIL {name}: expected {want}, got {got}",
+                  file=sys.stderr)
+            for f in findings:
                 print(f"  {f.render()}", file=sys.stderr)
         else:
             print(f"ok   {name}")
@@ -570,6 +1685,20 @@ def main(argv: list[str]) -> int:
                              "src examples)")
     parser.add_argument("--root", default=None,
                         help="repository root (default: parent of tools/)")
+    parser.add_argument("--format", choices=("text", "jsonl"),
+                        default="text", dest="fmt",
+                        help="finding output format (default: text)")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="JSONL baseline of accepted findings")
+    parser.add_argument("--diff", action="store_true",
+                        help="with --baseline: fail only on findings NOT "
+                             "in the baseline")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="with --baseline: rewrite the baseline from "
+                             "the current findings")
+    parser.add_argument("--validate-baseline", action="store_true",
+                        help="with --baseline: check the baseline parses "
+                             "and has no expired entries, then exit")
     parser.add_argument("--self-test", action="store_true",
                         help="run the embedded fixture suite and exit")
     args = parser.parse_args(argv)
@@ -581,8 +1710,19 @@ def main(argv: list[str]) -> int:
         os.path.dirname(os.path.abspath(__file__)))
     paths = args.paths or ["src", "examples"]
     try:
-        return run_lint(root, paths)
+        if args.validate_baseline:
+            if args.baseline is None:
+                print("ace-lint: --validate-baseline requires --baseline",
+                      file=sys.stderr)
+                return 2
+            return validate_baseline(args.baseline, root, paths)
+        return run_lint(root, paths, fmt=args.fmt,
+                        baseline_path=args.baseline, diff=args.diff,
+                        update_baseline=args.update_baseline)
     except FileNotFoundError as err:
+        print(f"ace-lint: {err}", file=sys.stderr)
+        return 2
+    except ValueError as err:
         print(f"ace-lint: {err}", file=sys.stderr)
         return 2
 
