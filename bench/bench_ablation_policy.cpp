@@ -72,7 +72,8 @@ int main(int argc, char** argv) {
   WallTimer timer;
   TrialRunner runner{scale.threads};
   const std::vector<Outcome> outcomes =
-      runner.run(cases.size() + 1, [&](std::size_t i) {
+      runner.run(cases.size() + 1, [&](TrialIndex ti) {
+        const std::size_t i = ti.value();
         if (i == 0) {
           Scenario baseline{make_scenario(scale, 6.0)};
           const QueryStats blind = baseline.measure_blind(scale.queries);

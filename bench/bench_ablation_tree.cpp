@@ -60,7 +60,8 @@ int main(int argc, char** argv) {
   WallTimer timer;
   TrialRunner runner{scale.threads};
   const std::vector<Outcome> outcomes =
-      runner.run(cells.size(), [&](std::size_t i) {
+      runner.run(cells.size(), [&](TrialIndex ti) {
+        const std::size_t i = ti.value();
         const Cell_& cell = cells[i];
         if (cell.kind == 0) {
           Scenario scenario{make_scenario(scale, cell.degree)};

@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
     Scenario scenario{make_scenario(scale, mean_degree)};
     Rng build_rng{scale.seed ^ 0x22};
     std::vector<HostId> hosts;
-    for (PeerId p = 0; p < scenario.overlay().peer_count(); ++p)
+    for (PeerId p{0}; p < scenario.overlay().peer_count(); ++p)
       hosts.push_back(scenario.overlay().host_of(p));
     LandmarkConfig config;
     config.landmarks = 8;
@@ -165,7 +165,7 @@ int main(int argc, char** argv) {
   WallTimer timer;
   TrialRunner runner{scale.threads};
   const std::vector<Row> rows =
-      runner.run(systems.size(), [&](std::size_t i) { return systems[i](); });
+      runner.run(systems.size(), [&](TrialIndex i) { return systems[i.value()](); });
 
   BenchReport report;
   report.name = "baseline_comparison";

@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
   TrialRunner runner{scale.threads};
   const std::vector<DynamicResult> results =
       runner.run(systems.size(),
-                 [&](std::size_t i) { return run_dynamic(systems[i].second); });
+                 [&](TrialIndex i) { return run_dynamic(systems[i.value()].second); });
   std::vector<Row> rows;
   for (std::size_t i = 0; i < systems.size(); ++i)
     rows.push_back({systems[i].first, results[i]});

@@ -42,7 +42,8 @@ int main(int argc, char** argv) {
   WallTimer timer;
   TrialRunner runner{scale.threads};
   const std::vector<StaticTrial> trials =
-      runner.run(degrees.size(), [&](std::size_t i) {
+      runner.run(degrees.size(), [&](TrialIndex ti) {
+        const std::size_t i = ti.value();
         Scenario scenario{make_scenario(scale, degrees[i])};
         StaticTrial trial;
         trial.run = run_static_optimization(scenario, AceConfig{},

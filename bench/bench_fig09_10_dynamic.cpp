@@ -48,7 +48,8 @@ int main(int argc, char** argv) {
   WallTimer timer;
   TrialRunner runner{scale.threads};
   const std::vector<DynamicResult> results =
-      runner.run(2, [&](std::size_t i) {
+      runner.run(2, [&](TrialIndex ti) {
+        const std::size_t i = ti.value();
         return run_dynamic(dynamic_config(scale, /*enable_ace=*/i == 1,
                                           duration));
       });

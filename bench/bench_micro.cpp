@@ -77,6 +77,38 @@ void BM_PrimMst(benchmark::State& state) {
 }
 BENCHMARK(BM_PrimMst)->Arg(256)->Arg(1024)->Arg(4096);
 
+// Zero-cost claim for the strong-id layer (DESIGN §13): a strided
+// reduction over IdVector<PeerId, ...> indexed by PeerId must run at the
+// same speed as the identical loop over std::vector indexed by a raw
+// uint32_t. Both variants share one workload so a regression shows up as
+// a ratio shift between adjacent rows in BENCH_micro.json.
+void BM_RawIndexReduce(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::vector<std::uint32_t> raw(n);
+  for (std::uint32_t i = 0; i < n; ++i) raw[i] = i * 2654435761u;
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (std::uint32_t i = 0; i < n; ++i) sum += raw[(i * 7919u) % n];
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RawIndexReduce)->Arg(4096)->Arg(65536);
+
+void BM_TypedIndexReduce(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  IdVector<PeerId, std::uint32_t> typed;
+  typed.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) typed[PeerId{i}] = i * 2654435761u;
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (std::uint32_t i = 0; i < n; ++i) sum += typed[PeerId{(i * 7919u) % n}];
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TypedIndexReduce)->Arg(4096)->Arg(65536);
+
 struct OverlayFixture {
   explicit OverlayFixture(std::size_t peers, double degree) {
     Rng rng{3};
@@ -95,9 +127,9 @@ struct OverlayFixture {
 void BM_ClosureBuild(benchmark::State& state) {
   OverlayFixture f{512, 8.0};
   const auto depth = static_cast<std::uint32_t>(state.range(0));
-  PeerId p = 0;
+  std::uint32_t p = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(build_closure(*f.overlay, p, depth));
+    benchmark::DoNotOptimize(build_closure(*f.overlay, PeerId{p}, depth));
     p = (p + 13) % 512;
   }
 }
@@ -106,7 +138,7 @@ BENCHMARK(BM_ClosureBuild)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 void BM_LocalTree(benchmark::State& state) {
   OverlayFixture f{512, 8.0};
   const auto depth = static_cast<std::uint32_t>(state.range(0));
-  const LocalClosure closure = build_closure(*f.overlay, 0, depth);
+  const LocalClosure closure = build_closure(*f.overlay, PeerId{0}, depth);
   for (auto _ : state) benchmark::DoNotOptimize(build_local_tree(closure));
 }
 BENCHMARK(BM_LocalTree)->Arg(1)->Arg(2)->Arg(4);
@@ -174,10 +206,10 @@ BENCHMARK(BM_EventQueueThroughput)->Arg(1000)->Arg(10000);
 void BM_PhysicalDelayCached(benchmark::State& state) {
   PhysicalNetwork net{make_ba(4096)};
   // Warm one row.
-  net.delay(0, 1);
-  HostId target = 1;
+  net.delay(HostId{0}, HostId{1});
+  std::uint32_t target = 1;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(net.delay(0, target));
+    benchmark::DoNotOptimize(net.delay(HostId{0}, HostId{target}));
     target = (target + 17) % 4096;
   }
 }

@@ -25,11 +25,11 @@ struct Example {
     for (NodeId u = 0; u + 1 < 24; ++u) g.add_edge(u, u + 1, 1.0);
     physical = std::make_unique<PhysicalNetwork>(std::move(g));
     overlay = std::make_unique<OverlayNetwork>(*physical);
-    f = overlay->add_peer(0);
-    c = overlay->add_peer(5);
-    d = overlay->add_peer(9);
-    e = overlay->add_peer(14);
-    b = overlay->add_peer(20);
+    f = overlay->add_peer(HostId{0});
+    c = overlay->add_peer(HostId{5});
+    d = overlay->add_peer(HostId{9});
+    e = overlay->add_peer(HostId{14});
+    b = overlay->add_peer(HostId{20});
     overlay->connect(f, c);  // 5
     overlay->connect(c, d);  // 4
     overlay->connect(d, e);  // 5
@@ -50,14 +50,15 @@ struct Example {
   std::vector<std::vector<PeerId>> blind_sets() const {
     std::vector<std::vector<PeerId>> sets(overlay->peer_count());
     for (const PeerId p : overlay->online_peers())
-      for (const auto& n : overlay->neighbors(p)) sets[p].push_back(n.node);
+      for (const auto& n : overlay->neighbors(p))
+        sets[p.value()].push_back(peer_of(n));
     return sets;
   }
 
   std::vector<std::vector<PeerId>> tree_sets(std::uint32_t h) const {
     std::vector<std::vector<PeerId>> sets(overlay->peer_count());
     for (const PeerId p : overlay->online_peers())
-      sets[p] = build_local_tree(build_closure(*overlay, p, h)).flooding;
+      sets[p.value()] = build_local_tree(build_closure(*overlay, p, h)).flooding;
     return sets;
   }
 

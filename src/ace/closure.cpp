@@ -6,11 +6,11 @@
 
 namespace ace {
 
-NodeId LocalClosure::to_local(PeerId peer) const {
-  return peer < local_index.size() ? local_index[peer] : kInvalidNode;
+LocalNodeId LocalClosure::to_local(PeerId peer) const {
+  return peer < local_index.size() ? local_index[peer] : kInvalidLocalNode;
 }
 
-bool LocalClosure::is_probed_pair(NodeId a, NodeId b) const {
+bool LocalClosure::is_probed_pair(LocalNodeId a, LocalNodeId b) const {
   if (a > b) std::swap(a, b);
   // probed_pairs is lexicographically sorted by construction (ascending
   // (i, j) sweep over the ascending direct-neighbor list; lossy pruning
@@ -25,9 +25,10 @@ void LocalClosure::debug_validate(std::uint32_t hop_bound) const {
   ACE_CHECK_EQ(path_cost.size(), nodes.size()) << " — path_cost misaligned";
   ACE_CHECK_EQ(local.node_count(), nodes.size())
       << " — local graph size mismatch";
-  ACE_CHECK_EQ(depth[0], 0u) << " — source must sit at depth 0";
-  ACE_CHECK_EQ(path_cost[0], 0.0) << " — source path cost must be 0";
-  for (NodeId li = 1; li < nodes.size(); ++li) {
+  ACE_CHECK_EQ(depth[LocalNodeId{0}], 0u) << " — source must sit at depth 0";
+  ACE_CHECK_EQ(path_cost[LocalNodeId{0}], 0.0)
+      << " — source path cost must be 0";
+  for (LocalNodeId li{1}; li < nodes.size(); ++li) {
     ACE_CHECK_GE(depth[li], 1u) << " — only the source may be at depth 0";
     ACE_CHECK_LE(depth[li], hop_bound)
         << " — member " << nodes[li] << " breaches the hop bound";
@@ -36,15 +37,15 @@ void LocalClosure::debug_validate(std::uint32_t hop_bound) const {
     ACE_CHECK_GT(path_cost[li], 0)
         << " — non-positive discovery path cost for member " << nodes[li];
   }
-  for (NodeId li = 0; li < nodes.size(); ++li) {
+  for (LocalNodeId li{0}; li < nodes.size(); ++li) {
     ACE_CHECK_LT(nodes[li], local_index.size())
         << " — member " << nodes[li] << " outside local_index range";
     ACE_CHECK_EQ(local_index[nodes[li]], li)
         << " — local_index does not invert nodes[] for peer " << nodes[li];
   }
   std::size_t mapped = 0;
-  for (const NodeId li : local_index)
-    if (li != kInvalidNode) ++mapped;
+  for (const LocalNodeId li : local_index)
+    if (li != kInvalidLocalNode) ++mapped;
   ACE_CHECK_EQ(mapped, nodes.size())
       << " — local_index maps peers outside the closure";
   ACE_CHECK(std::is_sorted(probed_pairs.begin(), probed_pairs.end()))
@@ -52,7 +53,7 @@ void LocalClosure::debug_validate(std::uint32_t hop_bound) const {
   for (const auto& [a, b] : probed_pairs) {
     ACE_CHECK_LT(a, b) << " — probed pair not stored sorted";
     ACE_CHECK_LT(b, nodes.size()) << " — probed pair outside the closure";
-    ACE_CHECK(local.has_edge(a, b))
+    ACE_CHECK(local.has_edge(a.value(), b.value()))
         << "probed pair " << a << "-" << b << " has no local edge";
   }
   local.debug_validate();
@@ -79,12 +80,12 @@ void build_closure_into(const OverlayNetwork& overlay, PeerId source,
   // closure's entries member-by-member before clearing `nodes` (this
   // function always leaves local_index consistent with nodes), so repeat
   // builds touch only a closure-sized slice of the array.
-  std::vector<NodeId>& local_index = closure.local_index;
+  IdVector<PeerId, LocalNodeId>& local_index = closure.local_index;
   if (local_index.size() != overlay.peer_count()) {
-    local_index.assign(overlay.peer_count(), kInvalidNode);
+    local_index.assign(overlay.peer_count(), kInvalidLocalNode);
   } else {
     for (const PeerId member : closure.nodes)
-      local_index[member] = kInvalidNode;
+      local_index[member] = kInvalidLocalNode;
   }
   closure.nodes.clear();
   closure.depth.clear();
@@ -97,16 +98,20 @@ void build_closure_into(const OverlayNetwork& overlay, PeerId source,
   closure.nodes.push_back(source);
   closure.depth.push_back(0);
   closure.path_cost.push_back(0);
-  local_index[source] = 0;
+  local_index[source] = LocalNodeId{0};
   for (std::size_t head = 0; head < closure.nodes.size(); ++head) {
-    const NodeId lu = static_cast<NodeId>(head);
-    const PeerId u = closure.nodes[head];
+    // ace-id: boundary(the BFS head position is the member's local id)
+    const LocalNodeId lu{static_cast<std::uint32_t>(head)};
+    const PeerId u = closure.nodes[lu];
     const std::uint32_t du = closure.depth[lu];
     if (du == h) continue;
     for (const auto& n : overlay.neighbors(u)) {
-      if (local_index[n.node] != kInvalidNode) continue;
-      local_index[n.node] = static_cast<NodeId>(closure.nodes.size());
-      closure.nodes.push_back(n.node);
+      const PeerId q = peer_of(n);
+      if (local_index[q] != kInvalidLocalNode) continue;
+      // ace-id: boundary(a new member's local id is its slot in nodes[])
+      local_index[q] = LocalNodeId{static_cast<std::uint32_t>(
+          closure.nodes.size())};
+      closure.nodes.push_back(q);
       closure.depth.push_back(du + 1);
       closure.path_cost.push_back(closure.path_cost[lu] + n.weight);
     }
@@ -114,14 +119,14 @@ void build_closure_into(const OverlayNetwork& overlay, PeerId source,
 
   // Induced subgraph (node storage reused across rebuilds).
   closure.local.reset_nodes(closure.nodes.size());
-  for (NodeId li = 0; li < closure.nodes.size(); ++li) {
+  for (LocalNodeId li{0}; li < closure.nodes.size(); ++li) {
     const PeerId u = closure.nodes[li];
     for (const auto& n : overlay.neighbors(u)) {
-      const NodeId lj = local_index[n.node];
-      if (lj == kInvalidNode || lj <= li) continue;
+      const LocalNodeId lj = local_index[peer_of(n)];
+      if (lj == kInvalidLocalNode || lj <= li) continue;
       // Each member pair is visited exactly once (lj > li filter over an
       // overlay with unique edges), so skip add_edge's duplicate probe.
-      closure.local.add_new_edge(li, lj, n.weight);
+      closure.local.add_new_edge(li.value(), lj.value(), n.weight);
     }
   }
 
@@ -129,18 +134,18 @@ void build_closure_into(const OverlayNetwork& overlay, PeerId source,
     // Phase 1 gives the source the cost between ANY pair of its direct
     // neighbors: fill in the missing pairs with probed delays. Depth-1
     // members occupy a contiguous local-id prefix starting at 1.
-    std::vector<NodeId>& direct = scratch.direct;
+    std::vector<LocalNodeId>& direct = scratch.direct;
     direct.clear();
-    for (NodeId li = 1;
+    for (LocalNodeId li{1};
          li < closure.size() && closure.depth[li] == 1; ++li)
       direct.push_back(li);
     for (std::size_t i = 0; i < direct.size(); ++i) {
       for (std::size_t j = i + 1; j < direct.size(); ++j) {
-        const NodeId a = direct[i], b = direct[j];
-        if (closure.local.has_edge(a, b)) continue;
+        const LocalNodeId a = direct[i], b = direct[j];
+        if (closure.local.has_edge(a.value(), b.value())) continue;
         const Weight d =
             overlay.peer_delay(closure.nodes[a], closure.nodes[b]);
-        closure.local.add_edge(a, b, d > 0 ? d : 1e-6);
+        closure.local.add_edge(a.value(), b.value(), d > 0 ? d : 1e-6);
         closure.probed_pairs.emplace_back(a, b);
       }
     }

@@ -27,37 +27,40 @@ enum class ClosureEdges : std::uint8_t {
 };
 
 struct LocalClosure {
-  // Closure members in BFS discovery order; nodes[0] is the source.
-  std::vector<PeerId> nodes;
+  // Closure members in BFS discovery order; nodes[0] is the source. Indexed
+  // by LocalNodeId — the closure-local id domain (util/strong_id.h).
+  IdVector<LocalNodeId, PeerId> nodes;
   // Overlay hop depth of each member (aligned with `nodes`).
-  std::vector<std::uint32_t> depth;
+  IdVector<LocalNodeId, std::uint32_t> depth;
   // Cumulative link cost along the BFS discovery path source -> member
   // (aligned with `nodes`). This is the distance a member's cost table
   // travels to reach the source, so it prices the h-hop table propagation.
-  std::vector<Weight> path_cost;
-  // Local graph over the members; local node i corresponds to nodes[i].
+  IdVector<LocalNodeId, Weight> path_cost;
+  // Local graph over the members; local node i corresponds to
+  // nodes[LocalNodeId{i}] — the raw kernel index IS the local id's value.
   // Edge weights are overlay link costs (and probed pair costs when
   // requested).
   Graph local;
-  // Reverse map: global peer id -> local index, as a peer_count-sized flat
-  // array (kInvalidNode for non-members). A sparse vector instead of a hash
-  // map: to_local is a single array read, the fill is one store per member,
-  // and rebuild-heavy paths (the incremental engine) reuse the allocation.
-  std::vector<NodeId> local_index;
+  // Reverse map: global peer id -> local id, as a peer_count-sized flat
+  // array (kInvalidLocalNode for non-members). A sparse vector instead of a
+  // hash map: to_local is a single array read, the fill is one store per
+  // member, and rebuild-heavy paths (the incremental engine) reuse the
+  // allocation.
+  IdVector<PeerId, LocalNodeId> local_index;
   // Local-id pairs that exist only as probed costs, not as overlay links
   // (empty under ClosureEdges::kOverlayOnly). Sorted pairs (a < b).
-  std::vector<std::pair<NodeId, NodeId>> probed_pairs;
+  std::vector<std::pair<LocalNodeId, LocalNodeId>> probed_pairs;
 
-  bool is_probed_pair(NodeId a, NodeId b) const;
+  bool is_probed_pair(LocalNodeId a, LocalNodeId b) const;
 
   std::size_t size() const noexcept { return nodes.size(); }
-  PeerId to_global(NodeId local_id) const {
+  PeerId to_global(LocalNodeId local_id) const {
     ACE_CHECK_LT(local_id, nodes.size())
         << " — local id outside this closure";
     return nodes[local_id];
   }
-  // kInvalidNode when the peer is outside the closure.
-  NodeId to_local(PeerId peer) const;
+  // kInvalidLocalNode when the peer is outside the closure.
+  LocalNodeId to_local(PeerId peer) const;
 
   // Total table entries a source must receive to know this closure: the
   // sum of member degrees (each member's full neighbor cost table). Used
@@ -78,7 +81,7 @@ struct LocalClosure {
 // the pairwise-probe pass. One instance per engine/driver; the same buffer
 // serves every rebuild, so the steady-state hot path allocates nothing.
 struct ClosureScratch {
-  std::vector<NodeId> direct;
+  std::vector<LocalNodeId> direct;
 };
 
 // build_closure writing into `out`, reusing its vectors' capacity (and

@@ -53,7 +53,7 @@ void CostTableStore::refresh_peer(const OverlayNetwork& overlay, PeerId peer,
   const double probe_size = size_factor(sizing_, MessageType::kProbe) +
                             size_factor(sizing_, MessageType::kProbeReply);
   for (const auto& n : overlay.neighbors(peer)) {
-    table.record(n.node, n.weight);
+    table.record(peer_of(n), n.weight);
     ++overhead.probes;
     overhead.probe_traffic += probe_size * n.weight;
   }
@@ -79,7 +79,7 @@ void CostTableStore::refresh_peer_via(const OverlayNetwork& overlay,
   const NeighborCostTable previous = table;
   table.clear();
   for (const auto& n : overlay.neighbors(peer)) {
-    const auto neighbor = static_cast<PeerId>(n.node);
+    const PeerId neighbor = peer_of(n);
     ++overhead.probes;
     const std::optional<Weight> measured =
         transport.probe(peer, neighbor, overhead.probe_traffic);
@@ -116,7 +116,7 @@ NeighborCostTable& CostTableStore::table(PeerId peer) {
 }
 
 void CostTableStore::debug_validate(const OverlayNetwork& overlay) const {
-  for (PeerId p = 0; p < tables_.size(); ++p) {
+  for (PeerId p{0}; p < tables_.size(); ++p) {
     for (const CostEntry& e : tables_[p].entries()) {
       ACE_CHECK_NE(e.neighbor, kInvalidPeer)
           << " — peer " << p << " recorded an invalid neighbor";

@@ -113,7 +113,7 @@ class CostTableStore {
   // ace-digest: exempt(sizing_): pricing constants fixed at construction;
   // their effect is digested through the traffic totals they produce.
   MessageSizing sizing_;
-  std::vector<NeighborCostTable> tables_;
+  IdVector<PeerId, NeighborCostTable> tables_;
 };
 
 }  // namespace ace

@@ -62,7 +62,7 @@ void AceEngine::charge_closure(PeerId peer, const LocalClosure& closure,
                                RoundReport& report) const {
   // Account the table entries the source works with either way.
   std::uint32_t max_depth = 0;
-  for (NodeId li = 1; li < closure.size(); ++li) {
+  for (LocalNodeId li{1}; li < closure.size(); ++li) {
     report.closure_entries += overlay_->degree(closure.nodes[li]);
     max_depth = std::max(max_depth, closure.depth[li]);
   }
@@ -71,7 +71,7 @@ void AceEngine::charge_closure(PeerId peer, const LocalClosure& closure,
   if (config_.overhead_model == OverheadModel::kFullPropagation) {
     // Worst case: every member's full table travels its BFS path to the
     // source each round. Depth-1 members are already paid for in phase 1.
-    for (NodeId li = 1; li < closure.size(); ++li) {
+    for (LocalNodeId li{1}; li < closure.size(); ++li) {
       if (closure.depth[li] <= 1) continue;
       const std::size_t entries = overlay_->degree(closure.nodes[li]);
       const double msg =
@@ -95,7 +95,7 @@ void AceEngine::charge_closure(PeerId peer, const LocalClosure& closure,
 bool AceEngine::cache_valid(const PeerCacheEntry& entry) const {
   const std::size_t n = entry.closure.nodes.size();
   ACE_DCHECK_EQ(entry.member_versions.size(), n);
-  for (std::size_t i = 0; i < n; ++i) {
+  for (LocalNodeId i{0}; i < n; ++i) {
     if (overlay_->topology_version(entry.closure.nodes[i]) !=
         entry.member_versions[i])
       return false;
@@ -159,7 +159,7 @@ const LocalTree& AceEngine::refresh_peer_tree(PeerId peer,
     // every retry is dropped from the local graph, so the phase-2 MST
     // ranges over what the peer actually measured this round (loss
     // degrades the tree instead of silently using unknown costs).
-    std::vector<std::pair<NodeId, NodeId>> surviving;
+    std::vector<std::pair<LocalNodeId, LocalNodeId>> surviving;
     surviving.reserve(entry.closure.probed_pairs.size());
     for (const auto& [a, b] : entry.closure.probed_pairs) {
       ++report.pair_probes;
@@ -174,7 +174,7 @@ const LocalTree& AceEngine::refresh_peer_tree(PeerId peer,
           pruned_closure = entry.closure;
           pruned = true;
         }
-        pruned_closure.local.remove_edge(a, b);
+        pruned_closure.local.remove_edge(a.value(), b.value());
       }
     }
     if (pruned) pruned_closure.probed_pairs = std::move(surviving);
@@ -185,7 +185,8 @@ const LocalTree& AceEngine::refresh_peer_tree(PeerId peer,
     for (const auto& [a, b] : entry.closure.probed_pairs) {
       ++report.pair_probes;
       report.pair_probe_traffic +=
-          pair_probe_size * entry.closure.local.edge_weight(a, b).value();
+          pair_probe_size *
+          entry.closure.local.edge_weight(a.value(), b.value()).value();
     }
   }
 
@@ -215,12 +216,12 @@ const LocalTree& AceEngine::refresh_peer_tree(PeerId peer,
         size_factor(config_.sizing, MessageType::kConnect);
     bool changed = false;
     std::size_t established = 0;
-    for (const Edge& e : entry.tree.virtual_edges) {
+    for (const PeerEdge& e : entry.tree.virtual_edges) {
       if (config_.max_establish_per_step != 0 &&
           established >= config_.max_establish_per_step)
         break;
-      const auto u = static_cast<PeerId>(e.u);
-      const auto v = static_cast<PeerId>(e.v);
+      const PeerId u = e.u;
+      const PeerId v = e.v;
       // Peers refuse connections beyond their hard capacity (2x the trim
       // ceiling — see Phase3Optimizer::consider_candidate on why central
       // hubs get headroom).
@@ -404,7 +405,7 @@ void AceEngine::on_peer_join(PeerId peer) {
   forwarding_.invalidate(peer);
   // Its new neighbors' trees are stale too.
   for (const auto& n : overlay_->neighbors(peer))
-    forwarding_.invalidate(n.node);
+    forwarding_.invalidate(peer_of(n));
 }
 
 void AceEngine::on_peer_leave(PeerId peer,

@@ -187,7 +187,8 @@ class AceEngine {
     bool tree_from_pre_probe = false;
     LocalClosure closure;
     LocalTree tree;
-    std::vector<std::uint64_t> member_versions;  // aligned with closure.nodes
+    // Aligned with closure.nodes (same LocalNodeId index space).
+    IdVector<LocalNodeId, TopologyVersion> member_versions;
   };
 
   // True when protocol messages travel the lossy transport; ACE_CHECKs
@@ -247,7 +248,7 @@ class AceEngine {
   // checkable for the cache machinery below.
   ThreadOwnership owner_;
   // Incremental per-peer cache, indexed by PeerId.
-  std::vector<PeerCacheEntry> cache_ ACE_GUARDED_BY(owner_);
+  IdVector<PeerId, PeerCacheEntry> cache_ ACE_GUARDED_BY(owner_);
   // Rebuild scratch shared by every closure build this engine runs: after
   // the first round the BFS/induced-subgraph path allocates nothing.
   ClosureScratch closure_scratch_ ACE_GUARDED_BY(owner_);

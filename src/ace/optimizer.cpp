@@ -59,9 +59,10 @@ std::vector<PeerId> candidate_list(const OverlayNetwork& overlay, PeerId peer,
                                    PeerId b) {
   std::vector<PeerId> out;
   for (const auto& n : overlay.neighbors(b)) {
-    if (n.node == peer) continue;
-    if (overlay.are_connected(peer, n.node)) continue;
-    out.push_back(n.node);
+    const PeerId q = peer_of(n);
+    if (q == peer) continue;
+    if (overlay.are_connected(peer, q)) continue;
+    out.push_back(q);
   }
   return out;
 }
@@ -165,9 +166,10 @@ OptimizeOutcome Phase3Optimizer::optimize_peer(
       PeerId worst = kInvalidPeer;
       Weight worst_cost = -1;
       for (const auto& n : overlay.neighbors(peer)) {
-        if (n.weight > worst_cost && overlay.degree(n.node) > config_.min_degree) {
+        const PeerId q = peer_of(n);
+        if (n.weight > worst_cost && overlay.degree(q) > config_.min_degree) {
           worst_cost = n.weight;
-          worst = n.node;
+          worst = q;
         }
       }
       if (worst == kInvalidPeer) break;

@@ -14,19 +14,23 @@ LocalTree build_local_tree(const LocalClosure& closure, TreeKind kind) {
   if (closure.size() == 0)
     throw std::invalid_argument{"build_local_tree: empty closure"};
   LocalTree tree;
-  const PeerId source = closure.nodes[0];
+  const PeerId source = closure.nodes[LocalNodeId{0}];
 
-  std::vector<Edge>& local_edges = tree.local_edges;
+  std::vector<LocalEdge>& local_edges = tree.local_edges;
   if (kind == TreeKind::kMinimumSpanning) {
-    MstResult mst = prim_mst(closure.local, 0);
-    local_edges = std::move(mst.edges);
+    const MstResult mst = prim_mst(closure.local, 0);
+    local_edges.reserve(mst.edges.size());
+    for (const Edge& e : mst.edges)
+      // ace-id: boundary(MST node indices over closure.local ARE local ids)
+      local_edges.push_back({LocalNodeId{e.u}, LocalNodeId{e.v}, e.weight});
     tree.total_weight = mst.total_weight;
   } else {
     const ShortestPathResult spt = dijkstra(closure.local, 0);
     for (NodeId v = 1; v < closure.local.node_count(); ++v) {
       if (spt.parent[v] == kInvalidNode) continue;
       const Weight w = closure.local.edge_weight(spt.parent[v], v).value();
-      local_edges.push_back({spt.parent[v], v, w});
+      // ace-id: boundary(SPT node indices over closure.local ARE local ids)
+      local_edges.push_back({LocalNodeId{spt.parent[v]}, LocalNodeId{v}, w});
       tree.total_weight += w;
     }
   }
@@ -34,24 +38,25 @@ LocalTree build_local_tree(const LocalClosure& closure, TreeKind kind) {
   // Map to global ids and find the source's tree-adjacent peers.
   std::vector<bool> adjacent_to_source(closure.size(), false);
   tree.edges.reserve(local_edges.size());
-  for (const Edge& e : local_edges) {
-    const Edge global{closure.to_global(e.u), closure.to_global(e.v),
-                      e.weight};
+  for (const LocalEdge& e : local_edges) {
+    const PeerEdge global{closure.to_global(e.u), closure.to_global(e.v),
+                          e.weight};
     tree.edges.push_back(global);
     if (closure.is_probed_pair(e.u, e.v)) tree.virtual_edges.push_back(global);
-    if (e.u == 0) adjacent_to_source[e.v] = true;
-    if (e.v == 0) adjacent_to_source[e.u] = true;
+    if (e.u == 0) adjacent_to_source[e.v.value()] = true;
+    if (e.v == 0) adjacent_to_source[e.u.value()] = true;
   }
 
   // Classify direct neighbors: the closure's depth-1 members are exactly
   // the source's logical neighbors.
-  for (NodeId li = 1; li < closure.size(); ++li) {
+  for (LocalNodeId li{1}; li < closure.size(); ++li) {
     if (closure.depth[li] != 1) continue;
     const PeerId peer = closure.nodes[li];
     // Tree-adjacent neighbors flood; neighbors isolated inside the closure
     // flood defensively (the search scope must never shrink).
-    if (adjacent_to_source[li] || closure.local.degree(li) == 0 ||
-        closure.to_local(peer) == kInvalidNode)
+    if (adjacent_to_source[li.value()] ||
+        closure.local.degree(li.value()) == 0 ||
+        closure.to_local(peer) == kInvalidLocalNode)
       tree.flooding.push_back(peer);
     else
       tree.non_flooding.push_back(peer);
@@ -63,13 +68,13 @@ LocalTree build_local_tree(const LocalClosure& closure, TreeKind kind) {
   // (prim_mst spans the source's component only.)
   std::vector<bool> in_tree_component(closure.size(), false);
   in_tree_component[0] = true;
-  for (const Edge& e : local_edges) {
-    in_tree_component[e.u] = true;
-    in_tree_component[e.v] = true;
+  for (const LocalEdge& e : local_edges) {
+    in_tree_component[e.u.value()] = true;
+    in_tree_component[e.v.value()] = true;
   }
   for (auto it = tree.non_flooding.begin(); it != tree.non_flooding.end();) {
-    const NodeId li = closure.to_local(*it);
-    if (!in_tree_component[li]) {
+    const LocalNodeId li = closure.to_local(*it);
+    if (!in_tree_component[li.value()]) {
       tree.flooding.push_back(*it);
       it = tree.non_flooding.erase(it);
     } else {
@@ -94,15 +99,15 @@ void debug_validate_tree(const LocalClosure& closure, const LocalTree& tree) {
   };
 
   Weight edge_sum = 0;
-  for (const Edge& e : tree.edges) {
-    const NodeId lu = closure.to_local(static_cast<PeerId>(e.u));
-    const NodeId lv = closure.to_local(static_cast<PeerId>(e.v));
-    ACE_CHECK_NE(lu, kInvalidNode)
+  for (const PeerEdge& e : tree.edges) {
+    const LocalNodeId lu = closure.to_local(e.u);
+    const LocalNodeId lv = closure.to_local(e.v);
+    ACE_CHECK_NE(lu, kInvalidLocalNode)
         << " — tree edge endpoint " << e.u << " outside the closure";
-    ACE_CHECK_NE(lv, kInvalidNode)
+    ACE_CHECK_NE(lv, kInvalidLocalNode)
         << " — tree edge endpoint " << e.v << " outside the closure";
     ACE_CHECK_GT(e.weight, 0) << " — non-positive tree edge weight";
-    const NodeId ru = find(lu), rv = find(lv);
+    const NodeId ru = find(lu.value()), rv = find(lv.value());
     ACE_CHECK_NE(ru, rv) << " — cycle through tree edge " << e.u << "-" << e.v;
     parent[ru] = rv;
     edge_sum += e.weight;
@@ -127,9 +132,9 @@ void debug_validate_tree(const LocalClosure& closure, const LocalTree& tree) {
     }
   }
   const NodeId source_root = find(0);
-  for (NodeId li = 0; li < closure.size(); ++li) {
-    if (!reachable[li]) continue;
-    ACE_CHECK_EQ(find(li), source_root)
+  for (LocalNodeId li{0}; li < closure.size(); ++li) {
+    if (!reachable[li.value()]) continue;
+    ACE_CHECK_EQ(find(li.value()), source_root)
         << " — reachable member " << closure.nodes[li]
         << " not spanned by the tree";
   }
@@ -143,7 +148,7 @@ void debug_validate_tree(const LocalClosure& closure, const LocalTree& tree) {
             classified.end())
       << "a neighbor is classified both flooding and non-flooding";
   std::vector<PeerId> direct;
-  for (NodeId li = 1; li < closure.size(); ++li)
+  for (LocalNodeId li{1}; li < closure.size(); ++li)
     if (closure.depth[li] == 1) direct.push_back(closure.nodes[li]);
   std::sort(direct.begin(), direct.end());
   ACE_CHECK(classified == direct)
@@ -155,8 +160,8 @@ void debug_validate_tree(const LocalClosure& closure, const LocalTree& tree) {
   ACE_CHECK_EQ(tree.local_edges.size(), tree.edges.size())
       << " — local_edges out of sync with edges";
   for (std::size_t i = 0; i < tree.local_edges.size(); ++i) {
-    const Edge& le = tree.local_edges[i];
-    const Edge& ge = tree.edges[i];
+    const LocalEdge& le = tree.local_edges[i];
+    const PeerEdge& ge = tree.edges[i];
     ACE_CHECK_LT(le.u, closure.size()) << " — local edge outside the closure";
     ACE_CHECK_LT(le.v, closure.size()) << " — local edge outside the closure";
     ACE_CHECK_EQ(closure.to_global(le.u), ge.u)
@@ -167,12 +172,12 @@ void debug_validate_tree(const LocalClosure& closure, const LocalTree& tree) {
         << " — local/global edge weight mismatch at index " << i;
   }
 
-  for (const Edge& v : tree.virtual_edges) {
+  for (const PeerEdge& v : tree.virtual_edges) {
     ACE_CHECK(std::find(tree.edges.begin(), tree.edges.end(), v) !=
               tree.edges.end())
         << "virtual edge " << v.u << "-" << v.v << " is not a tree edge";
-    const NodeId lu = closure.to_local(static_cast<PeerId>(v.u));
-    const NodeId lv = closure.to_local(static_cast<PeerId>(v.v));
+    const LocalNodeId lu = closure.to_local(v.u);
+    const LocalNodeId lv = closure.to_local(v.v);
     ACE_CHECK(closure.is_probed_pair(lu, lv))
         << "virtual edge " << v.u << "-" << v.v
         << " is not backed by a probed pair";
@@ -190,9 +195,9 @@ TreeRouting make_tree_routing(const LocalTree& tree, PeerId source) {
   std::vector<PeerId> members;
   members.reserve(2 * tree.edges.size() + 1);
   members.push_back(source);
-  for (const Edge& e : tree.edges) {
-    members.push_back(static_cast<PeerId>(e.u));
-    members.push_back(static_cast<PeerId>(e.v));
+  for (const PeerEdge& e : tree.edges) {
+    members.push_back(e.u);
+    members.push_back(e.v);
   }
   std::sort(members.begin(), members.end());
   members.erase(std::unique(members.begin(), members.end()), members.end());
@@ -211,9 +216,9 @@ TreeRouting make_tree_routing(const LocalTree& tree, PeerId source) {
   std::vector<std::uint32_t> ev(tree.edges.size());
   std::vector<std::uint32_t> offsets(m + 1, 0);
   for (std::size_t i = 0; i < tree.edges.size(); ++i) {
-    const Edge& e = tree.edges[i];
-    eu[i] = static_cast<std::uint32_t>(index_of(static_cast<PeerId>(e.u)));
-    ev[i] = static_cast<std::uint32_t>(index_of(static_cast<PeerId>(e.v)));
+    const PeerEdge& e = tree.edges[i];
+    eu[i] = static_cast<std::uint32_t>(index_of(e.u));
+    ev[i] = static_cast<std::uint32_t>(index_of(e.v));
     ++offsets[eu[i] + 1];
     ++offsets[ev[i] + 1];
   }
@@ -254,7 +259,7 @@ TreeRouting make_tree_routing(const LocalTree& tree, PeerId source) {
 
 TreeRouting make_tree_routing(const LocalClosure& closure,
                               const LocalTree& tree, PeerId source) {
-  ACE_CHECK_EQ(closure.nodes[0], source)
+  ACE_CHECK_EQ(closure.nodes[LocalNodeId{0}], source)
       << " — routing source is not the closure's source";
   ACE_CHECK_EQ(tree.local_edges.size(), tree.edges.size())
       << " — tree has no local edge list";
@@ -270,16 +275,16 @@ TreeRouting make_tree_routing(const LocalClosure& closure,
   // children lists — is byte-identical to the global-id overload's.
   const std::size_t m = closure.size();
   std::vector<std::uint32_t> offsets(m + 1, 0);
-  for (const Edge& e : tree.local_edges) {
-    ++offsets[e.u + 1];
-    ++offsets[e.v + 1];
+  for (const LocalEdge& e : tree.local_edges) {
+    ++offsets[e.u.value() + 1];
+    ++offsets[e.v.value() + 1];
   }
   for (std::size_t i = 0; i < m; ++i) offsets[i + 1] += offsets[i];
   std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
   std::vector<std::uint32_t> adjacency(2 * tree.local_edges.size());
-  for (const Edge& e : tree.local_edges) {
-    adjacency[cursor[e.u]++] = static_cast<std::uint32_t>(e.v);
-    adjacency[cursor[e.v]++] = static_cast<std::uint32_t>(e.u);
+  for (const LocalEdge& e : tree.local_edges) {
+    adjacency[cursor[e.u.value()]++] = e.v.value();
+    adjacency[cursor[e.v.value()]++] = e.u.value();
   }
 
   // BFS from the source (local id 0); the discovery vector with a head
@@ -296,11 +301,14 @@ TreeRouting make_tree_routing(const LocalClosure& closure,
       const std::uint32_t vi = adjacency[k];
       if (seen[vi]) continue;
       seen[vi] = 1;
-      kids.push_back(closure.nodes[vi]);
+      // ace-id: boundary(the CSR BFS stores local ids as raw queue entries)
+      kids.push_back(closure.nodes[LocalNodeId{vi}]);
       queue.push_back(vi);
     }
     if (!kids.empty())
-      routing.children.emplace_back(closure.nodes[ui], std::move(kids));
+      // ace-id: boundary(the CSR BFS stores local ids as raw queue entries)
+      routing.children.emplace_back(closure.nodes[LocalNodeId{ui}],
+                                    std::move(kids));
   }
   // BFS emits relays in dequeue order; find_children needs key order.
   std::sort(routing.children.begin(), routing.children.end(),
@@ -329,11 +337,11 @@ std::vector<TreeWalkStep> walk_query_over_trees(
   std::priority_queue<Tx, std::vector<Tx>, std::greater<>> heap;
   std::vector<TreeWalkStep> steps;
   std::vector<bool> visited(overlay.peer_count(), false);
-  visited[source] = true;
+  visited[source.value()] = true;
   std::uint64_t seq = 0;
 
   auto expand = [&](PeerId peer, PeerId from, double at) {
-    for (const PeerId q : flooding_sets[peer]) {
+    for (const PeerId q : flooding_sets[peer.value()]) {
       if (q == from) continue;
       if (!overlay.are_connected(peer, q)) continue;
       heap.push({at + overlay.link_cost(peer, q), q, peer, seq++});
@@ -347,10 +355,10 @@ std::vector<TreeWalkStep> walk_query_over_trees(
     step.from = tx.from;
     step.to = tx.to;
     step.cost = overlay.link_cost(tx.from, tx.to);
-    step.duplicate = visited[tx.to];
+    step.duplicate = visited[tx.to.value()];
     steps.push_back(step);
     if (step.duplicate) continue;
-    visited[tx.to] = true;
+    visited[tx.to.value()] = true;
     expand(tx.to, tx.from, tx.at);
   }
   return steps;

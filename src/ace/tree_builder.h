@@ -22,13 +22,13 @@ enum class TreeKind : std::uint8_t {
 
 struct LocalTree {
   // Tree edges in *global* peer ids.
-  std::vector<Edge> edges;
+  std::vector<PeerEdge> edges;
   // The same edges in closure-local ids, in the same order (so
   // local_edges[i] maps to edges[i] under the closure's nodes[] table).
   // Kept so routing can be rebuilt over local ids without re-indexing the
   // global id set; valid against any closure sharing the source closure's
   // node list (lossy pruning removes edges, never members).
-  std::vector<Edge> local_edges;
+  std::vector<LocalEdge> local_edges;
   Weight total_weight = 0;
   // The source's direct neighbors that lie adjacent to it on the tree.
   std::vector<PeerId> flooding;
@@ -39,7 +39,7 @@ struct LocalTree {
   // ESTABLISHING so the multicast tree is realizable: the source expects
   // e.g. neighbor B to forward its query to neighbor C, which requires a
   // B-C link. Empty when the closure was built kOverlayOnly.
-  std::vector<Edge> virtual_edges;
+  std::vector<PeerEdge> virtual_edges;
 };
 
 // Builds the local multicast tree for closure.nodes[0]. Direct neighbors

@@ -81,7 +81,7 @@ class IndexCacheLayer final : public ContentOracle {
   const OverlayNetwork* overlay_ = nullptr;
   // Mutable: lookup refreshes LRU recency and evicts stale entries; both
   // are logically-const cache maintenance.
-  mutable std::vector<LruIndexCache> caches_;
+  mutable IdVector<PeerId, LruIndexCache> caches_;
 };
 
 }  // namespace ace

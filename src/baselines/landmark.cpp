@@ -44,7 +44,8 @@ OverlayNetwork build_landmark_overlay(const PhysicalNetwork& physical,
   std::vector<HostId> landmarks;
   for (const std::size_t i :
        rng.sample_indices(physical.host_count(), config.landmarks))
-    landmarks.push_back(static_cast<HostId>(i));
+    // ace-id: boundary(sampled indices range over the physical host table)
+    landmarks.push_back(HostId{static_cast<std::uint32_t>(i)});
 
   const auto coords = landmark_coordinates(physical, peer_hosts, landmarks);
 
@@ -53,8 +54,8 @@ OverlayNetwork build_landmark_overlay(const PhysicalNetwork& physical,
 
   const std::size_t n = peer_hosts.size();
   std::vector<std::size_t> order(n);
-  for (PeerId p = 0; p < n; ++p) {
-    // Coordinate-nearest peers.
+  for (PeerId p{0}; p < n; ++p) {
+    // Coordinate-nearest peers (coords is indexed in peer order).
     std::iota(order.begin(), order.end(), 0);
     std::partial_sort(
         order.begin(),
@@ -62,18 +63,20 @@ OverlayNetwork build_landmark_overlay(const PhysicalNetwork& physical,
             static_cast<std::ptrdiff_t>(
                 std::min(config.proximity_links + 1, n)),
         order.end(), [&](std::size_t a, std::size_t b) {
-          return coordinate_distance(coords[p], coords[a]) <
-                 coordinate_distance(coords[p], coords[b]);
+          return coordinate_distance(coords[p.value()], coords[a]) <
+                 coordinate_distance(coords[p.value()], coords[b]);
         });
     std::size_t made = 0;
     for (const std::size_t q : order) {
-      if (q == p) continue;
+      if (q == p.value()) continue;
       if (made >= config.proximity_links) break;
-      overlay.connect(p, static_cast<PeerId>(q));
+      // ace-id: boundary(the sort order ranges over peer slots)
+      overlay.connect(p, PeerId{static_cast<std::uint32_t>(q)});
       ++made;  // counts attempts so already-connected pairs still consume
     }
     for (std::size_t r = 0; r < config.random_links; ++r) {
-      const auto q = static_cast<PeerId>(rng.next_below(n));
+      // ace-id: boundary(a uniform draw below peer_count is a peer slot)
+      const PeerId q{static_cast<std::uint32_t>(rng.next_below(n))};
       if (q != p) overlay.connect(p, q);
     }
   }

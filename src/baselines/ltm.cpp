@@ -35,13 +35,13 @@ void LtmEngine::step_peer(PeerId peer, Rng& rng, LtmRoundReport& report) {
   const double detector_size = size_factor(config_.sizing, MessageType::kPing);
   std::vector<PeerId> neighbors;
   for (const auto& n : overlay_->neighbors(peer)) {
-    neighbors.push_back(n.node);
+    neighbors.push_back(peer_of(n));
     ++report.detectors;
     report.detector_traffic += detector_size * n.weight;
   }
   for (const PeerId v : neighbors) {
     for (const auto& n2 : overlay_->neighbors(v)) {
-      if (n2.node == peer) continue;
+      if (peer_of(n2) == peer) continue;
       ++report.detectors;
       report.detector_traffic += detector_size * n2.weight;
     }
@@ -82,9 +82,9 @@ void LtmEngine::step_peer(PeerId peer, Rng& rng, LtmRoundReport& report) {
     // Candidate pool: neighbors of neighbors, not already adjacent.
     std::vector<PeerId> pool;
     for (const auto& n : overlay_->neighbors(peer))
-      for (const auto& n2 : overlay_->neighbors(n.node))
-        if (n2.node != peer && !overlay_->are_connected(peer, n2.node))
-          pool.push_back(n2.node);
+      for (const auto& n2 : overlay_->neighbors(peer_of(n)))
+        if (peer_of(n2) != peer && !overlay_->are_connected(peer, peer_of(n2)))
+          pool.push_back(peer_of(n2));
     if (pool.empty()) break;
     const PeerId candidate = pool[rng.next_below(pool.size())];
     if (overlay_->peer_delay(peer, candidate) < worst)
@@ -98,10 +98,10 @@ void LtmEngine::step_peer(PeerId peer, Rng& rng, LtmRoundReport& report) {
     PeerId victim = kInvalidPeer;
     Weight worst = -1;
     for (const auto& n : overlay_->neighbors(peer)) {
-      if (overlay_->degree(n.node) <= config_.min_degree) continue;
+      if (overlay_->degree(peer_of(n)) <= config_.min_degree) continue;
       if (n.weight > worst) {
         worst = n.weight;
-        victim = n.node;
+        victim = peer_of(n);
       }
     }
     if (victim == kInvalidPeer) break;

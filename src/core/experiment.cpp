@@ -241,8 +241,8 @@ std::vector<DepthSample> run_depth_sweep(const ScenarioConfig& base,
   // and trace rows come out byte-identical to a sequential sweep.
   TrialRunner runner{threads};
   std::vector<DepthTrial> trials =
-      runner.run(depths.size(), [&](std::size_t i) {
-        return run_depth_trial(base, ace, depths[i], rounds, queries,
+      runner.run(depths.size(), [&](TrialIndex i) {
+        return run_depth_trial(base, ace, depths[i.value()], rounds, queries,
                                trace != nullptr, transport,
                                maintenance_rounds);
       });

@@ -6,6 +6,7 @@
 #include <memory>
 #include <thread>
 
+#include "util/check.h"
 #include "util/sync.h"
 #include "util/thread_annotations.h"
 
@@ -37,7 +38,7 @@ struct TrialRunner::Pool {
     // before installing the job under the pool mutex, and workers only see
     // the job via that mutex (the release/acquire pair orders the writes).
     std::size_t count = 0;
-    const std::function<void(std::size_t)>* body = nullptr;
+    const std::function<void(TrialIndex)>* body = nullptr;
     std::atomic<std::size_t> next_index{0};
     std::atomic<bool> failed{false};
     Mutex mutex;
@@ -61,7 +62,7 @@ struct TrialRunner::Pool {
     for (std::thread& w : workers) w.join();
   }
 
-  void run(std::size_t count, const std::function<void(std::size_t)>& body)
+  void run(std::size_t count, const std::function<void(TrialIndex)>& body)
       ACE_EXCLUDES(mutex) {
     auto job = std::make_shared<Job>();
     job->count = count;
@@ -119,7 +120,8 @@ struct TrialRunner::Pool {
         if (i >= job->count) break;
         if (!job->failed.load(std::memory_order_acquire)) {
           try {
-            (*job->body)(i);
+            // ace-id: boundary(the claimed counter position is the trial slot)
+            (*job->body)(TrialIndex{static_cast<std::uint32_t>(i)});
           } catch (...) {
             MutexLock lock{job->mutex};
             if (!job->first_error) job->first_error = std::current_exception();
@@ -159,10 +161,14 @@ TrialRunner::~TrialRunner() { delete pool_; }
 std::size_t TrialRunner::thread_count() const noexcept { return threads_; }
 
 void TrialRunner::run_indexed(std::size_t count,
-                              const std::function<void(std::size_t)>& body) {
+                              const std::function<void(TrialIndex)>& body) {
   if (count == 0) return;
+  ACE_CHECK_LE(count, static_cast<std::size_t>(UINT32_MAX))
+      << " — trial count exceeds the TrialIndex domain";
   if (pool_ == nullptr) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
+    for (std::size_t i = 0; i < count; ++i)
+      // ace-id: boundary(the inline loop counter is the trial slot)
+      body(TrialIndex{static_cast<std::uint32_t>(i)});
     return;
   }
   pool_->run(count, body);

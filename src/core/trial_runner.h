@@ -21,6 +21,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/strong_id.h"
+
 namespace ace {
 
 class TrialRunner {
@@ -35,28 +37,28 @@ class TrialRunner {
 
   std::size_t thread_count() const noexcept;
 
-  // Runs body(i) for every i in [0, count), sharding across the pool.
-  // Blocks until all claimed trials finish; rethrows the first trial
+  // Runs body(TrialIndex{i}) for every i in [0, count), sharding across the
+  // pool. Blocks until all claimed trials finish; rethrows the first trial
   // exception. `body` must treat distinct indices as independent (it is
   // called concurrently from pool threads when thread_count() > 1).
   void run_indexed(std::size_t count,
-                   const std::function<void(std::size_t)>& body);
+                   const std::function<void(TrialIndex)>& body);
 
-  // Typed convenience: returns fn(i) results in index order. Result must be
-  // default-constructible and movable, and must not be bool:
+  // Typed convenience: returns fn(i) results in trial-index order. Result
+  // must be default-constructible and movable, and must not be bool:
   // std::vector<bool> packs elements into shared bitfield words, so
   // concurrent slots[i] writes from pool threads would be a data race.
   // Return a small struct or uint8_t instead.
   template <typename Fn>
   auto run(std::size_t count, Fn&& fn)
-      -> std::vector<decltype(fn(std::size_t{}))> {
-    using Result = decltype(fn(std::size_t{}));
+      -> std::vector<decltype(fn(TrialIndex{}))> {
+    using Result = decltype(fn(TrialIndex{}));
     static_assert(!std::is_same_v<Result, bool>,
                   "TrialRunner::run cannot return std::vector<bool>: "
                   "concurrent per-index writes to packed bits are a data "
                   "race; return uint8_t or a struct instead");
     std::vector<Result> slots(count);
-    run_indexed(count, [&](std::size_t i) { slots[i] = fn(i); });
+    run_indexed(count, [&](TrialIndex i) { slots[i.value()] = fn(i); });
     return slots;
   }
 

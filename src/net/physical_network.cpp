@@ -69,7 +69,7 @@ const PhysicalNetwork::Row& PhysicalNetwork::row_for(HostId source) const {
   }
 
   ++stats_.misses;
-  solver_.run(source);
+  solver_.run(source.value());
   Row row;
   row.dist.resize(topology_.node_count());
   row.parent.resize(topology_.node_count());
@@ -99,7 +99,7 @@ Weight PhysicalNetwork::delay(HostId a, HostId b) const {
   // Use whichever endpoint already has a cached row to avoid duplicates
   // (delays are symmetric, so either row answers the query).
   if (!cache_.contains(a) && cache_.contains(b)) std::swap(a, b);
-  return static_cast<Weight>(row_for(a).dist[b]);
+  return static_cast<Weight>(row_for(a).dist[b.value()]);
 }
 
 std::size_t PhysicalNetwork::path_hops(HostId a, HostId b) const {
@@ -113,11 +113,12 @@ std::vector<HostId> PhysicalNetwork::path(HostId a, HostId b) const {
     throw std::out_of_range{"PhysicalNetwork: host out of range"};
   if (a == b) return {a};
   const Row& row = row_for(a);
-  if (row.dist[b] == static_cast<float>(kUnreachable) ||
-      (row.parent[b] == kInvalidNode && b != a))
+  if (row.dist[b.value()] == static_cast<float>(kUnreachable) ||
+      (row.parent[b.value()] == kInvalidNode && b != a))
     return {};
   std::vector<HostId> nodes;
-  for (NodeId v = b; v != kInvalidNode; v = row.parent[v]) nodes.push_back(v);
+  for (NodeId v = b.value(); v != kInvalidNode; v = row.parent[v])
+    nodes.push_back(HostId{v});  // ace-id: boundary(Dijkstra parent chain is raw kernel node ids over the host topology)
   std::reverse(nodes.begin(), nodes.end());
   return nodes;
 }

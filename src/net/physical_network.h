@@ -30,12 +30,15 @@
 
 #include "graph/csr.h"
 #include "graph/graph.h"
+#include "util/strong_id.h"
 #include "util/sync.h"
 #include "util/thread_annotations.h"
 
 namespace ace {
 
-using HostId = NodeId;
+// HostId (util/strong_id.h) is its own domain: a peer id no longer works as
+// a host id by accident — the overlay converts explicitly at the peer→host
+// attachment point (PeerRecord::host).
 
 // Snapshot of the delay oracle's row-cache behavior (monotonic counters
 // since construction plus the current occupancy and configured bounds).

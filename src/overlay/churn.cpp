@@ -13,7 +13,7 @@ ChurnDriver::ChurnDriver(OverlayNetwork& overlay, Simulator& sim, Rng& rng,
       config_{config} {
   if (!(config_.mean_lifetime_s > 0))
     throw std::invalid_argument{"ChurnDriver: mean lifetime must be > 0"};
-  for (PeerId p = 0; p < overlay_->peer_count(); ++p)
+  for (PeerId p{0}; p < overlay_->peer_count(); ++p)
     if (!overlay_->is_online(p)) offline_pool_.push_back(p);
 }
 
@@ -25,7 +25,7 @@ double ChurnDriver::draw_lifetime() {
 }
 
 void ChurnDriver::start() {
-  for (PeerId p = 0; p < overlay_->peer_count(); ++p)
+  for (PeerId p{0}; p < overlay_->peer_count(); ++p)
     if (overlay_->is_online(p)) schedule_departure(p);
 }
 

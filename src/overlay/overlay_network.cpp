@@ -24,8 +24,8 @@ OverlayNetwork::OverlayNetwork(const PhysicalNetwork& physical,
     throw std::invalid_argument{
         "OverlayNetwork: hosts.size() != overlay node count"};
   for (const HostId h : hosts) add_peer(h, /*online=*/true);
-  for (const Edge& e : logical.edges())
-    connect(static_cast<PeerId>(e.u), static_cast<PeerId>(e.v));
+  // ace-id: boundary(pre-generated logical graphs index peers by node id)
+  for (const Edge& e : logical.edges()) connect(PeerId{e.u}, PeerId{e.v});
 }
 
 void OverlayNetwork::check_peer(PeerId p) const {
@@ -40,9 +40,10 @@ PeerId OverlayNetwork::add_peer(HostId host, bool online) {
   const NodeId node = logical_.add_node();
   (void)node;
   if (online) ++online_count_;
-  versions_.push_back(0);
+  versions_.push_back(TopologyVersion{});
   ++global_version_;  // node set changed: whole-overlay snapshots are stale
-  return static_cast<PeerId>(peers_.size() - 1);
+  // ace-id: boundary(a new peer's id is its slot in the peer table)
+  return PeerId{static_cast<std::uint32_t>(peers_.size() - 1)};
 }
 
 HostId OverlayNetwork::host_of(PeerId p) const {
@@ -69,7 +70,8 @@ bool OverlayNetwork::connect(PeerId a, PeerId b) {
   // Co-located hosts would yield a zero-weight edge; clamp to a small
   // positive value so graph invariants (positive weights) hold.
   // ace-lint: allow(overlay-adjacency-write): the version-bumping mutator.
-  if (!logical_.add_edge(a, b, cost > 0 ? cost : 1e-6)) return false;
+  if (!logical_.add_edge(a.value(), b.value(), cost > 0 ? cost : 1e-6))
+    return false;
   bump(a);
   bump(b);
   return true;
@@ -79,7 +81,7 @@ bool OverlayNetwork::disconnect(PeerId a, PeerId b) {
   check_peer(a);
   check_peer(b);
   // ace-lint: allow(overlay-adjacency-write): the version-bumping mutator.
-  if (!logical_.remove_edge(a, b)) return false;
+  if (!logical_.remove_edge(a.value(), b.value())) return false;
   bump(a);
   bump(b);
   return true;
@@ -88,29 +90,29 @@ bool OverlayNetwork::disconnect(PeerId a, PeerId b) {
 bool OverlayNetwork::are_connected(PeerId a, PeerId b) const {
   check_peer(a);
   check_peer(b);
-  return logical_.has_edge(a, b);
+  return logical_.has_edge(a.value(), b.value());
 }
 
 Weight OverlayNetwork::link_cost(PeerId a, PeerId b) const {
-  const auto w = logical_.edge_weight(a, b);
+  const auto w = logical_.edge_weight(a.value(), b.value());
   if (!w) throw std::invalid_argument{"OverlayNetwork: peers not connected"};
   return w.value();
 }
 
 std::span<const Neighbor> OverlayNetwork::neighbors(PeerId p) const {
   check_peer(p);
-  return logical_.neighbors(p);
+  return logical_.neighbors(p.value());
 }
 
 std::size_t OverlayNetwork::degree(PeerId p) const {
   check_peer(p);
-  return logical_.degree(p);
+  return logical_.degree(p.value());
 }
 
 std::vector<PeerId> OverlayNetwork::online_peers() const {
   std::vector<PeerId> out;
   out.reserve(online_count_);
-  for (PeerId p = 0; p < peers_.size(); ++p)
+  for (PeerId p{0}; p < peers_.size(); ++p)
     if (peers_[p].online) out.push_back(p);
   return out;
 }
@@ -127,7 +129,8 @@ PeerId OverlayNetwork::random_online_peer(Rng& rng, PeerId exclude) const {
   // Rejection sampling over the peer table: online fraction is high in all
   // our workloads, so this terminates quickly in expectation.
   for (;;) {
-    const auto p = static_cast<PeerId>(rng.next_below(peers_.size()));
+    // ace-id: boundary(uniform draw over the peer table's slot range)
+    const PeerId p{static_cast<std::uint32_t>(rng.next_below(peers_.size()))};
     if (p != exclude && peers_[p].online) return p;
   }
 }
@@ -156,9 +159,10 @@ std::vector<PeerId> OverlayNetwork::leave(PeerId p,
                                           Rng& rng) {
   check_peer(p);
   std::vector<PeerId> dropped;
-  for (const auto& n : logical_.neighbors(p)) dropped.push_back(n.node);
+  for (const auto& n : logical_.neighbors(p.value()))
+    dropped.push_back(peer_of(n));
   // ace-lint: allow(overlay-adjacency-write): the version-bumping mutator.
-  logical_.isolate(p);
+  logical_.isolate(p.value());
   if (!dropped.empty() || peers_[p].online) bump(p);
   for (const PeerId q : dropped) bump(q);
   if (peers_[p].online) {
@@ -169,7 +173,7 @@ std::vector<PeerId> OverlayNetwork::leave(PeerId p,
   // a random online peer) until they regain the minimum degree.
   for (const PeerId q : dropped) {
     std::size_t attempts = 0;
-    while (peers_[q].online && logical_.degree(q) < repair_min_degree &&
+    while (peers_[q].online && logical_.degree(q.value()) < repair_min_degree &&
            online_count_ > 1 && attempts++ < 50) {
       const PeerId r = random_online_peer(rng, q);
       connect(q, r);
@@ -183,13 +187,13 @@ void OverlayNetwork::debug_validate() const {
       << " — logical graph and peer table disagree";
   logical_.debug_validate();
   std::size_t online = 0;
-  for (PeerId p = 0; p < peers_.size(); ++p) {
+  for (PeerId p{0}; p < peers_.size(); ++p) {
     ACE_CHECK_LT(peers_[p].host, physical_->host_count())
         << " — peer " << p << " attached to nonexistent host";
     if (peers_[p].online) {
       ++online;
     } else {
-      ACE_CHECK_EQ(logical_.degree(p), 0u)
+      ACE_CHECK_EQ(logical_.degree(p.value()), 0u)
           << " — offline peer " << p << " still holds overlay links";
     }
   }
@@ -209,8 +213,8 @@ void OverlayNetwork::digest_into(Fnv1a& digest) const {
 double OverlayNetwork::mean_online_degree() const {
   if (online_count_ == 0) return 0.0;
   std::size_t total = 0;
-  for (PeerId p = 0; p < peers_.size(); ++p)
-    if (peers_[p].online) total += logical_.degree(p);
+  for (PeerId p{0}; p < peers_.size(); ++p)
+    if (peers_[p].online) total += logical_.degree(p.value());
   return static_cast<double>(total) / static_cast<double>(online_count_);
 }
 
@@ -221,7 +225,8 @@ std::vector<HostId> assign_hosts_uniform(const PhysicalNetwork& physical,
   std::vector<HostId> hosts;
   hosts.reserve(peers);
   for (const std::size_t i : rng.sample_indices(physical.host_count(), peers))
-    hosts.push_back(static_cast<HostId>(i));
+    // ace-id: boundary(uniform sample over the physical topology's node range)
+    hosts.push_back(HostId{static_cast<std::uint32_t>(i)});
   return hosts;
 }
 

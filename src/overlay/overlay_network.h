@@ -13,16 +13,25 @@
 #include "graph/graph.h"
 #include "net/physical_network.h"
 #include "util/rng.h"
+#include "util/strong_id.h"
 
 namespace ace {
 
-using PeerId = std::uint32_t;
-inline constexpr PeerId kInvalidPeer = static_cast<PeerId>(-1);
+// PeerId / kInvalidPeer live in util/strong_id.h: peers are their own id
+// domain, distinct from hosts and from raw graph node indices.
 
 struct PeerRecord {
-  HostId host = kInvalidNode;
+  HostId host = kInvalidHost;
   bool online = false;
 };
+
+// A Neighbor from the overlay's logical graph carries the raw kernel node
+// index, which in that graph IS the peer id — this is the one sanctioned
+// read-side conversion out of the logical adjacency.
+inline PeerId peer_of(const Neighbor& n) noexcept {
+  // ace-id: boundary(logical-graph node index is the peer id by construction)
+  return PeerId{n.node};
+}
 
 // Process-unique identity token for snapshot caches. Every construction —
 // including copy and move — draws a fresh id, so an (identity, version)
@@ -75,7 +84,7 @@ class OverlayNetwork {
 
   // Version of p's local view: bumped whenever p's link set, a link cost
   // incident to p, or p's online flag changes.
-  std::uint64_t topology_version(PeerId p) const {
+  TopologyVersion topology_version(PeerId p) const {
     check_peer(p);
     return versions_[p];
   }
@@ -150,12 +159,12 @@ class OverlayNetwork {
   // ace-digest: exempt(physical_): borrowed immutable substrate; mapping is
   // digested through each peer's host id in the peers_ records.
   const PhysicalNetwork* physical_;
-  std::vector<PeerRecord> peers_;
+  IdVector<PeerId, PeerRecord> peers_;
   Graph logical_;
   // ace-digest: exempt(versions_): cache-invalidation counters, not
   // protocol state — two runs with different cache schedules may differ
   // here while the adjacency (which IS digested) is identical.
-  std::vector<std::uint64_t> versions_;
+  IdVector<PeerId, TopologyVersion> versions_;
   // ace-digest: exempt(global_version_): same cache-invalidation role as
   // versions_; monotone counter with no protocol meaning.
   std::uint64_t global_version_ = 0;

@@ -33,7 +33,7 @@ double ObjectCatalog::replication(ObjectId o) const {
 bool ObjectCatalog::holds(PeerId peer, ObjectId o) const {
   const double r = replication(o);
   std::uint64_t state = config_.placement_seed;
-  state ^= (static_cast<std::uint64_t>(peer) << 32) ^ o;
+  state ^= (static_cast<std::uint64_t>(peer.value()) << 32) ^ o;
   const std::uint64_t h = splitmix64(state);
   return static_cast<double>(h >> 11) * 0x1.0p-53 < r;
 }

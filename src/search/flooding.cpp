@@ -18,7 +18,7 @@ const std::vector<PeerId>* TreeRouting::find_children(PeerId x) const {
 void ForwardingTable::ensure_size(std::size_t peers) {
   if (sets_.size() < peers) {
     sets_.resize(peers);
-    valid_.resize(peers, false);
+    valid_.resize(peers, 0);
   }
 }
 
@@ -29,9 +29,9 @@ void ForwardingTable::set_flooding(PeerId peer, std::vector<PeerId> flooding) {
 }
 
 void ForwardingTable::set_tree(PeerId peer, TreeRouting tree) {
-  ensure_size(peer + 1);
+  ensure_size(peer.value() + 1);
   if (!valid_[peer]) {
-    valid_[peer] = true;
+    valid_[peer] = 1;
     ++valid_count_;
   }
   std::sort(tree.flooding.begin(), tree.flooding.end());
@@ -40,14 +40,14 @@ void ForwardingTable::set_tree(PeerId peer, TreeRouting tree) {
 
 void ForwardingTable::invalidate(PeerId peer) {
   if (peer < valid_.size() && valid_[peer]) {
-    valid_[peer] = false;
+    valid_[peer] = 0;
     sets_[peer] = TreeRouting{};
     --valid_count_;
   }
 }
 
 void ForwardingTable::invalidate_all() {
-  std::fill(valid_.begin(), valid_.end(), false);
+  std::fill(valid_.begin(), valid_.end(), std::uint8_t{0});
   for (auto& s : sets_) s = TreeRouting{};
   valid_count_ = 0;
 }
@@ -71,7 +71,7 @@ const TreeRouting& ForwardingTable::tree(PeerId peer) const {
 void ForwardingTable::debug_validate(const OverlayNetwork& overlay) const {
   ACE_CHECK_EQ(sets_.size(), valid_.size()) << " — table storage misaligned";
   std::size_t valid = 0;
-  for (PeerId p = 0; p < valid_.size(); ++p) {
+  for (PeerId p{0}; p < valid_.size(); ++p) {
     if (!valid_[p]) continue;
     ++valid;
     ACE_CHECK_LT(p, overlay.peer_count())
@@ -110,7 +110,7 @@ void ForwardingTable::debug_validate(const OverlayNetwork& overlay) const {
 
 void ForwardingTable::digest_into(Fnv1a& digest) const {
   digest.update(static_cast<std::uint64_t>(valid_count_));
-  for (PeerId p = 0; p < valid_.size(); ++p) {
+  for (PeerId p{0}; p < valid_.size(); ++p) {
     if (!valid_[p]) continue;
     digest.update(p);
     const TreeRouting& routing = sets_[p];
@@ -131,8 +131,8 @@ std::vector<PeerId> ForwardingTable::non_flooding(
   if (!has_entry(peer)) return out;  // all neighbors are flooding targets
   const auto& flood = sets_[peer].flooding;
   for (const auto& n : overlay.neighbors(peer)) {
-    if (!std::binary_search(flood.begin(), flood.end(), n.node))
-      out.push_back(n.node);
+    if (!std::binary_search(flood.begin(), flood.end(), peer_of(n)))
+      out.push_back(peer_of(n));
   }
   return out;
 }
@@ -144,9 +144,9 @@ bool OverlaySnapshot::refresh(const OverlayNetwork& overlay) {
   const std::size_t n = overlay.peer_count();
   offsets_.resize(n + 1);
   arcs_.clear();
-  for (std::size_t p = 0; p < n; ++p) {
-    offsets_[p] = static_cast<std::uint32_t>(arcs_.size());
-    const auto row = overlay.neighbors(static_cast<PeerId>(p));
+  for (PeerId p{0}; p < n; ++p) {
+    offsets_[p.value()] = static_cast<std::uint32_t>(arcs_.size());
+    const auto row = overlay.neighbors(p);
     arcs_.insert(arcs_.end(), row.begin(), row.end());
   }
   offsets_[n] = static_cast<std::uint32_t>(arcs_.size());
@@ -247,7 +247,7 @@ class QueryEngine {
       std::vector<Neighbor>& candidates = s.candidates_;
       candidates.clear();
       for (const auto& n : overlay.neighbors(peer))
-        if (n.node != from) candidates.push_back(n);
+        if (n.node != from.value()) candidates.push_back(n);
       if (!flood_all && candidates.size() > options.hpf_partial) {
         std::partial_sort(candidates.begin(),
                           candidates.begin() +
@@ -258,7 +258,8 @@ class QueryEngine {
                           });
         candidates.resize(options.hpf_partial);
       }
-      for (const auto& n : candidates) out.push_back({n.node, kInvalidPeer});
+      for (const auto& n : candidates)
+        out.push_back({peer_of(n), kInvalidPeer});
       return;
     }
     if (mode != ForwardingMode::kTreeRouting || table == nullptr ||
@@ -267,7 +268,7 @@ class QueryEngine {
       // own (a fresh joiner or an invalidated entry): a superset of any
       // relay instructions.
       for (const auto& n : overlay.neighbors(peer))
-        if (n.node != from) out.push_back({n.node, kInvalidPeer});
+        if (n.node != from.value()) out.push_back({peer_of(n), kInvalidPeer});
       return;
     }
 

@@ -83,8 +83,9 @@ class ForwardingTable {
   void digest_into(Fnv1a& digest) const;
 
  private:
-  std::vector<TreeRouting> sets_;
-  std::vector<bool> valid_;
+  IdVector<PeerId, TreeRouting> sets_;
+  // uint8_t, not vector<bool>: IdVector indexing returns real references.
+  IdVector<PeerId, std::uint8_t> valid_;
   std::size_t valid_count_ = 0;
 };
 
@@ -129,11 +130,12 @@ class OverlaySnapshot {
   bool refresh(const OverlayNetwork& overlay);
 
   std::span<const Neighbor> neighbors(PeerId p) const {
-    return {arcs_.data() + offsets_[p], offsets_[p + 1] - offsets_[p]};
+    return {arcs_.data() + offsets_[p.value()],
+            offsets_[p.value() + 1] - offsets_[p.value()]};
   }
   bool are_connected(PeerId a, PeerId b) const {
     for (const Neighbor& n : neighbors(a))
-      if (n.node == b) return true;
+      if (n.node == b.value()) return true;
     return false;
   }
   // Requires the link to exist (mirrors OverlayNetwork::link_cost on the
@@ -221,8 +223,8 @@ class QueryScratch {
     PeerId owner;
   };
 
-  std::vector<std::uint32_t> visited_;  // epoch-stamped visit marks
-  std::vector<PeerId> parent_;
+  IdVector<PeerId, std::uint32_t> visited_;  // epoch-stamped visit marks
+  IdVector<PeerId, PeerId> parent_;
   std::vector<Hop> heap_;
   std::vector<Target> targets_;
   std::vector<Neighbor> candidates_;  // HPF partial-sort scratch

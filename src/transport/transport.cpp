@@ -175,8 +175,8 @@ void Transport::publish_table(PeerId owner, std::uint64_t version,
                               std::size_t entries, double& traffic) {
   owner_.assert_held();
   for (const Neighbor& n : overlay_->neighbors(owner)) {
-    transmit(MessageType::kCostTable, owner, static_cast<PeerId>(n.node),
-             entries, version, /*send_offset=*/0.0, traffic);
+    transmit(MessageType::kCostTable, owner, peer_of(n), entries, version,
+             /*send_offset=*/0.0, traffic);
   }
 }
 
@@ -230,8 +230,8 @@ void Transport::digest_into(Fnv1a& digest) const {
   for (const auto& [guid, wire] : wire_) {
     digest.update(guid);
     digest.update(static_cast<std::uint64_t>(wire.header.type));
-    digest.update(static_cast<std::uint64_t>(wire.from));
-    digest.update(static_cast<std::uint64_t>(wire.to));
+    digest.update(wire.from);
+    digest.update(wire.to);
     digest.update_double(wire.sent_at);
     digest.update_double(wire.deliver_at);
     digest.update(wire.table_version);
@@ -239,8 +239,8 @@ void Transport::digest_into(Fnv1a& digest) const {
 
   digest.update(static_cast<std::uint64_t>(accepted_versions_.size()));
   for (const auto& [key, version] : accepted_versions_) {
-    digest.update(static_cast<std::uint64_t>(key.first));
-    digest.update(static_cast<std::uint64_t>(key.second));
+    digest.update(key.first);
+    digest.update(key.second);
     digest.update(version);
   }
 }

@@ -16,6 +16,7 @@
 // which is exactly what tools/determinism_check.py asserts.
 #pragma once
 
+#include <concepts>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -42,6 +43,16 @@ class Fnv1a {
   void update(std::string_view s) noexcept {
     for (const char c : s) update_byte(static_cast<std::uint8_t>(c));
     update(static_cast<std::uint64_t>(s.size()));  // length-delimit
+  }
+  // Strong ids (util/strong_id.h) feed their underlying value, so a digest
+  // is byte-identical to the raw-integer feed the id replaced.
+  template <class T>
+    requires requires(const T& t) {
+      typename T::strong_id_tag;
+      { t.value() } -> std::convertible_to<std::uint64_t>;
+    }
+  void update(const T& id) noexcept {
+    update(static_cast<std::uint64_t>(id.value()));
   }
   // Hashes the IEEE-754 bit pattern; +0.0 and -0.0 collapse to one value so
   // algebraically-equal states digest equally.

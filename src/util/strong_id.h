@@ -1,0 +1,264 @@
+// Strong index types for the simulator's id domains. The protocol translates
+// between physical hosts, overlay peers, and closure-local vertex indices
+// constantly; with every domain a raw uint32_t, a cross-domain mix compiles
+// silently and surfaces only as a wrong digest or an out-of-bounds audit
+// failure. StrongId<Tag> makes the domain part of the type: construction
+// from a raw integer is explicit, there is no implicit conversion between
+// tags or back to the underlying integer, and the only arithmetic is
+// increment/+offset within a domain. The wrapper holds exactly one integer
+// and every operation is a one-liner the optimizer flattens, so Release
+// code is instruction-identical to the raw version (bench_micro's
+// typed_vs_raw_index case pins this down).
+//
+// Domain map (DESIGN.md §13):
+//   HostId          — physical topology vertices (net/physical_network.h);
+//   PeerId          — overlay peers (overlay/overlay_network.h);
+//   LocalNodeId     — closure-local vertex indices (ace/closure.h);
+//   TrialIndex      — parallel trial slots (core/trial_runner.h);
+//   TopologyVersion — per-peer dirty counters (cache invalidation).
+//
+// NodeId (graph/graph.h) deliberately stays a raw uint32_t: Graph, the CSR
+// kernels, and Dijkstra are the domain-agnostic compute substrate that both
+// the host and local domains run on. Conversions in and out of that kernel
+// layer are explicit: feeding `id.value()` INTO a kernel is always fine;
+// constructing a strong id FROM a raw value is a boundary that must carry a
+// `// ace-id: boundary(reason)` annotation (enforced by the ace_lint
+// raw-id-cast rule; see tools/ace_lint.py).
+//
+// IdVector<Id, T> / IdSpan<Id, T> wrap the flat SoA arrays so they are
+// indexable only by their own domain. Under audit builds
+// (-DACE_AUDIT_INVARIANTS=ON) every access is bounds-checked; Release
+// builds compile the check away. Kernels that need the raw storage use
+// data().
+#pragma once
+
+#include <compare>
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ace {
+
+template <class Tag, class Underlying = std::uint32_t>
+class StrongId {
+  static_assert(std::unsigned_integral<Underlying>,
+                "id domains are unsigned index spaces");
+
+ public:
+  using strong_id_tag = Tag;
+  using underlying_type = Underlying;
+
+  // Zero-initialized, like the raw integers it replaces.
+  constexpr StrongId() noexcept = default;
+  explicit constexpr StrongId(Underlying value) noexcept : value_{value} {}
+
+  // All-ones sentinel — the same bit pattern the raw kInvalid* constants
+  // used, so digests of sentinel-bearing state are unchanged.
+  static constexpr StrongId invalid() noexcept {
+    return StrongId{static_cast<Underlying>(-1)};
+  }
+
+  constexpr Underlying value() const noexcept { return value_; }
+  constexpr Underlying to_underlying() const noexcept { return value_; }
+  constexpr bool valid() const noexcept { return *this != invalid(); }
+
+  // Same-domain comparison only; comparing against another tag's id is a
+  // compile error (tests/compile_fail/cross_tag_compare.cpp).
+  friend constexpr bool operator==(StrongId, StrongId) noexcept = default;
+  friend constexpr auto operator<=>(StrongId, StrongId) noexcept = default;
+
+  // id <op> raw integer — loop bounds (`p < overlay.peer_count()`) and test
+  // literals (`EXPECT_EQ(host_of(p), 2u)`) compare against sizes and
+  // constants without leaving the domain. Sign-safe for any mix of widths.
+  template <std::integral I>
+    requires(!std::same_as<I, bool>)
+  friend constexpr bool operator==(StrongId a, I b) noexcept {
+    return std::cmp_equal(a.value_, b);
+  }
+  template <std::integral I>
+    requires(!std::same_as<I, bool>)
+  friend constexpr std::strong_ordering operator<=>(StrongId a, I b) noexcept {
+    if (std::cmp_less(a.value_, b)) return std::strong_ordering::less;
+    if (std::cmp_equal(a.value_, b)) return std::strong_ordering::equivalent;
+    return std::strong_ordering::greater;
+  }
+
+  // Within-domain arithmetic: increment (loops, version bumps) and +offset.
+  // Everything else — multiplication, cross-domain sums — is meaningless on
+  // an index and does not compile (tests/compile_fail/raw_arithmetic.cpp).
+  constexpr StrongId& operator++() noexcept {
+    ++value_;
+    return *this;
+  }
+  constexpr StrongId operator++(int) noexcept {
+    StrongId old{*this};
+    ++value_;
+    return old;
+  }
+  friend constexpr StrongId operator+(StrongId id, Underlying offset) noexcept {
+    return StrongId{static_cast<Underlying>(id.value_ + offset)};
+  }
+  friend constexpr StrongId operator-(StrongId id, Underlying offset) noexcept {
+    return StrongId{static_cast<Underlying>(id.value_ - offset)};
+  }
+  friend constexpr Underlying operator-(StrongId a, StrongId b) noexcept {
+    return static_cast<Underlying>(a.value_ - b.value_);
+  }
+
+  // Prints the bare value, so ACE_CHECK/log messages read as before.
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << id.value_;
+  }
+
+ private:
+  Underlying value_ = 0;
+};
+
+// Matches any StrongId instantiation (digest feeding, generic helpers).
+template <class T>
+concept StrongIdType = requires(const T& t) {
+  typename T::strong_id_tag;
+  { t.value() } -> std::convertible_to<std::uint64_t>;
+};
+
+// --- the simulator's id domains -------------------------------------------
+
+struct HostIdTag {};
+struct PeerIdTag {};
+struct LocalNodeIdTag {};
+struct TrialIndexTag {};
+struct TopologyVersionTag {};
+
+// Physical topology vertex (a router/end host in the generated Internet).
+using HostId = StrongId<HostIdTag>;
+// Overlay peer (a Gnutella servent attached to some host).
+using PeerId = StrongId<PeerIdTag>;
+// Vertex index inside one peer's h-neighbor closure (0 = the source).
+using LocalNodeId = StrongId<LocalNodeIdTag>;
+// Parallel trial slot in a TrialRunner sweep.
+using TrialIndex = StrongId<TrialIndexTag>;
+// Monotone per-peer topology dirty counter (cache invalidation).
+using TopologyVersion = StrongId<TopologyVersionTag, std::uint64_t>;
+
+inline constexpr HostId kInvalidHost = HostId::invalid();
+inline constexpr PeerId kInvalidPeer = PeerId::invalid();
+inline constexpr LocalNodeId kInvalidLocalNode = LocalNodeId::invalid();
+
+// An edge whose endpoints live in a strong id domain (tree edges in peer or
+// closure-local ids). Graph's raw Edge stays the kernel-layer type.
+template <class Id>
+struct TypedEdge {
+  Id u = Id::invalid();
+  Id v = Id::invalid();
+  double weight = 0;
+
+  friend bool operator==(const TypedEdge&, const TypedEdge&) = default;
+};
+
+using PeerEdge = TypedEdge<PeerId>;
+using LocalEdge = TypedEdge<LocalNodeId>;
+
+// --- typed-index containers -----------------------------------------------
+
+// std::vector indexable only by `Id` — the SoA arrays (local_index, version
+// vectors, per-peer cache entries) become self-documenting and cannot be
+// indexed with the wrong domain (tests/compile_fail/wrong_domain_index.cpp).
+// Iteration (begin/end) walks the elements, not the ids, so range-for and
+// <algorithm> use are unchanged; kernels take the flat storage via data().
+template <class Id, class T>
+class IdVector {
+ public:
+  using value_type = T;
+
+  IdVector() = default;
+  explicit IdVector(std::size_t count) : data_(count) {}
+  IdVector(std::size_t count, const T& value) : data_(count, value) {}
+
+  T& operator[](Id id) {
+    ACE_DCHECK_LT(id.value(), data_.size());
+    return data_[id.value()];
+  }
+  const T& operator[](Id id) const {
+    ACE_DCHECK_LT(id.value(), data_.size());
+    return data_[id.value()];
+  }
+
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+  void clear() noexcept { data_.clear(); }
+  void resize(std::size_t count) { data_.resize(count); }
+  void resize(std::size_t count, const T& value) { data_.resize(count, value); }
+  void assign(std::size_t count, const T& value) { data_.assign(count, value); }
+  void reserve(std::size_t count) { data_.reserve(count); }
+  void push_back(const T& value) { data_.push_back(value); }
+  void push_back(T&& value) { data_.push_back(std::move(value)); }
+  template <class... Args>
+  T& emplace_back(Args&&... args) {
+    return data_.emplace_back(std::forward<Args>(args)...);
+  }
+  void pop_back() { data_.pop_back(); }
+
+  T* data() noexcept { return data_.data(); }
+  const T* data() const noexcept { return data_.data(); }
+  auto begin() noexcept { return data_.begin(); }
+  auto begin() const noexcept { return data_.begin(); }
+  auto end() noexcept { return data_.end(); }
+  auto end() const noexcept { return data_.end(); }
+  T& front() { return data_.front(); }
+  const T& front() const { return data_.front(); }
+  T& back() { return data_.back(); }
+  const T& back() const { return data_.back(); }
+
+  friend bool operator==(const IdVector&, const IdVector&) = default;
+
+ private:
+  std::vector<T> data_;
+};
+
+// Non-owning view with the same domain-checked indexing; T may be const.
+template <class Id, class T>
+class IdSpan {
+ public:
+  constexpr IdSpan() = default;
+  constexpr IdSpan(T* data, std::size_t size) noexcept : span_{data, size} {}
+  // NOLINTNEXTLINE(google-explicit-constructor): view adaptor, like span.
+  IdSpan(IdVector<Id, std::remove_const_t<T>>& v) noexcept
+    requires(!std::is_const_v<T>)
+      : span_{v.data(), v.size()} {}
+  // NOLINTNEXTLINE(google-explicit-constructor): view adaptor, like span.
+  IdSpan(const IdVector<Id, std::remove_const_t<T>>& v) noexcept
+    requires(std::is_const_v<T>)
+      : span_{v.data(), v.size()} {}
+
+  T& operator[](Id id) const {
+    ACE_DCHECK_LT(id.value(), span_.size());
+    return span_[id.value()];
+  }
+
+  std::size_t size() const noexcept { return span_.size(); }
+  bool empty() const noexcept { return span_.empty(); }
+  T* data() const noexcept { return span_.data(); }
+  auto begin() const noexcept { return span_.begin(); }
+  auto end() const noexcept { return span_.end(); }
+
+ private:
+  std::span<T> span_;
+};
+
+}  // namespace ace
+
+template <class Tag, class Underlying>
+struct std::hash<ace::StrongId<Tag, Underlying>> {
+  std::size_t operator()(
+      ace::StrongId<Tag, Underlying> id) const noexcept {
+    return std::hash<Underlying>{}(id.value());
+  }
+};

@@ -1,0 +1,18 @@
+// A peer id must not be assignable from a host id — the Fig. 2 mismatch
+// bug class: treating an overlay slot as a physical vertex. The control
+// build proves the file is otherwise well-formed.
+#include "util/strong_id.h"
+
+using ace::HostId;
+using ace::PeerId;
+
+PeerId convert(HostId h) {
+#ifdef COMPILE_FAIL
+  PeerId p = h;  // cross-domain copy-init must not compile
+  return p;
+#else
+  // The sanctioned route: go through the raw value, explicitly.
+  // ace-id: boundary(compile-fail control demonstrates the explicit route)
+  return PeerId{h.value()};
+#endif
+}

@@ -1,0 +1,14 @@
+// Ids from different domains are never comparable, even when both wrap the
+// same underlying integer: peer 3 and host 3 are unrelated entities.
+#include "util/strong_id.h"
+
+using ace::HostId;
+using ace::PeerId;
+
+bool same_slot(PeerId p, HostId h) {
+#ifdef COMPILE_FAIL
+  return p == h;  // cross-domain comparison must not compile
+#else
+  return p.value() == h.value();  // raw comparison is a deliberate choice
+#endif
+}

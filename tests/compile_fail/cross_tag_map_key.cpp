@@ -1,0 +1,19 @@
+// Keyed containers inherit the domain discipline: a map keyed by PeerId
+// cannot be probed with a HostId, so "looked up the table with the wrong
+// id space" dies at compile time instead of returning end().
+#include <unordered_map>
+
+#include "util/strong_id.h"
+
+using ace::HostId;
+using ace::PeerId;
+
+int lookup(const std::unordered_map<PeerId, int>& table, HostId h) {
+#ifdef COMPILE_FAIL
+  const auto it = table.find(h);  // wrong-domain key must not compile
+#else
+  // ace-id: boundary(compile-fail control demonstrates the explicit route)
+  const auto it = table.find(PeerId{h.value()});
+#endif
+  return it == table.end() ? -1 : it->second;
+}

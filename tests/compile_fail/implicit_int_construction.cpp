@@ -1,0 +1,17 @@
+// Raw integers do not silently become ids: construction is explicit, so
+// every raw->domain crossing is visible (and lintable) at the call site.
+#include "util/strong_id.h"
+
+using ace::PeerId;
+
+double link_cost(PeerId a, PeerId b) {
+  return a.value() < b.value() ? 1.0 : 2.0;
+}
+
+double probe() {
+#ifdef COMPILE_FAIL
+  return link_cost(0, 1);  // int literals must not convert to PeerId
+#else
+  return link_cost(PeerId{0}, PeerId{1});
+#endif
+}

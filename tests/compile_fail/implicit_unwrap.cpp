@@ -1,0 +1,18 @@
+// Ids do not silently decay back to integers: indexing a raw vector or
+// passing an id where a count is expected requires an explicit .value(),
+// keeping the domain->kernel boundary visible.
+#include <cstdint>
+#include <vector>
+
+#include "util/strong_id.h"
+
+using ace::PeerId;
+
+double pick(const std::vector<double>& raw, PeerId p) {
+#ifdef COMPILE_FAIL
+  const std::uint32_t i = p;  // no implicit conversion to the underlying
+  return raw[i];
+#else
+  return raw[p.value()];
+#endif
+}

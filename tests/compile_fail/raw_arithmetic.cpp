@@ -1,0 +1,16 @@
+// The only arithmetic an index supports is increment and +/- offset within
+// its domain. Multiplication and cross-id sums are meaningless on ids and
+// must not compile; do the math on .value() when a formula needs it.
+#include "util/strong_id.h"
+
+using ace::PeerId;
+
+unsigned spread(PeerId p, PeerId q) {
+#ifdef COMPILE_FAIL
+  const PeerId scaled = p * 2;  // no multiplication on ids
+  const PeerId sum = p + q;     // no id-plus-id (difference IS allowed)
+  return scaled.value() + sum.value();
+#else
+  return p.value() * 2 + q.value();
+#endif
+}

@@ -1,0 +1,62 @@
+# Negative-compile harness driver (ctest: lint.compile_fail). Each fixture
+# in this directory encodes one id-domain misuse under #ifdef COMPILE_FAIL
+# next to the sanctioned alternative. Every fixture is compiled twice with
+# -fsyntax-only:
+#   * control build (no define)  — MUST succeed: the file is well-formed
+#     and the "right way" shown in the #else branch actually compiles;
+#   * -DCOMPILE_FAIL build       — MUST fail: the misuse is rejected by the
+#     type system, not by luck.
+# A fixture whose control fails, or whose misuse compiles, fails the test —
+# so the harness cannot rot into vacuously "passing" on broken fixtures.
+#
+# Usage (wired by tests/CMakeLists.txt):
+#   cmake -DCOMPILER=<c++> -DSRC_INCLUDE=<repo>/src
+#         -DCASE_DIR=<repo>/tests/compile_fail -P run_compile_fail.cmake
+if(NOT COMPILER OR NOT SRC_INCLUDE OR NOT CASE_DIR)
+  message(FATAL_ERROR
+    "run_compile_fail.cmake needs -DCOMPILER, -DSRC_INCLUDE, -DCASE_DIR")
+endif()
+
+file(GLOB cases "${CASE_DIR}/*.cpp")
+list(SORT cases)
+list(LENGTH cases case_count)
+if(case_count LESS 6)
+  message(FATAL_ERROR
+    "expected at least 6 compile-fail fixtures, found ${case_count}")
+endif()
+
+set(failures 0)
+foreach(case ${cases})
+  get_filename_component(name "${case}" NAME_WE)
+
+  execute_process(
+    COMMAND "${COMPILER}" -std=c++20 -fsyntax-only
+            "-I${SRC_INCLUDE}" "${case}"
+    RESULT_VARIABLE control_result
+    ERROR_VARIABLE control_stderr)
+  if(NOT control_result EQUAL 0)
+    message(SEND_ERROR
+      "[${name}] control build FAILED (fixture is broken):\n"
+      "${control_stderr}")
+    math(EXPR failures "${failures} + 1")
+    continue()
+  endif()
+
+  execute_process(
+    COMMAND "${COMPILER}" -std=c++20 -fsyntax-only -DCOMPILE_FAIL
+            "-I${SRC_INCLUDE}" "${case}"
+    RESULT_VARIABLE misuse_result
+    OUTPUT_QUIET ERROR_QUIET)
+  if(misuse_result EQUAL 0)
+    message(SEND_ERROR
+      "[${name}] misuse COMPILED — the type system no longer rejects it")
+    math(EXPR failures "${failures} + 1")
+  else()
+    message(STATUS "[${name}] ok: control compiles, misuse rejected")
+  endif()
+endforeach()
+
+if(failures GREATER 0)
+  message(FATAL_ERROR "${failures} compile-fail fixture(s) failed")
+endif()
+message(STATUS "all ${case_count} compile-fail fixtures verified")

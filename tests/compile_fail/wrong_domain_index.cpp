@@ -1,0 +1,17 @@
+// An IdVector is indexable only by its own domain: a per-peer array indexed
+// with a closure-local id was exactly the silent off-by-a-domain bug the
+// typed containers exist to stop.
+#include "util/strong_id.h"
+
+using ace::IdVector;
+using ace::LocalNodeId;
+using ace::PeerId;
+
+double lookup(const IdVector<PeerId, double>& per_peer, LocalNodeId local) {
+#ifdef COMPILE_FAIL
+  return per_peer[local];  // wrong-domain index must not compile
+#else
+  (void)local;
+  return per_peer[PeerId{0}];
+#endif
+}

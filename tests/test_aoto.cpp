@@ -63,9 +63,9 @@ TEST(Aoto, HandoverMovesVictimToAdopter) {
   for (NodeId u = 0; u + 1 < 32; ++u) g.add_edge(u, u + 1, 1.0);
   PhysicalNetwork physical{std::move(g)};
   OverlayNetwork overlay{physical};
-  const PeerId p = overlay.add_peer(0);
-  const PeerId f_peer = overlay.add_peer(1);
-  const PeerId v = overlay.add_peer(20);
+  const PeerId p = overlay.add_peer(HostId{0});
+  const PeerId f_peer = overlay.add_peer(HostId{1});
+  const PeerId v = overlay.add_peer(HostId{20});
   overlay.connect(p, f_peer);   // cost 1 (flooding: on MST)
   overlay.connect(p, v);        // cost 20
   overlay.connect(f_peer, v);   // cost 19 -> MST keeps p-f, f-v
@@ -83,9 +83,9 @@ TEST(Aoto, MinDegreeGuardBlocksCut) {
   for (NodeId u = 0; u + 1 < 32; ++u) g.add_edge(u, u + 1, 1.0);
   PhysicalNetwork physical{std::move(g)};
   OverlayNetwork overlay{physical};
-  const PeerId p = overlay.add_peer(0);
-  const PeerId f_peer = overlay.add_peer(1);
-  const PeerId v = overlay.add_peer(20);
+  const PeerId p = overlay.add_peer(HostId{0});
+  const PeerId f_peer = overlay.add_peer(HostId{1});
+  const PeerId v = overlay.add_peer(HostId{20});
   overlay.connect(p, f_peer);
   overlay.connect(p, v);
   overlay.connect(f_peer, v);

@@ -16,13 +16,13 @@ struct Fixture {
     for (NodeId u = 0; u + 1 < 16; ++u) g.add_edge(u, u + 1, 1.0);
     physical = std::make_unique<PhysicalNetwork>(std::move(g));
     overlay = std::make_unique<OverlayNetwork>(*physical);
-    for (HostId h = 0; h < 8; ++h) overlay->add_peer(h);
+    for (std::uint32_t h = 0; h < 8; ++h) overlay->add_peer(HostId{h});
     // Star around 0 plus ring edges.
-    overlay->connect(0, 1);
-    overlay->connect(0, 2);
-    overlay->connect(1, 2);
-    overlay->connect(2, 3);
-    overlay->connect(3, 4);
+    overlay->connect(PeerId{0}, PeerId{1});
+    overlay->connect(PeerId{0}, PeerId{2});
+    overlay->connect(PeerId{1}, PeerId{2});
+    overlay->connect(PeerId{2}, PeerId{3});
+    overlay->connect(PeerId{3}, PeerId{4});
   }
   std::unique_ptr<PhysicalNetwork> physical;
   std::unique_ptr<OverlayNetwork> overlay;
@@ -34,82 +34,83 @@ std::set<PeerId> members(const LocalClosure& c) {
 
 TEST(Closure, DepthZeroIsJustSource) {
   Fixture f;
-  const LocalClosure c = build_closure(*f.overlay, 0, 0);
+  const LocalClosure c = build_closure(*f.overlay, PeerId{0}, 0);
   EXPECT_EQ(c.size(), 1u);
-  EXPECT_EQ(c.nodes[0], 0u);
+  EXPECT_EQ(c.nodes[LocalNodeId{0}], 0u);
   EXPECT_EQ(c.local.edge_count(), 0u);
 }
 
 TEST(Closure, DepthOneCoversDirectNeighbors) {
   Fixture f;
-  const LocalClosure c = build_closure(*f.overlay, 0, 1);
-  EXPECT_EQ(members(c), (std::set<PeerId>{0, 1, 2}));
+  const LocalClosure c = build_closure(*f.overlay, PeerId{0}, 1);
+  EXPECT_EQ(members(c), (std::set<PeerId>{PeerId{0}, PeerId{1}, PeerId{2}}));
   // Induced edges: 0-1, 0-2, 1-2.
   EXPECT_EQ(c.local.edge_count(), 3u);
 }
 
 TEST(Closure, DepthTwoAddsNextRing) {
   Fixture f;
-  const LocalClosure c = build_closure(*f.overlay, 0, 2);
-  EXPECT_EQ(members(c), (std::set<PeerId>{0, 1, 2, 3}));
+  const LocalClosure c = build_closure(*f.overlay, PeerId{0}, 2);
+  EXPECT_EQ(members(c), (std::set<PeerId>{PeerId{0}, PeerId{1}, PeerId{2}, PeerId{3}}));
   EXPECT_EQ(c.local.edge_count(), 4u);  // + 2-3
 }
 
 TEST(Closure, DepthsRecorded) {
   Fixture f;
-  const LocalClosure c = build_closure(*f.overlay, 0, 3);
-  EXPECT_EQ(c.depth[c.to_local(0)], 0u);
-  EXPECT_EQ(c.depth[c.to_local(1)], 1u);
-  EXPECT_EQ(c.depth[c.to_local(3)], 2u);
-  EXPECT_EQ(c.depth[c.to_local(4)], 3u);
+  const LocalClosure c = build_closure(*f.overlay, PeerId{0}, 3);
+  EXPECT_EQ(c.depth[c.to_local(PeerId{0})], 0u);
+  EXPECT_EQ(c.depth[c.to_local(PeerId{1})], 1u);
+  EXPECT_EQ(c.depth[c.to_local(PeerId{3})], 2u);
+  EXPECT_EQ(c.depth[c.to_local(PeerId{4})], 3u);
 }
 
 TEST(Closure, PathCostAccumulatesAlongBfsTree) {
   Fixture f;
-  const LocalClosure c = build_closure(*f.overlay, 0, 3);
-  EXPECT_DOUBLE_EQ(c.path_cost[c.to_local(0)], 0.0);
+  const LocalClosure c = build_closure(*f.overlay, PeerId{0}, 3);
+  EXPECT_DOUBLE_EQ(c.path_cost[c.to_local(PeerId{0})], 0.0);
   // Peer 3 discovered via 2: cost(0,2) + cost(2,3) = 2 + 1.
-  EXPECT_DOUBLE_EQ(c.path_cost[c.to_local(3)],
-                   f.overlay->link_cost(0, 2) + f.overlay->link_cost(2, 3));
+  EXPECT_DOUBLE_EQ(c.path_cost[c.to_local(PeerId{3})],
+                   f.overlay->link_cost(PeerId{0}, PeerId{2}) + f.overlay->link_cost(PeerId{2}, PeerId{3}));
 }
 
 TEST(Closure, LocalIndexRoundTrips) {
   Fixture f;
-  const LocalClosure c = build_closure(*f.overlay, 0, 2);
-  for (NodeId li = 0; li < c.size(); ++li)
+  const LocalClosure c = build_closure(*f.overlay, PeerId{0}, 2);
+  for (LocalNodeId li{0}; li < c.size(); ++li)
     EXPECT_EQ(c.to_local(c.to_global(li)), li);
-  EXPECT_EQ(c.to_local(7), kInvalidNode);  // outside closure
+  EXPECT_EQ(c.to_local(PeerId{7}), kInvalidLocalNode);  // outside closure
 }
 
 TEST(Closure, InducedWeightsMatchOverlay) {
   Fixture f;
-  const LocalClosure c = build_closure(*f.overlay, 0, 2);
-  const NodeId l2 = c.to_local(2);
-  const NodeId l3 = c.to_local(3);
-  EXPECT_DOUBLE_EQ(*c.local.edge_weight(l2, l3), f.overlay->link_cost(2, 3));
+  const LocalClosure c = build_closure(*f.overlay, PeerId{0}, 2);
+  const LocalNodeId l2 = c.to_local(PeerId{2});
+  const LocalNodeId l3 = c.to_local(PeerId{3});
+  EXPECT_DOUBLE_EQ(*c.local.edge_weight(l2.value(), l3.value()),
+                   f.overlay->link_cost(PeerId{2}, PeerId{3}));
 }
 
 TEST(Closure, TableEntriesEqualsInducedDegreeSum) {
   Fixture f;
-  const LocalClosure c = build_closure(*f.overlay, 0, 1);
+  const LocalClosure c = build_closure(*f.overlay, PeerId{0}, 1);
   EXPECT_EQ(c.table_entries(), 2u * c.local.edge_count());
 }
 
 TEST(Closure, LargeDepthSaturatesAtComponent) {
   Fixture f;
-  const LocalClosure c = build_closure(*f.overlay, 0, 50);
-  EXPECT_EQ(members(c), (std::set<PeerId>{0, 1, 2, 3, 4}));
+  const LocalClosure c = build_closure(*f.overlay, PeerId{0}, 50);
+  EXPECT_EQ(members(c), (std::set<PeerId>{PeerId{0}, PeerId{1}, PeerId{2}, PeerId{3}, PeerId{4}}));
 }
 
 TEST(Closure, OfflineSourceThrows) {
   Fixture f;
-  const PeerId off = f.overlay->add_peer(9, /*online=*/false);
+  const PeerId off = f.overlay->add_peer(HostId{9}, /*online=*/false);
   EXPECT_THROW(build_closure(*f.overlay, off, 1), std::invalid_argument);
 }
 
 TEST(Closure, IsolatedSourceIsSingleton) {
   Fixture f;
-  const PeerId lonely = f.overlay->add_peer(10);
+  const PeerId lonely = f.overlay->add_peer(HostId{10});
   const LocalClosure c = build_closure(*f.overlay, lonely, 3);
   EXPECT_EQ(c.size(), 1u);
 }

@@ -15,7 +15,7 @@ struct Fixture {
     for (NodeId u = 0; u + 1 < 8; ++u) g.add_edge(u, u + 1, 1.0);
     physical = std::make_unique<PhysicalNetwork>(std::move(g));
     overlay = std::make_unique<OverlayNetwork>(*physical);
-    for (HostId h = 0; h < 8; ++h) overlay->add_peer(h);
+    for (std::uint32_t h = 0; h < 8; ++h) overlay->add_peer(HostId{h});
   }
   std::unique_ptr<PhysicalNetwork> physical;
   std::unique_ptr<OverlayNetwork> overlay;
@@ -23,41 +23,41 @@ struct Fixture {
 
 TEST(NeighborCostTableTest, RecordAndLookup) {
   NeighborCostTable table;
-  table.record(3, 1.5);
-  table.record(7, 2.5);
+  table.record(PeerId{3}, 1.5);
+  table.record(PeerId{7}, 2.5);
   EXPECT_EQ(table.size(), 2u);
-  EXPECT_TRUE(table.contains(3));
-  EXPECT_FALSE(table.contains(4));
-  EXPECT_DOUBLE_EQ(table.cost_to(7), 2.5);
-  EXPECT_THROW(table.cost_to(4), std::out_of_range);
+  EXPECT_TRUE(table.contains(PeerId{3}));
+  EXPECT_FALSE(table.contains(PeerId{4}));
+  EXPECT_DOUBLE_EQ(table.cost_to(PeerId{7}), 2.5);
+  EXPECT_THROW(table.cost_to(PeerId{4}), std::out_of_range);
 }
 
 TEST(NeighborCostTableTest, RecordOverwrites) {
   NeighborCostTable table;
-  table.record(3, 1.5);
-  table.record(3, 9.0);
+  table.record(PeerId{3}, 1.5);
+  table.record(PeerId{3}, 9.0);
   EXPECT_EQ(table.size(), 1u);
-  EXPECT_DOUBLE_EQ(table.cost_to(3), 9.0);
+  EXPECT_DOUBLE_EQ(table.cost_to(PeerId{3}), 9.0);
 }
 
 TEST(NeighborCostTableTest, Clear) {
   NeighborCostTable table;
-  table.record(1, 1.0);
+  table.record(PeerId{1}, 1.0);
   table.clear();
   EXPECT_EQ(table.size(), 0u);
-  EXPECT_FALSE(table.contains(1));
+  EXPECT_FALSE(table.contains(PeerId{1}));
 }
 
 TEST(CostTableStoreTest, RefreshRecordsLinkCosts) {
   Fixture f;
-  f.overlay->connect(0, 1);  // cost 1
-  f.overlay->connect(0, 4);  // cost 4
+  f.overlay->connect(PeerId{0}, PeerId{1});  // cost 1
+  f.overlay->connect(PeerId{0}, PeerId{4});  // cost 4
   CostTableStore store;
   store.ensure_size(f.overlay->peer_count());
   ProbeOverhead overhead;
-  store.refresh_peer(*f.overlay, 0, overhead);
-  EXPECT_DOUBLE_EQ(store.table(0).cost_to(1), 1.0);
-  EXPECT_DOUBLE_EQ(store.table(0).cost_to(4), 4.0);
+  store.refresh_peer(*f.overlay, PeerId{0}, overhead);
+  EXPECT_DOUBLE_EQ(store.table(PeerId{0}).cost_to(PeerId{1}), 1.0);
+  EXPECT_DOUBLE_EQ(store.table(PeerId{0}).cost_to(PeerId{4}), 4.0);
   EXPECT_EQ(overhead.probes, 2u);
   // Probe overhead: (probe + reply sizes) x link delays = 0.5 * (1 + 4).
   MessageSizing sizing;
@@ -67,14 +67,14 @@ TEST(CostTableStoreTest, RefreshRecordsLinkCosts) {
 
 TEST(CostTableStoreTest, ExchangeChargesPerNeighbor) {
   Fixture f;
-  f.overlay->connect(0, 1);
-  f.overlay->connect(0, 2);
+  f.overlay->connect(PeerId{0}, PeerId{1});
+  f.overlay->connect(PeerId{0}, PeerId{2});
   CostTableStore store;
   store.ensure_size(f.overlay->peer_count());
   ProbeOverhead refresh_overhead;
-  store.refresh_peer(*f.overlay, 0, refresh_overhead);
+  store.refresh_peer(*f.overlay, PeerId{0}, refresh_overhead);
   ProbeOverhead exchange;
-  store.charge_exchange(*f.overlay, 0, exchange);
+  store.charge_exchange(*f.overlay, PeerId{0}, exchange);
   EXPECT_EQ(exchange.exchanges, 2u);
   MessageSizing sizing;
   const double msg = size_factor(sizing, MessageType::kCostTable, 2);
@@ -83,36 +83,36 @@ TEST(CostTableStoreTest, ExchangeChargesPerNeighbor) {
 
 TEST(CostTableStoreTest, KnownCostConsultsBothSides) {
   Fixture f;
-  f.overlay->connect(0, 1);
-  f.overlay->connect(1, 2);
+  f.overlay->connect(PeerId{0}, PeerId{1});
+  f.overlay->connect(PeerId{1}, PeerId{2});
   CostTableStore store;
   store.ensure_size(f.overlay->peer_count());
   ProbeOverhead overhead;
-  store.refresh_peer(*f.overlay, 1, overhead);
+  store.refresh_peer(*f.overlay, PeerId{1}, overhead);
   // Peer 0's table is empty; peer 1's covers the 0-1 link.
-  EXPECT_DOUBLE_EQ(store.known_cost(0, 1), 1.0);
-  EXPECT_DOUBLE_EQ(store.known_cost(1, 0), 1.0);
-  EXPECT_EQ(store.known_cost(0, 2), kUnreachable);
+  EXPECT_DOUBLE_EQ(store.known_cost(PeerId{0}, PeerId{1}), 1.0);
+  EXPECT_DOUBLE_EQ(store.known_cost(PeerId{1}, PeerId{0}), 1.0);
+  EXPECT_EQ(store.known_cost(PeerId{0}, PeerId{2}), kUnreachable);
 }
 
 TEST(CostTableStoreTest, RefreshReplacesStaleEntries) {
   Fixture f;
-  f.overlay->connect(0, 1);
+  f.overlay->connect(PeerId{0}, PeerId{1});
   CostTableStore store;
   store.ensure_size(f.overlay->peer_count());
   ProbeOverhead overhead;
-  store.refresh_peer(*f.overlay, 0, overhead);
-  EXPECT_TRUE(store.table(0).contains(1));
-  f.overlay->disconnect(0, 1);
-  f.overlay->connect(0, 3);
-  store.refresh_peer(*f.overlay, 0, overhead);
-  EXPECT_FALSE(store.table(0).contains(1));
-  EXPECT_TRUE(store.table(0).contains(3));
+  store.refresh_peer(*f.overlay, PeerId{0}, overhead);
+  EXPECT_TRUE(store.table(PeerId{0}).contains(PeerId{1}));
+  f.overlay->disconnect(PeerId{0}, PeerId{1});
+  f.overlay->connect(PeerId{0}, PeerId{3});
+  store.refresh_peer(*f.overlay, PeerId{0}, overhead);
+  EXPECT_FALSE(store.table(PeerId{0}).contains(PeerId{1}));
+  EXPECT_TRUE(store.table(PeerId{0}).contains(PeerId{3}));
 }
 
 TEST(CostTableStoreTest, OutOfRangeThrows) {
   CostTableStore store;
-  EXPECT_THROW(store.table(0), std::out_of_range);
+  EXPECT_THROW(store.table(PeerId{0}), std::out_of_range);
 }
 
 TEST(ProbeOverheadTest, MergeSums) {

@@ -142,7 +142,7 @@ TEST(Engine, JoinLeaveHooksInvalidateForwarding) {
   const PeerId victim = f.overlay->online_peers().front();
   std::vector<PeerId> neighbors;
   for (const auto& n : f.overlay->neighbors(victim))
-    neighbors.push_back(n.node);
+    neighbors.push_back(peer_of(n));
   ASSERT_TRUE(engine.forwarding().has_entry(victim));
   f.overlay->leave(victim, 0, f.rng);
   engine.on_peer_leave(victim, neighbors);

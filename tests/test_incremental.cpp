@@ -55,58 +55,59 @@ struct ForceFullGuard {
 
 TEST(TopologyVersion, AddPeerStartsAtZeroAndBumpsGlobalOnly) {
   Fixture f{2};
-  const std::uint64_t global = f.overlay->global_version();
-  const PeerId p = f.overlay->add_peer(5, /*online=*/true);
+  const auto global = f.overlay->global_version();
+  const PeerId p = f.overlay->add_peer(HostId{5}, /*online=*/true);
   EXPECT_EQ(f.overlay->topology_version(p), 0u);
   EXPECT_GT(f.overlay->global_version(), global);
 }
 
 TEST(TopologyVersion, ConnectBumpsBothEndpoints) {
   Fixture f{4};
-  const std::uint64_t va = f.overlay->topology_version(0);
-  const std::uint64_t vc = f.overlay->topology_version(2);
-  const std::uint64_t vb = f.overlay->topology_version(1);
-  ASSERT_TRUE(f.overlay->connect(0, 2));
-  EXPECT_EQ(f.overlay->topology_version(0), va + 1);
-  EXPECT_EQ(f.overlay->topology_version(2), vc + 1);
-  EXPECT_EQ(f.overlay->topology_version(1), vb);  // bystander untouched
+  const auto va = f.overlay->topology_version(PeerId{0});
+  const auto vc = f.overlay->topology_version(PeerId{2});
+  const auto vb = f.overlay->topology_version(PeerId{1});
+  ASSERT_TRUE(f.overlay->connect(PeerId{0}, PeerId{2}));
+  EXPECT_EQ(f.overlay->topology_version(PeerId{0}), va + 1);
+  EXPECT_EQ(f.overlay->topology_version(PeerId{2}), vc + 1);
+  EXPECT_EQ(f.overlay->topology_version(PeerId{1}), vb);  // bystander untouched
 }
 
 TEST(TopologyVersion, FailedConnectDoesNotBump) {
   Fixture f{3, 1};
-  const std::uint64_t global = f.overlay->global_version();
-  EXPECT_FALSE(f.overlay->connect(0, 1));  // already connected
-  EXPECT_FALSE(f.overlay->connect(0, 0));  // self-loop
-  EXPECT_FALSE(f.overlay->connect(0, 3));  // peer 3 offline
+  const auto global = f.overlay->global_version();
+  EXPECT_FALSE(f.overlay->connect(PeerId{0}, PeerId{1}));  // already connected
+  EXPECT_FALSE(f.overlay->connect(PeerId{0}, PeerId{0}));  // self-loop
+  EXPECT_FALSE(f.overlay->connect(PeerId{0}, PeerId{3}));  // peer 3 offline
   EXPECT_EQ(f.overlay->global_version(), global);
 }
 
 TEST(TopologyVersion, DisconnectBumpsBothEndpointsOnlyOnSuccess) {
   Fixture f{4};
-  const std::uint64_t va = f.overlay->topology_version(0);
-  const std::uint64_t vb = f.overlay->topology_version(1);
-  ASSERT_TRUE(f.overlay->disconnect(0, 1));
-  EXPECT_EQ(f.overlay->topology_version(0), va + 1);
-  EXPECT_EQ(f.overlay->topology_version(1), vb + 1);
-  const std::uint64_t global = f.overlay->global_version();
-  EXPECT_FALSE(f.overlay->disconnect(0, 1));  // no such link anymore
+  const auto va = f.overlay->topology_version(PeerId{0});
+  const auto vb = f.overlay->topology_version(PeerId{1});
+  ASSERT_TRUE(f.overlay->disconnect(PeerId{0}, PeerId{1}));
+  EXPECT_EQ(f.overlay->topology_version(PeerId{0}), va + 1);
+  EXPECT_EQ(f.overlay->topology_version(PeerId{1}), vb + 1);
+  const auto global = f.overlay->global_version();
+  EXPECT_FALSE(f.overlay->disconnect(PeerId{0}, PeerId{1}));  // no such link anymore
   EXPECT_EQ(f.overlay->global_version(), global);
 }
 
 TEST(TopologyVersion, JoinBumpsTheJoinerAndItsNewNeighbors) {
   Fixture f{6, 1};
-  const PeerId joiner = 6;
-  std::vector<std::uint64_t> before;
-  for (PeerId p = 0; p < f.overlay->peer_count(); ++p)
+  const PeerId joiner{6};
+  std::vector<TopologyVersion> before;
+  for (PeerId p{0}; p < f.overlay->peer_count(); ++p)
     before.push_back(f.overlay->topology_version(p));
   const std::size_t created = f.overlay->join(joiner, 2, f.rng);
   ASSERT_GT(created, 0u);
   // The online flip alone bumps the joiner; each created link bumps both
   // endpoints again.
-  EXPECT_GE(f.overlay->topology_version(joiner), before[joiner] + 1 + created);
+  EXPECT_GE(f.overlay->topology_version(joiner),
+            before[joiner.value()] + 1 + created);
   std::size_t bumped_neighbors = 0;
-  for (PeerId p = 0; p < joiner; ++p)
-    if (f.overlay->topology_version(p) > before[p]) {
+  for (PeerId p{0}; p < joiner; ++p)
+    if (f.overlay->topology_version(p) > before[p.value()]) {
       ++bumped_neighbors;
       EXPECT_TRUE(f.overlay->are_connected(joiner, p));
     }
@@ -115,21 +116,21 @@ TEST(TopologyVersion, JoinBumpsTheJoinerAndItsNewNeighbors) {
 
 TEST(TopologyVersion, LeaveBumpsPeerDroppedNeighborsAndRepairPartners) {
   Fixture f{8};
-  const PeerId leaver = 3;
-  std::vector<std::uint64_t> before;
-  for (PeerId p = 0; p < f.overlay->peer_count(); ++p)
+  const PeerId leaver{3};
+  std::vector<TopologyVersion> before;
+  for (PeerId p{0}; p < f.overlay->peer_count(); ++p)
     before.push_back(f.overlay->topology_version(p));
   const std::vector<PeerId> dropped =
       f.overlay->leave(leaver, /*repair_min_degree=*/2, f.rng);
   ASSERT_FALSE(dropped.empty());
-  EXPECT_GT(f.overlay->topology_version(leaver), before[leaver]);
+  EXPECT_GT(f.overlay->topology_version(leaver), before[leaver.value()]);
   for (const PeerId q : dropped)
-    EXPECT_GT(f.overlay->topology_version(q), before[q]);
+    EXPECT_GT(f.overlay->topology_version(q), before[q.value()]);
   // Repair links bump peers beyond the dropped set too; every changed
   // version must belong to a peer whose adjacency actually changed (the
   // leaver, a dropped neighbor, or a repair partner with a new link).
-  for (PeerId p = 0; p < f.overlay->peer_count(); ++p) {
-    if (f.overlay->topology_version(p) == before[p]) continue;
+  for (PeerId p{0}; p < f.overlay->peer_count(); ++p) {
+    if (f.overlay->topology_version(p) == before[p.value()]) continue;
     const bool is_leaver = p == leaver;
     const bool was_dropped =
         std::find(dropped.begin(), dropped.end(), p) != dropped.end();
@@ -140,8 +141,8 @@ TEST(TopologyVersion, LeaveBumpsPeerDroppedNeighborsAndRepairPartners) {
 
 TEST(TopologyVersion, LeaveOfIsolatedOfflinePeerIsANoOp) {
   Fixture f{4, 1};
-  const PeerId ghost = 4;  // offline, never connected
-  const std::uint64_t global = f.overlay->global_version();
+  const PeerId ghost{4};  // offline, never connected
+  const auto global = f.overlay->global_version();
   const std::vector<PeerId> dropped = f.overlay->leave(ghost, 2, f.rng);
   EXPECT_TRUE(dropped.empty());
   EXPECT_EQ(f.overlay->global_version(), global);
@@ -214,10 +215,10 @@ TEST(IncrementalCache, MutationInvalidatesOnlyAffectedClosures) {
 
   // Cut one existing link; only closures containing an endpoint go stale.
   PeerId a = kInvalidPeer, b = kInvalidPeer;
-  for (PeerId p = 0; p < f.overlay->peer_count() && a == kInvalidPeer; ++p)
+  for (PeerId p{0}; p < f.overlay->peer_count() && a == kInvalidPeer; ++p)
     if (f.overlay->degree(p) > 0) {
       a = p;
-      b = f.overlay->neighbors(p).front().node;
+      b = peer_of(f.overlay->neighbors(p).front());
     }
   ASSERT_NE(a, kInvalidPeer);
   ASSERT_TRUE(f.overlay->disconnect(a, b));
@@ -355,7 +356,7 @@ TEST(TreeRoutingOverload, LocalIdPathMatchesGlobalIdPath) {
     for (const ClosureEdges edges :
          {ClosureEdges::kOverlayOnly,
           ClosureEdges::kOverlayPlusNeighborProbes}) {
-      for (PeerId p = 0; p < f.overlay->peer_count(); ++p) {
+      for (PeerId p{0}; p < f.overlay->peer_count(); ++p) {
         if (!f.overlay->is_online(p)) continue;
         const LocalClosure closure = build_closure(*f.overlay, p, h, edges);
         const LocalTree tree = build_local_tree(closure);
@@ -432,7 +433,7 @@ TEST(OverlaySnapshot, RebuildsOnlyWhenTheOverlayMutates) {
   OverlaySnapshot snapshot;
   EXPECT_TRUE(snapshot.refresh(*f.overlay));   // first build
   EXPECT_FALSE(snapshot.refresh(*f.overlay));  // unchanged
-  ASSERT_TRUE(f.overlay->connect(0, 5));
+  ASSERT_TRUE(f.overlay->connect(PeerId{0}, PeerId{5}));
   EXPECT_TRUE(snapshot.refresh(*f.overlay));
   EXPECT_FALSE(snapshot.refresh(*f.overlay));
 }
@@ -441,15 +442,15 @@ TEST(OverlaySnapshot, MirrorsLiveAdjacencyOrderAndCosts) {
   EngineFixture f;
   OverlaySnapshot snapshot;
   snapshot.refresh(*f.overlay);
-  for (PeerId p = 0; p < f.overlay->peer_count(); ++p) {
+  for (PeerId p{0}; p < f.overlay->peer_count(); ++p) {
     const auto live = f.overlay->neighbors(p);
     const auto snap = snapshot.neighbors(p);
     ASSERT_EQ(live.size(), snap.size());
     for (std::size_t i = 0; i < live.size(); ++i) {
       EXPECT_EQ(live[i].node, snap[i].node);
       EXPECT_DOUBLE_EQ(live[i].weight, snap[i].weight);
-      EXPECT_TRUE(snapshot.are_connected(p, live[i].node));
-      EXPECT_DOUBLE_EQ(snapshot.link_cost(p, live[i].node), live[i].weight);
+      EXPECT_TRUE(snapshot.are_connected(p, peer_of(live[i])));
+      EXPECT_DOUBLE_EQ(snapshot.link_cost(p, peer_of(live[i])), live[i].weight);
     }
   }
 }
@@ -463,8 +464,8 @@ TEST(OverlaySnapshot, QueryResultsIdenticalWithAndWithoutSnapshot) {
   QueryOptions direct;
   direct.allow_snapshot = false;
   QueryOptions snapshotted;  // allow_snapshot defaults true
-  for (PeerId source = 0; source < 8; ++source) {
-    const ObjectId object = static_cast<ObjectId>(source * 7 + 1);
+  for (PeerId source{0}; source < 8; ++source) {
+    const ObjectId object = static_cast<ObjectId>(source.value() * 7 + 1);
     const QueryResult a =
         run_query(*f.overlay, source, object, oracle,
                   ForwardingMode::kBlindFlooding, nullptr, direct, &scratch);
@@ -485,7 +486,8 @@ TEST(OverlaySnapshot, ForceFullTogglePinsQueriesToTheDirectPath) {
   const CatalogOracle oracle{catalog};
   QueryScratch scratch;
   ForceFullGuard guard{true};
-  (void)run_query(*f.overlay, 0, 1, oracle, ForwardingMode::kBlindFlooding,
+  (void)run_query(*f.overlay, PeerId{0}, 1, oracle,
+                  ForwardingMode::kBlindFlooding,
                   nullptr, QueryOptions{}, &scratch);
   EXPECT_EQ(scratch.snapshot_rebuilds(), 0u);
 }

@@ -9,12 +9,12 @@ namespace {
 
 TEST(LruCache, InsertLookupEvict) {
   LruIndexCache cache{2};
-  cache.insert(1, 100);
-  cache.insert(2, 200);
+  cache.insert(1, PeerId{100});
+  cache.insert(2, PeerId{200});
   EXPECT_EQ(cache.lookup(1), 100u);
   // Inserting a third evicts the least recently used (object 2, since 1 was
   // just refreshed).
-  cache.insert(3, 300);
+  cache.insert(3, PeerId{300});
   EXPECT_EQ(cache.size(), 2u);
   EXPECT_EQ(cache.lookup(2), kInvalidPeer);
   EXPECT_EQ(cache.lookup(1), 100u);
@@ -23,18 +23,18 @@ TEST(LruCache, InsertLookupEvict) {
 
 TEST(LruCache, InsertUpdatesExisting) {
   LruIndexCache cache{2};
-  cache.insert(1, 100);
-  cache.insert(1, 101);
+  cache.insert(1, PeerId{100});
+  cache.insert(1, PeerId{101});
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_EQ(cache.lookup(1), 101u);
 }
 
 TEST(LruCache, PeekDoesNotRefresh) {
   LruIndexCache cache{2};
-  cache.insert(1, 100);
-  cache.insert(2, 200);
+  cache.insert(1, PeerId{100});
+  cache.insert(2, PeerId{200});
   EXPECT_EQ(cache.peek(1), 100u);  // no recency bump
-  cache.insert(3, 300);
+  cache.insert(3, PeerId{300});
   // Without the bump, object 1 was LRU and is evicted.
   EXPECT_EQ(cache.peek(1), kInvalidPeer);
   EXPECT_EQ(cache.peek(2), 200u);
@@ -42,8 +42,8 @@ TEST(LruCache, PeekDoesNotRefresh) {
 
 TEST(LruCache, EraseAndClear) {
   LruIndexCache cache{4};
-  cache.insert(1, 100);
-  cache.insert(2, 200);
+  cache.insert(1, PeerId{100});
+  cache.insert(2, PeerId{200});
   cache.erase(1);
   EXPECT_EQ(cache.size(), 1u);
   cache.erase(42);  // no-op
@@ -53,7 +53,7 @@ TEST(LruCache, EraseAndClear) {
 
 TEST(LruCache, HitMissCounters) {
   LruIndexCache cache{2};
-  cache.insert(1, 100);
+  cache.insert(1, PeerId{100});
   cache.lookup(1);
   cache.lookup(9);
   cache.lookup(9);
@@ -76,19 +76,19 @@ struct LayerFixture {
     for (NodeId u = 0; u + 1 < 16; ++u) g.add_edge(u, u + 1, 1.0);
     physical = std::make_unique<PhysicalNetwork>(std::move(g));
     overlay = std::make_unique<OverlayNetwork>(*physical);
-    for (HostId h = 0; h < 10; ++h) overlay->add_peer(h);
+    for (std::uint32_t h = 0; h < 10; ++h) overlay->add_peer(HostId{h});
     layer = std::make_unique<IndexCacheLayer>(*catalog, 10, 4);
     layer->bind_overlay(*overlay);
   }
   // Any peer that actually holds `o` per the catalog.
   PeerId some_holder(ObjectId o) const {
-    for (PeerId p = 0; p < 10; ++p)
+    for (PeerId p{0}; p < 10; ++p)
       if (catalog->holds(p, o)) return p;
     return kInvalidPeer;
   }
   // A peer that does NOT hold `o`.
   PeerId some_non_holder(ObjectId o) const {
-    for (PeerId p = 0; p < 10; ++p)
+    for (PeerId p{0}; p < 10; ++p)
       if (!catalog->holds(p, o)) return p;
     return kInvalidPeer;
   }
@@ -125,7 +125,7 @@ TEST(CacheLayer, LearnFromPopulatesPathPeers) {
     const PeerId h = f.some_holder(o);
     if (h == kInvalidPeer) continue;
     PeerId a = kInvalidPeer, b = kInvalidPeer;
-    for (PeerId p = 0; p < 10; ++p) {
+    for (PeerId p{0}; p < 10; ++p) {
       if (f.catalog->holds(p, o) || p == h) continue;
       if (a == kInvalidPeer)
         a = p;
@@ -197,7 +197,7 @@ TEST(CacheLayer, CachedAnswerResolvesThroughToRealHolder) {
   while (holder == kInvalidPeer) holder = f.some_holder(++object);
   const PeerId learner = f.some_non_holder(object);
   const PeerId second = [&] {
-    for (PeerId p = 0; p < 10; ++p)
+    for (PeerId p{0}; p < 10; ++p)
       if (!f.catalog->holds(p, object) && p != learner) return p;
     return kInvalidPeer;
   }();
@@ -231,7 +231,7 @@ TEST(CacheLayer, IgnoresUnfoundQueries) {
 
 TEST(CacheLayer, CacheOfOutOfRangeThrows) {
   LayerFixture f;
-  EXPECT_THROW(f.layer->cache_of(99), std::out_of_range);
+  EXPECT_THROW(f.layer->cache_of(PeerId{99}), std::out_of_range);
 }
 
 }  // namespace

@@ -101,7 +101,7 @@ struct LabFixture {
 TEST(InvariantAuditors, HealthyStatePasses) {
   LabFixture lab;
   lab.overlay->debug_validate();
-  const LocalClosure closure = build_closure(*lab.overlay, 0, 2);
+  const LocalClosure closure = build_closure(*lab.overlay, PeerId{0}, 2);
   closure.debug_validate(2);
   const LocalTree tree = build_local_tree(closure);
   debug_validate_tree(closure, tree);
@@ -114,29 +114,29 @@ TEST(InvariantAuditors, HealthyStatePasses) {
 
   ForwardingTable table;
   table.ensure_size(lab.overlay->peer_count());
-  table.set_tree(0, make_tree_routing(tree, 0));
+  table.set_tree(PeerId{0}, make_tree_routing(tree, PeerId{0}));
   table.debug_validate(*lab.overlay);
 }
 
 TEST(InvariantAuditorsDeath, ClosureHopBoundBreach) {
   LabFixture lab;
-  LocalClosure closure = build_closure(*lab.overlay, 0, 2);
+  LocalClosure closure = build_closure(*lab.overlay, PeerId{0}, 2);
   closure.depth.back() = 9;  // corrupt: member claims depth past the bound
   EXPECT_DEATH(closure.debug_validate(2), "hop bound");
 }
 
 TEST(InvariantAuditorsDeath, ClosureIndexBijectionBreak) {
   LabFixture lab;
-  LocalClosure closure = build_closure(*lab.overlay, 0, 1);
+  LocalClosure closure = build_closure(*lab.overlay, PeerId{0}, 1);
   ASSERT_GE(closure.size(), 2u);
   // Corrupt: two local ids claim the same global peer.
-  closure.local_index[closure.nodes[1]] = 0;
+  closure.local_index[closure.nodes[LocalNodeId{1}]] = LocalNodeId{0};
   EXPECT_DEATH(closure.debug_validate(1), "local_index");
 }
 
 TEST(InvariantAuditorsDeath, ClosureMisalignedArrays) {
   LabFixture lab;
-  LocalClosure closure = build_closure(*lab.overlay, 0, 1);
+  LocalClosure closure = build_closure(*lab.overlay, PeerId{0}, 1);
   closure.depth.pop_back();  // corrupt: depth no longer aligned with nodes
   EXPECT_DEATH(closure.debug_validate(1), "depth misaligned");
 }
@@ -146,8 +146,8 @@ TEST(InvariantAuditorsDeath, CostTableRecordsSelf) {
   CostTableStore store;
   store.ensure_size(lab.overlay->peer_count());
   ProbeOverhead overhead;
-  store.refresh_peer(*lab.overlay, 3, overhead);
-  store.table(3).record(3, 1.0);  // corrupt: peer probes itself
+  store.refresh_peer(*lab.overlay, PeerId{3}, overhead);
+  store.table(PeerId{3}).record(PeerId{3}, 1.0);  // corrupt: peer probes itself
   EXPECT_DEATH(store.debug_validate(*lab.overlay), "recorded itself");
 }
 
@@ -156,10 +156,11 @@ TEST(InvariantAuditorsDeath, CostTableDisagreesWithLiveLink) {
   CostTableStore store;
   store.ensure_size(lab.overlay->peer_count());
   ProbeOverhead overhead;
-  store.refresh_peer(*lab.overlay, 3, overhead);
-  const PeerId neighbor = lab.overlay->neighbors(3).front().node;
+  store.refresh_peer(*lab.overlay, PeerId{3}, overhead);
+  const PeerId neighbor = peer_of(lab.overlay->neighbors(PeerId{3}).front());
   // Corrupt: the recorded probe cost drifts away from the live link cost.
-  store.table(3).record(neighbor, lab.overlay->link_cost(3, neighbor) + 5.0);
+  store.table(PeerId{3}).record(neighbor,
+                               lab.overlay->link_cost(PeerId{3}, neighbor) + 5.0);
   EXPECT_DEATH(store.debug_validate(*lab.overlay),
                "disagrees with the live overlay link");
 }
@@ -170,9 +171,9 @@ TEST(InvariantAuditorsDeath, CostTableAsymmetry) {
   store.ensure_size(lab.overlay->peer_count());
   // Corrupt: a records b at one cost, b records a at another (and neither
   // pair is overlay-linked, so only the symmetry rule can object).
-  PeerId a = 0, b = 0;
-  for (PeerId p = 1; p < lab.overlay->peer_count(); ++p) {
-    if (!lab.overlay->are_connected(0, p)) {
+  PeerId a{0}, b{0};
+  for (PeerId p{1}; p < lab.overlay->peer_count(); ++p) {
+    if (!lab.overlay->are_connected(PeerId{0}, p)) {
       b = p;
       break;
     }
@@ -185,7 +186,7 @@ TEST(InvariantAuditorsDeath, CostTableAsymmetry) {
 
 TEST(InvariantAuditorsDeath, TreeWithCycle) {
   LabFixture lab;
-  const LocalClosure closure = build_closure(*lab.overlay, 0, 2);
+  const LocalClosure closure = build_closure(*lab.overlay, PeerId{0}, 2);
   LocalTree tree = build_local_tree(closure);
   ASSERT_GE(tree.edges.size(), 2u);
   tree.edges.push_back(tree.edges.front());  // corrupt: duplicated edge
@@ -194,7 +195,7 @@ TEST(InvariantAuditorsDeath, TreeWithCycle) {
 
 TEST(InvariantAuditorsDeath, TreeEdgeEscapesClosure) {
   LabFixture lab;
-  const LocalClosure closure = build_closure(*lab.overlay, 0, 1);
+  const LocalClosure closure = build_closure(*lab.overlay, PeerId{0}, 1);
   LocalTree tree = build_local_tree(closure);
   ASSERT_FALSE(tree.edges.empty());
   tree.edges.front().u = kInvalidPeer;  // corrupt: endpoint outside closure
@@ -203,7 +204,7 @@ TEST(InvariantAuditorsDeath, TreeEdgeEscapesClosure) {
 
 TEST(InvariantAuditorsDeath, TreeDoubleClassifiesNeighbor) {
   LabFixture lab;
-  const LocalClosure closure = build_closure(*lab.overlay, 0, 1);
+  const LocalClosure closure = build_closure(*lab.overlay, PeerId{0}, 1);
   LocalTree tree = build_local_tree(closure);
   ASSERT_FALSE(tree.flooding.empty());
   // Corrupt: one direct neighbor listed on both sides of the partition.
@@ -214,7 +215,7 @@ TEST(InvariantAuditorsDeath, TreeDoubleClassifiesNeighbor) {
 
 TEST(InvariantAuditorsDeath, TreeTotalWeightDrift) {
   LabFixture lab;
-  const LocalClosure closure = build_closure(*lab.overlay, 0, 1);
+  const LocalClosure closure = build_closure(*lab.overlay, PeerId{0}, 1);
   LocalTree tree = build_local_tree(closure);
   tree.total_weight += 1.0;  // corrupt: cached aggregate out of sync
   EXPECT_DEATH(debug_validate_tree(closure, tree), "total_weight");
@@ -226,14 +227,14 @@ TEST(InvariantAuditorsDeath, ForwardingEntryOutlivesLink) {
   table.ensure_size(lab.overlay->peer_count());
   // Corrupt: peer 0 would forward to a peer it is not connected to.
   PeerId stranger = kInvalidPeer;
-  for (PeerId p = 1; p < lab.overlay->peer_count(); ++p) {
-    if (!lab.overlay->are_connected(0, p)) {
+  for (PeerId p{1}; p < lab.overlay->peer_count(); ++p) {
+    if (!lab.overlay->are_connected(PeerId{0}, p)) {
       stranger = p;
       break;
     }
   }
   ASSERT_NE(stranger, kInvalidPeer);
-  table.set_flooding(0, {stranger});
+  table.set_flooding(PeerId{0}, {stranger});
   EXPECT_DEATH(table.debug_validate(*lab.overlay), "stale flooding entry");
 }
 
@@ -241,8 +242,8 @@ TEST(InvariantAuditorsDeath, ForwardingEntryForOfflinePeer) {
   LabFixture lab;
   ForwardingTable table;
   table.ensure_size(lab.overlay->peer_count());
-  const PeerId p = 5;
-  const PeerId neighbor = lab.overlay->neighbors(p).front().node;
+  const PeerId p{5};
+  const PeerId neighbor = peer_of(lab.overlay->neighbors(p).front());
   table.set_flooding(p, {neighbor});
   Rng rng{7};
   lab.overlay->leave(p, 0, rng);  // departs without invalidating its entry

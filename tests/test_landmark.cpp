@@ -16,8 +16,8 @@ PhysicalNetwork line_network(std::size_t hosts = 64) {
 
 TEST(Landmark, CoordinatesAreLandmarkDelays) {
   PhysicalNetwork net = line_network();
-  const std::vector<HostId> peers{0, 10, 20};
-  const std::vector<HostId> landmarks{5, 30};
+  const std::vector<HostId> peers{HostId{0}, HostId{10}, HostId{20}};
+  const std::vector<HostId> landmarks{HostId{5}, HostId{30}};
   const auto coords = landmark_coordinates(net, peers, landmarks);
   ASSERT_EQ(coords.size(), 3u);
   EXPECT_DOUBLE_EQ(coords[0][0], 5.0);   // host 0 -> landmark 5
@@ -39,14 +39,14 @@ TEST(Landmark, BuildsOverlayWithProximityLinks) {
   PhysicalNetwork net = line_network(128);
   Rng rng{3};
   std::vector<HostId> peer_hosts;
-  for (HostId h = 0; h < 128; h += 4) peer_hosts.push_back(h);
+  for (std::uint32_t h = 0; h < 128; h += 4) peer_hosts.push_back(HostId{h});
   LandmarkConfig config;
   config.landmarks = 4;
   config.proximity_links = 3;
   OverlayNetwork overlay =
       build_landmark_overlay(net, peer_hosts, config, rng);
   EXPECT_EQ(overlay.peer_count(), peer_hosts.size());
-  for (PeerId p = 0; p < overlay.peer_count(); ++p)
+  for (PeerId p{0}; p < overlay.peer_count(); ++p)
     EXPECT_GE(overlay.degree(p), 1u);
 }
 
@@ -56,7 +56,7 @@ TEST(Landmark, ProximityLinksArePhysicallyShort) {
   PhysicalNetwork net = line_network(128);
   Rng rng{5};
   std::vector<HostId> peer_hosts;
-  for (HostId h = 0; h < 128; h += 2) peer_hosts.push_back(h);
+  for (std::uint32_t h = 0; h < 128; h += 2) peer_hosts.push_back(HostId{h});
   LandmarkConfig config;
   config.landmarks = 4;
   config.proximity_links = 3;
@@ -87,7 +87,7 @@ TEST(Landmark, PureSchemeCanPartition) {
   PhysicalNetwork net = line_network(128);
   Rng rng{7};
   std::vector<HostId> peer_hosts;
-  for (HostId h = 0; h < 128; h += 2) peer_hosts.push_back(h);
+  for (std::uint32_t h = 0; h < 128; h += 2) peer_hosts.push_back(HostId{h});
   LandmarkConfig config;
   config.landmarks = 4;
   config.proximity_links = 2;
@@ -113,13 +113,13 @@ TEST(Landmark, PureSchemeCanPartition) {
 TEST(Landmark, Rejections) {
   PhysicalNetwork net = line_network();
   Rng rng{9};
-  const std::vector<HostId> peers{0, 1};
+  const std::vector<HostId> peers{HostId{0}, HostId{1}};
   LandmarkConfig config;
   config.landmarks = 0;
   EXPECT_THROW(build_landmark_overlay(net, peers, config, rng),
                std::invalid_argument);
   config.landmarks = 2;
-  const std::vector<HostId> one{0};
+  const std::vector<HostId> one{HostId{0}};
   EXPECT_THROW(build_landmark_overlay(net, one, config, rng),
                std::invalid_argument);
 }

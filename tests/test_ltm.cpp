@@ -27,9 +27,9 @@ TEST(Ltm, CutsRedundantSlowLink) {
   Fixture f;
   // Triangle: s@0, r@1, v@10. Direct s-v costs 10; via r costs 1 + 9 = 10
   // (not slower) -> redundant, cut.
-  const PeerId s = f.overlay->add_peer(0);
-  const PeerId r = f.overlay->add_peer(1);
-  const PeerId v = f.overlay->add_peer(10);
+  const PeerId s = f.overlay->add_peer(HostId{0});
+  const PeerId r = f.overlay->add_peer(HostId{1});
+  const PeerId v = f.overlay->add_peer(HostId{10});
   f.overlay->connect(s, r);
   f.overlay->connect(r, v);
   f.overlay->connect(s, v);
@@ -50,9 +50,9 @@ TEST(Ltm, KeepsLinksWhenTwoHopStrictlySlower) {
   // On a line topology every "between" relay ties the direct link exactly
   // (additive metric), so a sub-unit slack demands a strictly faster
   // detour — none exists, nothing is cut.
-  const PeerId s = f.overlay->add_peer(0);
-  const PeerId r = f.overlay->add_peer(5);
-  const PeerId v = f.overlay->add_peer(3);
+  const PeerId s = f.overlay->add_peer(HostId{0});
+  const PeerId r = f.overlay->add_peer(HostId{5});
+  const PeerId v = f.overlay->add_peer(HostId{3});
   f.overlay->connect(s, r);
   f.overlay->connect(r, v);
   f.overlay->connect(s, v);
@@ -70,9 +70,9 @@ TEST(Ltm, KeepsLinksWhenTwoHopStrictlySlower) {
 
 TEST(Ltm, MinDegreeGuardsBothEndpoints) {
   Fixture f;
-  const PeerId s = f.overlay->add_peer(0);
-  const PeerId r = f.overlay->add_peer(1);
-  const PeerId v = f.overlay->add_peer(10);
+  const PeerId s = f.overlay->add_peer(HostId{0});
+  const PeerId r = f.overlay->add_peer(HostId{1});
+  const PeerId v = f.overlay->add_peer(HostId{10});
   f.overlay->connect(s, r);
   f.overlay->connect(r, v);
   f.overlay->connect(s, v);
@@ -88,9 +88,9 @@ TEST(Ltm, MinDegreeGuardsBothEndpoints) {
 TEST(Ltm, AddsCloserTwoHopPeer) {
   Fixture f;
   // s@0 -- far@20 -- near@2: near probes at 2 < worst link (20) -> adopt.
-  const PeerId s = f.overlay->add_peer(0);
-  const PeerId far = f.overlay->add_peer(20);
-  const PeerId near_peer = f.overlay->add_peer(2);
+  const PeerId s = f.overlay->add_peer(HostId{0});
+  const PeerId far = f.overlay->add_peer(HostId{20});
+  const PeerId near_peer = f.overlay->add_peer(HostId{2});
   f.overlay->connect(s, far);
   f.overlay->connect(far, near_peer);
   LtmConfig config;
@@ -104,9 +104,9 @@ TEST(Ltm, AddsCloserTwoHopPeer) {
 
 TEST(Ltm, DetectorOverheadCharged) {
   Fixture f;
-  const PeerId s = f.overlay->add_peer(0);
-  const PeerId a = f.overlay->add_peer(1);
-  const PeerId b = f.overlay->add_peer(2);
+  const PeerId s = f.overlay->add_peer(HostId{0});
+  const PeerId a = f.overlay->add_peer(HostId{1});
+  const PeerId b = f.overlay->add_peer(HostId{2});
   f.overlay->connect(s, a);
   f.overlay->connect(a, b);
   LtmEngine engine{*f.overlay, LtmConfig{}};

@@ -38,9 +38,9 @@ TEST(Optimizer, InvalidConfigThrows) {
 // replace B with H.
 TEST(Optimizer, ReplacesFarNeighborWithCloseCandidate) {
   Fixture f;
-  const PeerId p = f.overlay->add_peer(0);
-  const PeerId b = f.overlay->add_peer(10);
-  const PeerId h = f.overlay->add_peer(2);
+  const PeerId p = f.overlay->add_peer(HostId{0});
+  const PeerId b = f.overlay->add_peer(HostId{10});
+  const PeerId h = f.overlay->add_peer(HostId{2});
   f.overlay->connect(p, b);
   f.overlay->connect(b, h);  // b keeps h after the cut (degree 1 allowed)
   Phase3Optimizer optimizer{OptimizerConfig{}};
@@ -59,11 +59,11 @@ TEST(Optimizer, ReplacesFarNeighborWithCloseCandidate) {
 // B -> P adds H while keeping B.
 TEST(Optimizer, KeepsBothWhenCandidateUsefulButFarther) {
   Fixture f;
-  const PeerId p = f.overlay->add_peer(10);
-  const PeerId b = f.overlay->add_peer(11);  // cost(P,B) = 1
-  const PeerId h = f.overlay->add_peer(14);  // cost(P,H) = 4... need BH > PH
+  const PeerId p = f.overlay->add_peer(HostId{10});
+  const PeerId b = f.overlay->add_peer(HostId{11});  // cost(P,B) = 1
+  const PeerId h = f.overlay->add_peer(HostId{14});  // cost(P,H) = 4... need BH > PH
   // B at 11, H at 14: BH = 3 < PH = 4. Bad. Put H at 6: PH=4, BH=5. Good.
-  const PeerId h2 = f.overlay->add_peer(6);
+  const PeerId h2 = f.overlay->add_peer(HostId{6});
   (void)h;
   f.overlay->connect(p, b);
   f.overlay->connect(b, h2);
@@ -80,9 +80,9 @@ TEST(Optimizer, KeepsBothWhenCandidateUsefulButFarther) {
 // Paper Fig 4(d): candidate worse on both counts -> nothing changes.
 TEST(Optimizer, LeavesTopologyWhenCandidateUseless) {
   Fixture f;
-  const PeerId p = f.overlay->add_peer(10);
-  const PeerId b = f.overlay->add_peer(11);   // PB = 1
-  const PeerId h = f.overlay->add_peer(13);   // PH = 3, BH = 2 < PH
+  const PeerId p = f.overlay->add_peer(HostId{10});
+  const PeerId b = f.overlay->add_peer(HostId{11});   // PB = 1
+  const PeerId h = f.overlay->add_peer(HostId{13});   // PH = 3, BH = 2 < PH
   f.overlay->connect(p, b);
   f.overlay->connect(b, h);
   Phase3Optimizer optimizer{OptimizerConfig{}};
@@ -97,9 +97,9 @@ TEST(Optimizer, LeavesTopologyWhenCandidateUseless) {
 
 TEST(Optimizer, KeepRuleCanBeDisabled) {
   Fixture f;
-  const PeerId p = f.overlay->add_peer(10);
-  const PeerId b = f.overlay->add_peer(11);
-  const PeerId h = f.overlay->add_peer(6);  // PH=4 > PB=1, BH=5 > PH
+  const PeerId p = f.overlay->add_peer(HostId{10});
+  const PeerId b = f.overlay->add_peer(HostId{11});
+  const PeerId h = f.overlay->add_peer(HostId{6});  // PH=4 > PB=1, BH=5 > PH
   f.overlay->connect(p, b);
   f.overlay->connect(b, h);
   OptimizerConfig config;
@@ -114,9 +114,9 @@ TEST(Optimizer, KeepRuleCanBeDisabled) {
 
 TEST(Optimizer, MinDegreeGuardPreventsStranding) {
   Fixture f;
-  const PeerId p = f.overlay->add_peer(0);
-  const PeerId b = f.overlay->add_peer(10);
-  const PeerId h = f.overlay->add_peer(2);
+  const PeerId p = f.overlay->add_peer(HostId{0});
+  const PeerId b = f.overlay->add_peer(HostId{10});
+  const PeerId h = f.overlay->add_peer(HostId{2});
   // b's only links are p and h: cutting p-b would leave b with degree 1
   // (allowed at min_degree=1) — raise min_degree to 2 to forbid the cut.
   f.overlay->connect(p, b);
@@ -136,11 +136,11 @@ TEST(Optimizer, MinDegreeGuardPreventsStranding) {
 
 TEST(Optimizer, ClosestPolicyProbesAllCandidates) {
   Fixture f;
-  const PeerId p = f.overlay->add_peer(0);
-  const PeerId b = f.overlay->add_peer(20);
-  const PeerId far_candidate = f.overlay->add_peer(30);
-  const PeerId near_candidate = f.overlay->add_peer(1);
-  const PeerId anchor = f.overlay->add_peer(21);
+  const PeerId p = f.overlay->add_peer(HostId{0});
+  const PeerId b = f.overlay->add_peer(HostId{20});
+  const PeerId far_candidate = f.overlay->add_peer(HostId{30});
+  const PeerId near_candidate = f.overlay->add_peer(HostId{1});
+  const PeerId anchor = f.overlay->add_peer(HostId{21});
   f.overlay->connect(p, b);
   f.overlay->connect(b, far_candidate);
   f.overlay->connect(b, near_candidate);
@@ -158,10 +158,10 @@ TEST(Optimizer, ClosestPolicyProbesAllCandidates) {
 
 TEST(Optimizer, NaivePolicyReplacesMostExpensiveLink) {
   Fixture f;
-  const PeerId p = f.overlay->add_peer(0);
-  const PeerId cheap = f.overlay->add_peer(1);
-  const PeerId expensive = f.overlay->add_peer(40);
-  const PeerId candidate = f.overlay->add_peer(3);
+  const PeerId p = f.overlay->add_peer(HostId{0});
+  const PeerId cheap = f.overlay->add_peer(HostId{1});
+  const PeerId expensive = f.overlay->add_peer(HostId{40});
+  const PeerId candidate = f.overlay->add_peer(HostId{3});
   f.overlay->connect(p, cheap);
   f.overlay->connect(p, expensive);
   f.overlay->connect(expensive, candidate);
@@ -179,12 +179,13 @@ TEST(Optimizer, NaivePolicyReplacesMostExpensiveLink) {
 
 TEST(Optimizer, TrimCutsMostExpensiveNonFloodingLink) {
   Fixture f;
-  const PeerId p = f.overlay->add_peer(0);
+  const PeerId p = f.overlay->add_peer(HostId{0});
   std::vector<PeerId> neighbors;
-  for (HostId h = 1; h <= 4; ++h) neighbors.push_back(f.overlay->add_peer(h * 10));
+  for (std::uint32_t h = 1; h <= 4; ++h)
+    neighbors.push_back(f.overlay->add_peer(HostId{h * 10}));
   for (const PeerId n : neighbors) f.overlay->connect(p, n);
   // Anchor each neighbor so min-degree never blocks the trim.
-  const PeerId anchor = f.overlay->add_peer(50);
+  const PeerId anchor = f.overlay->add_peer(HostId{50});
   for (const PeerId n : neighbors) f.overlay->connect(n, anchor);
   OptimizerConfig config;
   config.max_degree = 2;
@@ -200,7 +201,7 @@ TEST(Optimizer, TrimCutsMostExpensiveNonFloodingLink) {
 
 TEST(Optimizer, OfflinePeerIsNoop) {
   Fixture f;
-  const PeerId p = f.overlay->add_peer(0, /*online=*/false);
+  const PeerId p = f.overlay->add_peer(HostId{0}, /*online=*/false);
   Phase3Optimizer optimizer{OptimizerConfig{}};
   const OptimizeOutcome outcome =
       optimizer.optimize_peer(*f.overlay, p, {}, f.rng, f.touched);
@@ -210,8 +211,8 @@ TEST(Optimizer, OfflinePeerIsNoop) {
 
 TEST(Optimizer, NoCandidatesNoChanges) {
   Fixture f;
-  const PeerId p = f.overlay->add_peer(0);
-  const PeerId b = f.overlay->add_peer(10);
+  const PeerId p = f.overlay->add_peer(HostId{0});
+  const PeerId b = f.overlay->add_peer(HostId{10});
   f.overlay->connect(p, b);  // b has no other neighbors
   Phase3Optimizer optimizer{OptimizerConfig{}};
   const std::vector<PeerId> non_flooding{b};

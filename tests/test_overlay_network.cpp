@@ -24,8 +24,8 @@ class OverlayTest : public ::testing::Test {
 
 TEST_F(OverlayTest, AddPeerAndAttributes) {
   OverlayNetwork overlay{physical_};
-  const PeerId p = overlay.add_peer(0);
-  const PeerId q = overlay.add_peer(4, /*online=*/false);
+  const PeerId p = overlay.add_peer(HostId{0});
+  const PeerId q = overlay.add_peer(HostId{4}, /*online=*/false);
   EXPECT_EQ(overlay.peer_count(), 2u);
   EXPECT_EQ(overlay.online_count(), 1u);
   EXPECT_TRUE(overlay.is_online(p));
@@ -36,13 +36,13 @@ TEST_F(OverlayTest, AddPeerAndAttributes) {
 
 TEST_F(OverlayTest, BadHostThrows) {
   OverlayNetwork overlay{physical_};
-  EXPECT_THROW(overlay.add_peer(99), std::out_of_range);
+  EXPECT_THROW(overlay.add_peer(HostId{99}), std::out_of_range);
 }
 
 TEST_F(OverlayTest, ConnectUsesPhysicalDelayAsWeight) {
   OverlayNetwork overlay{physical_};
-  const PeerId a = overlay.add_peer(0);
-  const PeerId b = overlay.add_peer(3);
+  const PeerId a = overlay.add_peer(HostId{0});
+  const PeerId b = overlay.add_peer(HostId{3});
   ASSERT_TRUE(overlay.connect(a, b));
   EXPECT_DOUBLE_EQ(overlay.link_cost(a, b), 3.0);
   EXPECT_DOUBLE_EQ(overlay.peer_delay(a, b), 3.0);
@@ -50,9 +50,9 @@ TEST_F(OverlayTest, ConnectUsesPhysicalDelayAsWeight) {
 
 TEST_F(OverlayTest, ConnectRules) {
   OverlayNetwork overlay{physical_};
-  const PeerId a = overlay.add_peer(0);
-  const PeerId b = overlay.add_peer(1);
-  const PeerId off = overlay.add_peer(2, /*online=*/false);
+  const PeerId a = overlay.add_peer(HostId{0});
+  const PeerId b = overlay.add_peer(HostId{1});
+  const PeerId off = overlay.add_peer(HostId{2}, /*online=*/false);
   EXPECT_FALSE(overlay.connect(a, a));
   EXPECT_FALSE(overlay.connect(a, off));
   EXPECT_TRUE(overlay.connect(a, b));
@@ -62,8 +62,8 @@ TEST_F(OverlayTest, ConnectRules) {
 
 TEST_F(OverlayTest, CoLocatedPeersGetPositiveEpsilonWeight) {
   OverlayNetwork overlay{physical_};
-  const PeerId a = overlay.add_peer(2);
-  const PeerId b = overlay.add_peer(2);  // same host
+  const PeerId a = overlay.add_peer(HostId{2});
+  const PeerId b = overlay.add_peer(HostId{2});  // same host
   ASSERT_TRUE(overlay.connect(a, b));
   EXPECT_GT(overlay.link_cost(a, b), 0.0);
   EXPECT_LT(overlay.link_cost(a, b), 1e-3);
@@ -71,8 +71,8 @@ TEST_F(OverlayTest, CoLocatedPeersGetPositiveEpsilonWeight) {
 
 TEST_F(OverlayTest, DisconnectAndLinkCostThrow) {
   OverlayNetwork overlay{physical_};
-  const PeerId a = overlay.add_peer(0);
-  const PeerId b = overlay.add_peer(1);
+  const PeerId a = overlay.add_peer(HostId{0});
+  const PeerId b = overlay.add_peer(HostId{1});
   overlay.connect(a, b);
   EXPECT_TRUE(overlay.disconnect(a, b));
   EXPECT_FALSE(overlay.disconnect(a, b));
@@ -83,46 +83,46 @@ TEST_F(OverlayTest, FromGraphInstallsEverything) {
   Graph logical{3};
   logical.add_edge(0, 1, 99.0);  // placeholder weight, must be replaced
   logical.add_edge(1, 2, 99.0);
-  const std::vector<HostId> hosts{0, 2, 4};
+  const std::vector<HostId> hosts{HostId{0}, HostId{2}, HostId{4}};
   OverlayNetwork overlay{physical_, logical, hosts};
   EXPECT_EQ(overlay.peer_count(), 3u);
   EXPECT_EQ(overlay.online_count(), 3u);
-  EXPECT_DOUBLE_EQ(overlay.link_cost(0, 1), 2.0);  // host 0 -> host 2
-  EXPECT_DOUBLE_EQ(overlay.link_cost(1, 2), 2.0);  // host 2 -> host 4
-  EXPECT_FALSE(overlay.are_connected(0, 2));
+  EXPECT_DOUBLE_EQ(overlay.link_cost(PeerId{0}, PeerId{1}), 2.0);  // host 0 -> host 2
+  EXPECT_DOUBLE_EQ(overlay.link_cost(PeerId{1}, PeerId{2}), 2.0);  // host 2 -> host 4
+  EXPECT_FALSE(overlay.are_connected(PeerId{0}, PeerId{2}));
 }
 
 TEST_F(OverlayTest, FromGraphSizeMismatchThrows) {
   Graph logical{3};
-  const std::vector<HostId> hosts{0, 1};
+  const std::vector<HostId> hosts{HostId{0}, HostId{1}};
   EXPECT_THROW(OverlayNetwork(physical_, logical, hosts),
                std::invalid_argument);
 }
 
 TEST_F(OverlayTest, OnlinePeersListedAscending) {
   OverlayNetwork overlay{physical_};
-  overlay.add_peer(0);
-  overlay.add_peer(1, false);
-  overlay.add_peer(2);
+  overlay.add_peer(HostId{0});
+  overlay.add_peer(HostId{1}, false);
+  overlay.add_peer(HostId{2});
   const auto online = overlay.online_peers();
-  EXPECT_EQ(online, (std::vector<PeerId>{0, 2}));
+  EXPECT_EQ(online, (std::vector<PeerId>{PeerId{0}, PeerId{2}}));
 }
 
 TEST_F(OverlayTest, RandomOnlinePeerRespectsExclusion) {
   OverlayNetwork overlay{physical_};
-  overlay.add_peer(0);
-  overlay.add_peer(1);
+  overlay.add_peer(HostId{0});
+  overlay.add_peer(HostId{1});
   Rng rng{1};
-  for (int i = 0; i < 50; ++i) EXPECT_EQ(overlay.random_online_peer(rng, 0), 1u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(overlay.random_online_peer(rng, PeerId{0}), 1u);
   OverlayNetwork lonely{physical_};
-  lonely.add_peer(0);
-  EXPECT_THROW(lonely.random_online_peer(rng, 0), std::logic_error);
+  lonely.add_peer(HostId{0});
+  EXPECT_THROW(lonely.random_online_peer(rng, PeerId{0}), std::logic_error);
 }
 
 TEST_F(OverlayTest, JoinConnectsToTargetDegree) {
   OverlayNetwork overlay{physical_};
-  for (HostId h = 0; h < 5; ++h) overlay.add_peer(h);
-  const PeerId fresh = overlay.add_peer(0, /*online=*/false);
+  for (std::uint32_t h = 0; h < 5; ++h) overlay.add_peer(HostId{h});
+  const PeerId fresh = overlay.add_peer(HostId{0}, /*online=*/false);
   Rng rng{2};
   const std::size_t links = overlay.join(fresh, 3, rng);
   EXPECT_EQ(links, 3u);
@@ -132,7 +132,7 @@ TEST_F(OverlayTest, JoinConnectsToTargetDegree) {
 
 TEST_F(OverlayTest, JoinAloneCreatesNoLinks) {
   OverlayNetwork overlay{physical_};
-  const PeerId only = overlay.add_peer(0, false);
+  const PeerId only = overlay.add_peer(HostId{0}, false);
   Rng rng{3};
   EXPECT_EQ(overlay.join(only, 4, rng), 0u);
   EXPECT_TRUE(overlay.is_online(only));
@@ -141,9 +141,10 @@ TEST_F(OverlayTest, JoinAloneCreatesNoLinks) {
 TEST_F(OverlayTest, LeaveIsolatesAndRepairs) {
   OverlayNetwork overlay{physical_};
   // Star around peer 0 with 4 leaves.
-  const PeerId hub = overlay.add_peer(0);
+  const PeerId hub = overlay.add_peer(HostId{0});
   std::vector<PeerId> leaves;
-  for (HostId h = 1; h < 5; ++h) leaves.push_back(overlay.add_peer(h));
+  for (std::uint32_t h = 1; h < 5; ++h)
+    leaves.push_back(overlay.add_peer(HostId{h}));
   for (const PeerId leaf : leaves) overlay.connect(hub, leaf);
   Rng rng{4};
   const auto dropped = overlay.leave(hub, /*repair_min_degree=*/1, rng);
@@ -157,9 +158,9 @@ TEST_F(OverlayTest, LeaveIsolatesAndRepairs) {
 
 TEST_F(OverlayTest, MeanOnlineDegreeIgnoresOffline) {
   OverlayNetwork overlay{physical_};
-  const PeerId a = overlay.add_peer(0);
-  const PeerId b = overlay.add_peer(1);
-  overlay.add_peer(2, false);
+  const PeerId a = overlay.add_peer(HostId{0});
+  const PeerId b = overlay.add_peer(HostId{1});
+  overlay.add_peer(HostId{2}, false);
   overlay.connect(a, b);
   EXPECT_DOUBLE_EQ(overlay.mean_online_degree(), 1.0);
 }

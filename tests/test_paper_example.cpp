@@ -44,23 +44,23 @@ TEST(PaperFig2, MismatchedOverlayCostsMultipleBridgeCrossings) {
   // Mismatched overlay of Fig 2(a): A(0) - C(2) - B(1) - D(3): every logical
   // hop crosses the bridge.
   OverlayNetwork bad{physical};
-  for (HostId h = 0; h < 4; ++h) bad.add_peer(h);
-  bad.connect(0, 2);
-  bad.connect(2, 1);
-  bad.connect(1, 3);
+  for (std::uint32_t h = 0; h < 4; ++h) bad.add_peer(HostId{h});
+  bad.connect(PeerId{0}, PeerId{2});
+  bad.connect(PeerId{2}, PeerId{1});
+  bad.connect(PeerId{1}, PeerId{3});
 
   // Matching overlay of Fig 2(b): A-B, B-C, C-D.
   OverlayNetwork good{physical};
-  for (HostId h = 0; h < 4; ++h) good.add_peer(h);
-  good.connect(0, 1);
-  good.connect(1, 2);
-  good.connect(2, 3);
+  for (std::uint32_t h = 0; h < 4; ++h) good.add_peer(HostId{h});
+  good.connect(PeerId{0}, PeerId{1});
+  good.connect(PeerId{1}, PeerId{2});
+  good.connect(PeerId{2}, PeerId{3});
 
   const NobodyOracle oracle;
   const QueryResult bad_result =
-      run_query(bad, 0, 0, oracle, ForwardingMode::kBlindFlooding, nullptr);
+      run_query(bad, PeerId{0}, 0, oracle, ForwardingMode::kBlindFlooding, nullptr);
   const QueryResult good_result =
-      run_query(good, 0, 0, oracle, ForwardingMode::kBlindFlooding, nullptr);
+      run_query(good, PeerId{0}, 0, oracle, ForwardingMode::kBlindFlooding, nullptr);
   // Same scope, radically different cost.
   EXPECT_EQ(bad_result.scope, 3u);
   EXPECT_EQ(good_result.scope, 3u);
@@ -75,12 +75,12 @@ TEST(PaperFig2, MismatchedOverlayCostsMultipleBridgeCrossings) {
 TEST(PaperFig2, AceRepairsTheMismatchedOverlay) {
   PhysicalNetwork physical = fig2_physical();
   OverlayNetwork overlay{physical};
-  for (HostId h = 0; h < 4; ++h) overlay.add_peer(h);
+  for (std::uint32_t h = 0; h < 4; ++h) overlay.add_peer(HostId{h});
   // Mismatched but redundant overlay (phase 3 works on non-tree links).
-  overlay.connect(0, 2);
-  overlay.connect(0, 3);
-  overlay.connect(1, 3);
-  overlay.connect(2, 3);
+  overlay.connect(PeerId{0}, PeerId{2});
+  overlay.connect(PeerId{0}, PeerId{3});
+  overlay.connect(PeerId{1}, PeerId{3});
+  overlay.connect(PeerId{2}, PeerId{3});
 
   Rng rng{7};
   AceConfig config;
@@ -88,12 +88,12 @@ TEST(PaperFig2, AceRepairsTheMismatchedOverlay) {
   AceEngine engine{overlay, config};
   const NobodyOracle oracle;
   const double before =
-      run_query(overlay, 0, 0, oracle, ForwardingMode::kBlindFlooding,
+      run_query(overlay, PeerId{0}, 0, oracle, ForwardingMode::kBlindFlooding,
                 nullptr)
           .traffic_cost;
   for (int round = 0; round < 6; ++round) engine.step_round(rng);
   const double after =
-      run_query(overlay, 0, 0, oracle, ForwardingMode::kTreeRouting,
+      run_query(overlay, PeerId{0}, 0, oracle, ForwardingMode::kTreeRouting,
                 &engine.forwarding())
           .traffic_cost;
   // Phase 3 rewires the long 0-3 link to the cheap 0-1 link, roughly
@@ -114,11 +114,11 @@ struct ExampleFixture {
     physical = std::make_unique<PhysicalNetwork>(std::move(g));
     overlay = std::make_unique<OverlayNetwork>(*physical);
     // Five peers F, C, D, E, B with a ring + chords (mirrors Fig 5's shape).
-    f = overlay->add_peer(0);
-    c = overlay->add_peer(5);
-    d = overlay->add_peer(9);
-    e = overlay->add_peer(14);
-    b = overlay->add_peer(20);
+    f = overlay->add_peer(HostId{0});
+    c = overlay->add_peer(HostId{5});
+    d = overlay->add_peer(HostId{9});
+    e = overlay->add_peer(HostId{14});
+    b = overlay->add_peer(HostId{20});
     overlay->connect(f, c);
     overlay->connect(c, d);
     overlay->connect(d, e);
@@ -131,7 +131,7 @@ struct ExampleFixture {
     std::vector<std::vector<PeerId>> flooding(overlay->peer_count());
     for (const PeerId p : overlay->online_peers()) {
       const LocalTree tree = build_local_tree(build_closure(*overlay, p, h));
-      flooding[p] = tree.flooding;
+      flooding[p.value()] = tree.flooding;
     }
     return flooding;
   }
@@ -162,7 +162,8 @@ TEST(PaperTables, BlindFloodingTraversesRedundantPaths) {
   // Blind flooding = per-peer "trees" that include every neighbor.
   std::vector<std::vector<PeerId>> all(fx.overlay->peer_count());
   for (const PeerId p : fx.overlay->online_peers())
-    for (const auto& n : fx.overlay->neighbors(p)) all[p].push_back(n.node);
+    for (const auto& n : fx.overlay->neighbors(p))
+      all[p.value()].push_back(peer_of(n));
   const auto steps = walk_query_over_trees(*fx.overlay, all, fx.f);
   EXPECT_EQ(fx.reached(steps), 4u);
   // Every one of the 7 undirected links is crossed in both directions
@@ -174,7 +175,8 @@ TEST(PaperTables, OneClosureTreesCutCostRetainScope) {
   ExampleFixture fx;
   std::vector<std::vector<PeerId>> all(fx.overlay->peer_count());
   for (const PeerId p : fx.overlay->online_peers())
-    for (const auto& n : fx.overlay->neighbors(p)) all[p].push_back(n.node);
+    for (const auto& n : fx.overlay->neighbors(p))
+      all[p.value()].push_back(peer_of(n));
   const auto blind = walk_query_over_trees(*fx.overlay, all, fx.f);
   const auto h1 = walk_query_over_trees(*fx.overlay, fx.trees_at_depth(1), fx.f);
   // Scope retained.

@@ -19,57 +19,57 @@ Graph diamond() {
 
 TEST(PhysicalNetwork, DelayUsesShortestPath) {
   PhysicalNetwork net{diamond()};
-  EXPECT_DOUBLE_EQ(net.delay(0, 2), 2.0);  // via 1, not direct 10
-  EXPECT_DOUBLE_EQ(net.delay(0, 3), 4.0);
-  EXPECT_DOUBLE_EQ(net.delay(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(net.delay(HostId{0}, HostId{2}), 2.0);  // via 1, not direct 10
+  EXPECT_DOUBLE_EQ(net.delay(HostId{0}, HostId{3}), 4.0);
+  EXPECT_DOUBLE_EQ(net.delay(HostId{0}, HostId{0}), 0.0);
 }
 
 TEST(PhysicalNetwork, DelayIsSymmetric) {
   PhysicalNetwork net{diamond()};
-  EXPECT_DOUBLE_EQ(net.delay(0, 3), net.delay(3, 0));
-  EXPECT_DOUBLE_EQ(net.delay(1, 2), net.delay(2, 1));
+  EXPECT_DOUBLE_EQ(net.delay(HostId{0}, HostId{3}), net.delay(HostId{3}, HostId{0}));
+  EXPECT_DOUBLE_EQ(net.delay(HostId{1}, HostId{2}), net.delay(HostId{2}, HostId{1}));
 }
 
 TEST(PhysicalNetwork, ProbeRttIsTwiceOneWay) {
   PhysicalNetwork net{diamond()};
-  EXPECT_DOUBLE_EQ(net.probe_rtt(0, 3), 8.0);
+  EXPECT_DOUBLE_EQ(net.probe_rtt(HostId{0}, HostId{3}), 8.0);
 }
 
 TEST(PhysicalNetwork, PathExtraction) {
   PhysicalNetwork net{diamond()};
-  EXPECT_EQ(net.path(0, 2), (std::vector<HostId>{0, 1, 2}));
-  EXPECT_EQ(net.path(0, 0), (std::vector<HostId>{0}));
-  EXPECT_EQ(net.path_hops(0, 3), 3u);
-  EXPECT_EQ(net.path_hops(0, 0), 0u);
+  EXPECT_EQ(net.path(HostId{0}, HostId{2}), (std::vector<HostId>{HostId{0}, HostId{1}, HostId{2}}));
+  EXPECT_EQ(net.path(HostId{0}, HostId{0}), (std::vector<HostId>{HostId{0}}));
+  EXPECT_EQ(net.path_hops(HostId{0}, HostId{3}), 3u);
+  EXPECT_EQ(net.path_hops(HostId{0}, HostId{0}), 0u);
 }
 
 TEST(PhysicalNetwork, UnreachableHosts) {
   Graph g{3};
   g.add_edge(0, 1, 1.0);  // node 2 isolated
   PhysicalNetwork net{std::move(g)};
-  EXPECT_EQ(net.delay(0, 2), kUnreachable);
-  EXPECT_TRUE(net.path(0, 2).empty());
+  EXPECT_EQ(net.delay(HostId{0}, HostId{2}), kUnreachable);
+  EXPECT_TRUE(net.path(HostId{0}, HostId{2}).empty());
 }
 
 TEST(PhysicalNetwork, OutOfRangeThrows) {
   PhysicalNetwork net{diamond()};
-  EXPECT_THROW(net.delay(0, 9), std::out_of_range);
-  EXPECT_THROW(net.delay(9, 0), std::out_of_range);
-  EXPECT_THROW(net.path(0, 9), std::out_of_range);
+  EXPECT_THROW(net.delay(HostId{0}, HostId{9}), std::out_of_range);
+  EXPECT_THROW(net.delay(HostId{9}, HostId{0}), std::out_of_range);
+  EXPECT_THROW(net.path(HostId{0}, HostId{9}), std::out_of_range);
 }
 
 TEST(PhysicalNetwork, CachesRows) {
   PhysicalNetwork net{diamond()};
-  net.delay(0, 1);
-  net.delay(0, 2);
-  net.delay(0, 3);
+  net.delay(HostId{0}, HostId{1});
+  net.delay(HostId{0}, HostId{2});
+  net.delay(HostId{0}, HostId{3});
   EXPECT_EQ(net.rows_computed(), 1u);  // one Dijkstra served all three
 }
 
 TEST(PhysicalNetwork, ReusesReverseRow) {
   PhysicalNetwork net{diamond()};
-  net.delay(0, 3);  // computes row 0
-  net.delay(3, 0);  // should reuse row 0 by symmetry
+  net.delay(HostId{0}, HostId{3});  // computes row 0
+  net.delay(HostId{3}, HostId{0});  // should reuse row 0 by symmetry
   EXPECT_EQ(net.rows_computed(), 1u);
 }
 
@@ -78,18 +78,19 @@ TEST(PhysicalNetwork, EvictionBoundRespected) {
   BaOptions options;
   options.nodes = 64;
   PhysicalNetwork net{barabasi_albert(options, rng), /*max_cached_rows=*/4};
-  for (HostId a = 0; a < 32; ++a) net.delay(a, (a + 1) % 64);
+  for (std::uint32_t a = 0; a < 32; ++a)
+    net.delay(HostId{a}, HostId{(a + 1) % 64});
   EXPECT_LE(net.rows_cached(), 4u);
   // Still correct after evictions.
-  EXPECT_DOUBLE_EQ(net.delay(0, 5), net.delay(5, 0));
+  EXPECT_DOUBLE_EQ(net.delay(HostId{0}, HostId{5}), net.delay(HostId{5}, HostId{0}));
 }
 
 TEST(PhysicalNetwork, RowCacheStatsCountHitsAndMisses) {
   PhysicalNetwork net{diamond()};
-  net.delay(0, 1);  // miss: computes row 0
-  net.delay(0, 2);  // hit
-  net.delay(0, 3);  // hit
-  net.delay(3, 0);  // hit: symmetry reuses row 0
+  net.delay(HostId{0}, HostId{1});  // miss: computes row 0
+  net.delay(HostId{0}, HostId{2});  // hit
+  net.delay(HostId{0}, HostId{3});  // hit
+  net.delay(HostId{3}, HostId{0});  // hit: symmetry reuses row 0
   const RowCacheStats stats = net.row_cache_stats();
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.hits, 3u);
@@ -105,9 +106,9 @@ TEST(PhysicalNetwork, ByteBudgetTriggersEviction) {
   // holds exactly two rows.
   PhysicalNetwork net{diamond(), /*max_cached_rows=*/0,
                       /*max_cache_bytes=*/64};
-  net.delay(0, 3);  // row 0
-  net.delay(1, 3);  // row 1
-  net.delay(2, 3);  // row 2 -> evicts one row
+  net.delay(HostId{0}, HostId{3});  // row 0
+  net.delay(HostId{1}, HostId{3});  // row 1
+  net.delay(HostId{2}, HostId{3});  // row 2 -> evicts one row
   const RowCacheStats stats = net.row_cache_stats();
   EXPECT_EQ(stats.misses, 3u);
   EXPECT_EQ(stats.evictions, 1u);
@@ -117,14 +118,14 @@ TEST(PhysicalNetwork, ByteBudgetTriggersEviction) {
 
 TEST(PhysicalNetwork, LruKeepsTouchedRowEvictsStale) {
   PhysicalNetwork net{diamond(), /*max_cached_rows=*/2};
-  net.delay(0, 1);  // miss: row 0
-  net.delay(1, 2);  // miss: row 1
-  net.delay(0, 3);  // hit: touches row 0, making row 1 least-recent
-  net.delay(2, 3);  // miss: row 2 -> evicts row 1, not the touched row 0
+  net.delay(HostId{0}, HostId{1});  // miss: row 0
+  net.delay(HostId{1}, HostId{2});  // miss: row 1
+  net.delay(HostId{0}, HostId{3});  // hit: touches row 0, making row 1 least-recent
+  net.delay(HostId{2}, HostId{3});  // miss: row 2 -> evicts row 1, not the touched row 0
   EXPECT_EQ(net.row_cache_stats().misses, 3u);
-  net.delay(0, 2);  // row 0 survived: hit
+  net.delay(HostId{0}, HostId{2});  // row 0 survived: hit
   EXPECT_EQ(net.row_cache_stats().misses, 3u);
-  net.delay(1, 3);  // row 1 was evicted: recomputes
+  net.delay(HostId{1}, HostId{3});  // row 1 was evicted: recomputes
   EXPECT_EQ(net.row_cache_stats().misses, 4u);
   EXPECT_EQ(net.row_cache_stats().evictions, 2u);
 }
@@ -136,8 +137,8 @@ TEST(PhysicalNetwork, AgreesWithDirectDijkstra) {
   Graph g = barabasi_albert(options, rng);
   const auto ref = dijkstra(g, 17);
   PhysicalNetwork net{std::move(g)};
-  for (HostId v = 0; v < 200; v += 13)
-    EXPECT_NEAR(net.delay(17, v), ref.dist[v], 1e-4);
+  for (std::uint32_t v = 0; v < 200; v += 13)
+    EXPECT_NEAR(net.delay(HostId{17}, HostId{v}), ref.dist[v], 1e-4);
 }
 
 }  // namespace

@@ -46,14 +46,14 @@ class QueryProperty : public ::testing::TestWithParam<QueryCase> {
 };
 
 TEST_P(QueryProperty, MessagesSplitIntoScopePlusDuplicates) {
-  const QueryResult r = run_query(*overlay_, 0, 0, oracle_,
+  const QueryResult r = run_query(*overlay_, PeerId{0}, 0, oracle_,
                                   ForwardingMode::kBlindFlooding, nullptr);
   // Every transmission either discovers a new peer or is a duplicate.
   EXPECT_EQ(r.messages, r.scope + r.duplicates);
 }
 
 TEST_P(QueryProperty, FloodingReachesWholeConnectedOverlay) {
-  const QueryResult r = run_query(*overlay_, 0, 0, oracle_,
+  const QueryResult r = run_query(*overlay_, PeerId{0}, 0, oracle_,
                                   ForwardingMode::kBlindFlooding, nullptr);
   EXPECT_EQ(r.scope, overlay_->online_count() - 1);
 }
@@ -66,7 +66,7 @@ TEST_P(QueryProperty, ScopeMonotoneInTtl) {
     QueryOptions options;
     options.ttl = ttl;
     const QueryResult r =
-        run_query(*overlay_, 0, 0, oracle_, ForwardingMode::kBlindFlooding,
+        run_query(*overlay_, PeerId{0}, 0, oracle_, ForwardingMode::kBlindFlooding,
                   nullptr, options);
     EXPECT_GE(r.scope, previous) << "ttl " << int(ttl);
     previous = r.scope;
@@ -81,8 +81,8 @@ TEST_P(QueryProperty, TreeRoutingNeverCostsMoreThanFlooding) {
     table.set_flooding(p, tree.flooding);
   }
   const QueryResult blind = run_query(
-      *overlay_, 0, 0, oracle_, ForwardingMode::kBlindFlooding, nullptr);
-  const QueryResult tree = run_query(*overlay_, 0, 0, oracle_,
+      *overlay_, PeerId{0}, 0, oracle_, ForwardingMode::kBlindFlooding, nullptr);
+  const QueryResult tree = run_query(*overlay_, PeerId{0}, 0, oracle_,
                                      ForwardingMode::kTreeRouting, &table);
   EXPECT_LE(tree.traffic_cost, blind.traffic_cost);
   EXPECT_GE(tree.scope, blind.scope * 95 / 100);
@@ -126,7 +126,7 @@ TEST_P(TreeProperty, FloodingSetsPartitionNeighbors) {
     const LocalTree tree =
         build_local_tree(build_closure(*overlay_, p, GetParam().depth));
     std::set<PeerId> neighbors;
-    for (const auto& n : overlay_->neighbors(p)) neighbors.insert(n.node);
+    for (const auto& n : overlay_->neighbors(p)) neighbors.insert(peer_of(n));
     std::set<PeerId> classified;
     for (const PeerId q : tree.flooding) {
       EXPECT_TRUE(neighbors.contains(q));
@@ -144,13 +144,9 @@ TEST_P(TreeProperty, TreeEdgesExistInOverlay) {
   for (const PeerId p : overlay_->online_peers()) {
     const LocalTree tree =
         build_local_tree(build_closure(*overlay_, p, GetParam().depth));
-    for (const Edge& e : tree.edges) {
-      EXPECT_TRUE(overlay_->are_connected(static_cast<PeerId>(e.u),
-                                          static_cast<PeerId>(e.v)));
-      EXPECT_DOUBLE_EQ(
-          e.weight,
-          overlay_->link_cost(static_cast<PeerId>(e.u),
-                              static_cast<PeerId>(e.v)));
+    for (const PeerEdge& e : tree.edges) {
+      EXPECT_TRUE(overlay_->are_connected(e.u, e.v));
+      EXPECT_DOUBLE_EQ(e.weight, overlay_->link_cost(e.u, e.v));
     }
   }
 }
@@ -179,7 +175,7 @@ TEST_P(TreeProperty, ClosuresAreMonotoneInDepth) {
         build_closure(*overlay_, p, GetParam().depth + 1);
     EXPECT_GE(deep.size(), shallow.size());
     for (const PeerId member : shallow.nodes)
-      EXPECT_NE(deep.to_local(member), kInvalidNode)
+      EXPECT_NE(deep.to_local(member), kInvalidLocalNode)
           << "member " << member << " lost at deeper closure";
   }
 }
@@ -240,7 +236,7 @@ TEST_P(HpfProperty, TrafficMonotoneInPartialDegree) {
     options.hpf_partial = partial;
     options.hpf_period = 4;
     const QueryResult r =
-        run_query(overlay, 0, 0, oracle, ForwardingMode::kHybridPeriodical,
+        run_query(overlay, PeerId{0}, 0, oracle, ForwardingMode::kHybridPeriodical,
                   nullptr, options);
     EXPECT_GE(r.traffic_cost, previous_traffic) << "partial " << partial;
     EXPECT_GE(r.scope + 2, previous_scope) << "partial " << partial;
@@ -249,7 +245,7 @@ TEST_P(HpfProperty, TrafficMonotoneInPartialDegree) {
   }
   // With partial >= max degree, HPF degenerates to blind flooding.
   const QueryResult blind = run_query(
-      overlay, 0, 0, oracle, ForwardingMode::kBlindFlooding, nullptr);
+      overlay, PeerId{0}, 0, oracle, ForwardingMode::kBlindFlooding, nullptr);
   EXPECT_DOUBLE_EQ(previous_traffic, blind.traffic_cost);
 }
 

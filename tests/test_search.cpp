@@ -35,33 +35,33 @@ struct SearchFixture {
 
 TEST(ForwardingTableTest, SetAndQuery) {
   ForwardingTable table;
-  EXPECT_FALSE(table.has_entry(3));
-  table.set_flooding(3, {7, 1, 5});
-  ASSERT_TRUE(table.has_entry(3));
-  const auto flood = table.flooding(3);
+  EXPECT_FALSE(table.has_entry(PeerId{3}));
+  table.set_flooding(PeerId{3}, {PeerId{7}, PeerId{1}, PeerId{5}});
+  ASSERT_TRUE(table.has_entry(PeerId{3}));
+  const auto flood = table.flooding(PeerId{3});
   EXPECT_EQ(std::vector<PeerId>(flood.begin(), flood.end()),
-            (std::vector<PeerId>{1, 5, 7}));  // sorted
+            (std::vector<PeerId>{PeerId{1}, PeerId{5}, PeerId{7}}));  // sorted
   EXPECT_EQ(table.entries(), 1u);
 }
 
 TEST(ForwardingTableTest, InvalidateAndFallback) {
   ForwardingTable table;
-  table.set_flooding(0, {1});
-  table.invalidate(0);
-  EXPECT_FALSE(table.has_entry(0));
-  EXPECT_THROW(table.flooding(0), std::logic_error);
-  table.set_flooding(0, {1});
-  table.set_flooding(2, {0});
+  table.set_flooding(PeerId{0}, {PeerId{1}});
+  table.invalidate(PeerId{0});
+  EXPECT_FALSE(table.has_entry(PeerId{0}));
+  EXPECT_THROW(table.flooding(PeerId{0}), std::logic_error);
+  table.set_flooding(PeerId{0}, {PeerId{1}});
+  table.set_flooding(PeerId{2}, {PeerId{0}});
   table.invalidate_all();
   EXPECT_EQ(table.entries(), 0u);
 }
 
 TEST(ForwardingTableTest, NonFloodingComplement) {
   SearchFixture f;
-  const PeerId a = f.overlay->add_peer(0);
-  const PeerId b = f.overlay->add_peer(1);
-  const PeerId c = f.overlay->add_peer(2);
-  const PeerId d = f.overlay->add_peer(3);
+  const PeerId a = f.overlay->add_peer(HostId{0});
+  const PeerId b = f.overlay->add_peer(HostId{1});
+  const PeerId c = f.overlay->add_peer(HostId{2});
+  const PeerId d = f.overlay->add_peer(HostId{3});
   f.overlay->connect(a, b);
   f.overlay->connect(a, c);
   f.overlay->connect(a, d);
@@ -76,9 +76,9 @@ TEST(ForwardingTableTest, NonFloodingComplement) {
 
 TEST(RunQuery, TriangleFloodingAccounting) {
   SearchFixture f;
-  const PeerId a = f.overlay->add_peer(0);
-  const PeerId b = f.overlay->add_peer(1);
-  const PeerId c = f.overlay->add_peer(2);
+  const PeerId a = f.overlay->add_peer(HostId{0});
+  const PeerId b = f.overlay->add_peer(HostId{1});
+  const PeerId c = f.overlay->add_peer(HostId{2});
   f.overlay->connect(a, b);  // cost 1
   f.overlay->connect(a, c);  // cost 2
   f.overlay->connect(b, c);  // cost 1
@@ -96,10 +96,10 @@ TEST(RunQuery, TriangleFloodingAccounting) {
 TEST(RunQuery, ResponseTimeIsTwicePathDelay) {
   SearchFixture f;
   // Chain of overlay links with physical costs 1, 2, 3.
-  const PeerId a = f.overlay->add_peer(0);
-  const PeerId b = f.overlay->add_peer(1);
-  const PeerId c = f.overlay->add_peer(3);
-  const PeerId d = f.overlay->add_peer(6);
+  const PeerId a = f.overlay->add_peer(HostId{0});
+  const PeerId b = f.overlay->add_peer(HostId{1});
+  const PeerId c = f.overlay->add_peer(HostId{3});
+  const PeerId d = f.overlay->add_peer(HostId{6});
   f.overlay->connect(a, b);
   f.overlay->connect(b, c);
   f.overlay->connect(c, d);
@@ -116,10 +116,10 @@ TEST(RunQuery, ResponseTimeIsTwicePathDelay) {
 
 TEST(RunQuery, FirstResponderIsEarliestByDelayNotHops) {
   SearchFixture f;
-  const PeerId a = f.overlay->add_peer(8);
-  const PeerId near_two_hops = f.overlay->add_peer(10);
-  const PeerId relay = f.overlay->add_peer(9);
-  const PeerId far_one_hop = f.overlay->add_peer(0);  // cost 8 direct
+  const PeerId a = f.overlay->add_peer(HostId{8});
+  const PeerId near_two_hops = f.overlay->add_peer(HostId{10});
+  const PeerId relay = f.overlay->add_peer(HostId{9});
+  const PeerId far_one_hop = f.overlay->add_peer(HostId{0});  // cost 8 direct
   f.overlay->connect(a, relay);                // 1
   f.overlay->connect(relay, near_two_hops);    // 1
   f.overlay->connect(a, far_one_hop);          // 8
@@ -134,7 +134,8 @@ TEST(RunQuery, FirstResponderIsEarliestByDelayNotHops) {
 TEST(RunQuery, TtlLimitsScope) {
   SearchFixture f{32};
   std::vector<PeerId> chain;
-  for (HostId h = 0; h < 10; ++h) chain.push_back(f.overlay->add_peer(h));
+  for (std::uint32_t h = 0; h < 10; ++h)
+    chain.push_back(f.overlay->add_peer(HostId{h}));
   for (std::size_t i = 0; i + 1 < chain.size(); ++i)
     f.overlay->connect(chain[i], chain[i + 1]);
   const FixedOracle nobody{{}};
@@ -152,9 +153,9 @@ TEST(RunQuery, TtlLimitsScope) {
 
 TEST(RunQuery, TreeRoutingUsesFloodingSets) {
   SearchFixture f;
-  const PeerId a = f.overlay->add_peer(0);
-  const PeerId b = f.overlay->add_peer(1);
-  const PeerId c = f.overlay->add_peer(2);
+  const PeerId a = f.overlay->add_peer(HostId{0});
+  const PeerId b = f.overlay->add_peer(HostId{1});
+  const PeerId c = f.overlay->add_peer(HostId{2});
   f.overlay->connect(a, b);
   f.overlay->connect(a, c);
   f.overlay->connect(b, c);
@@ -174,9 +175,9 @@ TEST(RunQuery, TreeRoutingUsesFloodingSets) {
 
 TEST(RunQuery, TreeRoutingFallsBackToFloodWithoutEntry) {
   SearchFixture f;
-  const PeerId a = f.overlay->add_peer(0);
-  const PeerId b = f.overlay->add_peer(1);
-  const PeerId c = f.overlay->add_peer(2);
+  const PeerId a = f.overlay->add_peer(HostId{0});
+  const PeerId b = f.overlay->add_peer(HostId{1});
+  const PeerId c = f.overlay->add_peer(HostId{2});
   f.overlay->connect(a, b);
   f.overlay->connect(a, c);
   ForwardingTable table;  // empty: everyone floods
@@ -188,9 +189,9 @@ TEST(RunQuery, TreeRoutingFallsBackToFloodWithoutEntry) {
 
 TEST(RunQuery, StaleTreeEntrySkipsMissingLinks) {
   SearchFixture f;
-  const PeerId a = f.overlay->add_peer(0);
-  const PeerId b = f.overlay->add_peer(1);
-  const PeerId c = f.overlay->add_peer(2);
+  const PeerId a = f.overlay->add_peer(HostId{0});
+  const PeerId b = f.overlay->add_peer(HostId{1});
+  const PeerId c = f.overlay->add_peer(HostId{2});
   f.overlay->connect(a, b);
   f.overlay->connect(a, c);
   ForwardingTable table;
@@ -205,7 +206,7 @@ TEST(RunQuery, StaleTreeEntrySkipsMissingLinks) {
 
 TEST(RunQuery, OfflineSourceThrows) {
   SearchFixture f;
-  const PeerId a = f.overlay->add_peer(0, /*online=*/false);
+  const PeerId a = f.overlay->add_peer(HostId{0}, /*online=*/false);
   const FixedOracle nobody{{}};
   EXPECT_THROW(run_query(*f.overlay, a, 0, nobody,
                          ForwardingMode::kBlindFlooding, nullptr),
@@ -215,7 +216,8 @@ TEST(RunQuery, OfflineSourceThrows) {
 TEST(RunQuery, RecordPathsProducesValidParents) {
   SearchFixture f;
   std::vector<PeerId> peers;
-  for (HostId h = 0; h < 6; ++h) peers.push_back(f.overlay->add_peer(h));
+  for (std::uint32_t h = 0; h < 6; ++h)
+    peers.push_back(f.overlay->add_peer(HostId{h}));
   for (std::size_t i = 0; i + 1 < peers.size(); ++i)
     f.overlay->connect(peers[i], peers[i + 1]);
   f.overlay->connect(peers[0], peers[3]);
@@ -239,9 +241,9 @@ TEST(RunQuery, RecordPathsProducesValidParents) {
 
 TEST(RunQuery, DisconnectedOverlayPartialScope) {
   SearchFixture f;
-  const PeerId a = f.overlay->add_peer(0);
-  const PeerId b = f.overlay->add_peer(1);
-  f.overlay->add_peer(2);  // isolated
+  const PeerId a = f.overlay->add_peer(HostId{0});
+  const PeerId b = f.overlay->add_peer(HostId{1});
+  f.overlay->add_peer(HostId{2});  // isolated
   f.overlay->connect(a, b);
   const FixedOracle nobody{{}};
   const QueryResult r = run_query(*f.overlay, a, 0, nobody,
@@ -254,10 +256,10 @@ TEST(RunQuery, RelayInstructionsHonoredEvenOnDuplicateArrival) {
   // through the faster D path (so the S->X copy arrives as a duplicate);
   // X must still forward to C — the relay obligation survives the race.
   SearchFixture f{32};
-  const PeerId s = f.overlay->add_peer(0);
-  const PeerId d = f.overlay->add_peer(1);   // S-D cost 1
-  const PeerId x = f.overlay->add_peer(2);   // D-X cost 1; S-X cost 2...
-  const PeerId c = f.overlay->add_peer(3);   // X-C cost 1
+  const PeerId s = f.overlay->add_peer(HostId{0});
+  const PeerId d = f.overlay->add_peer(HostId{1});   // S-D cost 1
+  const PeerId x = f.overlay->add_peer(HostId{2});   // D-X cost 1; S-X cost 2...
+  const PeerId c = f.overlay->add_peer(HostId{3});   // X-C cost 1
   f.overlay->connect(s, d);
   f.overlay->connect(d, x);
   f.overlay->connect(s, x);
@@ -285,20 +287,20 @@ TEST(RunQuery, HybridPeriodicalPartialFloodsCheapestLinks) {
   SearchFixture f{32};
   // Star source with four neighbors of increasing cost; partial degree 2
   // must pick the two cheapest.
-  const PeerId s = f.overlay->add_peer(10);
-  const PeerId n1 = f.overlay->add_peer(11);  // 1
-  const PeerId n2 = f.overlay->add_peer(8);   // 2
-  const PeerId n3 = f.overlay->add_peer(15);  // 5
-  const PeerId n4 = f.overlay->add_peer(2);   // 8
+  const PeerId s = f.overlay->add_peer(HostId{10});
+  const PeerId n1 = f.overlay->add_peer(HostId{11});  // 1
+  const PeerId n2 = f.overlay->add_peer(HostId{8});   // 2
+  const PeerId n3 = f.overlay->add_peer(HostId{15});  // 5
+  const PeerId n4 = f.overlay->add_peer(HostId{2});   // 8
   for (const PeerId q : {n1, n2, n3, n4}) f.overlay->connect(s, q);
   const FixedOracle nobody{{}};
   QueryOptions options;
   options.hpf_partial = 2;
   options.hpf_period = 2;  // hop 0 floods; hop 1 partial
   // The SOURCE is hop 0 -> floods all four. Give a deeper structure:
-  const PeerId deep_cheap = f.overlay->add_peer(12);  // cost 1 from n1
-  const PeerId deep_far = f.overlay->add_peer(25);    // cost 14 from n1
-  const PeerId deep_mid = f.overlay->add_peer(14);    // cost 3 from n1
+  const PeerId deep_cheap = f.overlay->add_peer(HostId{12});  // cost 1 from n1
+  const PeerId deep_far = f.overlay->add_peer(HostId{25});    // cost 14 from n1
+  const PeerId deep_mid = f.overlay->add_peer(HostId{14});    // cost 3 from n1
   for (const PeerId q : {deep_cheap, deep_far, deep_mid})
     f.overlay->connect(n1, q);
   const QueryResult r =
@@ -313,11 +315,12 @@ TEST(RunQuery, HybridPeriodicalPartialFloodsCheapestLinks) {
 TEST(RunQuery, HybridPeriodicalFullFloodOnPeriodHops) {
   SearchFixture f{32};
   // Chain with a wide hop-2 fan: period 2 means hop 2 floods everyone.
-  const PeerId s = f.overlay->add_peer(0);
-  const PeerId a = f.overlay->add_peer(1);
-  const PeerId b = f.overlay->add_peer(2);
+  const PeerId s = f.overlay->add_peer(HostId{0});
+  const PeerId a = f.overlay->add_peer(HostId{1});
+  const PeerId b = f.overlay->add_peer(HostId{2});
   std::vector<PeerId> fan;
-  for (HostId h = 10; h < 16; ++h) fan.push_back(f.overlay->add_peer(h));
+  for (std::uint32_t h = 10; h < 16; ++h)
+    fan.push_back(f.overlay->add_peer(HostId{h}));
   f.overlay->connect(s, a);
   f.overlay->connect(a, b);
   for (const PeerId q : fan) f.overlay->connect(b, q);
@@ -337,7 +340,8 @@ TEST(RunQuery, HybridPeriodicalBetweenTreeAndBlindOnTraffic) {
   SearchFixture f{64};
   std::vector<PeerId> peers;
   Rng rng{21};
-  for (HostId h = 0; h < 40; ++h) peers.push_back(f.overlay->add_peer(h));
+  for (std::uint32_t h = 0; h < 40; ++h)
+    peers.push_back(f.overlay->add_peer(HostId{h}));
   for (std::size_t i = 1; i < peers.size(); ++i)
     f.overlay->connect(peers[i], peers[rng.next_below(i)]);
   for (int extra = 0; extra < 60; ++extra)
@@ -361,7 +365,8 @@ TEST(RunQuery, HybridPeriodicalBetweenTreeAndBlindOnTraffic) {
 TEST(SampleQueries, AggregatesOverCatalog) {
   SearchFixture f;
   std::vector<PeerId> peers;
-  for (HostId h = 0; h < 8; ++h) peers.push_back(f.overlay->add_peer(h));
+  for (std::uint32_t h = 0; h < 8; ++h)
+    peers.push_back(f.overlay->add_peer(HostId{h}));
   for (std::size_t i = 0; i + 1 < peers.size(); ++i)
     f.overlay->connect(peers[i], peers[i + 1]);
   CatalogConfig cc;

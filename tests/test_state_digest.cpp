@@ -151,10 +151,10 @@ struct GoldenFixture {
     overlay = std::make_unique<OverlayNetwork>(*physical);
     for (std::size_t i = 0; i < 8; ++i)
       overlay->add_peer(static_cast<HostId>(2 * i), true);
-    for (PeerId p = 0; p < 8; ++p)
-      overlay->connect(p, static_cast<PeerId>((p + 1) % 8));
-    overlay->connect(0, 4);
-    overlay->connect(2, 6);
+    for (std::uint32_t p = 0; p < 8; ++p)
+      overlay->connect(PeerId{p}, PeerId{(p + 1) % 8});
+    overlay->connect(PeerId{0}, PeerId{4});
+    overlay->connect(PeerId{2}, PeerId{6});
   }
   std::unique_ptr<PhysicalNetwork> physical;
   std::unique_ptr<OverlayNetwork> overlay;
@@ -191,7 +191,7 @@ TEST(StateDigest, EngineDigestSeesOverlayMutations) {
   Rng rng{5};
   engine.rebuild_all_trees();
   const StateDigest before = engine.state_digest();
-  ASSERT_TRUE(f.overlay->disconnect(2, 6));
+  ASSERT_TRUE(f.overlay->disconnect(PeerId{2}, PeerId{6}));
   EXPECT_EQ(first_divergence(before, engine.state_digest()),
             "overlay-adjacency");
 }

@@ -1,0 +1,185 @@
+// Unit coverage of the strong id-domain layer (util/strong_id.h): value
+// semantics, sentinel bit pattern, within-domain arithmetic, heterogeneous
+// integer comparison, hashing, stream formatting, digest feeding, and the
+// typed IdVector/IdSpan containers. Cross-domain *misuse* is covered by the
+// negative-compile harness in tests/compile_fail/ — everything here is the
+// positive contract.
+#include "util/strong_id.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "util/digest.h"
+
+namespace ace {
+namespace {
+
+TEST(StrongId, DefaultConstructsToZero) {
+  EXPECT_EQ(PeerId{}.value(), 0u);
+  EXPECT_EQ(HostId{}.value(), 0u);
+  EXPECT_EQ(TopologyVersion{}.value(), 0u);
+}
+
+TEST(StrongId, ExplicitConstructionRoundTrips) {
+  const PeerId p{42};
+  EXPECT_EQ(p.value(), 42u);
+  EXPECT_EQ(p.to_underlying(), 42u);
+}
+
+TEST(StrongId, SentinelIsAllOnes) {
+  // The same bit pattern the raw kInvalid* constants used, so digests of
+  // sentinel-bearing state are unchanged by the typed migration.
+  EXPECT_EQ(kInvalidPeer.value(), 0xffffffffu);
+  EXPECT_EQ(kInvalidHost.value(), 0xffffffffu);
+  EXPECT_EQ(kInvalidLocalNode.value(), 0xffffffffu);
+  EXPECT_EQ(TopologyVersion::invalid().value(), 0xffffffffffffffffull);
+  EXPECT_FALSE(kInvalidPeer.valid());
+  EXPECT_TRUE(PeerId{0}.valid());
+}
+
+TEST(StrongId, SameDomainComparison) {
+  EXPECT_EQ(PeerId{3}, PeerId{3});
+  EXPECT_NE(PeerId{3}, PeerId{4});
+  EXPECT_LT(PeerId{3}, PeerId{4});
+  EXPECT_GE(PeerId{4}, PeerId{4});
+}
+
+TEST(StrongId, HeterogeneousIntegerComparisonIsSignSafe) {
+  const PeerId p{3};
+  EXPECT_EQ(p, 3);
+  EXPECT_EQ(p, 3u);
+  EXPECT_EQ(p, std::size_t{3});
+  EXPECT_LT(p, 4);
+  EXPECT_GT(p, 2);
+  // A negative literal can never equal an unsigned id (std::cmp_* rules,
+  // not the usual arithmetic conversions).
+  EXPECT_NE(p, -1);
+  EXPECT_GT(p, -1);
+}
+
+TEST(StrongId, IncrementAndOffsetStayInDomain) {
+  PeerId p{5};
+  EXPECT_EQ((++p).value(), 6u);
+  EXPECT_EQ((p++).value(), 6u);
+  EXPECT_EQ(p.value(), 7u);
+  EXPECT_EQ((p + 3).value(), 10u);
+  EXPECT_EQ((p - 2).value(), 5u);
+  EXPECT_EQ(PeerId{9} - PeerId{4}, 5u);  // same-domain difference is raw
+}
+
+TEST(StrongId, LoopIdiomAgainstContainerSize) {
+  const std::vector<int> values{10, 11, 12};
+  std::size_t visited = 0;
+  for (PeerId p{0}; p < values.size(); ++p) ++visited;
+  EXPECT_EQ(visited, values.size());
+}
+
+TEST(StrongId, StreamsAsBareValue) {
+  std::ostringstream os;
+  os << PeerId{17} << " " << HostId{3};
+  EXPECT_EQ(os.str(), "17 3");
+}
+
+TEST(StrongId, HashMatchesUnderlyingAndWorksAsMapKey) {
+  EXPECT_EQ(std::hash<PeerId>{}(PeerId{7}), std::hash<std::uint32_t>{}(7u));
+  std::unordered_map<PeerId, int> by_peer;
+  by_peer[PeerId{1}] = 10;
+  by_peer[PeerId{2}] = 20;
+  EXPECT_EQ(by_peer.at(PeerId{2}), 20);
+  std::map<PeerId, int> ordered{{PeerId{2}, 2}, {PeerId{1}, 1}};
+  EXPECT_EQ(ordered.begin()->first, PeerId{1});
+}
+
+TEST(StrongId, DigestFeedsUnderlyingValue) {
+  // The Fnv1a strong-id overload must produce the exact bytes the raw
+  // integer feed produced — this is what keeps the golden engine digest
+  // byte-identical across the typed migration.
+  Fnv1a typed, raw;
+  typed.update(PeerId{123});
+  raw.update(std::uint64_t{123});
+  EXPECT_EQ(typed.value(), raw.value());
+  Fnv1a version_typed, version_raw;
+  version_typed.update(TopologyVersion{987654321});
+  version_raw.update(std::uint64_t{987654321});
+  EXPECT_EQ(version_typed.value(), version_raw.value());
+}
+
+TEST(StrongId, SatisfiesStrongIdConcept) {
+  static_assert(StrongIdType<PeerId>);
+  static_assert(StrongIdType<HostId>);
+  static_assert(StrongIdType<TopologyVersion>);
+  static_assert(!StrongIdType<std::uint32_t>);
+  static_assert(!StrongIdType<int>);
+}
+
+TEST(TypedEdge, DefaultsToInvalidEndpoints) {
+  const PeerEdge e;
+  EXPECT_EQ(e.u, kInvalidPeer);
+  EXPECT_EQ(e.v, kInvalidPeer);
+  EXPECT_EQ(e.weight, 0.0);
+  const PeerEdge f{PeerId{1}, PeerId{2}, 3.0};
+  EXPECT_NE(e, f);
+  EXPECT_EQ(f, (PeerEdge{PeerId{1}, PeerId{2}, 3.0}));
+}
+
+TEST(IdVector, IndexesByOwnDomainOnly) {
+  IdVector<PeerId, double> costs(4, 1.5);
+  EXPECT_EQ(costs.size(), 4u);
+  costs[PeerId{2}] = 9.0;
+  EXPECT_DOUBLE_EQ(costs[PeerId{2}], 9.0);
+  EXPECT_DOUBLE_EQ(costs[PeerId{0}], 1.5);
+}
+
+TEST(IdVector, GrowShrinkAndIterate) {
+  IdVector<LocalNodeId, int> v;
+  EXPECT_TRUE(v.empty());
+  v.push_back(1);
+  v.emplace_back(2);
+  v.push_back(3);
+  v.pop_back();
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.front(), 1);
+  EXPECT_EQ(v.back(), 2);
+  v.resize(5, 7);
+  EXPECT_EQ(std::count(v.begin(), v.end(), 7), 3);
+  v.assign(2, 0);
+  EXPECT_EQ(v.size(), 2u);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(IdVector, EqualityAndRawStorage) {
+  IdVector<PeerId, int> a(3, 1), b(3, 1);
+  EXPECT_EQ(a, b);
+  b[PeerId{1}] = 2;
+  EXPECT_NE(a, b);
+  // Kernels take the flat storage; data() is the sanctioned escape hatch.
+  int* raw = a.data();
+  raw[2] = 42;
+  EXPECT_EQ(a[PeerId{2}], 42);
+}
+
+TEST(IdSpan, ViewsAnIdVectorWithSameDomain) {
+  IdVector<PeerId, int> owned(3, 5);
+  IdSpan<PeerId, int> view = owned;
+  view[PeerId{1}] = 6;
+  EXPECT_EQ(owned[PeerId{1}], 6);
+  IdSpan<PeerId, const int> cview = owned;
+  EXPECT_EQ(cview[PeerId{1}], 6);
+  EXPECT_EQ(cview.size(), 3u);
+}
+
+#if defined(ACE_AUDIT_INVARIANTS) && defined(GTEST_HAS_DEATH_TEST)
+TEST(IdVectorDeathTest, AuditBuildsCatchOutOfRangeIndex) {
+  IdVector<PeerId, int> v(2, 0);
+  EXPECT_DEATH((void)v[PeerId{2}], "");
+}
+#endif
+
+}  // namespace
+}  // namespace ace

@@ -24,9 +24,9 @@ TEST(TreeBuilder, PrunesExpensiveDirectLink) {
   Fixture f;
   // Source A at host 0; B at host 1 (cost 1); C at host 10 (cost 10 from A,
   // cost 9 from B). The MST keeps A-B and B-C, so C becomes non-flooding.
-  const PeerId a = f.overlay->add_peer(0);
-  const PeerId b = f.overlay->add_peer(1);
-  const PeerId c = f.overlay->add_peer(10);
+  const PeerId a = f.overlay->add_peer(HostId{0});
+  const PeerId b = f.overlay->add_peer(HostId{1});
+  const PeerId c = f.overlay->add_peer(HostId{10});
   f.overlay->connect(a, b);
   f.overlay->connect(a, c);
   f.overlay->connect(b, c);
@@ -43,9 +43,10 @@ TEST(TreeBuilder, PrunesExpensiveDirectLink) {
 TEST(TreeBuilder, StarKeepsAllNeighborsFlooding) {
   Fixture f;
   // No neighbor-neighbor links: the MST must include every direct edge.
-  const PeerId a = f.overlay->add_peer(0);
+  const PeerId a = f.overlay->add_peer(HostId{0});
   std::vector<PeerId> leaves;
-  for (HostId h = 2; h < 7; ++h) leaves.push_back(f.overlay->add_peer(h));
+  for (std::uint32_t h = 2; h < 7; ++h)
+    leaves.push_back(f.overlay->add_peer(HostId{h}));
   for (const PeerId leaf : leaves) f.overlay->connect(a, leaf);
   const LocalClosure closure = build_closure(*f.overlay, a, 1);
   const LocalTree tree = build_local_tree(closure);
@@ -55,19 +56,20 @@ TEST(TreeBuilder, StarKeepsAllNeighborsFlooding) {
 
 TEST(TreeBuilder, TreeEdgesInGlobalIds) {
   Fixture f;
-  const PeerId a = f.overlay->add_peer(0);
-  const PeerId b = f.overlay->add_peer(1);
+  const PeerId a = f.overlay->add_peer(HostId{0});
+  const PeerId b = f.overlay->add_peer(HostId{1});
   f.overlay->connect(a, b);
   const LocalTree tree = build_local_tree(build_closure(*f.overlay, a, 1));
   ASSERT_EQ(tree.edges.size(), 1u);
-  const Edge& e = tree.edges[0];
+  const PeerEdge& e = tree.edges[0];
   EXPECT_TRUE((e.u == a && e.v == b) || (e.u == b && e.v == a));
 }
 
 TEST(TreeBuilder, SpanningTreeCoversClosure) {
   Fixture f;
   std::vector<PeerId> peers;
-  for (HostId h = 0; h < 12; ++h) peers.push_back(f.overlay->add_peer(h));
+  for (std::uint32_t h = 0; h < 12; ++h)
+    peers.push_back(f.overlay->add_peer(HostId{h}));
   Rng rng{5};
   // Random connected overlay region.
   for (std::size_t i = 1; i < peers.size(); ++i)
@@ -87,9 +89,9 @@ TEST(TreeBuilder, SpanningTreeCoversClosure) {
 TEST(TreeBuilder, ShortestPathTreeVariant) {
   // A host 0, B host 4, C host 9: A-B = 4, B-C = 5, A-C = 9.
   Fixture g;
-  const PeerId a2 = g.overlay->add_peer(0);
-  const PeerId b2 = g.overlay->add_peer(4);
-  const PeerId c2 = g.overlay->add_peer(9);
+  const PeerId a2 = g.overlay->add_peer(HostId{0});
+  const PeerId b2 = g.overlay->add_peer(HostId{4});
+  const PeerId c2 = g.overlay->add_peer(HostId{9});
   g.overlay->connect(a2, b2);  // 4
   g.overlay->connect(b2, c2);  // 5
   g.overlay->connect(a2, c2);  // 9
@@ -109,16 +111,16 @@ TEST(TreeBuilder, EmptyClosureThrows) {
 
 TEST(WalkQuery, FollowsPerPeerTrees) {
   Fixture f;
-  const PeerId a = f.overlay->add_peer(0);
-  const PeerId b = f.overlay->add_peer(1);
-  const PeerId c = f.overlay->add_peer(2);
+  const PeerId a = f.overlay->add_peer(HostId{0});
+  const PeerId b = f.overlay->add_peer(HostId{1});
+  const PeerId c = f.overlay->add_peer(HostId{2});
   f.overlay->connect(a, b);
   f.overlay->connect(b, c);
   f.overlay->connect(a, c);
   std::vector<std::vector<PeerId>> flooding(3);
-  flooding[a] = {b};
-  flooding[b] = {a, c};
-  flooding[c] = {b};
+  flooding[a.value()] = {b};
+  flooding[b.value()] = {a, c};
+  flooding[c.value()] = {b};
   const auto steps = walk_query_over_trees(*f.overlay, flooding, a);
   ASSERT_EQ(steps.size(), 2u);
   EXPECT_EQ(steps[0].from, a);
@@ -131,17 +133,17 @@ TEST(WalkQuery, FollowsPerPeerTrees) {
 
 TEST(WalkQuery, MarksDuplicates) {
   Fixture f;
-  const PeerId a = f.overlay->add_peer(0);
-  const PeerId b = f.overlay->add_peer(1);
-  const PeerId c = f.overlay->add_peer(2);
+  const PeerId a = f.overlay->add_peer(HostId{0});
+  const PeerId b = f.overlay->add_peer(HostId{1});
+  const PeerId c = f.overlay->add_peer(HostId{2});
   f.overlay->connect(a, b);
   f.overlay->connect(b, c);
   f.overlay->connect(a, c);
   // Everybody floods everybody (blind-flooding trees).
   std::vector<std::vector<PeerId>> flooding(3);
-  flooding[a] = {b, c};
-  flooding[b] = {a, c};
-  flooding[c] = {a, b};
+  flooding[a.value()] = {b, c};
+  flooding[b.value()] = {a, c};
+  flooding[c.value()] = {a, b};
   const auto steps = walk_query_over_trees(*f.overlay, flooding, a);
   std::size_t duplicates = 0;
   for (const auto& s : steps)
@@ -153,7 +155,7 @@ TEST(WalkQuery, MarksDuplicates) {
 TEST(WalkQuery, SourceOutOfRangeThrows) {
   Fixture f;
   std::vector<std::vector<PeerId>> flooding(1);
-  EXPECT_THROW(walk_query_over_trees(*f.overlay, flooding, 5),
+  EXPECT_THROW(walk_query_over_trees(*f.overlay, flooding, PeerId{5}),
                std::out_of_range);
 }
 

@@ -35,8 +35,8 @@ ScenarioConfig sweep_scenario() {
 TEST(TrialRunner, ResultsLandInIndexOrder) {
   TrialRunner runner{4};
   EXPECT_EQ(runner.thread_count(), 4u);
-  const std::vector<std::size_t> results =
-      runner.run(32, [](std::size_t i) { return i * i; });
+  const std::vector<std::uint32_t> results =
+      runner.run(32, [](TrialIndex i) { return i.value() * i.value(); });
   ASSERT_EQ(results.size(), 32u);
   for (std::size_t i = 0; i < results.size(); ++i)
     EXPECT_EQ(results[i], i * i);
@@ -47,7 +47,7 @@ TEST(TrialRunner, SingleThreadRunsInline) {
   EXPECT_EQ(runner.thread_count(), 1u);
   std::size_t calls = 0;
   // ace-lint: allow(worker-shared-write): runner{1} runs inline on the caller thread
-  runner.run_indexed(5, [&](std::size_t) { ++calls; });
+  runner.run_indexed(5, [&](TrialIndex) { ++calls; });
   EXPECT_EQ(calls, 5u);
 }
 
@@ -59,7 +59,7 @@ TEST(TrialRunner, ZeroThreadsPicksHardwareConcurrency) {
 TEST(TrialRunner, EmptyRunIsANoOp) {
   TrialRunner runner{2};
   std::atomic<std::size_t> bodies_run{0};
-  runner.run_indexed(0, [&](std::size_t) { ++bodies_run; });
+  runner.run_indexed(0, [&](TrialIndex) { ++bodies_run; });
   EXPECT_EQ(bodies_run.load(), 0u);
 }
 
@@ -107,7 +107,7 @@ TEST(TrialRunner, FirstExceptionRethrownOnCaller) {
   TrialRunner runner{4};
   std::atomic<std::size_t> completed{0};
   try {
-    runner.run_indexed(16, [&](std::size_t i) {
+    runner.run_indexed(16, [&](TrialIndex i) {
       if (i == 3) throw std::runtime_error{"trial 3 failed"};
       completed.fetch_add(1, std::memory_order_relaxed);
     });
@@ -124,12 +124,12 @@ TEST(TrialRunner, PoolSurvivesExceptionAndStaysUsable) {
   TrialRunner runner{4};
   for (int round = 0; round < 3; ++round) {
     EXPECT_THROW(runner.run_indexed(
-                     8, [](std::size_t i) {
-                       if (i % 2 == 1) throw std::invalid_argument{"odd"};
+                     8, [](TrialIndex i) {
+                       if (i.value() % 2 == 1) throw std::invalid_argument{"odd"};
                      }),
                  std::invalid_argument);
     const std::vector<std::size_t> ok =
-        runner.run(8, [](std::size_t i) { return i + 1; });
+        runner.run(8, [](TrialIndex i) { return i.value() + std::size_t{1}; });
     ASSERT_EQ(ok.size(), 8u);
     for (std::size_t i = 0; i < ok.size(); ++i) EXPECT_EQ(ok[i], i + 1);
   }
@@ -148,17 +148,18 @@ TEST(TrialRunner, EvictedOracleRowsRecomputeIdentically) {
 
   // Walk enough distinct source rows to force evictions in the capped
   // oracle (row 0 included, so it is certainly evicted along the way).
-  for (HostId a = 0; a < 16; ++a) {
-    ASSERT_DOUBLE_EQ(capped.delay(a, (a + 7) % 96),
-                     unlimited.delay(a, (a + 7) % 96));
+  for (std::uint32_t a = 0; a < 16; ++a) {
+    ASSERT_DOUBLE_EQ(capped.delay(HostId{a}, HostId{(a + 7) % 96}),
+                     unlimited.delay(HostId{a}, HostId{(a + 7) % 96}));
   }
   const RowCacheStats stats = capped.row_cache_stats();
   EXPECT_GT(stats.evictions, 0u);
   EXPECT_LE(stats.rows, 2u);
 
   // Re-query every evicted row: recomputation must be value-identical.
-  for (HostId b = 0; b < 96; ++b)
-    EXPECT_DOUBLE_EQ(capped.delay(0, b), unlimited.delay(0, b));
+  for (std::uint32_t b = 0; b < 96; ++b)
+    EXPECT_DOUBLE_EQ(capped.delay(HostId{0}, HostId{b}),
+                     unlimited.delay(HostId{0}, HostId{b}));
   EXPECT_GT(capped.row_cache_stats().misses, stats.misses);
 }
 

@@ -39,7 +39,7 @@ TEST(Catalog, ZeroObjectsThrows) {
 TEST(Catalog, HoldsIsDeterministic) {
   ObjectCatalog a{small_catalog()};
   ObjectCatalog b{small_catalog()};
-  for (PeerId p = 0; p < 50; ++p)
+  for (PeerId p{0}; p < 50; ++p)
     for (ObjectId o = 0; o < 20; ++o)
       EXPECT_EQ(a.holds(p, o), b.holds(p, o));
 }
@@ -49,7 +49,7 @@ TEST(Catalog, HoldsFractionTracksReplication) {
   const ObjectId popular = 0;
   std::size_t holders = 0;
   const std::size_t peers = 20000;
-  for (PeerId p = 0; p < peers; ++p)
+  for (PeerId p{0}; p < peers; ++p)
     if (catalog.holds(p, popular)) ++holders;
   const double fraction = static_cast<double>(holders) / peers;
   EXPECT_NEAR(fraction, catalog.replication(popular),
@@ -62,7 +62,7 @@ TEST(Catalog, DifferentSeedsDifferentPlacement) {
   c2.placement_seed = 0xdeadbeef;
   ObjectCatalog a{c1}, b{c2};
   std::size_t differences = 0;
-  for (PeerId p = 0; p < 500; ++p)
+  for (PeerId p{0}; p < 500; ++p)
     for (ObjectId o = 0; o < 10; ++o)
       if (a.holds(p, o) != b.holds(p, o)) ++differences;
   EXPECT_GT(differences, 0u);
@@ -79,7 +79,7 @@ TEST(Catalog, SampleObjectFavorsPopularRanks) {
 TEST(Catalog, HoldersAmongFindsExactSet) {
   ObjectCatalog catalog{small_catalog()};
   std::vector<PeerId> peers;
-  for (PeerId p = 0; p < 200; ++p) peers.push_back(p);
+  for (PeerId p{0}; p < 200; ++p) peers.push_back(p);
   const auto holders = catalog.holders_among(peers, 3);
   for (const PeerId h : holders) EXPECT_TRUE(catalog.holds(h, 3));
   std::size_t expected = 0;
@@ -94,7 +94,7 @@ struct WorkloadFixture {
     for (NodeId u = 0; u + 1 < 16; ++u) g.add_edge(u, u + 1, 1.0);
     physical = std::make_unique<PhysicalNetwork>(std::move(g));
     overlay = std::make_unique<OverlayNetwork>(*physical);
-    for (HostId h = 0; h < 16; ++h) overlay->add_peer(h);
+    for (std::uint32_t h = 0; h < 16; ++h) overlay->add_peer(HostId{h});
   }
   Rng rng;
   ObjectCatalog catalog;
@@ -121,7 +121,7 @@ TEST(Workload, SourcesAreOnlinePeersOnly) {
   WorkloadFixture f;
   // Take half the peers offline.
   Rng aux{9};
-  for (PeerId p = 0; p < 8; ++p) f.overlay->leave(p, 0, aux);
+  for (PeerId p{0}; p < 8; ++p) f.overlay->leave(p, 0, aux);
   WorkloadConfig config;
   config.queries_per_peer_per_s = 0.1;
   QueryWorkload workload{*f.overlay, f.catalog, f.sim, f.rng, config,

@@ -82,6 +82,16 @@ Parallel-safety + hot-path rules (v2 family):
   stale-allow           an `ace-lint: allow(...)` whose rule no longer
                         fires on the covered line. Suppressions must decay
                         with the code they excuse.
+  raw-id-cast           a strong id (HostId/PeerId/LocalNodeId/TrialIndex/
+                        TopologyVersion, util/strong_id.h) constructed from
+                        a raw value — `Id{expr}` with a non-literal
+                        argument, or `static_cast<Id>(...)` — without a
+                        `// ace-id: boundary(reason)` annotation on the
+                        same or preceding line. Feeding `.value()` INTO a
+                        kernel is always fine; the lint guards the reverse
+                        direction, where a raw integer is blessed into a
+                        domain. Structural scope (src/, examples/): tests
+                        and benches construct ids from literals freely.
 
 Suppression: put, on the flagged line or the line above it,
 
@@ -131,6 +141,8 @@ RULES = {
     "hot-path-alloc": "allocation inside an // ace-hot function",
     "digest-coverage": "digest_into member coverage violation",
     "stale-allow": "allow-comment whose rule no longer fires",
+    "raw-id-cast":
+        "strong id constructed from a raw value without a boundary note",
 }
 
 # Rules that cannot themselves be allow()ed away.
@@ -177,6 +189,21 @@ FLOAT_ACCUM_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\+=")
 OVERLAY_ADJACENCY_WRITE_RE = re.compile(
     r"\blogical_\s*(?:\.|->)\s*"
     r"(?:add_edge|add_new_edge|remove_edge|set_weight|isolate)\s*\(")
+
+# Strong id domains (util/strong_id.h). Constructing one FROM a raw value
+# is a domain boundary that must be annotated; the types themselves live in
+# strong_id.h, which is exempt (it defines the machinery).
+STRONG_ID_NAMES = r"(?:HostId|PeerId|LocalNodeId|TrialIndex|TopologyVersion)"
+RAW_ID_STATIC_CAST_RE = re.compile(
+    rf"\bstatic_cast<\s*(?:ace::)?({STRONG_ID_NAMES})\s*>")
+# `PeerId{expr}` or `PeerId name{expr}` — declaration or temporary.
+RAW_ID_BRACE_RE = re.compile(
+    rf"\b(?:ace::)?({STRONG_ID_NAMES})(?:\s+[A-Za-z_]\w*)?\s*\{{([^{{}}]*)\}}")
+# Arguments that are NOT a boundary: empty (default/zero), a single integer
+# literal, or a literal arithmetic expression (digits and operators only).
+ID_LITERAL_ARG_RE = re.compile(r"[\d\s'+*/%()uUlL-]*\d[\d\s'+*/%()uUlL-]*")
+ACE_ID_BOUNDARY_RE = re.compile(r"//\s*ace-id:\s*boundary\(([^)]*\S[^)]*)\)")
+RAW_ID_EXEMPT = ("src/util/strong_id.h",)
 
 # An lvalue chain: base identifier followed by member/subscript selectors.
 CHAIN = r"[A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*|\[[^\][]*\])*"
@@ -675,6 +702,48 @@ def run_line_rules(fi: FileIndex, findings: list[Finding]) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Pass 3a': raw-id-cast. Every `Id{non-literal}` or `static_cast<Id>(...)`
+# blesses a raw integer into an id domain; the site must say WHY the raw
+# value is a member of that domain via `// ace-id: boundary(reason)` on the
+# same or preceding line. Literal constructions (`PeerId{3}`, `HostId{}`)
+# are unambiguous and exempt, as is strong_id.h itself.
+# ---------------------------------------------------------------------------
+
+
+def run_raw_id_cast(fi: FileIndex, findings: list[Finding]) -> None:
+    src = fi.src
+    if not structural_scope(src.path) or src.path in RAW_ID_EXEMPT:
+        return
+    covered: set[int] = set()
+    for idx in range(1, len(src.raw_lines) + 1):
+        if ACE_ID_BOUNDARY_RE.search(src.raw(idx)):
+            covered.add(idx)
+            covered.add(idx + 1)
+
+    def flag(idx: int, what: str) -> None:
+        if idx in covered or fi.is_allowed(idx, "raw-id-cast"):
+            return
+        findings.append(Finding(
+            src.path, idx, "raw-id-cast",
+            f"{what} constructs a strong id from a raw value — annotate "
+            "the domain crossing with '// ace-id: boundary(reason)' on "
+            "this or the preceding line (or stay in the domain)",
+            src.raw(idx).strip()))
+
+    for idx, code in enumerate(src.code_lines, start=1):
+        sm = RAW_ID_STATIC_CAST_RE.search(code)
+        if sm:
+            flag(idx, f"static_cast<{sm.group(1)}>")
+            continue
+        for bm in RAW_ID_BRACE_RE.finditer(code):
+            arg = bm.group(2).strip()
+            if not arg or ID_LITERAL_ARG_RE.fullmatch(arg):
+                continue
+            flag(idx, f"{bm.group(1)}{{{arg}}}")
+            break
+
+
+# ---------------------------------------------------------------------------
 # Pass 3b: worker-shared-write. Finds lambdas handed to TrialRunner::run /
 # run_indexed, then flags writes through by-reference captures that are not
 # slot-indexed by the trial index, atomic, lambda-local, or lock-guarded.
@@ -1026,6 +1095,7 @@ def analyze(sources: list[SourceFile]) -> list[Finding]:
     project = ProjectIndex(fis)
     for fi in fis:
         run_line_rules(fi, findings)
+        run_raw_id_cast(fi, findings)
         run_worker_shared_write(fi, findings)
         run_hot_path_alloc(fi, findings)
     run_digest_coverage(project, findings)
@@ -1647,6 +1717,62 @@ int f() { return rand(); }
 // ace-lint: allow(stale-allow): trying to suppress the suppressor
 int x;
 """, ["bad-allow"]),
+    # --- raw-id-cast --------------------------------------------------------
+    ("raw_id_brace_from_variable_flagged", "src/x/id1.cpp", """
+#include "util/strong_id.h"
+ace::PeerId bless(std::uint32_t raw) { return ace::PeerId{raw}; }
+""", ["raw-id-cast"]),
+    ("raw_id_static_cast_flagged", "src/x/id2.cpp", """
+#include "util/strong_id.h"
+ace::PeerId bless(std::uint32_t raw) {
+  return static_cast<ace::PeerId>(raw);
+}
+""", ["raw-id-cast"]),
+    ("raw_id_boundary_same_line_ok", "src/x/id3.cpp", """
+#include "util/strong_id.h"
+ace::PeerId bless(std::uint32_t raw) {
+  return ace::PeerId{raw};  // ace-id: boundary(slot index by construction)
+}
+""", []),
+    ("raw_id_boundary_preceding_line_ok", "src/x/id4.cpp", """
+#include "util/strong_id.h"
+ace::PeerId bless(std::uint32_t raw) {
+  // ace-id: boundary(slot index by construction)
+  return ace::PeerId{raw};
+}
+""", []),
+    ("raw_id_literal_and_default_ok", "src/x/id5.cpp", """
+#include "util/strong_id.h"
+void f() {
+  ace::PeerId a{3};
+  ace::PeerId b{};
+  ace::HostId h;
+  for (ace::PeerId p{0}; p < 8; ++p) { (void)p; }
+  (void)a; (void)b; (void)h;
+}
+""", []),
+    ("raw_id_declaration_flagged", "src/x/id6.cpp", """
+#include "util/strong_id.h"
+void f(std::size_t n) {
+  const ace::PeerId q{static_cast<std::uint32_t>(n)};
+  (void)q;
+}
+""", ["raw-id-cast"]),
+    ("raw_id_value_into_kernel_ok", "src/x/id7.cpp", """
+#include "util/strong_id.h"
+double kernel(std::uint32_t node);
+double lookup(ace::PeerId p) { return kernel(p.value()); }
+""", []),
+    ("raw_id_out_of_scope_in_tests", "tests/id8.cpp", """
+#include "util/strong_id.h"
+ace::PeerId bless(std::uint32_t raw) { return ace::PeerId{raw}; }
+""", []),
+    ("raw_id_empty_boundary_reason_still_fires", "src/x/id9.cpp", """
+#include "util/strong_id.h"
+ace::PeerId bless(std::uint32_t raw) {
+  return ace::PeerId{raw};  // ace-id: boundary()
+}
+""", ["raw-id-cast"]),
 ]
 
 
