@@ -11,6 +11,10 @@
 #include <iostream>
 #include <string>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "ace/p2p_lab.h"
 
 namespace ace::bench {
@@ -23,11 +27,15 @@ struct BenchScale {
   std::uint64_t seed;
   std::size_t threads;
   std::string out_dir;
+  // Cost-oracle spec (exact | landmark:K | vivaldi:D). "exact" attaches no
+  // oracle and leaves every output byte-identical to pre-oracle builds.
+  std::string oracle;
 };
 
 // Common knobs: --phys-nodes / ACE_PHYS_NODES, --peers / ACE_PEERS,
 // --queries / ACE_QUERIES, --rounds / ACE_ROUNDS, --seed / ACE_SEED,
-// --threads / ACE_THREADS, --out-dir / ACE_OUT_DIR. Paper-scale runs:
+// --threads / ACE_THREADS, --out-dir / ACE_OUT_DIR, --oracle / ACE_ORACLE.
+// Paper-scale runs:
 // ACE_PHYS_NODES=20000 ACE_PEERS=8000 (slower; defaults keep the whole
 // suite in minutes). --threads shards independent trials over a
 // TrialRunner pool; every table and CSV is byte-identical at any value.
@@ -48,7 +56,13 @@ inline BenchScale parse_scale(const Options& options,
   scale.seed = static_cast<std::uint64_t>(options.get_int("seed", 20040326));
   scale.threads = static_cast<std::size_t>(options.get_int("threads", 1));
   scale.out_dir = options.get_string("out-dir", ".");
+  scale.oracle = options.get_string("oracle", "exact");
   return scale;
+}
+
+// Parsed form of the scale's oracle spec (validates it as a side effect).
+inline OracleConfig oracle_config(const BenchScale& scale) {
+  return parse_oracle_spec(scale.oracle);
 }
 
 inline ScenarioConfig make_scenario(const BenchScale& scale,
@@ -61,6 +75,7 @@ inline ScenarioConfig make_scenario(const BenchScale& scale,
   config.catalog.object_count = 500;
   config.catalog.base_replication = 0.1;
   config.catalog.min_replication = 0.01;
+  config.oracle = oracle_config(scale);
   return config;
 }
 
@@ -76,13 +91,22 @@ inline std::uint64_t scale_digest(const BenchScale& scale) {
   digest.update(static_cast<std::uint64_t>(scale.peers));
   digest.update(static_cast<std::uint64_t>(scale.queries));
   digest.update(static_cast<std::uint64_t>(scale.rounds));
+  // Exact runs fold nothing extra, so their config digest — and therefore
+  // every provenance header on disk — is byte-identical to pre-oracle
+  // builds. Approximate runs fold the canonical spec.
+  const OracleConfig oracle = oracle_config(scale);
+  if (oracle.kind != OracleKind::kExact)
+    digest.update(std::string_view{oracle_spec(oracle)});
   return digest.value();
 }
 
 // Attaches `# git/build-type/seed/config-digest` comment lines to the
-// table's CSV output. Call once per TableWriter before print().
+// table's CSV output (plus `# oracle:` for approximate runs). Call once per
+// TableWriter before print().
 inline void stamp_provenance(TableWriter& table, const BenchScale& scale) {
-  table.set_provenance(run_provenance(scale.seed, scale_digest(scale)));
+  ProvenanceEntries entries = run_provenance(scale.seed, scale_digest(scale));
+  append_oracle_provenance(entries, oracle_config(scale));
+  table.set_provenance(std::move(entries));
 }
 
 inline void print_header(const std::string& what, const BenchScale& scale) {
@@ -113,6 +137,25 @@ class WallTimer {
  private:
   std::chrono::steady_clock::time_point start_;
 };
+
+// Peak resident set size of this process in bytes (getrusage ru_maxrss),
+// or 0 where the platform doesn't provide it. Captured centrally by
+// write_bench_json so every BENCH_*.json carries a memory high-water mark
+// next to its wall time; tools/bench_compare.py reports it informationally
+// and never gates on it.
+inline std::size_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
 
 // Machine-readable perf record every bench drops next to its CSVs
 // (BENCH_<name>.json). tools/bench_compare.py diffs these against the
@@ -174,6 +217,7 @@ inline void write_bench_json(const BenchScale& scale,
   out << "  \"trials\": " << report.trials << ",\n";
   out << "  \"trials_per_sec\": " << tps << ",\n";
   out << "  \"threads\": " << report.threads << ",\n";
+  out << "  \"peak_rss_bytes\": " << peak_rss_bytes() << ",\n";
   out << "  \"oracle_cache\": {\n";
   out << "    \"hits\": " << report.oracle_cache.hits << ",\n";
   out << "    \"misses\": " << report.oracle_cache.misses << ",\n";
@@ -190,8 +234,9 @@ inline void write_bench_json(const BenchScale& scale,
       << report.engine_cache.snapshot_rebuilds << "\n";
   out << "  },\n";
   out << "  \"provenance\": {";
-  const ProvenanceEntries entries =
+  ProvenanceEntries entries =
       run_provenance(scale.seed, scale_digest(scale));
+  append_oracle_provenance(entries, oracle_config(scale));
   for (std::size_t i = 0; i < entries.size(); ++i) {
     out << (i ? ",\n    \"" : "\n    \"") << json_escape(entries[i].first)
         << "\": \"" << json_escape(entries[i].second) << "\"";

@@ -1,0 +1,228 @@
+// Cost-query scale bench: how each CostOracle behaves as the physical
+// topology grows from 10^4 toward 10^6 hosts. For every (hosts, oracle)
+// cell it measures oracle build time, steady-state query throughput over a
+// pre-drawn workload, estimation error against exact Dijkstra delays on a
+// sampled pair set, and the oracle's own estimation-state footprint —
+// dropped into BENCH_scale.json (plus a scale.csv table) next to the other
+// benches' perf records.
+//
+// Query sources are confined to a small sampled source set (--sources) so
+// the exact oracle's row cache stays bounded: that is the regime the exact
+// oracle is usable in at all. The approximate oracles answer ANY pair from
+// O(K*N)/O(D*N) coordinates — the point this bench exists to demonstrate —
+// so the same workload exercises both fairly.
+//
+// Determinism: topology, source set, query pairs, and error-sample pairs
+// are all drawn from named streams of --seed; two runs produce identical
+// tables and identical JSON apart from wall-clock/RSS perf fields.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace ace;
+using namespace ace::bench;
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+struct ScaleRecord {
+  std::size_t hosts = 0;
+  std::string oracle;
+  double build_s = 0;
+  double queries_per_sec = 0;
+  double mean_rel_error = 0;
+  std::size_t error_pairs = 0;     // pairs the error mean is over
+  std::size_t oracle_bytes = 0;    // estimation state (CostOracle)
+  std::size_t row_cache_bytes = 0; // physical row cache after this cell
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options{argc, argv};
+  // Standard knobs reused where they fit: --queries (workload size),
+  // --seed, --out-dir. Bench-specific: --hosts (comma list of topology
+  // sizes), --oracles (comma list of specs), --sources (query source-set
+  // size), --sample-pairs (error sample size).
+  BenchScale scale = parse_scale(options, /*default_phys=*/0,
+                                 /*default_peers=*/0,
+                                 /*default_queries=*/200000,
+                                 /*default_rounds=*/0);
+  const std::string hosts_list =
+      options.get_string("hosts", "10000,100000");
+  const std::string oracle_list =
+      options.get_string("oracles", "exact,landmark:16,vivaldi:4");
+  const std::size_t source_count =
+      static_cast<std::size_t>(options.get_int("sources", 32));
+  const std::size_t sample_pairs =
+      static_cast<std::size_t>(options.get_int("sample-pairs", 2000));
+
+  std::vector<std::size_t> host_scales;
+  for (const std::string& h : split_list(hosts_list))
+    host_scales.push_back(static_cast<std::size_t>(std::stoull(h)));
+  const std::vector<std::string> oracle_specs = split_list(oracle_list);
+  for (const std::string& spec : oracle_specs)
+    (void)parse_oracle_spec(spec);  // fail fast on a malformed list
+
+  std::printf(
+      "# cost-oracle scale bench\n# hosts={%s}, oracles={%s}, queries=%zu, "
+      "sources=%zu, sample-pairs=%zu, seed=%llu\n\n",
+      hosts_list.c_str(), oracle_list.c_str(), scale.queries, source_count,
+      sample_pairs, static_cast<unsigned long long>(scale.seed));
+
+  WallTimer total_timer;
+  std::vector<ScaleRecord> records;
+
+  for (const std::size_t hosts : host_scales) {
+    // Power-law (BA) physical topology, the paper's model, at this scale.
+    // Per-scale streams keep every cell independent of list order.
+    Rng topo_rng = Rng::stream(scale.seed + hosts, "scale-topology");
+    BaOptions ba;
+    ba.nodes = hosts;
+    ba.edges_per_node = 2;
+    PhysicalNetwork physical{barabasi_albert(ba, topo_rng)};
+
+    // Bounded source set (the exact-feasible regime) + pre-drawn workload.
+    Rng query_rng = Rng::stream(scale.seed + hosts, "scale-queries");
+    std::vector<HostId> sources;
+    for (const std::size_t s :
+         query_rng.sample_indices(hosts, std::min(source_count, hosts)))
+      // ace-id: boundary(sampled indices range over the physical host table)
+      sources.push_back(HostId{static_cast<std::uint32_t>(s)});
+
+    std::vector<std::pair<HostId, HostId>> pairs;
+    pairs.reserve(scale.queries);
+    for (std::size_t q = 0; q < scale.queries; ++q) {
+      const HostId src = sources[query_rng.next_below(sources.size())];
+      // ace-id: boundary(a uniform draw below host_count is a host id)
+      const HostId dst{
+          static_cast<std::uint32_t>(query_rng.next_below(hosts))};
+      pairs.emplace_back(src, dst);
+    }
+
+    // Error sample: exact ground truth computed once (sources only, so the
+    // row cache stays within the same bounded working set).
+    std::vector<std::pair<HostId, HostId>> err_pairs;
+    std::vector<Weight> err_exact;
+    err_pairs.reserve(sample_pairs);
+    err_exact.reserve(sample_pairs);
+    for (std::size_t i = 0; i < sample_pairs; ++i) {
+      const HostId src = sources[query_rng.next_below(sources.size())];
+      // ace-id: boundary(a uniform draw below host_count is a host id)
+      const HostId dst{
+          static_cast<std::uint32_t>(query_rng.next_below(hosts))};
+      err_pairs.emplace_back(src, dst);
+      err_exact.push_back(physical.delay(src, dst));
+    }
+
+    for (const std::string& spec : oracle_specs) {
+      ScaleRecord record;
+      record.hosts = hosts;
+      record.oracle = spec;
+
+      WallTimer build_timer;
+      const std::unique_ptr<CostOracle> oracle =
+          make_cost_oracle(physical, parse_oracle_spec(spec), scale.seed);
+      record.build_s = build_timer.elapsed_s();
+
+      WallTimer query_timer;
+      Weight sink = 0;
+      for (const auto& [src, dst] : pairs) {
+        sink += oracle->delay(src, dst);
+        benchmark::DoNotOptimize(sink);
+      }
+      const double elapsed = query_timer.elapsed_s();
+      record.queries_per_sec =
+          elapsed > 0 ? static_cast<double>(pairs.size()) / elapsed : 0;
+
+      double err_sum = 0;
+      for (std::size_t i = 0; i < err_pairs.size(); ++i) {
+        if (err_exact[i] <= 0) continue;  // co-located pair: no ratio
+        const Weight est = oracle->delay(err_pairs[i].first,
+                                         err_pairs[i].second);
+        err_sum += std::abs(est - err_exact[i]) / err_exact[i];
+        ++record.error_pairs;
+      }
+      record.mean_rel_error =
+          record.error_pairs > 0
+              ? err_sum / static_cast<double>(record.error_pairs)
+              : 0;
+      record.oracle_bytes = oracle->memory_bytes();
+      record.row_cache_bytes = physical.row_cache_stats().bytes;
+      records.push_back(record);
+    }
+  }
+
+  TableWriter table{"cost-oracle scale",
+                    {"hosts", "oracle", "build_s", "queries/s",
+                     "mean_rel_err", "oracle_MiB", "row_cache_MiB"}};
+  table.set_precision(3);
+  stamp_provenance(table, scale);
+  for (const ScaleRecord& r : records) {
+    table.add_row({static_cast<std::int64_t>(r.hosts), r.oracle, r.build_s,
+                   r.queries_per_sec, r.mean_rel_error,
+                   static_cast<double>(r.oracle_bytes) / (1 << 20),
+                   static_cast<double>(r.row_cache_bytes) / (1 << 20)});
+  }
+  table.print(std::cout, csv_path(scale, "scale"));
+
+  // Custom perf record: one JSON object per (hosts, oracle) cell so
+  // tools/bench_compare.py can carry memory/error context; the standard
+  // top-level fields (name, wall_time_s, peak_rss_bytes, provenance) match
+  // every other BENCH_*.json.
+  const std::string path = scale.out_dir + "/BENCH_scale.json";
+  std::ofstream out{path};
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return 0;
+  }
+  out << "{\n  \"name\": \"scale\",\n";
+  out << "  \"wall_time_s\": " << total_timer.elapsed_s() << ",\n";
+  out << "  \"trials\": " << records.size() << ",\n";
+  out << "  \"threads\": 1,\n";
+  out << "  \"peak_rss_bytes\": " << peak_rss_bytes() << ",\n";
+  out << "  \"records\": [";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const ScaleRecord& r = records[i];
+    out << (i ? ",\n    {" : "\n    {");
+    out << "\"hosts\": " << r.hosts << ", \"oracle\": \""
+        << json_escape(r.oracle) << "\", \"build_s\": " << r.build_s
+        << ", \"queries_per_sec\": " << r.queries_per_sec
+        << ", \"mean_rel_error\": " << r.mean_rel_error
+        << ", \"error_pairs\": " << r.error_pairs
+        << ", \"oracle_bytes\": " << r.oracle_bytes
+        << ", \"row_cache_bytes\": " << r.row_cache_bytes << "}";
+  }
+  out << "\n  ],\n";
+  ProvenanceEntries entries = run_provenance(scale.seed, scale_digest(scale));
+  entries.emplace_back("hosts", hosts_list);
+  entries.emplace_back("oracles", oracle_list);
+  entries.emplace_back("sources", std::to_string(source_count));
+  entries.emplace_back("sample-pairs", std::to_string(sample_pairs));
+  out << "  \"provenance\": {";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    out << (i ? ",\n    \"" : "\n    \"") << json_escape(entries[i].first)
+        << "\": \"" << json_escape(entries[i].second) << "\"";
+  }
+  out << "\n  }\n}\n";
+  std::printf("perf record: %s\n", path.c_str());
+  return 0;
+}

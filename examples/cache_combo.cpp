@@ -15,7 +15,8 @@ int main(int argc, char** argv) {
   if (options.help_requested()) {
     std::printf("cache_combo [--cache-size=N] [--peers=N] [--phys-nodes=N] "
                 "[--duration=SECONDS] [--seed=N] [--transport=ideal|lossy] "
-                "[--loss-rate=P] [--jitter=S] [--digest-out=FILE]\n");
+                "[--loss-rate=P] [--jitter=S] "
+                "[--oracle=exact|landmark:K|vivaldi:D] [--digest-out=FILE]\n");
     return 0;
   }
   const std::string digest_out = options.get_string("digest-out", "");
@@ -28,6 +29,8 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(options.get_int("peers", 256));
   config.scenario.mean_degree = 6.0;
   config.scenario.seed = static_cast<std::uint64_t>(options.get_int("seed", 5));
+  config.scenario.oracle =
+      parse_oracle_spec(options.get_string("oracle", "exact"));
   // A compact, popularity-skewed catalog: caches only help when queries
   // repeat, as they do in measured Gnutella workloads.
   config.scenario.catalog.object_count = 200;
@@ -85,8 +88,10 @@ int main(int argc, char** argv) {
               "traffic cost and ~70%% of the response time.\n");
 
   if (!digest_out.empty()) {
-    if (!trace.write(digest_out, transport_provenance(config.scenario.seed,
-                                                      config.transport))) {
+    ProvenanceEntries provenance =
+        transport_provenance(config.scenario.seed, config.transport);
+    append_oracle_provenance(provenance, config.scenario.oracle);
+    if (!trace.write(digest_out, provenance)) {
       std::fprintf(stderr, "cannot write digest trace to %s\n",
                    digest_out.c_str());
       return 1;

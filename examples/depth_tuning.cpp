@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
   if (options.help_requested()) {
     std::printf("depth_tuning [--ratio=R] [--mean-degree=C] [--peers=N] "
                 "[--max-depth=N] [--seed=N] [--transport=ideal|lossy] "
-                "[--loss-rate=P] [--jitter=S] [--digest-out=FILE]\n");
+                "[--loss-rate=P] [--jitter=S] "
+                "[--oracle=exact|landmark:K|vivaldi:D] [--digest-out=FILE]\n");
     return 0;
   }
   const std::string digest_out = options.get_string("digest-out", "");
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
   scenario.peers = static_cast<std::size_t>(options.get_int("peers", 256));
   scenario.mean_degree = options.get_double("mean-degree", 6.0);
   scenario.seed = static_cast<std::uint64_t>(options.get_int("seed", 11));
+  scenario.oracle = parse_oracle_spec(options.get_string("oracle", "exact"));
   const auto max_depth =
       static_cast<std::uint32_t>(options.get_int("max-depth", 6));
 
@@ -49,7 +51,10 @@ int main(int argc, char** argv) {
                     {"h", "traffic reduction %", "overhead/round",
                      "optimization rate"}};
   table.set_precision(2);
-  table.set_provenance(transport_provenance(scenario.seed, transport_config));
+  ProvenanceEntries provenance =
+      transport_provenance(scenario.seed, transport_config);
+  append_oracle_provenance(provenance, scenario.oracle);
+  table.set_provenance(provenance);
   std::uint32_t best = 0;
   for (const DepthSample& s : sweep) {
     const double rate = optimization_rate(s, ratio);
@@ -71,8 +76,7 @@ int main(int argc, char** argv) {
   }
 
   if (!digest_out.empty()) {
-    if (!trace.write(digest_out,
-                     transport_provenance(scenario.seed, transport_config))) {
+    if (!trace.write(digest_out, provenance)) {
       std::fprintf(stderr, "cannot write digest trace to %s\n",
                    digest_out.c_str());
       return 1;

@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
   if (options.help_requested()) {
     std::printf("gnutella_churn [--peers=N] [--phys-nodes=N] "
                 "[--duration=SECONDS] [--seed=N] [--transport=ideal|lossy] "
-                "[--loss-rate=P] [--jitter=S] [--digest-out=FILE]\n");
+                "[--loss-rate=P] [--jitter=S] "
+                "[--oracle=exact|landmark:K|vivaldi:D] [--digest-out=FILE]\n");
     return 0;
   }
   const std::string digest_out = options.get_string("digest-out", "");
@@ -30,6 +31,8 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(options.get_int("peers", 256));
   config.scenario.mean_degree = 6.0;
   config.scenario.seed = static_cast<std::uint64_t>(options.get_int("seed", 7));
+  config.scenario.oracle =
+      parse_oracle_spec(options.get_string("oracle", "exact"));
   config.churn.mean_lifetime_s = 600.0;              // 10 minutes (paper)
   config.churn.lifetime_variance = 300.0 * 300.0;    // sigma = mean/2
   config.churn.join_degree = 6;
@@ -92,8 +95,10 @@ int main(int argc, char** argv) {
                    digest_out.c_str());
       return 1;
     }
-    for (const auto& [key, value] :
-         transport_provenance(config.scenario.seed, config.transport))
+    ProvenanceEntries provenance =
+        transport_provenance(config.scenario.seed, config.transport);
+    append_oracle_provenance(provenance, config.scenario.oracle);
+    for (const auto& [key, value] : provenance)
       file << "# " << key << ": " << value << '\n';
     file << "# baseline\n" << baseline_trace.csv()
          << "# ace\n" << ace_trace.csv();

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
     std::printf(
         "quickstart [--peers=N] [--phys-nodes=N] [--rounds=N] [--seed=N] "
         "[--transport=ideal|lossy] [--loss-rate=P] [--jitter=S] "
-        "[--digest-out=FILE]\n");
+        "[--oracle=exact|landmark:K|vivaldi:D] [--digest-out=FILE]\n");
     return 0;
   }
   // --digest-out: write the per-round StateDigest trace for reproducibility
@@ -44,6 +44,12 @@ int main(int argc, char** argv) {
   config.peers = static_cast<std::size_t>(options.get_int("peers", 256));
   config.mean_degree = 6.0;
   config.seed = static_cast<std::uint64_t>(options.get_int("seed", 42));
+  // --oracle=landmark:K / vivaldi:D makes peers decide from estimated
+  // proximity (DESIGN.md §14) while the network keeps charging true delays;
+  // the default exact mode attaches nothing and is byte-identical to
+  // pre-oracle builds.
+  config.oracle =
+      parse_oracle_spec(options.get_string("oracle", "exact"));
   Scenario scenario{config};
 
   std::printf("physical hosts : %zu\n", scenario.physical().host_count());
@@ -107,8 +113,10 @@ int main(int argc, char** argv) {
 
   if (!digest_out.empty()) {
     trace.record("end", engine.state_digest(lossy ? &sim : nullptr));
-    if (!trace.write(digest_out,
-                     transport_provenance(config.seed, transport_config))) {
+    ProvenanceEntries provenance =
+        transport_provenance(config.seed, transport_config);
+    append_oracle_provenance(provenance, config.oracle);
+    if (!trace.write(digest_out, provenance)) {
       std::fprintf(stderr, "cannot write digest trace to %s\n",
                    digest_out.c_str());
       return 1;

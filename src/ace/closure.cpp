@@ -144,7 +144,7 @@ void build_closure_into(const OverlayNetwork& overlay, PeerId source,
         const LocalNodeId a = direct[i], b = direct[j];
         if (closure.local.has_edge(a.value(), b.value())) continue;
         const Weight d =
-            overlay.peer_delay(closure.nodes[a], closure.nodes[b]);
+            overlay.peer_cost_estimate(closure.nodes[a], closure.nodes[b]);
         closure.local.add_edge(a.value(), b.value(), d > 0 ? d : 1e-6);
         closure.probed_pairs.emplace_back(a, b);
       }

@@ -52,8 +52,14 @@ void CostTableStore::refresh_peer(const OverlayNetwork& overlay, PeerId peer,
   table.clear();
   const double probe_size = size_factor(sizing_, MessageType::kProbe) +
                             size_factor(sizing_, MessageType::kProbeReply);
+  const bool estimated = overlay.cost_oracle() != nullptr;
   for (const auto& n : overlay.neighbors(peer)) {
-    table.record(peer_of(n), n.weight);
+    // The recorded cost is the peer's belief: the oracle estimate when one
+    // is attached, else the link weight (true delay). Probe traffic is
+    // always priced with the true weight — the probe crosses the wire.
+    table.record(peer_of(n),
+                 estimated ? overlay.probe_estimate(peer, peer_of(n))
+                           : n.weight);
     ++overhead.probes;
     overhead.probe_traffic += probe_size * n.weight;
   }
@@ -136,7 +142,10 @@ void CostTableStore::debug_validate(const OverlayNetwork& overlay) const {
             << e.neighbor;
       }
       if (overlay.are_connected(p, e.neighbor)) {
-        ACE_CHECK_EQ(overlay.link_cost(p, e.neighbor), e.cost)
+        // probe_estimate is the link cost when no oracle is attached and
+        // the (clamped) oracle estimate when one is — either way it is
+        // what a fresh probe of this live link would record.
+        ACE_CHECK_EQ(overlay.probe_estimate(p, e.neighbor), e.cost)
             << " — table entry " << p << "->" << e.neighbor
             << " disagrees with the live overlay link";
       }

@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "oracle/cost_oracle.h"
 #include "sim/simulator.h"
 #include "util/check.h"
 
@@ -444,6 +445,14 @@ StateDigest AceEngine::state_digest(const Simulator* sim) const {
     Fnv1a d;
     transport_->digest_into(d);
     snapshot.add("transport-inflight", d.value());
+  }
+  // Same rule for the cost oracle: only approximate runs (an oracle
+  // attached to the overlay) carry the component, so exact runs digest
+  // exactly as builds that predate the oracle subsystem.
+  if (overlay_->cost_oracle() != nullptr) {
+    Fnv1a d;
+    overlay_->cost_oracle()->digest_into(d);
+    snapshot.add("cost-oracle", d.value());
   }
   return snapshot;
 }

@@ -43,12 +43,16 @@ std::optional<Weight> Phase3Optimizer::probe(const OverlayNetwork& overlay,
   if (transport != nullptr) {
     return transport->probe(a, b, outcome.probe_traffic);
   }
-  const Weight delay = overlay.peer_delay(a, b);
+  // Probe traffic is priced with the true wire delay (the messages really
+  // cross the network); the value the prober learns is its belief — the
+  // oracle estimate when one is attached, which is the same number when
+  // not.
+  const Weight wire = overlay.peer_delay(a, b);
   outcome.probe_traffic +=
       (size_factor(config_.sizing, MessageType::kProbe) +
        size_factor(config_.sizing, MessageType::kProbeReply)) *
-      delay;
-  return delay;
+      wire;
+  return overlay.peer_cost_estimate(a, b);
 }
 
 namespace {

@@ -26,6 +26,10 @@
 #include "graph/metrics.h"
 #include "graph/shortest_path.h"
 #include "net/physical_network.h"
+#include "oracle/cost_oracle.h"
+#include "oracle/exact_oracle.h"
+#include "oracle/landmark_oracle.h"
+#include "oracle/vivaldi_oracle.h"
 #include "overlay/churn.h"
 #include "overlay/overlay_network.h"
 #include "overlay/workload.h"

@@ -7,29 +7,8 @@
 
 namespace ace {
 
-std::vector<std::vector<Weight>> landmark_coordinates(
-    const PhysicalNetwork& physical, std::span<const HostId> peer_hosts,
-    std::span<const HostId> landmark_hosts) {
-  std::vector<std::vector<Weight>> coords(peer_hosts.size());
-  for (std::size_t i = 0; i < peer_hosts.size(); ++i) {
-    coords[i].reserve(landmark_hosts.size());
-    for (const HostId lm : landmark_hosts)
-      coords[i].push_back(physical.delay(peer_hosts[i], lm));
-  }
-  return coords;
-}
-
-double coordinate_distance(std::span<const Weight> a,
-                           std::span<const Weight> b) {
-  if (a.size() != b.size())
-    throw std::invalid_argument{"coordinate_distance: dimension mismatch"};
-  double sum = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    sum += d * d;
-  }
-  return std::sqrt(sum);
-}
+// landmark_coordinates / coordinate_distance are defined in
+// oracle/landmark_oracle.cpp — shared with LandmarkOracle.
 
 OverlayNetwork build_landmark_overlay(const PhysicalNetwork& physical,
                                       std::span<const HostId> peer_hosts,

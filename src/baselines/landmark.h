@@ -13,6 +13,12 @@
 #include <cstddef>
 #include <vector>
 
+// landmark_coordinates / coordinate_distance — the measurement and
+// clustering primitives this baseline is built from — live in the oracle
+// library (oracle/landmark_oracle.h) and are shared with LandmarkOracle:
+// one triangulation implementation, whether it builds an overlay or
+// answers cost queries.
+#include "oracle/landmark_oracle.h"
 #include "overlay/overlay_network.h"
 #include "util/rng.h"
 
@@ -26,15 +32,6 @@ struct LandmarkConfig {
   // a couple of random links is the standard fix for its partitioning).
   std::size_t random_links = 0;
 };
-
-// Coordinates of every peer: delay to each landmark host.
-std::vector<std::vector<Weight>> landmark_coordinates(
-    const PhysicalNetwork& physical, std::span<const HostId> peer_hosts,
-    std::span<const HostId> landmark_hosts);
-
-// Euclidean distance between two landmark coordinate vectors.
-double coordinate_distance(std::span<const Weight> a,
-                           std::span<const Weight> b);
 
 // Builds a landmark-clustered overlay over the given peer hosts: each peer
 // links to its `proximity_links` coordinate-nearest peers plus

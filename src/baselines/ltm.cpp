@@ -87,7 +87,9 @@ void LtmEngine::step_peer(PeerId peer, Rng& rng, LtmRoundReport& report) {
           pool.push_back(peer_of(n2));
     if (pool.empty()) break;
     const PeerId candidate = pool[rng.next_below(pool.size())];
-    if (overlay_->peer_delay(peer, candidate) < worst)
+    // The LTM peer decides from its measured belief (oracle estimate when
+    // one is attached); the installed link still carries the true weight.
+    if (overlay_->peer_cost_estimate(peer, candidate) < worst)
       if (overlay_->connect(peer, candidate)) ++report.adds;
   }
 

@@ -59,6 +59,14 @@ Scenario::Scenario(const ScenarioConfig& config)
   const Graph logical = build_overlay_graph(config, topo_rng);
   const auto hosts = assign_hosts_uniform(*physical_, config.peers, topo_rng);
   overlay_ = std::make_unique<OverlayNetwork>(*physical_, logical, hosts);
+  // Approximate modes build + attach an estimation oracle; kExact attaches
+  // nothing so exact runs stay bit-for-bit what they were before the
+  // oracle subsystem existed (no "oracle" draws, no extra digest
+  // component, no landmark rows in the delay cache).
+  if (config.oracle.kind != OracleKind::kExact) {
+    cost_oracle_ = make_cost_oracle(*physical_, config.oracle, config.seed);
+    overlay_->set_cost_oracle(cost_oracle_.get());
+  }
   catalog_ = std::make_unique<ObjectCatalog>(config.catalog);
   oracle_ = std::make_unique<CatalogOracle>(*catalog_);
   ACE_LOG(kInfo) << "scenario: physical=" << physical_->host_count()

@@ -15,6 +15,7 @@
 #include "core/trial_runner.h"
 #include "graph/generators.h"
 #include "net/physical_network.h"
+#include "oracle/cost_oracle.h"
 #include "overlay/churn.h"
 #include "overlay/workload.h"
 #include "search/flooding.h"
@@ -48,6 +49,10 @@ struct ScenarioConfig {
   CatalogConfig catalog{};
   std::uint64_t seed = 20040326;
   std::size_t distance_cache_rows = 16384;
+  // Cost-estimation oracle for the decision path (--oracle=). The default
+  // kExact attaches NO oracle: every code path, digest, and CSV is
+  // byte-identical to builds that predate the oracle subsystem.
+  OracleConfig oracle{};
 };
 
 // Owns one experiment's substrate stack.
@@ -60,6 +65,8 @@ class Scenario {
   OverlayNetwork& overlay() noexcept { return *overlay_; }
   const ObjectCatalog& catalog() const noexcept { return *catalog_; }
   const CatalogOracle& oracle() const noexcept { return *oracle_; }
+  // Attached cost-estimation oracle; nullptr in exact mode.
+  const CostOracle* cost_oracle() const noexcept { return cost_oracle_.get(); }
   Rng& rng() noexcept { return rng_; }
   // Per-simulation message-id allocator (each scenario starts at guid 1, so
   // ids never depend on what else ran earlier in the process).
@@ -85,6 +92,9 @@ class Scenario {
   Rng rng_;
   GuidAllocator guids_;
   std::unique_ptr<PhysicalNetwork> physical_;
+  // Declared before overlay_ (which borrows it) so destruction order is
+  // overlay first, oracle second, physical last.
+  std::unique_ptr<CostOracle> cost_oracle_;
   std::unique_ptr<OverlayNetwork> overlay_;
   std::unique_ptr<ObjectCatalog> catalog_;
   std::unique_ptr<CatalogOracle> oracle_;

@@ -1,0 +1,129 @@
+#include "oracle/cost_oracle.h"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "oracle/exact_oracle.h"
+#include "oracle/landmark_oracle.h"
+#include "oracle/vivaldi_oracle.h"
+
+namespace ace {
+
+const char* oracle_kind_name(OracleKind kind) noexcept {
+  switch (kind) {
+    case OracleKind::kExact:
+      return "exact";
+    case OracleKind::kLandmark:
+      return "landmark";
+    case OracleKind::kVivaldi:
+      return "vivaldi";
+  }
+  return "?";
+}
+
+namespace {
+
+// Parses the `:`-separated positive integers after the kind name.
+std::vector<std::size_t> parse_params(const std::string& spec,
+                                      std::size_t start) {
+  std::vector<std::size_t> params;
+  std::size_t pos = start;
+  while (pos < spec.size()) {
+    if (spec[pos] != ':')
+      throw std::invalid_argument{"parse_oracle_spec: malformed '" + spec +
+                                  "'"};
+    ++pos;
+    std::size_t value = 0;
+    const auto [ptr, ec] = std::from_chars(
+        spec.data() + pos, spec.data() + spec.size(), value);
+    if (ec != std::errc{} || value == 0)
+      throw std::invalid_argument{
+          "parse_oracle_spec: expected positive integer in '" + spec + "'"};
+    params.push_back(value);
+    pos = static_cast<std::size_t>(ptr - spec.data());
+  }
+  return params;
+}
+
+}  // namespace
+
+OracleConfig parse_oracle_spec(const std::string& spec) {
+  OracleConfig config;
+  if (spec == "exact" || spec.empty()) {
+    config.kind = OracleKind::kExact;
+    return config;
+  }
+  const std::string landmark = "landmark";
+  const std::string vivaldi = "vivaldi";
+  if (spec.compare(0, landmark.size(), landmark) == 0 &&
+      (spec.size() == landmark.size() || spec[landmark.size()] == ':')) {
+    config.kind = OracleKind::kLandmark;
+    const auto params = parse_params(spec, landmark.size());
+    if (params.size() > 1)
+      throw std::invalid_argument{"parse_oracle_spec: landmark takes at "
+                                  "most one parameter (landmark:K)"};
+    if (!params.empty()) config.landmarks = params[0];
+    return config;
+  }
+  if (spec.compare(0, vivaldi.size(), vivaldi) == 0 &&
+      (spec.size() == vivaldi.size() || spec[vivaldi.size()] == ':')) {
+    config.kind = OracleKind::kVivaldi;
+    const auto params = parse_params(spec, vivaldi.size());
+    if (params.size() > 3)
+      throw std::invalid_argument{"parse_oracle_spec: vivaldi takes at most "
+                                  "three parameters (vivaldi:D[:R[:P]])"};
+    if (params.size() > 0) config.vivaldi_dims = params[0];
+    if (params.size() > 1) config.vivaldi_rounds = params[1];
+    if (params.size() > 2) config.vivaldi_pivots = params[2];
+    return config;
+  }
+  throw std::invalid_argument{
+      "parse_oracle_spec: unknown oracle '" + spec +
+      "' (expected exact, landmark:K, or vivaldi:D)"};
+}
+
+std::string oracle_spec(const OracleConfig& config) {
+  switch (config.kind) {
+    case OracleKind::kExact:
+      return "exact";
+    case OracleKind::kLandmark:
+      return "landmark:" + std::to_string(config.landmarks);
+    case OracleKind::kVivaldi:
+      return "vivaldi:" + std::to_string(config.vivaldi_dims);
+  }
+  return "?";
+}
+
+void append_oracle_provenance(ProvenanceEntries& entries,
+                              const OracleConfig& config) {
+  if (config.kind == OracleKind::kExact) return;  // byte-identical exact runs
+  entries.emplace_back("oracle", oracle_spec(config));
+  if (config.kind == OracleKind::kVivaldi) {
+    entries.emplace_back("oracle-rounds",
+                         std::to_string(config.vivaldi_rounds));
+    entries.emplace_back("oracle-pivots",
+                         std::to_string(config.vivaldi_pivots));
+  }
+}
+
+std::unique_ptr<CostOracle> make_cost_oracle(const PhysicalNetwork& physical,
+                                             const OracleConfig& config,
+                                             std::uint64_t seed) {
+  switch (config.kind) {
+    case OracleKind::kExact:
+      return std::make_unique<ExactOracle>(physical);
+    case OracleKind::kLandmark:
+      return std::make_unique<LandmarkOracle>(physical, config.landmarks,
+                                              seed);
+    case OracleKind::kVivaldi: {
+      VivaldiConfig vivaldi;
+      vivaldi.dims = config.vivaldi_dims;
+      vivaldi.rounds = config.vivaldi_rounds;
+      vivaldi.pivots_per_round = config.vivaldi_pivots;
+      return std::make_unique<VivaldiOracle>(physical, vivaldi, seed);
+    }
+  }
+  throw std::invalid_argument{"make_cost_oracle: unknown kind"};
+}
+
+}  // namespace ace

@@ -1,0 +1,116 @@
+// Pluggable cost oracle: the subsystem that answers "what does it cost to
+// send one message between hosts A and B?" for everything a peer *decides*
+// with — neighbor cost tables, closure pair probes, phase-3 candidate
+// evaluation, baseline rewiring. The exact answer is a Dijkstra row over the
+// physical topology (net/physical_network.h), which caps practical scale at
+// ~10^4 peers: every fresh source costs one full shortest-path run and one
+// dense row of memory. Real Gnutella-scale networks estimate proximity
+// instead (landmark triangulation, Vivaldi-style coordinate embeddings), so
+// the oracle is an interface with three implementations:
+//
+//   ExactOracle     — wraps PhysicalNetwork's CSR-Dijkstra row cache;
+//                     byte-identical to querying the network directly.
+//   LandmarkOracle  — K landmark hosts, one Dijkstra row per landmark; a
+//                     host's coordinate is its delay vector to the
+//                     landmarks, estimates by triangulation. O(K*N) memory.
+//   VivaldiOracle   — D-dimensional coordinates refined against a fixed,
+//                     seeded pivot-probe schedule. O(D*N) memory.
+//
+// Determinism contract: an oracle is a pure function of (physical topology,
+// config, seed) frozen at construction. All randomness comes from the named
+// stream Rng::stream(seed, "oracle"), so attaching an oracle never perturbs
+// churn/workload/ace draw sequences, and digest_into() lets approximate
+// runs be double-run byte-identical (the engine digests the oracle as the
+// "cost-oracle" StateDigest component whenever one is attached). See
+// DESIGN.md §14.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "graph/graph.h"
+#include "util/digest.h"
+#include "util/provenance.h"
+#include "util/strong_id.h"
+
+namespace ace {
+
+class PhysicalNetwork;
+
+enum class OracleKind : std::uint8_t { kExact, kLandmark, kVivaldi };
+
+const char* oracle_kind_name(OracleKind kind) noexcept;
+
+// Everything that shapes an oracle, parseable from the CLI spec
+// `exact | landmark:K | vivaldi:D` (the `--oracle=` flag).
+struct OracleConfig {
+  OracleKind kind = OracleKind::kExact;
+  // landmark:K — number of landmark hosts (Dijkstra rows computed once).
+  std::size_t landmarks = 16;
+  // vivaldi:D — embedding dimensions.
+  std::size_t vivaldi_dims = 4;
+  // Refinement schedule: rounds x pivots exact rows drive the embedding.
+  std::size_t vivaldi_rounds = 12;
+  std::size_t vivaldi_pivots = 8;
+};
+
+// Parses `exact`, `landmark:K`, `vivaldi:D` (and the long forms
+// `vivaldi:D:R:P` for rounds/pivots). Throws std::invalid_argument on
+// malformed specs.
+OracleConfig parse_oracle_spec(const std::string& spec);
+
+// Canonical spec string for a config ("exact", "landmark:16", "vivaldi:4").
+std::string oracle_spec(const OracleConfig& config);
+
+// Appends the `oracle` provenance entry (plus schedule knobs for vivaldi).
+// Deliberately appends NOTHING for kExact: exact runs must emit
+// byte-identical CSVs and digest traces to builds that predate the oracle
+// subsystem.
+void append_oracle_provenance(ProvenanceEntries& entries,
+                              const OracleConfig& config);
+
+// Interface. Estimates are symmetric, finite, >= 0, and exactly 0 for
+// a == b; they are frozen at construction (const-only queries), so one
+// oracle can serve a whole trial without locking (same one-trial-one-thread
+// contract as PhysicalNetwork).
+class CostOracle {
+ public:
+  virtual ~CostOracle() = default;
+
+  // Estimated one-way delay between two hosts. Throws std::out_of_range
+  // for ids outside the physical topology.
+  virtual Weight delay(HostId a, HostId b) const = 0;
+
+  // Batch estimate: out[i] = delay(source, targets[i]). Requires
+  // out.size() == targets.size(). The batch form lets implementations
+  // amortize per-source work (the exact oracle touches its row cache once).
+  virtual void delays_from(HostId source, std::span<const HostId> targets,
+                           std::span<float> out) const = 0;
+
+  virtual OracleKind kind() const noexcept = 0;
+
+  // Round-trips through parse_oracle_spec (CSV/JSON provenance value).
+  virtual std::string spec() const = 0;
+
+  // Bytes of estimation state this oracle holds (coordinates, cached
+  // rows). The scale bench reports this next to process peak RSS: the
+  // approximate oracles stay O(K*N)/O(D*N) where exact row caching is
+  // O(rows * N).
+  virtual std::size_t memory_bytes() const noexcept = 0;
+
+  // Digest of the frozen estimation state (landmark sets, coordinates).
+  // Two runs of the same (topology, config, seed) must digest equal —
+  // that is what makes lossy/approximate runs reproducible.
+  virtual void digest_into(Fnv1a& digest) const = 0;
+};
+
+// Factory: builds the configured oracle over `physical` (which must outlive
+// the oracle). Approximate oracles draw from Rng::stream(seed, "oracle").
+std::unique_ptr<CostOracle> make_cost_oracle(const PhysicalNetwork& physical,
+                                             const OracleConfig& config,
+                                             std::uint64_t seed);
+
+}  // namespace ace

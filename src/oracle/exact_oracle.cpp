@@ -1,0 +1,24 @@
+#include "oracle/exact_oracle.h"
+
+#include <stdexcept>
+
+namespace ace {
+
+void ExactOracle::delays_from(HostId source, std::span<const HostId> targets,
+                              std::span<float> out) const {
+  if (out.size() != targets.size())
+    throw std::invalid_argument{
+        "ExactOracle::delays_from: out.size() != targets.size()"};
+  // The first query computes/caches the source row; the rest are row hits.
+  for (std::size_t i = 0; i < targets.size(); ++i)
+    out[i] = static_cast<float>(physical_->delay(source, targets[i]));
+}
+
+void ExactOracle::digest_into(Fnv1a& digest) const {
+  // Exact estimation state is the topology itself (immutable, digested by
+  // whoever owns it); the oracle contributes only its identity.
+  digest.update(std::string_view{"oracle-exact"});
+  digest.update(static_cast<std::uint64_t>(physical_->host_count()));
+}
+
+}  // namespace ace

@@ -1,0 +1,48 @@
+// ExactOracle: the CostOracle that IS the physical network. Every query
+// delegates to PhysicalNetwork's lazily-cached CSR-Dijkstra rows, so values
+// (and the row-cache behaviour behind them) are byte-identical to calling
+// PhysicalNetwork::delay directly — attaching it to an overlay changes no
+// protocol-visible state. It exists so the scale bench and the `--oracle`
+// plumbing can treat "ground truth" as just another oracle.
+#pragma once
+
+#include "net/physical_network.h"
+#include "oracle/cost_oracle.h"
+
+namespace ace {
+
+class ExactOracle final : public CostOracle {
+ public:
+  // `physical` must outlive the oracle (non-owning).
+  explicit ExactOracle(const PhysicalNetwork& physical) noexcept
+      : physical_{&physical} {}
+
+  const PhysicalNetwork& physical() const noexcept { return *physical_; }
+
+  // ace-hot
+  Weight delay(HostId a, HostId b) const override {
+    return physical_->delay(a, b);
+  }
+
+  // One row-cache touch for the source, then a flat gather.
+  void delays_from(HostId source, std::span<const HostId> targets,
+                   std::span<float> out) const override;
+
+  OracleKind kind() const noexcept override { return OracleKind::kExact; }
+  std::string spec() const override { return "exact"; }
+
+  // The exact oracle's estimation state is the row cache it queries; its
+  // footprint grows with the distinct-source working set (bytes-per-row x
+  // rows), which is the linear-per-source cost the approximate oracles
+  // avoid.
+  std::size_t memory_bytes() const noexcept override {
+    return physical_->row_cache_stats().bytes;
+  }
+
+  void digest_into(Fnv1a& digest) const override;
+
+ private:
+  const PhysicalNetwork* physical_;
+};
+
+}  // namespace ace

@@ -1,0 +1,133 @@
+#include "oracle/landmark_oracle.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace ace {
+
+std::vector<std::vector<Weight>> landmark_coordinates(
+    const PhysicalNetwork& physical, std::span<const HostId> peer_hosts,
+    std::span<const HostId> landmark_hosts) {
+  std::vector<std::vector<Weight>> coords(peer_hosts.size());
+  for (std::size_t i = 0; i < peer_hosts.size(); ++i) {
+    coords[i].reserve(landmark_hosts.size());
+    for (const HostId lm : landmark_hosts)
+      coords[i].push_back(physical.delay(peer_hosts[i], lm));
+  }
+  return coords;
+}
+
+double coordinate_distance(std::span<const Weight> a,
+                           std::span<const Weight> b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument{"coordinate_distance: dimension mismatch"};
+  double sum = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+// ace-hot
+Weight triangulated_delay(std::span<const float> a, std::span<const float> b) {
+  float lower = 0.0f;
+  float upper = a[0] + b[0];
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float diff = a[i] > b[i] ? a[i] - b[i] : b[i] - a[i];
+    const float sum = a[i] + b[i];
+    if (diff > lower) lower = diff;
+    if (sum < upper) upper = sum;
+  }
+  // Inconsistent coordinates (possible under triangle-inequality violations
+  // in the embedding) can cross the bounds; keep the interval well-formed.
+  if (upper < lower) upper = lower;
+  return 0.5 * (static_cast<Weight>(lower) + static_cast<Weight>(upper));
+}
+
+LandmarkOracle::LandmarkOracle(const PhysicalNetwork& physical,
+                               std::size_t landmarks, std::uint64_t seed)
+    : host_count_{physical.host_count()} {
+  if (landmarks == 0)
+    throw std::invalid_argument{"LandmarkOracle: need at least one landmark"};
+  if (landmarks > host_count_)
+    throw std::invalid_argument{
+        "LandmarkOracle: more landmarks than hosts"};
+
+  Rng rng = Rng::stream(seed, "oracle");
+  landmarks_.reserve(landmarks);
+  for (const std::size_t i : rng.sample_indices(host_count_, landmarks))
+    // ace-id: boundary(sampled indices range over the physical host table)
+    landmarks_.push_back(HostId{static_cast<std::uint32_t>(i)});
+
+  // Landmark-first fill order: delay(lm, h) resolves through the landmark's
+  // row, so construction touches exactly K Dijkstra rows — never one per
+  // host. That is the whole memory story of this oracle.
+  const std::size_t k = landmarks_.size();
+  coords_.resize(host_count_ * k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const HostId lm = landmarks_[j];
+    for (std::size_t h = 0; h < host_count_; ++h)
+      // ace-id: boundary(dense iteration over the physical host table)
+      coords_[h * k + j] =
+          static_cast<float>(physical.delay(lm, HostId{
+              static_cast<std::uint32_t>(h)}));
+  }
+
+  // Coordinates are frozen from here on; fingerprint them once.
+  Fnv1a digest;
+  digest.update(std::string_view{"oracle-landmark"});
+  digest.update(static_cast<std::uint64_t>(host_count_));
+  digest.update(static_cast<std::uint64_t>(k));
+  for (const HostId lm : landmarks_) digest.update(lm);
+  for (const float c : coords_)
+    digest.update(static_cast<std::uint64_t>(std::bit_cast<std::uint32_t>(c)));
+  state_digest_ = digest.value();
+}
+
+// ace-hot
+Weight LandmarkOracle::delay(HostId a, HostId b) const {
+  if (a.value() >= host_count_ || b.value() >= host_count_)
+    throw std::out_of_range{"LandmarkOracle::delay: host out of range"};
+  if (a == b) return 0.0;
+  const std::size_t k = landmarks_.size();
+  return triangulated_delay(
+      std::span<const float>{coords_.data() + a.value() * k, k},
+      std::span<const float>{coords_.data() + b.value() * k, k});
+}
+
+void LandmarkOracle::delays_from(HostId source,
+                                 std::span<const HostId> targets,
+                                 std::span<float> out) const {
+  if (out.size() != targets.size())
+    throw std::invalid_argument{
+        "LandmarkOracle::delays_from: out.size() != targets.size()"};
+  for (std::size_t i = 0; i < targets.size(); ++i)
+    out[i] = static_cast<float>(delay(source, targets[i]));
+}
+
+std::string LandmarkOracle::spec() const {
+  return "landmark:" + std::to_string(landmarks_.size());
+}
+
+std::size_t LandmarkOracle::memory_bytes() const noexcept {
+  return coords_.capacity() * sizeof(float) +
+         landmarks_.capacity() * sizeof(HostId);
+}
+
+void LandmarkOracle::digest_into(Fnv1a& digest) const {
+  digest.update(state_digest_);
+}
+
+std::span<const float> LandmarkOracle::coordinates(HostId host) const {
+  if (host.value() >= host_count_)
+    throw std::out_of_range{"LandmarkOracle::coordinates: host out of range"};
+  const std::size_t k = landmarks_.size();
+  return {coords_.data() + host.value() * k, k};
+}
+
+}  // namespace ace

@@ -1,0 +1,81 @@
+// Landmark triangulation oracle. K landmark hosts are drawn once from the
+// seeded "oracle" stream; each costs exactly one Dijkstra row, and every
+// host's coordinate is its delay vector to the landmarks (K floats). A
+// pairwise delay is estimated from the triangle inequality: the landmark
+// delays bound the true delay to [max_i |a_i - b_i|, min_i (a_i + b_i)],
+// and the estimate is the midpoint of that interval. Total estimation state
+// is O(K*N) — sublinear in the O(N^2) pair space — which is what lets the
+// scale bench answer million-host cost queries without dense rows.
+//
+// The coordinate/distance primitives (landmark_coordinates,
+// coordinate_distance) live here and are shared with the landmark overlay
+// baseline (baselines/landmark.h): the baseline clusters peers by the same
+// coordinates this oracle triangulates with, so there is one implementation
+// to test, not two to drift.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/physical_network.h"
+#include "oracle/cost_oracle.h"
+
+namespace ace {
+
+// Coordinates of every peer: delay to each landmark host.
+std::vector<std::vector<Weight>> landmark_coordinates(
+    const PhysicalNetwork& physical, std::span<const HostId> peer_hosts,
+    std::span<const HostId> landmark_hosts);
+
+// Euclidean distance between two landmark coordinate vectors.
+double coordinate_distance(std::span<const Weight> a,
+                           std::span<const Weight> b);
+
+// Triangulated delay estimate from two landmark coordinate vectors:
+// midpoint of the triangle-inequality interval
+// [max_i |a_i - b_i|, min_i (a_i + b_i)]. Requires a.size() == b.size() > 0.
+// Hot path (tagged ace-hot at the definition): allocation-free.
+Weight triangulated_delay(std::span<const float> a, std::span<const float> b);
+
+class LandmarkOracle final : public CostOracle {
+ public:
+  // Draws `landmarks` distinct landmark hosts from
+  // Rng::stream(seed, "oracle") and freezes every host's coordinate.
+  // `physical` must outlive the oracle; construction computes one Dijkstra
+  // row per landmark (and nothing else). Throws std::invalid_argument when
+  // landmarks is 0 or exceeds the host count.
+  LandmarkOracle(const PhysicalNetwork& physical, std::size_t landmarks,
+                 std::uint64_t seed);
+
+  // Hot path (tagged ace-hot at the definition): allocation-free.
+  Weight delay(HostId a, HostId b) const override;
+
+  void delays_from(HostId source, std::span<const HostId> targets,
+                   std::span<float> out) const override;
+
+  OracleKind kind() const noexcept override { return OracleKind::kLandmark; }
+  std::string spec() const override;
+  std::size_t memory_bytes() const noexcept override;
+  void digest_into(Fnv1a& digest) const override;
+
+  // Frozen state, exposed for tests and the scale bench.
+  std::span<const HostId> landmark_hosts() const noexcept {
+    return landmarks_;
+  }
+  std::span<const float> coordinates(HostId host) const;
+
+ private:
+  // ace-digest: exempt(host_count_): folded into state_digest_ at
+  // construction; all members below are frozen from then on.
+  std::size_t host_count_;
+  // ace-digest: exempt(landmarks_): folded into state_digest_ at
+  // construction (frozen).
+  std::vector<HostId> landmarks_;
+  // Host-major: coordinates of host h are coords_[h*K .. h*K+K).
+  // ace-digest: exempt(coords_): folded into state_digest_ at construction
+  // (frozen); caching keeps digest_into O(1) instead of O(K*N).
+  std::vector<float> coords_;
+  std::uint64_t state_digest_;
+};
+
+}  // namespace ace

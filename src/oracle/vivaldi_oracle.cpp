@@ -1,0 +1,141 @@
+#include "oracle/vivaldi_oracle.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace ace {
+
+namespace {
+
+// Euclidean distance between two D-dim coordinate rows, in double so the
+// spring update below is not starved of precision by float rounding.
+// ace-hot
+double embedding_distance(const float* a, const float* b, std::size_t dims) {
+  double sum = 0.0;
+  for (std::size_t d = 0; d < dims; ++d) {
+    const double diff = static_cast<double>(a[d]) - static_cast<double>(b[d]);
+    sum += diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+VivaldiOracle::VivaldiOracle(const PhysicalNetwork& physical,
+                             const VivaldiConfig& config, std::uint64_t seed)
+    : config_{config}, host_count_{physical.host_count()} {
+  if (config_.dims == 0)
+    throw std::invalid_argument{"VivaldiOracle: need at least one dimension"};
+  if (config_.rounds == 0 || config_.pivots_per_round == 0)
+    throw std::invalid_argument{
+        "VivaldiOracle: need a non-empty probe schedule"};
+  if (host_count_ == 0)
+    throw std::invalid_argument{"VivaldiOracle: empty physical network"};
+
+  const std::size_t dims = config_.dims;
+  Rng rng = Rng::stream(seed, "oracle");
+
+  // Seeded non-degenerate start: coordinates uniform in [-1, 1)^D.
+  coords_.resize(host_count_ * dims);
+  for (float& c : coords_)
+    c = static_cast<float>(rng.uniform_real(-1.0, 1.0));
+
+  // Fixed probe schedule: each round draws P pivots, measures one exact row
+  // per pivot, and spring-relaxes every host toward rtt-consistent
+  // distances. Host iteration is dense id order — no history-dependent
+  // ordering anywhere, so the embedding is a pure function of
+  // (topology, config, seed).
+  const std::size_t pivots = std::min(config_.pivots_per_round, host_count_);
+  std::vector<float> row(host_count_);
+  std::vector<HostId> targets;
+  targets.reserve(host_count_);
+  for (std::size_t h = 0; h < host_count_; ++h)
+    // ace-id: boundary(dense iteration over the physical host table)
+    targets.push_back(HostId{static_cast<std::uint32_t>(h)});
+
+  for (std::size_t round = 0; round < config_.rounds; ++round) {
+    const double step = 0.25 / static_cast<double>(1 + round);
+    for (const std::size_t p : rng.sample_indices(host_count_, pivots)) {
+      // ace-id: boundary(sampled index ranges over the physical host table)
+      const HostId pivot{static_cast<std::uint32_t>(p)};
+      for (std::size_t h = 0; h < host_count_; ++h)
+        row[h] = static_cast<float>(physical.delay(pivot, targets[h]));
+
+      const float* pivot_coord = coords_.data() + p * dims;
+      for (std::size_t h = 0; h < host_count_; ++h) {
+        if (h == p) continue;
+        float* host_coord = coords_.data() + h * dims;
+        const double dist = embedding_distance(host_coord, pivot_coord, dims);
+        const double rtt = static_cast<double>(row[h]);
+        if (dist > 0.0) {
+          // Spring force along the pivot->host direction: expand when the
+          // embedding underestimates the measured delay, contract when it
+          // overestimates.
+          const double force = step * (rtt - dist) / dist;
+          for (std::size_t d = 0; d < dims; ++d) {
+            const double axis = static_cast<double>(host_coord[d]) -
+                                static_cast<double>(pivot_coord[d]);
+            host_coord[d] += static_cast<float>(force * axis);
+          }
+        } else {
+          // Coincident points have no direction; displace along the first
+          // axis so the pair can separate (deterministic tie-break).
+          host_coord[0] += static_cast<float>(step * rtt);
+        }
+      }
+    }
+  }
+
+  Fnv1a digest;
+  digest.update(std::string_view{"oracle-vivaldi"});
+  digest.update(static_cast<std::uint64_t>(host_count_));
+  digest.update(static_cast<std::uint64_t>(dims));
+  digest.update(static_cast<std::uint64_t>(config_.rounds));
+  digest.update(static_cast<std::uint64_t>(config_.pivots_per_round));
+  for (const float c : coords_)
+    digest.update(static_cast<std::uint64_t>(std::bit_cast<std::uint32_t>(c)));
+  state_digest_ = digest.value();
+}
+
+// ace-hot
+Weight VivaldiOracle::delay(HostId a, HostId b) const {
+  if (a.value() >= host_count_ || b.value() >= host_count_)
+    throw std::out_of_range{"VivaldiOracle::delay: host out of range"};
+  if (a == b) return 0.0;
+  const std::size_t dims = config_.dims;
+  return embedding_distance(coords_.data() + a.value() * dims,
+                            coords_.data() + b.value() * dims, dims);
+}
+
+void VivaldiOracle::delays_from(HostId source, std::span<const HostId> targets,
+                                std::span<float> out) const {
+  if (out.size() != targets.size())
+    throw std::invalid_argument{
+        "VivaldiOracle::delays_from: out.size() != targets.size()"};
+  for (std::size_t i = 0; i < targets.size(); ++i)
+    out[i] = static_cast<float>(delay(source, targets[i]));
+}
+
+std::string VivaldiOracle::spec() const {
+  return "vivaldi:" + std::to_string(config_.dims);
+}
+
+std::size_t VivaldiOracle::memory_bytes() const noexcept {
+  return coords_.capacity() * sizeof(float);
+}
+
+void VivaldiOracle::digest_into(Fnv1a& digest) const {
+  digest.update(state_digest_);
+}
+
+std::span<const float> VivaldiOracle::coordinates(HostId host) const {
+  if (host.value() >= host_count_)
+    throw std::out_of_range{"VivaldiOracle::coordinates: host out of range"};
+  const std::size_t dims = config_.dims;
+  return {coords_.data() + host.value() * dims, dims};
+}
+
+}  // namespace ace

@@ -1,0 +1,66 @@
+// Vivaldi-style coordinate oracle: every host carries a point in a
+// D-dimensional Euclidean space, and a pairwise delay is estimated as the
+// distance between the two points. Real Vivaldi refines coordinates from
+// whatever RTT samples the live traffic happens to produce; this
+// reproduction needs bitwise-reproducible runs, so refinement follows a
+// FIXED probe schedule drawn once from Rng::stream(seed, "oracle"):
+// R rounds, each round picking P pivot hosts, computing one exact Dijkstra
+// row per pivot, and spring-relaxing every host's coordinate toward
+// distances that match the measured delays (step size decays 0.25/(1+r)).
+// The schedule — not wall-clock measurement noise — is the only source of
+// randomness, so the same (topology, config, seed) always freezes the same
+// embedding. O(D*N) floats of estimation state; R*P exact rows at build.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/physical_network.h"
+#include "oracle/cost_oracle.h"
+
+namespace ace {
+
+struct VivaldiConfig {
+  std::size_t dims = 4;
+  std::size_t rounds = 12;
+  std::size_t pivots_per_round = 8;
+};
+
+class VivaldiOracle final : public CostOracle {
+ public:
+  // Freezes the embedding at construction: seeded coordinate init, then the
+  // deterministic pivot-probe schedule. `physical` must outlive the oracle.
+  // Throws std::invalid_argument for zero dims/rounds/pivots.
+  VivaldiOracle(const PhysicalNetwork& physical, const VivaldiConfig& config,
+                std::uint64_t seed);
+
+  // Hot path (tagged ace-hot at the definition): allocation-free.
+  Weight delay(HostId a, HostId b) const override;
+
+  void delays_from(HostId source, std::span<const HostId> targets,
+                   std::span<float> out) const override;
+
+  OracleKind kind() const noexcept override { return OracleKind::kVivaldi; }
+  std::string spec() const override;
+  std::size_t memory_bytes() const noexcept override;
+  void digest_into(Fnv1a& digest) const override;
+
+  const VivaldiConfig& config() const noexcept { return config_; }
+  // Frozen embedding of one host, exposed for tests and the scale bench.
+  std::span<const float> coordinates(HostId host) const;
+
+ private:
+  // ace-digest: exempt(config_): folded into state_digest_ at
+  // construction; all members below are frozen from then on.
+  VivaldiConfig config_;
+  // ace-digest: exempt(host_count_): folded into state_digest_ at
+  // construction (frozen).
+  std::size_t host_count_;
+  // Host-major: coordinates of host h are coords_[h*D .. h*D+D).
+  // ace-digest: exempt(coords_): folded into state_digest_ at construction
+  // (frozen); caching keeps digest_into O(1) instead of O(D*N).
+  std::vector<float> coords_;
+  std::uint64_t state_digest_;
+};
+
+}  // namespace ace

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "oracle/cost_oracle.h"
 #include "util/check.h"
 
 namespace ace {
@@ -60,6 +61,25 @@ Weight OverlayNetwork::peer_delay(PeerId a, PeerId b) const {
   check_peer(a);
   check_peer(b);
   return physical_->delay(peers_[a].host, peers_[b].host);
+}
+
+// ace-hot
+Weight OverlayNetwork::peer_cost_estimate(PeerId a, PeerId b) const {
+  check_peer(a);
+  check_peer(b);
+  if (cost_oracle_ == nullptr)  // exact mode: identical to peer_delay
+    return physical_->delay(peers_[a].host, peers_[b].host);
+  return cost_oracle_->delay(peers_[a].host, peers_[b].host);
+}
+
+Weight OverlayNetwork::probe_estimate(PeerId a, PeerId b) const {
+  if (cost_oracle_ == nullptr) return link_cost(a, b);
+  if (!are_connected(a, b))
+    throw std::invalid_argument{"OverlayNetwork: peers not connected"};
+  const Weight est = peer_cost_estimate(a, b);
+  // Same floor connect() applies to zero-delay links, so recorded beliefs
+  // stay positive whichever path produced them.
+  return est > 0 ? est : 1e-6;
 }
 
 bool OverlayNetwork::connect(PeerId a, PeerId b) {

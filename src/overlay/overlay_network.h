@@ -17,6 +17,8 @@
 
 namespace ace {
 
+class CostOracle;
+
 // PeerId / kInvalidPeer live in util/strong_id.h: peers are their own id
 // domain, distinct from hosts and from raw graph node indices.
 
@@ -105,7 +107,37 @@ class OverlayNetwork {
   bool is_online(PeerId p) const;
 
   // Logical-link delay between two peers' hosts (regardless of a link).
+  // This is ground truth: it always queries the physical network, never an
+  // attached oracle. Link weights, transport wire latency, and measured
+  // query traffic are priced with this.
   Weight peer_delay(PeerId a, PeerId b) const;
+
+  // --- cost oracle ------------------------------------------------------
+  //
+  // What a peer *believes* a pairwise cost to be when it decides (cost
+  // tables, closure pair probes, phase-3 candidate evaluation, baseline
+  // rewiring). With no oracle attached (the default, and the `exact`
+  // mode), beliefs equal ground truth and every code path below is
+  // bit-identical to the pre-oracle build. An attached approximate oracle
+  // substitutes its estimate on the decision path only — the network
+  // itself keeps charging true delays, which is exactly the regime the
+  // oracle models: peers act on estimated proximity, reality bills them.
+
+  // Attaches (or clears, with nullptr) the estimation oracle. Non-owning;
+  // the oracle must outlive the overlay or be cleared first.
+  void set_cost_oracle(const CostOracle* oracle) noexcept {
+    cost_oracle_ = oracle;
+  }
+  const CostOracle* cost_oracle() const noexcept { return cost_oracle_; }
+
+  // Estimated delay between two peers' hosts: the attached oracle's
+  // estimate, or exact peer_delay when none is attached.
+  Weight peer_cost_estimate(PeerId a, PeerId b) const;
+
+  // What a probe of an existing link reports: the recorded link cost when
+  // no oracle is attached (bit-identical legacy path), else the oracle's
+  // estimate clamped to the same 1e-6 floor connect() applies to weights.
+  Weight probe_estimate(PeerId a, PeerId b) const;
 
   // Connects two online peers; the link weight is the physical delay.
   // Returns false when already connected, identical, or either offline.
@@ -159,6 +191,10 @@ class OverlayNetwork {
   // ace-digest: exempt(physical_): borrowed immutable substrate; mapping is
   // digested through each peer's host id in the peers_ records.
   const PhysicalNetwork* physical_;
+  // ace-digest: exempt(cost_oracle_): borrowed frozen estimator; when one
+  // is attached the engine digests it as its own "cost-oracle" StateDigest
+  // component (and when none is, the digest must equal pre-oracle builds).
+  const CostOracle* cost_oracle_ = nullptr;
   IdVector<PeerId, PeerRecord> peers_;
   Graph logical_;
   // ace-digest: exempt(versions_): cache-invalidation counters, not

@@ -162,7 +162,16 @@ std::optional<Weight> Transport::probe(PeerId from, PeerId to,
       const bool reply_ok = transmit(MessageType::kProbeReply, to, from, 0,
                                      0, reply_offset, traffic)
                                 .delivered;
-      if (reply_ok) return delay;
+      // Wire timing/traffic above use the true delay; the value reported
+      // to the prober is its belief — the oracle estimate when one is
+      // attached to the overlay (floored like link weights, so recorded
+      // tables satisfy the same positivity the exact path guarantees),
+      // the same true delay when not.
+      if (reply_ok) {
+        if (overlay_->cost_oracle() == nullptr) return delay;
+        const Weight est = overlay_->peer_cost_estimate(from, to);
+        return est > 0 ? est : 1e-6;
+      }
     }
     offset += timeout;
     timeout *= config_.backoff_factor;

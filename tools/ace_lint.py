@@ -1525,6 +1525,36 @@ struct K {
   }
 };
 """, []),
+    # Oracle estimate paths (src/oracle/) are // ace-hot query kernels: an
+    # unreserved push_back while answering a delay query is a regression.
+    ("hot_oracle_estimate_alloc_flagged", "src/oracle/x1.cpp", """
+#include <vector>
+struct Oracle {
+  std::vector<float> coords_;
+  std::vector<float> scratch_;
+  // ace-hot
+  double delay(std::size_t a, std::size_t b) {
+    scratch_.push_back(coords_[a]);
+    return coords_[a] + coords_[b];
+  }
+};
+""", ["hot-path-alloc"]),
+    ("hot_oracle_estimate_index_clean", "src/oracle/x2.cpp", """
+#include <cstddef>
+struct Oracle {
+  const float* coords_;
+  std::size_t dims_;
+  // ace-hot
+  double delay(std::size_t a, std::size_t b) const {
+    double sum = 0;
+    for (std::size_t k = 0; k < dims_; ++k) {
+      const double d = coords_[a * dims_ + k] - coords_[b * dims_ + k];
+      sum += d * d;
+    }
+    return sum;
+  }
+};
+""", []),
     ("hot_cleared_push_clean", "src/x/h5.cpp", """
 #include <vector>
 // ace-hot

@@ -91,6 +91,16 @@ def compare_record(name: str, baseline: dict, current: dict,
         regressed = bad
         if ratio is not None:
             worst = (ratio, "wall_time_s")
+    # Peak RSS is informational only: memory moves with allocator, OS page
+    # accounting, and oracle mode, so it never trips the regression gate.
+    base_rss = baseline.get("peak_rss_bytes")
+    cur_rss = current.get("peak_rss_bytes")
+    if cur_rss:
+        if base_rss:
+            print(f"  peak_rss: {base_rss / 2**20:.1f} MiB -> "
+                  f"{cur_rss / 2**20:.1f} MiB (informational)")
+        else:
+            print(f"  peak_rss: {cur_rss / 2**20:.1f} MiB (informational)")
     summary = None
     if worst is not None:
         summary = f"{worst[0]:+.1%} {worst[1]}"

@@ -38,6 +38,16 @@ EXAMPLES = {
                          ["--peers=64", "--phys-nodes=256", "--rounds=4",
                           "--seed=42", "--transport=lossy",
                           "--loss-rate=0.05", "--jitter=0.5"]),
+    # The *-landmark/*-vivaldi entries rerun quickstart with an approximate
+    # cost oracle attached (src/oracle/): the belief path must be exactly as
+    # reproducible as the exact mode, and the trace must carry the extra
+    # "cost-oracle" digest component on every row.
+    "quickstart-landmark": ("quickstart",
+                            ["--peers=64", "--phys-nodes=256", "--rounds=4",
+                             "--seed=42", "--oracle=landmark:8"]),
+    "quickstart-vivaldi": ("quickstart",
+                           ["--peers=64", "--phys-nodes=256", "--rounds=4",
+                            "--seed=42", "--oracle=vivaldi:4"]),
     "gnutella_churn": ("gnutella_churn",
                        ["--peers=64", "--phys-nodes=256", "--duration=180",
                         "--seed=7"]),
