@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
   if (options.help_requested()) {
     std::printf(
         "bench_ablation_overhead [--phys-nodes=N] [--peers=N] [--queries=N] "
-        "[--rounds=N] [--max-depth=N] [--seed=N] [--threads=N] [--out-dir=DIR]\n");
+        "[--rounds=N] [--max-depth=N] [--seed=N] [--threads=N] "
+        "[--intra-threads=N] [--out-dir=DIR]\n");
     return 0;
   }
   const BenchScale scale = parse_scale(options, 2048, 256, 60, 6);
@@ -40,21 +41,24 @@ int main(int argc, char** argv) {
   WallTimer timer;
   const auto digest_sweep = run_depth_sweep(
       make_scenario(scale, 6.0), digest, depths, scale.rounds, scale.queries,
-      nullptr, {}, scale.threads);
+      nullptr, {}, scale.threads, 0, scale.intra_threads);
   const auto full_sweep = run_depth_sweep(
       make_scenario(scale, 6.0), full, depths, scale.rounds, scale.queries,
-      nullptr, {}, scale.threads);
+      nullptr, {}, scale.threads, 0, scale.intra_threads);
 
   BenchReport report;
   report.name = "ablation_overhead";
   report.wall_time_s = timer.elapsed_s();
   report.trials = digest_sweep.size() + full_sweep.size();
   report.threads = scale.threads;
+  report.intra_threads = scale.intra_threads;
   for (const DepthSample& s : digest_sweep) {
+    report.rebuild_s += s.rebuild_s;
     accumulate(report.oracle_cache, s.oracle_cache);
     accumulate(report.engine_cache, s.engine_cache);
   }
   for (const DepthSample& s : full_sweep) {
+    report.rebuild_s += s.rebuild_s;
     accumulate(report.oracle_cache, s.oracle_cache);
     accumulate(report.engine_cache, s.engine_cache);
   }

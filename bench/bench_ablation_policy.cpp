@@ -17,22 +17,27 @@ struct Outcome {
   double probe_traffic;
   std::size_t cuts;
   std::size_t adds;
+  double rebuild_s;
 };
 
 Outcome run(const BenchScale& scale, ReplacementPolicy policy, bool keep_rule,
-            std::size_t rounds, std::size_t queries) {
+            std::size_t rounds, std::size_t queries, TrialRunner* subtasks) {
   Scenario scenario{make_scenario(scale, 6.0)};
   AceConfig config;
   config.optimizer.policy = policy;
   config.optimizer.keep_rule = keep_rule;
   AceEngine engine{scenario.overlay(), config};
+  if (subtasks != nullptr) engine.set_subtask_runner(subtasks);
+  WallTimer rebuild_timer;
   for (std::size_t r = 0; r < rounds; ++r) engine.step_round(scenario.rng());
+  const double rebuild_s = rebuild_timer.elapsed_s();
   const QueryStats stats = scenario.measure(
       ForwardingMode::kTreeRouting, &engine.forwarding(), queries);
   const RoundReport& life = engine.lifetime_report();
   return {stats.mean_traffic(),       stats.mean_response_time(),
           stats.mean_scope(),         life.phase3.probe_traffic,
-          life.phase3.cuts,           life.phase3.adds};
+          life.phase3.cuts,           life.phase3.adds,
+          rebuild_s};
 }
 
 }  // namespace
@@ -42,7 +47,8 @@ int main(int argc, char** argv) {
   if (options.help_requested()) {
     std::printf(
         "bench_ablation_policy [--phys-nodes=N] [--peers=N] [--queries=N] "
-        "[--rounds=N] [--seed=N] [--threads=N] [--out-dir=DIR]\n");
+        "[--rounds=N] [--seed=N] [--threads=N] [--intra-threads=N] "
+        "[--out-dir=DIR]\n");
     return 0;
   }
   const BenchScale scale = parse_scale(options, 2048, 384, 80, 12);
@@ -70,6 +76,8 @@ int main(int argc, char** argv) {
   // Trial 0 is the blind-flooding baseline, trials 1..N the policy cases —
   // all independent, sharded over the runner, merged in case order.
   WallTimer timer;
+  TrialRunner intra{scale.intra_threads};
+  TrialRunner* subtasks = scale.intra_threads > 1 ? &intra : nullptr;
   TrialRunner runner{scale.threads};
   const std::vector<Outcome> outcomes =
       runner.run(cases.size() + 1, [&](TrialIndex ti) {
@@ -78,17 +86,20 @@ int main(int argc, char** argv) {
           Scenario baseline{make_scenario(scale, 6.0)};
           const QueryStats blind = baseline.measure_blind(scale.queries);
           return Outcome{blind.mean_traffic(), blind.mean_response_time(),
-                         blind.mean_scope(), 0.0, 0, 0};
+                         blind.mean_scope(), 0.0, 0, 0, 0.0};
         }
         const Case& c = cases[i - 1];
-        return run(scale, c.policy, c.keep_rule, scale.rounds, scale.queries);
+        return run(scale, c.policy, c.keep_rule, scale.rounds, scale.queries,
+                   subtasks);
       });
 
   BenchReport report;
   report.name = "ablation_policy";
   report.threads = scale.threads;
+  report.intra_threads = scale.intra_threads;
   report.trials = cases.size() + 1;
   report.wall_time_s = timer.elapsed_s();
+  for (const Outcome& o : outcomes) report.rebuild_s += o.rebuild_s;
   write_bench_json(scale, report);
 
   const Outcome& blind = outcomes[0];

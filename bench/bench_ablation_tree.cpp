@@ -14,19 +14,23 @@ struct Outcome {
   double traffic;
   double response;
   double scope;
+  double rebuild_s;
 };
 
 Outcome run(const BenchScale& scale, double degree, TreeKind kind,
-            std::size_t rounds, std::size_t queries) {
+            std::size_t rounds, std::size_t queries, TrialRunner* subtasks) {
   Scenario scenario{make_scenario(scale, degree)};
   AceConfig config;
   config.tree_kind = kind;
   AceEngine engine{scenario.overlay(), config};
+  if (subtasks != nullptr) engine.set_subtask_runner(subtasks);
+  WallTimer rebuild_timer;
   for (std::size_t r = 0; r < rounds; ++r) engine.step_round(scenario.rng());
+  const double rebuild_s = rebuild_timer.elapsed_s();
   const QueryStats stats = scenario.measure(
       ForwardingMode::kTreeRouting, &engine.forwarding(), queries);
   return {stats.mean_traffic(), stats.mean_response_time(),
-          stats.mean_scope()};
+          stats.mean_scope(), rebuild_s};
 }
 
 }  // namespace
@@ -36,7 +40,8 @@ int main(int argc, char** argv) {
   if (options.help_requested()) {
     std::printf(
         "bench_ablation_tree [--phys-nodes=N] [--peers=N] [--queries=N] "
-        "[--rounds=N] [--seed=N] [--threads=N] [--out-dir=DIR]\n");
+        "[--rounds=N] [--seed=N] [--threads=N] [--intra-threads=N] "
+        "[--out-dir=DIR]\n");
     return 0;
   }
   const BenchScale scale = parse_scale(options, 2048, 384, 80, 10);
@@ -58,6 +63,8 @@ int main(int argc, char** argv) {
     for (int kind = 0; kind < 3; ++kind) cells.push_back({degree, kind});
 
   WallTimer timer;
+  TrialRunner intra{scale.intra_threads};
+  TrialRunner* subtasks = scale.intra_threads > 1 ? &intra : nullptr;
   TrialRunner runner{scale.threads};
   const std::vector<Outcome> outcomes =
       runner.run(cells.size(), [&](TrialIndex ti) {
@@ -67,19 +74,21 @@ int main(int argc, char** argv) {
           Scenario scenario{make_scenario(scale, cell.degree)};
           const QueryStats blind = scenario.measure_blind(scale.queries);
           return Outcome{blind.mean_traffic(), blind.mean_response_time(),
-                         blind.mean_scope()};
+                         blind.mean_scope(), 0.0};
         }
         return run(scale, cell.degree,
                    cell.kind == 1 ? TreeKind::kMinimumSpanning
                                   : TreeKind::kShortestPath,
-                   scale.rounds, scale.queries);
+                   scale.rounds, scale.queries, subtasks);
       });
 
   BenchReport report;
   report.name = "ablation_tree";
   report.threads = scale.threads;
+  report.intra_threads = scale.intra_threads;
   report.trials = cells.size();
   report.wall_time_s = timer.elapsed_s();
+  for (const Outcome& o : outcomes) report.rebuild_s += o.rebuild_s;
   write_bench_json(scale, report);
 
   static const char* kKindName[] = {"blind flooding", "MST (paper)", "SPT"};

@@ -44,7 +44,8 @@ int main(int argc, char** argv) {
   if (options.help_requested()) {
     std::printf(
         "bench_baseline_comparison [--phys-nodes=N] [--peers=N] "
-        "[--queries=N] [--rounds=N] [--seed=N] [--threads=N] [--out-dir=DIR]\n");
+        "[--queries=N] [--rounds=N] [--seed=N] [--threads=N] "
+        "[--intra-threads=N] [--out-dir=DIR]\n");
     return 0;
   }
   const BenchScale scale = parse_scale(options, 2048, 384, 80, 10);
@@ -60,6 +61,9 @@ int main(int argc, char** argv) {
 
   // Each system is an independent trial (own scenario, engine, and RNG
   // streams); the runner shards them and keeps the rows in system order.
+  // The ACE systems additionally share one intra-trial rebuild pool.
+  TrialRunner intra{scale.intra_threads};
+  TrialRunner* subtasks = scale.intra_threads > 1 ? &intra : nullptr;
   std::vector<std::function<Row()>> systems;
 
   // --- blind flooding on the mismatched overlay --------------------------
@@ -150,6 +154,7 @@ int main(int argc, char** argv) {
       AceConfig config;
       config.optimizer.policy = policy;
       AceEngine engine{scenario.overlay(), config};
+      if (subtasks != nullptr) engine.set_subtask_runner(subtasks);
       double overhead = 0;
       for (std::size_t r = 0; r < scale.rounds; ++r)
         overhead += engine.step_round(scenario.rng()).total_overhead();
@@ -170,6 +175,7 @@ int main(int argc, char** argv) {
   BenchReport report;
   report.name = "baseline_comparison";
   report.threads = scale.threads;
+  report.intra_threads = scale.intra_threads;
   report.trials = systems.size();
   report.wall_time_s = timer.elapsed_s();
   write_bench_json(scale, report);

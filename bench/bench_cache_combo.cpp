@@ -23,6 +23,7 @@ DynamicConfig base_config(const BenchScale& scale, double duration) {
   // compact hot catalog, as in trace-driven cache studies.
   config.scenario.catalog.object_count = 200;
   config.scenario.catalog.zipf_exponent = 1.0;
+  config.intra_threads = scale.intra_threads;
   return config;
 }
 
@@ -33,7 +34,8 @@ int main(int argc, char** argv) {
   if (options.help_requested()) {
     std::printf(
         "bench_cache_combo [--phys-nodes=N] [--peers=N] "
-        "[--duration=SECONDS] [--cache-size=N] [--seed=N] [--threads=N] [--out-dir=DIR]\n");
+        "[--duration=SECONDS] [--cache-size=N] [--seed=N] [--threads=N] "
+        "[--intra-threads=N] [--out-dir=DIR]\n");
     return 0;
   }
   BenchScale scale = parse_scale(options, 2048, 384);
@@ -79,10 +81,13 @@ int main(int argc, char** argv) {
   BenchReport report;
   report.name = "cache_combo";
   report.threads = scale.threads;
+  report.intra_threads = scale.intra_threads;
   report.trials = systems.size();
   report.wall_time_s = timer.elapsed_s();
-  for (const Row& row : rows)
+  for (const Row& row : rows) {
+    report.rebuild_s += row.result.rebuild_s;
     accumulate(report.engine_cache, row.result.engine_cache);
+  }
   write_bench_json(scale, report);
 
   const double base_traffic = rows[0].result.overall.mean_traffic();

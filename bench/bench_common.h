@@ -26,6 +26,10 @@ struct BenchScale {
   std::size_t rounds;
   std::uint64_t seed;
   std::size_t threads;
+  // Intra-trial rebuild lanes (engine batch path, DESIGN.md §15). Like
+  // --threads, any value yields byte-identical tables/CSVs — only
+  // wall-clock and rebuild_s move — so it is NOT folded into scale_digest.
+  std::size_t intra_threads;
   std::string out_dir;
   // Cost-oracle spec (exact | landmark:K | vivaldi:D). "exact" attaches no
   // oracle and leaves every output byte-identical to pre-oracle builds.
@@ -34,11 +38,13 @@ struct BenchScale {
 
 // Common knobs: --phys-nodes / ACE_PHYS_NODES, --peers / ACE_PEERS,
 // --queries / ACE_QUERIES, --rounds / ACE_ROUNDS, --seed / ACE_SEED,
-// --threads / ACE_THREADS, --out-dir / ACE_OUT_DIR, --oracle / ACE_ORACLE.
+// --threads / ACE_THREADS, --intra-threads / ACE_INTRA_THREADS,
+// --out-dir / ACE_OUT_DIR, --oracle / ACE_ORACLE.
 // Paper-scale runs:
 // ACE_PHYS_NODES=20000 ACE_PEERS=8000 (slower; defaults keep the whole
 // suite in minutes). --threads shards independent trials over a
-// TrialRunner pool; every table and CSV is byte-identical at any value.
+// TrialRunner pool; --intra-threads parallelizes rebuild batches *within*
+// each trial; every table and CSV is byte-identical at any value of either.
 inline BenchScale parse_scale(const Options& options,
                               std::size_t default_phys = 2048,
                               std::size_t default_peers = 512,
@@ -55,6 +61,8 @@ inline BenchScale parse_scale(const Options& options,
       options.get_int("rounds", static_cast<std::int64_t>(default_rounds)));
   scale.seed = static_cast<std::uint64_t>(options.get_int("seed", 20040326));
   scale.threads = static_cast<std::size_t>(options.get_int("threads", 1));
+  scale.intra_threads =
+      static_cast<std::size_t>(options.get_int("intra-threads", 1));
   scale.out_dir = options.get_string("out-dir", ".");
   scale.oracle = options.get_string("oracle", "exact");
   return scale;
@@ -163,8 +171,13 @@ inline std::size_t peak_rss_bytes() {
 struct BenchReport {
   std::string name;           // bench id, e.g. "fig13_16"
   double wall_time_s = 0;     // whole-bench wall time
+  // Wall time spent inside engine rounds across all trials — the portion
+  // the intra-trial batch path accelerates. bench_compare.py gates on it
+  // like wall_time_s.
+  double rebuild_s = 0;
   std::size_t trials = 0;     // independent trials executed
   std::size_t threads = 1;    // TrialRunner width used
+  std::size_t intra_threads = 1;  // intra-trial rebuild lanes used
   RowCacheStats oracle_cache{};  // delay-oracle cache totals over all trials
   // Incremental-engine cache totals over all trials (closure builds/hits,
   // invalidations, tree builds, query-snapshot rebuilds — DESIGN.md §11).
@@ -214,9 +227,11 @@ inline void write_bench_json(const BenchScale& scale,
   out << "{\n";
   out << "  \"name\": \"" << json_escape(report.name) << "\",\n";
   out << "  \"wall_time_s\": " << report.wall_time_s << ",\n";
+  out << "  \"rebuild_s\": " << report.rebuild_s << ",\n";
   out << "  \"trials\": " << report.trials << ",\n";
   out << "  \"trials_per_sec\": " << tps << ",\n";
   out << "  \"threads\": " << report.threads << ",\n";
+  out << "  \"intra_threads\": " << report.intra_threads << ",\n";
   out << "  \"peak_rss_bytes\": " << peak_rss_bytes() << ",\n";
   out << "  \"oracle_cache\": {\n";
   out << "    \"hits\": " << report.oracle_cache.hits << ",\n";

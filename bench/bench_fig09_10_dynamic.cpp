@@ -26,6 +26,7 @@ DynamicConfig dynamic_config(const BenchScale& scale, bool enable_ace,
   config.duration_s = duration;
   config.report_buckets = 12;
   config.enable_ace = enable_ace;
+  config.intra_threads = scale.intra_threads;
   return config;
 }
 
@@ -36,7 +37,8 @@ int main(int argc, char** argv) {
   if (options.help_requested()) {
     std::printf(
         "bench_fig09_10_dynamic [--phys-nodes=N] [--peers=N] "
-        "[--duration=SECONDS] [--seed=N] [--threads=N] [--out-dir=DIR]\n");
+        "[--duration=SECONDS] [--seed=N] [--threads=N] [--intra-threads=N] "
+        "[--out-dir=DIR]\n");
     return 0;
   }
   BenchScale scale = parse_scale(options, 2048, 384);
@@ -59,10 +61,13 @@ int main(int argc, char** argv) {
   BenchReport report;
   report.name = "fig09_10";
   report.threads = scale.threads;
+  report.intra_threads = scale.intra_threads;
   report.trials = results.size();
   report.wall_time_s = timer.elapsed_s();
-  for (const DynamicResult& r : results)
+  for (const DynamicResult& r : results) {
+    report.rebuild_s += r.rebuild_s;
     accumulate(report.engine_cache, r.engine_cache);
+  }
   write_bench_json(scale, report);
 
   TableWriter fig9{

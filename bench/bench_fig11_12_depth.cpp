@@ -18,7 +18,8 @@ int main(int argc, char** argv) {
   if (options.help_requested()) {
     std::printf(
         "bench_fig11_12_depth [--phys-nodes=N] [--peers=N] [--queries=N] "
-        "[--rounds=N] [--max-depth=N] [--seed=N] [--threads=N] [--out-dir=DIR]\n");
+        "[--rounds=N] [--max-depth=N] [--seed=N] [--threads=N] "
+        "[--intra-threads=N] [--out-dir=DIR]\n");
     return 0;
   }
   BenchScale scale = parse_scale(options, 2048, 384, 80, 8);
@@ -37,16 +38,19 @@ int main(int argc, char** argv) {
   for (const double degree : degrees) {
     sweeps.push_back(run_depth_sweep(make_scenario(scale, degree), AceConfig{},
                                      depths, scale.rounds, scale.queries,
-                                     nullptr, {}, scale.threads));
+                                     nullptr, {}, scale.threads, 0,
+                                     scale.intra_threads));
   }
 
   BenchReport report;
   report.name = "fig11_12";
   report.wall_time_s = timer.elapsed_s();
   report.threads = scale.threads;
+  report.intra_threads = scale.intra_threads;
   for (const auto& sweep : sweeps) {
     report.trials += sweep.size();
     for (const DepthSample& s : sweep) {
+      report.rebuild_s += s.rebuild_s;
       accumulate(report.oracle_cache, s.oracle_cache);
       accumulate(report.engine_cache, s.engine_cache);
     }

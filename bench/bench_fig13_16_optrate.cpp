@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
     std::printf(
         "bench_fig13_16_optrate [--phys-nodes=N] [--peers=N] [--queries=N] "
         "[--rounds=N] [--max-depth=N] [--maintenance-rounds=N] [--seed=N] "
-        "[--threads=N] [--out-dir=DIR]\n");
+        "[--threads=N] [--intra-threads=N] [--out-dir=DIR]\n");
     return 0;
   }
   BenchScale scale = parse_scale(options, 2048, 384, 80, 8);
@@ -89,22 +89,27 @@ int main(int argc, char** argv) {
   const auto sweep_c10 = run_depth_sweep(make_scenario(scale, 10.0),
                                          AceConfig{}, depths, scale.rounds,
                                          scale.queries, nullptr, {},
-                                         scale.threads, maintenance_rounds);
+                                         scale.threads, maintenance_rounds,
+                                         scale.intra_threads);
   const auto sweep_c4 = run_depth_sweep(make_scenario(scale, 4.0),
                                         AceConfig{}, depths, scale.rounds,
                                         scale.queries, nullptr, {},
-                                        scale.threads, maintenance_rounds);
+                                        scale.threads, maintenance_rounds,
+                                        scale.intra_threads);
 
   BenchReport report;
   report.name = "fig13_16";
   report.wall_time_s = timer.elapsed_s();
   report.trials = sweep_c10.size() + sweep_c4.size();
   report.threads = scale.threads;
+  report.intra_threads = scale.intra_threads;
   for (const DepthSample& s : sweep_c10) {
+    report.rebuild_s += s.rebuild_s;
     accumulate(report.oracle_cache, s.oracle_cache);
     accumulate(report.engine_cache, s.engine_cache);
   }
   for (const DepthSample& s : sweep_c4) {
+    report.rebuild_s += s.rebuild_s;
     accumulate(report.oracle_cache, s.oracle_cache);
     accumulate(report.engine_cache, s.engine_cache);
   }

@@ -1,0 +1,87 @@
+// Optimization-rate trial at scale: ONE depth-sweep cell (fixed h, C=10)
+// sized so each round rebuilds hundreds of closures — the workload the
+// intra-trial conflict-free batch path (DESIGN.md §15) exists for. With a
+// single trial, cross-trial sharding has nothing to do, so --threads drives
+// the intra-trial lane count directly (--intra-threads overrides it).
+// Every output — the table, optrate.csv, and the --digest-out trace — is
+// byte-identical at any lane count; only wall_time_s and rebuild_s in
+// BENCH_optrate.json move. tools/determinism_check.py double-runs this
+// bench at different lane counts and diffs the trace to pin that down.
+#include "bench_common.h"
+
+namespace {
+
+using namespace ace;
+using namespace ace::bench;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options{argc, argv};
+  if (options.help_requested()) {
+    std::printf(
+        "bench_optrate [--phys-nodes=N] [--peers=N] [--queries=N] "
+        "[--rounds=N] [--depth=H] [--maintenance-rounds=N] [--seed=N] "
+        "[--threads=N] [--intra-threads=N] [--digest-out=FILE] "
+        "[--out-dir=DIR]\n");
+    return 0;
+  }
+  BenchScale scale = parse_scale(options, 4096, 1024, 80, 10);
+  const auto depth = static_cast<std::uint32_t>(options.get_int("depth", 4));
+  const auto maintenance_rounds = static_cast<std::size_t>(
+      options.get_int("maintenance-rounds", 10));
+  const std::string digest_out = options.get_string("digest-out", "");
+  // Single trial: reuse --threads for the intra-trial pool unless
+  // --intra-threads says otherwise.
+  const std::size_t lanes =
+      scale.intra_threads > 1 ? scale.intra_threads : scale.threads;
+  print_header("Optimization rate, single large trial (intra-trial batches)",
+               scale);
+
+  const std::uint32_t depths[] = {depth};
+  DigestTrace trace;
+  WallTimer timer;
+  const std::vector<DepthSample> sweep = run_depth_sweep(
+      make_scenario(scale, 10.0), AceConfig{}, depths, scale.rounds,
+      scale.queries, digest_out.empty() ? nullptr : &trace, {},
+      /*threads=*/1, maintenance_rounds, lanes);
+  const DepthSample& sample = sweep.front();
+
+  BenchReport report;
+  report.name = "optrate";
+  report.wall_time_s = timer.elapsed_s();
+  report.rebuild_s = sample.rebuild_s;
+  report.trials = 1;
+  report.threads = 1;
+  report.intra_threads = lanes;
+  accumulate(report.oracle_cache, sample.oracle_cache);
+  accumulate(report.engine_cache, sample.engine_cache);
+  write_bench_json(scale, report);
+
+  TableWriter table{"Optimization rate at h=" + std::to_string(depth) +
+                        " (C=10)",
+                    {"h", "traffic_blind", "traffic_ace", "reduction %",
+                     "overhead/round", "rate@R=1", "rate@R=2", "rate@R=4"}};
+  table.set_precision(2);
+  table.add_row({static_cast<std::int64_t>(sample.h), sample.traffic_blind,
+                 sample.traffic_ace, 100 * sample.reduction_rate,
+                 sample.overhead_per_round, optimization_rate(sample, 1.0),
+                 optimization_rate(sample, 2.0),
+                 optimization_rate(sample, 4.0)});
+  stamp_provenance(table, scale);
+  table.print(std::cout, csv_path(scale, "optrate"));
+
+  if (!digest_out.empty()) {
+    ProvenanceEntries provenance =
+        run_provenance(scale.seed, scale_digest(scale));
+    append_oracle_provenance(provenance, oracle_config(scale));
+    if (!trace.write(digest_out, provenance)) {
+      std::fprintf(stderr, "cannot write digest trace to %s\n",
+                   digest_out.c_str());
+      return 1;
+    }
+    std::printf("digest trace: %zu rows -> %s\n", trace.rows(),
+                digest_out.c_str());
+  }
+  return 0;
+}

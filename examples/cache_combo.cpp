@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   if (options.help_requested()) {
     std::printf("cache_combo [--cache-size=N] [--peers=N] [--phys-nodes=N] "
                 "[--duration=SECONDS] [--seed=N] [--transport=ideal|lossy] "
-                "[--loss-rate=P] [--jitter=S] "
+                "[--loss-rate=P] [--jitter=S] [--intra-threads=N] "
                 "[--oracle=exact|landmark:K|vivaldi:D] [--digest-out=FILE]\n");
     return 0;
   }
@@ -41,6 +41,10 @@ int main(int argc, char** argv) {
   config.workload.queries_per_peer_per_s = 0.005;
   config.duration_s = options.get_double("duration", 1200.0);
   config.report_buckets = 4;
+  // Intra-trial rebuild lanes (DESIGN.md §15): any value yields the same
+  // output bytes, digest traces included.
+  config.intra_threads =
+      static_cast<std::size_t>(options.get_int("intra-threads", 1));
 
   const auto cache_size =
       static_cast<std::size_t>(options.get_int("cache-size", 20));

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   if (options.help_requested()) {
     std::printf("depth_tuning [--ratio=R] [--mean-degree=C] [--peers=N] "
                 "[--max-depth=N] [--seed=N] [--transport=ideal|lossy] "
-                "[--loss-rate=P] [--jitter=S] "
+                "[--loss-rate=P] [--jitter=S] [--intra-threads=N] "
                 "[--oracle=exact|landmark:K|vivaldi:D] [--digest-out=FILE]\n");
     return 0;
   }
@@ -35,6 +35,10 @@ int main(int argc, char** argv) {
   scenario.oracle = parse_oracle_spec(options.get_string("oracle", "exact"));
   const auto max_depth =
       static_cast<std::uint32_t>(options.get_int("max-depth", 6));
+  // Intra-trial rebuild lanes (DESIGN.md §15): any value produces the same
+  // table and digest trace — only wall-clock changes.
+  const auto intra_threads =
+      static_cast<std::size_t>(options.get_int("intra-threads", 1));
 
   std::printf("Tuning h for R=%.2f on a C=%.0f overlay of %zu peers...\n\n",
               ratio, scenario.mean_degree, scenario.peers);
@@ -45,7 +49,8 @@ int main(int argc, char** argv) {
   const auto sweep =
       run_depth_sweep(scenario, AceConfig{}, depths, 8, 60,
                       digest_out.empty() ? nullptr : &trace,
-                      transport_config);
+                      transport_config, /*threads=*/1,
+                      /*maintenance_rounds=*/0, intra_threads);
 
   TableWriter table{"Depth sweep",
                     {"h", "traffic reduction %", "overhead/round",

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   if (options.help_requested()) {
     std::printf("gnutella_churn [--peers=N] [--phys-nodes=N] "
                 "[--duration=SECONDS] [--seed=N] [--transport=ideal|lossy] "
-                "[--loss-rate=P] [--jitter=S] "
+                "[--loss-rate=P] [--jitter=S] [--intra-threads=N] "
                 "[--oracle=exact|landmark:K|vivaldi:D] [--digest-out=FILE]\n");
     return 0;
   }
@@ -40,6 +40,10 @@ int main(int argc, char** argv) {
   config.ace_period_s = 30.0;                      // optimize twice a minute
   config.duration_s = options.get_double("duration", 1200.0);
   config.report_buckets = 8;
+  // Intra-trial rebuild lanes (DESIGN.md §15): any value yields the same
+  // output bytes, digest traces included.
+  config.intra_threads =
+      static_cast<std::size_t>(options.get_int("intra-threads", 1));
 
   std::printf("Simulating %zu peers for %.0f s: mean lifetime 10 min, "
               "0.3 queries/min/peer...\n\n",

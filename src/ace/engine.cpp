@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "core/trial_runner.h"
 #include "oracle/cost_oracle.h"
 #include "sim/simulator.h"
 #include "util/check.h"
@@ -112,7 +113,8 @@ void AceEngine::snapshot_versions(PeerCacheEntry& entry) const {
 }
 
 const LocalTree& AceEngine::refresh_peer_tree(PeerId peer,
-                                              RoundReport& report) {
+                                              RoundReport& report,
+                                              RebuildSlot* slot) {
   // Phase 1: probe direct neighbors, exchange tables. Under the lossy
   // transport probes can time out (stale entries survive) and the exchange
   // is real versioned kCostTable messages. This always runs — phase 1 is
@@ -135,13 +137,30 @@ const LocalTree& AceEngine::refresh_peer_tree(PeerId peer,
   const ClosureEdges edges = closure_edges();
   PeerCacheEntry& entry = cache_[peer];
   const bool hit = entry.valid && !force_full() && cache_valid(entry);
+  bool adopted = false;
   if (hit) {
     ++report.cache.closure_hits;
   } else {
     if (entry.valid && !force_full()) ++report.cache.invalidations;
-    build_closure_into(*overlay_, peer, config_.closure_depth, edges,
-                       entry.closure, closure_scratch_);
-    snapshot_versions(entry);
+    if (slot != nullptr && slot_valid(*slot)) {
+      // Adopt the batch-precomputed rebuild: no member version moved since
+      // the parallel build, so an inline build_closure_into here would
+      // produce these exact bytes (the cache-hit invariant, applied to the
+      // slot snapshot). Swap, don't move: the retired entry buffers flow
+      // back into the slot for the next batch, keeping both sides'
+      // capacity in circulation (allocation-free steady state).
+      std::swap(entry.closure, slot->closure);
+      std::swap(entry.member_versions, slot->versions);
+      adopted = true;
+    } else {
+      // No slot, or an earlier commit in this batch (establishment,
+      // phase-3 replacement, degree refill) touched a member since the
+      // parallel build: discard and rebuild inline, exactly like the
+      // sequential path.
+      build_closure_into(*overlay_, peer, config_.closure_depth, edges,
+                         entry.closure, closure_scratch_);
+      snapshot_versions(entry);
+    }
     entry.valid = true;
     ++report.cache.closure_builds;
   }
@@ -195,12 +214,23 @@ const LocalTree& AceEngine::refresh_peer_tree(PeerId peer,
   const LocalClosure* active = pruned ? &pruned_closure : &entry.closure;
 
   bool tree_built = false;
+  // True while entry.tree/closure are byte-identical to the slot's, so the
+  // precomputed routing can be installed as-is.
+  bool routing_from_slot = false;
   if (pruned) {
     entry.tree = build_local_tree(pruned_closure, config_.tree_kind);
     entry.tree_from_pre_probe = false;
     tree_built = true;
   } else if (!hit || !entry.tree_from_pre_probe) {
-    entry.tree = build_local_tree(entry.closure, config_.tree_kind);
+    if (adopted) {
+      // The slot tree was built from the adopted closure; build_local_tree
+      // is deterministic, so this swap installs the bytes the line below
+      // would compute.
+      std::swap(entry.tree, slot->tree);
+      routing_from_slot = true;
+    } else {
+      entry.tree = build_local_tree(entry.closure, config_.tree_kind);
+    }
     entry.tree_from_pre_probe = true;
     tree_built = true;
   }
@@ -258,6 +288,7 @@ const LocalTree& AceEngine::refresh_peer_tree(PeerId peer,
       ++report.cache.tree_builds;
       tree_built = true;
       pruned = false;
+      routing_from_slot = false;  // the tree just diverged from the slot's
       active = &entry.closure;
     }
   }
@@ -279,8 +310,15 @@ const LocalTree& AceEngine::refresh_peer_tree(PeerId peer,
     // avoids a per-step deep copy of the relay lists. The local-id overload
     // is valid even when the tree came from a lossy-pruned closure: pruning
     // removes edges, never members, so the cached closure's node list still
-    // indexes the tree.
-    forwarding_.set_tree(peer, make_tree_routing(entry.closure, entry.tree, peer));
+    // indexes the tree. When the adopted slot survived untouched its
+    // precomputed routing IS that pure function's value — install it
+    // without recomputing.
+    if (routing_from_slot) {
+      forwarding_.set_tree(peer, std::move(slot->routing));
+    } else {
+      forwarding_.set_tree(peer,
+                           make_tree_routing(entry.closure, entry.tree, peer));
+    }
   }
   // Otherwise the installed entry is the routing we set last time from the
   // identical tree — reinstalling would be a byte-identical no-op.
@@ -309,10 +347,15 @@ void AceEngine::rebuild_into_cache(PeerId peer, RoundReport& report) {
 
 void AceEngine::step_peer(PeerId peer, Rng& rng, RoundReport& report) {
   owner_.assert_held();
+  step_peer_with_slot(peer, rng, report, nullptr);
+}
+
+void AceEngine::step_peer_with_slot(PeerId peer, Rng& rng,
+                                    RoundReport& report, RebuildSlot* slot) {
   if (!overlay_->is_online(peer)) return;
   ++report.peers_stepped;
 
-  const LocalTree& tree = refresh_peer_tree(peer, report);
+  const LocalTree& tree = refresh_peer_tree(peer, report, slot);
 
   // Phase 3: adaptive connection replacement.
   ++steps_;
@@ -376,7 +419,11 @@ RoundReport AceEngine::step_round(Rng& rng) {
   RoundReport report;
   std::vector<PeerId> order = overlay_->online_peers();
   rng.shuffle(std::span<PeerId>{order});
-  for (const PeerId p : order) step_peer(p, rng, report);
+  if (intra_parallel_enabled()) {
+    run_batched(std::span<const PeerId>{order}, &rng, report);
+  } else {
+    for (const PeerId p : order) step_peer_with_slot(p, rng, report, nullptr);
+  }
   lifetime_.merge(report);
   return report;
 }
@@ -384,9 +431,14 @@ RoundReport AceEngine::step_round(Rng& rng) {
 RoundReport AceEngine::rebuild_all_trees() {
   owner_.assert_held();
   RoundReport report;
-  for (const PeerId p : overlay_->online_peers()) {
-    ++report.peers_stepped;
-    refresh_peer_tree(p, report);
+  const std::vector<PeerId> order = overlay_->online_peers();
+  if (intra_parallel_enabled()) {
+    run_batched(std::span<const PeerId>{order}, nullptr, report);
+  } else {
+    for (const PeerId p : order) {
+      ++report.peers_stepped;
+      refresh_peer_tree(p, report, nullptr);
+    }
   }
   // Establishment invalidates entries of peers refreshed earlier in the
   // pass; fix them up so every online peer leaves with a valid tree (no
@@ -398,6 +450,158 @@ RoundReport AceEngine::rebuild_all_trees() {
   }
   lifetime_.merge(report);
   return report;
+}
+
+void AceEngine::set_subtask_runner(TrialRunner* runner) {
+  subtasks_ = runner;
+  lane_scratch_.clear();
+  lane_scratch_.resize(runner != nullptr ? runner->subtask_lanes() : 1);
+}
+
+bool AceEngine::intra_parallel_enabled() const noexcept {
+  // ACE_FORCE_FULL_REBUILD keeps the differential oracle sequential: every
+  // peer is "stale" under it, so batching would degenerate to a
+  // one-batch-per-closure-overlap crawl while complicating the oracle.
+  return subtasks_ != nullptr && subtasks_->subtask_lanes() > 1 &&
+         !force_full();
+}
+
+void AceEngine::collect_members(PeerId source, std::vector<PeerId>& out) {
+  if (member_mark_.size() < overlay_->peer_count())
+    member_mark_.resize(overlay_->peer_count());
+  ++member_epoch_;
+  out.clear();
+  member_depths_.clear();
+  out.push_back(source);
+  member_depths_.push_back(0);
+  member_mark_[source] = member_epoch_;
+  for (std::size_t head = 0; head < out.size(); ++head) {
+    const std::uint32_t d = member_depths_[head];
+    if (d >= config_.closure_depth) continue;
+    for (const Neighbor& n : overlay_->neighbors(out[head])) {
+      const PeerId q = peer_of(n);
+      if (member_mark_[q] == member_epoch_) continue;
+      member_mark_[q] = member_epoch_;
+      out.push_back(q);
+      member_depths_.push_back(d + 1);
+    }
+  }
+}
+
+bool AceEngine::slot_valid(const RebuildSlot& slot) const {
+  const std::size_t n = slot.closure.nodes.size();
+  ACE_DCHECK_EQ(slot.versions.size(), n);
+  for (LocalNodeId i{0}; i < n; ++i) {
+    if (overlay_->topology_version(slot.closure.nodes[i]) !=
+        slot.versions[i])
+      return false;
+  }
+  return true;
+}
+
+void AceEngine::precompute_slot(PeerId peer, RebuildSlot& slot,
+                                ClosureScratch& scratch) const {
+  // Runs on pool workers: reads the overlay (frozen for the whole parallel
+  // phase — mutations happen only in the sequential commit), writes only
+  // this slot and this lane's arena. No owner_-guarded state is touched.
+  build_closure_into(*overlay_, peer, config_.closure_depth, closure_edges(),
+                     slot.closure, scratch);
+  slot.versions.clear();
+  slot.versions.reserve(slot.closure.nodes.size());
+  for (const PeerId member : slot.closure.nodes)
+    slot.versions.push_back(overlay_->topology_version(member));
+  slot.tree = build_local_tree(slot.closure, config_.tree_kind);
+  slot.routing = make_tree_routing(slot.closure, slot.tree, peer);
+  slot.peer = peer;
+}
+
+std::size_t AceEngine::prepare_batch(std::span<const PeerId> order,
+                                     std::size_t pos) {
+  if (claim_mark_.size() < overlay_->peer_count())
+    claim_mark_.resize(overlay_->peer_count());
+  ++claim_epoch_;
+  batch_.clear();
+  if (record_batches_) last_batches_.emplace_back();
+  std::size_t scan = pos;
+  for (; scan < order.size(); ++scan) {
+    const PeerId p = order[scan];
+    if (!overlay_->is_online(p)) continue;
+    const PeerCacheEntry& entry = cache_[p];
+    // Predicted hit: rides along in the slice, nothing to precompute. The
+    // prediction can be wrong (an earlier commit may bump a member before
+    // this peer commits) — then the commit rebuilds inline; the reverse
+    // (predicted-stale turning into a hit) cannot happen, versions only
+    // move forward.
+    if (entry.valid && cache_valid(entry)) continue;
+    // Stale: its post-rebuild membership comes from a fresh BFS (the
+    // outdated cache entry cannot be trusted to name it).
+    collect_members(p, member_scratch_);
+    bool conflict = false;
+    for (const PeerId m : member_scratch_) {
+      if (claim_mark_[m] == claim_epoch_) {
+        conflict = true;
+        break;
+      }
+    }
+    // Closure-overlap coloring invariant: no two peers in one batch share
+    // a closure member. Overlap ends the batch — the overlapping peer
+    // starts the next one (the claim set is fresh, so it always enters).
+    if (conflict) break;
+    for (const PeerId m : member_scratch_) claim_mark_[m] = claim_epoch_;
+    batch_.push_back(BatchItem{scan, p});
+    if (record_batches_) {
+      last_batches_.back().peers.push_back(p);
+      last_batches_.back().members.push_back(member_scratch_);
+    }
+  }
+  if (record_batches_ && last_batches_.back().peers.empty())
+    last_batches_.pop_back();
+
+  if (slots_.size() < batch_.size()) slots_.resize(batch_.size());
+  if (batch_.size() == 1) {
+    // Pool dispatch for a singleton batch buys nothing; build it here
+    // (lane 0 is the caller's lane either way).
+    precompute_slot(batch_[0].peer, slots_[0], lane_scratch_[0]);
+  } else if (!batch_.empty()) {
+    subtasks_->run_subtasks(
+        batch_.size(), [this](std::size_t lane, std::size_t index) {
+          precompute_slot(batch_[index].peer, slots_[index],
+                          lane_scratch_[lane]);
+        });
+  }
+  return scan;
+}
+
+void AceEngine::run_batched(std::span<const PeerId> order, Rng* rng,
+                            RoundReport& report) {
+  if (cache_.size() < overlay_->peer_count())
+    cache_.resize(overlay_->peer_count());
+  last_batches_.clear();
+  std::size_t pos = 0;
+  while (pos < order.size()) {
+    const std::size_t end = prepare_batch(order, pos);
+    ACE_DCHECK_GT(end, pos);
+    // Sequential commit in the round's canonical order: ALL mutations,
+    // probe charges, rng draws, and transport draws happen here, one peer
+    // at a time, with byte-identical inputs to the sequential path — the
+    // parallel phase only filled slots.
+    std::size_t cursor = 0;
+    for (std::size_t i = pos; i < end; ++i) {
+      RebuildSlot* slot = nullptr;
+      if (cursor < batch_.size() && batch_[cursor].order_pos == i)
+        slot = &slots_[cursor++];
+      const PeerId p = order[i];
+      if (rng != nullptr) {
+        step_peer_with_slot(p, *rng, report, slot);
+      } else {
+        if (!overlay_->is_online(p)) continue;
+        ++report.peers_stepped;
+        refresh_peer_tree(p, report, slot);
+      }
+    }
+    ACE_DCHECK_EQ(cursor, batch_.size());
+    pos = end;
+  }
 }
 
 void AceEngine::on_peer_join(PeerId peer) {

@@ -28,6 +28,7 @@
 namespace ace {
 
 class Simulator;
+class TrialRunner;
 
 // How the h-hop table-propagation overhead is priced (DESIGN.md §3).
 enum class OverheadModel : std::uint8_t {
@@ -149,6 +150,34 @@ class AceEngine {
   // Runs one full ACE step (phases 1-3) for a single peer.
   void step_peer(PeerId peer, Rng& rng, RoundReport& report);
 
+  // Intra-trial parallelism (DESIGN.md §15). When a runner with a pool is
+  // attached, step_round / rebuild_all_trees partition each round's stale
+  // peers into conflict-free batches (no two batch members share a closure
+  // member), precompute their closure/tree/routing on the pool, and commit
+  // in the round's canonical order — results are byte-identical to the
+  // sequential path at any lane count. nullptr (the default) and
+  // single-lane runners run the plain sequential path; so does
+  // ACE_FORCE_FULL_REBUILD (the differential oracle stays single-minded).
+  // `runner` must outlive the engine. One engine still serves one trial:
+  // the engine fans work *out* to the pool, but its public API remains
+  // single-owner (ThreadOwnership below).
+  void set_subtask_runner(TrialRunner* runner);
+
+  // Test/diagnostic hook: record the conflict-free batches the next
+  // batched round forms (peers plus their formation-time closure
+  // membership). Off by default — recording copies every member list.
+  void set_record_batches(bool on) noexcept { record_batches_ = on; }
+  struct RebuildBatch {
+    std::vector<PeerId> peers;  // rebuilding peers, commit order
+    // members[i] = formation-time closure membership of peers[i].
+    std::vector<std::vector<PeerId>> members;
+  };
+  // Batches of the last batched round (empty when the sequential path ran
+  // or recording is off).
+  const std::vector<RebuildBatch>& last_rebuild_batches() const noexcept {
+    return last_batches_;
+  }
+
   // One synchronized round: every online peer steps once, in random order
   // (the algorithm is fully distributed; random order avoids an artificial
   // global schedule). Returns the aggregated report.
@@ -220,12 +249,69 @@ class AceEngine {
   void rebuild_into_cache(PeerId peer, RoundReport& report)
       ACE_REQUIRES(owner_);
 
+  // One peer's precomputed rebuild, produced by a pool worker during the
+  // parallel phase of a batch (DESIGN.md §15): the pre-probe closure, the
+  // member-version snapshot taken at build time, and the tree/routing
+  // derived from it. Adopted at commit iff no member version moved since
+  // (slot_valid) — the same invariant that makes cache hits sound — so the
+  // adopted bytes equal what an inline rebuild would produce; otherwise
+  // the slot is discarded and the commit rebuilds inline.
+  struct RebuildSlot {
+    PeerId peer = kInvalidPeer;
+    LocalClosure closure;
+    IdVector<LocalNodeId, TopologyVersion> versions;
+    LocalTree tree;
+    TreeRouting routing;
+  };
+
   // Phases 1-2 for one peer: probe, build closure + tree (or validate the
   // cached ones), establish recommended links, install the flooding set.
-  // Returns the step's final tree (owned by the peer's cache entry) so
-  // step_peer can feed phase 3.
-  const LocalTree& refresh_peer_tree(PeerId peer, RoundReport& report)
+  // `slot` (may be null) offers a precomputed rebuild to adopt. Returns the
+  // step's final tree (owned by the peer's cache entry) so step_peer can
+  // feed phase 3.
+  const LocalTree& refresh_peer_tree(PeerId peer, RoundReport& report,
+                                     RebuildSlot* slot) ACE_REQUIRES(owner_);
+
+  // step_peer body with an optional precomputed slot for the refresh.
+  void step_peer_with_slot(PeerId peer, Rng& rng, RoundReport& report,
+                           RebuildSlot* slot) ACE_REQUIRES(owner_);
+
+  // True when a pooled subtask runner is attached and force-full mode is
+  // off: step_round / rebuild_all_trees take the batched path.
+  bool intra_parallel_enabled() const noexcept;
+
+  // Membership-only closure BFS (same member set build_closure_into
+  // discovers, no induced subgraph): batch formation must predict a stale
+  // peer's post-rebuild membership, which its outdated cache entry cannot
+  // provide. Epoch-marked visited set; allocation-free in steady state.
+  void collect_members(PeerId source, std::vector<PeerId>& out)
       ACE_REQUIRES(owner_);
+
+  // Greedy conflict-free batch formation over order[pos..): predicted-hit
+  // peers ride along unclaimed; each predicted-stale peer claims its
+  // closure members and the first overlap ends the batch (two peers whose
+  // closures share a member never rebuild concurrently). Fills batch_,
+  // precomputes slots_ on the pool, returns the slice end. Purely a
+  // discard-minimizer: commit-time slot validation is what guarantees
+  // correctness against phase-3 mutations no coloring can predict.
+  std::size_t prepare_batch(std::span<const PeerId> order, std::size_t pos)
+      ACE_REQUIRES(owner_);
+
+  // Parallel-phase worker body: build `slot` for `peer` using a per-lane
+  // scratch arena. Reads the overlay only; writes nothing guarded by
+  // owner_ (slots and lane arenas are lane/index-partitioned).
+  void precompute_slot(PeerId peer, RebuildSlot& slot,
+                       ClosureScratch& scratch) const;
+
+  // O(|closure|) commit-time validation: every member version unmoved
+  // since the parallel build.
+  bool slot_valid(const RebuildSlot& slot) const;
+
+  // Batched round driver shared by step_round (rng != nullptr: full steps)
+  // and rebuild_all_trees (rng == nullptr: refresh only): form a batch,
+  // precompute in parallel, commit sequentially in `order` order.
+  void run_batched(std::span<const PeerId> order, Rng* rng,
+                   RoundReport& report) ACE_REQUIRES(owner_);
 
   OverlayNetwork* overlay_;
   AceConfig config_;
@@ -249,9 +335,39 @@ class AceEngine {
   ThreadOwnership owner_;
   // Incremental per-peer cache, indexed by PeerId.
   IdVector<PeerId, PeerCacheEntry> cache_ ACE_GUARDED_BY(owner_);
-  // Rebuild scratch shared by every closure build this engine runs: after
-  // the first round the BFS/induced-subgraph path allocates nothing.
+  // Rebuild scratch shared by every sequential closure build this engine
+  // runs: after the first round the BFS/induced-subgraph path allocates
+  // nothing. (Parallel builds use lane_scratch_ instead.)
   ClosureScratch closure_scratch_ ACE_GUARDED_BY(owner_);
+
+  // --- Intra-trial batch machinery (DESIGN.md §15) -----------------------
+  // Not guarded by owner_: slots_/lane_scratch_ are written by pool
+  // workers during the parallel phase under the lane/index partition
+  // discipline (worker lane L touches lane_scratch_[L] only, subtask i
+  // touches slots_[i] only — the ace-lint worker-shared-write rule checks
+  // the lambda); everything else is touched only between run_subtasks
+  // calls, i.e. from the owning thread.
+  TrialRunner* subtasks_ = nullptr;
+  // One closure-build arena per subtask lane (lane 0 = the caller).
+  std::vector<ClosureScratch> lane_scratch_;
+  // Per-batch precompute slots, indexed by position in batch_.
+  std::vector<RebuildSlot> slots_;
+  struct BatchItem {
+    std::size_t order_pos = 0;  // index into the round's commit order
+    PeerId peer = kInvalidPeer;
+  };
+  std::vector<BatchItem> batch_;
+  // Epoch-stamped flat claim marks for batch formation (claimed closure
+  // members of the batch under construction) and the membership-BFS
+  // visited set — linear scans over PeerId-indexed arrays, no hashing.
+  IdVector<PeerId, std::uint64_t> claim_mark_;
+  std::uint64_t claim_epoch_ = 0;
+  IdVector<PeerId, std::uint64_t> member_mark_;
+  std::uint64_t member_epoch_ = 0;
+  std::vector<PeerId> member_scratch_;
+  std::vector<std::uint32_t> member_depths_;
+  bool record_batches_ = false;
+  std::vector<RebuildBatch> last_batches_;
 };
 
 }  // namespace ace

@@ -1,11 +1,26 @@
 #include "core/experiment.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "util/logging.h"
 
 namespace ace {
+
+namespace {
+
+// Monotonic seconds for the rebuild_s perf counter. Never feeds simulation
+// state, rng draws, or digests — it times engine rounds the way the bench
+// WallTimer times whole runs.
+double perf_now_s() {
+  // ace-lint: allow(banned-clock): perf counter (rebuild_s) only — lands
+  // in BENCH_*.json records, never in simulation state or digests.
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+}  // namespace
 
 Graph build_physical_graph(const ScenarioConfig& config, Rng& rng) {
   switch (config.physical_model) {
@@ -99,9 +114,11 @@ double StaticRunResult::response_reduction() const {
 StaticRunResult run_static_optimization(Scenario& scenario,
                                         const AceConfig& ace,
                                         std::size_t steps,
-                                        std::size_t queries_per_step) {
+                                        std::size_t queries_per_step,
+                                        TrialRunner* subtasks) {
   StaticRunResult result;
   AceEngine engine{scenario.overlay(), ace};
+  if (subtasks != nullptr) engine.set_subtask_runner(subtasks);
   // The caller may have measured on this scenario already; count only the
   // snapshot rebuilds this run causes.
   const std::size_t snapshot_rebuilds_before = scenario.snapshot_rebuilds();
@@ -119,7 +136,9 @@ StaticRunResult run_static_optimization(Scenario& scenario,
   }
 
   for (std::size_t step = 1; step <= steps; ++step) {
+    const double t0 = perf_now_s();
     const RoundReport report = engine.step_round(scenario.rng());
+    result.rebuild_s += perf_now_s() - t0;
     result.engine_cache.merge(report.cache);
     const QueryStats stats =
         scenario.measure(ForwardingMode::kTreeRouting, &engine.forwarding(),
@@ -158,7 +177,8 @@ DepthTrial run_depth_trial(const ScenarioConfig& base, const AceConfig& ace,
                            std::uint32_t h, std::size_t rounds,
                            std::size_t queries, bool want_trace,
                            const TransportConfig& transport,
-                           std::size_t maintenance_rounds) {
+                           std::size_t maintenance_rounds,
+                           TrialRunner* subtasks) {
   const bool lossy = transport.mode == TransportMode::kLossy;
   DepthTrial trial;
   Scenario scenario{base};  // identical starting topology per depth
@@ -172,6 +192,7 @@ DepthTrial run_depth_trial(const ScenarioConfig& base, const AceConfig& ace,
   config.pairwise_neighbor_probes = false;
   config.establish_tree_links = false;
   AceEngine engine{scenario.overlay(), config};
+  if (subtasks != nullptr) engine.set_subtask_runner(subtasks);
   Simulator sim;
   std::unique_ptr<Transport> wire;
   if (lossy) {
@@ -187,7 +208,9 @@ DepthTrial run_depth_trial(const ScenarioConfig& base, const AceConfig& ace,
 
   double overhead_total = 0;
   for (std::size_t r = 0; r < rounds; ++r) {
+    const double t0 = perf_now_s();
     const RoundReport report = engine.step_round(scenario.rng());
+    sample.rebuild_s += perf_now_s() - t0;
     // Deliver the round's in-flight messages (cost-table pushes) before
     // the next round's versions go out; no periodics, so this drains.
     if (lossy) sim.run_all();
@@ -223,7 +246,9 @@ DepthTrial run_depth_trial(const ScenarioConfig& base, const AceConfig& ace,
   // this phase — it is the steady-state segment those counters are meant
   // to characterize.
   for (std::size_t r = 0; r < maintenance_rounds; ++r) {
+    const double t0 = perf_now_s();
     const RoundReport report = engine.rebuild_all_trees();
+    sample.rebuild_s += perf_now_s() - t0;
     if (lossy) sim.run_all();
     sample.engine_cache.merge(report.cache);
   }
@@ -243,16 +268,23 @@ std::vector<DepthSample> run_depth_sweep(const ScenarioConfig& base,
                                          DigestTrace* trace,
                                          const TransportConfig& transport,
                                          std::size_t threads,
-                                         std::size_t maintenance_rounds) {
+                                         std::size_t maintenance_rounds,
+                                         std::size_t intra_threads) {
   // Each depth is an independent trial; the runner shards them across
   // workers and the merge below walks the slots in depth order, so samples
   // and trace rows come out byte-identical to a sequential sweep.
+  // One shared intra-trial pool serves every depth's engine: its run_subtasks
+  // entry point multiplexes concurrent batch jobs (callers participate as
+  // lane 0), so cross-trial and intra-trial sharding compose without a
+  // thread explosion.
+  TrialRunner intra{intra_threads};
+  TrialRunner* subtasks = intra_threads > 1 ? &intra : nullptr;
   TrialRunner runner{threads};
   std::vector<DepthTrial> trials =
       runner.run(depths.size(), [&](TrialIndex i) {
         return run_depth_trial(base, ace, depths[i.value()], rounds, queries,
                                trace != nullptr, transport,
-                               maintenance_rounds);
+                               maintenance_rounds, subtasks);
       });
 
   std::vector<DepthSample> out;
@@ -291,6 +323,8 @@ DynamicResult run_dynamic(const DynamicConfig& config) {
   AceConfig ace_config = config.ace;
   ace_config.transport = config.transport.mode;
   AceEngine engine{scenario.overlay(), ace_config};
+  TrialRunner intra{config.intra_threads};
+  if (config.intra_threads > 1) engine.set_subtask_runner(&intra);
   std::unique_ptr<Transport> wire;
   if (config.transport.mode == TransportMode::kLossy) {
     // The fault stream is its own named stream: enabling loss perturbs
@@ -339,7 +373,9 @@ DynamicResult run_dynamic(const DynamicConfig& config) {
   std::size_t round_no = 0;
   if (config.enable_ace) {
     sim.every(config.ace_period_s, [&](SimTime t) {
+      const double t0 = perf_now_s();
       const RoundReport report = engine.step_round(ace_rng);
+      result.rebuild_s += perf_now_s() - t0;
       result.engine_cache.merge(report.cache);
       const double overhead = report.total_overhead();
       result.total_overhead += overhead;

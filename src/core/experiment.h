@@ -118,6 +118,9 @@ struct StepSample {
 
 struct StaticRunResult {
   std::vector<StepSample> samples;  // samples[0] is the baseline
+  // Wall time spent inside engine rounds (perf counter; see
+  // DepthSample::rebuild_s).
+  double rebuild_s = 0;
   // Incremental-cache behaviour over the whole run (engine counters plus
   // the measurement scratch's snapshot rebuilds).
   CacheCounters engine_cache{};
@@ -126,10 +129,14 @@ struct StaticRunResult {
   double response_reduction() const;      // fraction vs samples[0]
 };
 
+// `subtasks` (optional) attaches an intra-trial rebuild pool to the run's
+// engine (AceEngine::set_subtask_runner); results are byte-identical at
+// any lane count.
 StaticRunResult run_static_optimization(Scenario& scenario,
                                         const AceConfig& ace,
                                         std::size_t steps,
-                                        std::size_t queries_per_step);
+                                        std::size_t queries_per_step,
+                                        TrialRunner* subtasks = nullptr);
 
 // ---------------------------------------------------------------------
 // Depth sweep (Figures 11-16)
@@ -142,6 +149,11 @@ struct DepthSample {
   double reduction_rate = 0;     // (blind - ace) / blind
   double overhead_per_round = 0; // mean per optimization round
   double gain_per_query = 0;     // blind - ace
+  // Wall time spent inside engine rounds (step_round + rebuild_all_trees
+  // calls) for this depth's trial. A perf counter like the cache stats
+  // below: it lands in BENCH_*.json records (never in CSVs or digests) and
+  // is what the intra-trial parallelism speedup is measured on.
+  double rebuild_s = 0;
   // Delay-oracle row-cache behavior of this depth's trial (benches
   // aggregate these into BENCH_*.json perf records).
   RowCacheStats oracle_cache{};
@@ -172,6 +184,12 @@ struct DepthSample {
 // exists to measure steady-state cache effectiveness (and its wall-time
 // payoff) in the depth benches; its phase-1 overhead is NOT added to
 // overhead_per_round.
+// `intra_threads` > 1 additionally parallelizes *within* each trial: one
+// shared subtask pool serves every depth's engine, which partitions each
+// round's stale-peer rebuilds into conflict-free batches (DESIGN.md §15).
+// Both sharding levels compose and neither changes a byte of output —
+// samples, trace rows, and digests are identical for any (threads,
+// intra_threads) pair; only rebuild_s and wall-clock move.
 std::vector<DepthSample> run_depth_sweep(const ScenarioConfig& base,
                                          const AceConfig& ace,
                                          std::span<const std::uint32_t> depths,
@@ -180,7 +198,8 @@ std::vector<DepthSample> run_depth_sweep(const ScenarioConfig& base,
                                          DigestTrace* trace = nullptr,
                                          const TransportConfig& transport = {},
                                          std::size_t threads = 1,
-                                         std::size_t maintenance_rounds = 0);
+                                         std::size_t maintenance_rounds = 0,
+                                         std::size_t intra_threads = 1);
 
 // Optimization rate (paper §4.2): gain/penalty with frequency ratio R =
 // query frequency / cost-info exchange frequency. Over one exchange period
@@ -215,6 +234,10 @@ struct DynamicConfig {
   // kLossy routes ACE protocol messages through an event-driven Transport
   // with the configured fault plan (overrides ace.transport).
   TransportConfig transport{};
+  // Intra-trial rebuild parallelism: lanes for the engine's conflict-free
+  // batch path (DESIGN.md §15). 1 = sequential; any value yields the same
+  // bytes (digest trace included) — only wall-clock changes.
+  std::size_t intra_threads = 1;
 };
 
 struct DynamicBucket {
@@ -234,6 +257,9 @@ struct DynamicResult {
   std::size_t leaves = 0;
   double total_overhead = 0;
   std::size_t cache_hits = 0;  // queries answered from an index cache
+  // Wall time spent inside engine rounds (perf counter; see
+  // DepthSample::rebuild_s).
+  double rebuild_s = 0;
   // What the lossy transport did (all-zero under kIdeal).
   TransportStats transport{};
   // Incremental-cache behaviour over the run (engine counters plus the

@@ -13,32 +13,38 @@
 namespace ace {
 
 // Persistent worker pool. Workers sleep on a condition variable between
-// jobs; run_indexed installs one job and wakes everyone. Indices are
-// claimed with fetch_add, so the assignment of trials to workers is racy —
+// jobs; run_job appends one job and wakes everyone. Indices are claimed
+// with fetch_add, so the assignment of indices to executors is racy —
 // which is exactly why results must land in index-ordered slots (the
-// caller's lambda writes slots[i]) and why trials must be independent.
-// Determinism lives in the trial/seed contract, not in the scheduling.
+// caller's lambda writes slots[i]) and why indices must be independent.
+// Determinism lives in the body/seed contract, not in the scheduling.
+//
+// Several jobs can be live at once: concurrent trials sharing one pool
+// each fan out their own subtask batches (run_subtasks) while the
+// cross-trial job itself is still draining. `active` holds every live job;
+// a woken worker drains the first job with unclaimed indices and sleeps
+// only when every live job is fully claimed.
 //
 // Each job owns its state (claim counter, body pointer, completion count)
-// in a shared_ptr that workers copy under the pool lock at wake-up. This
+// in a shared_ptr that executors copy under the pool lock at wake-up. This
 // closes a lifetime race: a worker that picked up job N but got descheduled
-// before claiming an index can wake after run() returned and job N+1
-// started. With per-job state it can only fetch_add job N's exhausted
+// before claiming an index can wake after run_job returned and the job was
+// retired. With per-job state it can only fetch_add job N's exhausted
 // counter (>= count, so it never dereferences the stale body) — it can
-// never claim job N+1's indices or call job N's destroyed std::function.
+// never claim another job's indices or call job N's destroyed function.
 //
 // Lock discipline (checked by clang -Wthread-safety via the annotations):
-// the pool mutex guards job installation (current_job, job_generation,
-// stopping); each Job carries its own mutex guarding its completion state
-// (outstanding, first_error), so the guarded-by expressions resolve on the
-// same base object the accessor holds. The two locks are never nested.
+// the pool mutex guards the live-job list (active, stopping); each Job
+// carries its own mutex guarding its completion state (outstanding,
+// first_error), so the guarded-by expressions resolve on the same base
+// object the accessor holds. The two locks are never nested.
 struct TrialRunner::Pool {
   struct Job {
-    // count/body are immutable after publication: run() fills them in
-    // before installing the job under the pool mutex, and workers only see
+    // count/body are immutable after publication: run_job fills them in
+    // before appending the job under the pool mutex, and workers only see
     // the job via that mutex (the release/acquire pair orders the writes).
     std::size_t count = 0;
-    const std::function<void(TrialIndex)>* body = nullptr;
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
     std::atomic<std::size_t> next_index{0};
     std::atomic<bool> failed{false};
     Mutex mutex;
@@ -50,7 +56,9 @@ struct TrialRunner::Pool {
   explicit Pool(std::size_t threads) {
     workers.reserve(threads);
     for (std::size_t t = 0; t < threads; ++t)
-      workers.emplace_back([this] { worker_loop(); });
+      // Worker t executes as subtask lane t + 1; lane 0 is the
+      // run_subtasks caller (run_job's participate path).
+      workers.emplace_back([this, t] { worker_loop(t + 1); });
   }
 
   ~Pool() {
@@ -62,8 +70,39 @@ struct TrialRunner::Pool {
     for (std::thread& w : workers) w.join();
   }
 
-  void run(std::size_t count, const std::function<void(TrialIndex)>& body)
-      ACE_EXCLUDES(mutex) {
+  // Claim-and-execute loop shared by workers and participating callers.
+  // Every executor of one job holds a distinct `lane`, so lane-indexed
+  // scratch handed to `body` is private to it for the whole drain.
+  static void drain(Job& job, std::size_t lane) {
+    std::size_t finished = 0;
+    for (;;) {
+      const std::size_t i =
+          job.next_index.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job.count) break;
+      if (!job.failed.load(std::memory_order_acquire)) {
+        try {
+          (*job.body)(lane, i);
+        } catch (...) {
+          MutexLock lock{job.mutex};
+          if (!job.first_error) job.first_error = std::current_exception();
+          job.failed.store(true, std::memory_order_release);
+        }
+      }
+      ++finished;
+    }
+    if (finished != 0) {
+      MutexLock lock{job.mutex};
+      job.outstanding -= finished;
+      if (job.outstanding == 0) job.done.notify_all();
+    }
+  }
+
+  // Publishes one job, optionally drains it from the caller thread (as
+  // lane 0), then blocks until every claimed index finished and rethrows
+  // the first captured exception.
+  void run_job(std::size_t count,
+               const std::function<void(std::size_t, std::size_t)>& body,
+               bool participate) ACE_EXCLUDES(mutex) {
     auto job = std::make_shared<Job>();
     job->count = count;
     job->body = &body;
@@ -73,10 +112,10 @@ struct TrialRunner::Pool {
     }
     {
       MutexLock lock{mutex};
-      current_job = job;
-      ++job_generation;
+      active.push_back(job);
     }
     wake_workers.notify_all();
+    if (participate) drain(*job, 0);
     std::exception_ptr error;
     {
       MutexLock lock{job->mutex};
@@ -89,7 +128,13 @@ struct TrialRunner::Pool {
     }
     {
       MutexLock lock{mutex};
-      current_job = nullptr;
+      for (std::size_t k = 0; k < active.size(); ++k) {
+        if (active[k] == job) {
+          active.erase(active.begin() +
+                       static_cast<std::ptrdiff_t>(k));
+          break;
+        }
+      }
     }
     // outstanding == 0 means every index in [0, count) was claimed and
     // executed; `body` cannot be invoked again (the claim counter is
@@ -98,53 +143,37 @@ struct TrialRunner::Pool {
     if (error) std::rethrow_exception(error);
   }
 
-  void worker_loop() ACE_EXCLUDES(mutex) {
-    std::uint64_t seen_generation = 0;
+  // First live job with unclaimed indices, in publication order (so idle
+  // workers prefer the oldest job — typically the cross-trial shard —
+  // and fall through to newer subtask batches).
+  std::shared_ptr<Job> claimable_job() ACE_REQUIRES(mutex) {
+    for (const std::shared_ptr<Job>& job : active) {
+      if (job->next_index.load(std::memory_order_relaxed) < job->count)
+        return job;
+    }
+    return nullptr;
+  }
+
+  void worker_loop(std::size_t lane) ACE_EXCLUDES(mutex) {
     for (;;) {
       std::shared_ptr<Job> job;
       {
         MutexLock lock{mutex};
-        while (!stopping && job_generation == seen_generation)
+        while (!stopping && (job = claimable_job()) == nullptr)
           wake_workers.wait(lock);
         if (stopping) return;
-        seen_generation = job_generation;
-        job = current_job;
       }
-      // The job may already be finished and detached (a late wake-up);
-      // nothing was claimed here, so there is nothing to report.
-      if (!job) continue;
-      std::size_t finished = 0;
-      for (;;) {
-        const std::size_t i =
-            job->next_index.fetch_add(1, std::memory_order_relaxed);
-        if (i >= job->count) break;
-        if (!job->failed.load(std::memory_order_acquire)) {
-          try {
-            // ace-id: boundary(the claimed counter position is the trial slot)
-            (*job->body)(TrialIndex{static_cast<std::uint32_t>(i)});
-          } catch (...) {
-            MutexLock lock{job->mutex};
-            if (!job->first_error) job->first_error = std::current_exception();
-            job->failed.store(true, std::memory_order_release);
-          }
-        }
-        ++finished;
-      }
-      if (finished != 0) {
-        MutexLock lock{job->mutex};
-        job->outstanding -= finished;
-        if (job->outstanding == 0) job->done.notify_all();
-      }
-      // `job` (the last keep-alive if run() already returned) drops here,
-      // before the worker goes back to sleep.
+      drain(*job, lane);
+      // `job` (the last keep-alive if run_job already returned) drops
+      // here, before the worker goes back to sleep.
+      job.reset();
     }
   }
 
   std::vector<std::thread> workers;
   Mutex mutex;
   CondVar wake_workers;
-  std::shared_ptr<Job> current_job ACE_GUARDED_BY(mutex);
-  std::uint64_t job_generation ACE_GUARDED_BY(mutex) = 0;
+  std::vector<std::shared_ptr<Job>> active ACE_GUARDED_BY(mutex);
   bool stopping ACE_GUARDED_BY(mutex) = false;
 };
 
@@ -171,7 +200,30 @@ void TrialRunner::run_indexed(std::size_t count,
       body(TrialIndex{static_cast<std::uint32_t>(i)});
     return;
   }
-  pool_->run(count, body);
+  // Trials ignore the lane (each owns a full Scenario, no shared scratch)
+  // and the caller does not participate: trial bodies assume at most
+  // thread_count() of them run concurrently.
+  const std::function<void(std::size_t, std::size_t)> wrapped =
+      [&body](std::size_t, std::size_t i) {
+        // ace-id: boundary(the claimed counter position is the trial slot)
+        body(TrialIndex{static_cast<std::uint32_t>(i)});
+      };
+  pool_->run_job(count, wrapped, /*participate=*/false);
+}
+
+void TrialRunner::run_subtasks(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  if (pool_ == nullptr) {
+    for (std::size_t i = 0; i < count; ++i) body(0, i);
+    return;
+  }
+  pool_->run_job(count, body, /*participate=*/true);
+}
+
+std::size_t TrialRunner::subtask_lanes() const noexcept {
+  return pool_ == nullptr ? 1 : threads_ + 1;
 }
 
 }  // namespace ace

@@ -10,9 +10,16 @@
 // time and nothing else (enforced by tests/test_trial_runner.cpp and
 // tools/determinism_check.py).
 //
-// Exception policy: the first trial exception (in claim order) is captured;
-// remaining unclaimed trials are skipped, in-flight trials finish, and the
-// exception is rethrown on the caller thread after the pool drains. The
+// The same pool also serves *intra-trial* subtask batches (run_subtasks):
+// an engine hands over a batch of independent rebuild slots and the caller
+// thread joins the workers in draining it (DESIGN.md §15). Jobs coexist —
+// a pool shared by several concurrent trials interleaves their subtask
+// batches with the trial job itself; idle workers drain whichever job
+// still has unclaimed indices.
+//
+// Exception policy: the first exception (in claim order) is captured;
+// remaining unclaimed indices are skipped, in-flight ones finish, and the
+// exception is rethrown on the caller thread after the job drains. The
 // runner stays usable afterwards.
 #pragma once
 
@@ -40,9 +47,31 @@ class TrialRunner {
   // Runs body(TrialIndex{i}) for every i in [0, count), sharding across the
   // pool. Blocks until all claimed trials finish; rethrows the first trial
   // exception. `body` must treat distinct indices as independent (it is
-  // called concurrently from pool threads when thread_count() > 1).
+  // called concurrently from pool threads when thread_count() > 1). The
+  // caller thread does NOT participate: trial bodies assume at most
+  // thread_count() of them run concurrently.
   void run_indexed(std::size_t count,
                    const std::function<void(TrialIndex)>& body);
+
+  // Intra-trial fan-out: runs body(lane, i) for every i in [0, count),
+  // sharding across the pool with the CALLER participating as lane 0 (pool
+  // worker t is lane t + 1). Caller participation makes nesting safe: a
+  // trial body already running on a pool worker can fan out its own
+  // subtasks and is guaranteed forward progress even when every other
+  // worker is busy. Distinct concurrent executors of one job always hold
+  // distinct lanes, so lane-indexed scratch arenas (one per lane,
+  // subtask_lanes() total) are race-free. Blocks until the batch drains;
+  // rethrows the first subtask exception. `body` must treat distinct
+  // indices as independent and restrict writes to per-index slots and
+  // per-lane scratch (enforced by the ace-lint worker-shared-write rule).
+  void run_subtasks(
+      std::size_t count,
+      const std::function<void(std::size_t lane, std::size_t index)>& body);
+
+  // Number of distinct lanes run_subtasks can hand out: caller + workers
+  // when a pool exists, 1 when subtasks run inline. Size lane-indexed
+  // scratch arenas with this.
+  std::size_t subtask_lanes() const noexcept;
 
   // Typed convenience: returns fn(i) results in trial-index order. Result
   // must be default-constructible and movable, and must not be bool:

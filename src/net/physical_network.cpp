@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "graph/shortest_path.h"
 #include "util/logging.h"
@@ -30,24 +31,61 @@ PhysicalNetwork::PhysicalNetwork(Graph topology, std::size_t max_cached_rows,
       max_cache_bytes_{
           resolve_byte_budget(max_cache_bytes, topology_.node_count())},
       solver_{csr_} {
+  slots_.resize(topology_.node_count());
   stats_.max_rows = max_cached_rows_;
   stats_.max_bytes = max_cache_bytes_;
 }
 
+void PhysicalNetwork::lru_unlink_(std::uint32_t slot) const {
+  RowSlot& s = slots_[slot];
+  if (s.lru_prev != kNoSlot)
+    slots_[s.lru_prev].lru_next = s.lru_next;
+  else
+    lru_head_ = s.lru_next;
+  if (s.lru_next != kNoSlot)
+    slots_[s.lru_next].lru_prev = s.lru_prev;
+  else
+    lru_tail_ = s.lru_prev;
+  s.lru_prev = kNoSlot;
+  s.lru_next = kNoSlot;
+}
+
+void PhysicalNetwork::lru_push_front_(std::uint32_t slot) const {
+  RowSlot& s = slots_[slot];
+  s.lru_prev = kNoSlot;
+  s.lru_next = lru_head_;
+  if (lru_head_ != kNoSlot) slots_[lru_head_].lru_prev = slot;
+  lru_head_ = slot;
+  if (lru_tail_ == kNoSlot) lru_tail_ = slot;
+}
+
 void PhysicalNetwork::evict_to_budget_() const {
   const std::size_t bytes_per_row = row_bytes_();
-  while (!lru_.empty() &&
-         ((max_cached_rows_ != 0 && cache_.size() > max_cached_rows_) ||
+  while (lru_tail_ != kNoSlot &&
+         ((max_cached_rows_ != 0 && cached_rows_ > max_cached_rows_) ||
           (max_cache_bytes_ != 0 &&
-           cache_.size() * bytes_per_row > max_cache_bytes_))) {
-    if (cache_.size() == 1) break;  // always keep the row just computed
-    const std::size_t rows_before_evict = cache_.size();
-    const HostId victim = lru_.back();
-    lru_.pop_back();
-    cache_.erase(victim);
+           cached_rows_ * bytes_per_row > max_cache_bytes_))) {
+    if (cached_rows_ == 1) break;  // always keep the row just computed
+    const std::size_t rows_before_evict = cached_rows_;
+    const std::uint32_t victim = lru_tail_;
+    lru_unlink_(victim);
+    RowSlot& s = slots_[victim];
+    // Release the payload for real (clear() would keep the capacity and
+    // defeat the byte budget).
+    s.dist = {};
+    s.parent = {};
+    s.cached = false;
+    --cached_rows_;
     ++stats_.evictions;
-    if (!warned_eviction_) {
-      warned_eviction_ = true;
+    // Warn once per ownership epoch (detach_owner starts a new one). The
+    // compare-exchange claims the epoch, so concurrent rebuild workers
+    // evicting at the same time log exactly once.
+    const std::uint64_t epoch =
+        rebind_epoch_.load(std::memory_order_relaxed);
+    std::uint64_t warned = warned_epoch_.load(std::memory_order_relaxed);
+    if (warned != epoch &&
+        warned_epoch_.compare_exchange_strong(warned, epoch,
+                                              std::memory_order_relaxed)) {
       ACE_LOG(kWarn) << "PhysicalNetwork: distance-row cache budget reached "
                      << "(rows=" << rows_before_evict
                      << ", max_rows=" << max_cached_rows_
@@ -58,47 +96,62 @@ void PhysicalNetwork::evict_to_budget_() const {
   }
 }
 
-const PhysicalNetwork::Row& PhysicalNetwork::row_for(HostId source) const {
+const PhysicalNetwork::RowSlot& PhysicalNetwork::row_for(
+    HostId source) const {
   if (source >= topology_.node_count())
     throw std::out_of_range{"PhysicalNetwork: host out of range"};
-  if (const auto it = cache_.find(source); it != cache_.end()) {
+  const std::uint32_t slot = source.value();
+  RowSlot& s = slots_[slot];
+  if (s.cached) {
     ++stats_.hits;
     // LRU touch: move to the front of the recency list.
-    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-    return it->second.row;
+    if (lru_head_ != slot) {
+      lru_unlink_(slot);
+      lru_push_front_(slot);
+    }
+    return s;
   }
 
   ++stats_.misses;
   solver_.run(source.value());
-  Row row;
-  row.dist.resize(topology_.node_count());
-  row.parent.resize(topology_.node_count());
-  solver_.export_row(row.dist, row.parent);
-
-  lru_.push_front(source);
-  auto& entry = cache_[source];
-  entry.row = std::move(row);
-  entry.lru_pos = lru_.begin();
+  s.dist.resize(topology_.node_count());
+  s.parent.resize(topology_.node_count());
+  solver_.export_row(s.dist, s.parent);
+  s.cached = true;
+  ++cached_rows_;
+  lru_push_front_(slot);
   evict_to_budget_();
-  return cache_.find(source)->second.row;
+  return s;
+}
+
+std::size_t PhysicalNetwork::rows_computed() const noexcept {
+  MutexLock lock{mutex_};
+  return stats_.misses;
+}
+
+std::size_t PhysicalNetwork::rows_cached() const noexcept {
+  MutexLock lock{mutex_};
+  return cached_rows_;
 }
 
 RowCacheStats PhysicalNetwork::row_cache_stats() const noexcept {
-  owner_.assert_held();
+  MutexLock lock{mutex_};
   RowCacheStats stats = stats_;
-  stats.rows = cache_.size();
-  stats.bytes = cache_.size() * row_bytes_();
+  stats.rows = cached_rows_;
+  stats.bytes = cached_rows_ * row_bytes_();
   return stats;
 }
 
 Weight PhysicalNetwork::delay(HostId a, HostId b) const {
-  owner_.assert_held();
+  MutexLock lock{mutex_};
   if (b >= topology_.node_count())
     throw std::out_of_range{"PhysicalNetwork: host out of range"};
   if (a == b) return 0;
   // Use whichever endpoint already has a cached row to avoid duplicates
   // (delays are symmetric, so either row answers the query).
-  if (!cache_.contains(a) && cache_.contains(b)) std::swap(a, b);
+  if (a >= topology_.node_count())
+    throw std::out_of_range{"PhysicalNetwork: host out of range"};
+  if (!slots_[a.value()].cached && slots_[b.value()].cached) std::swap(a, b);
   return static_cast<Weight>(row_for(a).dist[b.value()]);
 }
 
@@ -108,11 +161,11 @@ std::size_t PhysicalNetwork::path_hops(HostId a, HostId b) const {
 }
 
 std::vector<HostId> PhysicalNetwork::path(HostId a, HostId b) const {
-  owner_.assert_held();
+  MutexLock lock{mutex_};
   if (b >= topology_.node_count())
     throw std::out_of_range{"PhysicalNetwork: host out of range"};
   if (a == b) return {a};
-  const Row& row = row_for(a);
+  const RowSlot& row = row_for(a);
   if (row.dist[b.value()] == static_cast<float>(kUnreachable) ||
       (row.parent[b.value()] == kInvalidNode && b != a))
     return {};

@@ -11,21 +11,26 @@
 // lazily and cached as compact float/NodeId arrays under a least-recently-
 // used policy bounded both by row count and by a byte budget, because only
 // hosts that carry peers are ever queried (a few thousand rows out of a
-// 20k-node topology). Cached rows are value-identical to recomputation, so
-// the cache policy affects wall-clock time only, never results.
+// 20k-node topology). The cache is structure-of-arrays: one HostId-indexed
+// slot table (payload + intrusive LRU links + cached flag), so lookup,
+// touch, and eviction are flat array operations with no hash walk. Cached
+// rows are value-identical to recomputation, so the cache policy affects
+// wall-clock time only, never results.
 //
-// Not thread-safe: one PhysicalNetwork serves one trial/thread (the trial
-// runner gives every parallel trial its own Scenario, hence its own oracle).
-// That contract is enforced statically: the mutable row-cache state is
-// ACE_GUARDED_BY the ThreadOwnership capability (util/sync.h), so the clang
-// thread-safety build rejects any new code path that touches the cache
-// without asserting single-thread ownership, and audit builds verify the
-// owning thread at runtime.
+// Thread-safe: the row cache, solver, and stats are internally synchronized
+// by a Mutex (util/sync.h, ACE_GUARDED_BY-annotated), because intra-trial
+// rebuild batches (DESIGN.md §15) run concurrent closure builds whose cost
+// estimates all funnel into delay(). Determinism survives sharing: a row is
+// a pure function of the frozen topology, so whichever thread computes it
+// (and whichever endpoint's row answers a symmetric query) the returned
+// values are identical — only the hit/miss/eviction *counters* are
+// schedule-dependent, and those feed perf records (BENCH_*.json), never
+// digests or CSVs.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
-#include <list>
-#include <unordered_map>
+#include <cstdint>
 #include <vector>
 
 #include "graph/csr.h"
@@ -90,54 +95,60 @@ class PhysicalNetwork {
   Weight probe_rtt(HostId a, HostId b) const { return 2 * delay(a, b); }
 
   // Diagnostics: how many Dijkstra row computations have run / are cached.
-  std::size_t rows_computed() const noexcept {
-    owner_.assert_held();
-    return stats_.misses;
-  }
-  std::size_t rows_cached() const noexcept {
-    owner_.assert_held();
-    return cache_.size();
-  }
+  std::size_t rows_computed() const noexcept;
+  std::size_t rows_cached() const noexcept;
   RowCacheStats row_cache_stats() const noexcept;
 
-  // Sequential cross-thread handoff (build here, query over there):
-  // releases the audit-build thread binding; the next query rebinds.
-  void detach_owner() const noexcept { owner_.detach(); }
+  // Ownership-handoff marker (build here, query over there). The cache is
+  // internally synchronized, so this is not needed for safety; it starts a
+  // new *ownership epoch* for the first-eviction budget warning — the next
+  // owner gets its own once-per-epoch warning instead of inheriting a
+  // consumed process-lifetime flag. The epoch counters are atomics so
+  // concurrent rebuild workers can neither double-log nor race a rebind.
+  void detach_owner() const noexcept {
+    rebind_epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
 
  private:
-  struct Row {
+  // Row payload plus intrusive LRU links, one slot per host (SoA layout:
+  // the slot table is flat and HostId-indexed, so lookup is one array read
+  // and eviction follows prev/next links — no hash map, no node list).
+  struct RowSlot {
     std::vector<float> dist;
     std::vector<NodeId> parent;
+    std::uint32_t lru_prev = kNoSlot;
+    std::uint32_t lru_next = kNoSlot;
+    bool cached = false;
   };
-  struct CacheEntry {
-    Row row;
-    std::list<HostId>::iterator lru_pos;
-  };
+  static constexpr std::uint32_t kNoSlot = static_cast<std::uint32_t>(-1);
 
-  const Row& row_for(HostId source) const ACE_REQUIRES(owner_);
+  const RowSlot& row_for(HostId source) const ACE_REQUIRES(mutex_);
   std::size_t row_bytes_() const noexcept {
     return host_count() * (sizeof(float) + sizeof(NodeId));
   }
-  void evict_to_budget_() const ACE_REQUIRES(owner_);
+  void evict_to_budget_() const ACE_REQUIRES(mutex_);
+  void lru_unlink_(std::uint32_t slot) const ACE_REQUIRES(mutex_);
+  void lru_push_front_(std::uint32_t slot) const ACE_REQUIRES(mutex_);
 
   Graph topology_;
   CsrGraph csr_;
   std::size_t max_cached_rows_;
   std::size_t max_cache_bytes_;
-  // One-thread-at-a-time capability guarding the whole mutable cache block
-  // below; public queries assert it, private helpers require it.
-  ThreadOwnership owner_;
-  // Mutable: the cache and solver are implementation details of a
-  // logically-const distance query.
-  // ace-lint: allow(unordered-container): keyed lookup only — eviction
-  // follows lru_ (least-recently-used list); the map is never iterated, and
-  // cached rows are value-identical to recomputation.
-  mutable std::unordered_map<HostId, CacheEntry> cache_ ACE_GUARDED_BY(owner_);
-  // front = most recently used
-  mutable std::list<HostId> lru_ ACE_GUARDED_BY(owner_);
-  mutable CsrDijkstra solver_ ACE_GUARDED_BY(owner_);
-  mutable RowCacheStats stats_ ACE_GUARDED_BY(owner_);
-  mutable bool warned_eviction_ ACE_GUARDED_BY(owner_) = false;
+  // Guards the whole mutable cache block below; public queries lock it,
+  // private helpers require it. Mutable: cache and solver are
+  // implementation details of a logically-const distance query.
+  mutable Mutex mutex_;
+  mutable std::vector<RowSlot> slots_ ACE_GUARDED_BY(mutex_);
+  mutable std::uint32_t lru_head_ ACE_GUARDED_BY(mutex_) = kNoSlot;
+  mutable std::uint32_t lru_tail_ ACE_GUARDED_BY(mutex_) = kNoSlot;
+  mutable std::size_t cached_rows_ ACE_GUARDED_BY(mutex_) = 0;
+  mutable CsrDijkstra solver_ ACE_GUARDED_BY(mutex_);
+  mutable RowCacheStats stats_ ACE_GUARDED_BY(mutex_);
+  // Eviction-warning epochs (see detach_owner): the warning fires once per
+  // ownership epoch, claimed by compare-exchange so concurrent evictors
+  // log exactly once.
+  mutable std::atomic<std::uint64_t> rebind_epoch_{1};
+  mutable std::atomic<std::uint64_t> warned_epoch_{0};
 };
 
 }  // namespace ace

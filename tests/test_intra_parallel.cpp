@@ -1,0 +1,194 @@
+// Intra-trial parallelism (DESIGN.md §15): the engine partitions each
+// round's stale peers into conflict-free batches and precomputes their
+// closures/trees on the TrialRunner pool, committing in canonical order.
+// These tests pin the two halves of that contract: the coloring invariant
+// (no two peers in one batch share a closure member) and byte-identical
+// digest traces at any lane count, in both ideal and lossy transport
+// modes. The *Stress* suite re-runs the batched path repeatedly and is the
+// workload behind the tsan.intra_parallel ctest entry.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ace/engine.h"
+#include "core/experiment.h"
+#include "core/trial_runner.h"
+#include "graph/generators.h"
+#include "transport/transport.h"
+#include "util/digest.h"
+
+namespace ace {
+namespace {
+
+// A mismatched overlay over a BA physical topology (the test_engine
+// fixture): random logical links across random hosts.
+struct Fixture {
+  explicit Fixture(std::size_t hosts = 256, std::size_t peers = 48,
+                   double degree = 5.0, std::uint64_t seed = 3) {
+    Rng topo{seed};
+    BaOptions ba;
+    ba.nodes = hosts;
+    physical = std::make_unique<PhysicalNetwork>(barabasi_albert(ba, topo));
+    OverlayOptions oo;
+    oo.peers = peers;
+    oo.mean_degree = degree;
+    const Graph logical = random_overlay(oo, topo);
+    const auto host_list = assign_hosts_uniform(*physical, peers, topo);
+    overlay = std::make_unique<OverlayNetwork>(*physical, logical, host_list);
+  }
+  std::unique_ptr<PhysicalNetwork> physical;
+  std::unique_ptr<OverlayNetwork> overlay;
+};
+
+// Asserts the coloring invariant over one round's recorded batches: within
+// a batch, no closure member may appear under two different rebuilding
+// peers (a shared member means a shared CostTable/TopologyVersion read
+// racing a commit, exactly what the coloring exists to exclude).
+void expect_batches_disjoint(const std::vector<AceEngine::RebuildBatch>&
+                                 batches) {
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    const AceEngine::RebuildBatch& batch = batches[b];
+    ASSERT_EQ(batch.peers.size(), batch.members.size());
+    ASSERT_FALSE(batch.peers.empty());
+    std::set<PeerId> seen;
+    for (std::size_t i = 0; i < batch.members.size(); ++i) {
+      for (const PeerId member : batch.members[i]) {
+        EXPECT_TRUE(seen.insert(member).second)
+            << "batch " << b << ": closure member " << member.value()
+            << " shared between two rebuilding peers (peer "
+            << batch.peers[i].value() << " among them)";
+      }
+    }
+  }
+}
+
+// Property test: across randomized topologies, and across rounds that
+// interleave churn (leaves with repair, rejoins), every batch the batched
+// path forms is closure-disjoint.
+TEST(IntraParallel, BatchesAreClosureDisjointUnderChurn) {
+  for (const std::uint64_t seed : {3u, 11u, 29u}) {
+    Fixture f{192, 40, 5.0, seed};
+    AceEngine engine{*f.overlay, AceConfig{}};
+    TrialRunner pool{4};
+    engine.set_subtask_runner(&pool);
+    engine.set_record_batches(true);
+    Rng rng{seed * 7 + 1};
+    Rng churn_rng{seed + 100};
+
+    // Cold build: every peer is stale, so the round exercises the widest
+    // batches the topology admits.
+    (void)engine.rebuild_all_trees();
+    expect_batches_disjoint(engine.last_rebuild_batches());
+    std::size_t rounds_with_batches =
+        engine.last_rebuild_batches().empty() ? 0u : 1u;
+
+    std::vector<PeerId> departed;
+    for (int round = 0; round < 6; ++round) {
+      if (round == 2 || round == 4) {
+        // Churn burst: two peers leave (with neighbor repair), staling
+        // every closure they appeared in; one departed peer rejoins.
+        for (int k = 0; k < 2; ++k) {
+          const auto online = f.overlay->online_peers();
+          ASSERT_GT(online.size(), 8u);
+          const PeerId p = online[static_cast<std::size_t>(
+              churn_rng.next_below(online.size()))];
+          const std::vector<PeerId> dropped =
+              f.overlay->leave(p, 3, churn_rng);
+          engine.on_peer_leave(p, dropped);
+          departed.push_back(p);
+        }
+        const PeerId back = departed.front();
+        departed.erase(departed.begin());
+        f.overlay->join(back, 4, churn_rng);
+        engine.on_peer_join(back);
+      }
+      (void)engine.step_round(rng);
+      expect_batches_disjoint(engine.last_rebuild_batches());
+      if (!engine.last_rebuild_batches().empty()) ++rounds_with_batches;
+    }
+    // The invariant must not have held vacuously.
+    EXPECT_GT(rounds_with_batches, 1u) << "seed " << seed;
+  }
+}
+
+// Runs a fixed scenario for `rounds` ACE rounds on `lanes` rebuild lanes
+// and returns the per-round digest trace. Lossy mode routes every probe /
+// exchange / establishment through the fault-injecting transport.
+std::string trace_for(std::size_t lanes, bool lossy,
+                      std::size_t rounds = 5) {
+  ScenarioConfig config;
+  config.physical_nodes = 192;
+  config.peers = 48;
+  config.mean_degree = 5.0;
+  config.seed = 77;
+  Scenario scenario{config};
+
+  AceConfig ace;
+  ace.transport = lossy ? TransportMode::kLossy : TransportMode::kIdeal;
+  AceEngine engine{scenario.overlay(), ace};
+  TrialRunner pool{lanes};
+  if (lanes > 1) engine.set_subtask_runner(&pool);
+
+  Simulator sim;
+  std::unique_ptr<Transport> wire;
+  if (lossy) {
+    TransportConfig tc;
+    tc.mode = TransportMode::kLossy;
+    tc.faults.drop_probability = 0.05;
+    tc.faults.extra_jitter_max_s = 0.5;
+    wire = std::make_unique<Transport>(sim, scenario.overlay(),
+                                       scenario.guids(), tc,
+                                       Rng::stream(config.seed, "transport"));
+    engine.attach_transport(wire.get());
+  }
+
+  DigestTrace trace;
+  for (std::size_t r = 1; r <= rounds; ++r) {
+    (void)engine.step_round(scenario.rng());
+    if (lossy) sim.run_all();
+    trace.record("round-" + std::to_string(r),
+                 engine.state_digest(lossy ? &sim : nullptr));
+  }
+  return trace.csv();
+}
+
+// The tentpole acceptance check, in-process: the digest trace — which
+// folds in every cost table, closure, tree, routing entry, rng stream, and
+// probe charge — is byte-identical at 1, 2, and 8 lanes.
+TEST(IntraParallel, TraceBytesIdenticalAcrossLaneCountsIdeal) {
+  const std::string sequential = trace_for(1, /*lossy=*/false);
+  ASSERT_FALSE(sequential.empty());
+  EXPECT_EQ(sequential, trace_for(2, false));
+  EXPECT_EQ(sequential, trace_for(8, false));
+}
+
+// Same, through the lossy transport: drop/jitter draws happen during the
+// sequential commit phase, so fault injection must replay identically too.
+TEST(IntraParallel, TraceBytesIdenticalAcrossLaneCountsLossy) {
+  const std::string sequential = trace_for(1, /*lossy=*/true);
+  ASSERT_FALSE(sequential.empty());
+  EXPECT_EQ(sequential, trace_for(2, true));
+  EXPECT_EQ(sequential, trace_for(8, true));
+}
+
+// Stress workload for ThreadSanitizer (see the tsan.intra_parallel ctest
+// entry, which repeats this suite 10 times): fresh engine + 8-lane pool
+// per repetition, cold rebuild plus batched rounds, so precompute slots,
+// lane scratch arenas, and the pool's job lifecycle all cycle repeatedly.
+TEST(IntraParallelStress, RepeatedBatchedRoundsAreRaceFree) {
+  for (std::uint64_t rep = 0; rep < 4; ++rep) {
+    Fixture f{128, 32, 5.0, 50 + rep};
+    AceEngine engine{*f.overlay, AceConfig{}};
+    TrialRunner pool{8};
+    engine.set_subtask_runner(&pool);
+    Rng rng{rep + 1};
+    (void)engine.rebuild_all_trees();
+    for (int r = 0; r < 3; ++r) (void)engine.step_round(rng);
+  }
+}
+
+}  // namespace
+}  // namespace ace

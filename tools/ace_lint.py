@@ -60,11 +60,16 @@ Determinism rules (v1 family — a run is a pure function of config + seed):
 Parallel-safety + hot-path rules (v2 family):
 
   worker-shared-write   a write through a by-reference capture inside a
-                        lambda handed to TrialRunner::run/run_indexed that
-                        is neither slot-indexed by the trial index, nor an
-                        atomic, nor under a lock. The runner's contract is
-                        that trials share no mutable state; this is the
-                        static check behind it.
+                        lambda handed to TrialRunner::run/run_indexed/
+                        run_subtasks that is neither slot-indexed by a
+                        lambda index parameter, nor an atomic, nor under a
+                        lock. run/run_indexed lambdas take one trial index;
+                        run_subtasks lambdas take (lane, index) and may
+                        subscript by either — per-lane scratch arenas and
+                        per-subtask result slots are both legitimate. The
+                        runner's contract is that concurrent bodies share
+                        no mutable state; this is the static check behind
+                        it.
   hot-path-alloc        a function tagged `// ace-hot` may not allocate in
                         steady state: no new/make_unique/make_shared, no
                         std::function construction, no std::string
@@ -745,8 +750,11 @@ def run_raw_id_cast(fi: FileIndex, findings: list[Finding]) -> None:
 
 # ---------------------------------------------------------------------------
 # Pass 3b: worker-shared-write. Finds lambdas handed to TrialRunner::run /
-# run_indexed, then flags writes through by-reference captures that are not
-# slot-indexed by the trial index, atomic, lambda-local, or lock-guarded.
+# run_indexed / run_subtasks, then flags writes through by-reference captures
+# that are not slot-indexed by an index parameter, atomic, lambda-local, or
+# lock-guarded. run/run_indexed bodies get one trial index; run_subtasks
+# bodies get (lane, index) and may subscript by either — lane-indexed scratch
+# arenas and index-slotted results are the sanctioned shapes (DESIGN.md §15).
 # ---------------------------------------------------------------------------
 
 WRITE_ASSIGN_RE = re.compile(
@@ -838,13 +846,19 @@ def first_subscript(chain: str) -> str | None:
 def run_worker_shared_write(fi: FileIndex, findings: list[Finding]) -> None:
     src = fi.src
     text = src.text
-    call_res = [re.compile(rf"\b{re.escape(v)}\s*\.\s*"
-                           r"(?:run|run_indexed)\s*\(")
+    call_res = [re.compile(rf"\b{re.escape(v)}\s*(?:\.|->)\s*"
+                           r"(run|run_indexed|run_subtasks)\s*\(")
                 for v in sorted(fi.trial_vars)]
-    call_res.append(re.compile(r"(?<![\w.>:])run_indexed\s*\("))
+    call_res.append(re.compile(r"(?<![\w.>:])(run_indexed)\s*\("))
+    # run_subtasks is a TrialRunner-only name, so bind the rule to ANY call
+    # of it — including member calls whose TrialRunner* declaration lives in
+    # another file (`subtasks_->run_subtasks(...)` in engine.cpp, declared
+    # in engine.h) that the per-file trial_vars index cannot see.
+    call_res.append(re.compile(r"\b(run_subtasks)\s*\("))
     seen_lambdas: set[int] = set()
     for call_re in call_res:
         for cm in call_re.finditer(text):
+            method = cm.group(1)
             lam = lambda_after(text, cm.end())
             if lam is None:
                 continue
@@ -854,7 +868,9 @@ def run_worker_shared_write(fi: FileIndex, findings: list[Finding]) -> None:
             seen_lambdas.add(body_start)
             if "&" not in captures:
                 continue  # by-value / captureless: no shared writes
-            index_param = params[0] if params else None
+            # run/run_indexed bodies take one trial index; run_subtasks
+            # bodies take (lane, index) and may slot by either one.
+            index_params = params if method == "run_subtasks" else params[:1]
             body = text[body_start:body_end]
             locals_ = collect_locals(body, params)
             guarded_from = None
@@ -871,9 +887,9 @@ def run_worker_shared_write(fi: FileIndex, findings: list[Finding]) -> None:
                 if base in locals_ or base in fi.atomic_vars:
                     continue
                 sub = first_subscript(chain)
-                if index_param and sub and \
-                        re.search(rf"\b{re.escape(index_param)}\b", sub):
-                    continue  # slot-indexed by the trial index
+                if sub and any(re.search(rf"\b{re.escape(p)}\b", sub)
+                               for p in index_params):
+                    continue  # slot-indexed by a lambda index parameter
                 if guarded_from is not None and abs_pos > guarded_from:
                     continue  # after a scoped lock acquisition
                 lineno = src.line_of(abs_pos)
@@ -888,8 +904,9 @@ def run_worker_shared_write(fi: FileIndex, findings: list[Finding]) -> None:
                     src.path, lineno, "worker-shared-write",
                     f"write to '{normalize_chain(chain)}' (captured by "
                     "reference) inside a TrialRunner worker lambda — not "
-                    "slot-indexed by the trial index and not guarded; use "
-                    "per-index slots, an atomic, or a MutexLock",
+                    "slot-indexed by a lambda index parameter and not "
+                    "guarded; use per-index slots, a per-lane arena, an "
+                    "atomic, or a MutexLock",
                     src.raw(lineno).strip()))
 
 
@@ -1486,6 +1503,29 @@ void f(TrialRunner& runner) {
   });
 }
 """, ["worker-shared-write"]),
+    ("worker_subtasks_captured_write_flagged", "src/x/ws9.cpp", """
+struct TrialRunner { template <class F> void run_subtasks(int, F); };
+void f(TrialRunner& runner) {
+  int merged = 0;
+  runner.run_subtasks(8, [&](std::size_t lane, std::size_t index) {
+    merged += static_cast<int>(lane + index);
+  });
+}
+""", ["worker-shared-write"]),
+    ("worker_subtasks_lane_slot_clean", "src/x/ws10.cpp", """
+#include <vector>
+struct Scratch { void reset(); };
+struct TrialRunner { template <class F> void run_subtasks(int, F); };
+void f(TrialRunner* subtasks, std::vector<int>& slots,
+       std::vector<Scratch>& scratch) {
+  // Both sanctioned shapes: per-subtask result slots keyed by the second
+  // parameter, per-lane scratch arenas keyed by the first (DESIGN.md §15).
+  subtasks->run_subtasks(8, [&](std::size_t lane, std::size_t index) {
+    scratch[lane].reset();
+    slots[index] = static_cast<int>(lane);
+  });
+}
+""", []),
 
     # --- hot-path-alloc -----------------------------------------------------
     ("hot_new_flagged", "src/x/h1.cpp", """

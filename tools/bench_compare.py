@@ -11,7 +11,10 @@ Comparison rules, per record:
   * both sides carry a "cases" object  ->  per-case ns/op comparison
     (bench_micro); a case missing from either side is reported but never
     fails the run (benchmarks come and go);
-  * otherwise                          ->  wall_time_s comparison.
+  * otherwise                          ->  wall_time_s comparison, plus a
+    "rebuild_s" comparison (engine-round wall time — the metric the
+    intra-trial batch path accelerates) whenever both sides carry it, at
+    the top level and inside per-cell "records" arrays (BENCH_scale.json).
 
 A record with no matching baseline seeds the baseline (the file is copied
 into --baseline-dir) and passes — so the first run of a fresh checkout or
@@ -91,6 +94,44 @@ def compare_record(name: str, baseline: dict, current: dict,
         regressed = bad
         if ratio is not None:
             worst = (ratio, "wall_time_s")
+        # rebuild_s gates exactly like wall time once both sides carry it
+        # (older baselines predate the field; they keep passing untouched).
+        if "rebuild_s" in baseline and "rebuild_s" in current:
+            bad, ratio, line = compare_metric(
+                "rebuild_s", float(baseline["rebuild_s"]),
+                float(current["rebuild_s"]), threshold)
+            print(line)
+            regressed |= bad
+            if ratio is not None and (worst is None or ratio > worst[0]):
+                worst = (ratio, "rebuild_s")
+        # Per-cell records (BENCH_scale.json): match cells on their
+        # identifying keys and gate each cell's rebuild_s individually, so
+        # one topology scale regressing can't hide inside the total.
+        base_records = baseline.get("records")
+        cur_records = current.get("records")
+        if isinstance(base_records, list) and isinstance(cur_records, list):
+            def cell_key(rec):
+                return tuple(
+                    (k, rec[k]) for k in ("hosts", "oracle") if k in rec)
+            cur_by_key = {cell_key(r): r for r in cur_records}
+            for rec in base_records:
+                if "rebuild_s" not in rec:
+                    continue
+                other = cur_by_key.get(cell_key(rec))
+                label = "/".join(
+                    str(v) for _, v in cell_key(rec)) or "record"
+                if other is None or "rebuild_s" not in other:
+                    print(f"  {label}: missing from current run "
+                          "(not failing)")
+                    continue
+                bad, ratio, line = compare_metric(
+                    f"{label} rebuild_s", float(rec["rebuild_s"]),
+                    float(other["rebuild_s"]), threshold)
+                print(line)
+                regressed |= bad
+                if ratio is not None and (worst is None
+                                          or ratio > worst[0]):
+                    worst = (ratio, f"{label} rebuild_s")
     # Peak RSS is informational only: memory moves with allocator, OS page
     # accounting, and oracle mode, so it never trips the regression gate.
     base_rss = baseline.get("peak_rss_bytes")

@@ -24,12 +24,18 @@ import subprocess
 import sys
 import tempfile
 
-# entry name -> (example binary, quick-but-representative args). Each must
+# entry name -> (binary, run-A args[, run-B args]). Each binary must
 # support --digest-out and exercise a distinct slice of the stack: static
-# rounds, churn + workload, depth sweep, cache composition. The *-lossy
-# entries rerun a binary through the event-driven fault-injecting transport
-# (src/transport/), whose drop/jitter draws must be exactly as reproducible
-# as the ideal analytic mode.
+# rounds, churn + workload, depth sweep, cache composition. Binaries are
+# resolved under <build-dir>/examples/ unless the name carries a subdir
+# (e.g. "bench/bench_optrate"). When run-B args are given, the two runs use
+# DIFFERENT configurations that must still produce identical traces — the
+# *-intra entries use this to pin down that the intra-trial conflict-free
+# batch path (DESIGN.md §15) is byte-identical at any lane count. A literal
+# "{work_dir}" in an argument is replaced with the scratch directory. The
+# *-lossy entries rerun a binary through the event-driven fault-injecting
+# transport (src/transport/), whose drop/jitter draws must be exactly as
+# reproducible as the ideal analytic mode.
 EXAMPLES = {
     "quickstart": ("quickstart",
                    ["--peers=64", "--phys-nodes=256", "--rounds=4",
@@ -61,6 +67,32 @@ EXAMPLES = {
     "cache_combo": ("cache_combo",
                     ["--peers=48", "--phys-nodes=192", "--duration=120",
                      "--seed=5"]),
+    # Intra-trial parallelism: run A sequential, run B on 8 rebuild lanes.
+    # The digest traces must match byte-for-byte on top of the usual
+    # environment perturbation (two-phase commit in canonical order).
+    "quickstart-intra": ("quickstart",
+                         ["--peers=64", "--phys-nodes=256", "--rounds=4",
+                          "--seed=42", "--intra-threads=1"],
+                         ["--peers=64", "--phys-nodes=256", "--rounds=4",
+                          "--seed=42", "--intra-threads=8"]),
+    "quickstart-intra-lossy": ("quickstart",
+                               ["--peers=64", "--phys-nodes=256",
+                                "--rounds=4", "--seed=42",
+                                "--transport=lossy", "--loss-rate=0.05",
+                                "--intra-threads=1"],
+                               ["--peers=64", "--phys-nodes=256",
+                                "--rounds=4", "--seed=42",
+                                "--transport=lossy", "--loss-rate=0.05",
+                                "--intra-threads=8"]),
+    # The optrate bench is the parallel path's flagship workload: one large
+    # trial whose --threads flag drives the intra-trial pool directly.
+    "optrate-intra": ("bench/bench_optrate",
+                      ["--phys-nodes=512", "--peers=128", "--queries=30",
+                       "--rounds=3", "--maintenance-rounds=2", "--seed=9",
+                       "--threads=1", "--out-dir={work_dir}"],
+                      ["--phys-nodes=512", "--peers=128", "--queries=30",
+                       "--rounds=3", "--maintenance-rounds=2", "--seed=9",
+                       "--threads=8", "--out-dir={work_dir}"]),
 }
 
 
@@ -109,17 +141,22 @@ def first_diff(path_a: str, path_b: str):
 
 
 def check_example(name: str, build_dir: str, work_dir: str) -> bool:
-    binary_name, args = EXAMPLES[name]
-    binary = os.path.join(build_dir, "examples", binary_name)
+    entry = EXAMPLES[name]
+    binary_name, args_a = entry[0], entry[1]
+    args_b = entry[2] if len(entry) > 2 else args_a
+    subdir = "" if os.sep in binary_name or "/" in binary_name else "examples"
+    binary = os.path.join(build_dir, subdir, binary_name)
     if not os.path.exists(binary):
         print(f"FAIL {name}: binary not found at {binary}", file=sys.stderr)
         return False
+    args_a = [a.replace("{work_dir}", work_dir) for a in args_a]
+    args_b = [a.replace("{work_dir}", work_dir) for a in args_b]
     trace_a = os.path.join(work_dir, f"{name}.a.csv")
     trace_b = os.path.join(work_dir, f"{name}.b.csv")
-    if run_once(binary, args, trace_a, variant=0, disable_aslr=False) != 0:
+    if run_once(binary, args_a, trace_a, variant=0, disable_aslr=False) != 0:
         print(f"FAIL {name}: run A exited nonzero", file=sys.stderr)
         return False
-    if run_once(binary, args, trace_b, variant=1, disable_aslr=True) != 0:
+    if run_once(binary, args_b, trace_b, variant=1, disable_aslr=True) != 0:
         print(f"FAIL {name}: run B exited nonzero", file=sys.stderr)
         return False
     diff = first_diff(trace_a, trace_b)
