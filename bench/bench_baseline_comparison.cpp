@@ -32,9 +32,14 @@ struct Row {
 
 QueryStats measure(OverlayNetwork& overlay, const ObjectCatalog& catalog,
                    ForwardingMode mode, const ForwardingTable* table,
-                   std::size_t queries, Rng& rng) {
+                   std::size_t queries, Rng& rng,
+                   TrialRunner* subtasks = nullptr) {
   CatalogOracle oracle{catalog};
-  return sample_queries(overlay, catalog, oracle, mode, table, queries, rng);
+  // Trial-local lane pool: lane-indexed scratches may be shared within one
+  // subtask job, never across concurrently-running trials.
+  QueryLanes lanes;
+  return sample_queries(overlay, catalog, oracle, mode, table, queries, rng,
+                        {}, nullptr, subtasks, &lanes);
 }
 
 }  // namespace
@@ -73,7 +78,7 @@ int main(int argc, char** argv) {
     return Row{"blind flooding",
                measure(scenario.overlay(), catalog,
                        ForwardingMode::kBlindFlooding, nullptr, scale.queries,
-                       mrng),
+                       mrng, subtasks),
                0.0};
   });
 
@@ -96,7 +101,7 @@ int main(int argc, char** argv) {
     Rng mrng{scale.seed ^ 0x11};
     return Row{"landmark clustering",
                measure(clustered, catalog, ForwardingMode::kBlindFlooding,
-                       nullptr, scale.queries, mrng),
+                       nullptr, scale.queries, mrng, subtasks),
                0.0};
   });
 
@@ -109,10 +114,12 @@ int main(int argc, char** argv) {
     QueryOptions hpf_options;
     hpf_options.hpf_partial = 3;
     hpf_options.hpf_period = 3;
+    QueryLanes lanes;
     return Row{"HPF (partial flood, [3])",
                sample_queries(scenario.overlay(), catalog, oracle,
                               ForwardingMode::kHybridPeriodical, nullptr,
-                              scale.queries, mrng, hpf_options),
+                              scale.queries, mrng, hpf_options, nullptr,
+                              subtasks, &lanes),
                0.0};
   });
 
@@ -127,7 +134,7 @@ int main(int argc, char** argv) {
     return Row{"LTM (detector, [9])",
                measure(scenario.overlay(), catalog,
                        ForwardingMode::kBlindFlooding, nullptr, scale.queries,
-                       mrng),
+                       mrng, subtasks),
                overhead / static_cast<double>(scale.rounds)};
   });
 
@@ -142,7 +149,7 @@ int main(int argc, char** argv) {
     return Row{"AOTO ([8])",
                measure(scenario.overlay(), catalog,
                        ForwardingMode::kTreeRouting, &engine.forwarding(),
-                       scale.queries, mrng),
+                       scale.queries, mrng, subtasks),
                overhead / static_cast<double>(scale.rounds)};
   });
 
@@ -162,7 +169,7 @@ int main(int argc, char** argv) {
       return Row{
           std::string{"ACE ("} + replacement_policy_name(policy) + ")",
           measure(scenario.overlay(), catalog, ForwardingMode::kTreeRouting,
-                  &engine.forwarding(), scale.queries, mrng),
+                  &engine.forwarding(), scale.queries, mrng, subtasks),
           overhead / static_cast<double>(scale.rounds)};
     });
   }

@@ -1,0 +1,204 @@
+// Million-peer end-to-end bench (ROADMAP item 1's proof point): a
+// power-law Gnutella-shaped overlay of >= 10^6 peers on a BA physical
+// topology, driven entirely through the estimated-cost regime — landmark
+// link pricing (O(K) per link instead of a per-source Dijkstra row over
+// 2^20 hosts), the SoA peer/engine state, and the streaming TTL-bounded
+// query measurement on the intra-trial lane pool.
+//
+//   $ ./bench_million                         # full 10^6-peer trial
+//   $ ./bench_million --peers=20000 --phys-nodes=32768 --queries=64
+//
+// The CSV carries only deterministic metrics (traffic, response, scope,
+// success — byte-identical at any --intra-threads). The perf record
+// BENCH_million.json adds qps, rebuild_s, and peak_rss_bytes; those are
+// wall-clock facts and move between runs.
+#include "bench_common.h"
+
+#include <memory>
+
+int main(int argc, char** argv) {
+  using namespace ace;
+  using namespace ace::bench;
+  const Options options{argc, argv};
+  if (options.help_requested()) {
+    std::printf(
+        "bench_million [--phys-nodes=N] [--peers=N] [--queries=N] "
+        "[--ttl=N] [--seed=N] [--intra-threads=N] "
+        "[--oracle=exact|landmark:K|vivaldi:D] [--out-dir=DIR]\n");
+    return 0;
+  }
+  // Defaults size the full proof run: 2^20 hosts, 10^6 peers. The oracle
+  // defaults to landmark estimation — the only regime where pricing three
+  // million overlay links is payable — but stays overridable for reduced
+  // runs that want exact ground truth.
+  BenchScale scale = parse_scale(options, /*default_phys=*/1u << 20,
+                                 /*default_peers=*/1000000,
+                                 /*default_queries=*/256,
+                                 /*default_rounds=*/1);
+  scale.oracle = options.get_string("oracle", "landmark:8");
+  // Unbounded flooding visits all 10^6 peers per query; the Gnutella TTL
+  // keeps the flood ring (~degree^ttl peers) measurable.
+  const auto ttl =
+      static_cast<std::uint8_t>(options.get_int("ttl", 5));
+  print_header("Million-peer query engine (estimated link pricing)", scale);
+
+  WallTimer total_timer;
+
+  // Physical substrate: BA preferential attachment, the paper's BRITE
+  // model, at 2^20 routers.
+  Rng topo_rng = Rng::stream(scale.seed, "million-physical");
+  BaOptions ba;
+  ba.nodes = scale.physical_nodes;
+  ba.edges_per_node = 2;
+  WallTimer phys_timer;
+  PhysicalNetwork physical{barabasi_albert(ba, topo_rng)};
+  const double phys_s = phys_timer.elapsed_s();
+
+  WallTimer oracle_timer;
+  const std::unique_ptr<CostOracle> oracle =
+      make_cost_oracle(physical, oracle_config(scale), scale.seed);
+  const double oracle_s = oracle_timer.elapsed_s();
+
+  // Gnutella-shaped logical overlay (power-law degree), wired through the
+  // manual path so the oracle and estimated pricing are attached BEFORE
+  // any link is priced — the Scenario constructor prices links exactly,
+  // which is the unpayable case this bench exists to avoid.
+  Rng overlay_rng = Rng::stream(scale.seed, "million-overlay");
+  OverlayOptions shape;
+  shape.peers = scale.peers;
+  shape.mean_degree = 6.0;
+  WallTimer overlay_timer;
+  const Graph logical = power_law_overlay(shape, overlay_rng);
+  const std::vector<HostId> hosts =
+      assign_hosts_uniform(physical, scale.peers, overlay_rng);
+  OverlayNetwork overlay{physical};
+  overlay.set_cost_oracle(oracle.get());
+  overlay.set_estimated_link_pricing(true);
+  for (std::size_t i = 0; i < scale.peers; ++i) (void)overlay.add_peer(hosts[i]);
+  for (std::uint32_t u = 0; u < logical.node_count(); ++u) {
+    for (const Neighbor& n : logical.neighbors(u)) {
+      if (n.node > u) (void)overlay.connect(PeerId{u}, PeerId{n.node});
+    }
+  }
+  const double overlay_s = overlay_timer.elapsed_s();
+  std::printf("built: %zu hosts (%.1fs), oracle %s (%.1fs), "
+              "%zu peers / %zu links (%.1fs)\n",
+              physical.host_count(), phys_s, scale.oracle.c_str(), oracle_s,
+              overlay.peer_count(), overlay.logical().edge_count(),
+              overlay_s);
+
+  // Content catalog is stateless hash placement — O(objects), not
+  // O(peers), so a million peers cost nothing here.
+  CatalogConfig catalog_config;
+  catalog_config.object_count = 500;
+  catalog_config.base_replication = 0.1;
+  catalog_config.min_replication = 0.01;
+  const ObjectCatalog catalog{catalog_config};
+  const CatalogOracle content{catalog};
+
+  // ACE phases 1-2 over every peer, timed: closure + local MST + routing
+  // for 10^6 peers. No establishment, so the overlay never mutates and the
+  // measured stats below stay deterministic.
+  AceConfig ace;
+  ace.establish_tree_links = false;
+  // Pairwise neighbor probes build the COMPLETE neighbor cost graph —
+  // O(degree^2) per peer, which a power-law overlay's hubs (degree ~
+  // sqrt(peers)) turn into tens of GB of probed pairs. No real servent
+  // probes millions of neighbor pairs either; at this scale the closure
+  // ranges over existing overlay links only.
+  ace.pairwise_neighbor_probes = false;
+  AceEngine engine{overlay, ace};
+  TrialRunner intra{scale.intra_threads};
+  TrialRunner* subtasks = scale.intra_threads > 1 ? &intra : nullptr;
+  if (subtasks != nullptr) engine.set_subtask_runner(subtasks);
+  WallTimer rebuild_timer;
+  const RoundReport rebuild = engine.rebuild_all_trees();
+  const double rebuild_s = rebuild_timer.elapsed_s();
+  std::printf("rebuild_all_trees: %.1fs (%zu closure builds, %zu tree "
+              "builds)\n",
+              rebuild_s, rebuild.cache.closure_builds,
+              rebuild.cache.tree_builds);
+
+  // TTL-bounded measurement, flooding vs tree routing, on the query lane
+  // pool. Both passes replay the same (source, object) sequence from a
+  // fresh identically-named stream, so the comparison is paired.
+  QueryOptions qopts;
+  qopts.ttl = ttl;
+  QueryLanes lanes;
+  Rng flood_rng = Rng::stream(scale.seed, "million-measure");
+  WallTimer flood_timer;
+  const QueryStats flood = sample_queries(
+      overlay, catalog, content, ForwardingMode::kBlindFlooding, nullptr,
+      scale.queries, flood_rng, qopts, nullptr, subtasks, &lanes);
+  const double flood_s = flood_timer.elapsed_s();
+  Rng tree_rng = Rng::stream(scale.seed, "million-measure");
+  WallTimer tree_timer;
+  const QueryStats tree = sample_queries(
+      overlay, catalog, content, ForwardingMode::kTreeRouting,
+      &engine.forwarding(), scale.queries, tree_rng, qopts, nullptr,
+      subtasks, &lanes);
+  const double tree_s = tree_timer.elapsed_s();
+  const double measure_s = flood_s + tree_s;
+  const double qps =
+      measure_s > 0
+          ? static_cast<double>(flood.queries() + tree.queries()) / measure_s
+          : 0;
+
+  TableWriter table{"million-peer search (TTL-bounded)",
+                    {"mode", "traffic/query", "response", "scope",
+                     "success %"}};
+  table.set_precision(1);
+  stamp_provenance(table, scale);
+  table.add_row({std::string{"blind flooding"}, flood.mean_traffic(),
+                 flood.mean_response_time(), flood.mean_scope(),
+                 100 * flood.success_rate()});
+  table.add_row({std::string{"ACE tree routing"}, tree.mean_traffic(),
+                 tree.mean_response_time(), tree.mean_scope(),
+                 100 * tree.success_rate()});
+  table.print(std::cout, csv_path(scale, "million"));
+
+  // Custom perf record: the standard top-level fields every BENCH_*.json
+  // carries, plus the qps this bench is gated on (tools/bench_compare.py
+  // treats a qps decrease as the regression direction).
+  const std::string path = scale.out_dir + "/BENCH_million.json";
+  std::ofstream out{path};
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return 0;
+  }
+  out << "{\n  \"name\": \"million\",\n";
+  out << "  \"wall_time_s\": " << total_timer.elapsed_s() << ",\n";
+  out << "  \"rebuild_s\": " << rebuild_s << ",\n";
+  out << "  \"qps\": " << qps << ",\n";
+  out << "  \"measure_s\": " << measure_s << ",\n";
+  out << "  \"build_physical_s\": " << phys_s << ",\n";
+  out << "  \"build_oracle_s\": " << oracle_s << ",\n";
+  out << "  \"build_overlay_s\": " << overlay_s << ",\n";
+  out << "  \"peers\": " << overlay.peer_count() << ",\n";
+  out << "  \"hosts\": " << physical.host_count() << ",\n";
+  out << "  \"links\": " << overlay.logical().edge_count() << ",\n";
+  out << "  \"queries\": " << flood.queries() + tree.queries() << ",\n";
+  out << "  \"ttl\": " << static_cast<int>(ttl) << ",\n";
+  out << "  \"trials\": 1,\n";
+  out << "  \"threads\": 1,\n";
+  out << "  \"intra_threads\": " << scale.intra_threads << ",\n";
+  out << "  \"peak_rss_bytes\": " << peak_rss_bytes() << ",\n";
+  out << "  \"engine_cache\": {\n";
+  out << "    \"closure_builds\": " << rebuild.cache.closure_builds << ",\n";
+  out << "    \"closure_hits\": " << rebuild.cache.closure_hits << ",\n";
+  out << "    \"invalidations\": " << rebuild.cache.invalidations << ",\n";
+  out << "    \"tree_builds\": " << rebuild.cache.tree_builds << ",\n";
+  out << "    \"snapshot_rebuilds\": " << lanes.snapshot_rebuilds() << "\n";
+  out << "  },\n";
+  out << "  \"provenance\": {";
+  ProvenanceEntries entries = run_provenance(scale.seed, scale_digest(scale));
+  append_oracle_provenance(entries, oracle_config(scale));
+  entries.emplace_back("ttl", std::to_string(static_cast<int>(ttl)));
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    out << (i ? ",\n    \"" : "\n    \"") << json_escape(entries[i].first)
+        << "\": \"" << json_escape(entries[i].second) << "\"";
+  }
+  out << "\n  }\n}\n";
+  std::printf("perf record: %s\n", path.c_str());
+  return 0;
+}

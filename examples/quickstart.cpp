@@ -19,8 +19,8 @@ int main(int argc, char** argv) {
   const Options options{argc, argv};
   if (options.help_requested()) {
     std::printf(
-        "quickstart [--peers=N] [--phys-nodes=N] [--rounds=N] [--seed=N] "
-        "[--transport=ideal|lossy] [--loss-rate=P] [--jitter=S] "
+        "quickstart [--peers=N] [--phys-nodes=N] [--rounds=N] [--queries=N] "
+        "[--seed=N] [--transport=ideal|lossy] [--loss-rate=P] [--jitter=S] "
         "[--intra-threads=N] [--oracle=exact|landmark:K|vivaldi:D] "
         "[--digest-out=FILE]\n");
     return 0;
@@ -58,11 +58,25 @@ int main(int argc, char** argv) {
               scenario.overlay().peer_count(),
               scenario.overlay().mean_online_degree());
 
+  // --intra-threads=N also fans the measurement loops out across the
+  // pool's lanes (per-lane scratch, canonical-order replay): the printed
+  // stats and the query-stats digest rows are byte-identical at any value.
+  const auto intra_threads =
+      static_cast<std::size_t>(options.get_int("intra-threads", 1));
+  TrialRunner intra{intra_threads};
+  if (intra_threads > 1) scenario.set_query_subtasks(&intra);
+  const auto queries =
+      static_cast<std::size_t>(options.get_int("queries", 50));
+
   // 2. Measure the unoptimized baseline: blind flooding, Gnutella-style.
-  const QueryStats before = scenario.measure_blind(50);
+  const QueryStats before = scenario.measure_blind(queries);
   std::printf("\nblind flooding : traffic %.0f | response %.1f | scope %.1f\n",
               before.mean_traffic(), before.mean_response_time(),
               before.mean_scope());
+  // The aggregate's digest joins the trace: determinism_check's
+  // quickstart-query-intra entry diffs it across 1-vs-8-lane runs.
+  if (!digest_out.empty())
+    trace.record("measure-blind", "query-stats", before.digest());
 
   // 3. Run ACE. Each round every peer executes the three phases: probe +
   //    exchange neighbor cost tables, build its local multicast tree, and
@@ -73,9 +87,6 @@ int main(int argc, char** argv) {
   // --intra-threads=N rebuilds each round's stale closures in conflict-free
   // parallel batches (DESIGN.md §15). The printed report, measurements, and
   // digest trace are byte-identical at any value — only wall-clock moves.
-  const auto intra_threads =
-      static_cast<std::size_t>(options.get_int("intra-threads", 1));
-  TrialRunner intra{intra_threads};
   if (intra_threads > 1) engine.set_subtask_runner(&intra);
   Simulator sim;
   std::unique_ptr<Transport> wire;
@@ -108,7 +119,9 @@ int main(int argc, char** argv) {
 
   // 4. Measure again with tree routing over the optimized overlay.
   const QueryStats after = scenario.measure(
-      ForwardingMode::kTreeRouting, &engine.forwarding(), 50);
+      ForwardingMode::kTreeRouting, &engine.forwarding(), queries);
+  if (!digest_out.empty())
+    trace.record("measure-ace", "query-stats", after.digest());
   std::printf("\nwith ACE       : traffic %.0f | response %.1f | scope %.1f\n",
               after.mean_traffic(), after.mean_response_time(),
               after.mean_scope());

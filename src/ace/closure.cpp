@@ -7,7 +7,13 @@
 namespace ace {
 
 LocalNodeId LocalClosure::to_local(PeerId peer) const {
-  return peer < local_index.size() ? local_index[peer] : kInvalidLocalNode;
+  const auto it = std::lower_bound(
+      member_index.begin(), member_index.end(), peer,
+      [](const std::pair<PeerId, LocalNodeId>& entry, PeerId p) {
+        return entry.first < p;
+      });
+  return it != member_index.end() && it->first == peer ? it->second
+                                                       : kInvalidLocalNode;
 }
 
 bool LocalClosure::is_probed_pair(LocalNodeId a, LocalNodeId b) const {
@@ -37,17 +43,14 @@ void LocalClosure::debug_validate(std::uint32_t hop_bound) const {
     ACE_CHECK_GT(path_cost[li], 0)
         << " — non-positive discovery path cost for member " << nodes[li];
   }
+  ACE_CHECK_EQ(member_index.size(), nodes.size())
+      << " — member_index maps a different peer set than nodes[]";
+  ACE_CHECK(std::is_sorted(member_index.begin(), member_index.end()))
+      << "member_index not sorted by peer id";
   for (LocalNodeId li{0}; li < nodes.size(); ++li) {
-    ACE_CHECK_LT(nodes[li], local_index.size())
-        << " — member " << nodes[li] << " outside local_index range";
-    ACE_CHECK_EQ(local_index[nodes[li]], li)
-        << " — local_index does not invert nodes[] for peer " << nodes[li];
+    ACE_CHECK_EQ(to_local(nodes[li]), li)
+        << " — member_index does not invert nodes[] for peer " << nodes[li];
   }
-  std::size_t mapped = 0;
-  for (const LocalNodeId li : local_index)
-    if (li != kInvalidLocalNode) ++mapped;
-  ACE_CHECK_EQ(mapped, nodes.size())
-      << " — local_index maps peers outside the closure";
   ACE_CHECK(std::is_sorted(probed_pairs.begin(), probed_pairs.end()))
       << "probed pairs not sorted";
   for (const auto& [a, b] : probed_pairs) {
@@ -76,20 +79,17 @@ void build_closure_into(const OverlayNetwork& overlay, PeerId source,
     throw std::invalid_argument{"build_closure: source offline"};
   LocalClosure& closure = out;
 
-  // The flat local_index doubles as the BFS visited set. Wipe the previous
-  // closure's entries member-by-member before clearing `nodes` (this
-  // function always leaves local_index consistent with nodes), so repeat
-  // builds touch only a closure-sized slice of the array.
-  IdVector<PeerId, LocalNodeId>& local_index = closure.local_index;
-  if (local_index.size() != overlay.peer_count()) {
-    local_index.assign(overlay.peer_count(), kInvalidLocalNode);
-  } else {
-    for (const PeerId member : closure.nodes)
-      local_index[member] = kInvalidLocalNode;
-  }
+  // The scratch's flat visited map doubles as the BFS visited set. It is
+  // all-invalid between builds (this function restores the entries it sets
+  // before returning), so each build touches only a closure-sized slice —
+  // and the *cached* closure never carries a peer_count-sized array.
+  IdVector<PeerId, LocalNodeId>& visited = scratch.visited;
+  if (visited.size() < overlay.peer_count())
+    visited.resize(overlay.peer_count(), kInvalidLocalNode);
   closure.nodes.clear();
   closure.depth.clear();
   closure.path_cost.clear();
+  closure.member_index.clear();
   closure.probed_pairs.clear();
 
   // BFS out to depth h over the overlay. `nodes` in discovery order IS the
@@ -98,7 +98,7 @@ void build_closure_into(const OverlayNetwork& overlay, PeerId source,
   closure.nodes.push_back(source);
   closure.depth.push_back(0);
   closure.path_cost.push_back(0);
-  local_index[source] = LocalNodeId{0};
+  visited[source] = LocalNodeId{0};
   for (std::size_t head = 0; head < closure.nodes.size(); ++head) {
     // ace-id: boundary(the BFS head position is the member's local id)
     const LocalNodeId lu{static_cast<std::uint32_t>(head)};
@@ -107,9 +107,9 @@ void build_closure_into(const OverlayNetwork& overlay, PeerId source,
     if (du == h) continue;
     for (const auto& n : overlay.neighbors(u)) {
       const PeerId q = peer_of(n);
-      if (local_index[q] != kInvalidLocalNode) continue;
+      if (visited[q] != kInvalidLocalNode) continue;
       // ace-id: boundary(a new member's local id is its slot in nodes[])
-      local_index[q] = LocalNodeId{static_cast<std::uint32_t>(
+      visited[q] = LocalNodeId{static_cast<std::uint32_t>(
           closure.nodes.size())};
       closure.nodes.push_back(q);
       closure.depth.push_back(du + 1);
@@ -122,13 +122,22 @@ void build_closure_into(const OverlayNetwork& overlay, PeerId source,
   for (LocalNodeId li{0}; li < closure.nodes.size(); ++li) {
     const PeerId u = closure.nodes[li];
     for (const auto& n : overlay.neighbors(u)) {
-      const LocalNodeId lj = local_index[peer_of(n)];
+      const LocalNodeId lj = visited[peer_of(n)];
       if (lj == kInvalidLocalNode || lj <= li) continue;
       // Each member pair is visited exactly once (lj > li filter over an
       // overlay with unique edges), so skip add_edge's duplicate probe.
       closure.local.add_new_edge(li.value(), lj.value(), n.weight);
     }
   }
+
+  // Freeze the reverse map into the closure-sized sorted form and restore
+  // the scratch's all-invalid invariant; nothing below reads `visited`.
+  closure.member_index.reserve(closure.nodes.size());
+  for (LocalNodeId li{0}; li < closure.nodes.size(); ++li) {
+    closure.member_index.emplace_back(closure.nodes[li], li);
+    visited[closure.nodes[li]] = kInvalidLocalNode;
+  }
+  std::sort(closure.member_index.begin(), closure.member_index.end());
 
   if (edges == ClosureEdges::kOverlayPlusNeighborProbes) {
     // Phase 1 gives the source the cost between ANY pair of its direct

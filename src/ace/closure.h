@@ -41,12 +41,13 @@ struct LocalClosure {
   // Edge weights are overlay link costs (and probed pair costs when
   // requested).
   Graph local;
-  // Reverse map: global peer id -> local id, as a peer_count-sized flat
-  // array (kInvalidLocalNode for non-members). A sparse vector instead of a
-  // hash map: to_local is a single array read, the fill is one store per
-  // member, and rebuild-heavy paths (the incremental engine) reuse the
-  // allocation.
-  IdVector<PeerId, LocalNodeId> local_index;
+  // Reverse map: (global peer, local id) pairs sorted by peer id. A
+  // closure-sized sparse index, NOT a peer_count-sized flat array: the
+  // engine caches one closure per peer, so a flat map here is O(peers^2)
+  // across the cache — at 10^6 peers that is terabytes. to_local is a
+  // binary search over closure-member-count entries (degree+1 at h=1); the
+  // build's O(1) visited map lives in ClosureScratch, shared per lane.
+  std::vector<std::pair<PeerId, LocalNodeId>> member_index;
   // Local-id pairs that exist only as probed costs, not as overlay links
   // (empty under ClosureEdges::kOverlayOnly). Sorted pairs (a < b).
   std::vector<std::pair<LocalNodeId, LocalNodeId>> probed_pairs;
@@ -69,7 +70,7 @@ struct LocalClosure {
 
   // Invariant auditor (ACE_CHECK-fatal): member/depth/path-cost alignment,
   // hop bound respected (depth <= hop_bound, BFS-monotone), the
-  // local_index <-> nodes bijection, a well-formed induced graph, and
+  // member_index <-> nodes bijection, a well-formed induced graph, and
   // probed pairs that are sorted, in range, and present as local edges.
   void debug_validate(std::uint32_t hop_bound) const;
 };
@@ -78,10 +79,16 @@ struct LocalClosure {
 // h == 0 yields just the source; h == 1 is the paper's default ACE scope
 // (source + direct neighbors).
 // Reusable scratch for build_closure_into: the direct-neighbor worklist of
-// the pairwise-probe pass. One instance per engine/driver; the same buffer
-// serves every rebuild, so the steady-state hot path allocates nothing.
+// the pairwise-probe pass plus the BFS visited map. One instance per
+// engine/driver (per lane under the batch path); the same buffers serve
+// every rebuild, so the steady-state hot path allocates nothing.
 struct ClosureScratch {
   std::vector<LocalNodeId> direct;
+  // peer -> local id for the build in flight; all-invalid between builds
+  // (build_closure_into restores the entries it set), so each build touches
+  // only a closure-sized slice. Scratch-owned so a *cached* closure carries
+  // only closure-sized state — see LocalClosure::member_index.
+  IdVector<PeerId, LocalNodeId> visited;
 };
 
 // build_closure writing into `out`, reusing its vectors' capacity (and

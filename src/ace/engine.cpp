@@ -112,6 +112,15 @@ void AceEngine::snapshot_versions(PeerCacheEntry& entry) const {
     entry.member_versions.push_back(overlay_->topology_version(member));
 }
 
+void AceEngine::ensure_cache_size() {
+  const std::size_t n = overlay_->peer_count();
+  if (cache_.size() < n) {
+    cache_.resize(n);
+    cache_valid_.resize(n);      // new slots read 0: not yet built
+    cache_pre_probe_.resize(n);
+  }
+}
+
 const LocalTree& AceEngine::refresh_peer_tree(PeerId peer,
                                               RoundReport& report,
                                               RebuildSlot* slot) {
@@ -121,8 +130,7 @@ const LocalTree& AceEngine::refresh_peer_tree(PeerId peer,
   // real per-round protocol traffic regardless of what the cache holds.
   tables_.ensure_size(overlay_->peer_count());
   forwarding_.ensure_size(overlay_->peer_count());
-  if (cache_.size() < overlay_->peer_count())
-    cache_.resize(overlay_->peer_count());
+  ensure_cache_size();
   if (lossy()) {
     tables_.refresh_peer_via(*overlay_, peer, *transport_, report.phase1);
     tables_.publish_via(*overlay_, peer, *transport_, report.phase1);
@@ -136,12 +144,13 @@ const LocalTree& AceEngine::refresh_peer_tree(PeerId peer,
   // would return byte-for-byte the cached pre-probe closure — skip it.
   const ClosureEdges edges = closure_edges();
   PeerCacheEntry& entry = cache_[peer];
-  const bool hit = entry.valid && !force_full() && cache_valid(entry);
+  const bool hit =
+      cache_valid_[peer] != 0 && !force_full() && cache_valid(entry);
   bool adopted = false;
   if (hit) {
     ++report.cache.closure_hits;
   } else {
-    if (entry.valid && !force_full()) ++report.cache.invalidations;
+    if (cache_valid_[peer] && !force_full()) ++report.cache.invalidations;
     if (slot != nullptr && slot_valid(*slot)) {
       // Adopt the batch-precomputed rebuild: no member version moved since
       // the parallel build, so an inline build_closure_into here would
@@ -161,7 +170,7 @@ const LocalTree& AceEngine::refresh_peer_tree(PeerId peer,
                          entry.closure, closure_scratch_);
       snapshot_versions(entry);
     }
-    entry.valid = true;
+    cache_valid_[peer] = 1;
     ++report.cache.closure_builds;
   }
   // The closure (hence its charges) is identical either way; the paper's
@@ -219,9 +228,9 @@ const LocalTree& AceEngine::refresh_peer_tree(PeerId peer,
   bool routing_from_slot = false;
   if (pruned) {
     entry.tree = build_local_tree(pruned_closure, config_.tree_kind);
-    entry.tree_from_pre_probe = false;
+    cache_pre_probe_[peer] = 0;
     tree_built = true;
-  } else if (!hit || !entry.tree_from_pre_probe) {
+  } else if (!hit || !cache_pre_probe_[peer]) {
     if (adopted) {
       // The slot tree was built from the adopted closure; build_local_tree
       // is deterministic, so this swap installs the bytes the line below
@@ -231,7 +240,7 @@ const LocalTree& AceEngine::refresh_peer_tree(PeerId peer,
     } else {
       entry.tree = build_local_tree(entry.closure, config_.tree_kind);
     }
-    entry.tree_from_pre_probe = true;
+    cache_pre_probe_[peer] = 1;
     tree_built = true;
   }
   if (tree_built) ++report.cache.tree_builds;
@@ -284,7 +293,7 @@ const LocalTree& AceEngine::refresh_peer_tree(PeerId peer,
       snapshot_versions(entry);
       ++report.cache.closure_builds;
       entry.tree = build_local_tree(entry.closure, config_.tree_kind);
-      entry.tree_from_pre_probe = true;
+      cache_pre_probe_[peer] = 1;
       ++report.cache.tree_builds;
       tree_built = true;
       pruned = false;
@@ -326,16 +335,15 @@ const LocalTree& AceEngine::refresh_peer_tree(PeerId peer,
 }
 
 void AceEngine::rebuild_into_cache(PeerId peer, RoundReport& report) {
-  if (cache_.size() < overlay_->peer_count())
-    cache_.resize(overlay_->peer_count());
+  ensure_cache_size();
   PeerCacheEntry& entry = cache_[peer];
   build_closure_into(*overlay_, peer, config_.closure_depth, closure_edges(),
                      entry.closure, closure_scratch_);
   snapshot_versions(entry);
-  entry.valid = true;
+  cache_valid_[peer] = 1;
   ++report.cache.closure_builds;
   entry.tree = build_local_tree(entry.closure, config_.tree_kind);
-  entry.tree_from_pre_probe = true;
+  cache_pre_probe_[peer] = 1;
   ++report.cache.tree_builds;
   if (invariant_audits_enabled()) {
     entry.closure.debug_validate(config_.closure_depth);
@@ -526,13 +534,13 @@ std::size_t AceEngine::prepare_batch(std::span<const PeerId> order,
   for (; scan < order.size(); ++scan) {
     const PeerId p = order[scan];
     if (!overlay_->is_online(p)) continue;
-    const PeerCacheEntry& entry = cache_[p];
     // Predicted hit: rides along in the slice, nothing to precompute. The
     // prediction can be wrong (an earlier commit may bump a member before
     // this peer commits) — then the commit rebuilds inline; the reverse
     // (predicted-stale turning into a hit) cannot happen, versions only
-    // move forward.
-    if (entry.valid && cache_valid(entry)) continue;
+    // move forward. The flag column keeps the common still-valid sweep off
+    // the heavyweight entries entirely.
+    if (cache_valid_[p] && cache_valid(cache_[p])) continue;
     // Stale: its post-rebuild membership comes from a fresh BFS (the
     // outdated cache entry cannot be trusted to name it).
     collect_members(p, member_scratch_);
@@ -574,8 +582,7 @@ std::size_t AceEngine::prepare_batch(std::span<const PeerId> order,
 
 void AceEngine::run_batched(std::span<const PeerId> order, Rng* rng,
                             RoundReport& report) {
-  if (cache_.size() < overlay_->peer_count())
-    cache_.resize(overlay_->peer_count());
+  ensure_cache_size();
   last_batches_.clear();
   std::size_t pos = 0;
   while (pos < order.size()) {

@@ -208,12 +208,11 @@ class AceEngine {
   // probed_pairs list) — exactly what build_closure would return today
   // whenever no member's version moved — so a cache hit replays the same
   // probe schedule, charges, and transport draws as a fresh build.
+  // The entry's validity and pre-probe flags live in the flat
+  // cache_valid_/cache_pre_probe_ columns below, not here: the
+  // prepare_batch predicted-hit sweep reads one byte per peer instead of
+  // dragging each entry's closure/tree buffers through cache.
   struct PeerCacheEntry {
-    bool valid = false;
-    // True when `tree` was built from `closure` unmodified; false when the
-    // last round's lossy probe failures pruned edges first (the pruned
-    // closure is per-round state and is not cached).
-    bool tree_from_pre_probe = false;
     LocalClosure closure;
     LocalTree tree;
     // Aligned with closure.nodes (same LocalNodeId index space).
@@ -241,6 +240,10 @@ class AceEngine {
   // OverlayNetwork versioning).
   bool cache_valid(const PeerCacheEntry& entry) const ACE_REQUIRES(owner_);
   void snapshot_versions(PeerCacheEntry& entry) const ACE_REQUIRES(owner_);
+
+  // Grows all peer-cache columns (entries + flag arrays) to the current
+  // peer count; the SoA columns must stay index-aligned.
+  void ensure_cache_size() ACE_REQUIRES(owner_);
 
   // Full closure + tree + routing rebuild for `peer` straight into its
   // cache entry (audited, counted, installed). Charges no probe overhead:
@@ -333,8 +336,17 @@ class AceEngine {
   // its own Scenario + engine); the capability makes that statically
   // checkable for the cache machinery below.
   ThreadOwnership owner_;
-  // Incremental per-peer cache, indexed by PeerId.
+  // Incremental per-peer cache, indexed by PeerId. Structure-of-arrays
+  // (ROADMAP item 1): the hot flags ride in flat byte columns alongside
+  // the heavy entries, so whole-table scans touch contiguous bytes.
   IdVector<PeerId, PeerCacheEntry> cache_ ACE_GUARDED_BY(owner_);
+  // 1 iff cache_[p] holds a version-snapshotted closure (uint8_t, not
+  // vector<bool>: IdVector indexing returns real references).
+  IdVector<PeerId, std::uint8_t> cache_valid_ ACE_GUARDED_BY(owner_);
+  // 1 iff cache_[p].tree was built from the cached closure unmodified; 0
+  // when the last round's lossy probe failures pruned edges first (the
+  // pruned closure is per-round state and is not cached).
+  IdVector<PeerId, std::uint8_t> cache_pre_probe_ ACE_GUARDED_BY(owner_);
   // Rebuild scratch shared by every sequential closure build this engine
   // runs: after the first round the BFS/induced-subgraph path allocates
   // nothing. (Parallel builds use lane_scratch_ instead.)

@@ -94,7 +94,8 @@ QueryStats Scenario::measure(ForwardingMode mode, const ForwardingTable* table,
                              std::size_t queries,
                              const QueryOptions& options) {
   return sample_queries(*overlay_, *catalog_, *oracle_, mode, table, queries,
-                        rng_, options, &scratch_);
+                        rng_, options, &scratch_, query_subtasks_,
+                        &query_lanes_);
 }
 
 // ---------------------------------------------------------------------
@@ -119,6 +120,9 @@ StaticRunResult run_static_optimization(Scenario& scenario,
   StaticRunResult result;
   AceEngine engine{scenario.overlay(), ace};
   if (subtasks != nullptr) engine.set_subtask_runner(subtasks);
+  // The same pool also fans out the per-step query measurement; detached
+  // before returning because the scenario may outlive the pool.
+  scenario.set_query_subtasks(subtasks);
   // The caller may have measured on this scenario already; count only the
   // snapshot rebuilds this run causes.
   const std::size_t snapshot_rebuilds_before = scenario.snapshot_rebuilds();
@@ -156,6 +160,7 @@ StaticRunResult run_static_optimization(Scenario& scenario,
   }
   result.engine_cache.snapshot_rebuilds +=
       scenario.snapshot_rebuilds() - snapshot_rebuilds_before;
+  scenario.set_query_subtasks(nullptr);
   return result;
 }
 
@@ -193,6 +198,9 @@ DepthTrial run_depth_trial(const ScenarioConfig& base, const AceConfig& ace,
   config.establish_tree_links = false;
   AceEngine engine{scenario.overlay(), config};
   if (subtasks != nullptr) engine.set_subtask_runner(subtasks);
+  // The pool serves the trial's query measurements too (the scenario is
+  // trial-local, so no detach is needed — the pool outlives it).
+  scenario.set_query_subtasks(subtasks);
   Simulator sim;
   std::unique_ptr<Transport> wire;
   if (lossy) {

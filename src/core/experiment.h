@@ -75,16 +75,29 @@ class Scenario {
   // Mean query metrics over `queries` random (source, object) pairs. The
   // scenario-owned QueryScratch (and its lazily rebuilt adjacency
   // snapshot) backs every measurement; one scenario serves one thread.
+  // With a query subtask pool attached (set_query_subtasks) the loop runs
+  // across the pool's lanes with per-lane scratches instead — results are
+  // byte-identical either way (see sample_queries).
   QueryStats measure(ForwardingMode mode, const ForwardingTable* table,
                      std::size_t queries, const QueryOptions& options = {});
   QueryStats measure_blind(std::size_t queries) {
     return measure(ForwardingMode::kBlindFlooding, nullptr, queries);
   }
 
+  // Attaches (nullptr detaches) a TrialRunner whose subtask lanes execute
+  // measure()'s query loop in parallel: rng draws stay on the caller and
+  // the per-query adds replay in canonical order, so any lane count yields
+  // the same bytes. The pool must outlive the attachment.
+  void set_query_subtasks(TrialRunner* subtasks) noexcept {
+    query_subtasks_ = subtasks;
+  }
+
   // Adjacency snapshot rebuilds performed by measure() so far (the
-  // snapshot_rebuilds cache counter).
+  // snapshot_rebuilds cache counter), summed over the sequential scratch
+  // and every query lane. How the total splits across lanes depends on the
+  // lane count (perf accounting only); the measured stats do not.
   std::size_t snapshot_rebuilds() const noexcept {
-    return scratch_.snapshot_rebuilds();
+    return scratch_.snapshot_rebuilds() + query_lanes_.snapshot_rebuilds();
   }
 
  private:
@@ -99,6 +112,8 @@ class Scenario {
   std::unique_ptr<ObjectCatalog> catalog_;
   std::unique_ptr<CatalogOracle> oracle_;
   QueryScratch scratch_;
+  QueryLanes query_lanes_;
+  TrialRunner* query_subtasks_ = nullptr;
 };
 
 // ---------------------------------------------------------------------
@@ -129,9 +144,11 @@ struct StaticRunResult {
   double response_reduction() const;      // fraction vs samples[0]
 };
 
-// `subtasks` (optional) attaches an intra-trial rebuild pool to the run's
-// engine (AceEngine::set_subtask_runner); results are byte-identical at
-// any lane count.
+// `subtasks` (optional) attaches an intra-trial pool to both the run's
+// engine (AceEngine::set_subtask_runner, conflict-free rebuild batches)
+// and the scenario's query measurement loops (Scenario::set_query_subtasks,
+// detached again before returning); results are byte-identical at any lane
+// count.
 StaticRunResult run_static_optimization(Scenario& scenario,
                                         const AceConfig& ace,
                                         std::size_t steps,

@@ -43,7 +43,7 @@ namespace ace {
 
 // HostId (util/strong_id.h) is its own domain: a peer id no longer works as
 // a host id by accident — the overlay converts explicitly at the peer→host
-// attachment point (PeerRecord::host).
+// attachment point (OverlayNetwork::host_of).
 
 // Snapshot of the delay oracle's row-cache behavior (monotonic counters
 // since construction plus the current occupancy and configured bounds).

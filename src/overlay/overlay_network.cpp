@@ -30,37 +30,38 @@ OverlayNetwork::OverlayNetwork(const PhysicalNetwork& physical,
 }
 
 void OverlayNetwork::check_peer(PeerId p) const {
-  if (p >= peers_.size())
+  if (p >= peer_hosts_.size())
     throw std::out_of_range{"OverlayNetwork: peer id out of range"};
 }
 
 PeerId OverlayNetwork::add_peer(HostId host, bool online) {
   if (host >= physical_->host_count())
     throw std::out_of_range{"OverlayNetwork: host out of range"};
-  peers_.push_back({host, online});
+  peer_hosts_.push_back(host);
+  peer_online_.push_back(online ? 1 : 0);
   const NodeId node = logical_.add_node();
   (void)node;
   if (online) ++online_count_;
   versions_.push_back(TopologyVersion{});
   ++global_version_;  // node set changed: whole-overlay snapshots are stale
   // ace-id: boundary(a new peer's id is its slot in the peer table)
-  return PeerId{static_cast<std::uint32_t>(peers_.size() - 1)};
+  return PeerId{static_cast<std::uint32_t>(peer_hosts_.size() - 1)};
 }
 
 HostId OverlayNetwork::host_of(PeerId p) const {
   check_peer(p);
-  return peers_[p].host;
+  return peer_hosts_[p];
 }
 
 bool OverlayNetwork::is_online(PeerId p) const {
   check_peer(p);
-  return peers_[p].online;
+  return peer_online_[p] != 0;
 }
 
 Weight OverlayNetwork::peer_delay(PeerId a, PeerId b) const {
   check_peer(a);
   check_peer(b);
-  return physical_->delay(peers_[a].host, peers_[b].host);
+  return physical_->delay(peer_hosts_[a], peer_hosts_[b]);
 }
 
 // ace-hot
@@ -68,8 +69,8 @@ Weight OverlayNetwork::peer_cost_estimate(PeerId a, PeerId b) const {
   check_peer(a);
   check_peer(b);
   if (cost_oracle_ == nullptr)  // exact mode: identical to peer_delay
-    return physical_->delay(peers_[a].host, peers_[b].host);
-  return cost_oracle_->delay(peers_[a].host, peers_[b].host);
+    return physical_->delay(peer_hosts_[a], peer_hosts_[b]);
+  return cost_oracle_->delay(peer_hosts_[a], peer_hosts_[b]);
 }
 
 Weight OverlayNetwork::probe_estimate(PeerId a, PeerId b) const {
@@ -85,8 +86,12 @@ Weight OverlayNetwork::probe_estimate(PeerId a, PeerId b) const {
 bool OverlayNetwork::connect(PeerId a, PeerId b) {
   check_peer(a);
   check_peer(b);
-  if (a == b || !peers_[a].online || !peers_[b].online) return false;
-  const Weight cost = peer_delay(a, b);
+  if (a == b || !peer_online_[a] || !peer_online_[b]) return false;
+  // Estimated pricing (million-host benches): the oracle's O(K) belief
+  // stands in for the unpayable exact Dijkstra row; otherwise ground truth.
+  const Weight cost = estimated_link_pricing_ && cost_oracle_ != nullptr
+                          ? cost_oracle_->delay(peer_hosts_[a], peer_hosts_[b])
+                          : peer_delay(a, b);
   // Co-located hosts would yield a zero-weight edge; clamp to a small
   // positive value so graph invariants (positive weights) hold.
   // ace-lint: allow(overlay-adjacency-write): the version-bumping mutator.
@@ -132,16 +137,16 @@ std::size_t OverlayNetwork::degree(PeerId p) const {
 std::vector<PeerId> OverlayNetwork::online_peers() const {
   std::vector<PeerId> out;
   out.reserve(online_count_);
-  for (PeerId p{0}; p < peers_.size(); ++p)
-    if (peers_[p].online) out.push_back(p);
+  for (PeerId p{0}; p < peer_online_.size(); ++p)
+    if (peer_online_[p]) out.push_back(p);
   return out;
 }
 
 PeerId OverlayNetwork::random_online_peer(Rng& rng, PeerId exclude) const {
   const std::size_t eligible =
       online_count_ -
-      ((exclude != kInvalidPeer && exclude < peers_.size() &&
-        peers_[exclude].online)
+      ((exclude != kInvalidPeer && exclude < peer_online_.size() &&
+        peer_online_[exclude])
            ? 1
            : 0);
   if (eligible == 0)
@@ -150,16 +155,17 @@ PeerId OverlayNetwork::random_online_peer(Rng& rng, PeerId exclude) const {
   // our workloads, so this terminates quickly in expectation.
   for (;;) {
     // ace-id: boundary(uniform draw over the peer table's slot range)
-    const PeerId p{static_cast<std::uint32_t>(rng.next_below(peers_.size()))};
-    if (p != exclude && peers_[p].online) return p;
+    const PeerId p{
+        static_cast<std::uint32_t>(rng.next_below(peer_online_.size()))};
+    if (p != exclude && peer_online_[p]) return p;
   }
 }
 
 std::size_t OverlayNetwork::join(PeerId p, std::size_t target_degree,
                                  Rng& rng) {
   check_peer(p);
-  if (!peers_[p].online) {
-    peers_[p].online = true;
+  if (!peer_online_[p]) {
+    peer_online_[p] = 1;
     ++online_count_;
     bump(p);
   }
@@ -183,17 +189,17 @@ std::vector<PeerId> OverlayNetwork::leave(PeerId p,
     dropped.push_back(peer_of(n));
   // ace-lint: allow(overlay-adjacency-write): the version-bumping mutator.
   logical_.isolate(p.value());
-  if (!dropped.empty() || peers_[p].online) bump(p);
+  if (!dropped.empty() || peer_online_[p]) bump(p);
   for (const PeerId q : dropped) bump(q);
-  if (peers_[p].online) {
-    peers_[p].online = false;
+  if (peer_online_[p]) {
+    peer_online_[p] = 0;
     --online_count_;
   }
   // Repair: orphaned neighbors reconnect from their host cache (modeled as
   // a random online peer) until they regain the minimum degree.
   for (const PeerId q : dropped) {
     std::size_t attempts = 0;
-    while (peers_[q].online && logical_.degree(q.value()) < repair_min_degree &&
+    while (peer_online_[q] && logical_.degree(q.value()) < repair_min_degree &&
            online_count_ > 1 && attempts++ < 50) {
       const PeerId r = random_online_peer(rng, q);
       connect(q, r);
@@ -203,14 +209,16 @@ std::vector<PeerId> OverlayNetwork::leave(PeerId p,
 }
 
 void OverlayNetwork::debug_validate() const {
-  ACE_CHECK_EQ(logical_.node_count(), peers_.size())
+  ACE_CHECK_EQ(logical_.node_count(), peer_hosts_.size())
       << " — logical graph and peer table disagree";
+  ACE_CHECK_EQ(peer_hosts_.size(), peer_online_.size())
+      << " — SoA peer columns disagree";
   logical_.debug_validate();
   std::size_t online = 0;
-  for (PeerId p{0}; p < peers_.size(); ++p) {
-    ACE_CHECK_LT(peers_[p].host, physical_->host_count())
+  for (PeerId p{0}; p < peer_hosts_.size(); ++p) {
+    ACE_CHECK_LT(peer_hosts_[p], physical_->host_count())
         << " — peer " << p << " attached to nonexistent host";
-    if (peers_[p].online) {
+    if (peer_online_[p]) {
       ++online;
     } else {
       ACE_CHECK_EQ(logical_.degree(p.value()), 0u)
@@ -221,11 +229,14 @@ void OverlayNetwork::debug_validate() const {
 }
 
 void OverlayNetwork::digest_into(Fnv1a& digest) const {
-  digest.update(static_cast<std::uint64_t>(peers_.size()));
+  digest.update(static_cast<std::uint64_t>(peer_hosts_.size()));
   digest.update(static_cast<std::uint64_t>(online_count_));
-  for (const PeerRecord& peer : peers_) {
-    digest.update(peer.host);
-    digest.update(static_cast<std::uint64_t>(peer.online ? 1 : 0));
+  // Interleaved (host, online) per peer — the exact byte stream the AoS
+  // peer table fed, so the pinned golden digest is unchanged by the SoA
+  // split.
+  for (PeerId p{0}; p < peer_hosts_.size(); ++p) {
+    digest.update(peer_hosts_[p]);
+    digest.update(static_cast<std::uint64_t>(peer_online_[p] ? 1 : 0));
   }
   logical_.digest_into(digest);
 }
@@ -233,8 +244,8 @@ void OverlayNetwork::digest_into(Fnv1a& digest) const {
 double OverlayNetwork::mean_online_degree() const {
   if (online_count_ == 0) return 0.0;
   std::size_t total = 0;
-  for (PeerId p{0}; p < peers_.size(); ++p)
-    if (peers_[p].online) total += logical_.degree(p.value());
+  for (PeerId p{0}; p < peer_online_.size(); ++p)
+    if (peer_online_[p]) total += logical_.degree(p.value());
   return static_cast<double>(total) / static_cast<double>(online_count_);
 }
 

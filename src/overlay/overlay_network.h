@@ -22,11 +22,6 @@ class CostOracle;
 // PeerId / kInvalidPeer live in util/strong_id.h: peers are their own id
 // domain, distinct from hosts and from raw graph node indices.
 
-struct PeerRecord {
-  HostId host = kInvalidHost;
-  bool online = false;
-};
-
 // A Neighbor from the overlay's logical graph carries the raw kernel node
 // index, which in that graph IS the peer id — this is the one sanctioned
 // read-side conversion out of the logical adjacency.
@@ -70,7 +65,7 @@ class OverlayNetwork {
   const PhysicalNetwork& physical() const noexcept { return *physical_; }
   const Graph& logical() const noexcept { return logical_; }
 
-  std::size_t peer_count() const noexcept { return peers_.size(); }
+  std::size_t peer_count() const noexcept { return peer_hosts_.size(); }
   std::size_t online_count() const noexcept { return online_count_; }
 
   // --- topology versioning --------------------------------------------
@@ -139,6 +134,17 @@ class OverlayNetwork {
   // estimate clamped to the same 1e-6 floor connect() applies to weights.
   Weight probe_estimate(PeerId a, PeerId b) const;
 
+  // Prices links created by subsequent connect() calls with the attached
+  // oracle's estimate instead of the exact physical delay. Million-host
+  // benches opt in: one exact delay is a per-source Dijkstra row over the
+  // whole physical graph — unpayable once per overlay link at 10^6 hosts —
+  // while a landmark estimate is O(K). The default (off) keeps ground-truth
+  // pricing and the wire-vs-belief split for every figure-producing run.
+  // No-op without an attached oracle.
+  void set_estimated_link_pricing(bool enabled) noexcept {
+    estimated_link_pricing_ = enabled;
+  }
+
   // Connects two online peers; the link weight is the physical delay.
   // Returns false when already connected, identical, or either offline.
   bool connect(PeerId a, PeerId b);
@@ -195,7 +201,17 @@ class OverlayNetwork {
   // is attached the engine digests it as its own "cost-oracle" StateDigest
   // component (and when none is, the digest must equal pre-oracle builds).
   const CostOracle* cost_oracle_ = nullptr;
-  IdVector<PeerId, PeerRecord> peers_;
+  // ace-digest: exempt(estimated_link_pricing_): configuration, not state;
+  // the weights it produces are digested through the logical adjacency.
+  bool estimated_link_pricing_ = false;
+  // Structure-of-arrays peer table (ROADMAP item 1): the hot scans — the
+  // rejection-sampling source draw, engine cache-validity sweeps, the
+  // digest walk — touch only the field they need instead of dragging whole
+  // records through cache, and a million-peer online bitmap is one byte
+  // per peer. uint8_t, not vector<bool>: IdVector indexing returns real
+  // references.
+  IdVector<PeerId, HostId> peer_hosts_;
+  IdVector<PeerId, std::uint8_t> peer_online_;
   Graph logical_;
   // ace-digest: exempt(versions_): cache-invalidation counters, not
   // protocol state — two runs with different cache schedules may differ

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/trial_runner.h"
 #include "util/check.h"
 
 namespace ace {
@@ -300,15 +301,15 @@ class QueryEngine {
 
   // ace-hot
   template <typename Adjacency>
-  static QueryResult run(const OverlayNetwork& live, const Adjacency& overlay,
-                         PeerId source, ObjectId object,
-                         const ContentOracle& oracle, ForwardingMode mode,
-                         const ForwardingTable* table,
-                         const QueryOptions& options, QueryScratch& s) {
+  static void run(const OverlayNetwork& live, const Adjacency& overlay,
+                  PeerId source, ObjectId object, const ContentOracle& oracle,
+                  ForwardingMode mode, const ForwardingTable* table,
+                  const QueryOptions& options, QueryScratch& s,
+                  QueryResult& result) {
     if (!live.is_online(source))
       throw std::invalid_argument{"run_query: source is offline"};
 
-    QueryResult result;
+    result.reset();
     const double query_size = size_factor(options.sizing, MessageType::kQuery);
     const double hit_size =
         size_factor(options.sizing, MessageType::kQueryHit);
@@ -337,8 +338,10 @@ class QueryEngine {
     // terminates the response-path walk and must be set explicitly.
     s.parent_[source] = kInvalidPeer;
     if (options.record_paths) {
-      // Path recording is the one per-query growth: size it once up front
-      // (one entry per visited peer, bounded by the online population).
+      // Path recording is the one per-query growth, reserved lazily: only a
+      // query that records paths sizes the vector (once, one entry per
+      // visited peer, bounded by the online population); the hot
+      // measurement path never touches it (asserted below).
       result.visit_parents.reserve(n);
       result.visit_parents.emplace_back(source, kInvalidPeer);
     }
@@ -431,47 +434,119 @@ class QueryEngine {
       // first_responder may be a direct neighbor of the source: loop above
       // already handles it (parent[source] == kInvalidPeer terminates).
     }
-    return result;
+    if (!options.record_paths) {
+      ACE_DCHECK(result.visit_parents.empty())
+          << "visit_parents grew on a query without record_paths";
+    }
   }
 };
+
+// ace-hot
+void run_query_into(const OverlayNetwork& overlay, PeerId source,
+                    ObjectId object, const ContentOracle& oracle,
+                    ForwardingMode mode, const ForwardingTable* table,
+                    const QueryOptions& options, QueryScratch& scratch,
+                    QueryResult& result) {
+  if (options.allow_snapshot && !force_full_rebuild_enabled()) {
+    if (scratch.snapshot_.refresh(overlay)) ++scratch.snapshot_rebuilds_;
+    QueryEngine::run(overlay, SnapshotAdjacency{&scratch.snapshot_}, source,
+                     object, oracle, mode, table, options, scratch, result);
+    return;
+  }
+  QueryEngine::run(overlay, DirectAdjacency{&overlay}, source, object, oracle,
+                   mode, table, options, scratch, result);
+}
 
 QueryResult run_query(const OverlayNetwork& overlay, PeerId source,
                       ObjectId object, const ContentOracle& oracle,
                       ForwardingMode mode, const ForwardingTable* table,
                       const QueryOptions& options, QueryScratch* scratch) {
+  QueryResult result;
   if (scratch != nullptr) {
+    run_query_into(overlay, source, object, oracle, mode, table, options,
+                   *scratch, result);
+  } else {
     // The snapshot path needs a scratch to own the snapshot; without one a
     // per-query rebuild would cost more than it saves, so one-shot callers
     // stay on the direct path.
-    if (options.allow_snapshot && !force_full_rebuild_enabled()) {
-      if (scratch->snapshot_.refresh(overlay)) ++scratch->snapshot_rebuilds_;
-      return QueryEngine::run(overlay,
-                              SnapshotAdjacency{&scratch->snapshot_}, source,
-                              object, oracle, mode, table, options, *scratch);
-    }
-    return QueryEngine::run(overlay, DirectAdjacency{&overlay}, source,
-                            object, oracle, mode, table, options, *scratch);
+    QueryScratch local;
+    QueryEngine::run(overlay, DirectAdjacency{&overlay}, source, object,
+                     oracle, mode, table, options, local, result);
   }
-  QueryScratch local;
-  return QueryEngine::run(overlay, DirectAdjacency{&overlay}, source, object,
-                          oracle, mode, table, options, local);
+  return result;
 }
+
+void QueryLanes::ensure(std::size_t lanes, std::size_t peers) {
+  if (lanes_.size() < lanes) lanes_.resize(lanes);
+  for (QueryScratch& s : lanes_) s.reserve(peers);
+}
+
+std::size_t QueryLanes::snapshot_rebuilds() const noexcept {
+  std::size_t total = 0;
+  for (const QueryScratch& s : lanes_) total += s.snapshot_rebuilds();
+  return total;
+}
+
+namespace {
+
+// Streaming chunk of the parallel measurement loop: keys and result slots
+// are bounded by this, never by the trial's total query count. The chunk
+// size is independent of the lane count — it only bounds the buffers, so it
+// cannot influence results (each query is independent and the adds are
+// replayed in canonical order regardless of chunking).
+constexpr std::size_t kQueryChunk = 128;
+
+}  // namespace
 
 QueryStats sample_queries(const OverlayNetwork& overlay,
                           const ObjectCatalog& catalog,
                           const ContentOracle& oracle, ForwardingMode mode,
                           const ForwardingTable* table, std::size_t count,
                           Rng& rng, const QueryOptions& options,
-                          QueryScratch* scratch) {
+                          QueryScratch* scratch, TrialRunner* subtasks,
+                          QueryLanes* lanes) {
   QueryStats stats;
-  QueryScratch local;
-  QueryScratch& buffers = scratch ? *scratch : local;
-  buffers.reserve(overlay.peer_count());
-  for (std::size_t i = 0; i < count; ++i) {
-    const PeerId source = overlay.random_online_peer(rng);
-    const ObjectId object = catalog.sample_object(rng);
-    stats.add(run_query(overlay, source, object, oracle, mode, table, options,
-                        &buffers));
+  const bool parallel = subtasks != nullptr && lanes != nullptr &&
+                        subtasks->subtask_lanes() > 1 && count > 1;
+  if (!parallel) {
+    QueryScratch local;
+    QueryScratch& buffers = scratch ? *scratch : local;
+    buffers.reserve(overlay.peer_count());
+    QueryResult result;
+    for (std::size_t i = 0; i < count; ++i) {
+      const PeerId source = overlay.random_online_peer(rng);
+      const ObjectId object = catalog.sample_object(rng);
+      run_query_into(overlay, source, object, oracle, mode, table, options,
+                     buffers, result);
+      stats.add(result);
+    }
+    return stats;
+  }
+
+  struct QueryKey {
+    PeerId source = kInvalidPeer;
+    ObjectId object = 0;
+  };
+  lanes->ensure(subtasks->subtask_lanes(), overlay.peer_count());
+  std::vector<QueryKey> keys(std::min(count, kQueryChunk));
+  std::vector<QueryResult> slots(keys.size());
+  for (std::size_t done = 0; done < count;) {
+    const std::size_t chunk = std::min(kQueryChunk, count - done);
+    // Every rng draw stays on the caller, in exactly the order the
+    // sequential loop above would make them (run_query draws nothing).
+    for (std::size_t i = 0; i < chunk; ++i)
+      keys[i] = {overlay.random_online_peer(rng), catalog.sample_object(rng)};
+    // Independent queries fan out across lanes; each writes only its own
+    // index-ordered slot and its lane's scratch.
+    subtasks->run_subtasks(chunk, [&](std::size_t lane, std::size_t index) {
+      run_query_into(overlay, keys[index].source, keys[index].object, oracle,
+                     mode, table, options, lanes->lane(lane), slots[index]);
+    });
+    // Replay the adds in canonical query order: the running moments are
+    // floating-point-order-sensitive, so the commit order must not depend
+    // on lane scheduling.
+    for (std::size_t i = 0; i < chunk; ++i) stats.add(slots[i]);
+    done += chunk;
   }
   return stats;
 }

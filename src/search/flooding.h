@@ -24,6 +24,8 @@
 
 namespace ace {
 
+class TrialRunner;  // core/trial_runner.h — the subtask pool
+
 // One peer's local multicast tree in routing form: for every tree node,
 // its children (the peers it is expected to relay the query to). The
 // root's children are the peer's flooding neighbors. Queries carry these
@@ -204,6 +206,11 @@ class QueryScratch {
                                const ForwardingTable* table,
                                const QueryOptions& options,
                                QueryScratch* scratch);
+  friend void run_query_into(const OverlayNetwork& overlay, PeerId source,
+                             ObjectId object, const ContentOracle& oracle,
+                             ForwardingMode mode, const ForwardingTable* table,
+                             const QueryOptions& options,
+                             QueryScratch& scratch, QueryResult& result);
 
   // Pending transmission (heap element of the time-ordered expansion).
   struct Hop {
@@ -244,15 +251,57 @@ QueryResult run_query(const OverlayNetwork& overlay, PeerId source,
                       const QueryOptions& options = {},
                       QueryScratch* scratch = nullptr);
 
+// Allocation-free variant for the measurement loops: writes the metrics of
+// one query into `result` (reset first, visit_parents capacity kept), using
+// the caller-owned `scratch`. Bit-identical to run_query; reads only the
+// overlay/oracle/table and writes only `scratch` and `result`, so
+// concurrent calls with distinct scratches and result slots are race-free —
+// the contract the parallel sample_queries path is built on.
+void run_query_into(const OverlayNetwork& overlay, PeerId source,
+                    ObjectId object, const ContentOracle& oracle,
+                    ForwardingMode mode, const ForwardingTable* table,
+                    const QueryOptions& options, QueryScratch& scratch,
+                    QueryResult& result);
+
+// Per-lane QueryScratch pool for the parallel measurement path: one scratch
+// per TrialRunner lane (the caller participates as lane 0), each owning its
+// own adjacency snapshot, so lanes share no mutable state. Grown on demand;
+// buffers and snapshots persist across measurement calls.
+class QueryLanes {
+ public:
+  // Grows the pool to `lanes` scratches, each pre-sized for `peers`.
+  void ensure(std::size_t lanes, std::size_t peers);
+  QueryScratch& lane(std::size_t i) { return lanes_[i]; }
+  std::size_t size() const noexcept { return lanes_.size(); }
+  // Sum of the per-lane snapshot rebuild counters. Perf accounting only
+  // (BENCH_*.json): how the rebuilds split across lanes depends on the
+  // lane count; the query results do not.
+  std::size_t snapshot_rebuilds() const noexcept;
+
+ private:
+  std::vector<QueryScratch> lanes_;
+};
+
 // Convenience: average query metrics over `count` random (source, object)
 // pairs drawn from the catalog's popularity distribution. `scratch`
 // (optional) carries buffers and the adjacency snapshot across calls; when
 // null a call-local scratch is used (results identical either way).
+//
+// When both `subtasks` and `lanes` are supplied and the pool has more than
+// one lane, the measurement loop runs in parallel under the determinism
+// bar: (source, object) keys are pre-drawn from `rng` sequentially on the
+// caller in exactly the order the sequential loop would draw them
+// (run_query itself never draws), the independent run_query calls execute
+// across lanes into index-ordered result slots, and QueryStats::add is
+// replayed in canonical query order — the returned stats (and any digest
+// of them) are byte-identical at every --intra-threads value.
 QueryStats sample_queries(const OverlayNetwork& overlay,
                           const ObjectCatalog& catalog,
                           const ContentOracle& oracle, ForwardingMode mode,
                           const ForwardingTable* table, std::size_t count,
                           Rng& rng, const QueryOptions& options = {},
-                          QueryScratch* scratch = nullptr);
+                          QueryScratch* scratch = nullptr,
+                          TrialRunner* subtasks = nullptr,
+                          QueryLanes* lanes = nullptr);
 
 }  // namespace ace

@@ -2,6 +2,20 @@
 
 namespace ace {
 
+// ace-hot
+void QueryResult::reset() noexcept {
+  traffic_cost = 0;
+  response_traffic = 0;
+  messages = 0;
+  duplicates = 0;
+  scope = 0;
+  response_time = 0;
+  found = false;
+  first_responder = kInvalidPeer;
+  answered_from_cache = false;
+  visit_parents.clear();
+}
+
 void QueryStats::add(const QueryResult& result) {
   ++queries_;
   traffic_.add(result.traffic_cost);
@@ -33,6 +47,35 @@ double QueryStats::success_rate() const noexcept {
 double QueryStats::traffic_per_scope() const noexcept {
   const double s = scope_.mean();
   return s > 0 ? traffic_.mean() / s : 0.0;
+}
+
+namespace {
+
+void digest_running(Fnv1a& digest, const RunningStats& s) {
+  digest.update(static_cast<std::uint64_t>(s.count()));
+  digest.update_double(s.mean());
+  digest.update_double(s.variance());
+  digest.update_double(s.sum());
+  digest.update_double(s.min());
+  digest.update_double(s.max());
+}
+
+}  // namespace
+
+void QueryStats::digest_into(Fnv1a& digest) const {
+  digest.update(static_cast<std::uint64_t>(queries_));
+  digest.update(static_cast<std::uint64_t>(found_));
+  digest_running(digest, traffic_);
+  digest_running(digest, response_);
+  digest_running(digest, scope_);
+  digest_running(digest, messages_);
+  digest_running(digest, duplicates_);
+}
+
+std::uint64_t QueryStats::digest() const {
+  Fnv1a digest;
+  digest_into(digest);
+  return digest.value();
 }
 
 }  // namespace ace

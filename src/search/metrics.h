@@ -5,9 +5,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "overlay/overlay_network.h"
+#include "util/digest.h"
 #include "util/stats.h"
 
 namespace ace {
@@ -35,8 +37,14 @@ struct QueryResult {
   // actual holder.
   bool answered_from_cache = false;
   // (peer, parent) pairs in visit order when QueryOptions::record_paths is
-  // set; parent == kInvalidPeer for the source.
+  // set; parent == kInvalidPeer for the source. Reserved lazily — a query
+  // that does not record paths never touches (or allocates) this vector.
   std::vector<std::pair<PeerId, PeerId>> visit_parents;
+
+  // Resets to the freshly-constructed state while keeping visit_parents'
+  // capacity, so result slots reused across chunked measurement loops stay
+  // allocation-free.
+  void reset() noexcept;
 };
 
 // Aggregates query results for one experimental cell.
@@ -59,6 +67,13 @@ class QueryStats {
   const RunningStats& traffic() const noexcept { return traffic_; }
   const RunningStats& response() const noexcept { return response_; }
   const RunningStats& scope() const noexcept { return scope_; }
+
+  // Digest of the full aggregate (counts plus every running moment). The
+  // query-stats component of phase-boundary digest traces: because the
+  // parallel measurement path replays add() in canonical query order,
+  // these values are byte-identical at any --intra-threads lane count.
+  void digest_into(Fnv1a& digest) const;
+  std::uint64_t digest() const;
 
  private:
   std::size_t queries_ = 0;

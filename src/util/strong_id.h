@@ -168,7 +168,7 @@ using LocalEdge = TypedEdge<LocalNodeId>;
 
 // --- typed-index containers -----------------------------------------------
 
-// std::vector indexable only by `Id` — the SoA arrays (local_index, version
+// std::vector indexable only by `Id` — the SoA arrays (peer_hosts_, version
 // vectors, per-peer cache entries) become self-documenting and cannot be
 // indexed with the wrong domain (tests/compile_fail/wrong_domain_index.cpp).
 // Iteration (begin/end) walks the elements, not the ids, so range-for and

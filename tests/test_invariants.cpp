@@ -130,8 +130,9 @@ TEST(InvariantAuditorsDeath, ClosureIndexBijectionBreak) {
   LocalClosure closure = build_closure(*lab.overlay, PeerId{0}, 1);
   ASSERT_GE(closure.size(), 2u);
   // Corrupt: two local ids claim the same global peer.
-  closure.local_index[closure.nodes[LocalNodeId{1}]] = LocalNodeId{0};
-  EXPECT_DEATH(closure.debug_validate(1), "local_index");
+  for (auto& entry : closure.member_index)
+    if (entry.first == closure.nodes[LocalNodeId{1}]) entry.second = LocalNodeId{0};
+  EXPECT_DEATH(closure.debug_validate(1), "member_index");
 }
 
 TEST(InvariantAuditorsDeath, ClosureMisalignedArrays) {

@@ -1,0 +1,223 @@
+// Parallel query measurement (DESIGN.md §16): sample_queries pre-draws the
+// (source, object) sequence sequentially, fans the independent run_query
+// calls over the TrialRunner pool's lanes into index-ordered result slots,
+// and replays QueryStats::add in canonical query order. These tests pin
+// that contract: replayed adds reproduce the sequential aggregate exactly,
+// digest traces are byte-identical at any lane count in ideal and lossy
+// modes, and the *Stress* suite behind the tsan.query_parallel ctest entry
+// cycles the lane pool enough for ThreadSanitizer to observe it.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ace/engine.h"
+#include "core/experiment.h"
+#include "core/trial_runner.h"
+#include "graph/generators.h"
+#include "search/flooding.h"
+#include "transport/transport.h"
+#include "util/digest.h"
+
+namespace ace {
+namespace {
+
+// Mismatched overlay over a BA physical topology (the test_engine shape).
+struct Fixture {
+  explicit Fixture(std::size_t hosts = 256, std::size_t peers = 48,
+                   double degree = 5.0, std::uint64_t seed = 3) {
+    Rng topo{seed};
+    BaOptions ba;
+    ba.nodes = hosts;
+    physical = std::make_unique<PhysicalNetwork>(barabasi_albert(ba, topo));
+    OverlayOptions oo;
+    oo.peers = peers;
+    oo.mean_degree = degree;
+    const Graph logical = random_overlay(oo, topo);
+    const auto host_list = assign_hosts_uniform(*physical, peers, topo);
+    overlay = std::make_unique<OverlayNetwork>(*physical, logical, host_list);
+  }
+  std::unique_ptr<PhysicalNetwork> physical;
+  std::unique_ptr<OverlayNetwork> overlay;
+};
+
+// Property: an aggregate assembled by replaying per-query add() calls in
+// canonical order digests identically to the sequential loop's, and a
+// merge() of order-contiguous shards reproduces the same counts/means to
+// within FP tolerance (merge uses the parallel-Welford combine, so its
+// variance bytes may differ — which is exactly why the parallel path
+// replays add() instead of merging shards).
+TEST(QueryParallel, ReplayedAddsMatchSequentialAggregate) {
+  for (const std::uint64_t seed : {5u, 19u, 83u}) {
+    Fixture f{192, 40, 5.0, seed};
+    const ObjectCatalog catalog{CatalogConfig{}};
+    const CatalogOracle oracle{catalog};
+
+    // Sequential reference and its per-query results.
+    Rng rng_a{seed * 13 + 1};
+    QueryScratch scratch;
+    scratch.reserve(f.overlay->peer_count());
+    std::vector<QueryResult> results;
+    QueryStats sequential;
+    for (std::size_t q = 0; q < 60; ++q) {
+      const PeerId source = f.overlay->random_online_peer(rng_a);
+      const ObjectId object = catalog.sample_object(rng_a);
+      QueryResult result;
+      run_query_into(*f.overlay, source, object, oracle,
+                     ForwardingMode::kBlindFlooding, nullptr, {}, scratch,
+                     result);
+      results.push_back(result);
+      sequential.add(result);
+    }
+
+    // Replayed add() in canonical order: byte-identical digest.
+    QueryStats replayed;
+    for (const QueryResult& result : results) replayed.add(result);
+    EXPECT_EQ(sequential.digest(), replayed.digest()) << "seed " << seed;
+
+    // Sharded merge(): same counts, means within FP tolerance.
+    QueryStats merged;
+    QueryStats shard;
+    for (std::size_t q = 0; q < results.size(); ++q) {
+      shard.add(results[q]);
+      if ((q + 1) % 16 == 0 || q + 1 == results.size()) {
+        merged.merge(shard);
+        shard = QueryStats{};
+      }
+    }
+    EXPECT_EQ(merged.queries(), sequential.queries());
+    EXPECT_NEAR(merged.mean_traffic(), sequential.mean_traffic(),
+                1e-9 * (1 + sequential.mean_traffic()));
+    EXPECT_NEAR(merged.mean_scope(), sequential.mean_scope(),
+                1e-9 * (1 + sequential.mean_scope()));
+    EXPECT_NEAR(merged.mean_response_time(), sequential.mean_response_time(),
+                1e-9 * (1 + sequential.mean_response_time()));
+  }
+}
+
+// The parallel sample_queries path must produce a byte-identical aggregate
+// (and identical caller-rng consumption) to the sequential path.
+TEST(QueryParallel, ParallelSampleQueriesDigestsEqualSequential) {
+  Fixture f{192, 40, 5.0, 7};
+  const ObjectCatalog catalog{CatalogConfig{}};
+  const CatalogOracle oracle{catalog};
+  // 300 queries > 2*kQueryChunk, so the chunked path wraps at least twice.
+  const std::size_t count = 300;
+
+  Rng rng_seq{991};
+  const QueryStats sequential =
+      sample_queries(*f.overlay, catalog, oracle,
+                     ForwardingMode::kBlindFlooding, nullptr, count, rng_seq);
+  // Peek the sequential path's next draw without advancing rng_seq, so
+  // every lane count below is compared against the same expectation.
+  Rng probe = rng_seq;
+  const std::uint64_t expected_next = probe.next();
+
+  for (const std::size_t lanes : {2u, 8u}) {
+    Rng rng_par{991};
+    TrialRunner pool{lanes};
+    QueryLanes lane_scratch;
+    const QueryStats parallel = sample_queries(
+        *f.overlay, catalog, oracle, ForwardingMode::kBlindFlooding, nullptr,
+        count, rng_par, {}, nullptr, &pool, &lane_scratch);
+    EXPECT_EQ(sequential.digest(), parallel.digest()) << lanes << " lanes";
+    EXPECT_EQ(parallel.queries(), count);
+    // Both paths must have drawn the same rng sequence.
+    EXPECT_EQ(expected_next, rng_par.next()) << lanes << " lanes";
+  }
+}
+
+// Full scenario trace (ACE rounds + measurement digest rows) for `lanes`
+// query lanes, ideal or lossy transport — the in-process twin of the
+// quickstart-query-intra determinism entry.
+std::string trace_for(std::size_t lanes, bool lossy,
+                      std::size_t rounds = 3) {
+  ScenarioConfig config;
+  config.physical_nodes = 192;
+  config.peers = 48;
+  config.mean_degree = 5.0;
+  config.seed = 77;
+  Scenario scenario{config};
+
+  TrialRunner pool{lanes};
+  if (lanes > 1) scenario.set_query_subtasks(&pool);
+
+  DigestTrace trace;
+  trace.record("measure-blind", "query-stats",
+               scenario.measure_blind(120).digest());
+
+  AceConfig ace;
+  ace.transport = lossy ? TransportMode::kLossy : TransportMode::kIdeal;
+  AceEngine engine{scenario.overlay(), ace};
+  if (lanes > 1) engine.set_subtask_runner(&pool);
+  Simulator sim;
+  std::unique_ptr<Transport> wire;
+  if (lossy) {
+    TransportConfig tc;
+    tc.mode = TransportMode::kLossy;
+    tc.faults.drop_probability = 0.05;
+    tc.faults.extra_jitter_max_s = 0.5;
+    wire = std::make_unique<Transport>(sim, scenario.overlay(),
+                                       scenario.guids(), tc,
+                                       Rng::stream(config.seed, "transport"));
+    engine.attach_transport(wire.get());
+  }
+  for (std::size_t r = 1; r <= rounds; ++r) {
+    (void)engine.step_round(scenario.rng());
+    if (lossy) sim.run_all();
+    trace.record("round-" + std::to_string(r),
+                 engine.state_digest(lossy ? &sim : nullptr));
+  }
+  trace.record("measure-ace", "query-stats",
+               scenario.measure(ForwardingMode::kTreeRouting,
+                                &engine.forwarding(), 120)
+                   .digest());
+  scenario.set_query_subtasks(nullptr);
+  return trace.csv();
+}
+
+// Tentpole acceptance, in-process: measurement digest rows bracket the
+// round trace and the whole file is byte-identical at 1, 2, and 8 lanes.
+TEST(QueryParallel, TraceBytesIdenticalAcrossLaneCountsIdeal) {
+  const std::string sequential = trace_for(1, /*lossy=*/false);
+  ASSERT_FALSE(sequential.empty());
+  EXPECT_EQ(sequential, trace_for(2, false));
+  EXPECT_EQ(sequential, trace_for(8, false));
+}
+
+// Same through the lossy transport: the measurement runs against a
+// transport-perturbed overlay, and its digest rows must still replay.
+TEST(QueryParallel, TraceBytesIdenticalAcrossLaneCountsLossy) {
+  const std::string sequential = trace_for(1, /*lossy=*/true);
+  ASSERT_FALSE(sequential.empty());
+  EXPECT_EQ(sequential, trace_for(2, true));
+  EXPECT_EQ(sequential, trace_for(8, true));
+}
+
+// Stress workload for ThreadSanitizer (tsan.query_parallel repeats this
+// suite 10 times): fresh 8-lane pool per repetition, chunked parallel
+// measurement over both forwarding modes, so lane scratches, result slots,
+// and the pool's job lifecycle cycle repeatedly.
+TEST(QueryParallelStress, RepeatedParallelMeasurementIsRaceFree) {
+  for (std::uint64_t rep = 0; rep < 4; ++rep) {
+    Fixture f{128, 32, 5.0, 50 + rep};
+    const ObjectCatalog catalog{CatalogConfig{}};
+    const CatalogOracle oracle{catalog};
+    TrialRunner pool{8};
+    QueryLanes lanes;
+    Rng rng{rep + 1};
+    (void)sample_queries(*f.overlay, catalog, oracle,
+                         ForwardingMode::kBlindFlooding, nullptr, 200, rng,
+                         {}, nullptr, &pool, &lanes);
+    AceEngine engine{*f.overlay, AceConfig{}};
+    engine.set_subtask_runner(&pool);
+    (void)engine.rebuild_all_trees();
+    (void)sample_queries(*f.overlay, catalog, oracle,
+                         ForwardingMode::kTreeRouting, &engine.forwarding(),
+                         200, rng, {}, nullptr, &pool, &lanes);
+  }
+}
+
+}  // namespace
+}  // namespace ace

@@ -1526,6 +1526,37 @@ void f(TrialRunner* subtasks, std::vector<int>& slots,
   });
 }
 """, []),
+    ("worker_query_slot_replay_clean", "src/x/ws11.cpp", """
+#include <vector>
+struct QueryResult { int traffic; };
+struct QueryStats { void add(const QueryResult&); };
+struct Scratch {};
+QueryResult run_one(int key, Scratch& scratch);
+struct TrialRunner { template <class F> void run_subtasks(int, F); };
+void f(TrialRunner* subtasks, std::vector<int>& keys,
+       std::vector<QueryResult>& slots, std::vector<Scratch>& scratch) {
+  // The parallel measurement shape (sample_queries): each subtask writes
+  // only its own index-keyed result slot from lane-keyed scratch; the
+  // order-sensitive aggregation replays sequentially after the join.
+  subtasks->run_subtasks(8, [&](std::size_t lane, std::size_t index) {
+    slots[index] = run_one(keys[index], scratch[lane]);
+  });
+  QueryStats stats;
+  for (const QueryResult& slot : slots) stats.add(slot);
+}
+""", []),
+    ("worker_query_stats_merge_flagged", "src/x/ws12.cpp", """
+struct QueryResult { int traffic; };
+struct QueryStats { void merge(const QueryStats&); };
+QueryStats measure_one(std::size_t index);
+struct TrialRunner { template <class F> void run_subtasks(int, F); };
+void f(TrialRunner* subtasks) {
+  QueryStats stats;
+  subtasks->run_subtasks(8, [&](std::size_t lane, std::size_t index) {
+    stats.merge(measure_one(index));
+  });
+}
+""", ["worker-shared-write"]),
 
     # --- hot-path-alloc -----------------------------------------------------
     ("hot_new_flagged", "src/x/h1.cpp", """

@@ -104,6 +104,17 @@ def compare_record(name: str, baseline: dict, current: dict,
             regressed |= bad
             if ratio is not None and (worst is None or ratio > worst[0]):
                 worst = (ratio, "rebuild_s")
+        # qps is a throughput (higher is better), so the regression
+        # direction is inverted: gate on its reciprocal, seconds per
+        # query, which compare_metric treats like any other time.
+        if baseline.get("qps") and current.get("qps"):
+            bad, ratio, line = compare_metric(
+                "s_per_query (1/qps)", 1.0 / float(baseline["qps"]),
+                1.0 / float(current["qps"]), threshold)
+            print(line)
+            regressed |= bad
+            if ratio is not None and (worst is None or ratio > worst[0]):
+                worst = (ratio, "qps")
         # Per-cell records (BENCH_scale.json): match cells on their
         # identifying keys and gate each cell's rebuild_s individually, so
         # one topology scale regressing can't hide inside the total.

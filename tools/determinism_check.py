@@ -84,6 +84,17 @@ EXAMPLES = {
                                 "--rounds=4", "--seed=42",
                                 "--transport=lossy", "--loss-rate=0.05",
                                 "--intra-threads=8"]),
+    # Query-lane determinism (DESIGN.md §16): run A measures on one lane,
+    # run B on 8. The trace's measure-blind/measure-ace query-stats rows
+    # fold every per-query Welford update, so one out-of-order add() or a
+    # cross-lane scratch leak flips the diff.
+    "quickstart-query-intra": ("quickstart",
+                               ["--peers=64", "--phys-nodes=256",
+                                "--rounds=2", "--queries=120", "--seed=42",
+                                "--intra-threads=1"],
+                               ["--peers=64", "--phys-nodes=256",
+                                "--rounds=2", "--queries=120", "--seed=42",
+                                "--intra-threads=8"]),
     # The optrate bench is the parallel path's flagship workload: one large
     # trial whose --threads flag drives the intra-trial pool directly.
     "optrate-intra": ("bench/bench_optrate",
